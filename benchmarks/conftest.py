@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4 for the index).  Conventions:
+
+- Each experiment runs once inside ``benchmark.pedantic(..., rounds=1)`` so
+  ``pytest benchmarks/ --benchmark-only`` both times it and executes it.
+- Rendered tables / CDF series are printed and also written under
+  ``CCPROF_result/`` in the repository root, mirroring the layout of the
+  paper's artifact.
+- Assertions check the paper's *shape* (who wins, direction, separation),
+  never its absolute testbed numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Repository-root artifact directory (the paper artifact's CCPROF_result).
+RESULT_DIR = Path(__file__).resolve().parent.parent / "CCPROF_result"
+
+
+@pytest.fixture(scope="session")
+def result_dir() -> Path:
+    """The CCPROF_result output directory (created on first use)."""
+    RESULT_DIR.mkdir(exist_ok=True)
+    return RESULT_DIR
+
+
+def emit(result_dir: Path, filename: str, text: str) -> None:
+    """Print a result block and persist it under CCPROF_result/."""
+    print("\n" + text)
+    (result_dir / filename).write_text(text + "\n", encoding="utf-8")

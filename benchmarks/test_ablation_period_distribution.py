@@ -1,0 +1,102 @@
+"""Ablation — sampling-period distribution: fixed vs uniform vs geometric.
+
+The paper randomizes the next sampling period "based on given probability
+distribution" (§4) but does not quantify why.  This bench demonstrates the
+aliasing hazard the randomization guards against.
+
+The workload alternates two miss populations every iteration: 16 conflict
+misses on one victim set, then 16 streaming (balanced) misses — a strictly
+periodic miss pattern of period 32.  A *fixed* sampling period of 32
+phase-locks onto one population and never sees the other: depending on the
+initial phase it reports cf ~ 1.0 or ~ 0.0 against a ground truth of ~0.4.
+Jittered and geometric periods decorrelate from the pattern and land close
+to the truth.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.contribution import contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.periods import FixedPeriod, GeometricPeriod, UniformJitterPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.reporting.tables import Table
+from repro.trace.record import MemoryAccess
+
+from benchmarks.conftest import emit
+
+#: Misses per iteration of the periodic pattern (16 conflict + 16 stream).
+PATTERN_PERIOD = 32
+
+ITERATIONS = 3000
+
+
+def _periodic_trace(geometry):
+    cursor = 0x5000_0000
+    for _iteration in range(ITERATIONS):
+        # Population A: 12 lines cycled through one set -> 16 conflict misses.
+        for i in range(16):
+            yield MemoryAccess(ip=0x400100, address=(i % 12) * geometry.mapping_period)
+        # Population B: a fresh line each access -> 16 balanced cold misses.
+        for _i in range(16):
+            yield MemoryAccess(ip=0x400104, address=cursor)
+            cursor += geometry.line_size
+
+
+def _ground_truth_cf(geometry):
+    cache = SetAssociativeCache(geometry)
+    sets = []
+    for access in _periodic_trace(geometry):
+        if cache.access(access.address, access.ip).miss:
+            sets.append(geometry.set_index(access.address))
+    return contribution_factor(RcdAnalysis.from_set_sequence(sets, geometry.num_sets))
+
+
+def _sampled_cf(geometry, period, seed=0):
+    sampler = AddressSampler(geometry, period=period, seed=seed)
+    result = sampler.run(_periodic_trace(geometry))
+    analysis = RcdAnalysis.from_addresses(
+        (sample.address for sample in result.samples), geometry
+    )
+    return contribution_factor(analysis), result.sample_count
+
+
+def _run():
+    geometry = CacheGeometry()
+    truth = _ground_truth_cf(geometry)
+    rows = []
+    for name, period in (
+        ("fixed", FixedPeriod(PATTERN_PERIOD)),
+        ("uniform-jitter", UniformJitterPeriod(PATTERN_PERIOD)),
+        ("geometric", GeometricPeriod(PATTERN_PERIOD)),
+    ):
+        cf, samples = _sampled_cf(geometry, period)
+        rows.append((name, cf, samples, abs(cf - truth)))
+    return truth, rows
+
+
+def test_ablation_period_distribution(benchmark, result_dir):
+    truth, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title=(
+            "Ablation - period distribution vs aliasing "
+            f"(periodic miss pattern, period {PATTERN_PERIOD})"
+        ),
+        headers=["distribution", "cf estimate", "samples", "|error|"],
+    )
+    for name, cf, samples, error in rows:
+        table.add_row(name, f"{cf:.3f}", samples, f"{error:.3f}")
+    emit(
+        result_dir,
+        "ablation_period_distribution.txt",
+        table.render() + f"\nground-truth cf: {truth:.3f}",
+    )
+
+    errors = {name: error for name, _, _, error in rows}
+    # The fixed period phase-locks onto one miss population and misestimates
+    # cf badly; the randomized periods track ground truth.
+    assert errors["fixed"] > 0.3
+    assert errors["uniform-jitter"] < 0.1
+    assert errors["geometric"] < 0.1

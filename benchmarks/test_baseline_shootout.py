@@ -1,0 +1,147 @@
+"""Baseline shoot-out (paper §7.1) — CCProf vs DProf vs MST vs ground truth.
+
+The paper's positioning claims, run head-to-head on two archetypes:
+
+- a *static* conflict (one fixed group of victim sets, the NW/Tiny-DNN
+  shape): every detector should catch it;
+- a *moving* conflict (the victim set rotates, the ADI/Kripke/Himeno
+  shape): DProf's whole-run spatial histogram balances out and misses it
+  ("DProf assumes that the workload is uniform throughout the runtime");
+  single-entry MST under-classifies when several lines rotate per set;
+  CCProf's RCD keeps the temporal ordering and flags both.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.dprof import DprofDetector
+from repro.baselines.mst import MissClassificationTable
+from repro.cache.classify import ThreeCClassifier
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.reporting.tables import Table
+from repro.trace.record import MemoryAccess
+
+from benchmarks.conftest import emit
+
+IP = 0x400100
+
+
+def _static_conflict(geometry, repeats=800):
+    """Nine lines folded onto one set: the tight rotation where even MST's
+    single evicted-tag register works (the evicted line is always the next
+    referenced)."""
+    for _ in range(repeats):
+        for i in range(9):
+            yield MemoryAccess(ip=IP, address=i * geometry.mapping_period)
+
+
+def _moving_conflict(geometry, victims=32, laps=8, rounds=12):
+    """Twelve lines folded onto a victim set that rotates over 32 sets.
+
+    The total working set (32 x 12 = 384 lines) fits the cache, so every
+    miss is a pure set conflict (three-C confirms), but: the per-set miss
+    totals equalize over the run (DProf's spatial histogram balances), and
+    the 12-line rotation overwrites MST's single-entry register.  Only the
+    temporal RCD view flags it.
+    """
+    for _round in range(rounds):
+        for victim in range(victims):
+            for _lap in range(laps):
+                for i in range(12):
+                    yield MemoryAccess(
+                        ip=IP,
+                        address=victim * geometry.line_size
+                        + i * geometry.mapping_period,
+                    )
+
+
+def _balanced(geometry, repeats=40):
+    """Sequential stream: the control that nobody should flag."""
+    lines = 4 * geometry.num_sets * geometry.ways
+    for _ in range(repeats):
+        for i in range(lines):
+            yield MemoryAccess(ip=IP, address=i * geometry.line_size)
+
+
+def _evaluate(name, trace_factory, geometry):
+    # Ground truth: three-C classification.
+    truth = ThreeCClassifier(geometry)
+    truth.run_trace(trace_factory())
+    truth_conflict = truth.counts.conflict_fraction() > 0.3
+
+    # CCProf: sampled RCD contribution factor.
+    sampler = AddressSampler(geometry, period=FixedPeriod(13))
+    result = sampler.run(trace_factory())
+    analysis = RcdAnalysis.from_addresses(
+        (sample.address for sample in result.samples), geometry
+    )
+    cf = contribution_factor(analysis)
+    ccprof_conflict = cf > 0.25
+
+    # DProf: spatial per-set histogram over the same samples.
+    dprof = DprofDetector(geometry).analyze(result.samples)
+
+    # MST: single-entry evicted-tag match.
+    mst = MissClassificationTable(geometry, entries=1)
+    mst.run_trace(trace_factory())
+    mst_conflict = mst.counts.conflict_fraction > 0.3
+
+    return {
+        "pattern": name,
+        "truth": truth_conflict,
+        "ccprof": ccprof_conflict,
+        "ccprof_cf": cf,
+        "dprof": dprof.has_conflict,
+        "dprof_imbalance": dprof.imbalance,
+        "mst": mst_conflict,
+        "mst_fraction": mst.counts.conflict_fraction,
+    }
+
+
+def _run():
+    geometry = CacheGeometry()
+    return [
+        _evaluate("static-conflict", lambda: _static_conflict(geometry), geometry),
+        _evaluate("moving-conflict", lambda: _moving_conflict(geometry), geometry),
+        _evaluate("balanced", lambda: _balanced(geometry), geometry),
+    ]
+
+
+def test_baseline_shootout(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Baseline shoot-out - conflict verdicts per detector",
+        headers=["pattern", "ground truth", "CCProf (cf)", "DProf (imb)", "MST (frac)"],
+    )
+    by_pattern = {}
+    for row in rows:
+        by_pattern[row["pattern"]] = row
+        table.add_row(
+            row["pattern"],
+            "conflict" if row["truth"] else "clean",
+            f"{'conflict' if row['ccprof'] else 'clean'} ({row['ccprof_cf']:.2f})",
+            f"{'conflict' if row['dprof'] else 'clean'} ({row['dprof_imbalance']:.1f})",
+            f"{'conflict' if row['mst'] else 'clean'} ({row['mst_fraction']:.2f})",
+        )
+    emit(result_dir, "baseline_shootout.txt", table.render())
+
+    static, moving, balanced = (
+        by_pattern["static-conflict"],
+        by_pattern["moving-conflict"],
+        by_pattern["balanced"],
+    )
+    # Everyone gets the easy cases right.
+    assert static["truth"] and static["ccprof"] and static["dprof"] and static["mst"]
+    assert not balanced["ccprof"] and not balanced["dprof"] and not balanced["mst"]
+    # The moving conflict is real (pure conflict misses by three-C)...
+    assert moving["truth"]
+    # ...CCProf catches it; DProf's whole-run spatial histogram balances out
+    # (the paper's §7.1 critique) and MST's single-entry register is
+    # overwritten before re-reference ("a subset of conflict misses").
+    assert moving["ccprof"]
+    assert not moving["dprof"]
+    assert not moving["mst"]

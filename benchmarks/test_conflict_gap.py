@@ -1,0 +1,84 @@
+"""The conflict gap — why reuse distance is not enough (paper §1).
+
+The paper's framing: capacity misses are modelled by reuse distance;
+conflict misses are the misses that model *cannot* explain.  This bench
+measures both quantities for each case-study kernel: the set-associative
+miss ratio (simulated) minus the fully-associative prediction from the
+reuse-distance histogram is the conflict mass CCProf exists to find — and
+it collapses in the optimized variants.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.reuse import conflict_gap
+from repro.reporting.tables import Table, format_percent
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.kripke import KripkeWorkload
+from repro.workloads.symmetrization import SymmetrizationWorkload
+from repro.workloads.tinydnn import TinyDnnFcWorkload
+
+from benchmarks.conftest import emit
+
+SUBJECTS = [
+    ("symmetrization", lambda: SymmetrizationWorkload.original(n=128, sweeps=2),
+     lambda: SymmetrizationWorkload.padded(n=128, sweeps=2)),
+    ("adi", lambda: AdiWorkload.original(n=128),
+     lambda: AdiWorkload.padded(n=128)),
+    ("tiny-dnn", lambda: TinyDnnFcWorkload.original(in_size=256, out_size=128),
+     lambda: TinyDnnFcWorkload.padded(in_size=256, out_size=128)),
+    ("kripke", lambda: KripkeWorkload.original(zones=64, sweeps=2),
+     lambda: KripkeWorkload.optimized(zones=64, sweeps=2)),
+]
+
+
+def _run():
+    geometry = CacheGeometry()
+    rows = []
+    for name, original_factory, optimized_factory in SUBJECTS:
+        def make_stream(factory):
+            return lambda: factory().trace()
+
+        original = conflict_gap(make_stream(original_factory), geometry)
+        optimized = conflict_gap(make_stream(optimized_factory), geometry)
+        rows.append((name, original, optimized))
+    return rows
+
+
+def test_conflict_gap_collapses_after_optimization(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Conflict gap - measured miss ratio minus capacity-model prediction",
+        headers=[
+            "kernel", "variant", "measured", "capacity model", "conflict gap",
+        ],
+    )
+    gaps = {}
+    for name, original, optimized in rows:
+        for variant, data in (("original", original), ("optimized", optimized)):
+            table.add_row(
+                name,
+                variant,
+                format_percent(data["measured_miss_ratio"]),
+                format_percent(data["capacity_model_miss_ratio"]),
+                format_percent(data["conflict_gap"]),
+            )
+        gaps[name] = (original["conflict_gap"], optimized["conflict_gap"])
+    emit(result_dir, "conflict_gap.txt", table.render())
+
+    for name, (before, after) in gaps.items():
+        if name == "kripke":
+            # Kripke is the instructive exception: its column-order walk has
+            # whole-array reuse distances, so the *fully-associative* model
+            # misses just as much — by strict three-C accounting this is a
+            # capacity/locality pathology, not an associativity one.  RCD
+            # still flags it (the paper treats set-concentrated capacity
+            # misses as conflicts, §3.3) and the loop reorder still fixes
+            # it, but it produces no 3C conflict gap.
+            assert abs(before) < 0.05
+            continue
+        # Every other original kernel has a real conflict gap; optimization
+        # closes (nearly) all of it.
+        assert before > 0.05, f"{name}: gap only {before:.3f}"
+        assert after < 0.5 * before, f"{name}: {before:.3f} -> {after:.3f}"

@@ -1,0 +1,93 @@
+"""Figures 4, 5, 6 — RCD locality signatures, RCD histograms, and conflict
+periods vs sampling periods.
+
+Paper: Figure 4 shows victim sets shifting over loop iterations; Figure 5
+defines RCD and its per-set histogram; Figure 6 defines the conflict period
+(CP) and argues CP must exceed the sampling period (SP) for detection.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.conflict_period import ConflictPeriodAnalysis
+from repro.core.rcd import RcdAnalysis, compute_rcds
+from repro.reporting.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def _shifting_victim_sequence(num_sets=64, phase_length=60, phases=40):
+    """Figure 4's pattern: the victim set moves every ``phase_length``
+    misses (I1-I3 conflict on S1, I4-I5 on S2/S3, ...)."""
+    sequence = []
+    for phase in range(phases):
+        victim = phase % num_sets
+        background = [(victim + 7 * k) % num_sets for k in range(1, 4)]
+        for i in range(phase_length // 4):
+            sequence.append(victim)
+            sequence.append(background[i % 3])
+            sequence.append(victim)
+            sequence.append(victim)
+    return sequence
+
+
+def _run():
+    geometry = CacheGeometry()
+    sequence = _shifting_victim_sequence(geometry.num_sets)
+    analysis = RcdAnalysis.from_set_sequence(sequence, geometry.num_sets)
+    balanced = list(range(geometry.num_sets)) * 40
+    balanced_analysis = RcdAnalysis.from_set_sequence(balanced, geometry.num_sets)
+    periods = ConflictPeriodAnalysis.from_observations(analysis.observations)
+    return analysis, balanced_analysis, periods
+
+
+def test_fig5_rcd_histogram_separates_patterns(benchmark, result_dir):
+    analysis, balanced_analysis, _ = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Figure 5 - RCD distribution: shifting victims vs balanced",
+        headers=["pattern", "observations", "mean RCD", "P(RCD<8)", "victim sets"],
+    )
+    for name, a in (("shifting-victims", analysis), ("balanced", balanced_analysis)):
+        table.add_row(
+            name,
+            a.observation_count,
+            f"{a.mean_rcd():.1f}",
+            f"{a.cdf().probability_at(7):.2f}",
+            len(a.victim_sets(threshold=8)),
+        )
+    emit(result_dir, "fig5_rcd_distribution.txt", table.render())
+
+    # Observation 2: balanced -> RCD = N-1 everywhere; conflicts -> short.
+    assert balanced_analysis.mean_rcd() == 63.0
+    # The phase transitions contribute a few long RCDs, so the mean sits
+    # above the mode but must stay well under the balanced N-1.
+    assert analysis.mean_rcd() < 32
+    assert analysis.cdf().probability_at(7) > 0.5
+    assert balanced_analysis.cdf().probability_at(7) == 0.0
+
+
+def test_fig6_conflict_period_vs_sampling_period(benchmark, result_dir):
+    """Figure 6's detectability condition: CP > SP."""
+
+    def run():
+        _, _, periods = _run()
+        sampling_periods = [5, 20, 60, 240, 1212]
+        return periods, [
+            (sp, periods.detectable_fraction(sp)) for sp in sampling_periods
+        ]
+
+    periods, fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        title="Figure 6 - detectable conflict-period fraction vs sampling period",
+        headers=["sampling period", "runs with CP > SP"],
+    )
+    for sp, fraction in fractions:
+        table.add_row(sp, f"{fraction:.2f}")
+    summary = f"mean CP span: {periods.mean_span_in_misses():.1f} misses"
+    emit(result_dir, "fig6_conflict_period.txt", table.render() + "\n" + summary)
+
+    # Shape: detectability is monotone non-increasing in the period.
+    values = [fraction for _, fraction in fractions]
+    assert values == sorted(values, reverse=True)
+    assert values[0] > values[-1]

@@ -1,0 +1,110 @@
+"""Figure 9 — RCD CDFs of the six case studies, before and after optimization.
+
+Paper §6: every original implementation shows high L1-miss contribution
+under short RCD; after padding (or, for Kripke, loop reordering) short RCDs
+account for a small share — CCProf re-classifies the optimized code as
+conflict-free.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.attribution import attribute_code
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.program.symbols import Symbolizer
+from repro.reporting.files import write_cdf_series
+from repro.reporting.tables import Table
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.fft import Fft2dWorkload
+from repro.workloads.himeno import HimenoWorkload
+from repro.workloads.kripke import KripkeWorkload
+from repro.workloads.nw import NeedlemanWunschWorkload
+from repro.workloads.tinydnn import TinyDnnFcWorkload
+
+from benchmarks.conftest import emit
+
+SAMPLE_PERIOD = 13
+
+#: (paper name, original factory, optimized factory) — §6's six studies.
+CASE_STUDIES = [
+    ("NW", lambda: NeedlemanWunschWorkload.original(n=256),
+     lambda: NeedlemanWunschWorkload.padded(n=256)),
+    ("MKL FFT", lambda: Fft2dWorkload.original(n=128),
+     lambda: Fft2dWorkload.padded(n=128)),
+    ("ADI", lambda: AdiWorkload.original(n=256),
+     lambda: AdiWorkload.padded(n=256)),
+    ("Tiny_DNN", lambda: TinyDnnFcWorkload.original(),
+     lambda: TinyDnnFcWorkload.padded()),
+    ("Kripke", lambda: KripkeWorkload.original(),
+     lambda: KripkeWorkload.optimized()),
+    ("HimenoBMT", lambda: HimenoWorkload.original(),
+     lambda: HimenoWorkload.padded()),
+]
+
+
+def _hot_loop_short_share(workload, geometry):
+    """(hot loop name, P(RCD<8) of its samples, CDF series)."""
+    sampler = AddressSampler(geometry, period=FixedPeriod(SAMPLE_PERIOD))
+    result = sampler.run(workload.trace())
+    code = attribute_code(result.samples, Symbolizer(workload.image))
+    for group in code.loops:
+        if group.count < 30:
+            continue
+        analysis = RcdAnalysis.from_addresses(
+            (s.address for s in group.samples), geometry
+        )
+        if analysis.observation_count:
+            cdf = analysis.cdf()
+            return group.loop_name, cdf.probability_at(7), cdf.series()
+    return "(none)", 0.0, []
+
+
+def _run():
+    geometry = CacheGeometry()
+    rows = []
+    for name, original_factory, optimized_factory in CASE_STUDIES:
+        original = _hot_loop_short_share(original_factory(), geometry)
+        optimized = _hot_loop_short_share(optimized_factory(), geometry)
+        rows.append((name, original, optimized))
+    return rows
+
+
+def test_fig9_optimization_removes_short_rcds(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Figure 9 - P(RCD<8) of the hot loop, original vs optimized",
+        headers=["application", "hot loop", "original", "optimized"],
+    )
+    shares = {}
+    for name, original, optimized in rows:
+        loop_name, before, before_series = original
+        _, after, after_series = optimized
+        shares[name] = (before, after)
+        table.add_row(name, loop_name, f"{before:.2f}", f"{after:.2f}")
+        stem = name.lower().replace(" ", "_")
+        if before_series:
+            write_cdf_series(
+                result_dir / f"fig9_{stem}_original.txt", before_series, label=name
+            )
+        if after_series:
+            write_cdf_series(
+                result_dir / f"fig9_{stem}_optimized.txt", after_series, label=name
+            )
+    emit(
+        result_dir,
+        "fig9_before_after.txt",
+        table.render()
+        + "\npaper: all originals high under short RCD; optimized variants low "
+        "(e.g. NW -90%, Tiny-DNN -73%, Kripke 71.9% -> 10%)",
+    )
+
+    # Shape: every case study's short-RCD share drops after optimization.
+    for name, (before, after) in shares.items():
+        assert after < before, f"{name}: {before:.2f} -> {after:.2f} did not improve"
+    # The flagship cases drop by a large factor.
+    for name in ("ADI", "Kripke", "MKL FFT"):
+        before, after = shares[name]
+        assert before > 0.5 and after < 0.5 * before, f"{name}: {before} -> {after}"

@@ -1,0 +1,92 @@
+"""PolyBench/C suite sweep (paper §5: "applications from Rodinia and
+PolyBench/C benchmark suite").
+
+Companion to the Figure 7 Rodinia sweep: short-RCD contribution per
+PolyBench kernel, original vs padded.  The linear-algebra kernels with
+transposed-operand walks (gemm, 2mm, trmm) and ADI flag as conflicting and
+are cured by padding; the row-order stencils (jacobi-2d, fdtd-2d) are clean
+in both variants.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.reporting.tables import Table
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.polybench import (
+    Fdtd2dWorkload,
+    GemmWorkload,
+    Jacobi2dWorkload,
+    TrmmWorkload,
+    TwoMmWorkload,
+)
+
+from benchmarks.conftest import emit
+
+#: Accesses sampled per kernel variant (steady state shows well before the
+#: full matmul traces end).
+WINDOW = 400_000
+
+KERNELS = [
+    ("gemm", lambda: GemmWorkload.original(n=128), lambda: GemmWorkload.padded(n=128), True),
+    ("2mm", lambda: TwoMmWorkload.original(n=64), lambda: TwoMmWorkload.padded(n=64), True),
+    ("trmm", lambda: TrmmWorkload.original(n=128), lambda: TrmmWorkload.padded(n=128), True),
+    ("adi", lambda: AdiWorkload.original(n=256), lambda: AdiWorkload.padded(n=256), True),
+    ("jacobi-2d", lambda: Jacobi2dWorkload.original(n=256), lambda: Jacobi2dWorkload.padded(n=256), False),
+    ("fdtd-2d", lambda: Fdtd2dWorkload.original(n=256), lambda: Fdtd2dWorkload.padded(n=256), False),
+]
+
+
+def _sampled_cf(factory, geometry):
+    sampler = AddressSampler(geometry, period=FixedPeriod(17))
+    result = sampler.run(itertools.islice(factory().trace(), WINDOW))
+    analysis = RcdAnalysis.from_addresses(
+        (sample.address for sample in result.samples), geometry
+    )
+    return contribution_factor(analysis)
+
+
+def _run():
+    geometry = CacheGeometry()
+    rows = []
+    for name, original_factory, padded_factory, expect_conflict in KERNELS:
+        rows.append(
+            (
+                name,
+                _sampled_cf(original_factory, geometry),
+                _sampled_cf(padded_factory, geometry),
+                expect_conflict,
+            )
+        )
+    return rows
+
+
+def test_polybench_suite_sweep(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="PolyBench/C suite - contribution factor, original vs padded",
+        headers=["kernel", "cf original", "cf padded", "expected"],
+    )
+    for name, original_cf, padded_cf, expect in rows:
+        table.add_row(
+            name,
+            f"{original_cf:.3f}",
+            f"{padded_cf:.3f}",
+            "conflict" if expect else "clean",
+        )
+    emit(result_dir, "polybench_suite.txt", table.render())
+
+    for name, original_cf, padded_cf, expect_conflict in rows:
+        if expect_conflict:
+            assert original_cf > 0.3, f"{name}: original cf {original_cf:.3f}"
+            assert padded_cf < 0.5 * original_cf, f"{name}: pad did not cure"
+        else:
+            assert original_cf < 0.3, f"{name}: stencil flagged ({original_cf:.3f})"
+            assert padded_cf < 0.3, f"{name}: padded stencil flagged"

@@ -1,0 +1,77 @@
+"""Table 1 — the (RCD, contribution) implication matrix.
+
+Paper: low RCD + low contribution = insignificant impact; low RCD + high
+contribution = strong indication of imbalanced cache utilization; high RCD
+= no indication.  The matrix is per cache set: a set can exhibit short
+re-conflict distances yet matter little because it carries few of the
+context's misses.  This bench regenerates the matrix from three archetypal
+measured patterns, evaluating the worst (shortest-RCD) set of each.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.classifier import Implication, implication_for
+from repro.core.contribution import contribution_factors_by_set
+from repro.core.rcd import RcdAnalysis
+from repro.reporting.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def _worst_set_metrics(sequence, geometry):
+    """Mean RCD and Equation-1 contribution of the shortest-RCD set."""
+    analysis = RcdAnalysis.from_set_sequence(sequence, geometry.num_sets)
+    histograms = analysis.per_set_histograms()
+    worst_set = min(histograms, key=lambda s: histograms[s].mean())
+    mean_rcd = histograms[worst_set].mean()
+    cf_by_set = contribution_factors_by_set(analysis)
+    return worst_set, mean_rcd, cf_by_set.get(worst_set, 0.0)
+
+
+def _run():
+    geometry = CacheGeometry()
+    n = geometry.num_sets
+    balanced_cycle = list(range(n))
+    patterns = {
+        # Hammering one set: its RCD is 0 and it owns all the misses.
+        "victim-hammer": [5] * 2000,
+        # Set 5 occasionally doubles up inside balanced traffic: its RCD is
+        # short but it contributes a sliver of the context's misses.
+        "rare-repeat": sum(([5, 5] + balanced_cycle for _ in range(30)), []),
+        # Balanced rotation: every set's RCD equals N-1.
+        "balanced": balanced_cycle * 30,
+    }
+    rows = []
+    for name, sequence in patterns.items():
+        worst_set, mean_rcd, cf = _worst_set_metrics(sequence, geometry)
+        rcd_is_low = mean_rcd < geometry.num_sets / 2
+        contribution_is_high = cf > 0.25
+        rows.append(
+            (
+                name,
+                worst_set,
+                mean_rcd,
+                cf,
+                implication_for(rcd_is_low, contribution_is_high),
+            )
+        )
+    return rows
+
+
+def test_table1_implication_matrix(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 1 - per-set RCD x contribution implications",
+        headers=["pattern", "worst set", "mean RCD", "cf", "implication"],
+    )
+    verdicts = {}
+    for name, worst_set, mean_rcd, cf, implication in rows:
+        verdicts[name] = implication
+        table.add_row(name, worst_set, f"{mean_rcd:.1f}", f"{cf:.4f}", implication.name)
+    emit(result_dir, "table1_decision.txt", table.render())
+
+    assert verdicts["victim-hammer"] is Implication.STRONG_CONFLICT
+    assert verdicts["rare-repeat"] is Implication.INSIGNIFICANT
+    assert verdicts["balanced"] is Implication.NO_CONFLICT

@@ -1,0 +1,92 @@
+"""Table 4 — per-loop L1 miss contribution and cache-set usage in
+Needleman-Wunsch.
+
+Paper: 11 loops of needle.cpp; the tile-copy loops (:128, :189) each
+contribute ~29.5% of L1 misses across all 64 sets; loops :138/:199 use only
+a *subset* of sets (45, 41) with ~10% contribution each; the compute and
+traceback loops are trivial.  The copy loops' short RCDs (88% below 8) mark
+them as the conflict sites.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.attribution import attribute_code
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.program.symbols import Symbolizer
+from repro.reporting.tables import Table
+from repro.workloads.nw import NeedlemanWunschWorkload
+
+from benchmarks.conftest import emit
+
+TABLE4_LINES = (289, 189, 128, 138, 199, 320, 147, 208, 220, 159, 273)
+
+
+def _run():
+    geometry = CacheGeometry()
+    workload = NeedlemanWunschWorkload.original(n=256)
+    sampler = AddressSampler(geometry, period=FixedPeriod(7))
+    result = sampler.run(workload.trace())
+    code = attribute_code(result.samples, Symbolizer(workload.image))
+    rows = {}
+    for group in code.loops:
+        sets = {geometry.set_index(sample.address) for sample in group.samples}
+        analysis = RcdAnalysis.from_addresses(
+            (sample.address for sample in group.samples), geometry
+        )
+        short_share = (
+            analysis.cdf().probability_at(7) if analysis.observation_count else 0.0
+        )
+        rows[group.loop_name] = {
+            "contribution": group.share,
+            "sets": len(sets),
+            "short_rcd": short_share,
+            "samples": group.count,
+        }
+    return rows
+
+
+def test_table4_nw_loop_breakdown(benchmark, result_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        title="Table 4 - NW per-loop L1 miss contribution and set usage",
+        headers=["loop", "contribution", "# sets", "P(RCD<8)", "samples"],
+    )
+    ordered = sorted(rows.items(), key=lambda kv: kv[1]["contribution"], reverse=True)
+    for loop_name, data in ordered:
+        table.add_row(
+            loop_name,
+            f"{data['contribution']:.2%}",
+            data["sets"],
+            f"{data['short_rcd']:.2f}",
+            data["samples"],
+        )
+    notes = (
+        "paper: needle.cpp:128/:189 ~29.5% each over 64 sets; :138/:199 ~10% "
+        "over 45/41 sets; compute/traceback loops <1%"
+    )
+    emit(result_dir, "table4_nw_loops.txt", table.render() + "\n" + notes)
+
+    # Shape assertions against the paper's ordering.  One documented
+    # divergence (see EXPERIMENTS.md): the paper's init loop :289 carries
+    # 19.2% of L1 load misses on the full 2048-sequence input; our scaled
+    # synthetic init stays cache-resident, so its share is small here.
+    def contribution(line):
+        return rows.get(f"needle.cpp:{line}", {"contribution": 0.0})["contribution"]
+
+    # The four tile copy loops dominate the load-miss profile...
+    tile_copies = sum(contribution(line) for line in (128, 138, 189, 199))
+    assert tile_copies > 0.8
+    # ...while the compute loops' locals stay cached and the traceback is
+    # trivial, exactly as in Table 4's tail.
+    assert contribution(147) + contribution(208) < 0.05
+    assert contribution(320) < 0.05
+    # The copy loops exhibit the conflict signature (short-RCD mass).
+    assert rows["needle.cpp:189"]["short_rcd"] > 0.5
+    assert rows["needle.cpp:128"]["short_rcd"] > 0.3
+    # Whatever the init loop contributes, it shows no conflict signature.
+    init = rows.get("needle.cpp:289")
+    assert init is None or init["short_rcd"] < 0.3

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Case study: Rodinia Needleman-Wunsch (paper §6.1, Tables 2/3/4).
+
+Reproduces the paper's flagship analysis end to end:
+
+1. code-centric attribution — the Table 4 per-loop breakdown (contribution,
+   cache sets used, short-RCD share);
+2. data-centric attribution — which matrices cause the inter-array conflict
+   (the paper finds ``reference`` and ``input_itemsets``);
+3. the fix — the paper's 32/288-byte row pads — re-profiled to show the
+   Figure 9 CDF shift;
+4. an estimated speedup on the two evaluation machines.
+
+Run:
+    python examples/nw_case_study.py
+"""
+
+from repro import CacheGeometry, CCProf, FixedPeriod
+from repro.core.attribution import attribute_code, attribute_data
+from repro.core.rcd import RcdAnalysis
+from repro.perfmodel import BROADWELL, SKYLAKE, speedup
+from repro.program.symbols import Symbolizer
+from repro.workloads import NeedlemanWunschWorkload
+
+N = 256
+GEOMETRY = CacheGeometry()
+
+
+def loop_table(workload) -> None:
+    """Print the Table-4 style per-loop breakdown."""
+    profiler = CCProf(geometry=GEOMETRY, period=FixedPeriod(11), seed=1)
+    profile = profiler.profile(workload)
+    symbolizer = Symbolizer(workload.image)
+    code = attribute_code(profile.sampling.samples, symbolizer)
+
+    print(f"{'loop':<18} {'contribution':>12} {'# sets':>7} {'P(RCD<8)':>9}")
+    for group in code.loops:
+        sets = {GEOMETRY.set_index(s.address) for s in group.samples}
+        analysis = RcdAnalysis.from_addresses(
+            (s.address for s in group.samples), GEOMETRY
+        )
+        short = (
+            analysis.cdf().probability_at(7) if analysis.observation_count else 0.0
+        )
+        print(
+            f"{group.loop_name:<18} {group.share:>12.2%} {len(sets):>7} {short:>9.2f}"
+        )
+
+    # Data-centric view of the hottest loop (the paper's Listing 1 copy).
+    hot = code.loops[0]
+    data = attribute_data(hot.samples, workload.allocator)
+    print(f"\ndata structures behind {hot.loop_name}:")
+    for entry in data.top(3):
+        print(f"  {entry.label:<16} {entry.share:>7.1%} of the loop's misses")
+
+
+def main() -> None:
+    original = NeedlemanWunschWorkload.original(n=N)
+    print(f"== original Needleman-Wunsch (n={N}) ==")
+    loop_table(original)
+
+    padded = NeedlemanWunschWorkload.padded(n=N)
+    print("\n== after the paper's 32/288-byte row pads ==")
+    loop_table(padded)
+
+    print("\n== estimated speedup (analytical model over hierarchy sim) ==")
+    for machine in (BROADWELL, SKYLAKE):
+        before = NeedlemanWunschWorkload.original(n=N).hierarchy_result(
+            machine.hierarchy()
+        )
+        after = NeedlemanWunschWorkload.padded(n=N).hierarchy_result(
+            machine.hierarchy()
+        )
+        print(f"  {machine.name}: {speedup(before, after, machine):.2f}x")
+    print("  (paper, n=2048, real hardware: 3.03x Broadwell / 1.55x Skylake)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: detect a conflict, get a fix, verify it.
+
+Profiles the paper's motivating example — matrix symmetrization on a
+128x128 matrix (Figure 2) — prints CCProf's conflict report, asks the
+padding advisor for a fix, applies it, and confirms the conflict is gone:
+the complete workflow of the paper in ~40 lines.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CCProf, UniformJitterPeriod
+from repro.optimize import advise_padding
+from repro.workloads import SymmetrizationWorkload
+
+
+def main() -> None:
+    # 1. Profile the original kernel against the paper's L1 (32 KiB /
+    #    8-way / 64 sets).  The kernel is scaled down from a production
+    #    run, so we sample at the paper's high-accuracy mean period of 171
+    #    (Figure 8's F1 = 1 point) rather than the low-overhead 1212
+    #    recommended for full-length executions.
+    profiler = CCProf(period=UniformJitterPeriod(171), seed=42)
+    original = SymmetrizationWorkload.original(n=128, sweeps=4)
+    report = profiler.run(original)
+    print(report.render())
+
+    if not report.has_conflicts:
+        print("\nno conflicts found - nothing to do")
+        return
+
+    # 2. The report names the data structure; ask the advisor how to pad it.
+    victim = report.conflicting_loops()[0].data_structures[0]
+    print(f"\nconflicting data structure: {victim.label}")
+    advice = advise_padding(original.a, profiler.geometry, alignment=64)
+    print(f"advice: +{advice.pad_bytes} bytes/row  ({advice.reason})")
+
+    # 3. Apply the fix and re-profile.
+    fixed = SymmetrizationWorkload(n=128, pad_bytes=advice.pad_bytes, sweeps=4)
+    after = profiler.run(fixed)
+    print("\nafter padding:")
+    print(after.render())
+
+    # 4. Quantify the win.
+    before_misses = original.l1_stats().misses
+    after_misses = fixed.l1_stats().misses
+    reduction = (before_misses - after_misses) / before_misses
+    print(
+        f"\nL1 misses: {before_misses} -> {after_misses} "
+        f"({reduction:.1%} reduction); conflicts flagged after fix: "
+        f"{after.has_conflicts}"
+    )
+
+
+if __name__ == "__main__":
+    main()

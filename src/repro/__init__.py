@@ -1,0 +1,64 @@
+"""repro — a full reproduction of CCProf (CGO 2018).
+
+*Lightweight Detection of Cache Conflicts*, Roy, Song, Krishnamoorthy, Liu.
+
+Quick start::
+
+    from repro import CCProf
+    from repro.workloads import AdiWorkload
+
+    report = CCProf().run(AdiWorkload.original())
+    print(report.render())
+
+Layering (see DESIGN.md for the full inventory):
+
+- ``repro.trace`` / ``repro.cache`` / ``repro.program`` / ``repro.pmu`` /
+  ``repro.stats`` — the substrates: memory traces, a Dinero-IV-class cache
+  simulator, CFG + Havlak loop analysis, PEBS-like address sampling, and
+  from-scratch logistic regression.
+- ``repro.core`` — the paper's contribution: the RCD metric, conflict
+  periods, contribution factors, the conflict classifier, attribution, and
+  the end-to-end profiler.
+- ``repro.workloads`` / ``repro.perfmodel`` / ``repro.optimize`` — the
+  evaluation apparatus: every benchmark of the paper as a symbolic trace
+  generator, the machine model behind the speedup tables, and automated
+  padding / loop-order advice.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.classifier import ConflictClassifier, Implication
+from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
+from repro.core.profiler import AnalysisSettings, CCProf, OfflineAnalyzer
+from repro.core.rcd import RcdAnalysis, compute_rcds
+from repro.core.report import ConflictReport, LoopReport
+from repro.errors import ReproError
+from repro.pmu.periods import (
+    FixedPeriod,
+    GeometricPeriod,
+    UniformJitterPeriod,
+)
+from repro.pmu.sampler import AddressSampler, SamplingResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CacheGeometry",
+    "CCProf",
+    "OfflineAnalyzer",
+    "AnalysisSettings",
+    "ConflictClassifier",
+    "Implication",
+    "ConflictReport",
+    "LoopReport",
+    "RcdAnalysis",
+    "compute_rcds",
+    "contribution_factor",
+    "DEFAULT_RCD_THRESHOLD",
+    "AddressSampler",
+    "SamplingResult",
+    "FixedPeriod",
+    "UniformJitterPeriod",
+    "GeometricPeriod",
+    "ReproError",
+]

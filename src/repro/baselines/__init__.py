@@ -1,0 +1,35 @@
+"""Comparison baselines from the paper's related work (§7.1).
+
+The paper positions CCProf against three families of conflict detectors;
+each is implemented here so the comparison can actually be run:
+
+- :mod:`repro.baselines.dprof` — a DProf-style detector [Pesterev et al.]:
+  PMU sampling plus *spatial* per-set miss-count imbalance heuristics.  It
+  assumes a uniform workload, so temporally moving conflicts (whose per-set
+  totals balance out over the run) escape it — the limitation the paper
+  calls out and RCD fixes.
+- :mod:`repro.baselines.mst` — the hardware miss-classification table
+  [Collins & Tullsen]: remember the last evicted tag per set; a miss whose
+  tag matches it is classified conflict.  Needs custom hardware in reality;
+  runs on the simulator here.
+- :mod:`repro.baselines.analytical` — a cache-miss-equations-style static
+  model for affine column walks: predicts conflicts from (pitch, element
+  size, geometry) alone, no execution needed — precise on the patterns it
+  covers and silent on everything else.
+"""
+
+from repro.baselines.dprof import DprofDetector, DprofVerdict
+from repro.baselines.mst import MissClassificationTable, MstCounts
+from repro.baselines.analytical import (
+    AnalyticalPrediction,
+    predict_column_walk_conflict,
+)
+
+__all__ = [
+    "DprofDetector",
+    "DprofVerdict",
+    "MissClassificationTable",
+    "MstCounts",
+    "AnalyticalPrediction",
+    "predict_column_walk_conflict",
+]

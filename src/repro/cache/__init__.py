@@ -1,0 +1,76 @@
+"""Trace-driven cache simulator substrate.
+
+The paper validates CCProf against the Dinero IV uniprocessor cache
+simulator fed by Pin memory traces.  This package is our functional
+equivalent:
+
+- :mod:`repro.cache.geometry` — cache geometry and the index/tag/offset bit
+  extraction from Figure 1 of the paper.
+- :mod:`repro.cache.replacement` — LRU, FIFO, random, and tree-PLRU
+  replacement policies.
+- :mod:`repro.cache.set_assoc` — the single-level set-associative cache.
+- :mod:`repro.cache.hierarchy` — multi-level (L1/L2/LLC) simulation used for
+  the Table 3 miss-reduction measurements.
+- :mod:`repro.cache.classify` — classical three-C miss classification
+  (cold/capacity/conflict) via a fully-associative shadow cache.
+- :mod:`repro.cache.stats` — per-set, per-IP, and per-level counters.
+- :mod:`repro.cache.dinero` — a Dinero-IV-flavoured front end (config
+  strings, ``.din`` trace runner).
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult, LevelStats
+from repro.cache.classify import MissClass, ThreeCClassifier
+from repro.cache.stats import CacheStats
+from repro.cache.dinero import DineroConfig, simulate_dinero_trace
+from repro.cache.reuse import ReuseProfile, conflict_gap, reuse_distances
+from repro.cache.translation import (
+    FramePolicy,
+    PageMapper,
+    PhysicallyIndexedHierarchy,
+)
+from repro.cache.hashing import XorFoldedGeometry, dissolves_stride
+from repro.cache.prefetch import NextLinePrefetcher, PrefetchStats, StridePrefetcher
+from repro.cache.victim import VictimCachedL1, VictimCacheStats
+
+__all__ = [
+    "ReuseProfile",
+    "reuse_distances",
+    "conflict_gap",
+    "FramePolicy",
+    "PageMapper",
+    "PhysicallyIndexedHierarchy",
+    "VictimCachedL1",
+    "VictimCacheStats",
+    "XorFoldedGeometry",
+    "dissolves_stride",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "PrefetchStats",
+    "CacheGeometry",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "SetAssociativeCache",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "LevelStats",
+    "MissClass",
+    "ThreeCClassifier",
+    "CacheStats",
+    "DineroConfig",
+    "simulate_dinero_trace",
+]

@@ -1,0 +1,135 @@
+"""Cache geometry and address-bit extraction.
+
+Figure 1 of the paper: a reference address splits into tag, index, and
+offset bits.  The index bits select the cache set, the tag identifies the
+line within the set, and the offset picks the byte within the line.
+
+The default geometry everywhere in this reproduction is the paper's L1:
+32 KiB, 8-way set-associative, 64 B lines → 64 sets, because "throughout the
+evaluation section, we measure the RCDs on the L1 cache, which is 8-way
+set-associative with total 64 cache sets" (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache level.
+
+    Attributes:
+        line_size: Cache line (block) size in bytes; power of two.
+        num_sets: Number of sets; power of two.
+        ways: Associativity (lines per set).
+    """
+
+    line_size: int = 64
+    num_sets: int = 64
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_size):
+            raise GeometryError(f"line size must be a power of two: {self.line_size}")
+        if not _is_power_of_two(self.num_sets):
+            raise GeometryError(f"set count must be a power of two: {self.num_sets}")
+        if self.ways <= 0:
+            raise GeometryError(f"associativity must be positive: {self.ways}")
+
+    @classmethod
+    def from_capacity(cls, capacity: int, line_size: int = 64, ways: int = 8) -> "CacheGeometry":
+        """Build a geometry from total capacity in bytes.
+
+        Example:
+            >>> CacheGeometry.from_capacity(32 * 1024)
+            CacheGeometry(line_size=64, num_sets=64, ways=8)
+        """
+        if not _is_power_of_two(capacity):
+            raise GeometryError(f"capacity must be a power of two: {capacity}")
+        denominator = line_size * ways
+        if capacity % denominator:
+            raise GeometryError(
+                f"capacity {capacity} not divisible by line_size*ways = {denominator}"
+            )
+        return cls(line_size=line_size, num_sets=capacity // denominator, ways=ways)
+
+    @property
+    def capacity(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.line_size * self.num_sets * self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of low bits selecting the byte within a line."""
+        return self.line_size.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Number of bits selecting the cache set."""
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def mapping_period(self) -> int:
+        """Bytes after which addresses map to the same set again.
+
+        Two addresses whose distance is a multiple of this period index the
+        same set; this is the quantity padding perturbs.
+        """
+        return self.line_size * self.num_sets
+
+    def line_address(self, address: int) -> int:
+        """Line-aligned base address of ``address``."""
+        return address & ~(self.line_size - 1)
+
+    def line_number(self, address: int) -> int:
+        """Global line number of ``address`` (address / line size)."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Index bits of ``address``: which set it maps to (Figure 1)."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag bits of ``address``: line identity within its set."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def offset(self, address: int) -> int:
+        """Offset bits of ``address``: byte position within the line."""
+        return address & (self.line_size - 1)
+
+    def lines_spanned(self, address: int, size: int) -> int:
+        """Number of distinct cache lines an access of ``size`` bytes touches."""
+        if size <= 0:
+            raise GeometryError(f"size must be positive: {size}")
+        first = self.line_number(address)
+        last = self.line_number(address + size - 1)
+        return last - first + 1
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        kib = self.capacity / 1024
+        return (
+            f"{kib:g} KiB, {self.ways}-way, {self.num_sets} sets, "
+            f"{self.line_size} B lines"
+        )
+
+
+#: The paper's evaluation L1: 32 KiB, 8-way, 64 sets, 64 B lines.
+PAPER_L1 = CacheGeometry(line_size=64, num_sets=64, ways=8)
+
+#: The paper's per-core L2 on both machines: 256 KiB, 8-way.
+PAPER_L2 = CacheGeometry.from_capacity(256 * 1024, line_size=64, ways=8)
+
+#: Broadwell E7-4830v4 shared LLC: 35 MiB (modelled as 16-way).  35 MiB is
+#: not a power of two; we round down to 32 MiB to keep indexable geometry.
+BROADWELL_LLC = CacheGeometry.from_capacity(32 * 1024 * 1024, line_size=64, ways=16)
+
+#: Skylake E3-1240v5 shared LLC: 8 MiB, 16-way.
+SKYLAKE_LLC = CacheGeometry.from_capacity(8 * 1024 * 1024, line_size=64, ways=16)

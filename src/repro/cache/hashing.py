@@ -1,0 +1,82 @@
+"""Hashed set indexing.
+
+A hardware countermeasure to the conflicts CCProf detects: instead of
+taking the index bits directly (Figure 1), some caches *hash* higher
+address bits into the set index — Intel LLC slice selection is the famous
+example — so that strided walks whose stride is a multiple of the plain
+mapping period no longer collapse onto one set.
+
+:class:`XorFoldedGeometry` implements the simplest such scheme: XOR-fold
+one or more tag chunks into the index.  It subclasses
+:class:`~repro.cache.geometry.CacheGeometry`, so every simulator component
+(set-associative cache, hierarchy, sampler) works with it unchanged —
+which is exactly what the ablation uses to ask "would index hashing have
+saved these kernels?".
+
+Note the detection asymmetry this creates: CCProf computes set indices
+from sampled addresses using the *documented* plain geometry; if the
+hardware secretly hashes, the profiler's set attribution is wrong in
+detail but the RCD statistics still work, because hashing is a bijection
+per line and balanced traffic stays balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class XorFoldedGeometry(CacheGeometry):
+    """Geometry whose set index XORs in ``fold_levels`` tag chunks.
+
+    With ``fold_levels = k``, the effective index is::
+
+        index ^ tag[0:index_bits] ^ tag[index_bits:2*index_bits] ^ ...
+
+    (k chunks of the tag, lowest first).  ``fold_levels = 0`` degenerates
+    to the plain geometry.
+    """
+
+    fold_levels: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fold_levels < 0:
+            raise GeometryError(f"fold levels must be >= 0: {self.fold_levels}")
+
+    def set_index(self, address: int) -> int:
+        index = super().set_index(address)
+        tag = super().tag(address)
+        mask = self.num_sets - 1
+        for _ in range(self.fold_levels):
+            index ^= tag & mask
+            tag >>= self.index_bits
+        return index & mask
+
+    def tag(self, address: int) -> int:
+        # The tag must still uniquely identify the line within its set.
+        # Keeping the full plain tag is sufficient (and what hardware
+        # stores): two lines with equal plain tag and equal hashed index
+        # also have equal plain index, hence are the same line.
+        return super().tag(address)
+
+
+def dissolves_stride(stride: int, geometry: XorFoldedGeometry, probes: int = 64) -> bool:
+    """Whether hashing spreads a stride that plainly aliases.
+
+    Walks ``probes`` steps at ``stride`` and reports True when the hashed
+    indices cover more than one set while the plain indices cover one.
+    """
+    if stride <= 0:
+        raise GeometryError(f"stride must be positive: {stride}")
+    plain = CacheGeometry(
+        line_size=geometry.line_size,
+        num_sets=geometry.num_sets,
+        ways=geometry.ways,
+    )
+    plain_sets = {plain.set_index(i * stride) for i in range(probes)}
+    hashed_sets = {geometry.set_index(i * stride) for i in range(probes)}
+    return len(plain_sets) == 1 and len(hashed_sets) > 1

@@ -1,0 +1,181 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages the recency/victim state of a single cache set.  The
+cache stores tags per way; the policy answers "which way is the victim" and
+is told about touches (hits) and fills (miss insertions).
+
+The paper's L1 model (and Dinero IV's default) is LRU; FIFO, random, and
+tree-PLRU are provided for the replacement-policy ablation study — real
+Intel L1s approximate LRU with tree-PLRU, so showing the conflict signal
+survives the policy swap matters for external validity.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.errors import GeometryError
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state for a ``ways``-way cache set."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise GeometryError(f"associativity must be positive: {ways}")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Choose the way to evict (all ways are full when this is called)."""
+
+    @abstractmethod
+    def fill(self, way: int) -> None:
+        """Record that a new line was installed into ``way``."""
+
+    def reset(self) -> None:
+        """Restore the initial state (used when reusing policy objects)."""
+        self.__init__(self.ways)  # noqa: PLC2801 - simple re-init is clearest here
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Recency list: index 0 is most recent.  Small (<=16 ways) so list
+        # remove/insert beats fancier structures.
+        self._order: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self) -> int:
+        return self._order[-1]
+
+    def fill(self, way: int) -> None:
+        self.touch(way)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict in fill order; hits do not refresh."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        # FIFO ignores hits by definition.
+        pass
+
+    def victim(self) -> int:
+        return self._queue[0]
+
+    def fill(self, way: int) -> None:
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (deterministic via seeded RNG)."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+    def fill(self, way: int) -> None:
+        pass
+
+    def reset(self) -> None:
+        self._rng = random.Random(0)
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the policy real Intel L1 caches approximate.
+
+    A binary tree of ``ways - 1`` bits; each bit points away from the most
+    recently used half.  Requires a power-of-two associativity.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise GeometryError(f"tree-PLRU needs power-of-two ways: {ways}")
+        self._bits: List[int] = [0] * max(ways - 1, 1)
+
+    def touch(self, way: int) -> None:
+        # Walk root -> leaf; at each node record "went to the other side".
+        node = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            if way < half:
+                self._bits[node] = 1  # MRU went left; point victim right.
+                node = 2 * node + 1
+            else:
+                self._bits[node] = 0  # MRU went right; point victim left.
+                node = 2 * node + 2
+                way -= half
+            span = half
+
+    def victim(self) -> int:
+        node = 0
+        span = self.ways
+        way = 0
+        while span > 1:
+            half = span // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+            else:
+                node = 2 * node + 2
+                way += half
+            span = half
+        return way
+
+    def fill(self, way: int) -> None:
+        self.touch(way)
+
+
+_POLICY_FACTORIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "plru": TreePlruPolicy,
+}
+
+
+def make_policy(name: str, ways: int, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Args:
+        name: One of ``lru``, ``fifo``, ``random``, ``plru``.
+        ways: Set associativity.
+        seed: RNG seed for the random policy (ignored by the rest).
+    """
+    try:
+        factory = _POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_POLICY_FACTORIES))
+        raise GeometryError(f"unknown replacement policy {name!r} (known: {known})") from None
+    if factory is RandomPolicy:
+        return RandomPolicy(ways, seed=seed or 0)
+    return factory(ways)
+
+
+def policy_names() -> List[str]:
+    """Names accepted by :func:`make_policy`."""
+    return sorted(_POLICY_FACTORIES)

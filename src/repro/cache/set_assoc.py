@@ -1,0 +1,188 @@
+"""Single-level set-associative cache simulation.
+
+This is the workhorse of the reproduction: every exact-RCD measurement,
+three-C classification, and hierarchy simulation drives one or more of these
+caches over a memory trace.  The access path is written for throughput —
+LRU (the common case and Dinero IV's default) uses a specialized
+list-per-set fast path; other policies go through the generic
+:class:`~repro.cache.replacement.ReplacementPolicy` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Set
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.trace.record import MemoryAccess
+
+
+class AccessResult(NamedTuple):
+    """Outcome of one cache reference.
+
+    Attributes:
+        hit: Whether the line was resident.
+        set_index: Set the address maps to.
+        tag: Tag of the referenced line.
+        evicted_tag: Tag evicted to make room, or None (hit / cold fill into
+            an empty way).
+        cold: True when the referenced line had never been cached before
+            (a compulsory miss in three-C terms).
+    """
+
+    hit: bool
+    set_index: int
+    tag: int
+    evicted_tag: Optional[int]
+    cold: bool
+
+    @property
+    def miss(self) -> bool:
+        """Convenience inverse of :attr:`hit`."""
+        return not self.hit
+
+
+class SetAssociativeCache:
+    """A set-associative cache with pluggable replacement.
+
+    Args:
+        geometry: Cache geometry (sets, ways, line size).
+        policy: Replacement policy name (``lru``, ``fifo``, ``random``,
+            ``plru``).
+        seed: Seed for the random policy.
+
+    The cache is indexed by virtual address, matching the paper's
+    virtually-indexed L1 model (§3.1).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.policy_name = policy.lower()
+        self.stats = CacheStats(geometry=geometry)
+        self._seen_lines: Set[int] = set()
+        # LRU fast path: each set is a list of tags, most recent first.
+        self._lru_sets: Optional[List[List[int]]] = None
+        self._tags: Optional[List[List[Optional[int]]]] = None
+        self._policies: Optional[List[ReplacementPolicy]] = None
+        if self.policy_name == "lru":
+            self._lru_sets = [[] for _ in range(geometry.num_sets)]
+        else:
+            self._tags = [[None] * geometry.ways for _ in range(geometry.num_sets)]
+            self._policies = [
+                make_policy(self.policy_name, geometry.ways, seed=seed + index)
+                for index in range(geometry.num_sets)
+            ]
+
+    def reset(self) -> None:
+        """Flush contents and statistics."""
+        self.__init__(self.geometry, self.policy_name)
+
+    def access(self, address: int, ip: int = 0) -> AccessResult:
+        """Reference one address; update contents and statistics.
+
+        Accesses are modelled at line granularity; callers that care about
+        line-straddling references should split them (see
+        :meth:`access_record`).
+        """
+        geometry = self.geometry
+        set_index = geometry.set_index(address)
+        tag = geometry.tag(address)
+        line = geometry.line_number(address)
+
+        stats = self.stats
+        stats.accesses += 1
+        stats.set_accesses[set_index] += 1
+
+        if self._lru_sets is not None:
+            result = self._access_lru(set_index, tag, line)
+        else:
+            result = self._access_generic(set_index, tag, line)
+
+        if result.miss:
+            stats.misses += 1
+            stats.set_misses[set_index] += 1
+            if result.cold:
+                stats.cold_misses += 1
+            if result.evicted_tag is not None:
+                stats.evictions += 1
+            if ip:
+                stats.ip_misses[ip] += 1
+        else:
+            stats.hits += 1
+        return result
+
+    def _access_lru(self, set_index: int, tag: int, line: int) -> AccessResult:
+        ways = self.geometry.ways
+        lru_set = self._lru_sets[set_index]  # type: ignore[index]
+        if tag in lru_set:
+            if lru_set[0] != tag:
+                lru_set.remove(tag)
+                lru_set.insert(0, tag)
+            return AccessResult(True, set_index, tag, None, False)
+        cold = line not in self._seen_lines
+        if cold:
+            self._seen_lines.add(line)
+        evicted: Optional[int] = None
+        if len(lru_set) >= ways:
+            evicted = lru_set.pop()
+        lru_set.insert(0, tag)
+        return AccessResult(False, set_index, tag, evicted, cold)
+
+    def _access_generic(self, set_index: int, tag: int, line: int) -> AccessResult:
+        tags = self._tags[set_index]  # type: ignore[index]
+        policy = self._policies[set_index]  # type: ignore[index]
+        for way, resident in enumerate(tags):
+            if resident == tag:
+                policy.touch(way)
+                return AccessResult(True, set_index, tag, None, False)
+        cold = line not in self._seen_lines
+        if cold:
+            self._seen_lines.add(line)
+        evicted: Optional[int] = None
+        empty_way = next((way for way, resident in enumerate(tags) if resident is None), None)
+        if empty_way is not None:
+            way = empty_way
+        else:
+            way = policy.victim()
+            evicted = tags[way]
+        tags[way] = tag
+        policy.fill(way)
+        return AccessResult(False, set_index, tag, evicted, cold)
+
+    def access_record(self, access: MemoryAccess) -> List[AccessResult]:
+        """Reference a :class:`MemoryAccess`, splitting line-straddlers.
+
+        Returns one :class:`AccessResult` per distinct line touched.
+        """
+        geometry = self.geometry
+        spanned = geometry.lines_spanned(access.address, access.size)
+        if spanned == 1:
+            return [self.access(access.address, access.ip)]
+        base = geometry.line_address(access.address)
+        return [
+            self.access(base + index * geometry.line_size, access.ip)
+            for index in range(spanned)
+        ]
+
+    def run_trace(self, stream: Iterable[MemoryAccess]) -> CacheStats:
+        """Drive a full trace through the cache; return the stats object."""
+        for access in stream:
+            self.access_record(access)
+        return self.stats
+
+    def resident_tags(self, set_index: int) -> List[int]:
+        """Tags currently resident in ``set_index`` (order unspecified)."""
+        if self._lru_sets is not None:
+            return list(self._lru_sets[set_index])
+        return [tag for tag in self._tags[set_index] if tag is not None]  # type: ignore[index]
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is currently resident."""
+        set_index = self.geometry.set_index(address)
+        return self.geometry.tag(address) in self.resident_tags(set_index)

@@ -1,0 +1,106 @@
+"""Counters collected during cache simulation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cache.geometry import CacheGeometry
+
+
+@dataclass
+class CacheStats:
+    """Aggregate statistics for one cache level.
+
+    Attributes:
+        geometry: Geometry of the cache the stats describe.
+        accesses: Total references seen.
+        hits: References that hit.
+        misses: References that missed.
+        evictions: Lines evicted to make room (misses on full sets).
+        cold_misses: Misses on never-before-seen lines.
+        set_misses: Per-set miss counts (length ``geometry.num_sets``).
+        set_accesses: Per-set access counts.
+        ip_misses: Miss counts keyed by instruction pointer.
+    """
+
+    geometry: CacheGeometry
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cold_misses: int = 0
+    set_misses: List[int] = field(default_factory=list)
+    set_accesses: List[int] = field(default_factory=list)
+    ip_misses: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if not self.set_misses:
+            self.set_misses = [0] * self.geometry.num_sets
+        if not self.set_accesses:
+            self.set_accesses = [0] * self.geometry.num_sets
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0.0 when the cache saw no traffic)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits per access."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def sets_utilized(self, *, by_misses: bool = True) -> int:
+        """Number of sets that saw at least one miss (or access).
+
+        Table 4 of the paper reports "# of Cache Sets utilized" per loop;
+        this is the level-wide analogue.
+        """
+        counts = self.set_misses if by_misses else self.set_accesses
+        return sum(1 for count in counts if count)
+
+    def miss_imbalance(self) -> float:
+        """Max/mean ratio of per-set misses; 1.0 means perfectly balanced.
+
+        A quick scalar proxy for the Figure 3 histogram skew.
+        """
+        total = sum(self.set_misses)
+        if not total:
+            return 1.0
+        mean = total / len(self.set_misses)
+        return max(self.set_misses) / mean
+
+    def top_miss_ips(self, count: int = 10) -> List[tuple]:
+        """The ``count`` instruction pointers with the most misses."""
+        return self.ip_misses.most_common(count)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary scalars for reporting."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cold_misses": self.cold_misses,
+            "miss_ratio": self.miss_ratio,
+            "sets_utilized": self.sets_utilized(),
+            "miss_imbalance": self.miss_imbalance(),
+        }
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine two stats objects over the same geometry (new object)."""
+        if other.geometry != self.geometry:
+            raise ValueError("cannot merge stats from different geometries")
+        merged = CacheStats(geometry=self.geometry)
+        merged.accesses = self.accesses + other.accesses
+        merged.hits = self.hits + other.hits
+        merged.misses = self.misses + other.misses
+        merged.evictions = self.evictions + other.evictions
+        merged.cold_misses = self.cold_misses + other.cold_misses
+        merged.set_misses = [a + b for a, b in zip(self.set_misses, other.set_misses)]
+        merged.set_accesses = [
+            a + b for a, b in zip(self.set_accesses, other.set_accesses)
+        ]
+        merged.ip_misses = self.ip_misses + other.ip_misses
+        return merged

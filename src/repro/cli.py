@@ -1,0 +1,278 @@
+"""``ccprof`` command-line interface.
+
+Mirrors the shape of the paper's artifact scripts:
+
+- ``ccprof profile <workload>`` — run the online profiler on a built-in
+  workload and dump the sample log.
+- ``ccprof analyze <workload>`` — profile + offline analysis, printing the
+  conflict report (and optionally writing a ``*result`` file).
+- ``ccprof simulate <trace.din>`` — run a Dinero-format trace through the
+  cache simulator and print Dinero-style statistics.
+- ``ccprof list`` — enumerate built-in workloads.
+
+Built-in workload names accept an ``:optimized`` suffix, e.g.
+``ccprof analyze adi:optimized``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.cache.dinero import format_dinero_report, simulate_dinero_trace
+from repro.core.diffreport import ReportDiff
+from repro.core.phases import PhaseAnalyzer
+from repro.core.profiler import CCProf
+from repro.errors import ReproError
+from repro.optimize.padding_advisor import advise_padding
+from repro.pmu.periods import UniformJitterPeriod
+from repro.reporting.files import write_result_file
+from repro.workloads import (
+    AdiWorkload,
+    Fdtd2dWorkload,
+    Fft2dWorkload,
+    GemmWorkload,
+    HimenoWorkload,
+    Jacobi2dWorkload,
+    KripkeWorkload,
+    NeedlemanWunschWorkload,
+    SymmetrizationWorkload,
+    TinyDnnFcWorkload,
+    TrmmWorkload,
+    TwoMmWorkload,
+)
+from repro.workloads.base import Array2D, TraceWorkload
+from repro.workloads.rodinia import RODINIA_APPS, make_rodinia_workload
+
+#: (original factory, optimized factory) per CLI workload name.
+_WORKLOADS: Dict[str, tuple] = {
+    "symmetrization": (SymmetrizationWorkload.original, SymmetrizationWorkload.padded),
+    "nw": (NeedlemanWunschWorkload.original, NeedlemanWunschWorkload.padded),
+    "adi": (AdiWorkload.original, AdiWorkload.padded),
+    "fft": (Fft2dWorkload.original, Fft2dWorkload.padded),
+    "tinydnn": (TinyDnnFcWorkload.original, TinyDnnFcWorkload.padded),
+    "kripke": (KripkeWorkload.original, KripkeWorkload.optimized),
+    "himeno": (HimenoWorkload.original, HimenoWorkload.padded),
+    "gemm": (GemmWorkload.original, GemmWorkload.padded),
+    "2mm": (TwoMmWorkload.original, TwoMmWorkload.padded),
+    "trmm": (TrmmWorkload.original, TrmmWorkload.padded),
+    "jacobi-2d": (Jacobi2dWorkload.original, Jacobi2dWorkload.padded),
+    "fdtd-2d": (Fdtd2dWorkload.original, Fdtd2dWorkload.padded),
+}
+
+
+def _resolve_workload(spec: str) -> TraceWorkload:
+    """Build a workload from ``name`` or ``name:optimized``."""
+    name, _, variant = spec.partition(":")
+    if variant not in ("", "original", "optimized"):
+        raise ReproError(f"unknown variant {variant!r}; use 'original' or 'optimized'")
+    if name in _WORKLOADS:
+        original, optimized = _WORKLOADS[name]
+        factory: Callable[[], TraceWorkload] = (
+            optimized if variant == "optimized" else original
+        )
+        return factory()
+    if name in RODINIA_APPS:
+        if variant == "optimized":
+            raise ReproError(f"no optimized variant for Rodinia app {name!r}")
+        return make_rodinia_workload(name)
+    known = ", ".join(sorted([*_WORKLOADS, *RODINIA_APPS]))
+    raise ReproError(f"unknown workload {name!r}; known: {known}")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("case studies (accept :optimized):")
+    for name in _WORKLOADS:
+        print(f"  {name}")
+    print("rodinia suite:")
+    for name in RODINIA_APPS:
+        print(f"  {name}")
+    return 0
+
+
+def _make_profiler(args: argparse.Namespace) -> CCProf:
+    return CCProf(period=UniformJitterPeriod(args.period), seed=args.seed)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    profiler = _make_profiler(args)
+    profile = profiler.profile(workload)
+    sampling = profile.sampling
+    print(
+        f"{workload.name}: {sampling.sample_count} samples of "
+        f"{sampling.total_events} L1 miss events "
+        f"({sampling.total_accesses} accesses)"
+    )
+    if args.output:
+        written = profile.dump_samples(args.output)
+        print(f"wrote {written} samples to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    profiler = _make_profiler(args)
+    report = profiler.run(workload)
+    print(report.render())
+    if args.output:
+        write_result_file(args.output, report)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    stats = simulate_dinero_trace(args.trace, spec=args.cache)
+    print(format_dinero_report(stats, title=args.trace))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    profiler = _make_profiler(args)
+    report = profiler.run(workload)
+    print(report.render())
+    arrays = [
+        value
+        for value in vars(workload).values()
+        if isinstance(value, Array2D)
+    ]
+    if not report.has_conflicts:
+        print("\nno conflicts flagged; no padding advice needed")
+        return 0
+    implicated = {
+        structure.label
+        for loop in report.conflicting_loops()
+        for structure in loop.data_structures
+    }
+    print("\npadding advice:")
+    advised = False
+    for array in arrays:
+        if array.allocation.label not in implicated:
+            continue
+        advice = advise_padding(array, profiler.geometry)
+        advised = True
+        print(f"  {advice.label}: +{advice.pad_bytes} B/row  ({advice.reason})")
+    if not advised:
+        print("  (conflicting structures are not 2-D arrays; consider a "
+              "loop-order change instead)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    name, _, variant = args.workload.partition(":")
+    if variant:
+        raise ReproError("compare takes a bare name; it runs both variants itself")
+    if name not in _WORKLOADS:
+        raise ReproError(f"no optimized variant for {name!r}; compare needs one")
+    original_factory, optimized_factory = _WORKLOADS[name]
+    profiler = _make_profiler(args)
+
+    original = original_factory()
+    optimized = optimized_factory()
+    report_before = profiler.run(original)
+    report_after = profiler.run(optimized)
+    print(report_before.render())
+    print()
+    print(report_after.render())
+    print()
+    print(ReportDiff.compare(report_before, report_after).render())
+
+    before_stats = original_factory().l1_stats(profiler.geometry)
+    after_stats = optimized_factory().l1_stats(profiler.geometry)
+    reduction = (
+        (before_stats.misses - after_stats.misses) / before_stats.misses
+        if before_stats.misses
+        else 0.0
+    )
+    print(
+        f"\nL1 misses: {before_stats.misses} -> {after_stats.misses} "
+        f"({reduction:+.1%} reduction)"
+    )
+    print(
+        f"conflicts flagged: {report_before.has_conflicts} -> "
+        f"{report_after.has_conflicts}"
+    )
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    profiler = _make_profiler(args)
+    profile = profiler.profile(workload)
+    analyzer = PhaseAnalyzer(profiler.geometry, window=args.window)
+    analysis = analyzer.analyze(profile.sampling.samples)
+    print(
+        f"{workload.name}: {len(analysis.phases)} phases of ~{args.window} "
+        f"samples; {analysis.conflict_fraction:.0%} conflicting"
+    )
+    for phase in analysis.phases:
+        verdict = "CONFLICT" if phase.has_conflict else "ok"
+        print(
+            f"  phase {phase.index:>3}: cf={phase.contribution_factor:.3f} "
+            f"victims={len(phase.victim_sets):>3} {verdict}"
+        )
+    transitions = analysis.transitions()
+    if transitions:
+        print(f"phase transitions at windows: {transitions}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ccprof",
+        description="CCProf reproduction: lightweight cache-conflict detection",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list built-in workloads")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    for verb, handler, needs_output in (
+        ("profile", _cmd_profile, True),
+        ("analyze", _cmd_analyze, True),
+        ("advise", _cmd_advise, False),
+        ("compare", _cmd_compare, False),
+        ("phases", _cmd_phases, False),
+    ):
+        sub = subparsers.add_parser(verb, help=f"{verb} a built-in workload")
+        sub.add_argument("workload", help="workload name, e.g. adi or adi:optimized")
+        sub.add_argument(
+            "--period", type=int, default=1212,
+            help="mean sampling period in L1 miss events (default: 1212)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="sampler RNG seed")
+        if needs_output:
+            sub.add_argument("-o", "--output", default=None, help="output file")
+        if verb == "phases":
+            sub.add_argument(
+                "--window", type=int, default=256,
+                help="samples per analysis window (default: 256)",
+            )
+        sub.set_defaults(handler=handler)
+
+    sim = subparsers.add_parser("simulate", help="run a .din trace through the simulator")
+    sim.add_argument("trace", help="path to a Dinero-format trace")
+    sim.add_argument(
+        "--cache", default="32k:64:8:lru",
+        help="cache spec size:line:assoc[:policy] (default: the paper's L1)",
+    )
+    sim.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"ccprof: error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

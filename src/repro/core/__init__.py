@@ -1,0 +1,80 @@
+"""CCProf core: conflict-miss detection from sparse miss samples.
+
+This package is the paper's primary contribution, layered over the
+substrates:
+
+- :mod:`repro.core.rcd` — the Re-Conflict Distance metric (Definition 1)
+  and its per-set / combined distributions, computed identically from exact
+  miss sequences (simulator mode) and sparse samples (PMU mode).
+- :mod:`repro.core.conflict_period` — conflict periods (§3.3) and the
+  CP-vs-sampling-period detectability condition.
+- :mod:`repro.core.contribution` — the contribution factor of Equation 1.
+- :mod:`repro.core.classifier` — the logistic-regression conflict
+  classifier (§3.4) and the Table 1 implication matrix.
+- :mod:`repro.core.attribution` — code-centric (loop) and data-centric
+  (allocation) attribution of conflicting samples.
+- :mod:`repro.core.profiler` — the end-to-end CCProf pipeline: online
+  profiling (sampling) + offline analysis (loops, RCD, classification).
+- :mod:`repro.core.report` — structured conflict reports.
+"""
+
+from repro.core.rcd import RcdAnalysis, RcdObservation, compute_rcds
+from repro.core.conflict_period import (
+    ConflictPeriodAnalysis,
+    conflict_periods,
+    detectable,
+)
+from repro.core.contribution import (
+    DEFAULT_RCD_THRESHOLD,
+    contribution_factor,
+    contribution_factors_by_set,
+)
+from repro.core.classifier import (
+    ConflictClassifier,
+    Implication,
+    implication_for,
+)
+from repro.core.attribution import (
+    CodeCentricAttribution,
+    DataCentricAttribution,
+    attribute_code,
+    attribute_data,
+)
+from repro.core.diffreport import LoopDelta, ReportDiff
+from repro.core.exact import ExactMeasurement, ExactRcdMeasurer
+from repro.core.phases import PhaseAnalyzer, PhasedAnalysis, PhaseReport
+from repro.core.profiler import CCProf, OfflineAnalyzer
+from repro.core.report import ConflictReport, DataStructureReport, LoopReport
+from repro.core.setmap import SetUsageTimeline
+
+__all__ = [
+    "RcdAnalysis",
+    "RcdObservation",
+    "compute_rcds",
+    "ConflictPeriodAnalysis",
+    "conflict_periods",
+    "detectable",
+    "DEFAULT_RCD_THRESHOLD",
+    "contribution_factor",
+    "contribution_factors_by_set",
+    "ConflictClassifier",
+    "Implication",
+    "implication_for",
+    "CodeCentricAttribution",
+    "DataCentricAttribution",
+    "attribute_code",
+    "attribute_data",
+    "LoopDelta",
+    "ReportDiff",
+    "ExactMeasurement",
+    "ExactRcdMeasurer",
+    "PhaseAnalyzer",
+    "PhasedAnalysis",
+    "PhaseReport",
+    "CCProf",
+    "OfflineAnalyzer",
+    "ConflictReport",
+    "DataStructureReport",
+    "LoopReport",
+    "SetUsageTimeline",
+]

@@ -1,0 +1,134 @@
+"""The conflict-miss classifier.
+
+Paper §3.4 formulates conflict detection as binary classification: given a
+loop's L1-miss contribution factor under the RCD threshold, does the loop
+suffer from conflict misses?  The model is *simple logistic regression* —
+one independent variable (cf), one binary outcome — trained on loops whose
+ground-truth labels come from full cache simulation.
+
+Also implemented here: the Table 1 implication matrix that turns the
+(RCD level, contribution level) pair into optimization guidance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.stats.validation import cross_validate_f1
+
+
+class Implication(enum.Enum):
+    """Table 1 of the paper: what an (RCD, contribution) pair implies."""
+
+    INSIGNIFICANT = "insignificant impact on program context"
+    STRONG_CONFLICT = "strong indication of imbalanced cache utilization"
+    NO_CONFLICT = "no indication of unbalanced cache utilization"
+
+
+def implication_for(
+    rcd_is_low: bool, contribution_is_high: bool
+) -> Implication:
+    """Decide Table 1's row from the two boolean determinations.
+
+    - low RCD + low contribution  -> insignificant impact;
+    - low RCD + high contribution -> strong conflict indication;
+    - high RCD (either contribution) -> no conflict indication.
+    """
+    if not rcd_is_low:
+        return Implication.NO_CONFLICT
+    return Implication.STRONG_CONFLICT if contribution_is_high else Implication.INSIGNIFICANT
+
+
+@dataclass
+class TrainingExample:
+    """One labelled loop for classifier training.
+
+    Attributes:
+        contribution: The loop's contribution factor (cf).
+        has_conflict: Ground-truth label from cache simulation.
+        name: Optional identifier for reporting.
+    """
+
+    contribution: float
+    has_conflict: bool
+    name: str = ""
+
+
+class ConflictClassifier:
+    """Simple logistic regression over the contribution factor.
+
+    Train with :meth:`fit`, query with :meth:`predict` /
+    :meth:`predict_proba`, and validate with :meth:`cross_validated_f1`
+    (8-fold by default, as in §5.2).
+    """
+
+    def __init__(self) -> None:
+        self._model: Optional[LogisticModel] = None
+        self._examples: List[TrainingExample] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has produced a model."""
+        return self._model is not None
+
+    @property
+    def model(self) -> LogisticModel:
+        """The underlying fitted logistic model."""
+        if self._model is None:
+            raise ModelError("classifier not fitted; call fit() first")
+        return self._model
+
+    def fit(self, examples: Sequence[TrainingExample]) -> "ConflictClassifier":
+        """Fit on labelled loops; returns self for chaining."""
+        if len(examples) < 2:
+            raise ModelError(f"need at least 2 training examples, got {len(examples)}")
+        self._examples = list(examples)
+        features = [example.contribution for example in examples]
+        labels = [int(example.has_conflict) for example in examples]
+        self._model = fit_logistic(features, labels)
+        return self
+
+    def predict_proba(self, contribution: float) -> float:
+        """P(conflict) for one contribution factor."""
+        return float(self.model.predict_proba([contribution])[0])
+
+    def predict(self, contribution: float, threshold: float = 0.5) -> bool:
+        """Binary conflict verdict for one contribution factor."""
+        return self.predict_proba(contribution) >= threshold
+
+    def predict_many(
+        self, contributions: Sequence[float], threshold: float = 0.5
+    ) -> List[bool]:
+        """Vectorized verdicts."""
+        probabilities = self.model.predict_proba(list(contributions))
+        return [bool(p >= threshold) for p in np.asarray(probabilities)]
+
+    def decision_boundary(self) -> float:
+        """The cf value where the verdict flips."""
+        return self.model.decision_boundary()
+
+    def cross_validated_f1(self, folds: int = 8, seed: int = 0) -> float:
+        """k-fold cross-validated F1 on the training examples (§5.2)."""
+        if not self._examples:
+            raise ModelError("no training examples recorded; call fit() first")
+        features = [example.contribution for example in self._examples]
+        labels = [int(example.has_conflict) for example in self._examples]
+        return cross_validate_f1(features, labels, folds=folds, seed=seed)
+
+    def training_summary(self) -> List[Tuple[str, float, bool, float]]:
+        """(name, cf, label, P(conflict)) for every training example."""
+        return [
+            (
+                example.name,
+                example.contribution,
+                example.has_conflict,
+                self.predict_proba(example.contribution),
+            )
+            for example in self._examples
+        ]

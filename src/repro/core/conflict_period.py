@@ -1,0 +1,116 @@
+"""Conflict periods (CP).
+
+Paper §3.3: *"we define the conflict period (CP) of a cache set as the
+period of consecutive same value of RCD."*  A long CP means the conflict
+pattern is stable long enough for sparse sampling to observe it; the
+detectability condition is CP > sampling period.  HimenoBMT (§6.6) is the
+paper's example of small CPs forcing high-frequency sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.core.rcd import RcdObservation
+from repro.stats.distributions import Histogram, summarize
+
+
+class ConflictPeriodRun(NamedTuple):
+    """One maximal run of equal RCD values on one set.
+
+    Attributes:
+        set_index: The cache set.
+        rcd: The repeated RCD value.
+        length: Number of consecutive observations with that value.
+        start_position: Miss-sequence position of the run's first
+            observation.
+    """
+
+    set_index: int
+    rcd: int
+    length: int
+    start_position: int
+
+
+def conflict_periods(observations: Sequence[RcdObservation]) -> List[ConflictPeriodRun]:
+    """Extract all maximal constant-RCD runs, per set.
+
+    Observations are grouped by set (preserving order) and scanned for
+    runs; single observations form runs of length 1.
+    """
+    by_set: Dict[int, List[RcdObservation]] = {}
+    for observation in observations:
+        by_set.setdefault(observation.set_index, []).append(observation)
+
+    runs: List[ConflictPeriodRun] = []
+    for set_index, entries in sorted(by_set.items()):
+        run_start = 0
+        for index in range(1, len(entries) + 1):
+            end_of_run = index == len(entries) or entries[index].rcd != entries[run_start].rcd
+            if end_of_run:
+                runs.append(
+                    ConflictPeriodRun(
+                        set_index=set_index,
+                        rcd=entries[run_start].rcd,
+                        length=index - run_start,
+                        start_position=entries[run_start].position,
+                    )
+                )
+                run_start = index
+    return runs
+
+
+def detectable(run: ConflictPeriodRun, sampling_period: float) -> bool:
+    """The paper's detectability condition: CP larger than the period.
+
+    A run of ``length`` same-RCD observations spans roughly
+    ``length * (rcd + 1)`` misses; sampling with a mean period shorter than
+    that span is expected to catch at least one of them.
+    """
+    span_in_misses = run.length * (run.rcd + 1)
+    return span_in_misses > sampling_period
+
+
+@dataclass
+class ConflictPeriodAnalysis:
+    """Summary of conflict-period structure in one program context."""
+
+    runs: List[ConflictPeriodRun] = field(default_factory=list)
+
+    @classmethod
+    def from_observations(
+        cls, observations: Sequence[RcdObservation]
+    ) -> "ConflictPeriodAnalysis":
+        """Build from the RCD observations of a context."""
+        return cls(runs=conflict_periods(observations))
+
+    def length_histogram(self) -> Histogram:
+        """Distribution of run lengths."""
+        return Histogram.from_values([run.length for run in self.runs])
+
+    def mean_period(self) -> float:
+        """Mean run length in observations (0 when there are no runs)."""
+        if not self.runs:
+            return 0.0
+        return sum(run.length for run in self.runs) / len(self.runs)
+
+    def mean_span_in_misses(self) -> float:
+        """Mean run span measured in misses — what the sampling period
+        must undercut for detection."""
+        if not self.runs:
+            return 0.0
+        return sum(run.length * (run.rcd + 1) for run in self.runs) / len(self.runs)
+
+    def detectable_fraction(self, sampling_period: float) -> float:
+        """Fraction of runs satisfying the CP > SP condition."""
+        if not self.runs:
+            return 0.0
+        hits = sum(1 for run in self.runs if detectable(run, sampling_period))
+        return hits / len(self.runs)
+
+    def summary(self) -> Dict[str, float]:
+        """Run-length summary statistics."""
+        if not self.runs:
+            return {"count": 0.0}
+        return summarize([float(run.length) for run in self.runs])

@@ -1,0 +1,80 @@
+"""Contribution factor (Equation 1).
+
+    cf_x^p = N_{RCD_x}^p / N_total^p
+
+where ``N_{RCD_x}^p`` counts samples on set *x* with RCD shorter than the
+empirical threshold *T* within program context *p*, and ``N_total^p`` is
+the total sampled cache misses in the context.  The paper fixes T = 8 in
+the evaluation ("we use the contribution factor below RCD of eight as the
+determinant", §5.2); with 64 sets, T = num_sets / 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.rcd import RcdAnalysis, RcdObservation
+from repro.errors import AnalysisError
+
+#: The paper's empirical short-RCD threshold for a 64-set L1.
+DEFAULT_RCD_THRESHOLD = 8
+
+
+def default_threshold_for(num_sets: int) -> int:
+    """Scale the paper's T = 8 (at 64 sets) to other geometries: N/8."""
+    if num_sets <= 0:
+        raise AnalysisError(f"set count must be positive: {num_sets}")
+    return max(1, num_sets // 8)
+
+
+def contribution_factor(
+    analysis: RcdAnalysis, threshold: int = DEFAULT_RCD_THRESHOLD
+) -> float:
+    """Context-wide contribution factor: short-RCD misses over all misses.
+
+    This is the scalar CCProf feeds the classifier — the per-context
+    aggregation of Equation 1 across all sets.
+    """
+    if threshold <= 0:
+        raise AnalysisError(f"RCD threshold must be positive: {threshold}")
+    return analysis.contribution_below(threshold)
+
+
+def contribution_factors_by_set(
+    analysis: RcdAnalysis, threshold: int = DEFAULT_RCD_THRESHOLD
+) -> Dict[int, float]:
+    """Equation 1 per set: cf_x for every set with observations.
+
+    The denominator stays ``N_total`` (all misses in the context), exactly
+    as in the paper, so the per-set factors sum to at most the context-wide
+    factor.
+    """
+    if threshold <= 0:
+        raise AnalysisError(f"RCD threshold must be positive: {threshold}")
+    if analysis.total_misses == 0:
+        return {}
+    short_by_set: Dict[int, int] = {}
+    for observation in analysis.observations:
+        if observation.rcd < threshold:
+            short_by_set[observation.set_index] = (
+                short_by_set.get(observation.set_index, 0) + 1
+            )
+    return {
+        set_index: count / analysis.total_misses
+        for set_index, count in sorted(short_by_set.items())
+    }
+
+
+def short_rcd_share(
+    observations: Sequence[RcdObservation], threshold: int = DEFAULT_RCD_THRESHOLD
+) -> float:
+    """Share of *observations* (not misses) below the threshold.
+
+    A companion diagnostic: unlike Equation 1 it ignores first-touch
+    misses, so it reads directly off the CDF curves of Figures 7/9
+    ("RCD of shorter than eight accounts for 88% of the L1 cache misses").
+    """
+    if not observations:
+        return 0.0
+    short = sum(1 for observation in observations if observation.rcd < threshold)
+    return short / len(observations)

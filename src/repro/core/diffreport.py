@@ -1,0 +1,111 @@
+"""Report diffing: quantify what an optimization changed.
+
+The paper's §6 workflow ends by re-running CCProf on the transformed code
+and comparing (Figure 9).  This module structures that comparison: given
+the before and after :class:`~repro.core.report.ConflictReport` objects it
+pairs up loops, computes per-loop deltas (contribution factor, verdicts,
+set usage), and summarizes whether the optimization actually cured what
+the first report flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.report import ConflictReport, LoopReport
+
+
+@dataclass(frozen=True)
+class LoopDelta:
+    """Before/after comparison of one loop.
+
+    Attributes:
+        loop_name: The loop's report name.
+        before: The loop's entry in the first report (None = appeared).
+        after: The loop's entry in the second report (None = vanished).
+    """
+
+    loop_name: str
+    before: Optional[LoopReport]
+    after: Optional[LoopReport]
+
+    @property
+    def cf_delta(self) -> float:
+        """Change in contribution factor (negative = improved)."""
+        before_cf = self.before.contribution_factor if self.before else 0.0
+        after_cf = self.after.contribution_factor if self.after else 0.0
+        return after_cf - before_cf
+
+    @property
+    def cured(self) -> bool:
+        """Was a flagged conflict cleared?"""
+        was_flagged = self.before is not None and self.before.has_conflict
+        still_flagged = self.after is not None and self.after.has_conflict
+        return was_flagged and not still_flagged
+
+    @property
+    def regressed(self) -> bool:
+        """Did a clean loop become conflicting?"""
+        was_flagged = self.before is not None and self.before.has_conflict
+        now_flagged = self.after is not None and self.after.has_conflict
+        return now_flagged and not was_flagged
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        before_cf = f"{self.before.contribution_factor:.3f}" if self.before else "-"
+        after_cf = f"{self.after.contribution_factor:.3f}" if self.after else "-"
+        status = "CURED" if self.cured else ("REGRESSED" if self.regressed else "")
+        return f"{self.loop_name:<28} cf {before_cf} -> {after_cf} {status}".rstrip()
+
+
+@dataclass
+class ReportDiff:
+    """Structured comparison of two conflict reports."""
+
+    before: ConflictReport
+    after: ConflictReport
+    deltas: List[LoopDelta] = field(default_factory=list)
+
+    @classmethod
+    def compare(cls, before: ConflictReport, after: ConflictReport) -> "ReportDiff":
+        """Pair loops by name and compute deltas."""
+        before_by_name = {loop.loop_name: loop for loop in before.loops}
+        after_by_name = {loop.loop_name: loop for loop in after.loops}
+        names = list(before_by_name)
+        names.extend(n for n in after_by_name if n not in before_by_name)
+        deltas = [
+            LoopDelta(
+                loop_name=name,
+                before=before_by_name.get(name),
+                after=after_by_name.get(name),
+            )
+            for name in names
+        ]
+        return cls(before=before, after=after, deltas=deltas)
+
+    def cured_loops(self) -> List[LoopDelta]:
+        """Loops whose conflicts the optimization cleared."""
+        return [delta for delta in self.deltas if delta.cured]
+
+    def regressed_loops(self) -> List[LoopDelta]:
+        """Loops the optimization made conflicting."""
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def is_successful(self) -> bool:
+        """At least one cure and no regressions."""
+        return bool(self.cured_loops()) and not self.regressed_loops()
+
+    def render(self) -> str:
+        """Multi-line text summary."""
+        lines = [
+            f"optimization diff: {self.before.workload_name} -> "
+            f"{self.after.workload_name}",
+        ]
+        for delta in self.deltas:
+            lines.append("  " + delta.describe())
+        cured = len(self.cured_loops())
+        regressed = len(self.regressed_loops())
+        lines.append(f"  => {cured} cured, {regressed} regressed")
+        return "\n".join(lines)

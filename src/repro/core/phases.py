@@ -1,0 +1,153 @@
+"""Phase-aware conflict analysis.
+
+The paper's §7.1 critique of DProf — assuming a uniform workload — cuts
+both ways: even CCProf's *whole-run* contribution factor dilutes a conflict
+that only exists during one program phase.  This module analyzes the sample
+stream in windows, producing per-phase verdicts and the transition points
+where the conflict behaviour changes; Figure 4's "locality signatures"
+generalized from cache sets to program phases.
+
+Windows are measured in samples (not time), so a fixed window corresponds
+to a roughly fixed number of misses regardless of phase speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.errors import AnalysisError
+from repro.pmu.sampler import AddressSample
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Verdict for one window of samples.
+
+    Attributes:
+        index: Ordinal of the window.
+        first_sample: Index (into the analyzed sample list) of the window's
+            first sample.
+        sample_count: Samples in the window.
+        contribution_factor: Equation 1 over the window's samples.
+        has_conflict: Whether the window exceeds the cf boundary.
+        victim_sets: Sets with short-RCD observations inside the window.
+    """
+
+    index: int
+    first_sample: int
+    sample_count: int
+    contribution_factor: float
+    has_conflict: bool
+    victim_sets: List[int]
+
+
+@dataclass
+class PhasedAnalysis:
+    """All phase verdicts for one sample stream."""
+
+    phases: List[PhaseReport] = field(default_factory=list)
+
+    def conflict_phases(self) -> List[PhaseReport]:
+        """Windows flagged as conflicting."""
+        return [phase for phase in self.phases if phase.has_conflict]
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Share of windows that conflict — "how uniform is the problem"."""
+        if not self.phases:
+            return 0.0
+        return len(self.conflict_phases()) / len(self.phases)
+
+    def transitions(self) -> List[int]:
+        """Window indices where the verdict flips (phase boundaries)."""
+        flips: List[int] = []
+        for previous, current in zip(self.phases, self.phases[1:]):
+            if previous.has_conflict != current.has_conflict:
+                flips.append(current.index)
+        return flips
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every window agrees — DProf's assumption holds."""
+        return len(self.transitions()) == 0
+
+    def max_contribution(self) -> float:
+        """Largest per-window cf — the peak conflict intensity."""
+        if not self.phases:
+            raise AnalysisError("no phases analyzed")
+        return max(phase.contribution_factor for phase in self.phases)
+
+
+class PhaseAnalyzer:
+    """Windowed conflict analysis over a sample stream.
+
+    Args:
+        geometry: L1 geometry for set attribution.
+        window: Samples per window.
+        rcd_threshold: Short-RCD threshold (Equation 1's T).
+        cf_boundary: Per-window conflict decision boundary.
+        min_window: Trailing windows smaller than this are folded into the
+            previous window rather than judged alone.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        window: int = 256,
+        rcd_threshold: int = DEFAULT_RCD_THRESHOLD,
+        cf_boundary: float = 0.25,
+        min_window: int = 32,
+    ) -> None:
+        if window <= 0:
+            raise AnalysisError(f"window must be positive: {window}")
+        if not 0 < min_window <= window:
+            raise AnalysisError(
+                f"min_window must be in (0, window]: {min_window} vs {window}"
+            )
+        self.geometry = geometry
+        self.window = window
+        self.rcd_threshold = rcd_threshold
+        self.cf_boundary = cf_boundary
+        self.min_window = min_window
+
+    def analyze(self, samples: Sequence[AddressSample]) -> PhasedAnalysis:
+        """Split ``samples`` into windows and judge each."""
+        analysis = PhasedAnalysis()
+        if not samples:
+            return analysis
+        bounds = self._window_bounds(len(samples))
+        for index, (start, end) in enumerate(bounds):
+            window_samples = samples[start:end]
+            rcd = RcdAnalysis.from_addresses(
+                (sample.address for sample in window_samples), self.geometry
+            )
+            cf = contribution_factor(rcd, self.rcd_threshold)
+            analysis.phases.append(
+                PhaseReport(
+                    index=index,
+                    first_sample=start,
+                    sample_count=len(window_samples),
+                    contribution_factor=cf,
+                    has_conflict=cf >= self.cf_boundary,
+                    victim_sets=rcd.victim_sets(self.rcd_threshold),
+                )
+            )
+        return analysis
+
+    def _window_bounds(self, total: int) -> List[tuple]:
+        bounds: List[tuple] = []
+        start = 0
+        while start < total:
+            end = min(start + self.window, total)
+            bounds.append((start, end))
+            start = end
+        # Fold an undersized trailing window into its predecessor.
+        if len(bounds) >= 2 and bounds[-1][1] - bounds[-1][0] < self.min_window:
+            last_start, last_end = bounds.pop()
+            previous_start, _ = bounds.pop()
+            bounds.append((previous_start, last_end))
+        return bounds

@@ -1,0 +1,206 @@
+"""The CCProf pipeline: online profiling + offline analysis (paper §4).
+
+:class:`CCProf` is the user-facing facade.  Online profiling samples the
+workload's L1 miss stream through the PMU simulator; offline analysis
+recovers loops from the program image, computes per-loop RCD distributions
+and contribution factors, classifies each hot loop, and attributes
+conflicting samples to data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.attribution import (
+    CodeCentricAttribution,
+    attribute_code,
+    attribute_data,
+)
+from repro.core.classifier import ConflictClassifier, implication_for
+from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.core.report import ConflictReport, DataStructureReport, LoopReport
+from repro.errors import AnalysisError
+from repro.pmu.monitor import MonitorSession, RawProfile
+from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
+from repro.pmu.sampler import AddressSample
+from repro.program.symbols import Symbolizer
+from repro.trace.record import MemoryAccess
+
+
+class Workload(Protocol):
+    """What the profiler needs from a workload (see workloads.base)."""
+
+    name: str
+
+    def trace(self):  # pragma: no cover - protocol signature only
+        """Yield the workload's :class:`MemoryAccess` stream."""
+
+    @property
+    def image(self):  # pragma: no cover - protocol signature only
+        """The workload's program image (or None)."""
+
+    @property
+    def allocator(self):  # pragma: no cover - protocol signature only
+        """The workload's virtual allocator (or None)."""
+
+
+#: Default fallback decision boundary on cf when no trained classifier is
+#: supplied: conflict-free Rodinia loops sit at 0.10-0.20, conflicting ones
+#: at 0.37+ (paper §5.1/§6), so 0.25 splits the published populations.
+DEFAULT_CF_BOUNDARY = 0.25
+
+#: Loops below this share of total samples are reported but not classified
+#: ("trivial code regions", §3.4).
+DEFAULT_HOT_LOOP_SHARE = 0.01
+
+#: Minimum samples for a meaningful RCD distribution in a loop.
+MIN_SAMPLES_FOR_RCD = 8
+
+
+@dataclass
+class AnalysisSettings:
+    """Offline-analysis knobs."""
+
+    rcd_threshold: int = DEFAULT_RCD_THRESHOLD
+    cf_boundary: float = DEFAULT_CF_BOUNDARY
+    hot_loop_share: float = DEFAULT_HOT_LOOP_SHARE
+    min_samples: int = MIN_SAMPLES_FOR_RCD
+
+
+class OfflineAnalyzer:
+    """Post-processes a :class:`RawProfile` into a :class:`ConflictReport`."""
+
+    def __init__(
+        self,
+        settings: Optional[AnalysisSettings] = None,
+        classifier: Optional[ConflictClassifier] = None,
+    ) -> None:
+        self.settings = settings or AnalysisSettings()
+        self.classifier = classifier
+
+    def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
+        """Run the full offline pass over one raw profile."""
+        sampling = profile.sampling
+        symbolizer = Symbolizer(profile.image) if profile.image is not None else None
+        code = attribute_code(sampling.samples, symbolizer)
+        report = ConflictReport(
+            workload_name=workload_name,
+            mean_sampling_period=sampling.mean_period,
+            total_samples=sampling.sample_count,
+            total_events=sampling.total_events,
+            rcd_threshold=self.settings.rcd_threshold,
+        )
+        for group in code.loops:
+            report.loops.append(
+                self._analyze_loop(group, profile, sampling.geometry)
+            )
+        return report
+
+    def _analyze_loop(self, group, profile: RawProfile, geometry: CacheGeometry) -> LoopReport:
+        settings = self.settings
+        analysis = RcdAnalysis.from_addresses(
+            (sample.address for sample in group.samples), geometry
+        )
+        cf = contribution_factor(analysis, settings.rcd_threshold)
+        loop_report = LoopReport(
+            loop_name=group.loop_name,
+            sample_count=group.count,
+            miss_contribution=group.share,
+            contribution_factor=cf,
+            sets_utilized=len(
+                {geometry.set_index(sample.address) for sample in group.samples}
+            ),
+        )
+        enough_samples = group.count >= settings.min_samples
+        if enough_samples and analysis.observation_count:
+            loop_report.mean_rcd = analysis.mean_rcd()
+
+        is_hot = group.share >= settings.hot_loop_share
+        if is_hot and enough_samples:
+            loop_report.probability, loop_report.has_conflict = self._classify(cf)
+            rcd_is_low = (
+                loop_report.mean_rcd is not None
+                and loop_report.mean_rcd < geometry.num_sets / 2
+            )
+            loop_report.implication = implication_for(
+                rcd_is_low=rcd_is_low or loop_report.has_conflict,
+                contribution_is_high=loop_report.has_conflict,
+            )
+            if loop_report.has_conflict:
+                loop_report.data_structures = self._data_structures(
+                    group.samples, profile
+                )
+        return loop_report
+
+    def _classify(self, cf: float):
+        if self.classifier is not None and self.classifier.is_fitted:
+            probability = self.classifier.predict_proba(cf)
+            return probability, probability >= 0.5
+        # Fallback: fixed boundary from the paper's published populations.
+        return None, cf >= self.settings.cf_boundary
+
+    def _data_structures(
+        self, samples: Sequence[AddressSample], profile: RawProfile
+    ) -> List[DataStructureReport]:
+        data = attribute_data(samples, profile.allocator)
+        return [
+            DataStructureReport(
+                label=entry.label, sample_count=entry.count, share=entry.share
+            )
+            for entry in data.objects
+        ]
+
+
+class CCProf:
+    """End-to-end facade: ``report = CCProf().run(workload)``.
+
+    Args:
+        geometry: L1 geometry to profile against (paper default).
+        period: Sampling-period distribution; default mean 1212 — the
+            paper's recommended operating point.
+        seed: Sampler RNG seed.
+        settings: Offline-analysis settings.
+        classifier: Optional trained conflict classifier; without one, the
+            published cf boundary is used.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        period: Optional[PeriodDistribution] = None,
+        seed: int = 0,
+        settings: Optional[AnalysisSettings] = None,
+        classifier: Optional[ConflictClassifier] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.period = period or UniformJitterPeriod(1212)
+        self.seed = seed
+        self.analyzer = OfflineAnalyzer(settings=settings, classifier=classifier)
+
+    def profile(self, workload: Workload) -> RawProfile:
+        """Online phase: sample the workload's trace."""
+        session = MonitorSession(
+            geometry=self.geometry, period=self.period, seed=self.seed
+        )
+        return session.profile(
+            workload.trace(),
+            allocator=getattr(workload, "allocator", None),
+            image=getattr(workload, "image", None),
+        )
+
+    def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
+        """Offline phase: loops, RCDs, classification, attribution."""
+        return self.analyzer.analyze(profile, workload_name=workload_name)
+
+    def run(self, workload: Workload) -> ConflictReport:
+        """Profile then analyze in one call."""
+        name = getattr(workload, "name", workload.__class__.__name__)
+        profile = self.profile(workload)
+        if profile.sampling.sample_count == 0 and profile.sampling.total_events == 0:
+            raise AnalysisError(
+                f"workload {name!r} produced no L1 miss events; nothing to analyze"
+            )
+        return self.analyze(profile, workload_name=name)

@@ -1,0 +1,167 @@
+"""Re-Conflict Distance (RCD).
+
+Definition 1 of the paper: *the Re-Conflict Distance of a cache set S for a
+program context P is the number of intermediate cache misses between two
+consecutive cache misses on the set S.*
+
+Observation 2: with perfectly balanced set utilization the RCD of every set
+equals the number of sets N; RCD < N marks a victim of imbalanced
+utilization.
+
+The same computation serves both observation channels:
+
+- **exact mode** — the input is every L1 miss of a (portion of a) trace, as
+  a cache simulator produces;
+- **sampled mode** — the input is the sparse PEBS sample sequence.  Counting
+  intermediate *samples* preserves the imbalance signature: under uniform
+  set utilization, consecutive samples land on the same set once every ~N
+  samples regardless of the sampling period, whereas misses concentrated on
+  k < N sets drive the sampled RCD down toward k (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
+from repro.stats.distributions import EmpiricalCdf, Histogram
+
+
+class RcdObservation(NamedTuple):
+    """One measured RCD value.
+
+    Attributes:
+        set_index: The cache set the two bracketing misses hit.
+        rcd: Intermediate misses between them.
+        position: Ordinal (within the analyzed miss sequence) of the
+            *second* miss — the reuse point the RCD is charged to.
+    """
+
+    set_index: int
+    rcd: int
+    position: int
+
+
+def compute_rcds(set_sequence: Sequence[int]) -> List[RcdObservation]:
+    """RCDs of a sequence of per-miss cache-set indices.
+
+    The first miss on each set has no predecessor and produces no
+    observation (matching Figure 5, where RCD exists only between
+    *consecutive* misses on the same set).
+    """
+    last_seen: Dict[int, int] = {}
+    observations: List[RcdObservation] = []
+    for position, set_index in enumerate(set_sequence):
+        previous = last_seen.get(set_index)
+        if previous is not None:
+            observations.append(
+                RcdObservation(
+                    set_index=set_index,
+                    rcd=position - previous - 1,
+                    position=position,
+                )
+            )
+        last_seen[set_index] = position
+    return observations
+
+
+@dataclass
+class RcdAnalysis:
+    """Distributional view of a set of RCD observations.
+
+    Built once per program context (loop); queried for the contribution
+    factor, per-set histograms, and the CDF curves of Figures 7 and 9.
+    """
+
+    num_sets: int
+    observations: List[RcdObservation] = field(default_factory=list)
+    #: Total misses (or samples) in the context, including first-touches
+    #: that yielded no observation — the denominator of Equation 1.
+    total_misses: int = 0
+
+    @classmethod
+    def from_set_sequence(
+        cls, set_sequence: Sequence[int], num_sets: int
+    ) -> "RcdAnalysis":
+        """Analyze a per-miss set-index sequence."""
+        return cls(
+            num_sets=num_sets,
+            observations=compute_rcds(set_sequence),
+            total_misses=len(set_sequence),
+        )
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: Iterable[int], geometry: CacheGeometry
+    ) -> "RcdAnalysis":
+        """Analyze raw miss addresses via the geometry's index bits (§3.1)."""
+        sequence = [geometry.set_index(address) for address in addresses]
+        return cls.from_set_sequence(sequence, geometry.num_sets)
+
+    @property
+    def observation_count(self) -> int:
+        """Number of RCD observations (misses with a same-set predecessor)."""
+        return len(self.observations)
+
+    def histogram(self, set_index: Optional[int] = None) -> Histogram:
+        """RCD histogram — for one set, or pooled across sets."""
+        histogram = Histogram()
+        for observation in self.observations:
+            if set_index is None or observation.set_index == set_index:
+                histogram.add(observation.rcd)
+        return histogram
+
+    def per_set_histograms(self) -> Dict[int, Histogram]:
+        """RCD histogram keyed by set index (only sets with observations)."""
+        histograms: Dict[int, Histogram] = {}
+        for observation in self.observations:
+            histograms.setdefault(observation.set_index, Histogram()).add(
+                observation.rcd
+            )
+        return histograms
+
+    def cdf(self) -> EmpiricalCdf:
+        """Pooled RCD CDF: the curve of Figures 7 and 9."""
+        if not self.observations:
+            raise AnalysisError("no RCD observations; context saw <2 misses per set")
+        return EmpiricalCdf.from_values([o.rcd for o in self.observations])
+
+    def short_rcd_count(self, threshold: int) -> int:
+        """Observations with RCD strictly below ``threshold``."""
+        return sum(1 for o in self.observations if o.rcd < threshold)
+
+    def contribution_below(self, threshold: int) -> float:
+        """Fraction of misses with RCD < threshold — Equation 1's cf.
+
+        The denominator is the total misses in the context, matching
+        N_total in the paper.
+        """
+        if self.total_misses == 0:
+            return 0.0
+        return self.short_rcd_count(threshold) / self.total_misses
+
+    def mean_rcd(self) -> float:
+        """Mean observed RCD; ~``num_sets`` when utilization is balanced."""
+        if not self.observations:
+            raise AnalysisError("no RCD observations")
+        return sum(o.rcd for o in self.observations) / len(self.observations)
+
+    def victim_sets(self, threshold: int, min_share: float = 0.0) -> List[int]:
+        """Sets whose short-RCD observations exceed ``min_share`` of their
+        observations — the imbalanced-utilization victims of Observation 2.
+        """
+        victims: List[int] = []
+        for set_index, histogram in sorted(self.per_set_histograms().items()):
+            short = sum(
+                count for value, count in histogram.counts.items() if value < threshold
+            )
+            if histogram.total and short / histogram.total > min_share and short > 0:
+                victims.append(set_index)
+        return victims
+
+    def sets_observed(self) -> int:
+        """Distinct sets with at least one observation (Table 4's
+        "# of Cache Sets utilized" as seen through misses)."""
+        return len({o.set_index for o in self.observations})

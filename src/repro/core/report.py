@@ -1,0 +1,120 @@
+"""Structured conflict reports.
+
+The offline analyzer's output, mirroring the content of CCProf's
+``CCPROF_result/*result`` files: per-loop metrics (sample contribution, cf,
+sets utilized, classification) plus the responsible data structures for
+loops flagged as conflicting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.classifier import Implication
+
+
+@dataclass
+class DataStructureReport:
+    """One data structure implicated in a loop's conflicts.
+
+    Attributes:
+        label: Allocation label (e.g. ``input_itemsets``).
+        sample_count: Conflicting samples attributed to it.
+        share: Fraction of the loop's samples on this structure.
+    """
+
+    label: str
+    sample_count: int
+    share: float
+
+
+@dataclass
+class LoopReport:
+    """Analysis verdict for one loop (program context).
+
+    Attributes:
+        loop_name: ``file:line`` of the loop header (or ``func@ip``).
+        sample_count: Samples attributed to the loop.
+        miss_contribution: Loop's share of all sampled L1 misses — the
+            contribution column of Tables 2/4.
+        contribution_factor: Equation 1's cf at the analyzer's threshold.
+        sets_utilized: Distinct cache sets among the loop's samples.
+        mean_rcd: Mean sampled RCD (None when too few samples).
+        probability: Classifier P(conflict) (None when unclassified).
+        has_conflict: Final binary verdict.
+        implication: Table 1 guidance row.
+        data_structures: Responsible data structures, largest first.
+    """
+
+    loop_name: str
+    sample_count: int
+    miss_contribution: float
+    contribution_factor: float
+    sets_utilized: int
+    mean_rcd: Optional[float] = None
+    probability: Optional[float] = None
+    has_conflict: bool = False
+    implication: Implication = Implication.NO_CONFLICT
+    data_structures: List[DataStructureReport] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line rendering for the text report."""
+        verdict = "CONFLICT" if self.has_conflict else "ok"
+        rcd = f"{self.mean_rcd:.1f}" if self.mean_rcd is not None else "-"
+        probability = f"{self.probability:.2f}" if self.probability is not None else "-"
+        return (
+            f"{self.loop_name:<28} {self.miss_contribution:>7.2%} "
+            f"cf={self.contribution_factor:.3f} sets={self.sets_utilized:>3} "
+            f"meanRCD={rcd:>6} P={probability:>5} {verdict}"
+        )
+
+
+@dataclass
+class ConflictReport:
+    """Whole-program conflict analysis."""
+
+    workload_name: str
+    mean_sampling_period: float
+    total_samples: int
+    total_events: int
+    rcd_threshold: int
+    loops: List[LoopReport] = field(default_factory=list)
+
+    def conflicting_loops(self) -> List[LoopReport]:
+        """Loops the classifier flagged."""
+        return [loop for loop in self.loops if loop.has_conflict]
+
+    @property
+    def has_conflicts(self) -> bool:
+        """Whether any loop was flagged."""
+        return any(loop.has_conflict for loop in self.loops)
+
+    def loop(self, loop_name: str) -> LoopReport:
+        """Look up one loop's report."""
+        for entry in self.loops:
+            if entry.loop_name == loop_name:
+                return entry
+        raise KeyError(f"no report for loop {loop_name!r}")
+
+    def render(self) -> str:
+        """Multi-line text report, CCPROF_result style."""
+        lines = [
+            f"CCProf conflict report: {self.workload_name}",
+            f"  mean sampling period: {self.mean_sampling_period:.0f}",
+            f"  samples: {self.total_samples}  (of {self.total_events} L1 miss events)",
+            f"  RCD threshold: {self.rcd_threshold}",
+            "",
+            f"  {'loop':<28} {'contrib':>8} {'cf':>8} {'sets':>4} "
+            f"{'meanRCD':>8} {'P(conf)':>7} verdict",
+        ]
+        for loop in self.loops:
+            lines.append("  " + loop.describe())
+            for structure in loop.data_structures:
+                lines.append(
+                    f"      data: {structure.label:<24} "
+                    f"{structure.sample_count:>6} samples ({structure.share:.1%})"
+                )
+        if not self.loops:
+            lines.append("  (no hot loops above the reporting threshold)")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid cache geometry (non-power-of-two sizes, etc.)."""
+
+
+class AllocationError(ReproError):
+    """Raised for invalid virtual-heap operations (double free, overlap)."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces or trace files."""
+
+
+class ProgramImageError(ReproError):
+    """Raised for malformed program images or CFGs."""
+
+
+class SamplingError(ReproError):
+    """Raised for invalid PMU sampling configuration."""
+
+
+class AnalysisError(ReproError):
+    """Raised when offline analysis cannot proceed (missing data, etc.)."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid statistical-model configuration or unfit models."""

@@ -1,0 +1,28 @@
+"""Optimization guidance: turning conflict reports into transformations.
+
+The paper fixes every case study by hand — row padding for NW, ADI, FFT,
+Tiny-DNN and HimenoBMT; a loop-order change for Kripke — guided by CCProf's
+code- and data-centric reports.  This package automates the guidance step:
+
+- :mod:`repro.optimize.padding_advisor` — given the geometry and an array's
+  layout, recommend the smallest row pad that de-aliases consecutive rows;
+  given a conflict report, rank which arrays to pad.
+- :mod:`repro.optimize.layout` — detect large-constant-stride access (the
+  Kripke signature) and recommend a loop-order / layout change instead of a
+  pad.
+"""
+
+from repro.optimize.padding_advisor import (
+    PaddingRecommendation,
+    advise_padding,
+    recommend_pads_for_report,
+)
+from repro.optimize.layout import StrideDiagnosis, diagnose_stride
+
+__all__ = [
+    "PaddingRecommendation",
+    "advise_padding",
+    "recommend_pads_for_report",
+    "StrideDiagnosis",
+    "diagnose_stride",
+]

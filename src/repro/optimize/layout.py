@@ -1,0 +1,95 @@
+"""Stride diagnosis: when padding is the wrong fix.
+
+Kripke's conflict (§6.5) is not a row-pitch accident — the loop nest walks
+the innermost dimension of a 3-D array with a huge constant stride, and the
+right fix is reordering the loops (or transposing the layout).  This module
+looks at the sampled effective addresses of one loop and diagnoses whether
+the dominant pattern is a large constant stride, so the advisor can steer
+between "pad the rows" and "reorder the loops".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cache.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class StrideDiagnosis:
+    """Outcome of stride analysis on one loop's sampled addresses.
+
+    Attributes:
+        dominant_stride: The most common inter-sample address delta, or
+            None when no non-zero delta repeats.
+        dominant_share: Fraction of deltas equal to the dominant stride.
+        sets_covered: Distinct cache sets a walk at that stride visits.
+        aliases_sets: True when the walk covers no more sets than the
+            associativity — the guaranteed-conflict condition.
+        recommendation: ``"pad-rows"`` for pitch-scale aliasing strides,
+            ``"reorder-loops"`` for much larger ones, ``"none"`` otherwise.
+    """
+
+    dominant_stride: Optional[int]
+    dominant_share: float
+    sets_covered: int
+    aliases_sets: bool
+    recommendation: str
+
+
+def sets_covered_by_stride(stride: int, geometry: CacheGeometry) -> int:
+    """Distinct cache sets visited by an unbounded walk at ``stride``.
+
+    The walk's addresses modulo the mapping period are multiples of
+    ``g = gcd(stride, period)``; they hit every set when ``g`` divides the
+    line size, and only ``period / g`` sets when ``g`` is a whole number of
+    lines.
+    """
+    period = geometry.mapping_period
+    step = abs(stride) % period
+    if step == 0:
+        return 1
+    g = math.gcd(step, period)
+    if g <= geometry.line_size:
+        return geometry.num_sets
+    return period // g
+
+
+def diagnose_stride(
+    addresses: Sequence[int],
+    geometry: CacheGeometry = CacheGeometry(),
+    *,
+    row_pitch_hint: Optional[int] = None,
+    min_share: float = 0.4,
+) -> StrideDiagnosis:
+    """Diagnose the dominant access stride of a loop.
+
+    Args:
+        addresses: Sampled (or full) effective addresses, in time order.
+        geometry: Cache geometry for the aliasing test.
+        row_pitch_hint: The implicated array's row pitch, if known: a
+            dominant stride comparable to it is a column walk fixable by
+            padding; a stride orders of magnitude larger is a layout/loop
+            order problem.
+        min_share: Minimum share for a delta to count as dominant.
+    """
+    if len(addresses) < 3:
+        return StrideDiagnosis(None, 0.0, geometry.num_sets, False, "none")
+    deltas = Counter(
+        addresses[index + 1] - addresses[index] for index in range(len(addresses) - 1)
+    )
+    deltas.pop(0, None)  # repeated samples on one address carry no stride info
+    if not deltas:
+        return StrideDiagnosis(None, 0.0, geometry.num_sets, False, "none")
+    stride, count = deltas.most_common(1)[0]
+    share = count / (len(addresses) - 1)
+    covered = sets_covered_by_stride(stride, geometry)
+    aliases = covered <= geometry.ways
+    if share < min_share or not aliases:
+        return StrideDiagnosis(stride, share, covered, aliases and share >= min_share, "none")
+    pitch_scale = row_pitch_hint if row_pitch_hint is not None else geometry.mapping_period
+    recommendation = "pad-rows" if abs(stride) <= 4 * pitch_scale else "reorder-loops"
+    return StrideDiagnosis(stride, share, covered, True, recommendation)

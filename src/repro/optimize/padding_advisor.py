@@ -1,0 +1,127 @@
+"""Padding recommendations from conflict reports.
+
+Closes the loop the paper leaves to the programmer: CCProf names the loop
+and the data structure; the advisor computes how many bytes of row padding
+de-alias that structure's rows with respect to the cache geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.report import ConflictReport
+from repro.errors import AnalysisError
+from repro.workloads.base import Array2D
+from repro.workloads.padding import recommend_row_pad, row_set_stride, rows_per_set_cycle
+
+
+@dataclass(frozen=True)
+class PaddingRecommendation:
+    """Advice for one array.
+
+    Attributes:
+        label: The array's allocation label.
+        pad_bytes: Recommended row padding (0 = layout already fine).
+        current_cycle: Rows before set phases repeat, before padding.
+        padded_cycle: Same after padding.
+        reason: Human-readable justification.
+    """
+
+    label: str
+    pad_bytes: int
+    current_cycle: int
+    padded_cycle: int
+    reason: str
+
+    @property
+    def is_needed(self) -> bool:
+        """Whether any padding is actually recommended."""
+        return self.pad_bytes > 0
+
+
+def advise_padding(
+    array: Array2D,
+    geometry: CacheGeometry = CacheGeometry(),
+    alignment: int = 8,
+) -> PaddingRecommendation:
+    """Recommend a row pad for one 2-D array.
+
+    The recommendation targets the condition that defeats column-walk
+    conflicts: consecutive row bases should cycle through at least
+    ``num_sets`` distinct line phases before repeating.
+    """
+    current_cycle = rows_per_set_cycle(array.pitch, geometry)
+    full_cycle_lines = geometry.num_sets
+    if current_cycle * geometry.line_size >= geometry.mapping_period:
+        return PaddingRecommendation(
+            label=array.allocation.label,
+            pad_bytes=0,
+            current_cycle=current_cycle,
+            padded_cycle=current_cycle,
+            reason=(
+                f"rows already cycle {current_cycle} phases "
+                f"(>= {full_cycle_lines} sets); no pad needed"
+            ),
+        )
+    pad = recommend_row_pad(array.cols, array.elem_size, geometry, alignment=alignment)
+    extra = pad - array.pad_bytes
+    if extra <= 0:
+        # The array is already padded at least as much as we would suggest;
+        # recompute relative to its actual pitch.
+        extra = _smallest_extra_pad(array.pitch, geometry, alignment)
+    padded_cycle = rows_per_set_cycle(array.pitch + extra, geometry)
+    stride = row_set_stride(array.pitch, geometry)
+    return PaddingRecommendation(
+        label=array.allocation.label,
+        pad_bytes=extra,
+        current_cycle=current_cycle,
+        padded_cycle=padded_cycle,
+        reason=(
+            f"pitch {array.pitch} advances {stride:.2f} sets/row and repeats "
+            f"after {current_cycle} rows; +{extra} B reaches {padded_cycle} phases"
+        ),
+    )
+
+
+def _smallest_extra_pad(pitch: int, geometry: CacheGeometry, alignment: int) -> int:
+    for extra in range(alignment, geometry.mapping_period + 1, alignment):
+        if rows_per_set_cycle(pitch + extra, geometry) * geometry.line_size >= (
+            geometry.mapping_period
+        ):
+            return extra
+    raise AnalysisError(f"no pad within one mapping period fixes pitch {pitch}")
+
+
+def recommend_pads_for_report(
+    report: ConflictReport,
+    arrays: List[Array2D],
+    geometry: CacheGeometry = CacheGeometry(),
+    alignment: int = 8,
+) -> List[PaddingRecommendation]:
+    """Advise pads for the arrays implicated in a conflict report.
+
+    Args:
+        report: The analyzer's output.
+        arrays: The candidate arrays (workload's 2-D allocations).
+        geometry: Cache geometry the report was measured against.
+        alignment: Pad granularity in bytes.
+
+    Returns:
+        One recommendation per implicated array, ordered by how many
+        conflicting samples the report attributes to it.
+    """
+    implicated: List[str] = []
+    for loop in report.conflicting_loops():
+        for structure in loop.data_structures:
+            if structure.label not in implicated:
+                implicated.append(structure.label)
+    by_label = {array.allocation.label: array for array in arrays}
+    recommendations: List[PaddingRecommendation] = []
+    for label in implicated:
+        array = by_label.get(label)
+        if array is None:
+            continue  # scalar / 1-D / unknown structure: padding rows is moot
+        recommendations.append(advise_padding(array, geometry, alignment=alignment))
+    return recommendations

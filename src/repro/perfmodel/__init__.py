@@ -1,0 +1,26 @@
+"""Analytical performance model.
+
+Table 3 of the paper reports wall-clock speedups of the padded kernels on
+real Broadwell and Skylake machines.  No such machines are measurable from
+here, so speedups are *modelled*: a simple additive memory-cycle model
+converts the per-level miss counts of a hierarchy simulation into estimated
+cycles, and speedup is the ratio of the original to the optimized estimate.
+This is the standard first-order model (AMAT x accesses) and captures the
+paper's mechanism — padding pays exactly in proportion to the misses it
+removes, weighted by each level's latency.
+
+- :mod:`repro.perfmodel.machine` — Broadwell / Skylake machine specs.
+- :mod:`repro.perfmodel.timing` — the cycle estimator and speedup helper.
+"""
+
+from repro.perfmodel.machine import BROADWELL, SKYLAKE, MachineSpec
+from repro.perfmodel.timing import CycleEstimate, estimate_cycles, speedup
+
+__all__ = [
+    "MachineSpec",
+    "BROADWELL",
+    "SKYLAKE",
+    "CycleEstimate",
+    "estimate_cycles",
+    "speedup",
+]

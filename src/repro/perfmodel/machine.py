@@ -1,0 +1,78 @@
+"""Machine specifications for the paper's two evaluation platforms.
+
+Paper §5: Intel Broadwell Xeon E7-4830v4 (2.00 GHz, 14 cores x 2 SMT,
+35 MB LLC) and Intel Skylake Xeon E3-1240v5 (3.50 GHz, 4 cores x 2 SMT,
+8 MB LLC); both with 32 KB L1 and 256 KB L2 per core.  Latencies are the
+publicly documented load-to-use figures for those microarchitectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform.
+
+    Attributes:
+        name: Platform name as used in Table 3 headers.
+        frequency_ghz: Core clock.
+        cores: Physical cores per socket.
+        smt: Hardware threads per core.
+        l1_latency: L1 hit latency (cycles).
+        l2_latency: L2 hit latency (cycles).
+        llc_latency: LLC hit latency (cycles).
+        memory_latency: DRAM access latency (cycles).
+    """
+
+    name: str
+    frequency_ghz: float
+    cores: int
+    smt: int
+    l1_latency: int
+    l2_latency: int
+    llc_latency: int
+    memory_latency: int
+
+    @property
+    def threads(self) -> int:
+        """Hardware threads the paper runs with (all of them)."""
+        return self.cores * self.smt
+
+    def hierarchy(self) -> CacheHierarchy:
+        """A fresh per-core cache hierarchy for this machine."""
+        if self.name.lower().startswith("broadwell"):
+            return CacheHierarchy.broadwell()
+        return CacheHierarchy.skylake()
+
+    def level_latencies(self) -> tuple:
+        """(L1, L2, LLC, memory) latencies in cycles."""
+        return (self.l1_latency, self.l2_latency, self.llc_latency, self.memory_latency)
+
+
+#: Intel Broadwell Xeon E7-4830v4 (paper §5).
+BROADWELL = MachineSpec(
+    name="Broadwell E7-4830v4",
+    frequency_ghz=2.0,
+    cores=14,
+    smt=2,
+    l1_latency=4,
+    l2_latency=12,
+    llc_latency=50,
+    memory_latency=220,
+)
+
+#: Intel Skylake Xeon E3-1240v5 (paper §5).
+SKYLAKE = MachineSpec(
+    name="Skylake E3-1240v5",
+    frequency_ghz=3.5,
+    cores=4,
+    smt=2,
+    l1_latency=4,
+    l2_latency=12,
+    llc_latency=42,
+    memory_latency=190,
+)

@@ -1,0 +1,55 @@
+"""PMU / PEBS address-sampling simulation.
+
+Real CCProf programs the PMU with ``MEM_LOAD_UOPS_RETIRED:L1_MISS`` and a
+randomized sampling period; each sample delivers the instruction pointer and
+effective address of one L1 load miss (paper §2.2, §4).  No such hardware is
+reachable from this environment, so this package reproduces the *observation
+channel*: a sampler that watches the simulated L1's miss stream and emits
+sparse, lossy (ip, address) samples with exactly the statistics of
+event-based sampling.
+
+- :mod:`repro.pmu.event` — sampleable event definitions.
+- :mod:`repro.pmu.periods` — sampling-period distributions (the paper
+  randomizes the next period per sample).
+- :mod:`repro.pmu.sampler` — the address sampler itself.
+- :mod:`repro.pmu.monitor` — a libmonitor-like session bundling sampler +
+  allocator + program image into one profile.
+- :mod:`repro.pmu.overhead` — analytic runtime-overhead model calibrated to
+  the paper's reported (period, overhead) points.
+"""
+
+from repro.pmu.event import PmuEvent, L1_MISS_EVENT, ALL_LOADS_EVENT
+from repro.pmu.periods import (
+    FixedPeriod,
+    GeometricPeriod,
+    PeriodDistribution,
+    UniformJitterPeriod,
+    make_period_distribution,
+)
+from repro.pmu.sampler import AddressSample, AddressSampler, SamplingResult
+from repro.pmu.monitor import MonitorSession, RawProfile
+from repro.pmu.multithread import MultiThreadMonitor, MultiThreadProfile
+from repro.pmu.calibration import CalibrationFit, fit_overhead_model
+from repro.pmu.overhead import OverheadModel, SIMULATION_SLOWDOWN
+
+__all__ = [
+    "PmuEvent",
+    "L1_MISS_EVENT",
+    "ALL_LOADS_EVENT",
+    "PeriodDistribution",
+    "FixedPeriod",
+    "UniformJitterPeriod",
+    "GeometricPeriod",
+    "make_period_distribution",
+    "AddressSample",
+    "AddressSampler",
+    "SamplingResult",
+    "MonitorSession",
+    "RawProfile",
+    "MultiThreadMonitor",
+    "MultiThreadProfile",
+    "OverheadModel",
+    "SIMULATION_SLOWDOWN",
+    "CalibrationFit",
+    "fit_overhead_model",
+]

@@ -1,0 +1,107 @@
+"""Overhead-model calibration from measurements.
+
+:class:`~repro.pmu.overhead.OverheadModel` ships calibrated to the paper's
+two published (period, overhead) points.  Users profiling on their own
+machines can measure overhead at a few sampling periods and fit the same
+two-parameter model — ``overhead = 1 + fixed + handler_cost / period`` —
+by least squares in the transformed variable ``x = 1/period``, which makes
+the fit linear and closed-form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.pmu.overhead import OverheadModel
+
+
+@dataclass(frozen=True)
+class CalibrationFit:
+    """Result of fitting the overhead model to observations.
+
+    Attributes:
+        model: The fitted model.
+        residuals: Per-observation (observed - predicted) overhead.
+        r_squared: Coefficient of determination in overhead space.
+    """
+
+    model: OverheadModel
+    residuals: Tuple[float, ...]
+    r_squared: float
+
+    @property
+    def max_abs_residual(self) -> float:
+        """Worst-case absolute prediction error over the fit points."""
+        return max((abs(r) for r in self.residuals), default=0.0)
+
+
+def fit_overhead_model(
+    observations: Sequence[Tuple[float, float]],
+) -> CalibrationFit:
+    """Least-squares fit of the two-parameter overhead model.
+
+    Args:
+        observations: (mean sampling period, measured overhead factor)
+            pairs; at least two with distinct periods.
+
+    Raises:
+        ModelError: Too few / degenerate observations, or a fit implying
+            negative handler cost (measurement noise exceeded signal).
+    """
+    if len(observations) < 2:
+        raise ModelError(f"need >= 2 observations, got {len(observations)}")
+    periods = np.asarray([p for p, _ in observations], dtype=float)
+    overheads = np.asarray([o for _, o in observations], dtype=float)
+    if np.any(periods <= 0):
+        raise ModelError("periods must be positive")
+    if np.any(overheads < 1.0):
+        raise ModelError("overhead factors below 1.0 are not physical")
+    if len(set(periods.tolist())) < 2:
+        raise ModelError("observations need at least two distinct periods")
+
+    # overhead - 1 = fixed + handler_cost * (1/period): linear regression.
+    x = 1.0 / periods
+    y = overheads - 1.0
+    design = np.column_stack([np.ones_like(x), x])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    fixed, handler_cost = float(coefficients[0]), float(coefficients[1])
+    if handler_cost < 0:
+        raise ModelError(
+            "fit implies negative per-sample cost; overheads do not decrease "
+            "with the period — check the measurements"
+        )
+    fixed = max(fixed, 0.0)
+
+    model = OverheadModel(fixed=fixed, handler_cost=handler_cost)
+    predicted = np.array([model.overhead_at_period(p) for p in periods])
+    residuals = overheads - predicted
+    total = float(np.sum((overheads - overheads.mean()) ** 2))
+    if total > 0:
+        r_squared = 1.0 - float(np.sum(residuals**2)) / total
+    else:
+        r_squared = 1.0
+    return CalibrationFit(
+        model=model,
+        residuals=tuple(float(r) for r in residuals),
+        r_squared=r_squared,
+    )
+
+
+def sweep_periods_for_budget(
+    model: OverheadModel,
+    overhead_budgets: Sequence[float],
+    event_rate: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """(budget, period) pairs: the coarsest period fitting each budget.
+
+    The practical question Table 2 answers per application: "how fine can
+    I sample and stay under N x runtime?".
+    """
+    pairs: List[Tuple[float, float]] = []
+    for budget in overhead_budgets:
+        pairs.append((budget, model.period_for_overhead(budget, event_rate)))
+    return pairs

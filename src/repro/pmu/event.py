@@ -1,0 +1,60 @@
+"""Sampleable PMU events.
+
+An event is a predicate over (memory access, cache outcome).  CCProf uses
+``MEM_LOAD_UOPS_RETIRED:L1_MISS`` — retired load micro-ops that missed the
+L1 data cache — which PEBS on Haswell-and-later can sample with the
+effective address attached (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.set_assoc import AccessResult
+from repro.trace.record import MemoryAccess
+
+#: Predicate deciding whether one (access, L1 outcome) pair fires the event.
+EventPredicate = Callable[[MemoryAccess, AccessResult], bool]
+
+
+@dataclass(frozen=True)
+class PmuEvent:
+    """One hardware event the sampler can be armed with.
+
+    Attributes:
+        name: Canonical event string (Intel SDM naming).
+        predicate: Fires the counter for a given access/outcome pair.
+        precise: Whether PEBS can attach an effective address (all the
+            events we model are precise).
+    """
+
+    name: str
+    predicate: EventPredicate
+    precise: bool = True
+
+    def matches(self, access: MemoryAccess, result: AccessResult) -> bool:
+        """Whether this access/outcome increments the event counter."""
+        return self.predicate(access, result)
+
+
+def _is_l1_load_miss(access: MemoryAccess, result: AccessResult) -> bool:
+    return access.is_load and result.miss
+
+
+def _is_any_load(access: MemoryAccess, result: AccessResult) -> bool:
+    return access.is_load
+
+
+def _is_l1_load_hit(access: MemoryAccess, result: AccessResult) -> bool:
+    return access.is_load and result.hit
+
+
+#: The event CCProf samples: retired loads that missed L1 (paper §4).
+L1_MISS_EVENT = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_MISS", _is_l1_load_miss)
+
+#: All retired loads — useful for miss-ratio style baselines.
+ALL_LOADS_EVENT = PmuEvent("MEM_UOPS_RETIRED:ALL_LOADS", _is_any_load)
+
+#: Retired loads that hit L1 — complements the miss event in tests.
+L1_HIT_EVENT = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_HIT", _is_l1_load_hit)

@@ -1,0 +1,160 @@
+"""Monitor sessions: the libmonitor analogue.
+
+Real CCProf preloads libmonitor into the target process to (a) set up PMU
+sampling per thread and (b) intercept memory allocations for data-centric
+attribution (paper §4).  A :class:`MonitorSession` bundles the same three
+ingredients for a simulated run — sampler configuration, the workload's
+virtual allocator, and its program image — and produces a
+:class:`RawProfile`, the serialized artifact the offline analyzer consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SamplingError
+from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
+from repro.pmu.sampler import AddressSample, AddressSampler, SamplingResult
+from repro.program.image import ProgramImage
+from repro.trace.allocator import VirtualAllocator
+from repro.trace.record import MemoryAccess
+
+
+@dataclass
+class RawProfile:
+    """The on-disk artifact of one profiled run.
+
+    Attributes:
+        sampling: Sparse samples plus run totals.
+        allocator: The allocation log captured during the run.
+        image: Program image for code-centric attribution (may be None for
+            fully anonymous binaries).
+    """
+
+    sampling: SamplingResult
+    allocator: Optional[VirtualAllocator] = None
+    image: Optional[ProgramImage] = None
+
+    def dump_samples(self, path: Union[str, Path]) -> int:
+        """Serialize samples to a JSON-lines log file.
+
+        Mirrors CCProf's per-thread profile logs.  Returns the number of
+        records written.
+        """
+        count = 0
+        with open(path, "w", encoding="ascii") as handle:
+            header = {
+                "total_events": self.sampling.total_events,
+                "total_accesses": self.sampling.total_accesses,
+                "mean_period": self.sampling.mean_period,
+                "num_sets": self.sampling.geometry.num_sets,
+                "line_size": self.sampling.geometry.line_size,
+                "ways": self.sampling.geometry.ways,
+            }
+            handle.write(json.dumps({"header": header}) + "\n")
+            for sample in self.sampling.samples:
+                handle.write(
+                    json.dumps(
+                        {
+                            "ip": sample.ip,
+                            "addr": sample.address,
+                            "event": sample.event_index,
+                            "access": sample.access_index,
+                        }
+                    )
+                    + "\n"
+                )
+                count += 1
+        return count
+
+    @classmethod
+    def load_samples(cls, path: Union[str, Path]) -> "RawProfile":
+        """Read a JSON-lines log back into a profile (no image/allocator)."""
+        with open(path, "r", encoding="ascii") as handle:
+            first = handle.readline()
+            if not first:
+                raise SamplingError(f"{path}: empty profile log")
+            try:
+                header = json.loads(first).get("header")
+            except json.JSONDecodeError as exc:
+                raise SamplingError(f"{path}:1: malformed header: {exc}") from exc
+            if header is None:
+                raise SamplingError(f"{path}: missing header record")
+            try:
+                geometry = CacheGeometry(
+                    line_size=header["line_size"],
+                    num_sets=header["num_sets"],
+                    ways=header["ways"],
+                )
+                sampling = SamplingResult(
+                    total_events=header["total_events"],
+                    total_accesses=header["total_accesses"],
+                    mean_period=header["mean_period"],
+                    geometry=geometry,
+                )
+            except KeyError as exc:
+                raise SamplingError(f"{path}: header missing field {exc}") from exc
+            for line_number, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    sampling.samples.append(
+                        AddressSample(
+                            ip=record["ip"],
+                            address=record["addr"],
+                            event_index=record["event"],
+                            access_index=record["access"],
+                        )
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise SamplingError(
+                        f"{path}:{line_number}: malformed sample record: {exc}"
+                    ) from exc
+        return cls(sampling=sampling)
+
+
+class MonitorSession:
+    """Configure once, profile many traces.
+
+    Args:
+        geometry: L1 geometry to sample against.
+        period: Sampling-period distribution (default: mean 1212 with
+            uniform jitter — the paper's recommended setting).
+        seed: Sampler RNG seed.
+        policy: L1 replacement policy.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        period: Optional[PeriodDistribution] = None,
+        seed: int = 0,
+        policy: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.period = period or UniformJitterPeriod(1212)
+        self.seed = seed
+        self.policy = policy
+
+    def profile(
+        self,
+        stream: Iterable[MemoryAccess],
+        *,
+        allocator: Optional[VirtualAllocator] = None,
+        image: Optional[ProgramImage] = None,
+    ) -> RawProfile:
+        """Run one profiled execution over ``stream``."""
+        sampler = AddressSampler(
+            geometry=self.geometry,
+            period=self.period,
+            seed=self.seed,
+            policy=self.policy,
+        )
+        return RawProfile(
+            sampling=sampler.run(stream), allocator=allocator, image=image
+        )

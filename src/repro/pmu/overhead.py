@@ -1,0 +1,130 @@
+"""Runtime-overhead models.
+
+The paper's Figure 8 and Table 2 report runtime overhead factors:
+
+- CCProf sampling: 9.3x at mean sampling period 171, 2.9x at 1212 (Fig. 8),
+  and a 1.37x median for whole-application profiling (Table 2).
+- Trace-driven simulation: ~1000x average, 264x median for target loops.
+
+Those numbers come from real hardware runs we cannot perform, so this module
+provides a first-order analytic model — overhead grows with the number of
+PMU interrupts taken, i.e. with the event rate divided by the sampling
+period — *calibrated to the paper's two published (period, overhead)
+points*.  The Table 2 benchmark additionally measures the real wall-clock
+ratio of our own sampling vs. full simulation pipelines, which reproduces
+the shape (sampling is orders of magnitude cheaper) on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SamplingError
+
+#: Average slowdown of trace-driven simulation reported in the paper (§5.3).
+SIMULATION_SLOWDOWN = 1000.0
+
+#: Median per-loop simulation slowdown across the six case studies (§5.3).
+SIMULATION_SLOWDOWN_MEDIAN = 264.0
+
+#: The paper's calibration points: mean sampling period -> overhead factor.
+PAPER_CALIBRATION = ((171.0, 9.3), (1212.0, 2.9))
+
+#: Event rate implied by the calibration (events per unit work); the paper's
+#: training loops are miss-heavy, so the default assumes the same regime.
+_REFERENCE_EVENT_RATE = 1.0
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Overhead = 1 + fixed + handler_cost * interrupts_per_unit_work.
+
+    ``interrupts_per_unit_work`` is ``event_rate / period``: each PMU
+    interrupt costs a fixed handler time (register dump, unwinding, log
+    write), and the baseline does one unit of work per event at the
+    reference rate.
+
+    Attributes:
+        fixed: Constant fraction added by monitoring infrastructure
+            (libmonitor preload, counter multiplexing).
+        handler_cost: Handler cost expressed in units of per-event work.
+    """
+
+    fixed: float
+    handler_cost: float
+
+    @classmethod
+    def calibrated(cls) -> "OverheadModel":
+        """Solve the two-parameter model from the paper's two points.
+
+        With points (p1, o1) and (p2, o2):
+            o = 1 + fixed + handler_cost / p
+        """
+        (p1, o1), (p2, o2) = PAPER_CALIBRATION
+        handler_cost = (o1 - o2) / (1.0 / p1 - 1.0 / p2)
+        fixed = o2 - 1.0 - handler_cost / p2
+        return cls(fixed=fixed, handler_cost=handler_cost)
+
+    def overhead_at_period(
+        self, mean_period: float, event_rate: float = _REFERENCE_EVENT_RATE
+    ) -> float:
+        """Overhead factor at a mean sampling period.
+
+        Args:
+            mean_period: Mean events between samples.
+            event_rate: Qualifying events per unit of baseline work,
+                relative to the calibration workloads (1.0 = same miss
+                intensity; 0.1 = ten times fewer misses, so ten times
+                fewer interrupts and proportionally less overhead).
+        """
+        if mean_period <= 0:
+            raise SamplingError(f"mean period must be positive: {mean_period}")
+        if event_rate < 0:
+            raise SamplingError(f"event rate must be non-negative: {event_rate}")
+        scaled_fixed = self.fixed * min(event_rate, 1.0)
+        return 1.0 + scaled_fixed + self.handler_cost * event_rate / mean_period
+
+    def overhead_for_run(
+        self, total_events: int, sample_count: int, total_accesses: int
+    ) -> float:
+        """Overhead factor from actual run counts.
+
+        Uses the same calibration but with the run's own interrupt density:
+        ``sample_count`` interrupts amortized over ``total_accesses`` units
+        of work.
+        """
+        if total_accesses <= 0:
+            raise SamplingError("run had no accesses")
+        event_rate = total_events / total_accesses
+        interrupts_per_work = sample_count / total_accesses
+        scaled_fixed = self.fixed * min(event_rate, 1.0)
+        # handler_cost is per-interrupt in units of per-event work at the
+        # reference rate; re-express per access.
+        return 1.0 + scaled_fixed + self.handler_cost * interrupts_per_work
+
+    def period_for_overhead(
+        self, overhead: float, event_rate: float = _REFERENCE_EVENT_RATE
+    ) -> float:
+        """Inverse model: the period that lands at a target overhead."""
+        scaled_fixed = self.fixed * min(event_rate, 1.0)
+        headroom = overhead - 1.0 - scaled_fixed
+        if headroom <= 0:
+            raise SamplingError(
+                f"target overhead {overhead} is below the fixed floor "
+                f"{1.0 + scaled_fixed:.3f}"
+            )
+        return self.handler_cost * event_rate / headroom
+
+
+def simulation_overhead(loop_fraction: float, slowdown: float = SIMULATION_SLOWDOWN_MEDIAN) -> float:
+    """Model the overhead of selectively simulating a loop.
+
+    The paper only traces/simulates hot loops; the rest of the program runs
+    natively.  If the loop is ``loop_fraction`` of baseline runtime and
+    tracing slows it by ``slowdown``:
+
+        overhead = (1 - loop_fraction) + loop_fraction * slowdown
+    """
+    if not 0.0 <= loop_fraction <= 1.0:
+        raise SamplingError(f"loop fraction must be in [0, 1]: {loop_fraction}")
+    return (1.0 - loop_fraction) + loop_fraction * slowdown

@@ -1,0 +1,123 @@
+"""Sampling-period distributions.
+
+"Upon each sample event, CCProf's sample handler randomly sets the next
+sampling period based on given probability distribution" (paper §4).
+Randomizing the period avoids lock-step aliasing between the sampler and
+periodic access patterns — precisely the patterns conflict misses produce —
+so the default here is a uniform jitter around the mean, with fixed and
+geometric (memoryless) alternatives for the ablation study.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import SamplingError
+
+
+class PeriodDistribution(ABC):
+    """Distribution of the number of events between consecutive samples."""
+
+    @property
+    @abstractmethod
+    def mean_period(self) -> float:
+        """Expected events per sample."""
+
+    @abstractmethod
+    def next_period(self, rng: random.Random) -> int:
+        """Draw the countdown until the next sample (>= 1)."""
+
+
+class FixedPeriod(PeriodDistribution):
+    """Deterministic period: sample every ``period``-th event.
+
+    Vulnerable to aliasing with periodic miss patterns; kept for the
+    ablation that demonstrates why the paper randomizes.
+    """
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise SamplingError(f"period must be >= 1, got {period}")
+        self.period = period
+
+    @property
+    def mean_period(self) -> float:
+        return float(self.period)
+
+    def next_period(self, rng: random.Random) -> int:
+        return self.period
+
+    def __repr__(self) -> str:
+        return f"FixedPeriod({self.period})"
+
+
+class UniformJitterPeriod(PeriodDistribution):
+    """Uniform draw in ``[mean*(1-jitter), mean*(1+jitter)]`` (default).
+
+    Matches the common perf/PEBS practice of jittering the reset value.
+    """
+
+    def __init__(self, mean: int, jitter: float = 0.25) -> None:
+        if mean < 1:
+            raise SamplingError(f"mean period must be >= 1, got {mean}")
+        if not 0.0 <= jitter < 1.0:
+            raise SamplingError(f"jitter must be in [0, 1), got {jitter}")
+        self.mean = mean
+        self.jitter = jitter
+        self._low = max(1, int(round(mean * (1.0 - jitter))))
+        self._high = max(self._low, int(round(mean * (1.0 + jitter))))
+
+    @property
+    def mean_period(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def next_period(self, rng: random.Random) -> int:
+        return rng.randint(self._low, self._high)
+
+    def __repr__(self) -> str:
+        return f"UniformJitterPeriod(mean={self.mean}, jitter={self.jitter})"
+
+
+class GeometricPeriod(PeriodDistribution):
+    """Geometric inter-sample gap: each event sampled independently.
+
+    The memoryless choice — equivalent to Bernoulli sampling of events with
+    probability ``1/mean`` — gives the cleanest statistical guarantees for
+    the RCD approximation analysis.
+    """
+
+    def __init__(self, mean: int) -> None:
+        if mean < 1:
+            raise SamplingError(f"mean period must be >= 1, got {mean}")
+        self.mean = mean
+        self._probability = 1.0 / mean
+
+    @property
+    def mean_period(self) -> float:
+        return float(self.mean)
+
+    def next_period(self, rng: random.Random) -> int:
+        # Inverse-CDF draw of a geometric distribution with support {1, 2, ...}.
+        import math
+
+        u = rng.random()
+        if self._probability >= 1.0:
+            return 1
+        gap = int(math.ceil(math.log1p(-u) / math.log1p(-self._probability)))
+        return max(1, gap)
+
+    def __repr__(self) -> str:
+        return f"GeometricPeriod(mean={self.mean})"
+
+
+def make_period_distribution(kind: str, mean: int, **kwargs) -> PeriodDistribution:
+    """Factory by name: ``fixed``, ``uniform``, or ``geometric``."""
+    kind = kind.lower()
+    if kind == "fixed":
+        return FixedPeriod(mean)
+    if kind == "uniform":
+        return UniformJitterPeriod(mean, **kwargs)
+    if kind == "geometric":
+        return GeometricPeriod(mean)
+    raise SamplingError(f"unknown period distribution {kind!r}")

@@ -1,0 +1,177 @@
+"""The PEBS-like address sampler.
+
+Drives a memory trace through the simulated L1, counts qualifying events
+(by default L1 load misses), and emits a sample — instruction pointer plus
+effective address — every time the randomized countdown expires.  This is
+the lossy observation channel all of CCProf's inference is built to cope
+with: between two samples, an unknown number of misses happened unseen.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.pmu.event import L1_MISS_EVENT, PmuEvent
+from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
+from repro.trace.record import MemoryAccess
+
+
+class AddressSample(NamedTuple):
+    """One PEBS record.
+
+    Attributes:
+        ip: Instruction pointer of the sampled instruction.
+        address: Effective data address.
+        event_index: Ordinal of this event among all qualifying events
+            (the sampler knows it; offline analysis must not use it other
+            than for diagnostics — real PEBS does not report it).
+        access_index: Ordinal of the access within the whole trace.
+    """
+
+    ip: int
+    address: int
+    event_index: int
+    access_index: int
+
+
+@dataclass
+class SamplingResult:
+    """Everything one profiling run produces.
+
+    Attributes:
+        samples: The sparse PEBS records, in time order.
+        total_events: Count of qualifying events (e.g. all L1 load misses).
+        total_accesses: Length of the driven trace.
+        mean_period: Mean of the configured period distribution.
+        geometry: L1 geometry the run used (needed for set attribution).
+    """
+
+    samples: List[AddressSample] = field(default_factory=list)
+    total_events: int = 0
+    total_accesses: int = 0
+    mean_period: float = 0.0
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples captured."""
+        return len(self.samples)
+
+    @property
+    def effective_period(self) -> float:
+        """Observed events per sample (diagnostic)."""
+        if not self.samples:
+            return float("inf")
+        return self.total_events / len(self.samples)
+
+    @property
+    def event_rate(self) -> float:
+        """Qualifying events per access (e.g. the L1 load-miss rate)."""
+        if not self.total_accesses:
+            return 0.0
+        return self.total_events / self.total_accesses
+
+
+class AddressSampler:
+    """Event-based address sampling over a simulated L1.
+
+    Args:
+        geometry: L1 cache geometry.
+        period: Sampling-period distribution; defaults to a uniform jitter
+            around the paper's recommended mean period of 1212.
+        event: Which event to sample (default L1 load misses).
+        seed: RNG seed — runs are reproducible.
+        policy: L1 replacement policy.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        period: Optional[PeriodDistribution] = None,
+        event: PmuEvent = L1_MISS_EVENT,
+        seed: int = 0,
+        policy: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.period = period or UniformJitterPeriod(1212)
+        self.event = event
+        self.policy = policy
+        self._seed = seed
+
+    def run(self, stream: Iterable[MemoryAccess]) -> SamplingResult:
+        """Profile a trace; returns the sparse sample record.
+
+        A fresh cache and RNG are created per run so repeated runs with the
+        same seed are bit-identical.
+        """
+        rng = random.Random(self._seed)
+        cache = SetAssociativeCache(self.geometry, policy=self.policy)
+        result = SamplingResult(
+            mean_period=self.period.mean_period, geometry=self.geometry
+        )
+        countdown = self.period.next_period(rng)
+        event_matches = self.event.matches
+        cache_access = cache.access
+        access_index = 0
+        event_index = 0
+        for access in stream:
+            outcome = cache_access(access.address, access.ip)
+            if event_matches(access, outcome):
+                event_index += 1
+                countdown -= 1
+                if countdown <= 0:
+                    result.samples.append(
+                        AddressSample(
+                            ip=access.ip,
+                            address=access.address,
+                            event_index=event_index - 1,
+                            access_index=access_index,
+                        )
+                    )
+                    countdown = self.period.next_period(rng)
+            access_index += 1
+        result.total_events = event_index
+        result.total_accesses = access_index
+        return result
+
+    def run_with_trace_of_events(self, stream: Iterable[MemoryAccess]) -> tuple:
+        """Profile while also recording the *full* event stream.
+
+        Returns:
+            (SamplingResult, list of (ip, address) for every qualifying
+            event).  This is the synthesized-simulator mode of §5.2: the
+            full stream gives ground-truth RCDs, the samples give CCProf's
+            approximation, from the *same* execution.
+        """
+        rng = random.Random(self._seed)
+        cache = SetAssociativeCache(self.geometry, policy=self.policy)
+        result = SamplingResult(
+            mean_period=self.period.mean_period, geometry=self.geometry
+        )
+        events: List[AddressSample] = []
+        countdown = self.period.next_period(rng)
+        access_index = 0
+        event_index = 0
+        for access in stream:
+            outcome = cache.access(access.address, access.ip)
+            if self.event.matches(access, outcome):
+                record = AddressSample(
+                    ip=access.ip,
+                    address=access.address,
+                    event_index=event_index,
+                    access_index=access_index,
+                )
+                events.append(record)
+                event_index += 1
+                countdown -= 1
+                if countdown <= 0:
+                    result.samples.append(record)
+                    countdown = self.period.next_period(rng)
+            access_index += 1
+        result.total_events = event_index
+        result.total_accesses = access_index
+        return result, events

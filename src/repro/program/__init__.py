@@ -1,0 +1,45 @@
+"""Program model: CFGs, loop analysis, and symbolication.
+
+CCProf's offline analyzer "retrieves the control flow graph (CFG) of the
+target application from the machine code and uses interval analysis to
+identify loops" (paper §4, citing Havlak).  In this reproduction the binary
+decoder is replaced by structured :class:`~repro.program.image.ProgramImage`
+objects that workloads emit (there is no native binary to decode), but the
+analysis algorithms are the real thing:
+
+- :mod:`repro.program.cfg` — basic blocks and control-flow graphs.
+- :mod:`repro.program.dominators` — Cooper-Harvey-Kennedy iterative
+  dominators and the dominator tree.
+- :mod:`repro.program.loops` — natural-loop detection plus the Havlak
+  loop-nesting forest (handles irreducible regions).
+- :mod:`repro.program.image` — program images: functions, line table,
+  address ranges.
+- :mod:`repro.program.builder` — fluent construction of images with nested
+  loops, used by every workload.
+- :mod:`repro.program.symbols` — IP → function / source line / innermost
+  loop resolution.
+"""
+
+from repro.program.cfg import BasicBlock, ControlFlowGraph
+from repro.program.dominators import DominatorTree, compute_dominators
+from repro.program.loops import Loop, LoopNestingForest, find_natural_loops, havlak_loops
+from repro.program.image import Function, ProgramImage, SourceLocation
+from repro.program.builder import ImageBuilder
+from repro.program.symbols import SymbolInfo, Symbolizer
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "DominatorTree",
+    "compute_dominators",
+    "Loop",
+    "LoopNestingForest",
+    "find_natural_loops",
+    "havlak_loops",
+    "Function",
+    "ProgramImage",
+    "SourceLocation",
+    "ImageBuilder",
+    "SymbolInfo",
+    "Symbolizer",
+]

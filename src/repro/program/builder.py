@@ -1,0 +1,195 @@
+"""Fluent construction of program images.
+
+Workloads describe their kernels through an :class:`ImageBuilder`: declare a
+function, open nested loops, and add statements.  The builder lays out
+instruction addresses in a synthetic text segment and wires up a *real* CFG
+(preheader -> header <-> body, header -> exit) so that Havlak interval
+analysis genuinely rediscovers the loop structure from the graph — nothing
+about loops is smuggled to the analyzer out of band.
+
+Typical use::
+
+    builder = ImageBuilder()
+    fn = builder.function("nw_kernel", file="needle.cpp")
+    outer = fn.begin_loop(line=189)
+    load_ip = fn.add_statement(line=190)     # IP used when emitting accesses
+    fn.end_loop()
+    fn.finish()
+    image = builder.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProgramImageError
+from repro.program.cfg import ControlFlowGraph
+from repro.program.image import Function, ProgramImage, SourceLocation
+
+#: Default base of the synthetic text segment (conventional ELF load base).
+DEFAULT_TEXT_BASE = 0x40_0000
+
+#: Bytes of address space per synthetic instruction.
+INSTRUCTION_SIZE = 4
+
+
+@dataclass
+class _OpenLoop:
+    """Bookkeeping for a loop currently being built."""
+
+    header_block: int
+    body_block: int
+    line: int
+
+
+@dataclass
+class FunctionBuilder:
+    """Builds one function; obtained from :meth:`ImageBuilder.function`.
+
+    With ``anonymous=True`` no source locations are recorded, modelling
+    closed-source code (the paper's MKL case, §6.3): loops then report as
+    ``<function>@<ip>`` instead of ``file:line``.
+    """
+
+    name: str
+    file: str
+    anonymous: bool
+    _image_builder: "ImageBuilder"
+    _cfg: ControlFlowGraph = field(default_factory=ControlFlowGraph)
+    _locations: Dict[int, SourceLocation] = field(default_factory=dict)
+    _loop_stack: List[_OpenLoop] = field(default_factory=list)
+    _current_block: int = field(init=False)
+    _finished: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        entry = self._new_block(label="entry")
+        self._cfg.entry = entry
+        self._current_block = entry
+
+    def _new_block(self, label: str = "", line: Optional[int] = None) -> int:
+        start = self._image_builder._take_ips(1)
+        block = self._cfg.new_block(
+            start_ip=start, end_ip=start + INSTRUCTION_SIZE, label=label
+        )
+        if line is not None and not self.anonymous:
+            self._locations[block.block_id] = SourceLocation(self.file, line)
+        return block.block_id
+
+    def add_statement(self, line: int, *, count: int = 1) -> int:
+        """Append ``count`` instructions to the current block.
+
+        Returns:
+            The IP of the first appended instruction — the address workloads
+            stamp on the memory accesses this statement performs.
+        """
+        if self._finished:
+            raise ProgramImageError(f"function {self.name!r} already finished")
+        if count <= 0:
+            raise ProgramImageError(f"statement count must be positive: {count}")
+        start = self._image_builder._take_ips(count)
+        block = self._cfg.block(self._current_block)
+        existing = self._locations.get(block.block_id)
+        needs_split = block.end_ip != start or (
+            not self.anonymous and existing is not None and existing.line != line
+        )
+        if needs_split:
+            # Either a different block was laid out in between (loop
+            # structure, shared text cursor) or the source line changed:
+            # open a fall-through block so the line table stays
+            # statement-accurate, the way a real debug line table is.
+            new_block = self._new_block(label=f"stmt@{line}")
+            self._cfg.add_edge(self._current_block, new_block)
+            self._current_block = new_block
+            block = self._cfg.block(new_block)
+            block.start_ip = start
+        block.end_ip = start + count * INSTRUCTION_SIZE
+        if not self.anonymous:
+            self._locations.setdefault(block.block_id, SourceLocation(self.file, line))
+        return start
+
+    def begin_loop(self, line: int, label: str = "") -> str:
+        """Open a loop headed at ``file:line``; statements added until
+        :meth:`end_loop` fall in its body.
+
+        Returns:
+            The loop's report name (``file:line``), handy for assertions.
+        """
+        if self._finished:
+            raise ProgramImageError(f"function {self.name!r} already finished")
+        header = self._new_block(label=label or f"loop@{line}", line=line)
+        body = self._new_block(label=f"body@{line}", line=line)
+        self._cfg.add_edge(self._current_block, header)
+        self._cfg.add_edge(header, body)
+        self._loop_stack.append(_OpenLoop(header_block=header, body_block=body, line=line))
+        self._current_block = body
+        return f"{self.file}:{line}"
+
+    def end_loop(self) -> None:
+        """Close the innermost open loop: latch edge + exit block."""
+        if not self._loop_stack:
+            raise ProgramImageError(f"function {self.name!r}: end_loop without begin_loop")
+        open_loop = self._loop_stack.pop()
+        # Latch: current position jumps back to the header.
+        self._cfg.add_edge(self._current_block, open_loop.header_block)
+        # Exit: the header falls through past the loop.
+        exit_block = self._new_block(label=f"exit@{open_loop.line}", line=open_loop.line)
+        self._cfg.add_edge(open_loop.header_block, exit_block)
+        self._current_block = exit_block
+
+    def current_loop_name(self) -> Optional[str]:
+        """Report name of the innermost open loop, or None."""
+        if not self._loop_stack:
+            return None
+        return f"{self.file}:{self._loop_stack[-1].line}"
+
+    def finish(self) -> Function:
+        """Close the function and register it with the image builder."""
+        if self._finished:
+            raise ProgramImageError(f"function {self.name!r} already finished")
+        if self._loop_stack:
+            raise ProgramImageError(
+                f"function {self.name!r} finished with {len(self._loop_stack)} open loops"
+            )
+        self._finished = True
+        function = Function(name=self.name, cfg=self._cfg, locations=dict(self._locations))
+        self._image_builder._register(function)
+        return function
+
+
+class ImageBuilder:
+    """Allocates text-segment addresses and collects functions."""
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE) -> None:
+        if text_base < 0:
+            raise ProgramImageError(f"text base must be non-negative: {text_base}")
+        self._cursor = text_base
+        self._functions: List[Function] = []
+
+    def _take_ips(self, count: int) -> int:
+        start = self._cursor
+        self._cursor += count * INSTRUCTION_SIZE
+        return start
+
+    def _register(self, function: Function) -> None:
+        self._functions.append(function)
+
+    def function(
+        self, name: str, file: str = "<anonymous>", anonymous: bool = False
+    ) -> FunctionBuilder:
+        """Start building a function whose blocks live in ``file``.
+
+        Args:
+            name: Symbol name (must be unique in the image).
+            file: Source file blocks are attributed to.
+            anonymous: Suppress source locations (closed-source code).
+        """
+        if any(existing.name == name for existing in self._functions):
+            raise ProgramImageError(f"duplicate function name {name!r}")
+        return FunctionBuilder(
+            name=name, file=file, anonymous=anonymous, _image_builder=self
+        )
+
+    def build(self) -> ProgramImage:
+        """Produce the immutable program image."""
+        return ProgramImage(functions=list(self._functions))

@@ -1,0 +1,180 @@
+"""Basic blocks and control-flow graphs.
+
+A :class:`ControlFlowGraph` is the unit the loop analyses operate on — one
+per function, rooted at an entry block.  Blocks carry instruction-address
+ranges so profiler samples (IPs) resolve back to blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProgramImageError
+
+
+@dataclass
+class BasicBlock:
+    """One basic block.
+
+    Attributes:
+        block_id: Dense integer id, unique within the CFG.
+        start_ip: First instruction address (inclusive).
+        end_ip: One past the last instruction address.
+        label: Optional human-readable name for debugging/tests.
+    """
+
+    block_id: int
+    start_ip: int = 0
+    end_ip: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_ip < self.start_ip:
+            raise ProgramImageError(
+                f"block {self.block_id}: end_ip {self.end_ip:#x} precedes "
+                f"start_ip {self.start_ip:#x}"
+            )
+
+    def contains_ip(self, ip: int) -> bool:
+        """Whether an instruction address falls inside this block."""
+        return self.start_ip <= ip < self.end_ip
+
+    def __hash__(self) -> int:
+        return hash(self.block_id)
+
+
+@dataclass
+class ControlFlowGraph:
+    """A rooted control-flow graph over :class:`BasicBlock` nodes."""
+
+    entry: int = 0
+    _blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+    _successors: Dict[int, List[int]] = field(default_factory=dict)
+    _predecessors: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Insert a block; ids must be unique."""
+        if block.block_id in self._blocks:
+            raise ProgramImageError(f"duplicate block id {block.block_id}")
+        self._blocks[block.block_id] = block
+        self._successors.setdefault(block.block_id, [])
+        self._predecessors.setdefault(block.block_id, [])
+        return block
+
+    def new_block(self, start_ip: int = 0, end_ip: int = 0, label: str = "") -> BasicBlock:
+        """Create and insert a block with the next free id."""
+        block_id = max(self._blocks, default=-1) + 1
+        return self.add_block(BasicBlock(block_id, start_ip, end_ip, label))
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Insert a directed edge; both endpoints must exist."""
+        if source not in self._blocks or target not in self._blocks:
+            raise ProgramImageError(f"edge {source}->{target} references unknown block")
+        if target not in self._successors[source]:
+            self._successors[source].append(target)
+            self._predecessors[target].append(source)
+
+    def block(self, block_id: int) -> BasicBlock:
+        """Look up a block by id."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ProgramImageError(f"no block with id {block_id}") from None
+
+    def successors(self, block_id: int) -> Sequence[int]:
+        """Successor block ids of ``block_id``."""
+        return tuple(self._successors.get(block_id, ()))
+
+    def predecessors(self, block_id: int) -> Sequence[int]:
+        """Predecessor block ids of ``block_id``."""
+        return tuple(self._predecessors.get(block_id, ()))
+
+    @property
+    def block_ids(self) -> List[int]:
+        """All block ids in insertion order."""
+        return list(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks.values())
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def validate(self) -> None:
+        """Check structural invariants (entry exists, no dangling edges)."""
+        if self.entry not in self._blocks:
+            raise ProgramImageError(f"entry block {self.entry} does not exist")
+        for source, targets in self._successors.items():
+            for target in targets:
+                if target not in self._blocks:
+                    raise ProgramImageError(f"dangling edge {source}->{target}")
+
+    def depth_first_order(self) -> Tuple[List[int], Dict[int, int]]:
+        """Iterative DFS preorder from the entry.
+
+        Returns:
+            (preorder list of block ids, block id -> preorder number).
+            Unreachable blocks are absent.
+        """
+        order: List[int] = []
+        number: Dict[int, int] = {}
+        stack: List[Tuple[int, Iterator[int]]] = []
+        if self.entry in self._blocks:
+            number[self.entry] = 0
+            order.append(self.entry)
+            stack.append((self.entry, iter(self._successors[self.entry])))
+        while stack:
+            _node, successor_iter = stack[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in number:
+                    number[successor] = len(order)
+                    order.append(successor)
+                    stack.append((successor, iter(self._successors[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+        return order, number
+
+    def reverse_postorder(self) -> List[int]:
+        """Reverse postorder from the entry (the order dataflow wants)."""
+        postorder: List[int] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[int, Iterator[int]]] = []
+        if self.entry in self._blocks:
+            visited.add(self.entry)
+            stack.append((self.entry, iter(self._successors[self.entry])))
+        while stack:
+            node, successor_iter = stack[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(self._successors[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+        return list(reversed(postorder))
+
+    def reachable_blocks(self) -> Set[int]:
+        """Ids of blocks reachable from the entry."""
+        order, _ = self.depth_first_order()
+        return set(order)
+
+    def block_at_ip(self, ip: int) -> Optional[BasicBlock]:
+        """The block whose address range covers ``ip``, or None.
+
+        Linear scan; the :class:`~repro.program.symbols.Symbolizer` keeps a
+        sorted index for the hot path.
+        """
+        for block in self._blocks.values():
+            if block.contains_ip(ip):
+                return block
+        return None

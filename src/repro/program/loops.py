@@ -1,0 +1,282 @@
+"""Loop detection: natural loops and the Havlak loop-nesting forest.
+
+Two complementary analyses:
+
+- :func:`find_natural_loops` — the textbook back-edge/dominator method;
+  merges natural loops sharing a header.  Requires reducible flow for
+  completeness.
+- :func:`havlak_loops` — Havlak's interval analysis ("Nesting of reducible
+  and irreducible loops", TOPLAS 1997), the algorithm the paper's offline
+  analyzer cites.  Builds the full loop-nesting forest with union-find and
+  handles irreducible regions, tagging them as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.program.cfg import ControlFlowGraph
+from repro.program.dominators import DominatorTree, compute_dominators
+
+
+@dataclass
+class Loop:
+    """One loop in the nesting forest.
+
+    Attributes:
+        header: Block id of the loop header.
+        body: Ids of all blocks in the loop, header included.
+        parent: Enclosing loop, or None for outermost loops.
+        children: Loops nested directly inside this one.
+        is_irreducible: True when the region has multiple entries.
+    """
+
+    header: int
+    body: Set[int] = field(default_factory=set)
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+    is_irreducible: bool = False
+
+    def __post_init__(self) -> None:
+        self.body.add(self.header)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; 1 for outermost loops."""
+        depth = 1
+        ancestor = self.parent
+        while ancestor is not None:
+            depth += 1
+            ancestor = ancestor.parent
+        return depth
+
+    @property
+    def is_innermost(self) -> bool:
+        """True when no loop nests inside this one."""
+        return not self.children
+
+    def contains_block(self, block_id: int) -> bool:
+        """Whether ``block_id`` belongs to this loop (incl. inner loops)."""
+        return block_id in self.body
+
+    def __repr__(self) -> str:
+        kind = "irreducible " if self.is_irreducible else ""
+        return f"Loop({kind}header={self.header}, blocks={len(self.body)}, depth={self.depth})"
+
+
+@dataclass
+class LoopNestingForest:
+    """All loops of one CFG, with innermost-loop lookup by block."""
+
+    loops: List[Loop]
+
+    def __post_init__(self) -> None:
+        self._innermost: Dict[int, Loop] = {}
+        # Deeper loops overwrite shallower ones so each block maps to its
+        # innermost enclosing loop.
+        for loop in sorted(self.loops, key=lambda l: l.depth):
+            for block_id in loop.body:
+                self._innermost[block_id] = loop
+
+    @property
+    def roots(self) -> List[Loop]:
+        """Outermost loops."""
+        return [loop for loop in self.loops if loop.parent is None]
+
+    def innermost_loop(self, block_id: int) -> Optional[Loop]:
+        """The innermost loop containing ``block_id``, or None."""
+        return self._innermost.get(block_id)
+
+    def loop_with_header(self, header: int) -> Optional[Loop]:
+        """The loop headed at ``header``, or None."""
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        return None
+
+    def max_depth(self) -> int:
+        """Deepest nesting level (0 when loop-free)."""
+        return max((loop.depth for loop in self.loops), default=0)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self) -> Iterator[Loop]:
+        return iter(self.loops)
+
+
+def find_natural_loops(
+    cfg: ControlFlowGraph, domtree: Optional[DominatorTree] = None
+) -> LoopNestingForest:
+    """Detect natural loops via back edges; merge loops sharing a header.
+
+    A back edge is ``t -> h`` with ``h`` dominating ``t``; the natural loop
+    is ``h`` plus all blocks reaching ``t`` without passing through ``h``.
+    Nesting is inferred by body inclusion.
+    """
+    if domtree is None:
+        domtree = compute_dominators(cfg)
+    reachable = cfg.reachable_blocks()
+    bodies: Dict[int, Set[int]] = {}
+    for tail in reachable:
+        for header in cfg.successors(tail):
+            if header in reachable and domtree.dominates(header, tail):
+                body = bodies.setdefault(header, {header})
+                worklist = [tail]
+                while worklist:
+                    node = worklist.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    worklist.extend(
+                        pred for pred in cfg.predecessors(node) if pred in reachable
+                    )
+    loops = [Loop(header=header, body=body) for header, body in bodies.items()]
+    _infer_nesting_by_inclusion(loops)
+    return LoopNestingForest(loops=loops)
+
+
+def _infer_nesting_by_inclusion(loops: List[Loop]) -> None:
+    """Assign parent/children by smallest strictly-containing body."""
+    by_size = sorted(loops, key=lambda loop: len(loop.body))
+    for index, inner in enumerate(by_size):
+        for outer in by_size[index + 1 :]:
+            if inner.header in outer.body and inner.body <= outer.body and inner is not outer:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+
+
+class _UnionFind:
+    """Union-find with path compression for Havlak's loop collapsing."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, node: int) -> int:
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, child: int, root: int) -> None:
+        self.parent[self.find(child)] = self.find(root)
+
+
+def havlak_loops(cfg: ControlFlowGraph) -> LoopNestingForest:
+    """Havlak interval analysis: the complete loop-nesting forest.
+
+    Processes headers in reverse DFS-preorder; collapses discovered inner
+    loops with union-find; detects irreducible regions (an entering edge
+    from outside the header's DFS subtree).
+    """
+    preorder, number, last = _dfs_with_extents(cfg)
+    count = len(preorder)
+    if count == 0:
+        return LoopNestingForest(loops=[])
+
+    def is_ancestor(w: int, u: int) -> bool:
+        return w <= u <= last[w]
+
+    # Edges, translated to preorder numbers.
+    back_preds: List[List[int]] = [[] for _ in range(count)]
+    non_back_preds: List[List[int]] = [[] for _ in range(count)]
+    for block_id in preorder:
+        w = number[block_id]
+        for pred in cfg.predecessors(block_id):
+            if pred not in number:
+                continue  # unreachable predecessor
+            v = number[pred]
+            if is_ancestor(w, v):
+                back_preds[w].append(v)
+            else:
+                non_back_preds[w].append(v)
+
+    uf = _UnionFind(count)
+    loop_of: Dict[int, Loop] = {}  # header preorder number -> Loop
+    loops: List[Loop] = []
+
+    for w in range(count - 1, -1, -1):
+        if not back_preds[w]:
+            continue
+        body_numbers: Set[int] = set()
+        irreducible = False
+        worklist: List[int] = []
+        for v in back_preds[w]:
+            if v != w:
+                root = uf.find(v)
+                if root not in body_numbers and root != w:
+                    body_numbers.add(root)
+                    worklist.append(root)
+        while worklist:
+            x = worklist.pop()
+            for y in non_back_preds[x]:
+                y_root = uf.find(y)
+                if not is_ancestor(w, y_root):
+                    # An edge enters the region from outside w's subtree:
+                    # multiple-entry (irreducible) region.
+                    irreducible = True
+                elif y_root != w and y_root not in body_numbers:
+                    body_numbers.add(y_root)
+                    worklist.append(y_root)
+
+        header_id = preorder[w]
+        loop = Loop(header=header_id, is_irreducible=irreducible)
+        for x in body_numbers:
+            uf.union(x, w)
+            inner = loop_of.get(x)
+            if inner is not None and inner.parent is None:
+                inner.parent = loop
+                loop.children.append(inner)
+            member_id = preorder[x]
+            if inner is not None:
+                loop.body |= inner.body
+            else:
+                loop.body.add(member_id)
+        loop_of[w] = loop
+        loops.append(loop)
+
+    # Propagate bodies upward so outer loops contain all inner blocks.
+    for loop in loops:
+        ancestor = loop.parent
+        while ancestor is not None:
+            ancestor.body |= loop.body
+            ancestor = ancestor.parent
+
+    return LoopNestingForest(loops=loops)
+
+
+def _dfs_with_extents(cfg: ControlFlowGraph):
+    """One DFS computing preorder, numbering, and subtree extents together.
+
+    Returns:
+        (preorder list, block id -> preorder number, last) where
+        ``last[w]`` is the highest preorder number in w's DFS subtree, so
+        ``u in subtree(w)  iff  number[w] <= number[u] <= last[w]``.
+        DFS preorder numbers a subtree contiguously, so when a node
+        finishes, its extent is simply the latest number assigned.
+    """
+    if cfg.entry not in cfg:
+        return [], {}, []
+    preorder: List[int] = [cfg.entry]
+    number: Dict[int, int] = {cfg.entry: 0}
+    last: List[int] = [0]
+    stack = [(cfg.entry, iter(cfg.successors(cfg.entry)))]
+    while stack:
+        node, successor_iter = stack[-1]
+        advanced = False
+        for successor in successor_iter:
+            if successor not in number:
+                number[successor] = len(preorder)
+                preorder.append(successor)
+                last.append(number[successor])
+                stack.append((successor, iter(cfg.successors(successor))))
+                advanced = True
+                break
+        if not advanced:
+            last[number[node]] = len(preorder) - 1
+            stack.pop()
+    return preorder, number, last

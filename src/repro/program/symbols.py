@@ -1,0 +1,96 @@
+"""Symbolication: instruction pointers back to code.
+
+The offline analyzer attributes every sample to a function, source line,
+and innermost loop (code-centric attribution, paper §3.4).  The
+:class:`Symbolizer` packages those lookups over a
+:class:`~repro.program.image.ProgramImage` with memoization, since profiles
+contain many samples from few distinct IPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.program.image import ProgramImage, SourceLocation
+from repro.program.loops import Loop
+
+
+@dataclass(frozen=True)
+class SymbolInfo:
+    """Resolution of one instruction pointer.
+
+    Attributes:
+        ip: The resolved instruction pointer.
+        function_name: Containing function, or ``"<unknown>"``.
+        location: Source location of the containing block, or None for
+            anonymous code (the MKL case, §6.3).
+        loop_name: Report name of the innermost enclosing loop, or None
+            when the IP is not inside any loop.
+        loop_depth: Nesting depth of that loop (0 when not in a loop).
+    """
+
+    ip: int
+    function_name: str
+    location: Optional[SourceLocation]
+    loop_name: Optional[str]
+    loop_depth: int
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True when no source location is known for this IP."""
+        return self.location is None
+
+    def describe(self) -> str:
+        """One-line rendering, e.g. ``needle.cpp:189 in nw_kernel``."""
+        where = str(self.location) if self.location else f"{self.function_name}@{self.ip:#x}"
+        loop = f" [loop {self.loop_name}]" if self.loop_name else ""
+        return f"{where} in {self.function_name}{loop}"
+
+
+_UNKNOWN = SymbolInfo(
+    ip=0, function_name="<unknown>", location=None, loop_name=None, loop_depth=0
+)
+
+
+class Symbolizer:
+    """Memoized IP resolution over a program image."""
+
+    def __init__(self, image: ProgramImage) -> None:
+        self.image = image
+        self._cache: Dict[int, SymbolInfo] = {}
+
+    def resolve(self, ip: int) -> SymbolInfo:
+        """Resolve an IP; unknown IPs yield the ``<unknown>`` sentinel."""
+        cached = self._cache.get(ip)
+        if cached is not None:
+            return cached
+        info = self._resolve_uncached(ip)
+        self._cache[ip] = info
+        return info
+
+    def _resolve_uncached(self, ip: int) -> SymbolInfo:
+        resolved = self.image.resolve_ip(ip)
+        if resolved is None:
+            return SymbolInfo(
+                ip=ip,
+                function_name=_UNKNOWN.function_name,
+                location=None,
+                loop_name=None,
+                loop_depth=0,
+            )
+        function, block = resolved
+        forest = self.image.loop_forest(function.name)
+        loop: Optional[Loop] = forest.innermost_loop(block.block_id)
+        loop_name = self.image.loop_name(function, loop) if loop else None
+        return SymbolInfo(
+            ip=ip,
+            function_name=function.name,
+            location=function.location_of_block(block.block_id),
+            loop_name=loop_name,
+            loop_depth=loop.depth if loop else 0,
+        )
+
+    def loop_of(self, ip: int) -> Optional[str]:
+        """Shorthand: innermost loop name of an IP, or None."""
+        return self.resolve(ip).loop_name

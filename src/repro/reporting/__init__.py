@@ -1,0 +1,12 @@
+"""Rendering: text tables and CCPROF_result-style files.
+
+- :mod:`repro.reporting.tables` — plain-text table rendering used by the
+  benchmark harness to print the paper's tables.
+- :mod:`repro.reporting.files` — writers producing the artifact layout of
+  the paper's reproduction scripts (``CCPROF_result/*result`` files).
+"""
+
+from repro.reporting.tables import Table, format_table
+from repro.reporting.files import write_result_file, write_cdf_series
+
+__all__ = ["Table", "format_table", "write_result_file", "write_cdf_series"]

@@ -1,0 +1,38 @@
+"""CCPROF_result-style artifact writers.
+
+The paper's artifact drops per-application ``*result`` files with the
+loop-level conflict predictions and CDF series for the Figure 9 plots; the
+benchmark harness uses these writers to leave the same paper trail.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+from repro.core.report import ConflictReport
+
+PathLike = Union[str, Path]
+
+
+def write_result_file(path: PathLike, report: ConflictReport) -> Path:
+    """Write one application's conflict analysis as a ``*result`` file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(report.render() + "\n", encoding="utf-8")
+    return target
+
+
+def write_cdf_series(
+    path: PathLike, series: Sequence[Tuple[int, float]], label: str = ""
+) -> Path:
+    """Write an RCD CDF as two-column text (``rcd cumulative_probability``).
+
+    The plottable data behind the paper's Figure 7/9 curves.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [f"# {label}", "# rcd cumulative_probability"]
+    lines.extend(f"{rcd} {probability:.6f}" for rcd, probability in series)
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target

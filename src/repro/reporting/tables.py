@@ -1,0 +1,61 @@
+"""Plain-text table rendering.
+
+Small and dependency-free; used by the benchmark harness to print rows that
+line up with the paper's Tables 2, 3, and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled text table with uniform column widths."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are str()-converted."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render to aligned text."""
+        return format_table(self.title, self.headers, self.rows)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a title + header + rows as aligned monospace text."""
+    columns = len(headers)
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(str(row[index])))
+    divider = "-+-".join("-" * width for width in widths)
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [title, "=" * max(len(title), len(divider))]
+    lines.append(render_row(headers))
+    lines.append(divider)
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (``0.527`` -> ``52.7%``)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_speedup(value: float, digits: int = 2) -> str:
+    """Render a ratio the way the paper does (``3.03x``)."""
+    return f"{value:.{digits}f}x"

@@ -1,0 +1,43 @@
+"""Statistics substrate.
+
+CCProf's conflict decision is statistical: a *simple logistic regression*
+over the contribution factor (paper §3.4), validated by k-fold
+cross-validation and F1-score (§5.2).  This package implements those pieces
+from first principles:
+
+- :mod:`repro.stats.logistic` — one-variable (and general) logistic
+  regression fit by iteratively reweighted least squares.
+- :mod:`repro.stats.validation` — k-fold cross-validation, precision,
+  recall, F1.
+- :mod:`repro.stats.distributions` — histograms, empirical CDFs, and
+  summary statistics used throughout the RCD analyses.
+"""
+
+from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.stats.validation import (
+    ConfusionCounts,
+    cross_validate_f1,
+    f1_score,
+    k_fold_indices,
+    precision_recall_f1,
+)
+from repro.stats.distributions import (
+    EmpiricalCdf,
+    Histogram,
+    gini_coefficient,
+    summarize,
+)
+
+__all__ = [
+    "LogisticModel",
+    "fit_logistic",
+    "ConfusionCounts",
+    "cross_validate_f1",
+    "f1_score",
+    "k_fold_indices",
+    "precision_recall_f1",
+    "EmpiricalCdf",
+    "Histogram",
+    "gini_coefficient",
+    "summarize",
+]

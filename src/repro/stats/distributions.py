@@ -1,0 +1,148 @@
+"""Histograms, empirical CDFs, and distribution summaries.
+
+The paper leans on two distribution views: per-set miss histograms
+(Figure 3) and cumulative distribution functions of RCD (Figures 7 and 9).
+Both are provided here as small immutable-ish value types plus a couple of
+imbalance measures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class Histogram:
+    """Integer-valued histogram (e.g. misses per cache set, RCD counts)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "Histogram":
+        """Build from raw observations."""
+        return cls(counts=Counter(values))
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Record one (or ``weight``) observation(s) of ``value``."""
+        self.counts[value] += weight
+
+    @property
+    def total(self) -> int:
+        """Total observations."""
+        return sum(self.counts.values())
+
+    def frequency(self, value: int) -> float:
+        """Relative frequency of ``value``."""
+        total = self.total
+        return self.counts.get(value, 0) / total if total else 0.0
+
+    def mode(self) -> int:
+        """Most frequent value."""
+        if not self.counts:
+            raise ModelError("mode of an empty histogram")
+        return self.counts.most_common(1)[0][0]
+
+    def mean(self) -> float:
+        """Weighted mean of observed values."""
+        total = self.total
+        if not total:
+            raise ModelError("mean of an empty histogram")
+        return sum(value * count for value, count in self.counts.items()) / total
+
+    def sorted_items(self) -> List[Tuple[int, int]]:
+        """(value, count) pairs ordered by value."""
+        return sorted(self.counts.items())
+
+    def as_cdf(self) -> "EmpiricalCdf":
+        """Convert to an empirical CDF over the observed values."""
+        return EmpiricalCdf.from_histogram(self)
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """Empirical CDF over integer support.
+
+    ``probability_at(x)`` is P(X <= x) — the quantity plotted on the y-axis
+    of the paper's Figures 7 and 9 ("cumulative probability of L1 cache
+    misses with the increasing order of RCDs").
+    """
+
+    support: Tuple[int, ...]
+    cumulative: Tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "EmpiricalCdf":
+        """Build from raw observations."""
+        return cls.from_histogram(Histogram.from_values(values))
+
+    @classmethod
+    def from_histogram(cls, histogram: Histogram) -> "EmpiricalCdf":
+        """Build from a histogram."""
+        total = histogram.total
+        if not total:
+            raise ModelError("CDF of an empty distribution")
+        support: List[int] = []
+        cumulative: List[float] = []
+        running = 0
+        for value, count in histogram.sorted_items():
+            running += count
+            support.append(value)
+            cumulative.append(running / total)
+        return cls(support=tuple(support), cumulative=tuple(cumulative))
+
+    def probability_at(self, value: int) -> float:
+        """P(X <= value)."""
+        index = int(np.searchsorted(self.support, value, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return self.cumulative[index]
+
+    def quantile(self, q: float) -> int:
+        """Smallest x with P(X <= x) >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ModelError(f"quantile must be in (0, 1]: {q}")
+        index = int(np.searchsorted(self.cumulative, q, side="left"))
+        index = min(index, len(self.support) - 1)
+        return self.support[index]
+
+    def series(self) -> List[Tuple[int, float]]:
+        """(x, P(X <= x)) pairs, the plot-ready CDF curve."""
+        return list(zip(self.support, self.cumulative))
+
+
+def gini_coefficient(counts: Sequence[int]) -> float:
+    """Gini coefficient of a count vector: 0 = balanced, →1 = concentrated.
+
+    A scalar summary of per-set miss imbalance (the Figure 3 skew):
+    uniform set utilization gives 0, all misses on one set approaches 1.
+    """
+    values = np.sort(np.asarray(counts, dtype=float))
+    if values.size == 0:
+        raise ModelError("Gini of an empty vector")
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * values)) / (n * total) - (n + 1.0) / n)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / min / max / std of a sample (population std)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ModelError("summary of an empty sample")
+    return {
+        "count": float(data.size),
+        "mean": float(data.mean()),
+        "median": float(np.median(data)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+        "std": float(data.std()),
+    }

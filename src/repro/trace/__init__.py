@@ -1,0 +1,56 @@
+"""Memory-trace substrate.
+
+The paper's toolchain observes programs either through Pin-generated memory
+traces (fed to the Dinero IV simulator) or through sparse PEBS samples.  This
+package provides the common substrate both views are built on:
+
+- :mod:`repro.trace.record` — the :class:`MemoryAccess` record and access
+  kinds (load/store/instruction fetch).
+- :mod:`repro.trace.allocator` — a virtual heap allocator that mimics the
+  libmonitor ``malloc`` interception CCProf uses for data-centric
+  attribution: every allocation is recorded with its address range and label.
+- :mod:`repro.trace.stream` — composable trace streams (concatenate, filter,
+  interleave, window) so workloads can be assembled from kernels.
+- :mod:`repro.trace.tracefile` — serialization to/from the textual ``.din``
+  format used by Dinero IV, plus a compact binary format.
+"""
+
+from repro.trace.record import AccessKind, MemoryAccess
+from repro.trace.allocator import Allocation, VirtualAllocator
+from repro.trace.stream import (
+    TraceStream,
+    concat_traces,
+    filter_by_ip,
+    filter_by_range,
+    interleave_round_robin,
+    take,
+    windowed,
+)
+from repro.trace.synthetic import markov_trace, uniform_trace, zipf_trace
+from repro.trace.tracefile import (
+    read_binary_trace,
+    read_dinero_trace,
+    write_binary_trace,
+    write_dinero_trace,
+)
+
+__all__ = [
+    "AccessKind",
+    "MemoryAccess",
+    "Allocation",
+    "VirtualAllocator",
+    "TraceStream",
+    "concat_traces",
+    "filter_by_ip",
+    "filter_by_range",
+    "interleave_round_robin",
+    "take",
+    "windowed",
+    "uniform_trace",
+    "zipf_trace",
+    "markov_trace",
+    "read_binary_trace",
+    "read_dinero_trace",
+    "write_binary_trace",
+    "write_dinero_trace",
+]

@@ -1,0 +1,97 @@
+"""Memory access records.
+
+A trace is a sequence of :class:`MemoryAccess` records.  Each record carries
+the information CCProf's two observation channels need:
+
+- the *instruction pointer* (``ip``) for code-centric attribution,
+- the *effective data address* (``address``) for cache-set and data-centric
+  attribution,
+- the access kind (load / store / instruction fetch) because the PMU event
+  the paper samples (``MEM_LOAD_UOPS_RETIRED:L1_MISS``) counts loads only,
+- the byte ``size`` of the access, and
+- the ``thread_id`` since CCProf monitors each thread individually.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class AccessKind(enum.IntEnum):
+    """Kind of memory access, mirroring Dinero IV's reference types."""
+
+    LOAD = 0
+    STORE = 1
+    IFETCH = 2
+
+    @classmethod
+    def from_dinero(cls, code: str) -> "AccessKind":
+        """Map a Dinero IV ``.din`` label (``r``/``w``/``i`` or ``0/1/2``)."""
+        mapping = {
+            "r": cls.LOAD,
+            "w": cls.STORE,
+            "i": cls.IFETCH,
+            "0": cls.LOAD,
+            "1": cls.STORE,
+            "2": cls.IFETCH,
+        }
+        try:
+            return mapping[code.lower()]
+        except KeyError:
+            raise ValueError(f"unknown Dinero access code: {code!r}") from None
+
+    def to_dinero(self) -> str:
+        """Render as the numeric Dinero IV ``.din`` label."""
+        return str(int(self))
+
+
+class MemoryAccess(NamedTuple):
+    """One memory reference in a trace.
+
+    A NamedTuple rather than a dataclass: traces run to millions of records
+    and construction cost dominates trace generation, so field validation is
+    deferred to :meth:`validate` (invoked by the trace-file readers, where
+    malformed data can actually enter the system).
+
+    Attributes:
+        ip: Instruction pointer issuing the access.
+        address: Effective (virtual) data address referenced.
+        kind: Load, store, or instruction fetch.
+        size: Access width in bytes (default 8: one double).
+        thread_id: Logical thread that issued the access.
+    """
+
+    ip: int
+    address: int
+    kind: AccessKind = AccessKind.LOAD
+    size: int = 8
+    thread_id: int = 0
+
+    def validate(self) -> "MemoryAccess":
+        """Check field ranges; returns self so readers can chain it."""
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.ip < 0:
+            raise ValueError(f"ip must be non-negative, got {self.ip}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        return self
+
+    @property
+    def is_load(self) -> bool:
+        """True when this access is a data load (the PEBS-sampled kind)."""
+        return self.kind is AccessKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True when this access is a data store."""
+        return self.kind is AccessKind.STORE
+
+    def end_address(self) -> int:
+        """One past the last byte touched by this access."""
+        return self.address + self.size
+
+    def line_address(self, line_size: int) -> int:
+        """The cache-line-aligned address this access falls in."""
+        return self.address & ~(line_size - 1)

@@ -1,0 +1,124 @@
+"""Synthetic trace generators.
+
+Parameterized reference-pattern generators for stress tests, calibration,
+and property experiments — the standard trio of locality models:
+
+- :func:`uniform_trace` — uniformly random lines over a working set (the
+  no-locality baseline);
+- :func:`zipf_trace` — Zipf-distributed line popularity (hot/cold skew,
+  the shape of real data accesses);
+- :func:`markov_trace` — a two-state burst model alternating sequential
+  runs with random jumps (phase-like behaviour).
+
+Every generator is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import MemoryAccess
+
+#: Base address used when callers don't supply one.
+DEFAULT_BASE = 0x6000_0000
+
+
+def uniform_trace(
+    count: int,
+    working_set_lines: int,
+    *,
+    line_size: int = 64,
+    base: int = DEFAULT_BASE,
+    ip: int = 0x400100,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Uniformly random accesses over ``working_set_lines`` lines."""
+    if count < 0 or working_set_lines <= 0:
+        raise TraceError("count must be >= 0 and working set positive")
+    rng = random.Random(seed)
+    for _ in range(count):
+        line = rng.randrange(working_set_lines)
+        yield MemoryAccess(ip=ip, address=base + line * line_size)
+
+
+def zipf_weights(n: int, exponent: float) -> Sequence[float]:
+    """Normalized Zipf probabilities for ranks 1..n."""
+    if n <= 0:
+        raise TraceError(f"need a positive support size: {n}")
+    if exponent <= 0:
+        raise TraceError(f"Zipf exponent must be positive: {exponent}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-exponent
+    return (weights / weights.sum()).tolist()
+
+
+def zipf_trace(
+    count: int,
+    working_set_lines: int,
+    *,
+    exponent: float = 1.1,
+    line_size: int = 64,
+    base: int = DEFAULT_BASE,
+    ip: int = 0x400100,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Zipf-popular lines: rank 1 is hottest.
+
+    Line ranks are shuffled over the address space so popularity does not
+    correlate with address (and hence with cache set).
+    """
+    if count < 0:
+        raise TraceError(f"count must be >= 0: {count}")
+    weights = zipf_weights(working_set_lines, exponent)
+    rng = np.random.default_rng(seed)
+    placement = rng.permutation(working_set_lines)
+    lines = rng.choice(working_set_lines, size=count, p=weights)
+    for line in lines:
+        yield MemoryAccess(
+            ip=ip, address=base + int(placement[int(line)]) * line_size
+        )
+
+
+def markov_trace(
+    count: int,
+    working_set_lines: int,
+    *,
+    run_length: int = 32,
+    jump_probability: float = 0.05,
+    step_bytes: int = 8,
+    line_size: int = 64,
+    base: int = DEFAULT_BASE,
+    ip: int = 0x400100,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Two-state burst model: sequential runs, occasional random jumps.
+
+    In the sequential state the cursor advances ``step_bytes`` per access
+    (element-sized steps, so several accesses share a line — real
+    streaming locality); with probability ``jump_probability`` (or at the
+    end of a ``run_length`` run) it jumps to a random line.
+    """
+    if count < 0 or working_set_lines <= 0:
+        raise TraceError("count must be >= 0 and working set positive")
+    if not 0.0 <= jump_probability <= 1.0:
+        raise TraceError(f"jump probability must be in [0, 1]: {jump_probability}")
+    if run_length <= 0:
+        raise TraceError(f"run length must be positive: {run_length}")
+    if step_bytes <= 0:
+        raise TraceError(f"step must be positive: {step_bytes}")
+    rng = random.Random(seed)
+    span = working_set_lines * line_size
+    cursor = rng.randrange(working_set_lines) * line_size
+    steps_in_run = 0
+    for _ in range(count):
+        yield MemoryAccess(ip=ip, address=base + cursor)
+        steps_in_run += 1
+        if steps_in_run >= run_length or rng.random() < jump_probability:
+            cursor = rng.randrange(working_set_lines) * line_size
+            steps_in_run = 0
+        else:
+            cursor = (cursor + step_bytes) % span

@@ -1,0 +1,71 @@
+"""Workloads: symbolic trace generators for every benchmark in the paper.
+
+Native binaries (Rodinia, PolyBench, MKL, Tiny-DNN, Kripke, HimenoBMT) are
+not runnable here, and profiling the Python interpreter's own cache
+behaviour would be meaningless — so each workload reproduces the *address
+stream* of its kernel: the same loop structure, array layouts, strides,
+tiling, and (crucially) the same base-address arithmetic modulo the cache
+mapping period that causes the conflicts the paper studies.  Conflict
+misses are a pure function of that stream plus the cache geometry, which is
+what makes this substitution faithful (see DESIGN.md §2).
+
+Every workload carries a program image (so loop attribution is real) and a
+virtual allocator (so data-centric attribution is real), and exists in an
+*original* and an *optimized* variant mirroring the paper's transformations.
+"""
+
+from repro.workloads.base import Array1D, Array2D, Array3D, TraceWorkload
+from repro.workloads.padding import PaddingSpec, padded_pitch
+from repro.workloads.symmetrization import SymmetrizationWorkload
+from repro.workloads.nw import NeedlemanWunschWorkload
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.fft import Fft2dWorkload
+from repro.workloads.tinydnn import TinyDnnFcWorkload
+from repro.workloads.kripke import KripkeWorkload
+from repro.workloads.himeno import HimenoWorkload
+from repro.workloads.polybench import (
+    POLYBENCH_KERNELS,
+    Fdtd2dWorkload,
+    GemmWorkload,
+    Jacobi2dWorkload,
+    TrmmWorkload,
+    TwoMmWorkload,
+)
+from repro.workloads.rodinia import RODINIA_APPS, make_rodinia_workload
+from repro.workloads.training import TrainingLoop, training_loops
+
+__all__ = [
+    "TraceWorkload",
+    "Array1D",
+    "Array2D",
+    "Array3D",
+    "PaddingSpec",
+    "padded_pitch",
+    "SymmetrizationWorkload",
+    "NeedlemanWunschWorkload",
+    "AdiWorkload",
+    "Fft2dWorkload",
+    "TinyDnnFcWorkload",
+    "KripkeWorkload",
+    "HimenoWorkload",
+    "POLYBENCH_KERNELS",
+    "GemmWorkload",
+    "TwoMmWorkload",
+    "Jacobi2dWorkload",
+    "Fdtd2dWorkload",
+    "TrmmWorkload",
+    "RODINIA_APPS",
+    "make_rodinia_workload",
+    "TrainingLoop",
+    "training_loops",
+]
+
+#: The six case-study workload factories of §6, keyed by paper name.
+CASE_STUDIES = {
+    "NW": NeedlemanWunschWorkload,
+    "MKL FFT": Fft2dWorkload,
+    "ADI": AdiWorkload,
+    "Tiny_DNN": TinyDnnFcWorkload,
+    "Kripke": KripkeWorkload,
+    "HimenoBMT": HimenoWorkload,
+}

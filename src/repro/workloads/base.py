@@ -1,0 +1,209 @@
+"""Workload base class and array-layout helpers.
+
+A :class:`TraceWorkload` owns three things the profiler consumes:
+
+- ``trace()`` — the memory-access stream of the kernel;
+- ``image`` — a program image whose CFG encodes the kernel's loop nest;
+- ``allocator`` — the virtual heap holding the kernel's arrays.
+
+The array helpers encode layout exactly the way C does — row pitch in
+bytes, optionally padded — because pitch modulo the cache mapping period is
+the whole story of conflict misses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.errors import AllocationError
+from repro.program.builder import ImageBuilder
+from repro.program.image import ProgramImage
+from repro.trace.allocator import Allocation, VirtualAllocator
+from repro.trace.record import AccessKind, MemoryAccess
+
+
+@dataclass(frozen=True)
+class Array1D:
+    """A 1-D array on the virtual heap."""
+
+    allocation: Allocation
+    elem_size: int
+    length: int
+
+    @classmethod
+    def allocate(
+        cls, allocator: VirtualAllocator, label: str, length: int, elem_size: int = 8
+    ) -> "Array1D":
+        """Allocate ``length`` elements of ``elem_size`` bytes."""
+        allocation = allocator.malloc(length * elem_size, label)
+        return cls(allocation=allocation, elem_size=elem_size, length=length)
+
+    def addr(self, index: int) -> int:
+        """Address of element ``index``."""
+        if not 0 <= index < self.length:
+            raise AllocationError(
+                f"{self.allocation.label}[{index}] out of bounds (len {self.length})"
+            )
+        return self.allocation.start + index * self.elem_size
+
+
+@dataclass(frozen=True)
+class Array2D:
+    """A row-major 2-D array with optional per-row padding.
+
+    ``pitch`` is the byte distance between consecutive rows — the quantity
+    the paper's padding optimizations change.
+    """
+
+    allocation: Allocation
+    elem_size: int
+    rows: int
+    cols: int
+    pitch: int
+
+    @classmethod
+    def allocate(
+        cls,
+        allocator: VirtualAllocator,
+        label: str,
+        rows: int,
+        cols: int,
+        elem_size: int = 8,
+        pad_bytes: int = 0,
+        align: Optional[int] = None,
+    ) -> "Array2D":
+        """Allocate ``rows`` x ``cols`` elements, padding each row by
+        ``pad_bytes`` (the paper's row-padding transformation)."""
+        if pad_bytes < 0:
+            raise AllocationError(f"pad_bytes must be non-negative: {pad_bytes}")
+        pitch = cols * elem_size + pad_bytes
+        allocation = allocator.malloc(rows * pitch, label, align=align)
+        return cls(
+            allocation=allocation,
+            elem_size=elem_size,
+            rows=rows,
+            cols=cols,
+            pitch=pitch,
+        )
+
+    def addr(self, row: int, col: int) -> int:
+        """Address of element (row, col)."""
+        return self.allocation.start + row * self.pitch + col * self.elem_size
+
+    @property
+    def pad_bytes(self) -> int:
+        """Bytes of padding at the end of each row."""
+        return self.pitch - self.cols * self.elem_size
+
+
+@dataclass(frozen=True)
+class Array3D:
+    """A 3-D array laid out ``[dim0][dim1][dim2]`` with padded extents.
+
+    ``extent1`` / ``extent2`` are the *allocated* sizes of the inner two
+    dimensions (>= the logical sizes); raising them is how HimenoBMT's
+    "pad the 1st and 2nd dimension" optimization is expressed.
+    """
+
+    allocation: Allocation
+    elem_size: int
+    dim0: int
+    dim1: int
+    dim2: int
+    extent1: int
+    extent2: int
+
+    @classmethod
+    def allocate(
+        cls,
+        allocator: VirtualAllocator,
+        label: str,
+        dim0: int,
+        dim1: int,
+        dim2: int,
+        elem_size: int = 8,
+        pad1: int = 0,
+        pad2: int = 0,
+    ) -> "Array3D":
+        """Allocate with ``pad1``/``pad2`` extra elements on the inner dims."""
+        extent1 = dim1 + pad1
+        extent2 = dim2 + pad2
+        allocation = allocator.malloc(dim0 * extent1 * extent2 * elem_size, label)
+        return cls(
+            allocation=allocation,
+            elem_size=elem_size,
+            dim0=dim0,
+            dim1=dim1,
+            dim2=dim2,
+            extent1=extent1,
+            extent2=extent2,
+        )
+
+    def addr(self, i: int, j: int, k: int) -> int:
+        """Address of element (i, j, k)."""
+        linear = (i * self.extent1 + j) * self.extent2 + k
+        return self.allocation.start + linear * self.elem_size
+
+    @property
+    def plane_bytes(self) -> int:
+        """Bytes per dim0 slice — the stride that aliases planes."""
+        return self.extent1 * self.extent2 * self.elem_size
+
+
+class TraceWorkload(ABC):
+    """Base class for all benchmark workloads.
+
+    Subclasses allocate their arrays from :attr:`allocator`, declare their
+    loop nest through :attr:`builder` (statement IPs drive code-centric
+    attribution), and implement :meth:`trace`.
+    """
+
+    #: Short identifier used in reports; subclasses override.
+    name: str = "workload"
+
+    def __init__(self) -> None:
+        self.allocator = VirtualAllocator()
+        self.builder = ImageBuilder()
+        self._image: Optional[ProgramImage] = None
+
+    @property
+    def image(self) -> ProgramImage:
+        """The program image (built lazily on first use)."""
+        if self._image is None:
+            self._image = self.builder.build()
+        return self._image
+
+    @abstractmethod
+    def trace(self) -> Iterator[MemoryAccess]:
+        """Yield the kernel's memory-access stream."""
+
+    def load(self, ip: int, address: int, size: int = 8) -> MemoryAccess:
+        """Convenience constructor for a load access."""
+        return MemoryAccess(ip=ip, address=address, kind=AccessKind.LOAD, size=size)
+
+    def store(self, ip: int, address: int, size: int = 8) -> MemoryAccess:
+        """Convenience constructor for a store access."""
+        return MemoryAccess(ip=ip, address=address, kind=AccessKind.STORE, size=size)
+
+    def l1_stats(
+        self, geometry: CacheGeometry = CacheGeometry(), policy: str = "lru"
+    ) -> CacheStats:
+        """Run the trace through a standalone L1; return its statistics."""
+        cache = SetAssociativeCache(geometry, policy=policy)
+        return cache.run_trace(self.trace())
+
+    def hierarchy_result(self, hierarchy: Optional[CacheHierarchy] = None) -> HierarchyResult:
+        """Run the trace through a full hierarchy (default: Broadwell)."""
+        if hierarchy is None:
+            hierarchy = CacheHierarchy.broadwell()
+        return hierarchy.run_trace(self.trace())
+
+    def access_count(self) -> int:
+        """Length of the trace (consumes one full generation)."""
+        return sum(1 for _ in self.trace())

@@ -1,0 +1,214 @@
+"""Rodinia Needleman-Wunsch (paper §6.1, Tables 2/3/4, Listing 1).
+
+Tiled dynamic-programming DNA alignment over two (N+1)x(N+1) ``int``
+matrices, ``input_itemsets`` and ``reference``, allocated back to back.
+The kernel processes 16x16 tiles along anti-diagonals in two phases
+(top-left, then bottom-right); each tile copies a slab of both big matrices
+into small locals, computes, and writes back.
+
+The conflicts are structural: the matrix pitch ``(N+1)*4`` is nearly 0
+modulo the 4096-byte L1 mapping period, so the 16 consecutive rows a tile
+copy touches recycle very few cache sets, and the two matrices' bases are
+separated by ``(N+1)^2*4`` — also nearly 0 modulo the period — so both tile
+copies in the same iteration fight for the *same* sets (the "inter-array
+conflict" of §6.1).  The paper's fix pads ``reference`` rows by 32 bytes
+and ``input_itemsets`` rows by 288 bytes.
+
+Loops are labelled with the ``needle.cpp`` line numbers of Table 4 so the
+reproduction's reports read like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.trace.record import MemoryAccess
+from repro.workloads.base import Array2D, TraceWorkload
+
+#: Rodinia's tile edge.
+TILE = 16
+
+#: The paper's pads (reference, input_itemsets), in bytes per row.
+PAPER_PADS = (32, 288)
+
+#: Default matrix order; the paper uses 2048, scaled down so one trace stays
+#: in the low millions of accesses (the conflict arithmetic is preserved —
+#: see class docstring).
+DEFAULT_N = 512
+
+
+class NeedlemanWunschWorkload(TraceWorkload):
+    """Tiled NW, original or padded.
+
+    Args:
+        n: Sequence length (matrix order is n+1; use multiples of 16).
+        reference_pad: Row pad on ``reference`` (paper fix: 32).
+        input_pad: Row pad on ``input_itemsets`` (paper fix: 288).
+    """
+
+    def __init__(
+        self, n: int = DEFAULT_N, reference_pad: int = 0, input_pad: int = 0
+    ) -> None:
+        super().__init__()
+        if n % TILE:
+            raise ValueError(f"n must be a multiple of {TILE}: {n}")
+        self.n = n
+        self.name = f"nw{'-padded' if (reference_pad or input_pad) else ''}"
+        order = n + 1
+        # Allocation order matches Rodinia: reference then input_itemsets,
+        # contiguous on the heap — that adjacency is what aligns them.
+        self.reference = Array2D.allocate(
+            self.allocator, "reference", order, order, elem_size=4,
+            pad_bytes=reference_pad,
+        )
+        self.input_itemsets = Array2D.allocate(
+            self.allocator, "input_itemsets", order, order, elem_size=4,
+            pad_bytes=input_pad,
+        )
+        # Tile-local scratch (Rodinia's __shared__-style locals).
+        self.temp_local = Array2D.allocate(
+            self.allocator, "temp_local", TILE + 1, TILE + 1, elem_size=4
+        )
+        self.ref_local = Array2D.allocate(
+            self.allocator, "ref_local", TILE, TILE, elem_size=4
+        )
+        self._ips: Dict[int, int] = {}
+        self._declare_image()
+
+    @classmethod
+    def original(cls, n: int = DEFAULT_N) -> "NeedlemanWunschWorkload":
+        """The unpadded Rodinia layout."""
+        return cls(n=n)
+
+    @classmethod
+    def padded(cls, n: int = DEFAULT_N) -> "NeedlemanWunschWorkload":
+        """The paper's 32/288-byte row pads."""
+        return cls(n=n, reference_pad=PAPER_PADS[0], input_pad=PAPER_PADS[1])
+
+    def _declare_image(self) -> None:
+        """Declare the 11 Table-4 loops of needle.cpp."""
+        function = self.builder.function("nw_cpu", file="needle.cpp")
+        # Initialization loops.
+        function.begin_loop(line=273)
+        self._ips[273] = function.add_statement(line=274)
+        function.end_loop()
+        function.begin_loop(line=289)
+        self._ips[289] = function.add_statement(line=290)
+        function.end_loop()
+        # Phase 1 (top-left): per-tile copy / copy / compute / writeback.
+        function.begin_loop(line=120, label="phase1_tiles")
+        function.begin_loop(line=128)
+        self._ips[128] = function.add_statement(line=129)
+        function.end_loop()
+        function.begin_loop(line=138)
+        self._ips[138] = function.add_statement(line=139)
+        function.end_loop()
+        function.begin_loop(line=147)
+        self._ips[147] = function.add_statement(line=148)
+        function.end_loop()
+        function.begin_loop(line=159)
+        self._ips[159] = function.add_statement(line=160)
+        function.end_loop()
+        function.end_loop()
+        # Phase 2 (bottom-right).
+        function.begin_loop(line=180, label="phase2_tiles")
+        function.begin_loop(line=189)
+        self._ips[189] = function.add_statement(line=190)
+        function.end_loop()
+        function.begin_loop(line=199)
+        self._ips[199] = function.add_statement(line=200)
+        function.end_loop()
+        function.begin_loop(line=208)
+        self._ips[208] = function.add_statement(line=209)
+        function.end_loop()
+        function.begin_loop(line=220)
+        self._ips[220] = function.add_statement(line=221)
+        function.end_loop()
+        function.end_loop()
+        # Traceback.
+        function.begin_loop(line=320)
+        self._ips[320] = function.add_statement(line=321)
+        function.end_loop()
+        function.finish()
+
+    def loop_name(self, line: int) -> str:
+        """Report name of the loop declared at ``needle.cpp:line``."""
+        if line not in self._ips:
+            raise KeyError(f"no loop at needle.cpp:{line}")
+        return f"needle.cpp:{line}"
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        yield from self._init_loops()
+        blocks = self.n // TILE
+        # Phase 1: anti-diagonals growing from the top-left corner.
+        for diagonal in range(blocks):
+            for bx in range(diagonal + 1):
+                by = diagonal - bx
+                yield from self._tile(by, bx, lines=(128, 138, 147, 159))
+        # Phase 2: anti-diagonals shrinking toward the bottom-right corner.
+        for diagonal in range(blocks - 2, -1, -1):
+            for bx in range(diagonal + 1):
+                by = diagonal - bx
+                yield from self._tile(
+                    blocks - 1 - by, blocks - 1 - bx, lines=(189, 199, 208, 220)
+                )
+        yield from self._traceback()
+
+    def _init_loops(self) -> Iterator[MemoryAccess]:
+        order = self.n + 1
+        # needle.cpp:273 - first row/column score initialization.
+        ip = self._ips[273]
+        for j in range(order):
+            yield self.store(ip, self.input_itemsets.addr(0, j), size=4)
+        for i in range(order):
+            yield self.store(ip, self.input_itemsets.addr(i, 0), size=4)
+        # needle.cpp:289 - fill the reference (similarity) matrix; a plain
+        # row-major stream, so heavy but conflict-free (Table 4: 64 sets).
+        ip = self._ips[289]
+        for i in range(1, order):
+            for j in range(1, order):
+                yield self.load(ip, self.input_itemsets.addr(i, 0), size=4)
+                yield self.store(ip, self.reference.addr(i, j), size=4)
+
+    def _tile(self, by: int, bx: int, lines) -> Iterator[MemoryAccess]:
+        copy_in, copy_ref, compute, writeback = lines
+        row0, col0 = by * TILE, bx * TILE
+        # Copy input tile (+ boundary) into the local temp (Listing 1).
+        ip = self._ips[copy_in]
+        for ty in range(TILE + 1):
+            for tx in range(TILE + 1):
+                yield self.load(ip, self.input_itemsets.addr(row0 + ty, col0 + tx), size=4)
+                yield self.store(ip, self.temp_local.addr(ty, tx), size=4)
+        # Copy reference tile into the local ref.
+        ip = self._ips[copy_ref]
+        for ty in range(TILE):
+            for tx in range(TILE):
+                yield self.load(ip, self.reference.addr(row0 + 1 + ty, col0 + 1 + tx), size=4)
+                yield self.store(ip, self.ref_local.addr(ty, tx), size=4)
+        # Compute on the locals (cache-resident: few misses, Table 4's
+        # tiny-contribution compute loops).
+        ip = self._ips[compute]
+        for ty in range(1, TILE + 1):
+            for tx in range(1, TILE + 1):
+                yield self.load(ip, self.temp_local.addr(ty - 1, tx - 1), size=4)
+                yield self.load(ip, self.temp_local.addr(ty - 1, tx), size=4)
+                yield self.load(ip, self.temp_local.addr(ty, tx - 1), size=4)
+                yield self.load(ip, self.ref_local.addr(ty - 1, tx - 1), size=4)
+                yield self.store(ip, self.temp_local.addr(ty, tx), size=4)
+        # Write the tile back.
+        ip = self._ips[writeback]
+        for ty in range(TILE):
+            for tx in range(TILE):
+                yield self.load(ip, self.temp_local.addr(ty + 1, tx + 1), size=4)
+                yield self.store(ip, self.input_itemsets.addr(row0 + 1 + ty, col0 + 1 + tx), size=4)
+
+    def _traceback(self) -> Iterator[MemoryAccess]:
+        # needle.cpp:320 - walk the optimal path from the bottom-right.
+        ip = self._ips[320]
+        i = j = self.n
+        while i > 0 and j > 0:
+            yield self.load(ip, self.input_itemsets.addr(i - 1, j - 1), size=4)
+            yield self.load(ip, self.input_itemsets.addr(i - 1, j), size=4)
+            yield self.load(ip, self.input_itemsets.addr(i, j - 1), size=4)
+            i -= 1
+            j -= 1

@@ -1,0 +1,87 @@
+"""Padding arithmetic.
+
+The paper's optimizations append bytes to array rows so that consecutive
+rows stop mapping to the same cache sets.  These helpers express and reason
+about such pads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PaddingSpec:
+    """Padding applied to one array.
+
+    Attributes:
+        label: The array's allocation label.
+        row_pad_bytes: Bytes appended to each row (2-D arrays).
+        dim_pads: Extra elements per dimension (3-D arrays), keyed by
+            dimension index.
+    """
+
+    label: str
+    row_pad_bytes: int = 0
+    dim_pads: Dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.row_pad_bytes < 0:
+            raise AnalysisError(f"row pad must be non-negative: {self.row_pad_bytes}")
+        if self.dim_pads is None:
+            object.__setattr__(self, "dim_pads", {})
+
+
+def padded_pitch(cols: int, elem_size: int, pad_bytes: int) -> int:
+    """Row pitch in bytes after padding."""
+    return cols * elem_size + pad_bytes
+
+
+def row_set_stride(pitch: int, geometry: CacheGeometry) -> float:
+    """Cache sets advanced per row, as a real number.
+
+    An integer multiple of ``geometry.num_sets`` (i.e. stride ~ 0 mod N)
+    means every row starts in the same set — the conflict condition.
+    """
+    return (pitch / geometry.line_size) % geometry.num_sets
+
+
+def rows_per_set_cycle(pitch: int, geometry: CacheGeometry) -> int:
+    """How many consecutive rows map to distinct set phases.
+
+    The number of distinct values of ``row * pitch mod mapping_period``
+    before they repeat: ``period / gcd(pitch, period)``.  Small values
+    (e.g. 4 for the unpadded symmetrization matrix) mean column walks
+    recycle few sets; the ideal pad drives this to ``num_sets`` or more.
+    """
+    period = geometry.mapping_period
+    return period // math.gcd(pitch, period)
+
+
+def recommend_row_pad(
+    cols: int, elem_size: int, geometry: CacheGeometry, alignment: int = 1
+) -> int:
+    """Smallest pad making the row phase cycle through every set.
+
+    Searches pads (multiples of ``alignment``) until the row start
+    addresses cycle through at least ``num_sets`` distinct line phases —
+    the condition under which a column walk of the array spreads across
+    the whole cache.
+    """
+    if cols <= 0 or elem_size <= 0:
+        raise AnalysisError("cols and elem_size must be positive")
+    if alignment <= 0:
+        raise AnalysisError(f"alignment must be positive: {alignment}")
+    target_cycle = geometry.num_sets * geometry.line_size
+    for pad in range(0, geometry.mapping_period + 1, alignment):
+        pitch = padded_pitch(cols, elem_size, pad)
+        if rows_per_set_cycle(pitch, geometry) * geometry.line_size >= target_cycle:
+            return pad
+    raise AnalysisError(
+        f"no pad up to one mapping period fixes cols={cols}, elem={elem_size}"
+    )

@@ -1,0 +1,197 @@
+"""The 16 labelled training loops of §5.2.
+
+The paper trains its logistic-regression classifier "with 16 representative
+loops where eight of them suffer from cache conflicts, while the rest do
+not", labelled by full cache simulation.  The original 16 loops are not
+itemized in the paper, so this module provides 16 synthetic loop contexts
+with the same population structure: eight conflict patterns of varying
+severity (few-set column walks, strided folds, moving victims) and eight
+clean patterns (streams, coprime strides, stencils, small working sets).
+
+Each entry generates a standalone trace for one loop so experiments can
+sample it at any period and ask the ground-truth simulator for its label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List
+
+from repro.cache.geometry import CacheGeometry
+from repro.trace.record import MemoryAccess
+from repro.workloads.base import Array1D, Array2D, TraceWorkload
+
+
+class _LoopWorkload(TraceWorkload):
+    """A single loop emitting a parameterized address pattern."""
+
+    def __init__(self, name: str, pattern: Callable, *, repeats: int) -> None:
+        super().__init__()
+        self.name = name
+        self.repeats = repeats
+        self._pattern = pattern
+        function = self.builder.function(f"{name}_fn", file="train.c")
+        function.begin_loop(line=1)
+        self.ip = function.add_statement(line=2)
+        function.end_loop()
+        function.finish()
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        yield from self._pattern(self)
+
+
+@dataclass(frozen=True)
+class TrainingLoop:
+    """One labelled training loop.
+
+    Attributes:
+        name: Identifier used in experiment tables.
+        has_conflict: The design label (validated against the ground-truth
+            simulator by the tests).
+        factory: Builds a fresh workload for the loop.
+    """
+
+    name: str
+    has_conflict: bool
+    factory: Callable[[], TraceWorkload]
+
+
+def _column_walk(sets_used: int, geometry: CacheGeometry, repeats: int):
+    """Fold 128 lines onto ``sets_used`` sets — conflict.
+
+    With 8 ways per set, ``128 / sets_used`` >= 16 lines compete per set,
+    guaranteeing steady-state eviction for every ``sets_used <= 8``.
+    """
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        lines = 128
+        array = workload.allocator.malloc((lines + 1) * geometry.mapping_period, "walk")
+        for _ in range(workload.repeats):
+            for i in range(lines):
+                base = array.start + i * geometry.mapping_period
+                offset = (i % sets_used) * geometry.line_size
+                yield workload.load(workload.ip, base + offset)
+
+    return pattern
+
+
+def _moving_victim(geometry: CacheGeometry, burst: int):
+    """Hammer one set for ``burst`` misses, then move on.
+
+    The conflict period equals ``burst`` misses: sampling can only catch the
+    victim when the mean period undercuts the burst (Figure 6's CP > SP
+    condition), so these two loops are the ones a coarse period misses —
+    the paper's HimenoBMT-style cases that pull F1 below 1 at period 1212.
+    """
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        array = workload.allocator.malloc(32 * geometry.mapping_period, "victims")
+        for repeat in range(workload.repeats):
+            victim = repeat % geometry.num_sets
+            for i in range(burst):
+                address = (
+                    array.start
+                    + victim * geometry.line_size
+                    + (i % 16) * geometry.mapping_period
+                )
+                yield workload.load(workload.ip, address)
+
+    return pattern
+
+
+def _stream(geometry: CacheGeometry, lines: int):
+    """Sequential sweep over ``lines`` lines — clean."""
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        array = workload.allocator.malloc(lines * geometry.line_size, "stream")
+        for _ in range(workload.repeats):
+            for i in range(lines):
+                yield workload.load(workload.ip, array.start + i * geometry.line_size)
+
+    return pattern
+
+
+def _coprime_stride(geometry: CacheGeometry, stride_lines: int, count: int):
+    """Strided walk whose stride is coprime with the set count — clean."""
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        span = count * stride_lines * geometry.line_size
+        array = workload.allocator.malloc(span, "strided")
+        for _ in range(workload.repeats):
+            for i in range(count):
+                yield workload.load(
+                    workload.ip,
+                    array.start + i * stride_lines * geometry.line_size,
+                )
+
+    return pattern
+
+
+def _stencil(geometry: CacheGeometry, rows: int, cols: int):
+    """Five-point stencil on an odd-pitch grid — clean."""
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        grid = Array2D.allocate(workload.allocator, "grid", rows, cols, elem_size=8)
+        for _ in range(workload.repeats):
+            for i in range(1, rows - 1):
+                for j in range(1, cols - 1, 7):
+                    yield workload.load(workload.ip, grid.addr(i, j))
+                    yield workload.load(workload.ip, grid.addr(i - 1, j))
+                    yield workload.load(workload.ip, grid.addr(i + 1, j))
+
+    return pattern
+
+
+def _gather(entries: int, count: int, seed: int):
+    """Pseudo-random gathers over a large table — clean (balanced)."""
+
+    def pattern(workload: _LoopWorkload) -> Iterator[MemoryAccess]:
+        import random
+
+        table = Array1D.allocate(workload.allocator, "table", entries, 8)
+        rng = random.Random(seed)
+        for _ in range(workload.repeats):
+            for _i in range(count):
+                yield workload.load(workload.ip, table.addr(rng.randrange(entries)))
+
+    return pattern
+
+
+def training_loops(
+    geometry: CacheGeometry = CacheGeometry(), repeats: int = 60
+) -> List[TrainingLoop]:
+    """The 16 training loops: 8 conflicting, 8 clean.
+
+    Args:
+        geometry: L1 geometry the conflict patterns target.
+        repeats: Iterations per loop (controls trace length).
+    """
+
+    def loop(name: str, conflict: bool, pattern_factory: Callable) -> TrainingLoop:
+        return TrainingLoop(
+            name=name,
+            has_conflict=conflict,
+            factory=lambda: _LoopWorkload(name, pattern_factory, repeats=repeats),
+        )
+
+    g = geometry
+    return [
+        # --- eight conflicting loops, decreasing severity ---
+        loop("conf-1set", True, _column_walk(1, g, repeats)),
+        loop("conf-2set", True, _column_walk(2, g, repeats)),
+        loop("conf-3set", True, _column_walk(3, g, repeats)),
+        loop("conf-4set", True, _column_walk(4, g, repeats)),
+        loop("conf-6set", True, _column_walk(6, g, repeats)),
+        loop("conf-8set", True, _column_walk(8, g, repeats)),
+        loop("conf-burst512", True, _moving_victim(g, burst=512)),
+        loop("conf-burst768", True, _moving_victim(g, burst=768)),
+        # --- eight clean loops ---
+        loop("clean-stream-2x", False, _stream(g, lines=2 * g.num_sets * g.ways)),
+        loop("clean-stream-4x", False, _stream(g, lines=4 * g.num_sets * g.ways)),
+        loop("clean-stride-3", False, _coprime_stride(g, stride_lines=3, count=512)),
+        loop("clean-stride-5", False, _coprime_stride(g, stride_lines=5, count=512)),
+        loop("clean-stride-7", False, _coprime_stride(g, stride_lines=7, count=512)),
+        loop("clean-stencil", False, _stencil(g, rows=40, cols=250)),
+        loop("clean-gather-a", False, _gather(entries=16384, count=1024, seed=3)),
+        loop("clean-gather-b", False, _gather(entries=32768, count=1024, seed=4)),
+    ]

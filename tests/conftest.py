@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.trace.allocator import VirtualAllocator
+from repro.trace.record import AccessKind, MemoryAccess
+
+
+@pytest.fixture
+def paper_l1() -> CacheGeometry:
+    """The paper's evaluation L1: 32 KiB, 8-way, 64 sets, 64 B lines."""
+    return CacheGeometry(line_size=64, num_sets=64, ways=8)
+
+
+@pytest.fixture
+def tiny_cache() -> CacheGeometry:
+    """A small geometry (4 sets x 2 ways x 16 B lines) for exact-by-hand tests."""
+    return CacheGeometry(line_size=16, num_sets=4, ways=2)
+
+
+@pytest.fixture
+def allocator() -> VirtualAllocator:
+    """A fresh virtual heap."""
+    return VirtualAllocator()
+
+
+def make_load(address: int, ip: int = 0x1000, size: int = 8) -> MemoryAccess:
+    """Helper: one load access."""
+    return MemoryAccess(ip=ip, address=address, kind=AccessKind.LOAD, size=size)
+
+
+def make_store(address: int, ip: int = 0x1000, size: int = 8) -> MemoryAccess:
+    """Helper: one store access."""
+    return MemoryAccess(ip=ip, address=address, kind=AccessKind.STORE, size=size)

@@ -1,0 +1,165 @@
+"""Tests for repro.baselines — DProf, MST, and the analytical model."""
+
+import pytest
+
+from repro.baselines.analytical import (
+    minimal_conflict_free_pad,
+    predict_column_walk_conflict,
+)
+from repro.baselines.dprof import DprofDetector
+from repro.baselines.mst import MissClassificationTable
+from repro.cache.classify import ThreeCClassifier
+from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
+from repro.pmu.sampler import AddressSample
+from tests.conftest import make_load
+
+
+def sample_at(address, index=0):
+    return AddressSample(ip=0, address=address, event_index=index, access_index=index)
+
+
+class TestDprof:
+    def test_static_hot_set_detected(self, paper_l1):
+        samples = [
+            sample_at((i % 16) * paper_l1.mapping_period, i) for i in range(1000)
+        ]
+        verdict = DprofDetector(paper_l1).analyze(samples)
+        assert verdict.has_conflict
+        assert 0 in verdict.hot_sets
+
+    def test_balanced_traffic_clean(self, paper_l1):
+        samples = [sample_at((i % 64) * 64, i) for i in range(1000)]
+        verdict = DprofDetector(paper_l1).analyze(samples)
+        assert not verdict.has_conflict
+        assert verdict.imbalance == pytest.approx(1.0, abs=0.1)
+
+    def test_moving_conflict_escapes_dprof(self, paper_l1):
+        # The paper's critique: a victim set that rotates leaves balanced
+        # totals.  Each phase hammers one set; over 64 phases the per-set
+        # histogram is flat.
+        samples = []
+        index = 0
+        for phase in range(64):
+            victim = phase % 64
+            for i in range(30):
+                samples.append(
+                    sample_at(victim * 64 + (i % 16) * paper_l1.mapping_period, index)
+                )
+                index += 1
+        verdict = DprofDetector(paper_l1).analyze(samples)
+        assert not verdict.has_conflict  # false negative, by construction
+
+    def test_abstains_below_min_samples(self, paper_l1):
+        samples = [sample_at(0, i) for i in range(10)]
+        verdict = DprofDetector(paper_l1, min_samples=32).analyze(samples)
+        assert not verdict.has_conflict
+
+    def test_bad_multiple(self, paper_l1):
+        with pytest.raises(AnalysisError):
+            DprofDetector(paper_l1, hot_multiple=1.0)
+
+
+class TestMst:
+    def test_conflict_pattern_classified(self, paper_l1):
+        mst = MissClassificationTable(paper_l1)
+        for _ in range(30):
+            for i in range(9):
+                mst.access(i * paper_l1.mapping_period)
+        assert mst.counts.conflict_fraction > 0.9
+
+    def test_streaming_not_classified(self, paper_l1):
+        mst = MissClassificationTable(paper_l1)
+        mst.run_trace([make_load(i * 64) for i in range(4096)])
+        assert mst.counts.conflict_fraction == 0.0
+
+    def test_single_entry_misses_wide_rotation(self, paper_l1):
+        # 10 lines rotating through one set overwrite the single evicted-tag
+        # register before re-reference: MST's recall collapses, while the
+        # three-C ground truth still sees conflicts.
+        def trace():
+            for _ in range(30):
+                for i in range(10):
+                    yield make_load(i * paper_l1.mapping_period)
+
+        mst = MissClassificationTable(paper_l1, entries=1)
+        mst.run_trace(trace())
+        truth = ThreeCClassifier(paper_l1)
+        truth.run_trace(trace())
+        assert truth.counts.conflict_fraction() > 0.9
+        assert mst.counts.conflict_fraction < 0.5 * truth.counts.conflict_fraction()
+
+    def test_more_entries_recover_recall(self, paper_l1):
+        def run(entries):
+            mst = MissClassificationTable(paper_l1, entries=entries)
+            for _ in range(30):
+                for i in range(10):
+                    mst.access(i * paper_l1.mapping_period)
+            return mst.counts.conflict_fraction
+
+        assert run(4) > run(1)
+
+    def test_hits_tallied(self, paper_l1):
+        mst = MissClassificationTable(paper_l1)
+        mst.access(0)
+        mst.access(0)
+        assert mst.counts.hits == 1
+
+
+class TestAnalytical:
+    def test_aliased_pitch_predicts_conflict(self, paper_l1):
+        prediction = predict_column_walk_conflict(4096, rows=256, geometry=paper_l1)
+        assert prediction.predicted_conflict
+        assert prediction.sets_used == 1
+        assert prediction.steady_state_miss_ratio == 1.0
+
+    def test_coprime_pitch_predicts_clean(self, paper_l1):
+        prediction = predict_column_walk_conflict(4104, rows=256, geometry=paper_l1)
+        assert not prediction.predicted_conflict
+        assert prediction.sets_used == 64
+
+    def test_figure2_pitch(self, paper_l1):
+        # Symmetrization's 1024-byte pitch: 4 sets, 32 lines each.
+        prediction = predict_column_walk_conflict(1024, rows=128, geometry=paper_l1)
+        assert prediction.predicted_conflict
+        assert prediction.sets_used == 4
+        assert prediction.lines_per_set == 32.0
+
+    def test_few_rows_fit_in_associativity(self, paper_l1):
+        prediction = predict_column_walk_conflict(4096, rows=8, geometry=paper_l1)
+        assert not prediction.predicted_conflict
+
+    def test_prediction_matches_simulation(self, paper_l1):
+        # Cross-validate the static model against actual simulation for a
+        # spread of pitches.
+        from repro.cache.set_assoc import SetAssociativeCache
+
+        rows = 128
+        for pitch in (1024, 2048, 4096, 1032, 4104, 2056):
+            prediction = predict_column_walk_conflict(pitch, rows, paper_l1)
+            cache = SetAssociativeCache(paper_l1)
+            misses = 0
+            laps = 20
+            for _ in range(laps):
+                for row in range(rows):
+                    if cache.access(0x100000 + row * pitch).miss:
+                        misses += 1
+            steady_ratio = misses / (laps * rows)
+            if prediction.predicted_conflict:
+                assert steady_ratio > 0.8, pitch
+            else:
+                assert steady_ratio < 0.2, pitch
+
+    def test_minimal_pad_agrees_with_advisor(self, paper_l1):
+        from repro.workloads.padding import recommend_row_pad
+
+        for cols, elem in ((128, 8), (512, 8), (256, 4)):
+            analytical = minimal_conflict_free_pad(cols, elem, rows=256, geometry=paper_l1)
+            advisor = recommend_row_pad(cols, elem, paper_l1, alignment=8)
+            # Both de-conflict; the analytical pad is never larger than one
+            # line beyond the advisor's.
+            assert abs(analytical - advisor) <= paper_l1.line_size
+
+    def test_validation(self, paper_l1):
+        with pytest.raises(AnalysisError):
+            predict_column_walk_conflict(0, 10, paper_l1)

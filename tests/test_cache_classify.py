@@ -1,0 +1,100 @@
+"""Tests for repro.cache.classify — the three-C ground truth."""
+
+from repro.cache.classify import MissClass, ThreeCClassifier
+from repro.cache.geometry import CacheGeometry
+from tests.conftest import make_load
+
+
+class TestBasicClasses:
+    def test_first_touch_is_cold(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        assert classifier.classify(0x1000) is MissClass.COLD
+
+    def test_immediate_reuse_is_hit(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        classifier.classify(0x1000)
+        assert classifier.classify(0x1000) is MissClass.HIT
+
+    def test_conflict_when_fully_associative_would_hit(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        period = paper_l1.mapping_period
+        # 9 lines in one set: way beyond 8-way associativity, far below the
+        # 512-line total capacity.
+        for i in range(9):
+            classifier.classify(i * period)
+        # Line 0 was evicted by the set conflict, but fully-associative LRU
+        # still holds it (only 9 of 512 lines used).
+        assert classifier.classify(0) is MissClass.CONFLICT
+
+    def test_capacity_when_working_set_exceeds_cache(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        total_lines = paper_l1.num_sets * paper_l1.ways
+        # Stream through twice the cache in perfectly balanced fashion.
+        for i in range(2 * total_lines):
+            classifier.classify(i * paper_l1.line_size)
+        # Re-touch line 0: evicted in both caches -> capacity.
+        assert classifier.classify(0) is MissClass.CAPACITY
+
+
+class TestCounts:
+    def test_counts_sum_to_accesses(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        for i in range(100):
+            classifier.classify((i % 30) * paper_l1.mapping_period)
+        counts = classifier.counts
+        assert counts.accesses == 100
+        assert counts.hits + counts.misses == 100
+
+    def test_conflict_fraction(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        for _ in range(3):
+            for i in range(9):
+                classifier.classify(i * paper_l1.mapping_period)
+        assert classifier.counts.conflict_fraction() > 0.5
+
+    def test_no_misses_no_fraction(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        assert classifier.counts.conflict_fraction() == 0.0
+
+    def test_per_ip_tallies(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        classifier.classify(0, ip=0x10)
+        classifier.classify(0, ip=0x10)
+        per_ip = classifier.counts.by_ip[0x10]
+        assert per_ip[MissClass.COLD] == 1
+        assert per_ip[MissClass.HIT] == 1
+
+
+class TestBalancedStreamHasNoConflicts:
+    def test_sequential_stream(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        for i in range(4 * paper_l1.num_sets * paper_l1.ways):
+            classifier.classify(i * paper_l1.line_size)
+        # A pure stream never revisits: only cold misses.
+        assert classifier.counts.conflict == 0
+        assert classifier.counts.capacity == 0
+
+    def test_small_working_set_all_hits_after_warmup(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        lines = 32  # fits trivially
+        for _ in range(5):
+            for i in range(lines):
+                classifier.classify(i * paper_l1.line_size)
+        counts = classifier.counts
+        assert counts.cold == lines
+        assert counts.conflict == 0 and counts.capacity == 0
+
+
+class TestRecordInterface:
+    def test_run_trace(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        counts = classifier.run_trace([make_load(i * 64) for i in range(10)])
+        assert counts.cold == 10
+
+    def test_straddler_classified_once_by_first_line(self, paper_l1):
+        classifier = ThreeCClassifier(paper_l1)
+        outcome = classifier.classify_record(make_load(60, size=16))
+        assert outcome is MissClass.COLD
+        # Both touched lines are now resident.
+        assert classifier.classify(0) is MissClass.HIT
+        assert classifier.classify(64) is MissClass.HIT

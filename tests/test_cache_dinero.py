@@ -1,0 +1,63 @@
+"""Tests for repro.cache.dinero."""
+
+import pytest
+
+from repro.cache.dinero import (
+    DineroConfig,
+    format_dinero_report,
+    parse_size,
+    simulate_dinero_trace,
+)
+from repro.errors import TraceError
+from repro.trace.tracefile import write_dinero_trace
+from tests.conftest import make_load
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_suffixes(self):
+        assert parse_size("32k") == 32 * 1024
+        assert parse_size("8M") == 8 * 1024 * 1024
+        assert parse_size("1g") == 1024**3
+
+    def test_garbage(self):
+        with pytest.raises(TraceError):
+            parse_size("lots")
+
+
+class TestConfigSpec:
+    def test_paper_l1_spec(self):
+        config = DineroConfig.from_spec("32k:64:8")
+        assert config.geometry.num_sets == 64
+        assert config.geometry.ways == 8
+        assert config.policy == "lru"
+
+    def test_policy_suffix(self):
+        assert DineroConfig.from_spec("32k:64:8:plru").policy == "plru"
+
+    def test_bad_spec(self):
+        with pytest.raises(TraceError, match="bad cache spec"):
+            DineroConfig.from_spec("32k-64-8")
+
+    def test_build(self):
+        cache = DineroConfig.from_spec("1k:16:2").build()
+        assert cache.geometry.capacity == 1024
+
+
+class TestSimulateTrace:
+    def test_end_to_end(self, tmp_path):
+        path = tmp_path / "t.din"
+        write_dinero_trace(path, [make_load(i * 64) for i in range(16)])
+        stats = simulate_dinero_trace(path, spec="32k:64:8")
+        assert stats.accesses == 16
+        assert stats.misses == 16  # all cold
+
+    def test_report_format(self, tmp_path):
+        path = tmp_path / "t.din"
+        write_dinero_trace(path, [make_load(0), make_load(0)])
+        stats = simulate_dinero_trace(path)
+        report = format_dinero_report(stats, title="unit")
+        assert "Fetches" in report and "Misses" in report
+        assert "unit" in report

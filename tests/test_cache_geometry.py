@@ -1,0 +1,111 @@
+"""Tests for repro.cache.geometry — the Figure 1 bit extraction."""
+
+import pytest
+
+from repro.cache.geometry import (
+    BROADWELL_LLC,
+    PAPER_L1,
+    PAPER_L2,
+    SKYLAKE_LLC,
+    CacheGeometry,
+)
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_paper_l1_is_32k_8way_64sets(self):
+        assert PAPER_L1.capacity == 32 * 1024
+        assert PAPER_L1.num_sets == 64
+        assert PAPER_L1.ways == 8
+        assert PAPER_L1.line_size == 64
+
+    def test_from_capacity(self):
+        geometry = CacheGeometry.from_capacity(32 * 1024, line_size=64, ways=8)
+        assert geometry == PAPER_L1
+
+    def test_from_capacity_l2(self):
+        assert PAPER_L2.capacity == 256 * 1024
+        assert PAPER_L2.num_sets == 512
+
+    def test_llc_specs(self):
+        assert BROADWELL_LLC.capacity == 32 * 1024 * 1024
+        assert SKYLAKE_LLC.capacity == 8 * 1024 * 1024
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(line_size=48)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(num_sets=63)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(ways=0)
+
+    def test_from_capacity_indivisible_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry.from_capacity(1024, line_size=64, ways=7)
+
+
+class TestBitExtraction:
+    """Figure 1: tag | index | offset."""
+
+    def test_offset_bits(self, paper_l1):
+        assert paper_l1.offset_bits == 6
+        assert paper_l1.index_bits == 6
+
+    def test_offset(self, paper_l1):
+        assert paper_l1.offset(0x1234) == 0x34
+
+    def test_set_index(self, paper_l1):
+        # Address 0x1000 = line 64 = set 0 (64 mod 64).
+        assert paper_l1.set_index(0x1000) == 0
+        assert paper_l1.set_index(0x1040) == 1
+
+    def test_set_index_wraps_at_mapping_period(self, paper_l1):
+        assert paper_l1.mapping_period == 4096
+        assert paper_l1.set_index(0x0) == paper_l1.set_index(4096)
+
+    def test_tag(self, paper_l1):
+        assert paper_l1.tag(0x0) == 0
+        assert paper_l1.tag(4096) == 1
+
+    def test_same_set_different_tag_is_a_conflict_pair(self, paper_l1):
+        a, b = 0x100, 0x100 + paper_l1.mapping_period
+        assert paper_l1.set_index(a) == paper_l1.set_index(b)
+        assert paper_l1.tag(a) != paper_l1.tag(b)
+
+    def test_reconstruction(self, paper_l1):
+        address = 0xDEADBEEF
+        rebuilt = (
+            (paper_l1.tag(address) << (paper_l1.offset_bits + paper_l1.index_bits))
+            | (paper_l1.set_index(address) << paper_l1.offset_bits)
+            | paper_l1.offset(address)
+        )
+        assert rebuilt == address
+
+    def test_line_address_and_number(self, paper_l1):
+        assert paper_l1.line_address(0x12F) == 0x100
+        assert paper_l1.line_number(0x12F) == 0x100 // 64
+
+
+class TestSpans:
+    def test_single_line(self, paper_l1):
+        assert paper_l1.lines_spanned(0, 8) == 1
+
+    def test_straddling_access(self, paper_l1):
+        assert paper_l1.lines_spanned(60, 8) == 2
+
+    def test_exactly_one_line(self, paper_l1):
+        assert paper_l1.lines_spanned(64, 64) == 1
+
+    def test_bad_size(self, paper_l1):
+        with pytest.raises(GeometryError):
+            paper_l1.lines_spanned(0, 0)
+
+
+class TestDescribe:
+    def test_describe_mentions_shape(self, paper_l1):
+        text = paper_l1.describe()
+        assert "32" in text and "8-way" in text and "64 sets" in text

@@ -1,0 +1,97 @@
+"""Tests for repro.cache.hashing — XOR-folded set indexing."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hashing import XorFoldedGeometry, dissolves_stride
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import GeometryError
+from tests.conftest import make_load
+
+
+@pytest.fixture
+def hashed():
+    return XorFoldedGeometry(line_size=64, num_sets=64, ways=8, fold_levels=1)
+
+
+class TestIndexHashing:
+    def test_zero_folds_is_plain(self):
+        plain = CacheGeometry()
+        degenerate = XorFoldedGeometry(fold_levels=0)
+        for address in (0x0, 0x1234, 0xDEAD_BEEF):
+            assert degenerate.set_index(address) == plain.set_index(address)
+
+    def test_index_in_range(self, hashed):
+        for address in range(0, 1 << 16, 4096 + 64):
+            assert 0 <= hashed.set_index(address) < hashed.num_sets
+
+    def test_aliasing_stride_spread(self, hashed):
+        # Plain geometry folds a 4096-stride walk onto one set; hashing
+        # spreads it because the tag changes every step.
+        plain = CacheGeometry()
+        plain_sets = {plain.set_index(i * 4096) for i in range(64)}
+        hashed_sets = {hashed.set_index(i * 4096) for i in range(64)}
+        assert len(plain_sets) == 1
+        assert len(hashed_sets) > 16
+
+    def test_same_line_same_set(self, hashed):
+        # All offsets within one line must map to the same set.
+        base = 0x1234 & ~63
+        indices = {hashed.set_index(base + off) for off in range(64)}
+        assert len(indices) == 1
+
+    def test_line_identity_preserved(self, hashed):
+        # (hashed index, tag) uniquely identifies a line: distinct lines
+        # never collide on both.
+        seen = {}
+        for line in range(4096):
+            address = line * 64
+            key = (hashed.set_index(address), hashed.tag(address))
+            assert key not in seen, f"line {line} collides with {seen.get(key)}"
+            seen[key] = line
+
+    def test_negative_folds_rejected(self):
+        with pytest.raises(GeometryError):
+            XorFoldedGeometry(fold_levels=-1)
+
+
+class TestHashedCacheBehaviour:
+    def test_conflict_workload_cured_by_hashing(self, hashed, paper_l1):
+        def run(geometry):
+            cache = SetAssociativeCache(geometry)
+            for _ in range(40):
+                for i in range(16):
+                    cache.access(i * 4096)
+            return cache.stats.misses
+
+        plain_misses = run(paper_l1)
+        hashed_misses = run(hashed)
+        # 16 lines, plain: one set, total thrash; hashed: spread, resident.
+        assert plain_misses > 10 * hashed_misses
+
+    def test_balanced_workload_unaffected(self, hashed, paper_l1):
+        def run(geometry):
+            cache = SetAssociativeCache(geometry)
+            stats = cache.run_trace([make_load(i * 64) for i in range(4096)])
+            return stats.misses
+
+        # A cold stream misses once per line under any indexing.
+        assert run(paper_l1) == run(hashed)
+
+    def test_hits_still_work(self, hashed):
+        cache = SetAssociativeCache(hashed)
+        cache.access(0x12345)
+        assert cache.access(0x12345).hit
+
+
+class TestDissolvesStride:
+    def test_mapping_period_stride(self, hashed):
+        assert dissolves_stride(4096, hashed)
+
+    def test_line_stride_not_plain_aliasing(self, hashed):
+        # A 64 B stride covers all sets plainly; nothing to dissolve.
+        assert not dissolves_stride(64, hashed)
+
+    def test_bad_stride(self, hashed):
+        with pytest.raises(GeometryError):
+            dissolves_stride(0, hashed)

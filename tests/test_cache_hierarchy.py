@@ -1,0 +1,104 @@
+"""Tests for repro.cache.hierarchy."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy, miss_reduction
+from tests.conftest import make_load
+
+
+@pytest.fixture
+def two_level():
+    l1 = CacheGeometry(line_size=16, num_sets=4, ways=2)   # 128 B
+    l2 = CacheGeometry(line_size=16, num_sets=16, ways=4)  # 1 KiB
+    return CacheHierarchy([l1, l2], names=["L1", "L2"])
+
+
+class TestAccessDepth:
+    def test_cold_access_misses_everywhere(self, two_level):
+        assert two_level.access(0x1000) == 2
+
+    def test_l1_hit_depth_zero(self, two_level):
+        two_level.access(0x1000)
+        assert two_level.access(0x1000) == 0
+
+    def test_l1_evicted_but_l2_resident(self, two_level):
+        # Fill L1 set 0 (2 ways) plus one more: line 0 falls to L2 only.
+        period = 64  # L1 mapping period: 16 B * 4 sets
+        for i in range(3):
+            two_level.access(i * period)
+        # Line 0 misses L1 but hits the bigger L2.
+        assert two_level.access(0) == 1
+
+
+class TestLevelStats:
+    def test_l2_sees_only_l1_misses(self, two_level):
+        for _ in range(3):
+            two_level.access(0x500)
+        result = two_level.result()
+        assert result.level("L1").accesses == 3
+        assert result.level("L2").accesses == 1
+
+    def test_misses_vector(self, two_level):
+        two_level.access(0)
+        assert two_level.result().misses() == [1, 1]
+
+    def test_unknown_level_raises(self, two_level):
+        with pytest.raises(KeyError):
+            two_level.result().level("LLC")
+
+    def test_miss_ratio(self, two_level):
+        two_level.access(0)
+        two_level.access(0)
+        assert two_level.result().level("L1").miss_ratio == 0.5
+
+
+class TestFactories:
+    def test_broadwell_levels(self):
+        hierarchy = CacheHierarchy.broadwell()
+        assert hierarchy.names == ["L1", "L2", "LLC"]
+        assert hierarchy.levels[0].geometry.capacity == 32 * 1024
+        assert hierarchy.levels[2].geometry.capacity == 32 * 1024 * 1024
+
+    def test_skylake_llc_smaller(self):
+        assert (
+            CacheHierarchy.skylake().levels[2].geometry.capacity
+            < CacheHierarchy.broadwell().levels[2].geometry.capacity
+        )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_name_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([CacheGeometry()], names=["a", "b"])
+
+
+class TestRunTrace:
+    def test_run_trace_summary(self, two_level):
+        result = two_level.run_trace([make_load(i * 16) for i in range(8)])
+        assert result.level("L1").accesses == 8
+        assert result.level("L1").misses == 8
+
+    def test_straddler_counts_deepest(self, two_level):
+        depth = two_level.access_record(make_load(12, size=16))
+        assert depth == 2
+
+
+class TestMissReduction:
+    def test_reduction_math(self, two_level):
+        for i in range(4):
+            two_level.access(i * 64)
+        before = two_level.result()
+        other = CacheHierarchy(
+            [lvl.geometry for lvl in two_level.levels], names=two_level.names
+        )
+        other.access(0)
+        after = other.result()
+        reductions = miss_reduction(before, after)
+        assert reductions[0] == pytest.approx((4 - 1) / 4)
+
+    def test_zero_before_misses(self, two_level):
+        empty = two_level.result()
+        assert miss_reduction(empty, empty) == [0.0, 0.0]

@@ -1,0 +1,104 @@
+"""Tests for repro.cache.replacement."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+    policy_names,
+)
+from repro.errors import GeometryError
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        assert policy.victim() == 0
+
+    def test_touch_refreshes(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_fill_counts_as_touch(self):
+        policy = LruPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+
+class TestFifo:
+    def test_victim_is_oldest_fill(self):
+        policy = FifoPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        assert policy.victim() == 0
+
+    def test_touch_does_not_refresh(self):
+        policy = FifoPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        policy.touch(0)  # FIFO ignores hits
+        assert policy.victim() == 0
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        policy = RandomPolicy(8, seed=3)
+        for _ in range(100):
+            assert 0 <= policy.victim() < 8
+
+    def test_deterministic_given_seed(self):
+        first = [RandomPolicy(8, seed=5).victim() for _ in range(1)]
+        second = [RandomPolicy(8, seed=5).victim() for _ in range(1)]
+        assert first == second
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(GeometryError):
+            TreePlruPolicy(6)
+
+    def test_cycles_through_all_ways(self):
+        policy = TreePlruPolicy(4)
+        victims = []
+        for _ in range(4):
+            way = policy.victim()
+            victims.append(way)
+            policy.fill(way)
+        assert sorted(victims) == [0, 1, 2, 3]
+
+    def test_recently_touched_way_is_protected(self):
+        policy = TreePlruPolicy(8)
+        policy.touch(3)
+        assert policy.victim() != 3
+
+    def test_two_way_behaves_like_lru(self):
+        plru, lru = TreePlruPolicy(2), LruPolicy(2)
+        for way in (0, 1, 0):
+            plru.touch(way)
+            lru.touch(way)
+        assert plru.victim() == lru.victim()
+
+
+class TestFactory:
+    def test_make_each_policy(self):
+        for name in policy_names():
+            policy = make_policy(name, 8)
+            assert policy.ways == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(GeometryError, match="unknown replacement policy"):
+            make_policy("clock", 8)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(GeometryError):
+            LruPolicy(0)

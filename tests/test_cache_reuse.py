@@ -1,0 +1,104 @@
+"""Tests for repro.cache.reuse — reuse-distance analysis."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.reuse import INFINITE, conflict_gap, reuse_distances
+from repro.errors import AnalysisError
+from tests.conftest import make_load
+
+
+class TestReuseDistances:
+    def test_cyclic_pattern(self, paper_l1):
+        # Cycling K lines gives reuse distance K-1 after the cold pass.
+        k = 10
+        trace = [make_load((i % k) * 64) for i in range(100)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        assert profile.histogram[INFINITE] == k
+        assert profile.histogram[k - 1] == 100 - k
+
+    def test_immediate_reuse_distance_zero(self, paper_l1):
+        trace = [make_load(0), make_load(0)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        assert profile.histogram[0] == 1
+
+    def test_same_line_different_offsets(self, paper_l1):
+        trace = [make_load(0), make_load(32), make_load(8)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        # All three touch line 0: distances are 0, 0 after the cold touch.
+        assert profile.histogram[0] == 2
+
+    def test_stack_distance_counts_distinct_lines(self, paper_l1):
+        # a b b b a: distance of the second 'a' is 1 (only b in between).
+        trace = [make_load(0), make_load(64), make_load(64), make_load(64), make_load(0)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        assert profile.histogram[1] == 1
+
+    def test_empty_trace(self, paper_l1):
+        profile = reuse_distances(iter([]), paper_l1)
+        assert profile.total == 0
+        assert profile.miss_ratio_for_capacity(8) == 0.0
+
+    def test_trace_length_cap(self, paper_l1):
+        trace = [make_load(i * 64) for i in range(10)]
+        with pytest.raises(AnalysisError, match="max_references"):
+            reuse_distances(iter(trace), paper_l1, max_references=5)
+
+
+class TestMissRatioPrediction:
+    def test_capacity_cliff(self, paper_l1):
+        # Cycling 16 lines: capacity >= 16 -> only cold misses; < 16 -> all miss.
+        k = 16
+        trace = [make_load((i % k) * 64) for i in range(160)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        assert profile.miss_ratio_for_capacity(k) == pytest.approx(k / 160)
+        assert profile.miss_ratio_for_capacity(k - 1) == 1.0
+
+    def test_curve_monotone_in_capacity(self, paper_l1):
+        import random
+
+        rng = random.Random(0)
+        trace = [make_load(rng.randrange(256) * 64) for _ in range(2000)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        curve = profile.miss_ratio_curve([8, 32, 128, 512])
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_invalid_capacity(self, paper_l1):
+        profile = reuse_distances(iter([make_load(0)]), paper_l1)
+        with pytest.raises(AnalysisError):
+            profile.miss_ratio_for_capacity(0)
+
+    def test_mean_finite_distance(self, paper_l1):
+        trace = [make_load(0), make_load(64), make_load(0)]
+        profile = reuse_distances(iter(trace), paper_l1)
+        assert profile.mean_finite_distance() == 1.0
+
+    def test_mean_without_finite_distances(self, paper_l1):
+        profile = reuse_distances(iter([make_load(0)]), paper_l1)
+        with pytest.raises(AnalysisError):
+            profile.mean_finite_distance()
+
+
+class TestConflictGap:
+    def test_pure_conflict_pattern_has_large_gap(self, paper_l1):
+        def factory():
+            for _ in range(50):
+                for i in range(16):
+                    yield make_load(i * paper_l1.mapping_period)
+
+        gap = conflict_gap(factory, paper_l1)
+        # The capacity model sees a 16-line working set (tiny) and predicts
+        # ~no misses; the real cache thrashes one set.
+        assert gap["measured_miss_ratio"] > 0.9
+        assert gap["capacity_model_miss_ratio"] < 0.1
+        assert gap["conflict_gap"] > 0.8
+
+    def test_streaming_pattern_has_no_gap(self, paper_l1):
+        def factory():
+            for _ in range(3):
+                for i in range(2048):
+                    yield make_load(i * paper_l1.line_size)
+
+        gap = conflict_gap(factory, paper_l1)
+        assert abs(gap["conflict_gap"]) < 0.05

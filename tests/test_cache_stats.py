@@ -1,0 +1,76 @@
+"""Tests for repro.cache.stats."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+
+
+class TestRatios:
+    def test_empty_stats(self, paper_l1):
+        stats = CacheStats(geometry=paper_l1)
+        assert stats.miss_ratio == 0.0
+        assert stats.hit_ratio == 0.0
+
+    def test_ratios_after_traffic(self, paper_l1):
+        cache = SetAssociativeCache(paper_l1)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_ratio == 0.5
+        assert cache.stats.hit_ratio == 0.5
+
+
+class TestSetUtilization:
+    def test_sets_utilized_counts_missing_sets(self, paper_l1):
+        cache = SetAssociativeCache(paper_l1)
+        cache.access(0)      # set 0
+        cache.access(64)     # set 1
+        cache.access(0)      # hit, no new set
+        assert cache.stats.sets_utilized() == 2
+
+    def test_imbalance_balanced(self, paper_l1):
+        cache = SetAssociativeCache(paper_l1)
+        for set_index in range(paper_l1.num_sets):
+            cache.access(set_index * paper_l1.line_size)
+        assert cache.stats.miss_imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_concentrated(self, paper_l1):
+        cache = SetAssociativeCache(paper_l1)
+        for i in range(64):
+            cache.access(i * paper_l1.mapping_period)  # all set 0
+        assert cache.stats.miss_imbalance() == pytest.approx(64.0)
+
+    def test_no_misses_imbalance_is_one(self, paper_l1):
+        stats = CacheStats(geometry=paper_l1)
+        assert stats.miss_imbalance() == 1.0
+
+
+class TestMergeAndExport:
+    def test_merge_adds_counters(self, paper_l1):
+        a = SetAssociativeCache(paper_l1)
+        b = SetAssociativeCache(paper_l1)
+        a.access(0, ip=1)
+        b.access(4096, ip=2)
+        merged = a.stats.merge(b.stats)
+        assert merged.accesses == 2
+        assert merged.misses == 2
+        assert merged.set_misses[0] == 2
+        assert merged.ip_misses[1] == 1 and merged.ip_misses[2] == 1
+
+    def test_merge_rejects_different_geometry(self, paper_l1, tiny_cache):
+        with pytest.raises(ValueError):
+            CacheStats(geometry=paper_l1).merge(CacheStats(geometry=tiny_cache))
+
+    def test_as_dict_keys(self, paper_l1):
+        data = CacheStats(geometry=paper_l1).as_dict()
+        for key in ("accesses", "misses", "miss_ratio", "sets_utilized"):
+            assert key in data
+
+    def test_top_miss_ips(self, paper_l1):
+        cache = SetAssociativeCache(paper_l1)
+        for i in range(3):
+            cache.access(i * 4096, ip=0xAA)
+        cache.access(9 * 4096, ip=0xBB)
+        top = cache.stats.top_miss_ips(1)
+        assert top == [(0xAA, 3)]

@@ -1,0 +1,75 @@
+"""Tests for repro.cache.victim."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.victim import VictimCachedL1
+from repro.errors import GeometryError
+from tests.conftest import make_load
+
+
+class TestVictimCache:
+    def test_main_hit_path(self, paper_l1):
+        cache = VictimCachedL1(paper_l1)
+        cache.access(0x1000)
+        assert cache.access(0x1000) == "main"
+        assert cache.stats.main_hits == 1
+
+    def test_conflict_evictions_absorbed(self, paper_l1):
+        cache = VictimCachedL1(paper_l1, victim_lines=8)
+        period = paper_l1.mapping_period
+        # 9 lines on one set: one eviction per lap; the victim buffer holds it.
+        outcomes = []
+        for _ in range(20):
+            for i in range(9):
+                outcomes.append(cache.access(i * period))
+        assert cache.stats.victim_hits > 0
+        assert cache.stats.absorbed_fraction > 0.9
+
+    def test_capacity_misses_not_absorbed(self, paper_l1):
+        cache = VictimCachedL1(paper_l1, victim_lines=8)
+        total_lines = paper_l1.num_sets * paper_l1.ways
+        # Stream 4x the cache: reuse distances dwarf the victim buffer.
+        for _ in range(2):
+            for i in range(4 * total_lines):
+                cache.access(i * paper_l1.line_size)
+        assert cache.stats.absorbed_fraction < 0.05
+
+    def test_victim_buffer_capacity_respected(self, paper_l1):
+        cache = VictimCachedL1(paper_l1, victim_lines=2)
+        period = paper_l1.mapping_period
+        # Evict many lines quickly; buffer keeps only the 2 most recent.
+        for i in range(16):
+            cache.access(i * period)
+        assert len(cache._victim) <= 2
+
+    def test_small_buffer_absorbs_less(self, paper_l1):
+        def run(victim_lines):
+            cache = VictimCachedL1(paper_l1, victim_lines=victim_lines)
+            period = paper_l1.mapping_period
+            for _ in range(20):
+                for i in range(12):  # 4 lines beyond associativity
+                    cache.access(i * period)
+            return cache.stats.absorbed_fraction
+
+        assert run(8) > run(1)
+
+    def test_zero_lines_rejected(self, paper_l1):
+        with pytest.raises(GeometryError):
+            VictimCachedL1(paper_l1, victim_lines=0)
+
+    def test_run_trace(self, paper_l1):
+        cache = VictimCachedL1(paper_l1)
+        stats = cache.run_trace([make_load(i * 64) for i in range(10)])
+        assert stats.accesses == 10
+        assert stats.misses == 10
+
+    def test_promoted_line_leaves_buffer(self, paper_l1):
+        cache = VictimCachedL1(paper_l1, victim_lines=4)
+        period = paper_l1.mapping_period
+        for i in range(9):
+            cache.access(i * period)
+        # Line 0 was evicted into the buffer; touching it promotes it out.
+        assert cache.access(0) == "victim"
+        line0 = paper_l1.line_number(0)
+        assert line0 not in cache._victim

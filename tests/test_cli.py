@@ -1,0 +1,113 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import _resolve_workload, build_parser, main
+from repro.errors import ReproError
+from repro.trace.tracefile import write_dinero_trace
+from tests.conftest import make_load
+
+
+class TestResolveWorkload:
+    def test_case_study_original(self):
+        workload = _resolve_workload("symmetrization")
+        assert workload.name == "symmetrization"
+
+    def test_case_study_optimized(self):
+        workload = _resolve_workload("symmetrization:optimized")
+        assert "padded" in workload.name
+
+    def test_rodinia_app(self):
+        assert _resolve_workload("hotspot").name == "hotspot"
+
+    def test_rodinia_has_no_optimized_variant(self):
+        with pytest.raises(ReproError, match="no optimized variant"):
+            _resolve_workload("hotspot:optimized")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            _resolve_workload("quake")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ReproError, match="unknown variant"):
+            _resolve_workload("adi:better")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "adi" in out and "hotspot" in out
+
+    def test_simulate(self, tmp_path, capsys):
+        trace = tmp_path / "t.din"
+        write_dinero_trace(trace, [make_load(i * 64) for i in range(8)])
+        assert main(["simulate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Misses" in out
+
+    def test_analyze_writes_result(self, tmp_path, capsys):
+        out_file = tmp_path / "symm_result"
+        code = main(
+            ["analyze", "symmetrization", "--period", "50", "-o", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "CCProf conflict report" in capsys.readouterr().out
+
+    def test_profile_dumps_samples(self, tmp_path, capsys):
+        out_file = tmp_path / "samples.jsonl"
+        code = main(["profile", "symmetrization", "--period", "50", "-o", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        assert "samples" in capsys.readouterr().out
+
+    def test_error_path_returns_one(self, capsys):
+        assert main(["analyze", "quake"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAdviseCommand:
+    def test_advise_conflicting_workload(self, capsys):
+        assert main(["advise", "symmetrization", "--period", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "padding advice" in out
+        assert "B/row" in out
+
+    def test_advise_clean_workload(self, capsys):
+        assert main(["advise", "jacobi-2d", "--period", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "no conflicts flagged" in out
+
+
+class TestPhasesCommand:
+    def test_phases_output(self, capsys):
+        code = main(["phases", "tinydnn", "--period", "101", "--window", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phases of ~128 samples" in out
+        assert "CONFLICT" in out
+
+    def test_polybench_names_resolve(self):
+        for name in ("gemm", "2mm", "trmm", "jacobi-2d", "fdtd-2d"):
+            assert _resolve_workload(name) is not None
+
+
+class TestCompareCommand:
+    def test_compare_shows_improvement(self, capsys):
+        assert main(["compare", "symmetrization", "--period", "101"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 misses" in out and "reduction" in out
+        assert "conflicts flagged: True -> False" in out
+
+    def test_compare_rejects_variant_suffix(self, capsys):
+        assert main(["compare", "adi:optimized"]) == 1
+        assert "bare name" in capsys.readouterr().err
+
+    def test_compare_rejects_rodinia_app(self, capsys):
+        assert main(["compare", "hotspot"]) == 1
+        assert "no optimized variant" in capsys.readouterr().err

@@ -1,0 +1,106 @@
+"""Tests for repro.core.attribution."""
+
+import pytest
+
+from repro.core.attribution import (
+    NO_LOOP,
+    UNATTRIBUTED,
+    attribute_code,
+    attribute_data,
+)
+from repro.pmu.sampler import AddressSample
+from repro.program.builder import ImageBuilder
+from repro.program.symbols import Symbolizer
+from repro.trace.allocator import VirtualAllocator
+
+
+def build_two_loop_image():
+    builder = ImageBuilder()
+    function = builder.function("kern", file="k.c")
+    function.begin_loop(line=10)
+    ip_a = function.add_statement(line=11)
+    function.end_loop()
+    function.begin_loop(line=20)
+    ip_b = function.add_statement(line=21)
+    function.end_loop()
+    ip_flat = function.add_statement(line=30)
+    function.finish()
+    return builder.build(), ip_a, ip_b, ip_flat
+
+
+def sample(ip, address=0, index=0):
+    return AddressSample(ip=ip, address=address, event_index=index, access_index=index)
+
+
+class TestCodeCentric:
+    def test_groups_by_loop_hot_first(self):
+        image, ip_a, ip_b, _ = build_two_loop_image()
+        samples = [sample(ip_a, index=i) for i in range(6)]
+        samples += [sample(ip_b, index=10 + i) for i in range(3)]
+        attribution = attribute_code(samples, Symbolizer(image))
+        assert [group.loop_name for group in attribution.loops] == ["k.c:10", "k.c:20"]
+        assert attribution.loop("k.c:10").share == pytest.approx(6 / 9)
+
+    def test_non_loop_samples_bucketed(self):
+        image, *_ , ip_flat = build_two_loop_image()
+        attribution = attribute_code([sample(ip_flat)], Symbolizer(image))
+        assert attribution.loops[0].loop_name == NO_LOOP
+
+    def test_no_symbolizer(self):
+        attribution = attribute_code([sample(0x1234)], None)
+        assert attribution.loops[0].loop_name == NO_LOOP
+
+    def test_hot_loops_filter(self):
+        image, ip_a, ip_b, _ = build_two_loop_image()
+        samples = [sample(ip_a, index=i) for i in range(99)]
+        samples.append(sample(ip_b, index=1000))
+        attribution = attribute_code(samples, Symbolizer(image))
+        hot = attribution.hot_loops(min_share=0.05)
+        assert [group.loop_name for group in hot] == ["k.c:10"]
+
+    def test_empty_samples(self):
+        attribution = attribute_code([], None)
+        assert attribution.loops == []
+        assert attribution.total_samples == 0
+
+    def test_unknown_loop_lookup(self):
+        attribution = attribute_code([], None)
+        with pytest.raises(KeyError):
+            attribution.loop("ghost")
+
+
+class TestDataCentric:
+    def test_maps_addresses_to_allocations(self):
+        allocator = VirtualAllocator()
+        a = allocator.malloc(1000, "matrix_a")
+        b = allocator.malloc(1000, "matrix_b")
+        samples = [sample(0, address=a.start + i) for i in range(8)]
+        samples += [sample(0, address=b.start + i) for i in range(2)]
+        attribution = attribute_data(samples, allocator)
+        assert attribution.objects[0].label == "matrix_a"
+        assert attribution.objects[0].count == 8
+        assert attribution.object("matrix_b").share == pytest.approx(0.2)
+
+    def test_unattributed_bucket(self):
+        allocator = VirtualAllocator()
+        attribution = attribute_data([sample(0, address=0x10)], allocator)
+        assert attribution.objects[0].label == UNATTRIBUTED
+
+    def test_no_allocator(self):
+        attribution = attribute_data([sample(0, address=0x10)], None)
+        assert attribution.objects[0].label == UNATTRIBUTED
+
+    def test_top(self):
+        allocator = VirtualAllocator()
+        labels = ["a", "b", "c"]
+        allocations = [allocator.malloc(100, label) for label in labels]
+        samples = []
+        for count, allocation in zip((5, 3, 1), allocations):
+            samples += [sample(0, address=allocation.start)] * count
+        attribution = attribute_data(samples, allocator)
+        assert [entry.label for entry in attribution.top(2)] == ["a", "b"]
+
+    def test_unknown_object_lookup(self):
+        attribution = attribute_data([], None)
+        with pytest.raises(KeyError):
+            attribution.object("ghost")

@@ -1,0 +1,99 @@
+"""Tests for repro.core.classifier — §3.4's model and Table 1."""
+
+import pytest
+
+from repro.core.classifier import (
+    ConflictClassifier,
+    Implication,
+    TrainingExample,
+    implication_for,
+)
+from repro.errors import ModelError
+
+
+def paper_like_examples():
+    """16 loops, 8 conflicting / 8 clean, cf populations as published:
+    conflict loops at 0.37+ (MKL FFT) up to 0.88+ (NW), clean Rodinia loops
+    at 0.10-0.20 (§5.1, §6)."""
+    clean = [0.10, 0.12, 0.13, 0.15, 0.16, 0.18, 0.19, 0.20]
+    conflicting = [0.37, 0.45, 0.55, 0.65, 0.72, 0.80, 0.85, 0.88]
+    return [
+        *(TrainingExample(cf, False, f"clean{i}") for i, cf in enumerate(clean)),
+        *(TrainingExample(cf, True, f"conf{i}") for i, cf in enumerate(conflicting)),
+    ]
+
+
+class TestTable1:
+    def test_low_rcd_high_contribution_is_strong_signal(self):
+        assert (
+            implication_for(rcd_is_low=True, contribution_is_high=True)
+            is Implication.STRONG_CONFLICT
+        )
+
+    def test_low_rcd_low_contribution_is_insignificant(self):
+        assert (
+            implication_for(rcd_is_low=True, contribution_is_high=False)
+            is Implication.INSIGNIFICANT
+        )
+
+    def test_high_rcd_is_no_conflict_either_way(self):
+        for contribution in (True, False):
+            assert (
+                implication_for(rcd_is_low=False, contribution_is_high=contribution)
+                is Implication.NO_CONFLICT
+            )
+
+
+class TestClassifier:
+    def test_fit_and_predict_published_populations(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        assert classifier.predict(0.88)        # NW-like
+        assert classifier.predict(0.37)        # MKL-FFT-like
+        assert not classifier.predict(0.15)    # clean Rodinia-like
+
+    def test_probabilities_ordered(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        assert classifier.predict_proba(0.9) > classifier.predict_proba(0.5)
+        assert classifier.predict_proba(0.5) > classifier.predict_proba(0.1)
+
+    def test_decision_boundary_between_populations(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        boundary = classifier.decision_boundary()
+        assert 0.20 < boundary < 0.37
+
+    def test_cross_validated_f1_is_one_on_separable_data(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        assert classifier.cross_validated_f1(folds=8, seed=0) == 1.0
+
+    def test_predict_many(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        verdicts = classifier.predict_many([0.1, 0.9])
+        assert verdicts == [False, True]
+
+    def test_training_summary(self):
+        classifier = ConflictClassifier().fit(paper_like_examples())
+        summary = classifier.training_summary()
+        assert len(summary) == 16
+        name, cf, label, probability = summary[0]
+        assert name == "clean0" and label is False
+        assert 0.0 <= probability <= 1.0
+
+
+class TestClassifierValidation:
+    def test_unfitted_prediction_rejected(self):
+        with pytest.raises(ModelError, match="not fitted"):
+            ConflictClassifier().predict(0.5)
+
+    def test_unfitted_cv_rejected(self):
+        with pytest.raises(ModelError):
+            ConflictClassifier().cross_validated_f1()
+
+    def test_too_few_examples(self):
+        with pytest.raises(ModelError, match="at least 2"):
+            ConflictClassifier().fit([TrainingExample(0.5, True)])
+
+    def test_is_fitted_flag(self):
+        classifier = ConflictClassifier()
+        assert not classifier.is_fitted
+        classifier.fit(paper_like_examples())
+        assert classifier.is_fitted

@@ -1,0 +1,92 @@
+"""Tests for repro.core.conflict_period."""
+
+import pytest
+
+from repro.core.conflict_period import (
+    ConflictPeriodAnalysis,
+    ConflictPeriodRun,
+    conflict_periods,
+    detectable,
+)
+from repro.core.rcd import compute_rcds
+
+
+class TestRunExtraction:
+    def test_single_constant_run(self):
+        observations = compute_rcds([1] * 5)  # 4 observations, RCD 0
+        runs = conflict_periods(observations)
+        assert len(runs) == 1
+        assert runs[0].length == 4
+        assert runs[0].rcd == 0
+
+    def test_rcd_change_splits_runs(self):
+        # Set 1 at positions 0,1,2 then 5,8: RCDs 0,0,2,2.
+        sequence = [1, 1, 1, 2, 3, 1, 2, 3, 1]
+        observations = [o for o in compute_rcds(sequence) if o.set_index == 1]
+        runs = conflict_periods(observations)
+        assert [(run.rcd, run.length) for run in runs] == [(0, 2), (2, 2)]
+
+    def test_per_set_separation(self):
+        sequence = [1, 2, 1, 2, 1, 2]
+        runs = conflict_periods(compute_rcds(sequence))
+        assert {run.set_index for run in runs} == {1, 2}
+        for run in runs:
+            assert run.rcd == 1
+
+    def test_empty(self):
+        assert conflict_periods([]) == []
+
+    def test_start_positions_recorded(self):
+        observations = compute_rcds([4, 4, 4])
+        (run,) = conflict_periods(observations)
+        assert run.start_position == 1  # first observation is at miss #1
+
+
+class TestDetectability:
+    def test_long_run_detectable_at_coarse_period(self):
+        run = ConflictPeriodRun(set_index=0, rcd=3, length=1000, start_position=0)
+        assert detectable(run, sampling_period=1212)
+
+    def test_short_run_undetectable(self):
+        run = ConflictPeriodRun(set_index=0, rcd=0, length=3, start_position=0)
+        assert not detectable(run, sampling_period=1212)
+
+    def test_boundary(self):
+        run = ConflictPeriodRun(set_index=0, rcd=0, length=10, start_position=0)
+        assert detectable(run, sampling_period=9)
+        assert not detectable(run, sampling_period=10)
+
+
+class TestAnalysis:
+    def test_mean_period(self):
+        observations = compute_rcds([1, 1, 1, 1])
+        analysis = ConflictPeriodAnalysis.from_observations(observations)
+        assert analysis.mean_period() == 3.0
+
+    def test_detectable_fraction(self):
+        runs = [
+            ConflictPeriodRun(0, rcd=0, length=100, start_position=0),
+            ConflictPeriodRun(1, rcd=0, length=2, start_position=0),
+        ]
+        analysis = ConflictPeriodAnalysis(runs=runs)
+        assert analysis.detectable_fraction(sampling_period=50) == 0.5
+
+    def test_empty_analysis(self):
+        analysis = ConflictPeriodAnalysis(runs=[])
+        assert analysis.mean_period() == 0.0
+        assert analysis.detectable_fraction(100) == 0.0
+        assert analysis.summary() == {"count": 0.0}
+
+    def test_himeno_signature_small_cp(self):
+        # The HimenoBMT pattern (§6.6): the victim set changes every few
+        # misses -> many short runs.
+        sequence = []
+        for i in range(200):
+            sequence.extend([i % 64] * 3)
+        analysis = ConflictPeriodAnalysis.from_observations(compute_rcds(sequence))
+        assert analysis.mean_period() <= 3.0
+
+    def test_mean_span_in_misses(self):
+        observations = compute_rcds([1, 1, 1, 1])  # one run, length 3, rcd 0
+        analysis = ConflictPeriodAnalysis.from_observations(observations)
+        assert analysis.mean_span_in_misses() == pytest.approx(3.0)

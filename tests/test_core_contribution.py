@@ -1,0 +1,82 @@
+"""Tests for repro.core.contribution — Equation 1."""
+
+import pytest
+
+from repro.core.contribution import (
+    DEFAULT_RCD_THRESHOLD,
+    contribution_factor,
+    contribution_factors_by_set,
+    default_threshold_for,
+    short_rcd_share,
+)
+from repro.core.rcd import RcdAnalysis, compute_rcds
+from repro.errors import AnalysisError
+
+
+class TestContributionFactor:
+    def test_pure_conflict_near_one(self):
+        analysis = RcdAnalysis.from_set_sequence([0] * 1000, num_sets=64)
+        assert contribution_factor(analysis) == pytest.approx(0.999)
+
+    def test_balanced_near_zero(self):
+        analysis = RcdAnalysis.from_set_sequence(list(range(64)) * 20, num_sets=64)
+        assert contribution_factor(analysis) == 0.0
+
+    def test_mixed(self):
+        # Half the misses hammer set 0; half rotate all 64 sets.
+        sequence = []
+        for _ in range(10):
+            sequence.extend([0] * 64)
+            sequence.extend(range(64))
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        cf = contribution_factor(analysis)
+        assert 0.3 < cf < 0.7
+
+    def test_threshold_validation(self):
+        analysis = RcdAnalysis.from_set_sequence([0, 0], num_sets=64)
+        with pytest.raises(AnalysisError):
+            contribution_factor(analysis, threshold=0)
+
+    def test_default_threshold_is_paper_value(self):
+        assert DEFAULT_RCD_THRESHOLD == 8
+
+    def test_threshold_scaling(self):
+        assert default_threshold_for(64) == 8
+        assert default_threshold_for(512) == 64
+        assert default_threshold_for(4) == 1
+        with pytest.raises(AnalysisError):
+            default_threshold_for(0)
+
+
+class TestPerSetFactors:
+    def test_only_victim_sets_present(self):
+        sequence = [0] * 50 + list(range(1, 64)) * 2
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        by_set = contribution_factors_by_set(analysis)
+        assert 0 in by_set
+        assert by_set[0] > 0.2
+
+    def test_sum_bounded_by_context_factor(self):
+        sequence = [0, 1] * 100
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        by_set = contribution_factors_by_set(analysis)
+        assert sum(by_set.values()) <= contribution_factor(analysis) + 1e-12
+
+    def test_empty(self):
+        analysis = RcdAnalysis.from_set_sequence([], num_sets=64)
+        assert contribution_factors_by_set(analysis) == {}
+
+
+class TestShortRcdShare:
+    def test_reads_off_the_cdf(self):
+        observations = compute_rcds([0] * 10 + list(range(64)) * 2)
+        share = short_rcd_share(observations, threshold=8)
+        analysis = RcdAnalysis.from_set_sequence(
+            [0] * 10 + list(range(64)) * 2, num_sets=64
+        )
+        assert share == pytest.approx(
+            analysis.cdf().probability_at(7), abs=1e-9
+        )
+
+    def test_empty(self):
+        assert short_rcd_share([]) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for repro.core.diffreport."""
+
+from repro.core.diffreport import ReportDiff
+from repro.core.report import ConflictReport, LoopReport
+
+
+def loop(name, cf, flagged):
+    return LoopReport(
+        loop_name=name,
+        sample_count=100,
+        miss_contribution=0.5,
+        contribution_factor=cf,
+        sets_utilized=10,
+        has_conflict=flagged,
+    )
+
+
+def report(name, loops):
+    return ConflictReport(
+        workload_name=name,
+        mean_sampling_period=100,
+        total_samples=100,
+        total_events=1000,
+        rcd_threshold=8,
+        loops=loops,
+    )
+
+
+class TestCompare:
+    def test_cured_loop_detected(self):
+        before = report("orig", [loop("a.c:1", 0.9, True)])
+        after = report("padded", [loop("a.c:1", 0.1, False)])
+        diff = ReportDiff.compare(before, after)
+        assert [d.loop_name for d in diff.cured_loops()] == ["a.c:1"]
+        assert diff.is_successful
+
+    def test_regression_detected(self):
+        before = report("orig", [loop("a.c:1", 0.1, False)])
+        after = report("worse", [loop("a.c:1", 0.9, True)])
+        diff = ReportDiff.compare(before, after)
+        assert diff.regressed_loops()
+        assert not diff.is_successful
+
+    def test_no_change(self):
+        r = report("same", [loop("a.c:1", 0.1, False)])
+        diff = ReportDiff.compare(r, r)
+        assert not diff.cured_loops()
+        assert not diff.regressed_loops()
+        assert not diff.is_successful  # nothing cured either
+
+    def test_vanished_loop(self):
+        before = report("orig", [loop("a.c:1", 0.9, True)])
+        after = report("padded", [])
+        diff = ReportDiff.compare(before, after)
+        (delta,) = diff.deltas
+        assert delta.after is None
+        assert delta.cured  # flagged before, not flagged after
+
+    def test_appeared_loop(self):
+        before = report("orig", [])
+        after = report("new", [loop("b.c:2", 0.8, True)])
+        diff = ReportDiff.compare(before, after)
+        (delta,) = diff.deltas
+        assert delta.before is None
+        assert delta.regressed
+
+    def test_cf_delta(self):
+        before = report("orig", [loop("a.c:1", 0.9, True)])
+        after = report("padded", [loop("a.c:1", 0.2, False)])
+        (delta,) = ReportDiff.compare(before, after).deltas
+        assert delta.cf_delta == -0.7
+
+
+class TestRendering:
+    def test_render_mentions_cure(self):
+        before = report("orig", [loop("a.c:1", 0.9, True)])
+        after = report("padded", [loop("a.c:1", 0.1, False)])
+        text = ReportDiff.compare(before, after).render()
+        assert "CURED" in text
+        assert "1 cured, 0 regressed" in text
+
+    def test_describe_handles_missing_sides(self):
+        before = report("orig", [loop("a.c:1", 0.9, True)])
+        after = report("padded", [])
+        (delta,) = ReportDiff.compare(before, after).deltas
+        assert "->" in delta.describe()

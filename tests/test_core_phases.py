@@ -1,0 +1,112 @@
+"""Tests for repro.core.phases — phase-aware conflict analysis."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.phases import PhaseAnalyzer, PhasedAnalysis
+from repro.errors import AnalysisError
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from tests.conftest import make_load
+
+
+def sampled(trace, geometry, period=5):
+    sampler = AddressSampler(geometry, period=FixedPeriod(period))
+    return sampler.run(trace).samples
+
+
+def conflict_phase(geometry, laps=300):
+    for _ in range(laps):
+        for i in range(12):
+            yield make_load(0x1000_0000 + i * geometry.mapping_period)
+
+
+def clean_phase(geometry, laps=8):
+    lines = 4 * geometry.num_sets * geometry.ways
+    for _ in range(laps):
+        for i in range(lines):
+            yield make_load(0x4000_0000 + i * geometry.line_size)
+
+
+class TestPhaseDetection:
+    def test_uniform_conflict_all_phases_flagged(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        analysis = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        assert analysis.phases
+        assert analysis.conflict_fraction == 1.0
+        assert analysis.is_uniform
+
+    def test_uniform_clean_no_phase_flagged(self, paper_l1):
+        samples = sampled(clean_phase(paper_l1), paper_l1)
+        analysis = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        assert analysis.phases
+        assert analysis.conflict_fraction == 0.0
+
+    def test_two_phase_workload_transition_found(self, paper_l1):
+        import itertools
+
+        trace = itertools.chain(clean_phase(paper_l1), conflict_phase(paper_l1))
+        samples = sampled(trace, paper_l1)
+        analysis = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        assert not analysis.is_uniform
+        transitions = analysis.transitions()
+        assert len(transitions) == 1
+        # The flip goes clean -> conflict.
+        assert not analysis.phases[0].has_conflict
+        assert analysis.phases[-1].has_conflict
+
+    def test_peak_contribution_seen_despite_dilution(self, paper_l1):
+        import itertools
+
+        # 7 clean laps for every conflict lap: the whole-run cf dilutes,
+        # but the windows covering the conflict phase still peak high.
+        trace = itertools.chain(
+            clean_phase(paper_l1, laps=14), conflict_phase(paper_l1, laps=150)
+        )
+        samples = sampled(trace, paper_l1)
+        analyzer = PhaseAnalyzer(paper_l1, window=128)
+        analysis = analyzer.analyze(samples)
+        assert analysis.max_contribution() > 0.7
+
+    def test_victim_sets_reported_per_phase(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        analysis = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        flagged = analysis.conflict_phases()[0]
+        assert 0 in flagged.victim_sets  # all conflict lines map to set 0
+
+
+class TestWindowing:
+    def test_trailing_window_folded(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1, laps=40), paper_l1)
+        analyzer = PhaseAnalyzer(paper_l1, window=64, min_window=32)
+        analysis = analyzer.analyze(samples)
+        # No phase smaller than min_window unless it is the only one.
+        if len(analysis.phases) > 1:
+            assert all(p.sample_count >= 32 for p in analysis.phases)
+
+    def test_empty_samples(self, paper_l1):
+        analysis = PhaseAnalyzer(paper_l1).analyze([])
+        assert analysis.phases == []
+        assert analysis.conflict_fraction == 0.0
+        with pytest.raises(AnalysisError):
+            analysis.max_contribution()
+
+    def test_fewer_samples_than_window(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1, laps=30), paper_l1)
+        analyzer = PhaseAnalyzer(paper_l1, window=10_000)
+        analysis = analyzer.analyze(samples)
+        assert len(analysis.phases) == 1
+
+    def test_validation(self, paper_l1):
+        with pytest.raises(AnalysisError):
+            PhaseAnalyzer(paper_l1, window=0)
+        with pytest.raises(AnalysisError):
+            PhaseAnalyzer(paper_l1, window=10, min_window=20)
+
+
+class TestDataclassQueries:
+    def test_empty_analysis_queries(self):
+        analysis = PhasedAnalysis()
+        assert analysis.transitions() == []
+        assert analysis.is_uniform
+        assert analysis.conflict_phases() == []

@@ -1,0 +1,164 @@
+"""Tests for repro.core.profiler — the end-to-end CCProf pipeline."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.classifier import ConflictClassifier, Implication, TrainingExample
+from repro.core.profiler import AnalysisSettings, CCProf
+from repro.errors import AnalysisError
+from repro.pmu.periods import FixedPeriod
+from repro.program.builder import ImageBuilder
+from repro.trace.allocator import VirtualAllocator
+from repro.trace.record import MemoryAccess
+
+
+class _SyntheticWorkload:
+    """One conflict loop + one clean loop, with known data structures."""
+
+    name = "synthetic"
+
+    def __init__(self, geometry: CacheGeometry, repeats: int = 4000):
+        self.geometry = geometry
+        self.repeats = repeats
+        builder = ImageBuilder()
+        function = builder.function("kern", file="syn.c")
+        function.begin_loop(line=10)
+        self.conflict_ip = function.add_statement(line=11)
+        function.end_loop()
+        function.begin_loop(line=20)
+        self.clean_ip = function.add_statement(line=21)
+        function.end_loop()
+        function.finish()
+        self.image = builder.build()
+        self.allocator = VirtualAllocator()
+        self.conflict_array = self.allocator.malloc(
+            16 * geometry.mapping_period, "conflict_array"
+        )
+        self.clean_array = self.allocator.malloc(
+            64 * geometry.mapping_period, "clean_array"
+        )
+
+    def trace(self):
+        geometry = self.geometry
+        for _ in range(self.repeats):
+            # Conflict loop: 16 lines all in set 0.
+            for i in range(16):
+                yield MemoryAccess(
+                    ip=self.conflict_ip,
+                    address=self.conflict_array.start + i * geometry.mapping_period,
+                )
+            # Clean loop: sequential lines across all sets.
+            for i in range(16):
+                yield MemoryAccess(
+                    ip=self.clean_ip,
+                    address=self.clean_array.start
+                    + ((self._clean_cursor() + i) * geometry.line_size)
+                    % self.clean_array.size,
+                )
+            self._cursor = getattr(self, "_cursor", 0) + 16
+
+    def _clean_cursor(self):
+        return getattr(self, "_cursor", 0)
+
+
+@pytest.fixture
+def workload(paper_l1):
+    return _SyntheticWorkload(paper_l1)
+
+
+@pytest.fixture
+def profiler(paper_l1):
+    return CCProf(geometry=paper_l1, period=FixedPeriod(13), seed=1)
+
+
+class TestPipeline:
+    def test_conflict_loop_flagged(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.loop("syn.c:10").has_conflict
+
+    def test_clean_loop_not_flagged(self, profiler, workload):
+        report = profiler.run(workload)
+        assert not report.loop("syn.c:20").has_conflict
+
+    def test_contribution_factors_separate(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.loop("syn.c:10").contribution_factor > 0.8
+        assert report.loop("syn.c:20").contribution_factor < 0.2
+
+    def test_sets_utilized(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.loop("syn.c:10").sets_utilized == 1
+        assert report.loop("syn.c:20").sets_utilized > 32
+
+    def test_data_structure_attribution(self, profiler, workload):
+        report = profiler.run(workload)
+        structures = report.loop("syn.c:10").data_structures
+        assert structures and structures[0].label == "conflict_array"
+
+    def test_clean_loop_has_no_data_structures_reported(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.loop("syn.c:20").data_structures == []
+
+    def test_implications(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.loop("syn.c:10").implication is Implication.STRONG_CONFLICT
+        assert report.loop("syn.c:20").implication is Implication.NO_CONFLICT
+
+    def test_report_metadata(self, profiler, workload):
+        report = profiler.run(workload)
+        assert report.workload_name == "synthetic"
+        assert report.total_samples > 0
+        assert report.rcd_threshold == 8
+        assert report.has_conflicts
+
+    def test_deterministic(self, paper_l1, workload):
+        def run():
+            profiler = CCProf(geometry=paper_l1, period=FixedPeriod(13), seed=7)
+            return profiler.run(_SyntheticWorkload(paper_l1)).render()
+
+        assert run() == run()
+
+
+class TestClassifierIntegration:
+    def test_trained_classifier_supplies_probabilities(self, paper_l1, workload):
+        classifier = ConflictClassifier().fit(
+            [TrainingExample(cf, False) for cf in (0.1, 0.15, 0.2)]
+            + [TrainingExample(cf, True) for cf in (0.5, 0.7, 0.9)]
+        )
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(13),
+            classifier=classifier,
+        )
+        report = profiler.run(workload)
+        conflict = report.loop("syn.c:10")
+        assert conflict.probability is not None and conflict.probability > 0.9
+        assert conflict.has_conflict
+
+
+class TestSettings:
+    def test_hot_loop_share_threshold(self, paper_l1, workload):
+        settings = AnalysisSettings(hot_loop_share=0.99)
+        profiler = CCProf(
+            geometry=paper_l1, period=FixedPeriod(13), settings=settings
+        )
+        report = profiler.run(workload)
+        # Neither loop owns 99% of samples: nothing is classified.
+        assert not report.has_conflicts
+
+    def test_custom_rcd_threshold_recorded(self, paper_l1, workload):
+        settings = AnalysisSettings(rcd_threshold=4)
+        profiler = CCProf(geometry=paper_l1, period=FixedPeriod(13), settings=settings)
+        assert profiler.run(workload).rcd_threshold == 4
+
+    def test_empty_workload_rejected(self, profiler):
+        class Empty:
+            name = "empty"
+            image = None
+            allocator = None
+
+            def trace(self):
+                return iter(())
+
+        with pytest.raises(AnalysisError, match="no L1 miss events"):
+            profiler.run(Empty())

@@ -1,0 +1,133 @@
+"""Tests for repro.core.rcd — Definition 1 and Observation 2."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.rcd import RcdAnalysis, RcdObservation, compute_rcds
+from repro.errors import AnalysisError
+
+
+class TestComputeRcds:
+    def test_figure5_example(self):
+        # Consecutive misses on set 1 separated by 3, then 1, then 2
+        # intermediate misses (the spirit of the paper's Figure 5).
+        sequence = [1, 2, 3, 4, 1, 5, 1, 2, 3, 1]
+        observations = [o for o in compute_rcds(sequence) if o.set_index == 1]
+        assert [o.rcd for o in observations] == [3, 1, 2]
+
+    def test_first_miss_produces_no_observation(self):
+        assert compute_rcds([1]) == []
+        assert compute_rcds([1, 2, 3]) == []
+
+    def test_adjacent_repeats_have_rcd_zero(self):
+        observations = compute_rcds([7, 7, 7])
+        assert [o.rcd for o in observations] == [0, 0]
+
+    def test_positions_are_reuse_points(self):
+        observations = compute_rcds([1, 2, 1])
+        assert observations == [RcdObservation(set_index=1, rcd=1, position=2)]
+
+    def test_empty_sequence(self):
+        assert compute_rcds([]) == []
+
+    def test_round_robin_rcd_equals_period_minus_one(self):
+        # Observation 2: perfectly balanced over N sets -> RCD = N - 1
+        # intermediate misses (the paper states RCD ~ N; off-by-one is
+        # definitional: N-1 misses *between* consecutive same-set misses).
+        n = 8
+        sequence = list(range(n)) * 5
+        observations = compute_rcds(sequence)
+        assert {o.rcd for o in observations} == {n - 1}
+
+
+class TestRcdAnalysis:
+    def test_from_addresses_uses_index_bits(self, paper_l1):
+        addresses = [0, paper_l1.mapping_period, 2 * paper_l1.mapping_period]
+        analysis = RcdAnalysis.from_addresses(addresses, paper_l1)
+        # All map to set 0: two observations with RCD 0.
+        assert analysis.observation_count == 2
+        assert analysis.histogram().counts[0] == 2
+
+    def test_total_misses_counts_everything(self):
+        analysis = RcdAnalysis.from_set_sequence([1, 2, 1, 2], num_sets=64)
+        assert analysis.total_misses == 4
+        assert analysis.observation_count == 2
+
+    def test_contribution_below(self):
+        analysis = RcdAnalysis.from_set_sequence([1, 1, 1, 1], num_sets=64)
+        # 3 observations, all RCD 0, denominator 4 misses.
+        assert analysis.contribution_below(8) == pytest.approx(3 / 4)
+
+    def test_contribution_empty(self):
+        analysis = RcdAnalysis.from_set_sequence([], num_sets=64)
+        assert analysis.contribution_below(8) == 0.0
+
+    def test_mean_rcd_balanced_near_num_sets(self):
+        n = 64
+        sequence = list(range(n)) * 4
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=n)
+        assert analysis.mean_rcd() == pytest.approx(n - 1)
+
+    def test_mean_rcd_conflicting_is_small(self):
+        analysis = RcdAnalysis.from_set_sequence([3] * 100, num_sets=64)
+        assert analysis.mean_rcd() == 0.0
+
+    def test_mean_rcd_requires_observations(self):
+        analysis = RcdAnalysis.from_set_sequence([1, 2], num_sets=64)
+        with pytest.raises(AnalysisError):
+            analysis.mean_rcd()
+
+    def test_cdf_requires_observations(self):
+        analysis = RcdAnalysis.from_set_sequence([1], num_sets=64)
+        with pytest.raises(AnalysisError):
+            analysis.cdf()
+
+    def test_cdf_of_conflict_sequence_saturates_early(self):
+        analysis = RcdAnalysis.from_set_sequence([5, 5, 5, 5, 5], num_sets=64)
+        assert analysis.cdf().probability_at(0) == 1.0
+
+    def test_per_set_histograms(self):
+        analysis = RcdAnalysis.from_set_sequence([1, 2, 1, 2], num_sets=64)
+        histograms = analysis.per_set_histograms()
+        assert set(histograms) == {1, 2}
+        assert histograms[1].counts[1] == 1
+
+    def test_victim_sets(self):
+        # Set 9 is hammered; sets 0..7 rotate with RCD 8 (above threshold).
+        sequence = []
+        for _ in range(10):
+            sequence.extend([9, 0, 1, 2, 3, 4, 5, 6, 7, 9])
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        victims = analysis.victim_sets(threshold=8)
+        assert 9 in victims
+        assert 0 not in victims
+
+    def test_sets_observed(self):
+        analysis = RcdAnalysis.from_set_sequence([1, 2, 3, 1, 2], num_sets=64)
+        assert analysis.sets_observed() == 2  # only 1 and 2 repeat
+
+
+class TestSampledRcdPreservesImbalance:
+    """§3.3: RCD computed on a subsample keeps the conflict signature."""
+
+    def test_uniform_sequence_sampled_stays_long(self):
+        import random
+
+        n = 64
+        full = list(range(n)) * 200
+        rng = random.Random(0)
+        sampled = [s for s in full if rng.random() < 0.05]
+        analysis = RcdAnalysis.from_set_sequence(sampled, num_sets=n)
+        # Balanced traffic: mean sampled RCD stays near N, far above T=8.
+        assert analysis.mean_rcd() > 30
+        assert analysis.contribution_below(8) < 0.25
+
+    def test_conflicting_sequence_sampled_stays_short(self):
+        import random
+
+        full = [3] * 6000 + [5] * 6000  # two victim sets back to back
+        rng = random.Random(1)
+        sampled = [s for s in full if rng.random() < 0.05]
+        analysis = RcdAnalysis.from_set_sequence(sampled, num_sets=64)
+        assert analysis.mean_rcd() < 2
+        assert analysis.contribution_below(8) > 0.8

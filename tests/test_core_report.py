@@ -1,0 +1,94 @@
+"""Tests for repro.core.report."""
+
+import pytest
+
+from repro.core.classifier import Implication
+from repro.core.report import ConflictReport, DataStructureReport, LoopReport
+
+
+def make_report():
+    conflict_loop = LoopReport(
+        loop_name="needle.cpp:189",
+        sample_count=900,
+        miss_contribution=0.2951,
+        contribution_factor=0.88,
+        sets_utilized=64,
+        mean_rcd=2.5,
+        probability=0.97,
+        has_conflict=True,
+        implication=Implication.STRONG_CONFLICT,
+        data_structures=[DataStructureReport("reference", 600, 0.67)],
+    )
+    clean_loop = LoopReport(
+        loop_name="needle.cpp:289",
+        sample_count=600,
+        miss_contribution=0.192,
+        contribution_factor=0.12,
+        sets_utilized=64,
+        mean_rcd=60.0,
+    )
+    return ConflictReport(
+        workload_name="nw",
+        mean_sampling_period=1212,
+        total_samples=3000,
+        total_events=3_600_000,
+        rcd_threshold=8,
+        loops=[conflict_loop, clean_loop],
+    )
+
+
+class TestQueries:
+    def test_conflicting_loops(self):
+        report = make_report()
+        assert [loop.loop_name for loop in report.conflicting_loops()] == [
+            "needle.cpp:189"
+        ]
+        assert report.has_conflicts
+
+    def test_loop_lookup(self):
+        report = make_report()
+        assert report.loop("needle.cpp:289").contribution_factor == 0.12
+        with pytest.raises(KeyError):
+            report.loop("ghost")
+
+    def test_no_conflicts_case(self):
+        report = make_report()
+        report.loops = [report.loops[1]]
+        assert not report.has_conflicts
+
+
+class TestRendering:
+    def test_render_contains_all_loops(self):
+        text = make_report().render()
+        assert "needle.cpp:189" in text
+        assert "needle.cpp:289" in text
+
+    def test_render_shows_verdicts(self):
+        text = make_report().render()
+        assert "CONFLICT" in text
+        assert "ok" in text
+
+    def test_render_shows_data_structures(self):
+        text = make_report().render()
+        assert "reference" in text
+
+    def test_render_empty(self):
+        report = ConflictReport(
+            workload_name="x",
+            mean_sampling_period=100,
+            total_samples=0,
+            total_events=0,
+            rcd_threshold=8,
+        )
+        assert "no hot loops" in report.render()
+
+    def test_loop_describe_handles_missing_metrics(self):
+        loop = LoopReport(
+            loop_name="l",
+            sample_count=1,
+            miss_contribution=0.01,
+            contribution_factor=0.0,
+            sets_utilized=1,
+        )
+        text = loop.describe()
+        assert "ok" in text and "-" in text

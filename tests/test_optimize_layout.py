@@ -1,0 +1,64 @@
+"""Tests for repro.optimize.layout."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.optimize.layout import diagnose_stride, sets_covered_by_stride
+
+
+class TestSetsCovered:
+    def test_mapping_period_stride_covers_one_set(self, paper_l1):
+        assert sets_covered_by_stride(4096, paper_l1) == 1
+        assert sets_covered_by_stride(8192, paper_l1) == 1
+
+    def test_line_stride_covers_all_sets(self, paper_l1):
+        assert sets_covered_by_stride(64, paper_l1) == 64
+
+    def test_half_period_covers_two(self, paper_l1):
+        assert sets_covered_by_stride(2048, paper_l1) == 2
+
+    def test_odd_stride_covers_all(self, paper_l1):
+        assert sets_covered_by_stride(2052, paper_l1) == 64
+
+    def test_negative_stride_same_as_positive(self, paper_l1):
+        assert sets_covered_by_stride(-4096, paper_l1) == 1
+
+
+class TestDiagnosis:
+    def test_kripke_signature_recommends_reorder(self, paper_l1):
+        # 32 KiB stride = psi's g-stride: 8 mapping periods per step.
+        addresses = [0x10000000 + i * 32768 for i in range(64)]
+        diagnosis = diagnose_stride(addresses, paper_l1)
+        assert diagnosis.aliases_sets
+        assert diagnosis.recommendation == "reorder-loops"
+
+    def test_column_walk_recommends_padding(self, paper_l1):
+        # Stride exactly one aliasing row pitch (ADI's u matrix).
+        addresses = [0x20000000 + i * 4096 for i in range(64)]
+        diagnosis = diagnose_stride(addresses, paper_l1, row_pitch_hint=4096)
+        assert diagnosis.recommendation == "pad-rows"
+
+    def test_sequential_walk_is_fine(self, paper_l1):
+        addresses = [0x30000000 + i * 64 for i in range(64)]
+        diagnosis = diagnose_stride(addresses, paper_l1)
+        assert not diagnosis.aliases_sets
+        assert diagnosis.recommendation == "none"
+
+    def test_random_addresses_no_dominant_stride(self, paper_l1):
+        import random
+
+        rng = random.Random(0)
+        addresses = [rng.randrange(1 << 30) for _ in range(100)]
+        diagnosis = diagnose_stride(addresses, paper_l1)
+        assert diagnosis.recommendation == "none"
+
+    def test_too_few_samples(self, paper_l1):
+        assert diagnose_stride([1, 2], paper_l1).recommendation == "none"
+
+    def test_all_same_address(self, paper_l1):
+        diagnosis = diagnose_stride([5, 5, 5, 5], paper_l1)
+        assert diagnosis.dominant_stride is None
+        assert diagnosis.recommendation == "none"
+
+    def test_share_reported(self, paper_l1):
+        addresses = [i * 4096 for i in range(10)]
+        diagnosis = diagnose_stride(addresses, paper_l1)
+        assert diagnosis.dominant_share == 1.0

@@ -1,0 +1,110 @@
+"""Tests for repro.workloads.padding and repro.optimize.padding_advisor."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.classifier import Implication
+from repro.core.report import ConflictReport, DataStructureReport, LoopReport
+from repro.errors import AnalysisError
+from repro.optimize.padding_advisor import advise_padding, recommend_pads_for_report
+from repro.trace.allocator import VirtualAllocator
+from repro.workloads.base import Array2D
+from repro.workloads.padding import (
+    recommend_row_pad,
+    row_set_stride,
+    rows_per_set_cycle,
+)
+
+
+class TestPaddingArithmetic:
+    def test_aligned_pitch_has_zero_stride(self, paper_l1):
+        # 4096-byte pitch: every row starts in the same set.
+        assert row_set_stride(4096, paper_l1) == 0.0
+        assert rows_per_set_cycle(4096, paper_l1) == 1
+
+    def test_symmetrization_unpadded_cycles_4(self, paper_l1):
+        # Figure 2: 128 doubles/row = 1024 B -> 4 distinct row phases.
+        assert rows_per_set_cycle(1024, paper_l1) == 4
+
+    def test_symmetrization_padded_cycles_everything(self, paper_l1):
+        # With the paper's 64 B pad: pitch 1088, gcd(1088, 4096) = 64.
+        assert rows_per_set_cycle(1024 + 64, paper_l1) == 64
+
+    def test_recommend_row_pad_fixes_figure2(self, paper_l1):
+        pad = recommend_row_pad(cols=128, elem_size=8, geometry=paper_l1, alignment=64)
+        assert pad == 64  # the paper's own choice is the minimal aligned fix
+
+    def test_recommend_row_pad_noop_needs_zero(self, paper_l1):
+        # 250 doubles/row = 2000 B: gcd(2000, 4096) = 16 <= line size.
+        pad = recommend_row_pad(cols=250, elem_size=8, geometry=paper_l1)
+        assert pad == 0
+
+    def test_recommend_validates_input(self, paper_l1):
+        with pytest.raises(AnalysisError):
+            recommend_row_pad(cols=0, elem_size=8, geometry=paper_l1)
+
+
+class TestAdvisor:
+    def test_aliased_array_gets_pad(self, paper_l1):
+        allocator = VirtualAllocator()
+        array = Array2D.allocate(allocator, "u", rows=256, cols=512, elem_size=8)
+        advice = advise_padding(array, paper_l1)
+        assert advice.is_needed
+        assert advice.padded_cycle > advice.current_cycle
+
+    def test_pad_actually_fixes_the_cycle(self, paper_l1):
+        allocator = VirtualAllocator()
+        array = Array2D.allocate(allocator, "u", rows=256, cols=512, elem_size=8)
+        advice = advise_padding(array, paper_l1)
+        fixed = Array2D.allocate(
+            allocator, "u2", rows=256, cols=512, elem_size=8, pad_bytes=advice.pad_bytes
+        )
+        assert rows_per_set_cycle(fixed.pitch, paper_l1) * paper_l1.line_size >= (
+            paper_l1.mapping_period
+        )
+
+    def test_healthy_array_no_pad(self, paper_l1):
+        allocator = VirtualAllocator()
+        array = Array2D.allocate(allocator, "ok", rows=64, cols=250, elem_size=8)
+        advice = advise_padding(array, paper_l1)
+        assert not advice.is_needed
+        assert "no pad needed" in advice.reason
+
+
+class TestReportDrivenAdvice:
+    def _report_with(self, labels):
+        loop = LoopReport(
+            loop_name="adi.c:45",
+            sample_count=100,
+            miss_contribution=0.8,
+            contribution_factor=0.9,
+            sets_utilized=2,
+            has_conflict=True,
+            implication=Implication.STRONG_CONFLICT,
+            data_structures=[DataStructureReport(label, 50, 0.5) for label in labels],
+        )
+        return ConflictReport(
+            workload_name="adi",
+            mean_sampling_period=100,
+            total_samples=100,
+            total_events=1000,
+            rcd_threshold=8,
+            loops=[loop],
+        )
+
+    def test_implicated_arrays_advised(self, paper_l1):
+        allocator = VirtualAllocator()
+        u = Array2D.allocate(allocator, "u", rows=256, cols=512, elem_size=8)
+        advice = recommend_pads_for_report(self._report_with(["u"]), [u], paper_l1)
+        assert len(advice) == 1 and advice[0].label == "u" and advice[0].is_needed
+
+    def test_unimplicated_arrays_skipped(self, paper_l1):
+        allocator = VirtualAllocator()
+        u = Array2D.allocate(allocator, "u", rows=16, cols=512, elem_size=8)
+        v = Array2D.allocate(allocator, "v", rows=16, cols=512, elem_size=8)
+        advice = recommend_pads_for_report(self._report_with(["u"]), [u, v], paper_l1)
+        assert [entry.label for entry in advice] == ["u"]
+
+    def test_unknown_structure_ignored(self, paper_l1):
+        advice = recommend_pads_for_report(self._report_with(["scalar"]), [], paper_l1)
+        assert advice == []

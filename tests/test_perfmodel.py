@@ -1,0 +1,88 @@
+"""Tests for repro.perfmodel."""
+
+import pytest
+
+from repro.cache.hierarchy import HierarchyResult, LevelStats
+from repro.errors import AnalysisError
+from repro.perfmodel.machine import BROADWELL, SKYLAKE
+from repro.perfmodel.timing import estimate_cycles, speedup
+
+
+def result(accesses, l1_misses, l2_misses, llc_misses):
+    return HierarchyResult(
+        levels=[
+            LevelStats("L1", accesses, accesses - l1_misses, l1_misses),
+            LevelStats("L2", l1_misses, l1_misses - l2_misses, l2_misses),
+            LevelStats("LLC", l2_misses, l2_misses - llc_misses, llc_misses),
+        ]
+    )
+
+
+class TestMachineSpecs:
+    def test_paper_thread_counts(self):
+        assert BROADWELL.threads == 28
+        assert SKYLAKE.threads == 8
+
+    def test_hierarchies_differ_in_llc(self):
+        broadwell_llc = BROADWELL.hierarchy().levels[2].geometry.capacity
+        skylake_llc = SKYLAKE.hierarchy().levels[2].geometry.capacity
+        assert broadwell_llc > skylake_llc
+
+    def test_latencies_increase_with_depth(self):
+        for machine in (BROADWELL, SKYLAKE):
+            latencies = machine.level_latencies()
+            assert list(latencies) == sorted(latencies)
+
+
+class TestCycleEstimation:
+    def test_all_hits_cheapest(self):
+        cheap = estimate_cycles(result(1000, 0, 0, 0), BROADWELL)
+        expensive = estimate_cycles(result(1000, 1000, 1000, 1000), BROADWELL)
+        assert expensive.total > cheap.total
+
+    def test_decomposition_adds_up(self):
+        estimate = estimate_cycles(result(100, 10, 5, 2), BROADWELL)
+        assert estimate.total == pytest.approx(
+            estimate.compute_cycles
+            + estimate.l1_cycles
+            + estimate.l2_cycles
+            + estimate.llc_cycles
+            + estimate.memory_cycles
+        )
+
+    def test_memory_bound_fraction(self):
+        hit_only = estimate_cycles(result(100, 0, 0, 0), BROADWELL)
+        assert hit_only.memory_bound_fraction == 0.0
+        missy = estimate_cycles(result(100, 100, 100, 100), BROADWELL)
+        assert missy.memory_bound_fraction > 0.5
+
+    def test_missing_level_rejected(self):
+        partial = HierarchyResult(levels=[LevelStats("L1", 1, 1, 0)])
+        with pytest.raises(AnalysisError):
+            estimate_cycles(partial, BROADWELL)
+
+
+class TestSpeedup:
+    def test_fewer_misses_speed_up(self):
+        before = result(1000, 500, 400, 300)
+        after = result(1000, 100, 50, 20)
+        assert speedup(before, after, BROADWELL) > 1.5
+
+    def test_identical_runs_speedup_one(self):
+        run = result(1000, 100, 50, 20)
+        assert speedup(run, run, BROADWELL) == pytest.approx(1.0)
+
+    def test_llc_misses_dominate(self):
+        # Removing LLC misses matters more than removing the same number of
+        # L1 misses, because DRAM latency dwarfs L2 latency.
+        base = result(1000, 200, 100, 100)
+        fewer_l1 = result(1000, 100, 100, 100)
+        fewer_llc = result(1000, 200, 100, 0)
+        assert speedup(base, fewer_llc, BROADWELL) > speedup(base, fewer_l1, BROADWELL)
+
+    def test_machine_dependence(self):
+        before = result(1000, 500, 400, 300)
+        after = result(1000, 100, 50, 20)
+        # Different latency profiles give different (but both >1) speedups.
+        assert speedup(before, after, BROADWELL) > 1.0
+        assert speedup(before, after, SKYLAKE) > 1.0

@@ -1,0 +1,67 @@
+"""Tests for repro.pmu.calibration."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pmu.calibration import fit_overhead_model, sweep_periods_for_budget
+from repro.pmu.overhead import PAPER_CALIBRATION, OverheadModel
+
+
+class TestFit:
+    def test_exact_fit_on_two_points(self):
+        fit = fit_overhead_model(list(PAPER_CALIBRATION))
+        reference = OverheadModel.calibrated()
+        assert fit.model.fixed == pytest.approx(reference.fixed, rel=1e-9)
+        assert fit.model.handler_cost == pytest.approx(reference.handler_cost, rel=1e-9)
+        assert fit.max_abs_residual < 1e-9
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_points_recover_model(self):
+        truth = OverheadModel.calibrated()
+        observations = []
+        for index, period in enumerate((50, 100, 300, 700, 1500, 3000)):
+            noise = 0.02 * (-1) ** index
+            observations.append((period, truth.overhead_at_period(period) + noise))
+        fit = fit_overhead_model(observations)
+        assert fit.model.handler_cost == pytest.approx(truth.handler_cost, rel=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_prediction_interpolates(self):
+        fit = fit_overhead_model(list(PAPER_CALIBRATION))
+        mid = fit.model.overhead_at_period(500)
+        assert 2.9 < mid < 9.3
+
+    def test_too_few_observations(self):
+        with pytest.raises(ModelError, match=">= 2"):
+            fit_overhead_model([(100.0, 5.0)])
+
+    def test_duplicate_periods_rejected(self):
+        with pytest.raises(ModelError, match="distinct"):
+            fit_overhead_model([(100.0, 5.0), (100.0, 6.0)])
+
+    def test_nonphysical_overhead_rejected(self):
+        with pytest.raises(ModelError, match="not physical"):
+            fit_overhead_model([(100.0, 0.5), (200.0, 2.0)])
+
+    def test_increasing_overhead_with_period_rejected(self):
+        # Overhead growing with a coarser period implies negative handler
+        # cost: measurement noise dominates.
+        with pytest.raises(ModelError, match="negative per-sample"):
+            fit_overhead_model([(100.0, 2.0), (1000.0, 8.0)])
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            fit_overhead_model([(0.0, 2.0), (100.0, 1.5)])
+
+
+class TestBudgetSweep:
+    def test_budget_to_period(self):
+        model = OverheadModel.calibrated()
+        pairs = sweep_periods_for_budget(model, [9.3, 2.9])
+        assert pairs[0][1] == pytest.approx(171, rel=1e-6)
+        assert pairs[1][1] == pytest.approx(1212, rel=1e-6)
+
+    def test_tighter_budget_coarser_period(self):
+        model = OverheadModel.calibrated()
+        pairs = dict(sweep_periods_for_budget(model, [2.0, 5.0, 9.0]))
+        assert pairs[2.0] > pairs[5.0] > pairs[9.0]

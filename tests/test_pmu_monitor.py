@@ -1,0 +1,90 @@
+"""Tests for repro.pmu.monitor (profiles + serialization)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SamplingError
+from repro.pmu.monitor import MonitorSession, RawProfile
+from repro.pmu.periods import FixedPeriod
+from tests.conftest import make_load
+
+
+def simple_trace(geometry):
+    for repeat in range(20):
+        for i in range(12):
+            yield make_load(i * geometry.mapping_period, ip=0x400100)
+
+
+class TestMonitorSession:
+    def test_profile_produces_samples(self, paper_l1, allocator):
+        session = MonitorSession(paper_l1, period=FixedPeriod(5))
+        profile = session.profile(simple_trace(paper_l1), allocator=allocator)
+        assert profile.sampling.sample_count > 0
+        assert profile.allocator is allocator
+
+    def test_reproducible_across_sessions(self, paper_l1):
+        def samples():
+            session = MonitorSession(paper_l1, period=FixedPeriod(5), seed=9)
+            return session.profile(simple_trace(paper_l1)).sampling.samples
+
+        assert samples() == samples()
+
+
+class TestProfileSerialization:
+    def test_round_trip(self, paper_l1, tmp_path):
+        session = MonitorSession(paper_l1, period=FixedPeriod(5))
+        profile = session.profile(simple_trace(paper_l1))
+        path = tmp_path / "profile.jsonl"
+        written = profile.dump_samples(path)
+        assert written == profile.sampling.sample_count
+
+        loaded = RawProfile.load_samples(path)
+        assert loaded.sampling.samples == profile.sampling.samples
+        assert loaded.sampling.total_events == profile.sampling.total_events
+        assert loaded.sampling.geometry == paper_l1
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SamplingError, match="empty"):
+            RawProfile.load_samples(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ip": 1, "addr": 2, "event": 0, "access": 0}\n')
+        with pytest.raises(SamplingError, match="header"):
+            RawProfile.load_samples(path)
+
+
+class TestCorruptProfiles:
+    def test_malformed_header_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SamplingError, match="malformed header"):
+            RawProfile.load_samples(path)
+
+    def test_header_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"header": {"line_size": 64}}\n')
+        with pytest.raises(SamplingError, match="missing field"):
+            RawProfile.load_samples(path)
+
+    def test_malformed_sample_record(self, tmp_path, paper_l1):
+        session = MonitorSession(paper_l1, period=FixedPeriod(5))
+        profile = session.profile(simple_trace(paper_l1))
+        path = tmp_path / "profile.jsonl"
+        profile.dump_samples(path)
+        with open(path, "a") as handle:
+            handle.write('{"ip": 1}\n')  # missing addr/event/access
+        with pytest.raises(SamplingError, match="malformed sample record"):
+            RawProfile.load_samples(path)
+
+    def test_blank_lines_tolerated(self, tmp_path, paper_l1):
+        session = MonitorSession(paper_l1, period=FixedPeriod(5))
+        profile = session.profile(simple_trace(paper_l1))
+        path = tmp_path / "profile.jsonl"
+        profile.dump_samples(path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        loaded = RawProfile.load_samples(path)
+        assert loaded.sampling.samples == profile.sampling.samples

@@ -1,0 +1,111 @@
+"""Tests for repro.pmu.multithread."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SamplingError
+from repro.pmu.multithread import MultiThreadMonitor, MultiThreadProfile
+from repro.pmu.periods import FixedPeriod
+from tests.conftest import make_load
+
+
+def resident_stream(base, count=400):
+    """A small working set: misses only on cold lines."""
+    for i in range(count):
+        yield make_load(base + (i % 4) * 64)
+
+
+def conflict_stream(geometry, base, count=200):
+    """12 lines folded onto one set: misses on every access after warm-up."""
+    for i in range(count):
+        yield make_load(base + (i % 12) * geometry.mapping_period)
+
+
+@pytest.fixture
+def monitor(paper_l1):
+    return MultiThreadMonitor(paper_l1, period=FixedPeriod(5), seed=1)
+
+
+class TestPerThreadResults:
+    def test_each_thread_gets_a_result(self, monitor, paper_l1):
+        profile = monitor.profile(
+            {0: resident_stream(0x1000), 1: resident_stream(0x20000)}
+        )
+        assert profile.thread_ids == [0, 1]
+        assert profile.thread(0).total_accesses == 400
+
+    def test_unknown_thread_lookup(self):
+        with pytest.raises(SamplingError):
+            MultiThreadProfile().thread(7)
+
+    def test_merged_requires_threads(self):
+        with pytest.raises(SamplingError):
+            MultiThreadProfile().merged()
+
+    def test_merged_totals_add_up(self, monitor, paper_l1):
+        profile = monitor.profile(
+            {0: conflict_stream(paper_l1, 0x1000_0000),
+             1: conflict_stream(paper_l1, 0x2000_0000)}
+        )
+        merged = profile.merged()
+        assert merged.total_events == sum(
+            profile.thread(t).total_events for t in profile.thread_ids
+        )
+        assert merged.sample_count == sum(
+            profile.thread(t).sample_count for t in profile.thread_ids
+        )
+
+    def test_samples_tagged_correctly(self, monitor, paper_l1):
+        profile = monitor.profile(
+            {3: conflict_stream(paper_l1, 0x3000_0000)}
+        )
+        result = profile.thread(3)
+        assert result.sample_count > 0
+        assert all(
+            sample.address >= 0x3000_0000 for sample in result.samples
+        )
+
+
+class TestSmtSharing:
+    def test_private_cores_isolate_threads(self, monitor, paper_l1):
+        # Two threads with small working sets on private cores: cold misses only.
+        profile = monitor.profile(
+            {0: resident_stream(0x1000), 1: resident_stream(0x1000)}
+        )
+        assert profile.thread(0).total_events <= 4
+        assert profile.thread(1).total_events <= 4
+
+    def test_smt_sharing_creates_interference(self, paper_l1):
+        # Each thread alone fills exactly 8 ways of set 0 (no conflict);
+        # sharing an L1 doubles the pressure to 16 lines -> thrash.
+        def eight_lines(base):
+            for _ in range(100):
+                for i in range(8):
+                    yield make_load(base + i * paper_l1.mapping_period)
+
+        monitor = MultiThreadMonitor(paper_l1, period=FixedPeriod(5))
+        private = monitor.profile(
+            {0: eight_lines(0x1000_0000), 1: eight_lines(0x2000_0000)}
+        )
+        shared = monitor.profile(
+            {0: eight_lines(0x1000_0000), 1: eight_lines(0x2000_0000)},
+            core_groups=[[0, 1]],
+        )
+        private_events = sum(private.thread(t).total_events for t in (0, 1))
+        shared_events = sum(shared.thread(t).total_events for t in (0, 1))
+        assert private_events <= 16   # cold only
+        assert shared_events > 10 * private_events
+
+    def test_core_group_with_unknown_thread(self, monitor, paper_l1):
+        with pytest.raises(SamplingError, match="unknown thread"):
+            monitor.profile({0: resident_stream(0)}, core_groups=[[0, 9]])
+
+    def test_merged_is_time_ordered(self, monitor, paper_l1):
+        profile = monitor.profile(
+            {0: conflict_stream(paper_l1, 0x1000_0000),
+             1: conflict_stream(paper_l1, 0x2000_0000)},
+            core_groups=[[0, 1]],
+        )
+        merged = profile.merged()
+        indices = [sample.access_index for sample in merged.samples]
+        assert indices == sorted(indices)

@@ -1,0 +1,77 @@
+"""Tests for repro.pmu.overhead."""
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.pmu.overhead import (
+    PAPER_CALIBRATION,
+    OverheadModel,
+    simulation_overhead,
+)
+
+
+class TestCalibration:
+    def test_reproduces_both_paper_points(self):
+        model = OverheadModel.calibrated()
+        for period, overhead in PAPER_CALIBRATION:
+            assert model.overhead_at_period(period) == pytest.approx(overhead, rel=1e-6)
+
+    def test_monotone_decreasing_in_period(self):
+        model = OverheadModel.calibrated()
+        overheads = [model.overhead_at_period(p) for p in (100, 500, 1212, 5000)]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_lower_event_rate_lowers_overhead(self):
+        model = OverheadModel.calibrated()
+        heavy = model.overhead_at_period(1212, event_rate=1.0)
+        light = model.overhead_at_period(1212, event_rate=0.05)
+        assert light < heavy
+        # Table 2's whole-application median is 1.37x: light event rates
+        # must land near 1.
+        assert light < 1.5
+
+    def test_inverse_model(self):
+        model = OverheadModel.calibrated()
+        period = model.period_for_overhead(2.9)
+        assert model.overhead_at_period(period) == pytest.approx(2.9, rel=1e-6)
+
+    def test_inverse_below_floor_rejected(self):
+        model = OverheadModel.calibrated()
+        with pytest.raises(SamplingError, match="floor"):
+            model.period_for_overhead(1.0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(SamplingError):
+            OverheadModel.calibrated().overhead_at_period(0)
+
+
+class TestRunBasedOverhead:
+    def test_more_samples_more_overhead(self):
+        model = OverheadModel.calibrated()
+        few = model.overhead_for_run(total_events=10_000, sample_count=10, total_accesses=100_000)
+        many = model.overhead_for_run(total_events=10_000, sample_count=1_000, total_accesses=100_000)
+        assert many > few
+
+    def test_no_accesses_rejected(self):
+        with pytest.raises(SamplingError):
+            OverheadModel.calibrated().overhead_for_run(0, 0, 0)
+
+
+class TestSimulationOverhead:
+    def test_whole_program_is_full_slowdown(self):
+        assert simulation_overhead(1.0, slowdown=264) == pytest.approx(264)
+
+    def test_tiny_loop_is_cheap(self):
+        assert simulation_overhead(0.01, slowdown=264) == pytest.approx(3.63)
+
+    def test_zero_fraction_is_native(self):
+        assert simulation_overhead(0.0) == pytest.approx(1.0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(SamplingError):
+            simulation_overhead(1.5)
+
+    def test_simulation_dwarfs_sampling(self):
+        # The paper's headline: simulation is orders of magnitude heavier.
+        sampling = OverheadModel.calibrated().overhead_at_period(1212)
+        assert simulation_overhead(0.5) > 30 * sampling

@@ -1,0 +1,81 @@
+"""Tests for repro.pmu.periods."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.pmu.periods import (
+    FixedPeriod,
+    GeometricPeriod,
+    UniformJitterPeriod,
+    make_period_distribution,
+)
+
+
+class TestFixed:
+    def test_constant(self):
+        period = FixedPeriod(100)
+        rng = random.Random(0)
+        assert {period.next_period(rng) for _ in range(10)} == {100}
+
+    def test_mean(self):
+        assert FixedPeriod(100).mean_period == 100.0
+
+    def test_zero_rejected(self):
+        with pytest.raises(SamplingError):
+            FixedPeriod(0)
+
+
+class TestUniformJitter:
+    def test_range(self):
+        period = UniformJitterPeriod(100, jitter=0.25)
+        rng = random.Random(1)
+        draws = [period.next_period(rng) for _ in range(1000)]
+        assert min(draws) >= 75
+        assert max(draws) <= 125
+
+    def test_mean_close_to_nominal(self):
+        period = UniformJitterPeriod(1212)
+        rng = random.Random(2)
+        draws = [period.next_period(rng) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(1212, rel=0.02)
+
+    def test_small_mean_never_below_one(self):
+        period = UniformJitterPeriod(1, jitter=0.5)
+        rng = random.Random(3)
+        assert all(period.next_period(rng) >= 1 for _ in range(100))
+
+    def test_bad_jitter(self):
+        with pytest.raises(SamplingError):
+            UniformJitterPeriod(100, jitter=1.0)
+
+
+class TestGeometric:
+    def test_mean_matches(self):
+        period = GeometricPeriod(50)
+        rng = random.Random(4)
+        draws = [period.next_period(rng) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(50, rel=0.05)
+
+    def test_support_starts_at_one(self):
+        period = GeometricPeriod(3)
+        rng = random.Random(5)
+        draws = [period.next_period(rng) for _ in range(1000)]
+        assert min(draws) == 1
+
+    def test_mean_one_always_one(self):
+        period = GeometricPeriod(1)
+        rng = random.Random(6)
+        assert {period.next_period(rng) for _ in range(50)} == {1}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["fixed", "uniform", "geometric"])
+    def test_kinds(self, kind):
+        period = make_period_distribution(kind, 100)
+        assert period.mean_period == pytest.approx(100, rel=0.01)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SamplingError):
+            make_period_distribution("poisson", 100)

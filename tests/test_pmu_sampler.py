@@ -1,0 +1,114 @@
+"""Tests for repro.pmu.sampler and repro.pmu.event."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.pmu.event import ALL_LOADS_EVENT, L1_HIT_EVENT, L1_MISS_EVENT
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from tests.conftest import make_load, make_store
+
+
+def conflict_trace(geometry, lines=16, repeats=100, ip=0x4000):
+    """All lines map to set 0: misses on every access after warm-up."""
+    for _ in range(repeats):
+        for i in range(lines):
+            yield make_load(i * geometry.mapping_period, ip=ip)
+
+
+def resident_trace(repeats=100, ip=0x4000):
+    """A single line, re-touched: one miss then all hits."""
+    for _ in range(repeats):
+        yield make_load(0x1000, ip=ip)
+
+
+class TestEventSelection:
+    def test_l1_miss_event_counts_only_misses(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(1))
+        result = sampler.run(resident_trace(100))
+        assert result.total_events == 1  # only the cold miss
+        assert result.total_accesses == 100
+
+    def test_all_loads_event_counts_everything(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(1), event=ALL_LOADS_EVENT)
+        result = sampler.run(resident_trace(100))
+        assert result.total_events == 100
+
+    def test_hit_event(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(1), event=L1_HIT_EVENT)
+        result = sampler.run(resident_trace(100))
+        assert result.total_events == 99
+
+    def test_stores_not_counted_by_load_event(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(1))
+        result = sampler.run([make_store(i * 4096) for i in range(10)])
+        assert result.total_events == 0
+        assert result.total_accesses == 10
+
+
+class TestSamplingMechanics:
+    def test_period_one_samples_every_event(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(1))
+        result = sampler.run(conflict_trace(paper_l1, repeats=10))
+        assert result.sample_count == result.total_events
+
+    def test_period_n_samples_one_in_n(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(10))
+        result = sampler.run(conflict_trace(paper_l1, repeats=50))
+        assert result.sample_count == result.total_events // 10
+
+    def test_samples_carry_ip_and_address(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(3))
+        result = sampler.run(conflict_trace(paper_l1, repeats=5, ip=0xBEEF))
+        assert result.samples
+        assert all(sample.ip == 0xBEEF for sample in result.samples)
+        assert all(
+            sample.address % paper_l1.mapping_period == 0 for sample in result.samples
+        )
+
+    def test_event_indices_monotonic(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(7))
+        result = sampler.run(conflict_trace(paper_l1, repeats=20))
+        indices = [sample.event_index for sample in result.samples]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_deterministic_given_seed(self, paper_l1):
+        def run(seed):
+            sampler = AddressSampler(paper_l1, period=FixedPeriod(5), seed=seed)
+            return sampler.run(conflict_trace(paper_l1, repeats=10)).samples
+
+        assert run(1) == run(1)
+        # Fixed periods make seeds irrelevant; sanity-check reproducibility
+        # across distinct sampler objects, not RNG difference.
+        assert run(1) == run(2)
+
+    def test_effective_period_diagnostic(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(4))
+        result = sampler.run(conflict_trace(paper_l1, repeats=25))
+        assert result.effective_period == pytest.approx(4, rel=0.05)
+
+    def test_empty_trace(self, paper_l1):
+        result = AddressSampler(paper_l1).run([])
+        assert result.sample_count == 0
+        assert result.total_events == 0
+        assert result.effective_period == float("inf")
+        assert result.event_rate == 0.0
+
+
+class TestLossiness:
+    def test_sampling_is_a_subsequence_of_events(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(6))
+        result, events = sampler.run_with_trace_of_events(
+            conflict_trace(paper_l1, repeats=10)
+        )
+        event_set = set(events)
+        assert all(sample in event_set for sample in result.samples)
+        assert result.sample_count < len(events)
+
+    def test_full_event_trace_matches_total(self, paper_l1):
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(6))
+        result, events = sampler.run_with_trace_of_events(
+            conflict_trace(paper_l1, repeats=10)
+        )
+        assert len(events) == result.total_events

@@ -1,0 +1,111 @@
+"""Tests for repro.program.cfg."""
+
+import pytest
+
+from repro.errors import ProgramImageError
+from repro.program.cfg import BasicBlock, ControlFlowGraph
+
+
+def diamond() -> ControlFlowGraph:
+    """entry -> {left, right} -> join."""
+    cfg = ControlFlowGraph()
+    for _ in range(4):
+        cfg.new_block()
+    cfg.entry = 0
+    cfg.add_edge(0, 1)
+    cfg.add_edge(0, 2)
+    cfg.add_edge(1, 3)
+    cfg.add_edge(2, 3)
+    return cfg
+
+
+class TestConstruction:
+    def test_new_block_assigns_dense_ids(self):
+        cfg = ControlFlowGraph()
+        assert cfg.new_block().block_id == 0
+        assert cfg.new_block().block_id == 1
+
+    def test_duplicate_id_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock(5))
+        with pytest.raises(ProgramImageError, match="duplicate"):
+            cfg.add_block(BasicBlock(5))
+
+    def test_edge_to_unknown_block_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.new_block()
+        with pytest.raises(ProgramImageError, match="unknown block"):
+            cfg.add_edge(0, 99)
+
+    def test_duplicate_edge_ignored(self):
+        cfg = diamond()
+        cfg.add_edge(0, 1)
+        assert list(cfg.successors(0)).count(1) == 1
+
+    def test_block_lookup_missing(self):
+        cfg = ControlFlowGraph()
+        with pytest.raises(ProgramImageError):
+            cfg.block(3)
+
+    def test_bad_ip_range_rejected(self):
+        with pytest.raises(ProgramImageError, match="precedes"):
+            BasicBlock(0, start_ip=10, end_ip=5)
+
+
+class TestTopology:
+    def test_successors_and_predecessors(self):
+        cfg = diamond()
+        assert set(cfg.successors(0)) == {1, 2}
+        assert set(cfg.predecessors(3)) == {1, 2}
+
+    def test_len_iter_contains(self):
+        cfg = diamond()
+        assert len(cfg) == 4
+        assert 0 in cfg and 9 not in cfg
+        assert {block.block_id for block in cfg} == {0, 1, 2, 3}
+
+    def test_validate_accepts_diamond(self):
+        diamond().validate()
+
+    def test_validate_rejects_missing_entry(self):
+        cfg = ControlFlowGraph()
+        cfg.new_block()
+        cfg.entry = 42
+        with pytest.raises(ProgramImageError, match="entry"):
+            cfg.validate()
+
+
+class TestOrders:
+    def test_dfs_preorder_starts_at_entry(self):
+        order, number = diamond().depth_first_order()
+        assert order[0] == 0
+        assert number[0] == 0
+        assert len(order) == 4
+
+    def test_rpo_entry_first_join_last(self):
+        rpo = diamond().reverse_postorder()
+        assert rpo[0] == 0
+        assert rpo[-1] == 3
+
+    def test_unreachable_blocks_excluded(self):
+        cfg = diamond()
+        cfg.new_block()  # block 4, unreachable
+        assert 4 not in cfg.reachable_blocks()
+        assert 4 not in cfg.reverse_postorder()
+
+    def test_rpo_respects_dependencies(self):
+        # In any RPO of a DAG, a node precedes all its successors.
+        cfg = diamond()
+        rpo = cfg.reverse_postorder()
+        position = {node: index for index, node in enumerate(rpo)}
+        for node in rpo:
+            for successor in cfg.successors(node):
+                assert position[node] < position[successor]
+
+
+class TestIpLookup:
+    def test_block_at_ip(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x110))
+        assert cfg.block_at_ip(0x108).block_id == 0
+        assert cfg.block_at_ip(0x110) is None

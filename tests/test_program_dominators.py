@@ -1,0 +1,90 @@
+"""Tests for repro.program.dominators (Cooper-Harvey-Kennedy)."""
+
+from repro.program.cfg import ControlFlowGraph
+from repro.program.dominators import compute_dominators
+
+
+def build(edges, blocks, entry=0):
+    cfg = ControlFlowGraph()
+    for _ in range(blocks):
+        cfg.new_block()
+    cfg.entry = entry
+    for source, target in edges:
+        cfg.add_edge(source, target)
+    return cfg
+
+
+class TestStraightLine:
+    def test_chain(self):
+        cfg = build([(0, 1), (1, 2)], 3)
+        tree = compute_dominators(cfg)
+        assert tree.idom[0] == 0
+        assert tree.idom[1] == 0
+        assert tree.idom[2] == 1
+
+
+class TestDiamond:
+    def test_join_dominated_by_entry(self):
+        cfg = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        tree = compute_dominators(cfg)
+        assert tree.idom[3] == 0  # neither branch dominates the join
+
+    def test_dominates_relation(self):
+        cfg = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        tree = compute_dominators(cfg)
+        assert tree.dominates(0, 3)
+        assert not tree.dominates(1, 3)
+        assert tree.dominates(3, 3)  # reflexive
+
+    def test_strict_dominance(self):
+        cfg = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        tree = compute_dominators(cfg)
+        assert tree.strictly_dominates(0, 3)
+        assert not tree.strictly_dominates(3, 3)
+
+
+class TestLoopEdge:
+    def test_back_edge_does_not_change_dominators(self):
+        # 0 -> 1 -> 2 -> 1 (loop), 2 -> 3
+        cfg = build([(0, 1), (1, 2), (2, 1), (2, 3)], 4)
+        tree = compute_dominators(cfg)
+        assert tree.idom[1] == 0
+        assert tree.idom[2] == 1
+        assert tree.idom[3] == 2
+
+    def test_header_dominates_latch(self):
+        cfg = build([(0, 1), (1, 2), (2, 1)], 3)
+        tree = compute_dominators(cfg)
+        assert tree.dominates(1, 2)
+
+
+class TestIrreducible:
+    def test_multi_entry_region(self):
+        # 0 -> 1, 0 -> 2, 1 <-> 2: neither 1 nor 2 dominates the other.
+        cfg = build([(0, 1), (0, 2), (1, 2), (2, 1)], 3)
+        tree = compute_dominators(cfg)
+        assert tree.idom[1] == 0
+        assert tree.idom[2] == 0
+
+
+class TestTreeQueries:
+    def test_dominators_of_chain(self):
+        cfg = build([(0, 1), (1, 2)], 3)
+        tree = compute_dominators(cfg)
+        assert tree.dominators_of(2) == [2, 1, 0]
+
+    def test_children(self):
+        cfg = build([(0, 1), (0, 2)], 3)
+        children = compute_dominators(cfg).children()
+        assert sorted(children[0]) == [1, 2]
+
+    def test_depth(self):
+        cfg = build([(0, 1), (1, 2)], 3)
+        tree = compute_dominators(cfg)
+        assert tree.depth(0) == 0
+        assert tree.depth(2) == 2
+
+    def test_unreachable_blocks_absent(self):
+        cfg = build([(0, 1)], 3)  # block 2 unreachable
+        tree = compute_dominators(cfg)
+        assert 2 not in tree.idom

@@ -1,0 +1,139 @@
+"""Tests for repro.program.image and repro.program.builder."""
+
+import pytest
+
+from repro.errors import ProgramImageError
+from repro.program.builder import ImageBuilder
+from repro.program.image import ProgramImage, SourceLocation
+
+
+def build_nested_image():
+    builder = ImageBuilder()
+    function = builder.function("kern", file="k.c")
+    function.begin_loop(line=10)
+    outer_ip = function.add_statement(line=11)
+    function.begin_loop(line=12)
+    inner_ip = function.add_statement(line=13)
+    function.end_loop()
+    after_ip = function.add_statement(line=15)
+    function.end_loop()
+    function.finish()
+    return builder.build(), outer_ip, inner_ip, after_ip
+
+
+class TestBuilder:
+    def test_statement_ips_distinct(self):
+        image, outer_ip, inner_ip, after_ip = build_nested_image()
+        assert len({outer_ip, inner_ip, after_ip}) == 3
+
+    def test_end_loop_without_begin(self):
+        function = ImageBuilder().function("f")
+        with pytest.raises(ProgramImageError, match="end_loop"):
+            function.end_loop()
+
+    def test_finish_with_open_loop(self):
+        function = ImageBuilder().function("f")
+        function.begin_loop(line=1)
+        with pytest.raises(ProgramImageError, match="open loops"):
+            function.finish()
+
+    def test_statement_after_finish(self):
+        function = ImageBuilder().function("f")
+        function.finish()
+        with pytest.raises(ProgramImageError, match="finished"):
+            function.add_statement(line=1)
+
+    def test_duplicate_function_name(self):
+        builder = ImageBuilder()
+        builder.function("f").finish()
+        with pytest.raises(ProgramImageError, match="duplicate"):
+            builder.function("f")
+
+    def test_begin_loop_returns_report_name(self):
+        function = ImageBuilder().function("f", file="a.c")
+        assert function.begin_loop(line=7) == "a.c:7"
+
+    def test_current_loop_name(self):
+        function = ImageBuilder().function("f", file="a.c")
+        assert function.current_loop_name() is None
+        function.begin_loop(line=3)
+        assert function.current_loop_name() == "a.c:3"
+
+    def test_zero_statement_count_rejected(self):
+        function = ImageBuilder().function("f")
+        with pytest.raises(ProgramImageError, match="positive"):
+            function.add_statement(line=1, count=0)
+
+
+class TestLoopRecovery:
+    """The image must let Havlak *rediscover* the declared loops."""
+
+    def test_forest_shape(self):
+        image, *_ = build_nested_image()
+        forest = image.loop_forest("kern")
+        assert len(forest) == 2
+        assert forest.max_depth() == 2
+
+    def test_innermost_loop_at_ip(self):
+        image, outer_ip, inner_ip, after_ip = build_nested_image()
+        assert image.innermost_loop_at_ip(inner_ip).depth == 2
+        assert image.innermost_loop_at_ip(outer_ip).depth == 1
+        # Statements after an inner loop are still in the outer loop.
+        assert image.innermost_loop_at_ip(after_ip).depth == 1
+
+    def test_loop_names_use_header_lines(self):
+        image, outer_ip, inner_ip, _ = build_nested_image()
+        function = image.function_named("kern")
+        inner = image.innermost_loop_at_ip(inner_ip)
+        assert image.loop_name(function, inner) == "k.c:12"
+
+    def test_anonymous_function_loop_names(self):
+        builder = ImageBuilder()
+        function = builder.function("mkl", file="<mkl>", anonymous=True)
+        function.begin_loop(line=1)
+        ip = function.add_statement(line=2)
+        function.end_loop()
+        function.finish()
+        image = builder.build()
+        loop = image.innermost_loop_at_ip(ip)
+        name = image.loop_name(image.function_named("mkl"), loop)
+        assert name.startswith("mkl@0x")
+
+
+class TestImageLookups:
+    def test_resolve_ip(self):
+        image, outer_ip, *_ = build_nested_image()
+        function, block = image.resolve_ip(outer_ip)
+        assert function.name == "kern"
+        assert block.contains_ip(outer_ip)
+
+    def test_resolve_unknown_ip(self):
+        image, *_ = build_nested_image()
+        assert image.resolve_ip(0x1) is None
+
+    def test_function_named_missing(self):
+        image, *_ = build_nested_image()
+        with pytest.raises(ProgramImageError):
+            image.function_named("ghost")
+
+    def test_source_locations_recorded(self):
+        image, outer_ip, *_ = build_nested_image()
+        function, block = image.resolve_ip(outer_ip)
+        assert function.location_of_block(block.block_id) == SourceLocation("k.c", 11)
+
+    def test_address_range(self):
+        image, *_ = build_nested_image()
+        low, high = image.function_named("kern").address_range()
+        assert low < high
+
+    def test_multiple_functions_disjoint_ips(self):
+        builder = ImageBuilder()
+        f1 = builder.function("f1")
+        ip1 = f1.add_statement(line=1)
+        f1.finish()
+        f2 = builder.function("f2")
+        ip2 = f2.add_statement(line=1)
+        f2.finish()
+        image = builder.build()
+        assert image.resolve_ip(ip1)[0].name == "f1"
+        assert image.resolve_ip(ip2)[0].name == "f2"

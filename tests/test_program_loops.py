@@ -1,0 +1,157 @@
+"""Tests for repro.program.loops: natural loops and Havlak interval analysis."""
+
+import pytest
+
+from repro.program.cfg import ControlFlowGraph
+from repro.program.loops import find_natural_loops, havlak_loops
+
+
+def build(edges, blocks, entry=0):
+    cfg = ControlFlowGraph()
+    for _ in range(blocks):
+        cfg.new_block()
+    cfg.entry = entry
+    for source, target in edges:
+        cfg.add_edge(source, target)
+    return cfg
+
+
+def simple_loop():
+    # 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit)
+    return build([(0, 1), (1, 2), (2, 1), (1, 3)], 4)
+
+
+def nested_loops():
+    # 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner body) -> 2,
+    # 2 -> 4(outer latch) -> 1, 1 -> 5(exit)
+    return build(
+        [(0, 1), (1, 2), (2, 3), (3, 2), (2, 4), (4, 1), (1, 5)], 6
+    )
+
+
+def irreducible_region():
+    # Two-entry region: 0 -> 1, 0 -> 2, 1 <-> 2, 2 -> 3
+    return build([(0, 1), (0, 2), (1, 2), (2, 1), (2, 3)], 4)
+
+
+class TestNaturalLoops:
+    def test_simple_loop_found(self):
+        forest = find_natural_loops(simple_loop())
+        assert len(forest) == 1
+        loop = forest.loops[0]
+        assert loop.header == 1
+        assert loop.body == {1, 2}
+
+    def test_nested_loops_nesting(self):
+        forest = find_natural_loops(nested_loops())
+        outer = forest.loop_with_header(1)
+        inner = forest.loop_with_header(2)
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.depth == 1 and inner.depth == 2
+
+    def test_outer_contains_inner_body(self):
+        forest = find_natural_loops(nested_loops())
+        outer = forest.loop_with_header(1)
+        assert {2, 3, 4} <= outer.body
+
+    def test_loop_free_graph(self):
+        forest = find_natural_loops(build([(0, 1), (1, 2)], 3))
+        assert len(forest) == 0
+        assert forest.max_depth() == 0
+
+    def test_self_loop(self):
+        forest = find_natural_loops(build([(0, 1), (1, 1), (1, 2)], 3))
+        loop = forest.loop_with_header(1)
+        assert loop is not None and loop.body == {1}
+
+
+class TestHavlak:
+    def test_simple_loop_found(self):
+        forest = havlak_loops(simple_loop())
+        loop = forest.loop_with_header(1)
+        assert loop is not None
+        assert loop.body >= {1, 2}
+        assert not loop.is_irreducible
+
+    def test_nested_loops(self):
+        forest = havlak_loops(nested_loops())
+        outer = forest.loop_with_header(1)
+        inner = forest.loop_with_header(2)
+        assert inner.parent is outer
+        assert inner.is_innermost
+        assert not outer.is_innermost
+        assert inner.body >= {2, 3}
+        assert outer.body >= {1, 2, 3, 4}
+
+    def test_innermost_lookup(self):
+        forest = havlak_loops(nested_loops())
+        assert forest.innermost_loop(3).header == 2
+        assert forest.innermost_loop(4).header == 1
+        assert forest.innermost_loop(5) is None
+        assert forest.innermost_loop(0) is None
+
+    def test_irreducible_region_detected(self):
+        forest = havlak_loops(irreducible_region())
+        assert any(loop.is_irreducible for loop in forest)
+
+    def test_loop_free_graph(self):
+        forest = havlak_loops(build([(0, 1), (1, 2)], 3))
+        assert len(forest) == 0
+
+    def test_empty_graph(self):
+        assert len(havlak_loops(ControlFlowGraph())) == 0
+
+    def test_self_loop(self):
+        forest = havlak_loops(build([(0, 1), (1, 1), (1, 2)], 3))
+        loop = forest.loop_with_header(1)
+        assert loop is not None
+
+    def test_triple_nesting_depth(self):
+        # Three concentric loops.
+        cfg = build(
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 3),   # innermost self-loop
+                (3, 4),
+                (4, 2),   # middle latch
+                (2, 5),
+                (5, 1),   # outer latch
+                (1, 6),
+            ],
+            7,
+        )
+        forest = havlak_loops(cfg)
+        assert forest.max_depth() == 3
+        assert forest.innermost_loop(3).header == 3
+
+    def test_agrees_with_natural_loops_on_reducible_graphs(self):
+        for cfg_factory in (simple_loop, nested_loops):
+            cfg = cfg_factory()
+            natural = find_natural_loops(cfg)
+            havlak = havlak_loops(cfg)
+            natural_headers = {loop.header for loop in natural}
+            havlak_headers = {loop.header for loop in havlak}
+            assert natural_headers == havlak_headers
+
+
+class TestForestQueries:
+    def test_roots(self):
+        forest = havlak_loops(nested_loops())
+        assert [loop.header for loop in forest.roots] == [1]
+
+    def test_loop_with_missing_header(self):
+        forest = havlak_loops(simple_loop())
+        assert forest.loop_with_header(99) is None
+
+    def test_contains_block(self):
+        forest = havlak_loops(simple_loop())
+        loop = forest.loop_with_header(1)
+        assert loop.contains_block(2)
+        assert not loop.contains_block(3)
+
+    def test_repr_mentions_depth(self):
+        forest = havlak_loops(simple_loop())
+        assert "depth=1" in repr(forest.loops[0])

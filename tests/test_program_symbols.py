@@ -1,0 +1,54 @@
+"""Tests for repro.program.symbols."""
+
+from repro.program.builder import ImageBuilder
+from repro.program.symbols import Symbolizer
+
+
+def make_image():
+    builder = ImageBuilder()
+    function = builder.function("hot", file="hot.c")
+    function.begin_loop(line=20)
+    loop_ip = function.add_statement(line=21)
+    function.end_loop()
+    flat_ip = function.add_statement(line=30)
+    function.finish()
+    return builder.build(), loop_ip, flat_ip
+
+
+class TestResolve:
+    def test_loop_ip(self):
+        image, loop_ip, _ = make_image()
+        info = Symbolizer(image).resolve(loop_ip)
+        assert info.function_name == "hot"
+        assert str(info.location) == "hot.c:21"
+        assert info.loop_name == "hot.c:20"
+        assert info.loop_depth == 1
+
+    def test_non_loop_ip(self):
+        image, _, flat_ip = make_image()
+        info = Symbolizer(image).resolve(flat_ip)
+        assert info.loop_name is None
+        assert info.loop_depth == 0
+
+    def test_unknown_ip(self):
+        image, *_ = make_image()
+        info = Symbolizer(image).resolve(0xDEAD)
+        assert info.function_name == "<unknown>"
+        assert info.loop_name is None
+        assert info.is_anonymous
+
+    def test_describe_format(self):
+        image, loop_ip, _ = make_image()
+        text = Symbolizer(image).resolve(loop_ip).describe()
+        assert "hot.c:21" in text and "hot" in text and "hot.c:20" in text
+
+    def test_memoization_returns_same_object(self):
+        image, loop_ip, _ = make_image()
+        symbolizer = Symbolizer(image)
+        assert symbolizer.resolve(loop_ip) is symbolizer.resolve(loop_ip)
+
+    def test_loop_of_shorthand(self):
+        image, loop_ip, flat_ip = make_image()
+        symbolizer = Symbolizer(image)
+        assert symbolizer.loop_of(loop_ip) == "hot.c:20"
+        assert symbolizer.loop_of(flat_ip) is None

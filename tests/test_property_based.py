@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.conflict_period import conflict_periods
+from repro.core.rcd import RcdAnalysis, compute_rcds
+from repro.optimize.layout import sets_covered_by_stride
+from repro.stats.distributions import EmpiricalCdf, gini_coefficient
+from repro.stats.validation import confusion_counts, k_fold_indices
+from repro.trace.allocator import VirtualAllocator
+from repro.workloads.padding import rows_per_set_cycle
+
+set_sequences = st.lists(st.integers(min_value=0, max_value=63), max_size=300)
+addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 24), min_size=0, max_size=300
+)
+
+
+class TestRcdInvariants:
+    @given(set_sequences)
+    def test_observation_count_bounded(self, sequence):
+        observations = compute_rcds(sequence)
+        distinct = len(set(sequence))
+        assert len(observations) == len(sequence) - distinct
+
+    @given(set_sequences)
+    def test_rcd_values_bounded_by_gap(self, sequence):
+        for observation in compute_rcds(sequence):
+            assert 0 <= observation.rcd < len(sequence)
+
+    @given(set_sequences)
+    def test_positions_strictly_increasing_per_set(self, sequence):
+        by_set = {}
+        for observation in compute_rcds(sequence):
+            previous = by_set.get(observation.set_index, -1)
+            assert observation.position > previous
+            by_set[observation.set_index] = observation.position
+
+    @given(set_sequences)
+    def test_contribution_is_a_fraction(self, sequence):
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        for threshold in (1, 8, 64):
+            assert 0.0 <= analysis.contribution_below(threshold) <= 1.0
+
+    @given(set_sequences)
+    def test_contribution_monotone_in_threshold(self, sequence):
+        analysis = RcdAnalysis.from_set_sequence(sequence, num_sets=64)
+        values = [analysis.contribution_below(t) for t in (1, 2, 4, 8, 16, 64)]
+        assert values == sorted(values)
+
+    @given(set_sequences)
+    def test_conflict_period_lengths_sum_to_observations(self, sequence):
+        observations = compute_rcds(sequence)
+        runs = conflict_periods(observations)
+        assert sum(run.length for run in runs) == len(observations)
+
+
+class TestCacheInvariants:
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_repeat_trace_second_pass_bounded_misses(self, address_list):
+        # Second identical pass can only miss where the working set exceeds
+        # what the cache retains; never more misses than the first pass.
+        cache = SetAssociativeCache(CacheGeometry(line_size=64, num_sets=4, ways=2))
+        first = sum(1 for a in address_list if cache.access(a).miss)
+        second = sum(1 for a in address_list if cache.access(a).miss)
+        assert second <= first
+
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_ways(self, address_list):
+        geometry = CacheGeometry(line_size=32, num_sets=8, ways=2)
+        cache = SetAssociativeCache(geometry)
+        for address in address_list:
+            cache.access(address)
+        for set_index in range(geometry.num_sets):
+            assert len(cache.resident_tags(set_index)) <= geometry.ways
+
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_stats_balance(self, address_list):
+        cache = SetAssociativeCache(CacheGeometry())
+        for address in address_list:
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert sum(stats.set_misses) == stats.misses
+        assert sum(stats.set_accesses) == stats.accesses
+        assert stats.cold_misses <= stats.misses
+
+    @given(addresses)
+    @settings(max_examples=30)
+    def test_set_index_matches_geometry(self, address_list):
+        geometry = CacheGeometry()
+        cache = SetAssociativeCache(geometry)
+        for address in address_list:
+            result = cache.access(address)
+            assert result.set_index == geometry.set_index(address)
+            assert result.tag == geometry.tag(address)
+
+
+class TestGeometryInvariants:
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.sampled_from([16, 32, 64, 128]),
+        st.sampled_from([4, 16, 64, 256]),
+    )
+    def test_bit_decomposition_reconstructs(self, address, line_size, num_sets):
+        geometry = CacheGeometry(line_size=line_size, num_sets=num_sets, ways=4)
+        rebuilt = (
+            (geometry.tag(address) << (geometry.offset_bits + geometry.index_bits))
+            | (geometry.set_index(address) << geometry.offset_bits)
+            | geometry.offset(address)
+        )
+        assert rebuilt == address
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_stride_set_coverage_bounds(self, stride):
+        geometry = CacheGeometry()
+        covered = sets_covered_by_stride(stride, geometry)
+        assert 1 <= covered <= geometry.num_sets
+
+    @given(st.integers(min_value=1, max_value=1 << 16))
+    def test_rows_per_set_cycle_divides_period(self, pitch):
+        geometry = CacheGeometry()
+        cycle = rows_per_set_cycle(pitch, geometry)
+        assert geometry.mapping_period % cycle == 0
+
+
+class TestStatsInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+    def test_cdf_monotone_ends_at_one(self, values):
+        cdf = EmpiricalCdf.from_values(values)
+        assert list(cdf.cumulative) == sorted(cdf.cumulative)
+        assert math.isclose(cdf.cumulative[-1], 1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100))
+    def test_gini_in_unit_interval(self, counts):
+        assert 0.0 <= gini_coefficient(counts) <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=100),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=100),
+    )
+    def test_confusion_counts_total(self, predictions, labels):
+        n = min(len(predictions), len(labels))
+        counts = confusion_counts(predictions[:n], labels[:n])
+        total = (
+            counts.true_positive
+            + counts.false_positive
+            + counts.true_negative
+            + counts.false_negative
+        )
+        assert total == n
+        assert 0.0 <= counts.f1 <= 1.0
+
+    @given(
+        st.integers(min_value=8, max_value=200),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_k_fold_partitions(self, count, folds, seed):
+        folds_list = k_fold_indices(count, folds, seed=seed)
+        flattened = sorted(i for fold in folds_list for i in fold)
+        assert flattened == list(range(count))
+        sizes = [len(fold) for fold in folds_list]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestAllocatorInvariants:
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+    def test_allocations_never_overlap(self, sizes):
+        allocator = VirtualAllocator()
+        allocations = [
+            allocator.malloc(size, f"a{i}") for i, size in enumerate(sizes)
+        ]
+        for first, second in zip(allocations, allocations[1:]):
+            assert first.end <= second.start
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+    def test_find_resolves_every_interior_address(self, sizes):
+        allocator = VirtualAllocator()
+        allocations = [
+            allocator.malloc(size, f"a{i}") for i, size in enumerate(sizes)
+        ]
+        for allocation in allocations:
+            found = allocator.find(allocation.start + allocation.size // 2)
+            assert found is not None and found.label == allocation.label

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.reuse import INFINITE, reuse_distances
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.translation import PAGE_SIZE, FramePolicy, PageMapper
+from repro.cache.victim import VictimCachedL1
+from repro.core.phases import PhaseAnalyzer
+from repro.pmu.sampler import AddressSample
+from repro.trace.record import MemoryAccess
+
+small_geometry = CacheGeometry(line_size=16, num_sets=4, ways=2)
+
+line_streams = st.lists(st.integers(min_value=0, max_value=63), min_size=0, max_size=150)
+addresses = st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200)
+
+
+def _brute_force_reuse(lines):
+    """Reference implementation: LRU stack scan, O(N^2)."""
+    stack = []
+    distances = []
+    for line in lines:
+        if line in stack:
+            position = stack.index(line)
+            distances.append(position)
+            stack.pop(position)
+        else:
+            distances.append(INFINITE)
+        stack.insert(0, line)
+    return distances
+
+
+class TestReuseDistanceAgainstBruteForce:
+    @given(line_streams)
+    @settings(max_examples=60)
+    def test_fenwick_matches_lru_stack(self, lines):
+        trace = [MemoryAccess(ip=0, address=line * 64) for line in lines]
+        profile = reuse_distances(iter(trace), CacheGeometry())
+        expected = _brute_force_reuse(lines)
+        histogram = {}
+        for distance in expected:
+            histogram[distance] = histogram.get(distance, 0) + 1
+        assert profile.histogram == histogram
+
+    @given(line_streams)
+    @settings(max_examples=30)
+    def test_prediction_matches_fully_associative_simulation(self, lines):
+        trace = [MemoryAccess(ip=0, address=line * 64) for line in lines]
+        profile = reuse_distances(iter(trace), CacheGeometry())
+        for capacity in (1, 2, 4, 8):
+            # Simulate fully-associative LRU of that capacity directly.
+            lru: "OrderedDict[int, None]" = OrderedDict()
+            misses = 0
+            for line in lines:
+                if line in lru:
+                    lru.move_to_end(line)
+                else:
+                    misses += 1
+                    if len(lru) >= capacity:
+                        lru.popitem(last=False)
+                    lru[line] = None
+            if lines:
+                assert profile.miss_ratio_for_capacity(capacity) == misses / len(lines)
+
+
+class TestVictimCacheInvariants:
+    @given(addresses)
+    @settings(max_examples=40)
+    def test_victim_cache_never_misses_more_than_plain(self, address_list):
+        plain = SetAssociativeCache(small_geometry)
+        buffered = VictimCachedL1(small_geometry, victim_lines=4)
+        plain_misses = sum(1 for a in address_list if plain.access(a).miss)
+        for a in address_list:
+            buffered.access(a)
+        assert buffered.stats.misses <= plain_misses
+
+    @given(addresses)
+    @settings(max_examples=40)
+    def test_outcome_counts_partition_accesses(self, address_list):
+        cache = VictimCachedL1(small_geometry, victim_lines=4)
+        for a in address_list:
+            cache.access(a)
+        stats = cache.stats
+        assert stats.main_hits + stats.victim_hits + stats.misses == stats.accesses
+
+
+class TestPageMapperInvariants:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 28), max_size=100),
+        st.sampled_from(list(FramePolicy)),
+    )
+    @settings(max_examples=40)
+    def test_translation_is_a_function(self, virtual_addresses, policy):
+        mapper = PageMapper(policy, seed=1)
+        first = [mapper.translate(v) for v in virtual_addresses]
+        second = [mapper.translate(v) for v in virtual_addresses]
+        assert first == second
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 28), max_size=100),
+        st.sampled_from(list(FramePolicy)),
+    )
+    @settings(max_examples=40)
+    def test_offsets_preserved(self, virtual_addresses, policy):
+        mapper = PageMapper(policy, seed=2)
+        for v in virtual_addresses:
+            assert mapper.translate(v) & (PAGE_SIZE - 1) == v & (PAGE_SIZE - 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=200))
+    @settings(max_examples=30)
+    def test_distinct_pages_get_distinct_frames_random(self, pages):
+        mapper = PageMapper(FramePolicy.RANDOM, physical_frames=1 << 18, seed=3)
+        frames = {}
+        for page in pages:
+            frames.setdefault(page, mapper.frame_of(page))
+        values = list(frames.values())
+        assert len(set(values)) == len(values)
+
+
+class TestPhaseWindowInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=0, max_size=600))
+    @settings(max_examples=40)
+    def test_windows_partition_samples(self, raw_addresses):
+        samples = [
+            AddressSample(ip=0, address=a * 64, event_index=i, access_index=i)
+            for i, a in enumerate(raw_addresses)
+        ]
+        analyzer = PhaseAnalyzer(CacheGeometry(), window=64, min_window=16)
+        analysis = analyzer.analyze(samples)
+        assert sum(p.sample_count for p in analysis.phases) == len(samples)
+        # Windows are contiguous and ordered.
+        cursor = 0
+        for phase in analysis.phases:
+            assert phase.first_sample == cursor
+            cursor += phase.sample_count
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=500))
+    @settings(max_examples=40)
+    def test_conflict_fraction_bounded(self, sets):
+        samples = [
+            AddressSample(ip=0, address=s * 64, event_index=i, access_index=i)
+            for i, s in enumerate(sets)
+        ]
+        analysis = PhaseAnalyzer(CacheGeometry(), window=32, min_window=8).analyze(samples)
+        assert 0.0 <= analysis.conflict_fraction <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for repro.reporting."""
+
+import pytest
+
+from repro.core.report import ConflictReport
+from repro.reporting.files import write_cdf_series, write_result_file
+from repro.reporting.tables import Table, format_percent, format_speedup, format_table
+
+
+class TestTables:
+    def test_alignment(self):
+        table = Table(title="T", headers=["a", "long_header"])
+        table.add_row("xx", 1)
+        table.add_row("y", 22)
+        text = table.render()
+        lines = text.splitlines()
+        data_lines = [line for line in lines if "|" in line]
+        assert len({line.index("|") for line in data_lines}) == 1
+
+    def test_row_width_validation(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_format_table_contains_everything(self):
+        text = format_table("Title", ["h1"], [["v1"], ["v2"]])
+        for token in ("Title", "h1", "v1", "v2"):
+            assert token in text
+
+    def test_format_percent(self):
+        assert format_percent(0.527) == "52.7%"
+        assert format_percent(-0.134) == "-13.4%"
+
+    def test_format_speedup(self):
+        assert format_speedup(3.03) == "3.03x"
+
+
+class TestFiles:
+    def _report(self):
+        return ConflictReport(
+            workload_name="unit",
+            mean_sampling_period=100,
+            total_samples=10,
+            total_events=1000,
+            rcd_threshold=8,
+        )
+
+    def test_write_result_file(self, tmp_path):
+        path = write_result_file(tmp_path / "out" / "unit_result", self._report())
+        assert path.exists()
+        assert "unit" in path.read_text()
+
+    def test_write_cdf_series(self, tmp_path):
+        path = write_cdf_series(
+            tmp_path / "cdf.txt", [(1, 0.5), (8, 0.9)], label="nw"
+        )
+        content = path.read_text()
+        assert "# nw" in content
+        assert "1 0.500000" in content
+        assert "8 0.900000" in content

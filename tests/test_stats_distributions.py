@@ -1,0 +1,116 @@
+"""Tests for repro.stats.distributions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stats.distributions import (
+    EmpiricalCdf,
+    Histogram,
+    gini_coefficient,
+    summarize,
+)
+
+
+class TestHistogram:
+    def test_from_values(self):
+        histogram = Histogram.from_values([1, 1, 2, 3])
+        assert histogram.total == 4
+        assert histogram.frequency(1) == 0.5
+        assert histogram.mode() == 1
+
+    def test_add_with_weight(self):
+        histogram = Histogram()
+        histogram.add(5, weight=3)
+        assert histogram.counts[5] == 3
+
+    def test_mean(self):
+        histogram = Histogram.from_values([1, 3])
+        assert histogram.mean() == 2.0
+
+    def test_empty_mode_and_mean_raise(self):
+        histogram = Histogram()
+        with pytest.raises(ModelError):
+            histogram.mode()
+        with pytest.raises(ModelError):
+            histogram.mean()
+
+    def test_sorted_items(self):
+        histogram = Histogram.from_values([3, 1, 2, 1])
+        assert histogram.sorted_items() == [(1, 2), (2, 1), (3, 1)]
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_normalized(self):
+        cdf = EmpiricalCdf.from_values([1, 2, 2, 3, 10])
+        assert list(cdf.cumulative) == sorted(cdf.cumulative)
+        assert cdf.cumulative[-1] == pytest.approx(1.0)
+
+    def test_probability_at(self):
+        cdf = EmpiricalCdf.from_values([1, 2, 2, 3])
+        assert cdf.probability_at(0) == 0.0
+        assert cdf.probability_at(1) == pytest.approx(0.25)
+        assert cdf.probability_at(2) == pytest.approx(0.75)
+        assert cdf.probability_at(100) == pytest.approx(1.0)
+
+    def test_probability_between_support_points(self):
+        cdf = EmpiricalCdf.from_values([1, 10])
+        assert cdf.probability_at(5) == pytest.approx(0.5)
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf.from_values([1, 2, 3, 4])
+        assert cdf.quantile(0.25) == 1
+        assert cdf.quantile(0.5) == 2
+        assert cdf.quantile(1.0) == 4
+
+    def test_quantile_range_validation(self):
+        cdf = EmpiricalCdf.from_values([1])
+        with pytest.raises(ModelError):
+            cdf.quantile(0.0)
+        with pytest.raises(ModelError):
+            cdf.quantile(1.5)
+
+    def test_series_is_plot_ready(self):
+        cdf = EmpiricalCdf.from_values([5, 5, 7])
+        assert cdf.series() == [(5, pytest.approx(2 / 3)), (7, pytest.approx(1.0))]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            EmpiricalCdf.from_values([])
+
+    def test_histogram_round_trip(self):
+        histogram = Histogram.from_values([1, 2, 2])
+        assert histogram.as_cdf().probability_at(1) == pytest.approx(1 / 3)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([10] * 64) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        counts = [0] * 63 + [1000]
+        assert gini_coefficient(counts) > 0.95
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            gini_coefficient([])
+
+    def test_monotone_in_concentration(self):
+        balanced = gini_coefficient([8, 8, 8, 8])
+        skewed = gini_coefficient([2, 2, 2, 26])
+        assert skewed > balanced
+
+
+class TestSummarize:
+    def test_keys_and_values(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["median"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        assert summary["count"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            summarize([])

@@ -1,0 +1,82 @@
+"""Tests for repro.stats.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats.logistic import LogisticModel, fit_logistic
+
+
+class TestFit:
+    def test_separable_data_classified_perfectly(self):
+        features = [0.1, 0.15, 0.2, 0.7, 0.8, 0.9]
+        labels = [0, 0, 0, 1, 1, 1]
+        model = fit_logistic(features, labels)
+        assert list(model.predict(features)) == labels
+
+    def test_positive_slope_for_increasing_relation(self):
+        model = fit_logistic([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1])
+        assert model.slope > 0
+
+    def test_decision_boundary_between_classes(self):
+        model = fit_logistic([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1])
+        assert 0.2 < model.decision_boundary() < 0.8
+
+    def test_noisy_data_still_converges(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(0, 1, 200)
+        labels = (features + rng.normal(0, 0.2, 200) > 0.5).astype(int)
+        model = fit_logistic(features, labels)
+        assert model.converged
+        accuracy = float(np.mean(model.predict(features) == labels))
+        assert accuracy > 0.8
+
+    def test_probabilities_monotone_in_feature(self):
+        model = fit_logistic([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1])
+        probabilities = model.predict_proba([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert list(probabilities) == sorted(probabilities)
+
+    def test_multifeature(self):
+        features = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        labels = [0, 0, 1, 1]  # depends on the first feature only
+        model = fit_logistic(features, labels)
+        assert list(model.predict(features)) == labels
+
+
+class TestValidation:
+    def test_empty_data(self):
+        with pytest.raises(ModelError, match="empty"):
+            fit_logistic([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError, match="mismatch"):
+            fit_logistic([1.0, 2.0], [0])
+
+    def test_non_binary_labels(self):
+        with pytest.raises(ModelError, match="binary"):
+            fit_logistic([1.0, 2.0], [0, 2])
+
+    def test_single_class(self):
+        with pytest.raises(ModelError, match="single class"):
+            fit_logistic([1.0, 2.0], [1, 1])
+
+    def test_slope_of_multifeature_model_rejected(self):
+        features = np.array([[0, 0], [1, 1], [0, 1], [1, 0]], dtype=float)
+        model = fit_logistic(features, [0, 1, 0, 1])
+        with pytest.raises(ModelError, match="one-feature"):
+            _ = model.slope
+
+    def test_predict_feature_count_mismatch(self):
+        model = fit_logistic([0.1, 0.9], [0, 1])
+        with pytest.raises(ModelError, match="expected"):
+            model.predict_proba(np.array([[1.0, 2.0]]))
+
+
+class TestNumericalStability:
+    def test_extreme_separation_does_not_overflow(self):
+        features = [0.0] * 50 + [1.0] * 50
+        labels = [0] * 50 + [1] * 50
+        model = fit_logistic(features, labels)
+        probabilities = model.predict_proba([0.0, 1.0])
+        assert 0.0 <= probabilities[0] < 0.5 < probabilities[1] <= 1.0
+        assert np.all(np.isfinite(model.coefficients))

@@ -1,0 +1,110 @@
+"""Tests for repro.stats.validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stats.validation import (
+    ConfusionCounts,
+    confusion_counts,
+    cross_validate_f1,
+    f1_score,
+    k_fold_indices,
+    precision_recall_f1,
+)
+
+
+class TestConfusion:
+    def test_perfect_predictions(self):
+        counts = confusion_counts([1, 0, 1, 0], [1, 0, 1, 0])
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+        assert counts.accuracy == 1.0
+
+    def test_all_wrong(self):
+        counts = confusion_counts([0, 1], [1, 0])
+        assert counts.f1 == 0.0
+        assert counts.accuracy == 0.0
+
+    def test_precision_vs_recall_asymmetry(self):
+        # Predict everything positive: recall 1, precision = base rate.
+        counts = confusion_counts([1, 1, 1, 1], [1, 0, 0, 0])
+        assert counts.recall == 1.0
+        assert counts.precision == 0.25
+
+    def test_f1_is_harmonic_mean(self):
+        counts = ConfusionCounts(true_positive=2, false_positive=2, false_negative=0)
+        precision, recall = counts.precision, counts.recall
+        assert counts.f1 == pytest.approx(2 * precision * recall / (precision + recall))
+
+    def test_degenerate_no_positives(self):
+        counts = confusion_counts([0, 0], [0, 0])
+        assert counts.f1 == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            confusion_counts([1], [1, 0])
+
+    def test_combine(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        merged = a.combine(b)
+        assert (merged.true_positive, merged.false_positive) == (11, 22)
+
+    def test_helpers(self):
+        predictions, labels = [1, 1, 0, 0], [1, 0, 0, 1]
+        precision, recall, f1 = precision_recall_f1(predictions, labels)
+        assert f1 == f1_score(predictions, labels)
+        assert 0 <= precision <= 1 and 0 <= recall <= 1
+
+
+class TestKFold:
+    def test_partitions_all_indices(self):
+        folds = k_fold_indices(16, 8, seed=1)
+        flattened = sorted(index for fold in folds for index in fold)
+        assert flattened == list(range(16))
+
+    def test_fold_sizes_near_equal(self):
+        folds = k_fold_indices(17, 4, seed=2)
+        sizes = [len(fold) for fold in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        assert k_fold_indices(10, 5, seed=3) == k_fold_indices(10, 5, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert k_fold_indices(20, 4, seed=1) != k_fold_indices(20, 4, seed=2)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ModelError):
+            k_fold_indices(3, 8)
+
+    def test_too_few_folds(self):
+        with pytest.raises(ModelError):
+            k_fold_indices(10, 1)
+
+
+class TestCrossValidation:
+    def test_separable_data_scores_one(self):
+        # The paper's setting: 16 loops, 8 conflict / 8 clean (§5.2).
+        features = [0.05, 0.1, 0.12, 0.15, 0.18, 0.2, 0.1, 0.16,
+                    0.5, 0.6, 0.7, 0.8, 0.88, 0.9, 0.75, 0.65]
+        labels = [0] * 8 + [1] * 8
+        assert cross_validate_f1(features, labels, folds=8, seed=0) == 1.0
+
+    def test_random_labels_score_poorly(self):
+        features = [0.5] * 16  # no signal at all
+        labels = [0, 1] * 8
+        score = cross_validate_f1(features, labels, folds=4, seed=0)
+        assert score < 0.9
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            cross_validate_f1([1.0], [0, 1])
+
+    def test_overlapping_classes_intermediate_score(self):
+        features = [0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.5, 0.35,
+                    0.4, 0.5, 0.6, 0.7, 0.55, 0.45, 0.65, 0.75]
+        labels = [0] * 8 + [1] * 8
+        score = cross_validate_f1(features, labels, folds=8, seed=0)
+        assert 0.3 < score < 1.0

@@ -1,0 +1,122 @@
+"""Tests for repro.trace.allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.trace.allocator import VirtualAllocator
+
+
+class TestMalloc:
+    def test_returns_nonoverlapping_ranges(self, allocator):
+        first = allocator.malloc(100, "a")
+        second = allocator.malloc(100, "b")
+        assert first.end <= second.start
+
+    def test_respects_alignment(self):
+        allocator = VirtualAllocator(alignment=64)
+        allocation = allocator.malloc(10, "x")
+        assert allocation.start % 64 == 0
+
+    def test_per_call_alignment_override(self, allocator):
+        allocation = allocator.malloc(10, "x", align=4096)
+        assert allocation.start % 4096 == 0
+
+    def test_guard_gap_separates_allocations(self):
+        allocator = VirtualAllocator(guard_gap=32, alignment=1)
+        first = allocator.malloc(16, "a")
+        second = allocator.malloc(16, "b")
+        assert second.start - first.end >= 32
+
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(AllocationError, match="positive"):
+            allocator.malloc(0, "empty")
+
+    def test_bad_alignment_rejected(self, allocator):
+        with pytest.raises(AllocationError, match="power of two"):
+            allocator.malloc(8, "x", align=3)
+
+    def test_tight_packing_without_guard(self):
+        # Contiguity matters: NW's inter-array conflict needs adjacency.
+        allocator = VirtualAllocator(alignment=1, guard_gap=0)
+        first = allocator.malloc(100, "a")
+        second = allocator.malloc(100, "b")
+        assert second.start == first.end
+
+
+class TestFind:
+    def test_finds_covering_allocation(self, allocator):
+        allocation = allocator.malloc(64, "arr")
+        assert allocator.find(allocation.start) == allocation
+        assert allocator.find(allocation.start + 63).label == "arr"
+
+    def test_miss_before_heap(self, allocator):
+        allocator.malloc(64, "arr")
+        assert allocator.find(0) is None
+
+    def test_miss_in_gap(self):
+        allocator = VirtualAllocator(guard_gap=64)
+        first = allocator.malloc(16, "a")
+        allocator.malloc(16, "b")
+        assert allocator.find(first.end + 1) is None
+
+    def test_freed_allocation_still_resolves(self, allocator):
+        allocation = allocator.malloc(64, "arr")
+        allocator.free(allocation)
+        found = allocator.find(allocation.start + 8)
+        assert found is not None and found.label == "arr" and found.freed
+
+
+class TestFree:
+    def test_double_free_rejected(self, allocator):
+        allocation = allocator.malloc(8, "x")
+        allocator.free(allocation)
+        with pytest.raises(AllocationError, match="double free"):
+            allocator.free(allocation)
+
+    def test_free_unknown_rejected(self, allocator):
+        from repro.trace.allocator import Allocation
+
+        with pytest.raises(AllocationError, match="no allocation"):
+            allocator.free(Allocation(start=0xDEAD, size=8, label="ghost"))
+
+
+class TestAllocationRecord:
+    def test_contains_and_offset(self, allocator):
+        allocation = allocator.malloc(100, "arr")
+        assert allocation.contains(allocation.start + 50)
+        assert allocation.offset_of(allocation.start + 50) == 50
+
+    def test_offset_outside_raises(self, allocator):
+        allocation = allocator.malloc(100, "arr")
+        with pytest.raises(AllocationError, match="outside"):
+            allocation.offset_of(allocation.end)
+
+    def test_by_label(self, allocator):
+        allocator.malloc(8, "first")
+        allocator.malloc(8, "second")
+        assert allocator.by_label("second").label == "second"
+
+    def test_by_label_missing(self, allocator):
+        with pytest.raises(AllocationError, match="no allocation labelled"):
+            allocator.by_label("ghost")
+
+    def test_bookkeeping(self, allocator):
+        allocator.malloc(100, "a")
+        allocator.malloc(50, "b")
+        assert allocator.bytes_allocated == 150
+        assert len(allocator) == 2
+        assert [a.label for a in allocator] == ["a", "b"]
+
+
+class TestValidation:
+    def test_bad_base(self):
+        with pytest.raises(AllocationError):
+            VirtualAllocator(base=-1)
+
+    def test_bad_default_alignment(self):
+        with pytest.raises(AllocationError):
+            VirtualAllocator(alignment=0)
+
+    def test_bad_guard_gap(self):
+        with pytest.raises(AllocationError):
+            VirtualAllocator(guard_gap=-1)

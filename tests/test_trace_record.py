@@ -1,0 +1,80 @@
+"""Tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import AccessKind, MemoryAccess
+
+
+class TestAccessKind:
+    def test_from_dinero_letters(self):
+        assert AccessKind.from_dinero("r") is AccessKind.LOAD
+        assert AccessKind.from_dinero("w") is AccessKind.STORE
+        assert AccessKind.from_dinero("i") is AccessKind.IFETCH
+
+    def test_from_dinero_digits(self):
+        assert AccessKind.from_dinero("0") is AccessKind.LOAD
+        assert AccessKind.from_dinero("1") is AccessKind.STORE
+        assert AccessKind.from_dinero("2") is AccessKind.IFETCH
+
+    def test_from_dinero_case_insensitive(self):
+        assert AccessKind.from_dinero("R") is AccessKind.LOAD
+
+    def test_from_dinero_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown Dinero access code"):
+            AccessKind.from_dinero("x")
+
+    def test_to_dinero_round_trip(self):
+        for kind in AccessKind:
+            assert AccessKind.from_dinero(kind.to_dinero()) is kind
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        access = MemoryAccess(ip=0x400000, address=0x1000)
+        assert access.kind is AccessKind.LOAD
+        assert access.size == 8
+        assert access.thread_id == 0
+
+    def test_is_load_and_store(self):
+        load = MemoryAccess(ip=1, address=2, kind=AccessKind.LOAD)
+        store = MemoryAccess(ip=1, address=2, kind=AccessKind.STORE)
+        assert load.is_load and not load.is_store
+        assert store.is_store and not store.is_load
+
+    def test_ifetch_is_neither_load_nor_store(self):
+        fetch = MemoryAccess(ip=1, address=2, kind=AccessKind.IFETCH)
+        assert not fetch.is_load
+        assert not fetch.is_store
+
+    def test_end_address(self):
+        access = MemoryAccess(ip=0, address=100, size=8)
+        assert access.end_address() == 108
+
+    def test_line_address(self):
+        access = MemoryAccess(ip=0, address=0x1234)
+        assert access.line_address(64) == 0x1200
+
+    def test_line_address_already_aligned(self):
+        access = MemoryAccess(ip=0, address=0x1200)
+        assert access.line_address(64) == 0x1200
+
+    def test_validate_rejects_negative_address(self):
+        with pytest.raises(ValueError, match="address"):
+            MemoryAccess(ip=0, address=-1).validate()
+
+    def test_validate_rejects_negative_ip(self):
+        with pytest.raises(ValueError, match="ip"):
+            MemoryAccess(ip=-5, address=0).validate()
+
+    def test_validate_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="size"):
+            MemoryAccess(ip=0, address=0, size=0).validate()
+
+    def test_validate_returns_self(self):
+        access = MemoryAccess(ip=1, address=2)
+        assert access.validate() is access
+
+    def test_is_tuple_like_for_cheap_construction(self):
+        # The trace hot path relies on NamedTuple semantics.
+        access = MemoryAccess(1, 2)
+        assert (access.ip, access.address) == (1, 2)

@@ -1,0 +1,109 @@
+"""Tests for repro.trace.tracefile."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import AccessKind, MemoryAccess
+from repro.trace.tracefile import (
+    read_binary_trace,
+    read_dinero_trace,
+    write_binary_trace,
+    write_dinero_trace,
+)
+from tests.conftest import make_load, make_store
+
+
+@pytest.fixture
+def sample_trace():
+    return [
+        make_load(0x1000, ip=0x400000),
+        make_store(0x2040, ip=0x400004, size=4),
+        MemoryAccess(ip=0x400008, address=0x3000, kind=AccessKind.IFETCH),
+    ]
+
+
+class TestDineroFormat:
+    def test_plain_round_trip_preserves_kind_and_address(self, tmp_path, sample_trace):
+        path = tmp_path / "t.din"
+        count = write_dinero_trace(path, sample_trace)
+        assert count == 3
+        loaded = list(read_dinero_trace(path))
+        assert [a.kind for a in loaded] == [a.kind for a in sample_trace]
+        assert [a.address for a in loaded] == [a.address for a in sample_trace]
+
+    def test_plain_format_drops_ip(self, tmp_path, sample_trace):
+        path = tmp_path / "t.din"
+        write_dinero_trace(path, sample_trace)
+        loaded = list(read_dinero_trace(path))
+        assert all(access.ip == 0 for access in loaded)
+
+    def test_extended_round_trip_preserves_ip_and_size(self, tmp_path, sample_trace):
+        path = tmp_path / "t.din"
+        write_dinero_trace(path, sample_trace, extended=True)
+        loaded = list(read_dinero_trace(path))
+        assert [a.ip for a in loaded] == [a.ip for a in sample_trace]
+        assert [a.size for a in loaded] == [a.size for a in sample_trace]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("# header\n\n0 1000\n")
+        loaded = list(read_dinero_trace(path))
+        assert len(loaded) == 1 and loaded[0].address == 0x1000
+
+    def test_accepts_letter_codes(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("r 10\nw 20\n")
+        loaded = list(read_dinero_trace(path))
+        assert loaded[0].kind is AccessKind.LOAD
+        assert loaded[1].kind is AccessKind.STORE
+
+    def test_bad_field_count_raises(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000 extra\n")
+        with pytest.raises(TraceError, match="expected 2 or 4 fields"):
+            list(read_dinero_trace(path))
+
+    def test_bad_hex_raises(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 zznotahex\n")
+        with pytest.raises(TraceError):
+            list(read_dinero_trace(path))
+
+
+class TestBinaryFormat:
+    def test_round_trip_preserves_everything(self, tmp_path, sample_trace):
+        path = tmp_path / "t.cctr"
+        count = write_binary_trace(path, sample_trace)
+        assert count == 3
+        assert list(read_binary_trace(path)) == sample_trace
+
+    def test_thread_id_round_trips(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        access = MemoryAccess(ip=1, address=2, thread_id=7)
+        write_binary_trace(path, [access])
+        (loaded,) = list(read_binary_trace(path))
+        assert loaded.thread_id == 7
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        path.write_bytes(b"XXXX\x01\x00\x00\x00")
+        with pytest.raises(TraceError, match="bad magic"):
+            list(read_binary_trace(path))
+
+    def test_truncated_record_raises(self, tmp_path, sample_trace):
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, sample_trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceError, match="truncated"):
+            list(read_binary_trace(path))
+
+    def test_oversized_access_rejected(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        with pytest.raises(TraceError, match="exceeds"):
+            write_binary_trace(path, [MemoryAccess(ip=0, address=0, size=512)])
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        assert write_binary_trace(path, []) == 0
+        assert list(read_binary_trace(path)) == []

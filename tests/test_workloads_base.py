@@ -1,0 +1,93 @@
+"""Tests for repro.workloads.base."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.trace.allocator import VirtualAllocator
+from repro.workloads.base import Array1D, Array2D, Array3D
+
+
+class TestArray1D:
+    def test_addressing(self, allocator):
+        array = Array1D.allocate(allocator, "v", length=10, elem_size=8)
+        assert array.addr(0) == array.allocation.start
+        assert array.addr(3) == array.allocation.start + 24
+
+    def test_bounds_checked(self, allocator):
+        array = Array1D.allocate(allocator, "v", length=10)
+        with pytest.raises(AllocationError):
+            array.addr(10)
+        with pytest.raises(AllocationError):
+            array.addr(-1)
+
+
+class TestArray2D:
+    def test_row_major_addressing(self, allocator):
+        array = Array2D.allocate(allocator, "m", rows=4, cols=8, elem_size=8)
+        assert array.pitch == 64
+        assert array.addr(1, 0) - array.addr(0, 0) == 64
+        assert array.addr(0, 1) - array.addr(0, 0) == 8
+
+    def test_padding_widens_pitch(self, allocator):
+        array = Array2D.allocate(allocator, "m", rows=4, cols=8, elem_size=8, pad_bytes=32)
+        assert array.pitch == 96
+        assert array.pad_bytes == 32
+
+    def test_allocation_size_includes_padding(self, allocator):
+        array = Array2D.allocate(allocator, "m", rows=4, cols=8, elem_size=8, pad_bytes=32)
+        assert array.allocation.size == 4 * 96
+
+    def test_negative_pad_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            Array2D.allocate(allocator, "m", rows=2, cols=2, pad_bytes=-1)
+
+    def test_label_recorded(self, allocator):
+        array = Array2D.allocate(allocator, "reference", rows=2, cols=2)
+        assert allocator.find(array.addr(1, 1)).label == "reference"
+
+
+class TestArray3D:
+    def test_linearization(self, allocator):
+        array = Array3D.allocate(allocator, "t", dim0=2, dim1=3, dim2=4, elem_size=8)
+        base = array.allocation.start
+        assert array.addr(0, 0, 1) - base == 8
+        assert array.addr(0, 1, 0) - base == 4 * 8
+        assert array.addr(1, 0, 0) - base == 3 * 4 * 8
+
+    def test_dim_padding_changes_plane_stride(self, allocator):
+        plain = Array3D.allocate(allocator, "a", dim0=4, dim1=8, dim2=8, elem_size=4)
+        padded = Array3D.allocate(
+            allocator, "b", dim0=4, dim1=8, dim2=8, elem_size=4, pad1=1, pad2=1
+        )
+        assert padded.plane_bytes > plain.plane_bytes
+        assert plain.plane_bytes == 8 * 8 * 4
+        assert padded.plane_bytes == 9 * 9 * 4
+
+
+class TestWorkloadHelpers:
+    def test_l1_stats_and_access_count_agree(self):
+        from repro.workloads.symmetrization import SymmetrizationWorkload
+
+        workload = SymmetrizationWorkload(n=16, sweeps=1)
+        stats = workload.l1_stats()
+        assert stats.accesses == workload.access_count()
+
+    def test_image_is_lazy_and_cached(self):
+        from repro.workloads.symmetrization import SymmetrizationWorkload
+
+        workload = SymmetrizationWorkload(n=16)
+        assert workload.image is workload.image
+
+    def test_trace_is_replayable(self):
+        from repro.workloads.symmetrization import SymmetrizationWorkload
+
+        workload = SymmetrizationWorkload(n=8, sweeps=1)
+        first = list(workload.trace())
+        second = list(workload.trace())
+        assert first == second
+
+    def test_hierarchy_result_default_broadwell(self):
+        from repro.workloads.symmetrization import SymmetrizationWorkload
+
+        result = SymmetrizationWorkload(n=16, sweeps=1).hierarchy_result()
+        assert [level.name for level in result.levels] == ["L1", "L2", "LLC"]

@@ -1,0 +1,90 @@
+"""Tests for repro.workloads.polybench."""
+
+import itertools
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.workloads.polybench import (
+    POLYBENCH_KERNELS,
+    Fdtd2dWorkload,
+    GemmWorkload,
+    Jacobi2dWorkload,
+    TrmmWorkload,
+    TwoMmWorkload,
+)
+
+#: Accesses simulated per variant in the conflict checks (full traces of
+#: the matmul kernels run to millions; the steady state shows far earlier).
+WINDOW = 300_000
+
+
+def miss_ratio(workload, window=WINDOW):
+    cache = SetAssociativeCache(CacheGeometry())
+    for access in itertools.islice(workload.trace(), window):
+        cache.access(access.address, access.ip)
+    return cache.stats.miss_ratio
+
+
+class TestRegistry:
+    def test_five_kernels(self):
+        assert set(POLYBENCH_KERNELS) == {"gemm", "2mm", "jacobi-2d", "fdtd-2d", "trmm"}
+
+    @pytest.mark.parametrize("name", sorted(POLYBENCH_KERNELS))
+    def test_every_kernel_traces_and_has_loops(self, name):
+        workload = POLYBENCH_KERNELS[name](n=16)
+        first = next(iter(workload.trace()))
+        assert first.address > 0
+        function = workload.image.functions[0]
+        assert len(workload.image.loop_forest(function.name)) >= 1
+
+
+class TestConflictStructure:
+    def test_gemm_padding_reduces_misses(self):
+        original = miss_ratio(GemmWorkload.original(n=128))
+        padded = miss_ratio(GemmWorkload.padded(n=128))
+        assert padded < 0.5 * original
+
+    def test_trmm_padding_reduces_misses(self):
+        original = miss_ratio(TrmmWorkload.original(n=128))
+        padded = miss_ratio(TrmmWorkload.padded(n=128))
+        assert padded < 0.5 * original
+
+    def test_2mm_padding_reduces_misses(self):
+        original = miss_ratio(TwoMmWorkload.original(n=64))
+        padded = miss_ratio(TwoMmWorkload.padded(n=64))
+        assert padded < original
+
+    def test_jacobi_is_clean_either_way(self):
+        original = miss_ratio(Jacobi2dWorkload.original(n=128))
+        padded = miss_ratio(Jacobi2dWorkload.padded(n=128))
+        # Row-order stencil: miss ratio is already low and padding is a
+        # no-op (within cold-miss noise).
+        assert original < 0.15
+        assert abs(original - padded) < 0.05
+
+    def test_fdtd_is_clean(self):
+        assert miss_ratio(Fdtd2dWorkload.original(n=128)) < 0.15
+
+    def test_validation(self):
+        for factory in (GemmWorkload, TrmmWorkload):
+            with pytest.raises(ValueError):
+                factory(n=2)
+        with pytest.raises(ValueError):
+            Jacobi2dWorkload(n=128, steps=0)
+
+
+class TestImages:
+    def test_gemm_triple_nest_recovered(self):
+        workload = GemmWorkload.original(n=16)
+        forest = workload.image.loop_forest("kernel_gemm")
+        assert forest.max_depth() == 3
+
+    def test_column_walk_ip_attribution(self):
+        workload = GemmWorkload.original(n=64)
+        cache = SetAssociativeCache(CacheGeometry())
+        for access in itertools.islice(workload.trace(), 100_000):
+            cache.access(access.address, access.ip)
+        top_ip, _ = cache.stats.top_miss_ips(1)[0]
+        assert top_ip == workload.ip_inner

@@ -1,0 +1,57 @@
+"""Tests for the Rodinia suite generators (Figure 7 cast)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.pmu.event import L1_MISS_EVENT
+from repro.pmu.sampler import AddressSampler
+from repro.pmu.periods import FixedPeriod
+from repro.workloads.nw import NeedlemanWunschWorkload
+from repro.workloads.rodinia import RODINIA_APPS, make_rodinia_workload
+
+
+class TestRegistry:
+    def test_eighteen_apps(self):
+        assert len(RODINIA_APPS) == 18
+
+    def test_nw_included_and_real(self):
+        workload = make_rodinia_workload("nw")
+        assert isinstance(workload, NeedlemanWunschWorkload)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown Rodinia app"):
+            make_rodinia_workload("doom")
+
+    @pytest.mark.parametrize("app", [a for a in RODINIA_APPS if a != "nw"])
+    def test_every_app_produces_a_trace(self, app):
+        workload = make_rodinia_workload(app)
+        trace = workload.trace()
+        first = next(trace)
+        assert first.address > 0
+
+    @pytest.mark.parametrize("app", ["bfs", "hotspot", "kmeans", "lud"])
+    def test_images_have_a_hot_loop(self, app):
+        workload = make_rodinia_workload(app)
+        forest = workload.image.loop_forest(f"{app}_kernel")
+        assert len(forest) >= 1
+
+
+class TestBalancedCharacter:
+    """The non-NW apps must be conflict-free: low cf at the paper's T=8."""
+
+    @pytest.mark.parametrize(
+        "app", ["hotspot", "kmeans", "pathfinder", "bfs", "srad", "lud"]
+    )
+    def test_low_contribution_factor(self, app, paper_l1):
+        workload = make_rodinia_workload(app)
+        sampler = AddressSampler(paper_l1, period=FixedPeriod(7), event=L1_MISS_EVENT)
+        result = sampler.run(workload.trace())
+        if result.sample_count < 20:
+            pytest.skip(f"{app} generated too few misses to judge")
+        analysis = RcdAnalysis.from_addresses(
+            (sample.address for sample in result.samples), paper_l1
+        )
+        # Paper §5.1: clean Rodinia loops sit at 10-20% below RCD 8.
+        assert contribution_factor(analysis) < 0.3

@@ -1,0 +1,62 @@
+"""Tests for repro.workloads.training — the §5.2 classifier training set."""
+
+import pytest
+
+from repro.cache.classify import ThreeCClassifier
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import contribution_factor
+from repro.core.rcd import RcdAnalysis
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.workloads.training import training_loops
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return training_loops(CacheGeometry(), repeats=25)
+
+
+class TestPopulation:
+    def test_sixteen_loops_eight_each(self, loops):
+        assert len(loops) == 16
+        assert sum(1 for loop in loops if loop.has_conflict) == 8
+
+    def test_names_unique(self, loops):
+        names = [loop.name for loop in loops]
+        assert len(set(names)) == 16
+
+    def test_factories_independent(self, loops):
+        first = loops[0].factory()
+        second = loops[0].factory()
+        assert first is not second
+        assert list(first.trace())[:10] == list(second.trace())[:10]
+
+
+class TestLabelsMatchGroundTruth:
+    """Every design label must agree with three-C simulation — the same
+    validation the paper performs with Pin + Dinero IV."""
+
+    @pytest.mark.parametrize("index", range(16))
+    def test_label(self, loops, index):
+        loop = loops[index]
+        classifier = ThreeCClassifier(CacheGeometry())
+        counts = classifier.run_trace(loop.factory().trace())
+        simulated_conflict = counts.conflict_fraction() > 0.3
+        assert simulated_conflict == loop.has_conflict, loop.name
+
+
+class TestSeparability:
+    def test_exact_cf_separates_populations(self, loops):
+        geometry = CacheGeometry()
+        features = {}
+        for loop in loops:
+            cache = SetAssociativeCache(geometry)
+            sets = []
+            for access in loop.factory().trace():
+                if cache.access(access.address, access.ip).miss:
+                    sets.append(geometry.set_index(access.address))
+            analysis = RcdAnalysis.from_set_sequence(sets, geometry.num_sets)
+            features[loop.name] = (contribution_factor(analysis), loop.has_conflict)
+        conflict_cfs = [cf for cf, label in features.values() if label]
+        clean_cfs = [cf for cf, label in features.values() if not label]
+        # Perfectly separable with exact RCDs (the paper's ground truth).
+        assert min(conflict_cfs) > max(clean_cfs)
