@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test chaos bench compile
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+chaos:
+	$(PYTHON) -m pytest -q -m chaos
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+compile:
+	$(PYTHON) -m compileall -q src

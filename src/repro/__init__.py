@@ -23,6 +23,9 @@ Layering (see DESIGN.md for the full inventory):
   evaluation apparatus: every benchmark of the paper as a symbolic trace
   generator, the machine model behind the speedup tables, and automated
   padding / loop-order advice.
+- ``repro.robustness`` — fault injection, retry with backoff, and
+  watchdog budgets: the machinery that keeps the pipeline producing
+  best-effort reports under a degraded observation channel.
 """
 
 from repro.cache.geometry import CacheGeometry
@@ -30,7 +33,7 @@ from repro.core.classifier import ConflictClassifier, Implication
 from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
 from repro.core.profiler import AnalysisSettings, CCProf, OfflineAnalyzer
 from repro.core.rcd import RcdAnalysis, compute_rcds
-from repro.core.report import ConflictReport, LoopReport
+from repro.core.report import ConflictReport, DataQuality, LoopReport
 from repro.errors import ReproError
 from repro.pmu.periods import (
     FixedPeriod,
@@ -38,6 +41,12 @@ from repro.pmu.periods import (
     UniformJitterPeriod,
 )
 from repro.pmu.sampler import AddressSampler, SamplingResult
+from repro.robustness import (
+    FaultPipeline,
+    RetryPolicy,
+    SamplingBudget,
+    retry_with_backoff,
+)
 
 __version__ = "1.0.0"
 
@@ -61,4 +70,9 @@ __all__ = [
     "UniformJitterPeriod",
     "GeometricPeriod",
     "ReproError",
+    "DataQuality",
+    "FaultPipeline",
+    "RetryPolicy",
+    "SamplingBudget",
+    "retry_with_backoff",
 ]

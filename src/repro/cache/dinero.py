@@ -12,13 +12,13 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
 from repro.errors import TraceError
-from repro.trace.tracefile import read_dinero_trace
+from repro.trace.tracefile import TraceReadStats, read_dinero_trace
 
 _SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024 * 1024, "g": 1024 * 1024 * 1024}
 _SPEC_PATTERN = re.compile(
@@ -73,12 +73,26 @@ class DineroConfig:
 
 
 def simulate_dinero_trace(
-    trace_path: Union[str, Path], spec: str = "32k:64:8:lru"
+    trace_path: Union[str, Path],
+    spec: str = "32k:64:8:lru",
+    *,
+    strict: bool = True,
+    stats: "Optional[TraceReadStats]" = None,
 ) -> CacheStats:
-    """Run a ``.din`` trace through a cache described by ``spec``."""
+    """Run a ``.din`` trace through a cache described by ``spec``.
+
+    Args:
+        trace_path: The ``.din`` trace.
+        spec: Cache spec string, ``size:line:assoc[:policy]``.
+        strict: Forwarded to the trace reader — lenient mode quarantines
+            malformed lines instead of aborting the simulation.
+        stats: Optional read-diagnostics sink (lenient mode).
+    """
     config = DineroConfig.from_spec(spec)
     cache = config.build()
-    return cache.run_trace(read_dinero_trace(trace_path))
+    return cache.run_trace(
+        read_dinero_trace(trace_path, strict=strict, stats=stats)
+    )
 
 
 def format_dinero_report(stats: CacheStats, title: str = "l1-ucache") -> str:

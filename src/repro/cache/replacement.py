@@ -89,6 +89,7 @@ class RandomPolicy(ReplacementPolicy):
 
     def __init__(self, ways: int, seed: int = 0) -> None:
         super().__init__(ways)
+        self._seed = seed
         self._rng = random.Random(seed)
 
     def touch(self, way: int) -> None:
@@ -101,7 +102,10 @@ class RandomPolicy(ReplacementPolicy):
         pass
 
     def reset(self) -> None:
-        self._rng = random.Random(0)
+        # Re-seed with the *configured* seed (a previous version hardcoded
+        # 0 here, silently changing the victim sequence after reset for
+        # any non-default seed).
+        self._rng = random.Random(self._seed)
 
 
 class TreePlruPolicy(ReplacementPolicy):

@@ -12,6 +12,17 @@ Mirrors the shape of the paper's artifact scripts:
 
 Built-in workload names accept an ``:optimized`` suffix, e.g.
 ``ccprof analyze adi:optimized``.
+
+Robustness controls (see the "Robustness model" section of README.md):
+
+- ``--inject drop:0.2,skid:1`` feeds the sampled record stream through a
+  seeded fault pipeline; injected-fault statistics appear in the report's
+  data-quality section.
+- ``--strict`` / ``--lenient`` (default lenient) pick between
+  fail-fast and best-effort-with-warnings behaviour for degraded inputs.
+- Every :class:`~repro.errors.ReproError` family maps to a distinct
+  nonzero exit code (``error.exit_code``) with a one-line stderr
+  diagnostic — no tracebacks for expected failure modes.
 """
 
 from __future__ import annotations
@@ -28,6 +39,9 @@ from repro.errors import ReproError
 from repro.optimize.padding_advisor import advise_padding
 from repro.pmu.periods import UniformJitterPeriod
 from repro.reporting.files import write_result_file
+from repro.robustness.budget import SamplingBudget
+from repro.robustness.faults import FAULT_NAMES, FaultPipeline
+from repro.trace.tracefile import TraceReadStats
 from repro.workloads import (
     AdiWorkload,
     Fdtd2dWorkload,
@@ -92,7 +106,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _make_profiler(args: argparse.Namespace) -> CCProf:
-    return CCProf(period=UniformJitterPeriod(args.period), seed=args.seed)
+    inject = None
+    spec = getattr(args, "inject", None)
+    if spec:
+        inject = FaultPipeline.parse(spec, seed=args.seed)
+    budget = None
+    max_events = getattr(args, "max_events", None)
+    if max_events is not None:
+        budget = SamplingBudget(max_events=max_events)
+    return CCProf(
+        period=UniformJitterPeriod(args.period),
+        seed=args.seed,
+        strict=getattr(args, "strict", False),
+        inject=inject,
+        budget=budget,
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -105,6 +133,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"{sampling.total_events} L1 miss events "
         f"({sampling.total_accesses} accesses)"
     )
+    if sampling.truncated:
+        print(f"run truncated: {sampling.truncation_reason}")
+    if profile.fault_report is not None:
+        print(f"injected faults: {profile.fault_report.describe()}")
     if args.output:
         written = profile.dump_samples(args.output)
         print(f"wrote {written} samples to {args.output}")
@@ -123,8 +155,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    stats = simulate_dinero_trace(args.trace, spec=args.cache)
+    read_stats = TraceReadStats()
+    stats = simulate_dinero_trace(
+        args.trace, spec=args.cache, strict=args.strict, stats=read_stats
+    )
     print(format_dinero_report(stats, title=args.trace))
+    if read_stats.salvaged:
+        print(f"trace salvage: {read_stats.describe()}")
     return 0
 
 
@@ -230,6 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list built-in workloads")
     list_parser.set_defaults(handler=_cmd_list)
 
+    def add_strictness(sub: argparse.ArgumentParser) -> None:
+        group = sub.add_mutually_exclusive_group()
+        group.add_argument(
+            "--strict", dest="strict", action="store_true",
+            help="fail fast on degraded input (corrupt trace, empty profile)",
+        )
+        group.add_argument(
+            "--lenient", dest="strict", action="store_false",
+            help="salvage degraded input and report data-quality warnings "
+                 "(default)",
+        )
+        sub.set_defaults(strict=False)
+
     for verb, handler, needs_output in (
         ("profile", _cmd_profile, True),
         ("analyze", _cmd_analyze, True),
@@ -244,8 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="mean sampling period in L1 miss events (default: 1212)",
         )
         sub.add_argument("--seed", type=int, default=0, help="sampler RNG seed")
+        add_strictness(sub)
         if needs_output:
             sub.add_argument("-o", "--output", default=None, help="output file")
+        if verb in ("profile", "analyze"):
+            sub.add_argument(
+                "--inject", default=None, metavar="SPEC",
+                help="fault-injection spec, e.g. drop:0.2,skid:1 "
+                     f"(faults: {', '.join(FAULT_NAMES)})",
+            )
+            sub.add_argument(
+                "--max-events", type=int, default=None, metavar="N",
+                help="watchdog budget: stop profiling after N qualifying "
+                     "events and analyze the partial profile",
+            )
         if verb == "phases":
             sub.add_argument(
                 "--window", type=int, default=256,
@@ -259,19 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default="32k:64:8:lru",
         help="cache spec size:line:assoc[:policy] (default: the paper's L1)",
     )
+    add_strictness(sim)
     sim.set_defaults(handler=_cmd_simulate)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Every expected failure exits with its error family's distinct nonzero
+    code (``ReproError.exit_code``) and a one-line stderr diagnostic
+    carrying the machine-readable family code — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
     except ReproError as error:
-        print(f"ccprof: error: {error}", file=sys.stderr)
-        return 1
+        print(f"ccprof: error [{error.code}]: {error}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

@@ -21,12 +21,20 @@ from repro.core.attribution import (
 from repro.core.classifier import ConflictClassifier, implication_for
 from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
 from repro.core.rcd import RcdAnalysis
-from repro.core.report import ConflictReport, DataStructureReport, LoopReport
+from repro.core.report import (
+    ConflictReport,
+    DataQuality,
+    DataStructureReport,
+    LoopReport,
+)
 from repro.errors import AnalysisError
 from repro.pmu.monitor import MonitorSession, RawProfile
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.pmu.sampler import AddressSample
 from repro.program.symbols import Symbolizer
+from repro.robustness.budget import SamplingBudget
+from repro.robustness.faults import FaultPipeline
+from repro.robustness.retry import RetryPolicy
 from repro.trace.record import MemoryAccess
 
 
@@ -59,6 +67,10 @@ DEFAULT_HOT_LOOP_SHARE = 0.01
 #: Minimum samples for a meaningful RCD distribution in a loop.
 MIN_SAMPLES_FOR_RCD = 8
 
+#: Hot loops below this many samples keep their verdict but have its
+#: confidence downgraded to "low" in the report.
+DEFAULT_CONFIDENCE_FLOOR = 32
+
 
 @dataclass
 class AnalysisSettings:
@@ -68,6 +80,7 @@ class AnalysisSettings:
     cf_boundary: float = DEFAULT_CF_BOUNDARY
     hot_loop_share: float = DEFAULT_HOT_LOOP_SHARE
     min_samples: int = MIN_SAMPLES_FOR_RCD
+    confidence_floor: int = DEFAULT_CONFIDENCE_FLOOR
 
 
 class OfflineAnalyzer:
@@ -82,7 +95,13 @@ class OfflineAnalyzer:
         self.classifier = classifier
 
     def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
-        """Run the full offline pass over one raw profile."""
+        """Run the full offline pass over one raw profile.
+
+        The returned report always carries a populated
+        :class:`~repro.core.report.DataQuality` section describing how
+        lossy the observation channel was (injection, truncation, loops too
+        thin to classify).
+        """
         sampling = profile.sampling
         symbolizer = Symbolizer(profile.image) if profile.image is not None else None
         code = attribute_code(sampling.samples, symbolizer)
@@ -92,12 +111,59 @@ class OfflineAnalyzer:
             total_samples=sampling.sample_count,
             total_events=sampling.total_events,
             rcd_threshold=self.settings.rcd_threshold,
+            data_quality=self._data_quality(profile),
         )
         for group in code.loops:
             report.loops.append(
                 self._analyze_loop(group, profile, sampling.geometry)
             )
+        self._assess_loops(report)
         return report
+
+    def _data_quality(self, profile: RawProfile) -> DataQuality:
+        """Channel health from the run itself (pre-loop-analysis)."""
+        sampling = profile.sampling
+        quality = DataQuality(
+            samples_seen=sampling.sample_count,
+            events_seen=sampling.total_events,
+            truncated=sampling.truncated,
+            truncation_reason=sampling.truncation_reason,
+        )
+        fault_report = profile.fault_report
+        if fault_report is not None:
+            quality.injected_faults = dict(fault_report.injected)
+            lost = fault_report.records_in - fault_report.records_out
+            quality.samples_dropped = max(0, lost)
+        if sampling.truncated:
+            quality.warn(f"profiling run truncated: {sampling.truncation_reason}")
+        if sampling.sample_count == 0:
+            quality.warn("no samples captured; report is empty")
+        elif sampling.sample_count < self.settings.min_samples:
+            quality.warn(
+                f"only {sampling.sample_count} samples captured; "
+                "verdicts are unreliable"
+            )
+        return quality
+
+    def _assess_loops(self, report: ConflictReport) -> None:
+        """Fold per-loop sample-count diagnostics into the quality section."""
+        quality = report.data_quality
+        settings = self.settings
+        hot = [
+            loop
+            for loop in report.loops
+            if loop.miss_contribution >= settings.hot_loop_share
+        ]
+        if hot:
+            quality.min_loop_samples = min(loop.sample_count for loop in hot)
+        for loop in hot:
+            if loop.sample_count < settings.min_samples:
+                quality.warn(
+                    f"loop {loop.loop_name}: {loop.sample_count} samples "
+                    f"(< {settings.min_samples}); left unclassified"
+                )
+            if loop.confidence != "high":
+                quality.low_confidence_loops.append(loop.loop_name)
 
     def _analyze_loop(self, group, profile: RawProfile, geometry: CacheGeometry) -> LoopReport:
         settings = self.settings
@@ -119,6 +185,8 @@ class OfflineAnalyzer:
             loop_report.mean_rcd = analysis.mean_rcd()
 
         is_hot = group.share >= settings.hot_loop_share
+        if is_hot and group.count < settings.confidence_floor:
+            loop_report.confidence = "low"
         if is_hot and enough_samples:
             loop_report.probability, loop_report.has_conflict = self._classify(cf)
             rcd_is_low = (
@@ -165,6 +233,19 @@ class CCProf:
         settings: Offline-analysis settings.
         classifier: Optional trained conflict classifier; without one, the
             published cf boundary is used.
+        strict: When True (default), a run that produces no qualifying
+            events raises :class:`AnalysisError`.  When False, degraded
+            runs return a best-effort (possibly empty) report whose
+            ``data_quality`` section carries the warnings instead.
+        inject: Optional fault pipeline applied to the sampled record
+            stream — the PEBS-pathology model; injection counts land in
+            the report's ``data_quality.injected_faults``.
+        budget: Watchdog limits for the online phase; exhaustion yields a
+            truncated partial profile rather than a hang.
+        attach_failure_rate: Simulated PMU attach flakiness, retried with
+            jittered exponential backoff (see
+            :class:`~repro.pmu.monitor.MonitorSession`).
+        retry_policy: Backoff schedule for flaky attach.
     """
 
     def __init__(
@@ -174,33 +255,65 @@ class CCProf:
         seed: int = 0,
         settings: Optional[AnalysisSettings] = None,
         classifier: Optional[ConflictClassifier] = None,
+        strict: bool = True,
+        inject: Optional[FaultPipeline] = None,
+        budget: Optional[SamplingBudget] = None,
+        attach_failure_rate: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
         self.seed = seed
+        self.strict = strict
+        self.inject = inject
+        self.budget = budget
+        self.attach_failure_rate = attach_failure_rate
+        self.retry_policy = retry_policy
         self.analyzer = OfflineAnalyzer(settings=settings, classifier=classifier)
 
     def profile(self, workload: Workload) -> RawProfile:
-        """Online phase: sample the workload's trace."""
+        """Online phase: sample the workload's trace.
+
+        When a fault pipeline is configured, the sampled record stream is
+        passed through it afterwards — modelling loss *in the observation
+        channel*, downstream of the PMU — and the resulting
+        :class:`~repro.robustness.faults.FaultReport` rides along on the
+        profile for the offline phase's data-quality accounting.
+        """
         session = MonitorSession(
-            geometry=self.geometry, period=self.period, seed=self.seed
+            geometry=self.geometry,
+            period=self.period,
+            seed=self.seed,
+            attach_failure_rate=self.attach_failure_rate,
+            retry_policy=self.retry_policy,
+            budget=self.budget,
         )
-        return session.profile(
+        profile = session.profile(
             workload.trace(),
             allocator=getattr(workload, "allocator", None),
             image=getattr(workload, "image", None),
         )
+        if self.inject is not None and self.inject:
+            profile.sampling.samples = self.inject.apply(profile.sampling.samples)
+            profile.fault_report = self.inject.last_report
+        return profile
 
     def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
         """Offline phase: loops, RCDs, classification, attribution."""
         return self.analyzer.analyze(profile, workload_name=workload_name)
 
     def run(self, workload: Workload) -> ConflictReport:
-        """Profile then analyze in one call."""
+        """Profile then analyze in one call.
+
+        In strict mode an event-less run raises; in lenient mode every
+        degradation — including a completely empty profile — comes back as
+        a best-effort report with ``data_quality`` warnings.
+        """
         name = getattr(workload, "name", workload.__class__.__name__)
         profile = self.profile(workload)
         if profile.sampling.sample_count == 0 and profile.sampling.total_events == 0:
-            raise AnalysisError(
-                f"workload {name!r} produced no L1 miss events; nothing to analyze"
-            )
+            if self.strict:
+                raise AnalysisError(
+                    f"workload {name!r} produced no L1 miss events; nothing to analyze"
+                )
         return self.analyze(profile, workload_name=name)

@@ -9,9 +9,92 @@ loops flagged as conflicting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.classifier import Implication
+
+
+@dataclass
+class DataQuality:
+    """Health of the observation channel behind one report.
+
+    Populated by the offline analyzer so a reader can judge how much to
+    trust the verdicts: a report built from a truncated run with 30% of
+    its samples dropped is still *useful* (the paper's sparse-sampling
+    claim), but its marginal loops deserve skepticism.
+
+    Attributes:
+        samples_seen: Samples that reached the analyzer.
+        events_seen: Qualifying PMU events the run counted.
+        samples_dropped: Samples lost in the channel (fault injection or
+            PMU backpressure) — difference between captured and analyzed.
+        samples_quarantined: Records discarded as damaged during ingestion
+            (trace salvage, malformed log lines).
+        injected_faults: Fault-injection counts per fault name, when a
+            :class:`~repro.robustness.faults.FaultPipeline` was active.
+        truncated: The profiling run stopped early (watchdog budget).
+        truncation_reason: Which budget fired.
+        min_loop_samples: Smallest sample count among analyzed hot loops.
+        low_confidence_loops: Hot loops whose sample count fell below the
+            confidence floor; their verdicts are downgraded, not dropped.
+        warnings: Human-readable degradation notes.
+    """
+
+    samples_seen: int = 0
+    events_seen: int = 0
+    samples_dropped: int = 0
+    samples_quarantined: int = 0
+    injected_faults: Dict[str, int] = field(default_factory=dict)
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
+    min_loop_samples: Optional[int] = None
+    low_confidence_loops: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything about the channel was less than perfect."""
+        return bool(
+            self.samples_dropped
+            or self.samples_quarantined
+            or self.injected_faults
+            or self.truncated
+            or self.low_confidence_loops
+            or self.warnings
+        )
+
+    def warn(self, message: str) -> None:
+        """Record one degradation note (deduplicated, order-preserving)."""
+        if message not in self.warnings:
+            self.warnings.append(message)
+
+    def render_lines(self) -> List[str]:
+        """Text rendering for :meth:`ConflictReport.render`."""
+        status = "DEGRADED" if self.degraded else "clean"
+        lines = [f"  data quality: {status}"]
+        lines.append(
+            f"    samples seen: {self.samples_seen}"
+            f"  dropped: {self.samples_dropped}"
+            f"  quarantined: {self.samples_quarantined}"
+        )
+        if self.injected_faults:
+            parts = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.injected_faults.items())
+            )
+            lines.append(f"    injected faults: {parts}")
+        if self.truncated:
+            lines.append(f"    run truncated: {self.truncation_reason}")
+        if self.min_loop_samples is not None:
+            lines.append(f"    min samples per hot loop: {self.min_loop_samples}")
+        if self.low_confidence_loops:
+            lines.append(
+                "    low-confidence loops: "
+                + ", ".join(self.low_confidence_loops)
+            )
+        for warning in self.warnings:
+            lines.append(f"    warning: {warning}")
+        return lines
 
 
 @dataclass
@@ -44,6 +127,9 @@ class LoopReport:
         probability: Classifier P(conflict) (None when unclassified).
         has_conflict: Final binary verdict.
         implication: Table 1 guidance row.
+        confidence: ``"high"`` normally; ``"low"`` when the loop's sample
+            count fell below the analyzer's confidence floor (the verdict
+            stands but is flagged).
         data_structures: Responsible data structures, largest first.
     """
 
@@ -56,11 +142,14 @@ class LoopReport:
     probability: Optional[float] = None
     has_conflict: bool = False
     implication: Implication = Implication.NO_CONFLICT
+    confidence: str = "high"
     data_structures: List[DataStructureReport] = field(default_factory=list)
 
     def describe(self) -> str:
         """One-line rendering for the text report."""
         verdict = "CONFLICT" if self.has_conflict else "ok"
+        if self.confidence != "high":
+            verdict += "?"
         rcd = f"{self.mean_rcd:.1f}" if self.mean_rcd is not None else "-"
         probability = f"{self.probability:.2f}" if self.probability is not None else "-"
         return (
@@ -80,6 +169,7 @@ class ConflictReport:
     total_events: int
     rcd_threshold: int
     loops: List[LoopReport] = field(default_factory=list)
+    data_quality: Optional[DataQuality] = None
 
     def conflicting_loops(self) -> List[LoopReport]:
         """Loops the classifier flagged."""
@@ -117,4 +207,7 @@ class ConflictReport:
                 )
         if not self.loops:
             lines.append("  (no hot loops above the reporting threshold)")
+        if self.data_quality is not None:
+            lines.append("")
+            lines.extend(self.data_quality.render_lines())
         return "\n".join(lines)

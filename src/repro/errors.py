@@ -3,38 +3,104 @@
 Every error raised intentionally by this library derives from
 :class:`ReproError` so callers can catch library failures without also
 swallowing programming mistakes such as :class:`TypeError`.
+
+Each error family carries a short machine-readable ``code`` (a class
+attribute) and a stable process ``exit_code``.  The CLI maps uncaught
+:class:`ReproError` subclasses onto these exit codes so scripts can
+distinguish, say, a corrupt trace (``trace``) from an exhausted PMU attach
+retry loop (``retry``) without parsing stderr.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes:
+        code: Short machine-readable family identifier (stable API).
+        exit_code: Process exit status the CLI uses for this family.
+    """
+
+    code: str = "repro"
+    exit_code: int = 1
 
 
 class GeometryError(ReproError):
     """Raised for invalid cache geometry (non-power-of-two sizes, etc.)."""
 
+    code = "geometry"
+    exit_code = 2
+
 
 class AllocationError(ReproError):
     """Raised for invalid virtual-heap operations (double free, overlap)."""
+
+    code = "allocation"
+    exit_code = 3
 
 
 class TraceError(ReproError):
     """Raised for malformed traces or trace files."""
 
+    code = "trace"
+    exit_code = 4
+
 
 class ProgramImageError(ReproError):
     """Raised for malformed program images or CFGs."""
+
+    code = "image"
+    exit_code = 5
 
 
 class SamplingError(ReproError):
     """Raised for invalid PMU sampling configuration."""
 
+    code = "sampling"
+    exit_code = 6
+
 
 class AnalysisError(ReproError):
     """Raised when offline analysis cannot proceed (missing data, etc.)."""
 
+    code = "analysis"
+    exit_code = 7
+
 
 class ModelError(ReproError):
     """Raised for invalid statistical-model configuration or unfit models."""
+
+    code = "model"
+    exit_code = 8
+
+
+class DataQualityError(ReproError):
+    """Raised in strict mode when the observation channel is too degraded.
+
+    Lenient pipelines downgrade the same conditions to warnings in the
+    report's :class:`~repro.core.report.DataQuality` section instead.
+    """
+
+    code = "data-quality"
+    exit_code = 9
+
+
+class RetryExhaustedError(ReproError):
+    """Raised when a retried operation failed on every allowed attempt.
+
+    Attributes:
+        attempts: How many attempts were made.
+        last_error: The exception raised by the final attempt (also the
+            ``__cause__`` when raised via :func:`repro.robustness.retry`).
+    """
+
+    code = "retry"
+    exit_code = 10
+
+    def __init__(
+        self, message: str, *, attempts: int = 0, last_error: Exception = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

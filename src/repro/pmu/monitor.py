@@ -11,17 +11,24 @@ virtual allocator, and its program image — and produces a
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.errors import SamplingError
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.pmu.sampler import AddressSample, AddressSampler, SamplingResult
 from repro.program.image import ProgramImage
+from repro.robustness.budget import SamplingBudget
+from repro.robustness.retry import RetryPolicy, retry_with_backoff
 from repro.trace.allocator import VirtualAllocator
 from repro.trace.record import MemoryAccess
+
+
+def _no_sleep(_delay: float) -> None:
+    """Default backoff sleep: simulated runs should not wall-clock wait."""
 
 
 @dataclass
@@ -33,11 +40,16 @@ class RawProfile:
         allocator: The allocation log captured during the run.
         image: Program image for code-centric attribution (may be None for
             fully anonymous binaries).
+        fault_report: Injection diagnostics when the sample stream was
+            passed through a :class:`~repro.robustness.faults.FaultPipeline`
+            (None for clean runs); typed loosely to keep this module free
+            of a robustness dependency.
     """
 
     sampling: SamplingResult
     allocator: Optional[VirtualAllocator] = None
     image: Optional[ProgramImage] = None
+    fault_report: Optional[object] = None
 
     def dump_samples(self, path: Union[str, Path]) -> int:
         """Serialize samples to a JSON-lines log file.
@@ -54,6 +66,8 @@ class RawProfile:
                 "num_sets": self.sampling.geometry.num_sets,
                 "line_size": self.sampling.geometry.line_size,
                 "ways": self.sampling.geometry.ways,
+                "truncated": self.sampling.truncated,
+                "truncation_reason": self.sampling.truncation_reason,
             }
             handle.write(json.dumps({"header": header}) + "\n")
             for sample in self.sampling.samples:
@@ -95,6 +109,8 @@ class RawProfile:
                     total_accesses=header["total_accesses"],
                     mean_period=header["mean_period"],
                     geometry=geometry,
+                    truncated=bool(header.get("truncated", False)),
+                    truncation_reason=header.get("truncation_reason"),
                 )
             except KeyError as exc:
                 raise SamplingError(f"{path}: header missing field {exc}") from exc
@@ -127,6 +143,16 @@ class MonitorSession:
             uniform jitter — the paper's recommended setting).
         seed: Sampler RNG seed.
         policy: L1 replacement policy.
+        attach_failure_rate: Probability that one simulated PMU attach
+            attempt fails (``perf_event_open`` losing the race for a
+            counter).  Attach is retried with jittered exponential backoff;
+            the default 0.0 keeps clean runs deterministic and unchanged.
+        retry_policy: Backoff schedule for flaky attach.
+        budget: Watchdog limits forwarded to the sampler; exhaustion yields
+            a truncated partial profile instead of a hang.
+        sleep: Backoff sleep function.  Defaults to a no-op because the
+            whole session is simulated time; pass ``time.sleep`` to model
+            real waiting.
     """
 
     def __init__(
@@ -135,11 +161,40 @@ class MonitorSession:
         period: Optional[PeriodDistribution] = None,
         seed: int = 0,
         policy: str = "lru",
+        attach_failure_rate: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        budget: Optional[SamplingBudget] = None,
+        sleep: Callable[[float], None] = _no_sleep,
     ) -> None:
+        if not 0.0 <= attach_failure_rate <= 1.0:
+            raise SamplingError(
+                f"attach_failure_rate must be in [0, 1], got {attach_failure_rate}"
+            )
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
         self.seed = seed
         self.policy = policy
+        self.attach_failure_rate = attach_failure_rate
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.budget = budget
+        self.attach_attempts = 0
+        self._sleep = sleep
+        # Dedicated stream so attach flakiness never perturbs sampling.
+        self._attach_rng = random.Random((seed << 1) ^ 0x5EED)
+
+    def attach(self) -> None:
+        """One simulated PMU attach attempt (may raise :class:`SamplingError`).
+
+        Models the transient failure modes of ``perf_event_open`` + ring
+        buffer mmap: with probability :attr:`attach_failure_rate` the
+        counter is busy and the attempt fails.
+        """
+        self.attach_attempts += 1
+        if self._attach_rng.random() < self.attach_failure_rate:
+            raise SamplingError(
+                "simulated PMU attach failure: counter busy "
+                f"(attempt {self.attach_attempts})"
+            )
 
     def profile(
         self,
@@ -148,12 +203,26 @@ class MonitorSession:
         allocator: Optional[VirtualAllocator] = None,
         image: Optional[ProgramImage] = None,
     ) -> RawProfile:
-        """Run one profiled execution over ``stream``."""
+        """Run one profiled execution over ``stream``.
+
+        Raises:
+            RetryExhaustedError: When simulated attach failed on every
+                allowed attempt.
+        """
+        if self.attach_failure_rate > 0.0:
+            retry_with_backoff(
+                self.attach,
+                policy=self.retry_policy,
+                retry_on=(SamplingError,),
+                rng=self._attach_rng,
+                sleep=self._sleep,
+            )
         sampler = AddressSampler(
             geometry=self.geometry,
             period=self.period,
             seed=self.seed,
             policy=self.policy,
+            budget=self.budget,
         )
         return RawProfile(
             sampling=sampler.run(stream), allocator=allocator, image=image

@@ -10,6 +10,7 @@ geometric (memoryless) alternatives for the ablation study.
 
 from __future__ import annotations
 
+import math
 import random
 from abc import ABC, abstractmethod
 
@@ -99,8 +100,6 @@ class GeometricPeriod(PeriodDistribution):
 
     def next_period(self, rng: random.Random) -> int:
         # Inverse-CDF draw of a geometric distribution with support {1, 2, ...}.
-        import math
-
         u = rng.random()
         if self._probability >= 1.0:
             return 1

@@ -17,6 +17,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.pmu.event import L1_MISS_EVENT, PmuEvent
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
+from repro.robustness.budget import SamplingBudget
 from repro.trace.record import MemoryAccess
 
 
@@ -48,6 +49,9 @@ class SamplingResult:
         total_accesses: Length of the driven trace.
         mean_period: Mean of the configured period distribution.
         geometry: L1 geometry the run used (needed for set attribution).
+        truncated: True when a watchdog budget stopped the run before the
+            trace was exhausted (the profile is a valid prefix).
+        truncation_reason: Which budget fired (None when not truncated).
     """
 
     samples: List[AddressSample] = field(default_factory=list)
@@ -55,6 +59,8 @@ class SamplingResult:
     total_accesses: int = 0
     mean_period: float = 0.0
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
 
     @property
     def sample_count(self) -> int:
@@ -86,6 +92,11 @@ class AddressSampler:
         event: Which event to sample (default L1 load misses).
         seed: RNG seed — runs are reproducible.
         policy: L1 replacement policy.
+        rng: Explicit period RNG; overrides ``seed`` when given.  A fresh
+            clone is *not* taken per run in this mode, so pass a dedicated
+            instance when determinism across repeated runs matters.
+        budget: Watchdog limits; when a limit fires the run stops early and
+            the result is flagged ``truncated``.
     """
 
     def __init__(
@@ -95,23 +106,42 @@ class AddressSampler:
         event: PmuEvent = L1_MISS_EVENT,
         seed: int = 0,
         policy: str = "lru",
+        rng: Optional[random.Random] = None,
+        budget: Optional[SamplingBudget] = None,
     ) -> None:
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
         self.event = event
         self.policy = policy
+        self.budget = budget
         self._seed = seed
+        self._rng = rng
 
-    def run(self, stream: Iterable[MemoryAccess]) -> SamplingResult:
+    def _fresh_rng(self) -> random.Random:
+        """Per-run RNG: the explicit instance, or a fresh seeded one."""
+        return self._rng if self._rng is not None else random.Random(self._seed)
+
+    def run(
+        self,
+        stream: Iterable[MemoryAccess],
+        budget: Optional[SamplingBudget] = None,
+    ) -> SamplingResult:
         """Profile a trace; returns the sparse sample record.
 
         A fresh cache and RNG are created per run so repeated runs with the
-        same seed are bit-identical.
+        same seed are bit-identical.  A ``budget`` (argument or constructor
+        default) bounds the run; exhaustion yields a truncated-but-valid
+        prefix profile rather than an error.
         """
-        rng = random.Random(self._seed)
+        rng = self._fresh_rng()
         cache = SetAssociativeCache(self.geometry, policy=self.policy)
         result = SamplingResult(
             mean_period=self.period.mean_period, geometry=self.geometry
+        )
+        budget = budget or self.budget
+        tracker = (
+            budget.tracker() if budget is not None and not budget.unlimited
+            else None
         )
         countdown = self.period.next_period(rng)
         event_matches = self.event.matches
@@ -134,6 +164,14 @@ class AddressSampler:
                     )
                     countdown = self.period.next_period(rng)
             access_index += 1
+            if tracker is not None:
+                reason = tracker.exhausted_after(
+                    access_index, event_index, len(result.samples)
+                )
+                if reason is not None:
+                    result.truncated = True
+                    result.truncation_reason = reason
+                    break
         result.total_events = event_index
         result.total_accesses = access_index
         return result
@@ -147,7 +185,7 @@ class AddressSampler:
             full stream gives ground-truth RCDs, the samples give CCProf's
             approximation, from the *same* execution.
         """
-        rng = random.Random(self._seed)
+        rng = self._fresh_rng()
         cache = SetAssociativeCache(self.geometry, policy=self.policy)
         result = SamplingResult(
             mean_period=self.period.mean_period, geometry=self.geometry

@@ -1,0 +1,55 @@
+"""Robustness toolkit: fault injection, retry, and sampling budgets.
+
+The paper's central claim is that conflict detection survives a *lossy*
+observation channel.  This package makes the channel's loss explicit and
+controllable:
+
+- :mod:`repro.robustness.faults` — seeded, composable injectors that
+  recreate real PEBS pathologies (drop, burst loss, IP skid, address
+  corruption, duplication, truncation, interleave jitter) on any record
+  stream.
+- :mod:`repro.robustness.retry` — jittered exponential backoff for flaky
+  operations such as PMU attach.
+- :mod:`repro.robustness.budget` — event/deadline watchdog budgets that
+  turn runaway profiling runs into partial, flagged profiles.
+"""
+
+from repro.robustness.budget import BudgetTracker, SamplingBudget
+from repro.robustness.faults import (
+    FAULT_NAMES,
+    BitflipInjector,
+    BurstDropInjector,
+    DropInjector,
+    DuplicateInjector,
+    FaultInjector,
+    FaultPipeline,
+    FaultReport,
+    JitterInjector,
+    SkidInjector,
+    TruncateInjector,
+    default_pipeline,
+    make_injector,
+    parse_fault_specs,
+)
+from repro.robustness.retry import RetryPolicy, retry_with_backoff
+
+__all__ = [
+    "BitflipInjector",
+    "BudgetTracker",
+    "BurstDropInjector",
+    "DropInjector",
+    "DuplicateInjector",
+    "FAULT_NAMES",
+    "FaultInjector",
+    "FaultPipeline",
+    "FaultReport",
+    "JitterInjector",
+    "RetryPolicy",
+    "SamplingBudget",
+    "SkidInjector",
+    "TruncateInjector",
+    "default_pipeline",
+    "make_injector",
+    "parse_fault_specs",
+    "retry_with_backoff",
+]

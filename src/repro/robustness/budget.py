@@ -1,0 +1,112 @@
+"""Sampler watchdog budgets.
+
+A production profiler cannot assume the target terminates: runaway loops,
+hung threads, and pathological traces all need a bound after which the
+profiler stops observing and yields whatever partial profile it has — the
+offline analyzer then reports best-effort results with a
+``DataQuality.truncated`` warning instead of hanging or dying.
+
+:class:`SamplingBudget` is the immutable configuration;
+:meth:`SamplingBudget.tracker` mints a per-run :class:`BudgetTracker`
+that the sampler charges as it consumes the trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SamplingError
+
+#: How many accesses pass between deadline (clock) checks — reading the
+#: clock per access would dominate the sampler's hot loop.
+_DEADLINE_CHECK_STRIDE = 1024
+
+
+@dataclass(frozen=True)
+class SamplingBudget:
+    """Limits on one profiling run.  ``None`` means unlimited.
+
+    Attributes:
+        max_accesses: Stop after this many trace records.
+        max_events: Stop after this many qualifying PMU events.
+        max_samples: Stop after capturing this many samples.
+        deadline_seconds: Wall-clock budget for the run.
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    max_accesses: Optional[int] = None
+    max_events: Optional[int] = None
+    max_samples: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("max_accesses", "max_events", "max_samples"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise SamplingError(f"{name} must be >= 1, got {value}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise SamplingError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no limit is configured (the tracker short-circuits)."""
+        return (
+            self.max_accesses is None
+            and self.max_events is None
+            and self.max_samples is None
+            and self.deadline_seconds is None
+        )
+
+    def tracker(self) -> "BudgetTracker":
+        """Start the clock on a fresh per-run tracker."""
+        return BudgetTracker(self)
+
+
+class BudgetTracker:
+    """Mutable per-run state for one :class:`SamplingBudget`.
+
+    The sampler calls :meth:`exhausted_after` once per trace record; the
+    first limit hit is latched in :attr:`reason` and reported in the
+    profile's data-quality section.
+    """
+
+    def __init__(self, budget: SamplingBudget) -> None:
+        self.budget = budget
+        self.reason: Optional[str] = None
+        self._started_at = budget.clock() if budget.deadline_seconds else 0.0
+        self._accesses_until_clock_check = _DEADLINE_CHECK_STRIDE
+
+    def exhausted_after(
+        self, accesses: int, events: int, samples: int
+    ) -> Optional[str]:
+        """Check limits given the run's counters; returns the latched reason.
+
+        Args:
+            accesses: Trace records consumed so far.
+            events: Qualifying PMU events seen so far.
+            samples: Samples captured so far.
+        """
+        if self.reason is not None:
+            return self.reason
+        budget = self.budget
+        if budget.max_accesses is not None and accesses >= budget.max_accesses:
+            self.reason = f"access budget exhausted ({budget.max_accesses})"
+        elif budget.max_events is not None and events >= budget.max_events:
+            self.reason = f"event budget exhausted ({budget.max_events})"
+        elif budget.max_samples is not None and samples >= budget.max_samples:
+            self.reason = f"sample budget exhausted ({budget.max_samples})"
+        elif budget.deadline_seconds is not None:
+            self._accesses_until_clock_check -= 1
+            if self._accesses_until_clock_check <= 0:
+                self._accesses_until_clock_check = _DEADLINE_CHECK_STRIDE
+                elapsed = budget.clock() - self._started_at
+                if elapsed >= budget.deadline_seconds:
+                    self.reason = (
+                        f"deadline exceeded ({budget.deadline_seconds}s)"
+                    )
+        return self.reason

@@ -1,0 +1,117 @@
+"""Retry with jittered exponential backoff.
+
+Real PMU attach (``perf_event_open`` + ring-buffer mmap per thread) fails
+transiently all the time — the counter is taken, the target raced an exec,
+the watchdog throttled the event.  libmonitor-style tooling retries with
+backoff rather than aborting the whole profiled run.  This module provides
+the policy object and driver used by
+:class:`repro.pmu.monitor.MonitorSession` for its simulated flaky attach,
+deterministic under an explicit RNG/seed so chaos tests can count sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ReproError, RetryExhaustedError, SamplingError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff schedule.
+
+    Delay before attempt ``n`` (1-based; the first attempt has no delay) is
+    ``min(base_delay * multiplier**(n - 2), max_delay)`` scaled by a uniform
+    jitter factor in ``[1 - jitter, 1 + jitter]``.
+
+    Attributes:
+        max_attempts: Total attempts, including the first.
+        base_delay: Delay after the first failure (seconds).
+        max_delay: Backoff ceiling (seconds).
+        multiplier: Exponential growth factor.
+        jitter: Fractional uniform jitter applied to every delay.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SamplingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SamplingError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise SamplingError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise SamplingError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_before(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay before 1-based ``attempt`` (0.0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        raw = self.base_delay * self.multiplier ** (attempt - 2)
+        capped = min(raw, self.max_delay)
+        scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return capped * scale
+
+
+def retry_with_backoff(
+    operation: Callable[[], T],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> T:
+    """Call ``operation`` until it succeeds or the policy is exhausted.
+
+    Args:
+        operation: Zero-argument callable to retry.
+        policy: Backoff schedule (default :class:`RetryPolicy`).
+        retry_on: Exception types that trigger a retry; anything else
+            propagates immediately.
+        rng: Jitter RNG; built from ``seed`` when omitted.
+        sleep: Sleep function (inject a no-op for simulated time).
+        on_retry: Optional observer called as ``(attempt, error, delay)``
+            after each failed attempt that will be retried.
+
+    Returns:
+        Whatever ``operation`` returns.
+
+    Raises:
+        RetryExhaustedError: After ``policy.max_attempts`` failures; the
+            final failure is chained as ``__cause__`` and ``last_error``.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random.Random(seed)
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return operation()
+        except retry_on as error:
+            last_error = error
+            if attempt < policy.max_attempts:
+                delay = policy.delay_before(attempt + 1, rng)
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                if delay > 0.0:
+                    sleep(delay)
+    raise RetryExhaustedError(
+        f"operation failed after {policy.max_attempts} attempts: {last_error}",
+        attempts=policy.max_attempts,
+        last_error=last_error,
+    ) from last_error

@@ -97,6 +97,98 @@ class TestPhasesCommand:
             assert _resolve_workload(name) is not None
 
 
+class TestExitCodes:
+    """Each error family maps to its own nonzero exit code."""
+
+    def test_unknown_workload_is_repro_family(self, capsys):
+        assert main(["analyze", "quake"]) == 1
+        assert "[repro]" in capsys.readouterr().err
+
+    def test_corrupt_trace_strict_is_trace_family(self, tmp_path, capsys):
+        trace = tmp_path / "bad.din"
+        trace.write_text("0 zznotahex\n")
+        assert main(["simulate", str(trace), "--strict"]) == 4
+        assert "[trace]" in capsys.readouterr().err
+
+    def test_bad_cache_spec_is_trace_family(self, tmp_path, capsys):
+        trace = tmp_path / "t.din"
+        write_dinero_trace(trace, [make_load(0x1000)])
+        assert main(["simulate", str(trace), "--cache", "nonsense"]) == 4
+        assert "[trace]" in capsys.readouterr().err
+
+    def test_bad_inject_spec_is_sampling_family(self, capsys):
+        code = main(["analyze", "adi", "--inject", "cosmic-ray"])
+        assert code == 6
+        assert "[sampling]" in capsys.readouterr().err
+
+    def test_errors_never_print_tracebacks(self, tmp_path, capsys):
+        trace = tmp_path / "bad.din"
+        trace.write_text("garbage line here\n" * 3)
+        main(["simulate", str(trace), "--strict"])
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert err.startswith("ccprof: error")
+
+
+class TestStrictLenient:
+    def test_lenient_is_the_default_for_simulate(self, tmp_path, capsys):
+        trace = tmp_path / "t.din"
+        trace.write_text("0 1000\n0 zznotahex\n0 2000\n")
+        assert main(["simulate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace salvage" in out
+        assert "quarantined 1" in out
+
+    def test_clean_trace_prints_no_salvage_line(self, tmp_path, capsys):
+        trace = tmp_path / "t.din"
+        write_dinero_trace(trace, [make_load(i * 64) for i in range(8)])
+        assert main(["simulate", str(trace)]) == 0
+        assert "trace salvage" not in capsys.readouterr().out
+
+    def test_strict_and_lenient_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "t.din", "--strict", "--lenient"])
+
+
+class TestFaultInjectionFlags:
+    def test_analyze_with_injection_reports_fault_stats(self, capsys):
+        code = main(
+            ["analyze", "symmetrization", "--period", "50",
+             "--inject", "drop:0.2,skid:1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected faults" in out
+        assert "drop=" in out and "skid=" in out
+        assert "DEGRADED" in out
+
+    def test_profile_with_injection_prints_fault_line(self, capsys):
+        code = main(
+            ["profile", "symmetrization", "--period", "50",
+             "--inject", "drop:0.5"]
+        )
+        assert code == 0
+        assert "injected faults:" in capsys.readouterr().out
+
+    def test_profile_max_events_budget_truncates(self, capsys):
+        code = main(
+            ["profile", "symmetrization", "--period", "50",
+             "--max-events", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run truncated: event budget" in out
+        assert "200 L1 miss events" in out
+
+    def test_injection_is_seeded_and_reproducible(self, capsys):
+        argv = ["profile", "adi", "--period", "50",
+                "--inject", "drop:0.3", "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestCompareCommand:
     def test_compare_shows_improvement(self, capsys):
         assert main(["compare", "symmetrization", "--period", "101"]) == 0

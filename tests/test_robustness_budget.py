@@ -1,0 +1,111 @@
+"""Tests for repro.robustness.budget and the sampler watchdog."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from repro.robustness.budget import SamplingBudget
+from tests.conftest import make_load
+
+
+def endless_trace():
+    """An infinite conflict trace — the runaway target a watchdog exists for.
+
+    Sixteen lines folding onto one 8-way set, so every access past warm-up
+    is an L1 miss and the event counter keeps climbing.
+    """
+    mapping_period = 64 * 64  # line_size * num_sets of the default geometry
+    for i in itertools.count():
+        yield make_load(0x1000 + (i % 16) * mapping_period)
+
+
+class TestSamplingBudget:
+    def test_unlimited_by_default(self):
+        assert SamplingBudget().unlimited
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(SamplingError):
+            SamplingBudget(max_events=0)
+        with pytest.raises(SamplingError):
+            SamplingBudget(deadline_seconds=0.0)
+
+    def test_tracker_latches_first_reason(self):
+        tracker = SamplingBudget(max_events=10, max_accesses=10).tracker()
+        assert tracker.exhausted_after(10, 3, 0) is not None
+        first = tracker.reason
+        # Later calls keep reporting the original cause.
+        assert tracker.exhausted_after(10_000, 10_000, 10_000) == first
+
+
+class TestSamplerWatchdog:
+    def test_event_budget_truncates_run(self):
+        sampler = AddressSampler(
+            period=FixedPeriod(5), budget=SamplingBudget(max_events=100)
+        )
+        result = sampler.run(endless_trace())
+        assert result.truncated
+        assert "event budget" in result.truncation_reason
+        assert result.total_events == 100
+        assert result.samples  # the prefix profile is still usable
+
+    def test_access_budget_truncates_run(self):
+        sampler = AddressSampler(period=FixedPeriod(5))
+        result = sampler.run(
+            endless_trace(), budget=SamplingBudget(max_accesses=5000)
+        )
+        assert result.truncated
+        assert result.total_accesses == 5000
+
+    def test_sample_budget_truncates_run(self):
+        result = AddressSampler(period=FixedPeriod(5)).run(
+            endless_trace(), budget=SamplingBudget(max_samples=7)
+        )
+        assert result.truncated
+        assert len(result.samples) == 7
+
+    def test_deadline_uses_injected_clock(self):
+        ticks = iter(x * 0.25 for x in itertools.count())
+        budget = SamplingBudget(
+            deadline_seconds=0.5, clock=lambda: next(ticks)
+        )
+        result = AddressSampler(period=FixedPeriod(5)).run(
+            endless_trace(), budget=budget
+        )
+        assert result.truncated
+        assert "deadline" in result.truncation_reason
+
+    def test_finite_trace_within_budget_is_not_truncated(self):
+        trace = [make_load(0x1000 + 64 * i) for i in range(100)]
+        result = AddressSampler(period=FixedPeriod(5)).run(
+            iter(trace), budget=SamplingBudget(max_events=10_000)
+        )
+        assert not result.truncated
+        assert result.truncation_reason is None
+        assert result.total_accesses == 100
+
+    def test_unlimited_budget_short_circuits(self):
+        trace = [make_load(0x1000 + 64 * i) for i in range(50)]
+        with_budget = AddressSampler(period=FixedPeriod(5)).run(
+            iter(trace), budget=SamplingBudget()
+        )
+        without = AddressSampler(period=FixedPeriod(5)).run(iter(trace))
+        assert with_budget.samples == without.samples
+
+    def test_truncation_survives_profile_round_trip(self, tmp_path):
+        from repro.pmu.monitor import MonitorSession, RawProfile
+
+        session = MonitorSession(
+            period=FixedPeriod(5), budget=SamplingBudget(max_events=50)
+        )
+        profile = session.profile(endless_trace())
+        assert profile.sampling.truncated
+        path = tmp_path / "truncated.jsonl"
+        profile.dump_samples(path)
+        loaded = RawProfile.load_samples(path)
+        assert loaded.sampling.truncated
+        assert loaded.sampling.truncation_reason == (
+            profile.sampling.truncation_reason
+        )

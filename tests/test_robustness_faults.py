@@ -1,0 +1,185 @@
+"""Tests for repro.robustness.faults."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.pmu.sampler import AddressSample
+from repro.robustness.faults import (
+    FAULT_NAMES,
+    BitflipInjector,
+    BurstDropInjector,
+    DropInjector,
+    DuplicateInjector,
+    FaultPipeline,
+    JitterInjector,
+    SkidInjector,
+    TruncateInjector,
+    default_pipeline,
+    make_injector,
+    parse_fault_specs,
+)
+from tests.conftest import make_load
+
+
+def samples(count):
+    return [
+        AddressSample(ip=0x1000 + i, address=0x2000 + 64 * i,
+                      event_index=i, access_index=i)
+        for i in range(count)
+    ]
+
+
+class TestDropInjector:
+    def test_drops_about_the_requested_fraction(self):
+        out, dropped = DropInjector(0.3).apply(samples(2000), random.Random(1))
+        assert dropped == 2000 - len(out)
+        assert 0.2 < dropped / 2000 < 0.4
+
+    def test_zero_probability_is_identity(self):
+        records = samples(50)
+        out, dropped = DropInjector(0.0).apply(records, random.Random(1))
+        assert out == records and dropped == 0
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SamplingError):
+            DropInjector(1.5)
+
+
+class TestBurstDropInjector:
+    def test_drops_contiguous_runs(self):
+        records = samples(500)
+        out, dropped = BurstDropInjector(0.02, burst=16).apply(
+            records, random.Random(7)
+        )
+        assert dropped == 500 - len(out)
+        assert dropped > 0
+        # Survivors keep their original relative order.
+        indices = [record.event_index for record in out]
+        assert indices == sorted(indices)
+
+    def test_burst_length_validated(self):
+        with pytest.raises(SamplingError):
+            BurstDropInjector(0.1, burst=0)
+
+
+class TestSkidInjector:
+    def test_ips_move_forward_only(self):
+        records = samples(200)
+        out, skidded = SkidInjector(3).apply(records, random.Random(2))
+        assert len(out) == len(records)
+        for before, after in zip(records, out):
+            assert before.ip <= after.ip <= before.ip + 3
+            assert after.address == before.address
+        assert skidded == sum(
+            1 for b, a in zip(records, out) if a.ip != b.ip
+        )
+
+    def test_zero_skid_is_identity(self):
+        records = samples(10)
+        out, skidded = SkidInjector(0).apply(records, random.Random(2))
+        assert out == records and skidded == 0
+
+
+class TestBitflipInjector:
+    def test_flips_exactly_one_bit_when_it_fires(self):
+        records = samples(400)
+        out, corrupted = BitflipInjector(0.5).apply(records, random.Random(3))
+        changed = [
+            (b, a) for b, a in zip(records, out) if a.address != b.address
+        ]
+        assert len(changed) == corrupted > 0
+        for before, after in changed:
+            assert bin(before.address ^ after.address).count("1") == 1
+
+
+class TestDuplicateInjector:
+    def test_duplicates_are_adjacent(self):
+        records = samples(300)
+        out, duplicated = DuplicateInjector(0.2).apply(records, random.Random(4))
+        assert len(out) == len(records) + duplicated > len(records)
+        seen_twice = sum(
+            1 for i in range(1, len(out)) if out[i] is out[i - 1]
+        )
+        assert seen_twice == duplicated
+
+
+class TestTruncateInjector:
+    def test_keeps_exact_prefix(self):
+        records = samples(100)
+        out, removed = TruncateInjector(0.6).apply(records, random.Random(5))
+        assert out == records[:60] and removed == 40
+
+    def test_keep_fraction_validated(self):
+        with pytest.raises(SamplingError):
+            TruncateInjector(0.0)
+
+
+class TestJitterInjector:
+    def test_reorders_only_within_windows(self):
+        records = samples(64)
+        out, displaced = JitterInjector(8).apply(records, random.Random(6))
+        assert sorted(out) == sorted(records)
+        assert displaced > 0
+        for start in range(0, 64, 8):
+            assert set(out[start : start + 8]) == set(records[start : start + 8])
+
+
+class TestFaultPipeline:
+    def test_parse_spec_builds_ordered_injectors(self):
+        pipeline = FaultPipeline.parse("drop:0.2,skid:1")
+        assert [inj.name for inj in pipeline.injectors] == ["drop", "skid"]
+
+    def test_deterministic_under_fixed_seed(self):
+        records = samples(500)
+        first = FaultPipeline.parse("drop:0.3,skid:2,bitflip:0.1", seed=9)
+        second = FaultPipeline.parse("drop:0.3,skid:2,bitflip:0.1", seed=9)
+        assert first.apply(records) == second.apply(records)
+
+    def test_different_seeds_differ(self):
+        records = samples(500)
+        a = FaultPipeline.parse("drop:0.3", seed=1).apply(records)
+        b = FaultPipeline.parse("drop:0.3", seed=2).apply(records)
+        assert a != b
+
+    def test_report_accounts_for_stream_delta(self):
+        pipeline = FaultPipeline.parse("drop:0.25,dup:0.1", seed=0)
+        out = pipeline.apply(samples(1000))
+        report = pipeline.last_report
+        assert report.records_in == 1000
+        assert report.records_out == len(out)
+        assert set(report.injected) == {"drop", "dup"}
+        assert (
+            1000 - report.injected["drop"] + report.injected["dup"]
+            == len(out)
+        )
+
+    def test_works_on_memory_access_streams_too(self):
+        trace = [make_load(0x1000 + 64 * i) for i in range(100)]
+        out = FaultPipeline.parse("drop:0.5,skid:1", seed=0).apply(trace)
+        assert 0 < len(out) < 100
+
+    def test_every_registered_fault_has_a_default(self):
+        for name in FAULT_NAMES:
+            pipeline = default_pipeline(name)
+            out = pipeline.apply(samples(200))
+            assert isinstance(out, list)
+            assert name in pipeline.last_report.injected
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SamplingError, match="unknown fault"):
+            make_injector("cosmic-ray")
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(SamplingError, match="bad fault parameter"):
+            parse_fault_specs("drop:lots")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SamplingError, match="empty fault spec"):
+            parse_fault_specs(" , ")
+
+    def test_describe_mentions_counts(self):
+        pipeline = FaultPipeline.parse("drop:0.5", seed=0)
+        pipeline.apply(samples(100))
+        assert "drop=" in pipeline.last_report.describe()

@@ -1,0 +1,184 @@
+"""Chaos suite: the end-to-end pipeline under injected channel faults.
+
+Directly exercises the paper's sparse-sampling robustness claim: CCProf's
+verdicts are built to survive a lossy observation channel, so under every
+fault class at its default severity the pipeline must (a) complete without
+an unhandled exception, (b) emit a populated data-quality section, and
+(c) degrade classifier F1 on the labelled seed corpus by a bounded amount
+rather than collapsing.
+
+Select just this suite with ``pytest -m chaos`` (or ``make chaos``).
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.profiler import CCProf
+from repro.pmu.periods import FixedPeriod
+from repro.robustness.budget import SamplingBudget
+from repro.robustness.faults import FAULT_NAMES, FaultPipeline, default_pipeline
+from repro.stats.validation import f1_score
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.training import training_loops
+
+pytestmark = pytest.mark.chaos
+
+#: Corpus iterations — small enough to keep the suite quick, large enough
+#: that the clean run classifies the full corpus perfectly.
+CORPUS_REPEATS = 12
+CORPUS_PERIOD = 13
+CORPUS_SEED = 7
+
+GEOMETRY = CacheGeometry()
+
+
+def corpus_f1(inject_spec=None):
+    """Classifier F1 over the 16 labelled seed loops, optionally faulted."""
+    predictions, labels = [], []
+    for loop in training_loops(GEOMETRY, repeats=CORPUS_REPEATS):
+        inject = (
+            FaultPipeline.parse(inject_spec, seed=CORPUS_SEED)
+            if inject_spec
+            else None
+        )
+        profiler = CCProf(
+            geometry=GEOMETRY,
+            period=FixedPeriod(CORPUS_PERIOD),
+            seed=CORPUS_SEED,
+            strict=False,
+            inject=inject,
+        )
+        report = profiler.run(loop.factory())
+        predictions.append(int(report.has_conflicts))
+        labels.append(int(loop.has_conflict))
+    return f1_score(predictions, labels)
+
+
+@pytest.fixture(scope="module")
+def clean_f1():
+    return corpus_f1()
+
+
+class TestEveryFaultClassEndToEnd:
+    """Each fault at default severity: complete, quantified, no traceback."""
+
+    @pytest.mark.parametrize("fault", FAULT_NAMES)
+    def test_pipeline_completes_with_data_quality(self, fault, paper_l1):
+        inject = default_pipeline(fault, seed=3)
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            seed=3,
+            strict=False,
+            inject=inject,
+        )
+        report = profiler.run(AdiWorkload.original(n=128))
+        quality = report.data_quality
+        assert quality is not None
+        assert quality.samples_seen == report.total_samples
+        assert fault in quality.injected_faults
+        assert quality.degraded
+        # The report itself must still be substantive.
+        assert report.loops
+        assert quality.samples_seen > 0
+
+    @pytest.mark.parametrize("fault", FAULT_NAMES)
+    def test_verdict_survives_default_severity(self, fault, paper_l1):
+        """adi's conflict is strong enough that no default fault hides it."""
+        inject = default_pipeline(fault, seed=3)
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            seed=3,
+            strict=False,
+            inject=inject,
+        )
+        assert profiler.run(AdiWorkload.original(n=128)).has_conflicts
+
+
+class TestF1DegradesGracefully:
+    def test_clean_corpus_classifies_perfectly(self, clean_f1):
+        assert clean_f1 == 1.0
+
+    def test_f1_under_20pct_drop_bounded(self, clean_f1):
+        # The acceptance bound of the robustness issue: >= 0.7x clean F1
+        # under 20% sample drop.
+        assert corpus_f1("drop:0.2") >= 0.7 * clean_f1
+
+    def test_f1_under_compound_faults_bounded(self, clean_f1):
+        compound = corpus_f1("drop:0.2,skid:1,dup:0.05,jitter:8")
+        assert compound >= 0.7 * clean_f1
+
+    def test_f1_under_heavy_drop_still_useful(self, clean_f1):
+        # Half the samples gone: CCProf's cf statistic is a per-set ratio,
+        # so uniform loss should barely move it.
+        assert corpus_f1("drop:0.5") >= 0.7 * clean_f1
+
+
+class TestDegradedRunsStayGraceful:
+    def test_total_sample_loss_yields_empty_report_with_warning(self, paper_l1):
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            strict=False,
+            inject=FaultPipeline.parse("drop:1.0"),
+        )
+        report = profiler.run(AdiWorkload.original(n=64))
+        assert not report.loops
+        quality = report.data_quality
+        assert quality.samples_seen == 0
+        assert any("no samples" in warning for warning in quality.warnings)
+
+    def test_truncated_budget_run_produces_partial_report(self, paper_l1):
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            strict=False,
+            budget=SamplingBudget(max_events=400),
+        )
+        report = profiler.run(AdiWorkload.original(n=128))
+        quality = report.data_quality
+        assert quality.truncated
+        assert "event budget" in quality.truncation_reason
+        assert report.total_events == 400
+        assert report.loops  # partial, but not empty
+
+    def test_thin_loops_downgrade_confidence(self, paper_l1):
+        # Starve the sampler so hot loops fall below the confidence floor.
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            strict=False,
+            budget=SamplingBudget(max_samples=12),
+        )
+        report = profiler.run(AdiWorkload.original(n=128))
+        quality = report.data_quality
+        assert quality.min_loop_samples is not None
+        assert quality.min_loop_samples <= 12
+        assert quality.low_confidence_loops
+        flagged = {loop.loop_name for loop in report.loops
+                   if loop.confidence == "low"}
+        assert flagged == set(quality.low_confidence_loops)
+
+    def test_clean_run_reports_clean_quality(self, paper_l1):
+        profiler = CCProf(
+            geometry=paper_l1, period=FixedPeriod(29), strict=False
+        )
+        report = profiler.run(AdiWorkload.original(n=128))
+        quality = report.data_quality
+        assert quality is not None
+        assert not quality.injected_faults
+        assert not quality.truncated
+        rendered = report.render()
+        assert "data quality" in rendered
+
+    def test_injected_stats_render_in_report(self, paper_l1):
+        profiler = CCProf(
+            geometry=paper_l1,
+            period=FixedPeriod(29),
+            strict=False,
+            inject=FaultPipeline.parse("drop:0.2"),
+        )
+        rendered = profiler.run(AdiWorkload.original(n=128)).render()
+        assert "injected faults" in rendered
+        assert "drop=" in rendered

@@ -1,0 +1,150 @@
+"""Tests for repro.robustness.retry and the monitor's flaky-attach path."""
+
+import random
+
+import pytest
+
+from repro.errors import RetryExhaustedError, SamplingError
+from repro.pmu.monitor import MonitorSession
+from repro.pmu.periods import FixedPeriod
+from repro.robustness.retry import RetryPolicy, retry_with_backoff
+from tests.conftest import make_load
+
+
+class TestRetryPolicy:
+    def test_first_attempt_has_no_delay(self):
+        policy = RetryPolicy(jitter=0.0)
+        assert policy.delay_before(1, random.Random(0)) == 0.0
+
+    def test_delays_grow_exponentially_up_to_cap(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0,
+            max_attempts=10,
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_before(n, rng) for n in range(2, 7)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.25)
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = policy.delay_before(2, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SamplingError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SamplingError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(SamplingError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestRetryWithBackoff:
+    def test_returns_on_first_success(self):
+        calls = []
+        result = retry_with_backoff(lambda: calls.append(1) or "ok",
+                                    sleep=lambda _d: None)
+        assert result == "ok" and len(calls) == 1
+
+    def test_retries_until_success(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise SamplingError("transient")
+            return attempts["n"]
+
+        assert retry_with_backoff(flaky, sleep=lambda _d: None) == 3
+
+    def test_exhaustion_raises_with_cause_and_counts(self):
+        def always_fails():
+            raise SamplingError("busy")
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_with_backoff(always_fails, policy=policy, sleep=lambda _d: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, SamplingError)
+        assert isinstance(info.value.__cause__, SamplingError)
+        assert info.value.code == "retry"
+
+    def test_unexpected_errors_propagate_immediately(self):
+        def boom():
+            raise ValueError("programming mistake")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(boom, sleep=lambda _d: None)
+
+    def test_sleeps_between_attempts_follow_policy(self):
+        slept = []
+
+        def always_fails():
+            raise SamplingError("busy")
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0
+        )
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(always_fails, policy=policy, sleep=slept.append)
+        assert slept == [0.1, 0.2, 0.4]
+
+    def test_on_retry_observer_sees_each_failure(self):
+        events = []
+
+        def flaky():
+            if len(events) < 2:
+                raise SamplingError("transient")
+            return "done"
+
+        retry_with_backoff(
+            flaky,
+            sleep=lambda _d: None,
+            on_retry=lambda attempt, error, delay: events.append(attempt),
+        )
+        assert events == [1, 2]
+
+
+class TestMonitorFlakyAttach:
+    def trace(self):
+        return [make_load(0x1000 + 64 * i) for i in range(256)]
+
+    def test_clean_session_never_attaches_flakily(self):
+        session = MonitorSession(period=FixedPeriod(7))
+        profile = session.profile(iter(self.trace()))
+        assert session.attach_attempts == 0
+        assert profile.sampling.total_accesses == 256
+
+    def test_flaky_attach_retries_and_succeeds(self):
+        session = MonitorSession(
+            period=FixedPeriod(7), attach_failure_rate=0.5, seed=3
+        )
+        profile = session.profile(iter(self.trace()))
+        assert session.attach_attempts >= 1
+        assert profile.sampling.total_accesses == 256
+
+    def test_hopeless_attach_exhausts_retries(self):
+        session = MonitorSession(
+            period=FixedPeriod(7),
+            attach_failure_rate=1.0,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(RetryExhaustedError):
+            session.profile(iter(self.trace()))
+        assert session.attach_attempts == 3
+
+    def test_attach_failure_rate_validated(self):
+        with pytest.raises(SamplingError):
+            MonitorSession(attach_failure_rate=2.0)
+
+    def test_flakiness_does_not_perturb_sampling(self):
+        clean = MonitorSession(period=FixedPeriod(7), seed=5)
+        flaky = MonitorSession(
+            period=FixedPeriod(7), seed=5, attach_failure_rate=0.5
+        )
+        assert (
+            clean.profile(iter(self.trace())).sampling.samples
+            == flaky.profile(iter(self.trace())).sampling.samples
+        )

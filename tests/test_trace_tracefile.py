@@ -1,12 +1,16 @@
 """Tests for repro.trace.tracefile."""
 
+import struct
+
 import pytest
 
 from repro.errors import TraceError
 from repro.trace.record import AccessKind, MemoryAccess
 from repro.trace.tracefile import (
+    TraceReadStats,
     read_binary_trace,
     read_dinero_trace,
+    salvage_binary_trace,
     write_binary_trace,
     write_dinero_trace,
 )
@@ -69,6 +73,32 @@ class TestDineroFormat:
         with pytest.raises(TraceError):
             list(read_dinero_trace(path))
 
+    def test_lenient_quarantines_malformed_hex(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000\n0 zznotahex\n0 2000\n")
+        stats = TraceReadStats()
+        loaded = list(read_dinero_trace(path, strict=False, stats=stats))
+        assert [a.address for a in loaded] == [0x1000, 0x2000]
+        assert stats.records_quarantined == 1
+        assert stats.records_read == 2
+        assert stats.salvaged
+
+    def test_lenient_quarantines_bad_field_count(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000 extra\n0 2000\n")
+        stats = TraceReadStats()
+        loaded = list(read_dinero_trace(path, strict=False, stats=stats))
+        assert len(loaded) == 1
+        assert stats.records_quarantined == 1
+
+    def test_lenient_quarantines_unknown_kind(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("z 1000\n0 2000\n")
+        stats = TraceReadStats()
+        loaded = list(read_dinero_trace(path, strict=False, stats=stats))
+        assert len(loaded) == 1
+        assert stats.records_quarantined == 1
+
 
 class TestBinaryFormat:
     def test_round_trip_preserves_everything(self, tmp_path, sample_trace):
@@ -107,3 +137,134 @@ class TestBinaryFormat:
         path = tmp_path / "t.cctr"
         assert write_binary_trace(path, []) == 0
         assert list(read_binary_trace(path)) == []
+
+
+class TestFormatVersions:
+    def test_v1_traces_still_read_back_unchanged(self, tmp_path, sample_trace):
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, sample_trace, version=1)
+        stats = TraceReadStats()
+        assert list(read_binary_trace(path, stats=stats)) == sample_trace
+        assert stats.format_version == 1
+
+    def test_default_write_is_v2(self, tmp_path, sample_trace):
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, sample_trace)
+        assert path.read_bytes()[4:8] == struct.pack("<I", 2)
+        stats = TraceReadStats()
+        assert list(read_binary_trace(path, stats=stats)) == sample_trace
+        assert stats.format_version == 2
+
+    def test_multi_chunk_round_trip(self, tmp_path):
+        trace = [make_load(0x1000 + 64 * i, ip=i) for i in range(100)]
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, trace, chunk_records=16)
+        assert list(read_binary_trace(path)) == trace
+
+    def test_unknown_read_version_raises(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        path.write_bytes(b"CCTR" + struct.pack("<I", 3))
+        with pytest.raises(TraceError, match="unsupported version"):
+            list(read_binary_trace(path))
+        # Not salvageable either: the chunk layout is unknown.
+        with pytest.raises(TraceError, match="unsupported version"):
+            list(read_binary_trace(path, strict=False))
+
+    def test_unknown_write_version_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="unknown format version"):
+            write_binary_trace(tmp_path / "t.cctr", [], version=7)
+
+
+class TestBinaryCorruption:
+    """The corruption matrix: every damage class, strict and lenient."""
+
+    def trace(self, count=10):
+        return [make_load(0x1000 + 64 * i, ip=0x400 + i) for i in range(count)]
+
+    def test_bad_magic_raises_even_lenient(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        path.write_bytes(b"XXXX" + struct.pack("<I", 2))
+        with pytest.raises(TraceError, match="bad magic"):
+            list(read_binary_trace(path, strict=False))
+
+    def test_truncated_file_header(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        path.write_bytes(b"CCTR\x02")
+        with pytest.raises(TraceError, match="truncated header"):
+            list(read_binary_trace(path, strict=False))
+
+    def test_v2_truncated_mid_record_strict_raises(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, self.trace(), chunk_records=4)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(TraceError, match="truncated chunk payload"):
+            list(read_binary_trace(path))
+
+    def test_v2_truncated_mid_record_lenient_salvages_prefix(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        trace = self.trace(10)
+        write_binary_trace(path, trace, chunk_records=4)
+        path.write_bytes(path.read_bytes()[:-7])
+        records, stats = salvage_binary_trace(path)
+        # Chunks 1 and 2 (8 records) survive; the damaged tail chunk of 2
+        # records is quarantined wholesale.
+        assert records == trace[:8]
+        assert stats.records_quarantined == 2
+        assert stats.chunks_skipped == 1
+        assert stats.salvaged
+
+    def test_v2_bitflip_strict_raises_checksum_mismatch(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        write_binary_trace(path, self.trace(6), chunk_records=2)
+        data = bytearray(path.read_bytes())
+        data[16 + 10] ^= 0x40  # inside the first chunk's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="checksum mismatch"):
+            list(read_binary_trace(path))
+
+    def test_v2_bitflip_lenient_quarantines_only_that_chunk(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        trace = self.trace(6)
+        write_binary_trace(path, trace, chunk_records=2)
+        data = bytearray(path.read_bytes())
+        data[16 + 10] ^= 0x40
+        path.write_bytes(bytes(data))
+        records, stats = salvage_binary_trace(path)
+        assert records == trace[2:]  # later chunks unaffected
+        assert stats.records_quarantined == 2
+        assert stats.chunks_skipped == 1
+
+    def test_v1_truncated_lenient_salvages_prefix(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        trace = self.trace(5)
+        write_binary_trace(path, trace, version=1)
+        path.write_bytes(path.read_bytes()[:-5])
+        stats = TraceReadStats()
+        records = list(read_binary_trace(path, strict=False, stats=stats))
+        assert records == trace[:4]
+        assert stats.records_quarantined == 1
+        assert stats.salvaged
+
+    def test_v1_corrupt_kind_byte_lenient_quarantines_record(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        trace = self.trace(3)
+        write_binary_trace(path, trace, version=1)
+        data = bytearray(path.read_bytes())
+        data[8] = 0x7F  # first record's kind byte: no such AccessKind
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="corrupt record"):
+            list(read_binary_trace(path))
+        stats = TraceReadStats()
+        records = list(read_binary_trace(path, strict=False, stats=stats))
+        assert records == trace[1:]
+        assert stats.records_quarantined == 1
+
+    def test_pristine_file_reads_with_clean_stats(self, tmp_path):
+        path = tmp_path / "t.cctr"
+        trace = self.trace(9)
+        write_binary_trace(path, trace, chunk_records=4)
+        records, stats = salvage_binary_trace(path)
+        assert records == trace
+        assert not stats.salvaged
+        assert stats.records_quarantined == 0
+        assert stats.records_read == 9
