@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench compile
+.PHONY: test chaos bench perf compile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,8 +9,16 @@ test:
 chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
+# Pass --benchmark-only only when pytest-benchmark is installed; without
+# it the suite still runs (timing comes from the no-op fallback fixture
+# in benchmarks/conftest.py).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ $(shell $(PYTHON) -c "import importlib.util, sys; sys.stdout.write('--benchmark-only' if importlib.util.find_spec('pytest_benchmark') else '')")
+
+# Scalar-vs-batched engine benchmark; writes BENCH_<revision>.json into
+# the repository root (the perf trajectory artifact).
+perf:
+	$(PYTHON) -m repro.perf
 
 compile:
 	$(PYTHON) -m compileall -q src

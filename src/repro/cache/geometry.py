@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import GeometryError
 
 
@@ -103,6 +105,54 @@ class CacheGeometry:
     def offset(self, address: int) -> int:
         """Offset bits of ``address``: byte position within the line."""
         return address & (self.line_size - 1)
+
+    # -- vectorized column variants ------------------------------------
+    #
+    # Each *_array method is the columnar counterpart of the scalar method
+    # above it, operating elementwise on a u8 address column.  The scalar
+    # forms remain the reference semantics; the differential tests assert
+    # bit-identical results.
+
+    def line_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`line_address` over an address column."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return addresses & np.uint64(~(self.line_size - 1) & 0xFFFF_FFFF_FFFF_FFFF)
+
+    def line_numbers(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`line_number` over an address column."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return addresses >> np.uint64(self.offset_bits)
+
+    def set_indices(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`set_index` over an address column."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return (addresses >> np.uint64(self.offset_bits)) & np.uint64(
+            self.num_sets - 1
+        )
+
+    def tags(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`tag` over an address column."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return addresses >> np.uint64(self.offset_bits + self.index_bits)
+
+    def offsets(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`offset` over an address column."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return addresses & np.uint64(self.line_size - 1)
+
+    def lines_spanned_array(
+        self, addresses: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`lines_spanned` over address/size columns."""
+        sizes = np.asarray(sizes)
+        if sizes.size and int(sizes.min()) <= 0:
+            raise GeometryError("sizes must be positive")
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        first = addresses >> np.uint64(self.offset_bits)
+        last = (addresses + sizes.astype(np.uint64) - np.uint64(1)) >> np.uint64(
+            self.offset_bits
+        )
+        return (last - first + np.uint64(1)).astype(np.int64)
 
     def lines_spanned(self, address: int, size: int) -> int:
         """Number of distinct cache lines an access of ``size`` bytes touches."""

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache.geometry import CacheGeometry
 from repro.errors import GeometryError
 
@@ -55,6 +57,17 @@ class XorFoldedGeometry(CacheGeometry):
             index ^= tag & mask
             tag >>= self.index_bits
         return index & mask
+
+    def set_indices(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized hashed :meth:`set_index` over an address column."""
+        indices = super().set_indices(addresses)
+        tags = super().tags(addresses)
+        mask = np.uint64(self.num_sets - 1)
+        shift = np.uint64(self.index_bits)
+        for _ in range(self.fold_levels):
+            indices = indices ^ (tags & mask)
+            tags = tags >> shift
+        return indices & mask
 
     def tag(self, address: int) -> int:
         # The tag must still uniquely identify the line within its set.

@@ -10,11 +10,14 @@ list-per-set fast path; other policies go through the generic
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional, Set
+from typing import Iterable, List, NamedTuple, Optional, Set, Union
+
+import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
+from repro.trace.batch import DEFAULT_BATCH_SIZE, TraceBatch, as_batches
 from repro.trace.record import MemoryAccess
 
 
@@ -41,6 +44,58 @@ class AccessResult(NamedTuple):
     def miss(self) -> bool:
         """Convenience inverse of :attr:`hit`."""
         return not self.hit
+
+
+class BatchResult(NamedTuple):
+    """Columnar outcome of one batched cache reference run.
+
+    One entry per (line-granular) access, in trace order — the batched
+    counterpart of a list of :class:`AccessResult`.
+
+    Attributes:
+        hit: Boolean hit mask.
+        set_index: Set each access mapped to (u8).
+        tag: Tag of each referenced line (u8).
+        evicted: Boolean mask of accesses that evicted a line.
+        evicted_tag: Evicted tag where ``evicted`` is set (0 elsewhere —
+            consult the mask, not the value).
+        cold: Boolean compulsory-miss mask.
+    """
+
+    hit: np.ndarray
+    set_index: np.ndarray
+    tag: np.ndarray
+    evicted: np.ndarray
+    evicted_tag: np.ndarray
+    cold: np.ndarray
+
+    @property
+    def miss(self) -> np.ndarray:
+        """Boolean miss mask (inverse of :attr:`hit`)."""
+        return ~self.hit
+
+    def __len__(self) -> int:
+        return int(self.hit.size)
+
+    def scalar_results(self) -> List[AccessResult]:
+        """Materialize as per-access :class:`AccessResult` records."""
+        return [
+            AccessResult(
+                hit=bool(h),
+                set_index=s,
+                tag=t,
+                evicted_tag=et if e else None,
+                cold=bool(c),
+            )
+            for h, s, t, e, et, c in zip(
+                self.hit.tolist(),
+                self.set_index.tolist(),
+                self.tag.tolist(),
+                self.evicted.tolist(),
+                self.evicted_tag.tolist(),
+                self.cold.tolist(),
+            )
+        ]
 
 
 class SetAssociativeCache:
@@ -175,6 +230,275 @@ class SetAssociativeCache:
         for access in stream:
             self.access_record(access)
         return self.stats
+
+    # -- batched (columnar) access path --------------------------------
+    #
+    # The methods below are the vectorized counterpart of access() /
+    # access_record() / run_trace().  Cache state is shared with the
+    # scalar path (same _lru_sets / _tags / _policies / _seen_lines), so
+    # scalar and batched calls may be interleaved freely; the scalar path
+    # remains the reference semantics and the differential tests assert
+    # access-for-access equality.
+
+    def access_batch(
+        self,
+        batch: TraceBatch,
+        *,
+        split_lines: bool = False,
+    ) -> BatchResult:
+        """Reference a whole :class:`TraceBatch`; update contents and stats.
+
+        With ``split_lines=False`` (default) each record is one reference
+        at its raw address — the semantics of :meth:`access`, and what the
+        PEBS sampler models.  With ``split_lines=True`` line-straddling
+        records are expanded into one reference per line touched — the
+        semantics of :meth:`access_record` — and the result has one entry
+        per expanded reference.
+        """
+        addresses = batch.address
+        ips = batch.ip
+        if split_lines:
+            addresses, ips = self._split_lines(addresses, ips, batch.size)
+        return self._access_arrays(addresses, ips)
+
+    def run_trace_batched(
+        self,
+        trace: Union[TraceBatch, Iterable],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> CacheStats:
+        """Batched :meth:`run_trace`: accepts a batch, batch iterable, or
+        scalar access stream (converted chunk-wise)."""
+        for batch in as_batches(trace, batch_size):
+            self.access_batch(batch, split_lines=True)
+        return self.stats
+
+    def _split_lines(
+        self, addresses: np.ndarray, ips: np.ndarray, sizes: np.ndarray
+    ) -> tuple:
+        """Expand line-straddling accesses into one access per line."""
+        geometry = self.geometry
+        spanned = geometry.lines_spanned_array(addresses, sizes)
+        if not spanned.size or int(spanned.max()) == 1:
+            return addresses, ips
+        row = np.repeat(np.arange(spanned.size), spanned)
+        starts = np.concatenate(([0], np.cumsum(spanned)[:-1]))
+        within = (np.arange(row.size) - starts[row]).astype(np.uint64)
+        bases = geometry.line_addresses(addresses)
+        expanded = bases[row] + within * np.uint64(geometry.line_size)
+        return expanded, ips[row]
+
+    def _access_arrays(self, addresses: np.ndarray, ips: np.ndarray) -> BatchResult:
+        geometry = self.geometry
+        set_idx = geometry.set_indices(addresses)
+        tags = geometry.tags(addresses)
+        lines = geometry.line_numbers(addresses)
+
+        count = int(addresses.size)
+        hit = np.zeros(count, dtype=bool)
+        cold = np.zeros(count, dtype=bool)
+        evicted = np.zeros(count, dtype=bool)
+        evicted_tag = np.zeros(count, dtype=np.uint64)
+        result = BatchResult(hit, set_idx, tags, evicted, evicted_tag, cold)
+        if not count:
+            return result
+
+        # Group accesses by set (stable, so intra-set order — which the
+        # per-set state machines depend on — is the trace order).
+        order = np.argsort(set_idx, kind="stable")
+        grouped_sets = set_idx[order]
+        grouped_tags = tags[order]
+
+        # Collapse consecutive same-tag references within a set: the tag
+        # was the set's most recent reference, so it is resident (hit) and
+        # the recency update is a no-op for every policy (LRU front stays
+        # front; FIFO/random ignore hits; a PLRU touch of the just-touched
+        # way rewrites the same tree bits).  Only tag-change points reach
+        # the per-set state machines below.
+        same_run = np.empty(count, dtype=bool)
+        same_run[0] = False
+        np.logical_and(
+            grouped_sets[1:] == grouped_sets[:-1],
+            grouped_tags[1:] == grouped_tags[:-1],
+            out=same_run[1:],
+        )
+        if same_run.any():
+            hit[order[same_run]] = True
+            keep = ~same_run
+            order = order[keep]
+            grouped_sets = grouped_sets[keep]
+            count = int(order.size)
+
+        breaks = np.flatnonzero(grouped_sets[1:] != grouped_sets[:-1]) + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [count]))
+
+        lru_fast_path = self._lru_sets is not None
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            positions = order[start:end]
+            set_index = int(grouped_sets[start])
+            if lru_fast_path:
+                self._access_set_lru(
+                    set_index, positions, tags, lines, hit, cold, evicted,
+                    evicted_tag,
+                )
+            else:
+                self._access_set_generic(
+                    set_index, positions, tags, lines, hit, cold, evicted,
+                    evicted_tag,
+                )
+
+        self._charge_stats(set_idx, ips, result)
+        return result
+
+    def _access_set_lru(
+        self,
+        set_index: int,
+        positions: np.ndarray,
+        tags: np.ndarray,
+        lines: np.ndarray,
+        hit: np.ndarray,
+        cold: np.ndarray,
+        evicted: np.ndarray,
+        evicted_tag: np.ndarray,
+    ) -> None:
+        """Run one set's accesses through the LRU recency list.
+
+        The inner loop works on plain Python ints (``tolist`` once per
+        group) — the same state transitions as :meth:`_access_lru`, minus
+        all per-access object, dispatch, and stats overhead.
+        """
+        ways = self.geometry.ways
+        lru_set = self._lru_sets[set_index]  # type: ignore[index]
+        seen = self._seen_lines
+        seen_add = seen.add
+        lru_remove = lru_set.remove
+        lru_insert = lru_set.insert
+        lru_pop = lru_set.pop
+        tag_list = tags[positions].tolist()
+        line_list = lines[positions].tolist()
+        miss_local: List[int] = []
+        miss_cold: List[bool] = []
+        miss_evicted: List[bool] = []
+        miss_evicted_tag: List[int] = []
+        for local, tag in enumerate(tag_list):
+            if tag in lru_set:
+                if lru_set[0] != tag:
+                    lru_remove(tag)
+                    lru_insert(0, tag)
+                continue
+            line = line_list[local]
+            is_cold = line not in seen
+            if is_cold:
+                seen_add(line)
+            if len(lru_set) >= ways:
+                miss_evicted.append(True)
+                miss_evicted_tag.append(lru_pop())
+            else:
+                miss_evicted.append(False)
+                miss_evicted_tag.append(0)
+            lru_insert(0, tag)
+            miss_local.append(local)
+            miss_cold.append(is_cold)
+        hit[positions] = True
+        if miss_local:
+            miss_positions = positions[miss_local]
+            hit[miss_positions] = False
+            cold[miss_positions] = miss_cold
+            evicted[miss_positions] = miss_evicted
+            evicted_tag[miss_positions] = miss_evicted_tag
+
+    def _access_set_generic(
+        self,
+        set_index: int,
+        positions: np.ndarray,
+        tags: np.ndarray,
+        lines: np.ndarray,
+        hit: np.ndarray,
+        cold: np.ndarray,
+        evicted: np.ndarray,
+        evicted_tag: np.ndarray,
+    ) -> None:
+        """One set's accesses through the generic replacement machinery.
+
+        Mirrors :meth:`_access_generic` exactly — including the way-scan
+        order and the per-set policy RNG consumption, which stable set
+        grouping preserves."""
+        resident = self._tags[set_index]  # type: ignore[index]
+        policy = self._policies[set_index]  # type: ignore[index]
+        seen = self._seen_lines
+        tag_list = tags[positions].tolist()
+        line_list = lines[positions].tolist()
+        miss_local: List[int] = []
+        miss_cold: List[bool] = []
+        miss_evicted: List[bool] = []
+        miss_evicted_tag: List[int] = []
+        for local, tag in enumerate(tag_list):
+            try:
+                way = resident.index(tag)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                policy.touch(way)
+                continue
+            line = line_list[local]
+            is_cold = line not in seen
+            if is_cold:
+                seen.add(line)
+            try:
+                way = resident.index(None)
+            except ValueError:
+                way = policy.victim()
+                miss_evicted.append(True)
+                miss_evicted_tag.append(resident[way])
+            else:
+                miss_evicted.append(False)
+                miss_evicted_tag.append(0)
+            resident[way] = tag
+            policy.fill(way)
+            miss_local.append(local)
+            miss_cold.append(is_cold)
+        hit[positions] = True
+        if miss_local:
+            miss_positions = positions[miss_local]
+            hit[miss_positions] = False
+            cold[miss_positions] = miss_cold
+            evicted[miss_positions] = miss_evicted
+            evicted_tag[miss_positions] = miss_evicted_tag
+
+    def _charge_stats(
+        self, set_idx: np.ndarray, ips: np.ndarray, result: BatchResult
+    ) -> None:
+        """Vectorized equivalent of the per-access stats updates."""
+        stats = self.stats
+        count = int(set_idx.size)
+        stats.accesses += count
+        num_sets = self.geometry.num_sets
+        access_counts = np.bincount(set_idx.astype(np.intp), minlength=num_sets)
+        set_accesses = stats.set_accesses
+        for index in np.flatnonzero(access_counts).tolist():
+            set_accesses[index] += int(access_counts[index])
+
+        miss_mask = result.miss
+        miss_count = int(np.count_nonzero(miss_mask))
+        stats.misses += miss_count
+        stats.hits += count - miss_count
+        if not miss_count:
+            return
+        stats.cold_misses += int(np.count_nonzero(result.cold))
+        stats.evictions += int(np.count_nonzero(result.evicted))
+        miss_counts = np.bincount(
+            set_idx[miss_mask].astype(np.intp), minlength=num_sets
+        )
+        set_misses = stats.set_misses
+        for index in np.flatnonzero(miss_counts).tolist():
+            set_misses[index] += int(miss_counts[index])
+        miss_ips = ips[miss_mask]
+        miss_ips = miss_ips[miss_ips != 0]
+        if miss_ips.size:
+            unique_ips, ip_counts = np.unique(miss_ips, return_counts=True)
+            stats.ip_misses.update(
+                dict(zip(unique_ips.tolist(), ip_counts.tolist()))
+            )
 
     def resident_tags(self, set_index: int) -> List[int]:
         """Tags currently resident in ``set_index`` (order unspecified)."""

@@ -120,6 +120,7 @@ def _make_profiler(args: argparse.Namespace) -> CCProf:
         strict=getattr(args, "strict", False),
         inject=inject,
         budget=budget,
+        engine="scalar" if getattr(args, "scalar", False) else "batched",
     )
 
 
@@ -294,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="mean sampling period in L1 miss events (default: 1212)",
         )
         sub.add_argument("--seed", type=int, default=0, help="sampler RNG seed")
+        sub.add_argument(
+            "--scalar", action="store_true",
+            help="use the per-access reference engine instead of the "
+                 "batched columnar engine (same results, slower)",
+        )
         add_strictness(sub)
         if needs_output:
             sub.add_argument("-o", "--output", default=None, help="output file")

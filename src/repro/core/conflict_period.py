@@ -10,9 +10,11 @@ paper's example of small CPs forcing high-frequency sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Sequence
+from typing import Dict, List, NamedTuple, Sequence, Union
 
-from repro.core.rcd import RcdObservation
+import numpy as np
+
+from repro.core.rcd import RcdArrayAnalysis, RcdObservation
 from repro.stats.distributions import Histogram, summarize
 
 
@@ -61,6 +63,43 @@ def conflict_periods(observations: Sequence[RcdObservation]) -> List[ConflictPer
     return runs
 
 
+def conflict_period_arrays(
+    set_index: np.ndarray, rcd: np.ndarray, position: np.ndarray
+) -> List[ConflictPeriodRun]:
+    """Vectorized :func:`conflict_periods` over observation columns.
+
+    Takes the ``(set_index, rcd, position)`` columns of a
+    :class:`~repro.core.rcd.RcdArrayAnalysis` (in position order) and
+    extracts the same runs, in the same (set, then time) order, without a
+    per-observation Python loop: a stable sort groups observations by set,
+    and run boundaries fall out of one shifted comparison.
+    """
+    count = int(np.asarray(rcd).size)
+    if not count:
+        return []
+    order = np.argsort(set_index, kind="stable")
+    sets = np.asarray(set_index)[order]
+    rcds = np.asarray(rcd)[order]
+    positions = np.asarray(position)[order]
+    new_run = np.empty(count, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (sets[1:] != sets[:-1]) | (rcds[1:] != rcds[:-1])
+    starts = np.flatnonzero(new_run)
+    lengths = np.diff(np.append(starts, count))
+    return [
+        ConflictPeriodRun(
+            set_index=set_value, rcd=rcd_value, length=length,
+            start_position=start_position,
+        )
+        for set_value, rcd_value, length, start_position in zip(
+            sets[starts].tolist(),
+            rcds[starts].tolist(),
+            lengths.tolist(),
+            positions[starts].tolist(),
+        )
+    ]
+
+
 def detectable(run: ConflictPeriodRun, sampling_period: float) -> bool:
     """The paper's detectability condition: CP larger than the period.
 
@@ -80,9 +119,22 @@ class ConflictPeriodAnalysis:
 
     @classmethod
     def from_observations(
-        cls, observations: Sequence[RcdObservation]
+        cls, observations: Union[Sequence[RcdObservation], RcdArrayAnalysis]
     ) -> "ConflictPeriodAnalysis":
-        """Build from the RCD observations of a context."""
+        """Build from the RCD observations of a context.
+
+        A columnar :class:`~repro.core.rcd.RcdArrayAnalysis` takes the
+        vectorized run extraction; a scalar observation sequence takes the
+        reference path.  Both produce identical runs.
+        """
+        if isinstance(observations, RcdArrayAnalysis):
+            return cls(
+                runs=conflict_period_arrays(
+                    observations.set_index,
+                    observations.rcd,
+                    observations.position,
+                )
+            )
         return cls(runs=conflict_periods(observations))
 
     def length_histogram(self) -> Histogram:

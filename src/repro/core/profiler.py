@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence
 
+import numpy as np
+
 from repro.cache.geometry import CacheGeometry
 from repro.core.attribution import (
     CodeCentricAttribution,
@@ -20,7 +22,7 @@ from repro.core.attribution import (
 )
 from repro.core.classifier import ConflictClassifier, implication_for
 from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
-from repro.core.rcd import RcdAnalysis
+from repro.core.rcd import RcdArrayAnalysis
 from repro.core.report import (
     ConflictReport,
     DataQuality,
@@ -167,18 +169,17 @@ class OfflineAnalyzer:
 
     def _analyze_loop(self, group, profile: RawProfile, geometry: CacheGeometry) -> LoopReport:
         settings = self.settings
-        analysis = RcdAnalysis.from_addresses(
-            (sample.address for sample in group.samples), geometry
+        addresses = np.fromiter(
+            (sample.address for sample in group.samples), dtype=np.uint64
         )
+        analysis = RcdArrayAnalysis.from_addresses(addresses, geometry)
         cf = contribution_factor(analysis, settings.rcd_threshold)
         loop_report = LoopReport(
             loop_name=group.loop_name,
             sample_count=group.count,
             miss_contribution=group.share,
             contribution_factor=cf,
-            sets_utilized=len(
-                {geometry.set_index(sample.address) for sample in group.samples}
-            ),
+            sets_utilized=int(np.unique(geometry.set_indices(addresses)).size),
         )
         enough_samples = group.count >= settings.min_samples
         if enough_samples and analysis.observation_count:
@@ -246,6 +247,10 @@ class CCProf:
             jittered exponential backoff (see
             :class:`~repro.pmu.monitor.MonitorSession`).
         retry_policy: Backoff schedule for flaky attach.
+        engine: ``"batched"`` (default) profiles through the columnar
+            fast path; ``"scalar"`` keeps the per-access reference loop
+            (the CLI exposes this as ``--scalar``).  Results are
+            bit-identical either way.
     """
 
     def __init__(
@@ -260,6 +265,7 @@ class CCProf:
         budget: Optional[SamplingBudget] = None,
         attach_failure_rate: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
+        engine: str = "batched",
     ) -> None:
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
@@ -269,6 +275,7 @@ class CCProf:
         self.budget = budget
         self.attach_failure_rate = attach_failure_rate
         self.retry_policy = retry_policy
+        self.engine = engine
         self.analyzer = OfflineAnalyzer(settings=settings, classifier=classifier)
 
     def profile(self, workload: Workload) -> RawProfile:
@@ -287,6 +294,7 @@ class CCProf:
             attach_failure_rate=self.attach_failure_rate,
             retry_policy=self.retry_policy,
             budget=self.budget,
+            engine=self.engine,
         )
         profile = session.profile(
             workload.trace(),

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
 
+import numpy as np
+
 from repro.cache.geometry import CacheGeometry
 from repro.errors import AnalysisError
 from repro.stats.distributions import EmpiricalCdf, Histogram
@@ -65,6 +67,166 @@ def compute_rcds(set_sequence: Sequence[int]) -> List[RcdObservation]:
             )
         last_seen[set_index] = position
     return observations
+
+
+def compute_rcd_arrays(set_sequence: np.ndarray) -> tuple:
+    """Vectorized :func:`compute_rcds` over a set-index column.
+
+    Returns ``(set_index, rcd, position)`` int64 arrays in miss-sequence
+    (position) order — the exact columnar image of the observation list
+    the scalar function produces.
+
+    The trick: a stable argsort groups equal set indices while keeping
+    their positions in time order, so each observation's predecessor is
+    simply its left neighbour within the group.
+    """
+    sequence = np.asarray(set_sequence, dtype=np.int64)
+    count = sequence.size
+    if count < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    order = np.argsort(sequence, kind="stable").astype(np.int64)
+    grouped = sequence[order]
+    has_predecessor = np.empty(count, dtype=bool)
+    has_predecessor[0] = False
+    has_predecessor[1:] = grouped[1:] == grouped[:-1]
+    positions = order[has_predecessor]
+    previous = order[np.flatnonzero(has_predecessor) - 1]
+    rcds = positions - previous - 1
+    sets = grouped[has_predecessor]
+    # Back to emission (position) order to mirror the scalar scan.
+    emit = np.argsort(positions)
+    return sets[emit], rcds[emit], positions[emit]
+
+
+@dataclass
+class RcdArrayAnalysis:
+    """Columnar twin of :class:`RcdAnalysis`.
+
+    Holds the observations as parallel int64 arrays and answers the same
+    queries vectorized; :meth:`observations` materializes the scalar list
+    on demand so every existing consumer (contribution factors, reports)
+    composes unchanged.  Construction from a set-index column is O(n log n)
+    NumPy work instead of a per-miss Python loop.
+    """
+
+    num_sets: int
+    set_index: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    rcd: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    position: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    total_misses: int = 0
+
+    @classmethod
+    def from_set_sequence(
+        cls, set_sequence: Sequence[int], num_sets: int
+    ) -> "RcdArrayAnalysis":
+        """Analyze a per-miss set-index sequence (any array-like)."""
+        sequence = np.asarray(set_sequence, dtype=np.int64)
+        sets, rcds, positions = compute_rcd_arrays(sequence)
+        return cls(
+            num_sets=num_sets,
+            set_index=sets,
+            rcd=rcds,
+            position=positions,
+            total_misses=int(sequence.size),
+        )
+
+    @classmethod
+    def from_addresses(
+        cls, addresses, geometry: CacheGeometry
+    ) -> "RcdArrayAnalysis":
+        """Analyze raw miss addresses via the geometry's index bits."""
+        column = np.fromiter(
+            (int(address) for address in addresses), dtype=np.uint64
+        ) if not isinstance(addresses, np.ndarray) else addresses
+        sequence = geometry.set_indices(column).astype(np.int64)
+        return cls.from_set_sequence(sequence, geometry.num_sets)
+
+    # -- same query API as RcdAnalysis ---------------------------------
+
+    @property
+    def observations(self) -> List[RcdObservation]:
+        """Scalar observation list (materialized on demand)."""
+        return [
+            RcdObservation(set_index=s, rcd=r, position=p)
+            for s, r, p in zip(
+                self.set_index.tolist(), self.rcd.tolist(), self.position.tolist()
+            )
+        ]
+
+    @property
+    def observation_count(self) -> int:
+        """Number of RCD observations."""
+        return int(self.rcd.size)
+
+    def to_analysis(self) -> "RcdAnalysis":
+        """Convert to the scalar :class:`RcdAnalysis` (for diffing)."""
+        return RcdAnalysis(
+            num_sets=self.num_sets,
+            observations=self.observations,
+            total_misses=self.total_misses,
+        )
+
+    def histogram(self, set_index: Optional[int] = None) -> Histogram:
+        """RCD histogram — for one set, or pooled across sets."""
+        rcds = self.rcd
+        if set_index is not None:
+            rcds = rcds[self.set_index == set_index]
+        histogram = Histogram()
+        values, counts = np.unique(rcds, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            histogram.counts[value] = count
+        return histogram
+
+    def per_set_histograms(self) -> Dict[int, Histogram]:
+        """RCD histogram keyed by set index (only sets with observations)."""
+        return {
+            set_index: self.histogram(set_index)
+            for set_index in np.unique(self.set_index).tolist()
+        }
+
+    def cdf(self) -> EmpiricalCdf:
+        """Pooled RCD CDF."""
+        if not self.rcd.size:
+            raise AnalysisError("no RCD observations; context saw <2 misses per set")
+        return EmpiricalCdf.from_values(self.rcd.tolist())
+
+    def short_rcd_count(self, threshold: int) -> int:
+        """Observations with RCD strictly below ``threshold``."""
+        return int(np.count_nonzero(self.rcd < threshold))
+
+    def contribution_below(self, threshold: int) -> float:
+        """Fraction of misses with RCD < threshold (Equation 1's cf)."""
+        if self.total_misses == 0:
+            return 0.0
+        return self.short_rcd_count(threshold) / self.total_misses
+
+    def mean_rcd(self) -> float:
+        """Mean observed RCD."""
+        if not self.rcd.size:
+            raise AnalysisError("no RCD observations")
+        return float(self.rcd.mean())
+
+    def victim_sets(self, threshold: int, min_share: float = 0.0) -> List[int]:
+        """Sets whose short-RCD share exceeds ``min_share``."""
+        victims: List[int] = []
+        sets = self.set_index
+        short_mask = self.rcd < threshold
+        for set_index in np.unique(sets).tolist():
+            of_set = sets == set_index
+            total = int(np.count_nonzero(of_set))
+            short = int(np.count_nonzero(of_set & short_mask))
+            if total and short / total > min_share and short > 0:
+                victims.append(set_index)
+        return victims
+
+    def sets_observed(self) -> int:
+        """Distinct sets with at least one observation."""
+        return int(np.unique(self.set_index).size)
 
 
 @dataclass

@@ -1,0 +1,33 @@
+"""Performance trajectory harness (``make perf``).
+
+Times the scalar reference engines against the columnar batched engines on
+a fixed workload matrix, verifies that both produce identical results, and
+records the measurements as a ``BENCH_<revision>.json`` artifact so the
+repo accumulates a perf trajectory across revisions.
+
+Run it as a module::
+
+    python -m repro.perf            # full matrix
+    python -m repro.perf --quick    # CI-sized smoke run
+
+Programmatic entry points: :func:`~repro.perf.harness.run_benchmark`,
+:func:`~repro.perf.schema.save_result`, :func:`~repro.perf.schema.load_result`.
+"""
+
+from repro.perf.harness import run_benchmark
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    load_result,
+    result_filename,
+    save_result,
+    validate_result,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_result",
+    "result_filename",
+    "run_benchmark",
+    "save_result",
+    "validate_result",
+]

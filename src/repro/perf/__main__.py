@@ -1,0 +1,83 @@
+"""``python -m repro.perf`` — run the benchmark matrix and record it.
+
+Writes ``BENCH_<revision>.json`` into ``--out`` (default: the current
+directory) and prints the matrix.  Exit status:
+
+- 0 — ran, engines agreed on every workload.
+- 1 — batch/scalar divergence (the results differ: a correctness bug).
+- 2 — harness/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.perf.harness import TARGET_SPEEDUP, run_benchmark
+from repro.perf.schema import save_result
+from repro.trace.batch import DEFAULT_BATCH_SIZE
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the scalar vs batched engines; record the trajectory.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: 10x fewer accesses, same divergence checks",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory to write BENCH_<revision>.json into (default: .)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        metavar="N",
+        help=f"records per batch (default: {DEFAULT_BATCH_SIZE})",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override per-workload trace length",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_benchmark(
+            quick=args.quick,
+            batch_size=args.batch_size,
+            accesses=args.accesses,
+            progress=lambda line: print(line, flush=True),
+        )
+        path = save_result(result, args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    headline = result["headline"]
+    print(
+        f"headline {headline['workload']}: {headline['speedup']:.1f}x "
+        f"(target {TARGET_SPEEDUP:.0f}x, "
+        f"{'met' if headline['target_met'] else 'NOT met'})"
+    )
+    print(f"wrote {path}")
+    if not headline["all_match"]:
+        print(
+            "error: batched engine diverged from the scalar reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

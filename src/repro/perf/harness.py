@@ -1,0 +1,254 @@
+"""Benchmark harness: scalar reference vs columnar batched engines.
+
+Every benchmark in the matrix runs the *same* trace through both engines,
+asserts that the results agree exactly (a silent divergence would make the
+speedup number meaningless), and reports throughput in accesses/second.
+
+The workload matrix spans the locality spectrum:
+
+- ``lru_stream`` (headline) — an 8-byte-stride streaming sweep, the shape
+  of the paper's Rodinia kernels.  High spatial locality is where the
+  columnar engine collapses best; the ≥10x target is asserted here.
+- ``lru_zipf`` — hot/cold skew, the shape of pointer-heavy data accesses.
+- ``lru_uniform`` — uniformly random lines: the adversarial floor, kept in
+  the matrix so the trajectory records worst-case behaviour honestly.
+- ``sampler_zipf`` — the full PEBS sampling pipeline (simulated L1 + period
+  countdown + sample capture), scalar ``run`` vs ``run_batched``.
+- ``exact_rcd`` — exact-mode RCD measurement (simulate + per-set miss
+  sequences), scalar ``run`` vs ``run_batched``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.exact import ExactRcdMeasurer
+from repro.perf.schema import SCHEMA_VERSION
+from repro.pmu.sampler import AddressSampler
+from repro.trace.batch import DEFAULT_BATCH_SIZE, iter_batches
+from repro.trace.record import MemoryAccess
+from repro.trace.synthetic import uniform_trace, zipf_trace
+
+#: The acceptance bar for the headline workload.
+TARGET_SPEEDUP = 10.0
+
+#: Accesses per cache benchmark (full / --quick).
+FULL_ACCESSES = 400_000
+QUICK_ACCESSES = 40_000
+
+
+def stream_trace(
+    count: int, *, stride: int = 8, lines: int = 8192, base: int = 0x6000_0000
+) -> Iterator[MemoryAccess]:
+    """Streaming stride-``stride`` sweep over a ``lines``-line footprint."""
+    span = lines * 64
+    for index in range(count):
+        yield MemoryAccess(ip=0x400100, address=base + (index * stride) % span)
+
+
+def _git_revision() -> str:
+    """Short revision of the benchmarked tree; 'unknown' outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else "unknown"
+
+
+def _timed(action: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    value = action()
+    return time.perf_counter() - start, value
+
+
+def _cache_bench(
+    name: str, trace: List[MemoryAccess], batch_size: int
+) -> dict:
+    """Scalar access loop vs access_batch over prepared inputs."""
+    batches = list(iter_batches(iter(trace), batch_size))
+    scalar_cache = SetAssociativeCache(CacheGeometry())
+
+    def scalar() -> dict:
+        access = scalar_cache.access
+        for record in trace:
+            access(record.address, record.ip)
+        return scalar_cache.stats.as_dict()
+
+    batched_cache = SetAssociativeCache(CacheGeometry())
+
+    def batched() -> dict:
+        access_batch = batched_cache.access_batch
+        for batch in batches:
+            access_batch(batch)
+        return batched_cache.stats.as_dict()
+
+    scalar_seconds, scalar_stats = _timed(scalar)
+    batched_seconds, batched_stats = _timed(batched)
+    return _workload_record(
+        name,
+        "cache",
+        len(trace),
+        scalar_seconds,
+        batched_seconds,
+        match=scalar_stats == batched_stats,
+    )
+
+
+def _sampler_bench(name: str, trace: List[MemoryAccess], batch_size: int) -> dict:
+    batches = list(iter_batches(iter(trace), batch_size))
+
+    def scalar():
+        return AddressSampler(geometry=CacheGeometry(), seed=29).run(iter(trace))
+
+    def batched():
+        return AddressSampler(geometry=CacheGeometry(), seed=29).run_batched(
+            batches, batch_size=batch_size
+        )
+
+    scalar_seconds, scalar_result = _timed(scalar)
+    batched_seconds, batched_result = _timed(batched)
+    match = (
+        scalar_result.samples == batched_result.samples
+        and scalar_result.total_events == batched_result.total_events
+        and scalar_result.total_accesses == batched_result.total_accesses
+    )
+    return _workload_record(
+        name, "sampler", len(trace), scalar_seconds, batched_seconds, match=match
+    )
+
+
+def _exact_bench(name: str, trace: List[MemoryAccess], batch_size: int) -> dict:
+    batches = list(iter_batches(iter(trace), batch_size))
+
+    def scalar():
+        return ExactRcdMeasurer(geometry=CacheGeometry()).run(iter(trace))
+
+    def batched():
+        return ExactRcdMeasurer(geometry=CacheGeometry()).run_batched(
+            batches, batch_size=batch_size
+        )
+
+    scalar_seconds, scalar_result = _timed(scalar)
+    batched_seconds, batched_result = _timed(batched)
+    match = (
+        scalar_result.sequences == batched_result.sequences
+        and scalar_result.total_accesses == batched_result.total_accesses
+    )
+    return _workload_record(
+        name, "exact_rcd", len(trace), scalar_seconds, batched_seconds, match=match
+    )
+
+
+def _workload_record(
+    name: str,
+    kind: str,
+    accesses: int,
+    scalar_seconds: float,
+    batched_seconds: float,
+    *,
+    match: bool,
+) -> dict:
+    scalar_seconds = max(scalar_seconds, 1e-9)
+    batched_seconds = max(batched_seconds, 1e-9)
+    return {
+        "name": name,
+        "kind": kind,
+        "accesses": accesses,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "scalar_accesses_per_sec": accesses / scalar_seconds,
+        "batched_accesses_per_sec": accesses / batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+        "match": match,
+    }
+
+
+#: The headline workload the ≥10x acceptance bar applies to.
+HEADLINE_WORKLOAD = "lru_stream"
+
+
+def run_benchmark(
+    *,
+    quick: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    accesses: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the full matrix; returns a schema-valid result dict.
+
+    Args:
+        quick: CI-sized run (10x fewer accesses) — same matrix, same
+            divergence checks, noisier numbers.
+        batch_size: Records per batch for the batched engines.
+        accesses: Override the per-workload trace length.
+        progress: Optional callable invoked with one line per workload.
+    """
+    count = accesses if accesses is not None else (
+        QUICK_ACCESSES if quick else FULL_ACCESSES
+    )
+    say = progress or (lambda _line: None)
+
+    matrix: List[dict] = []
+
+    def record(entry: dict) -> None:
+        matrix.append(entry)
+        say(
+            f"{entry['name']:12s} scalar {entry['scalar_accesses_per_sec']:>12,.0f}/s"
+            f"  batched {entry['batched_accesses_per_sec']:>12,.0f}/s"
+            f"  speedup {entry['speedup']:5.1f}x"
+            f"  {'ok' if entry['match'] else 'DIVERGED'}"
+        )
+
+    record(
+        _cache_bench(
+            HEADLINE_WORKLOAD, list(stream_trace(count)), batch_size
+        )
+    )
+    record(
+        _cache_bench(
+            "lru_zipf", list(zipf_trace(count, 4096, seed=5)), batch_size
+        )
+    )
+    record(
+        _cache_bench(
+            "lru_uniform", list(uniform_trace(count, 4096, seed=5)), batch_size
+        )
+    )
+    record(
+        _sampler_bench(
+            "sampler_zipf", list(zipf_trace(count, 4096, seed=7)), batch_size
+        )
+    )
+    record(
+        _exact_bench(
+            "exact_rcd", list(stream_trace(count)), batch_size
+        )
+    )
+
+    headline = next(w for w in matrix if w["name"] == HEADLINE_WORKLOAD)
+    result = {
+        "schema_version": SCHEMA_VERSION,
+        "revision": _git_revision(),
+        "batch_size": batch_size,
+        "quick": quick,
+        "workloads": matrix,
+        "headline": {
+            "workload": HEADLINE_WORKLOAD,
+            "speedup": headline["speedup"],
+            "target_speedup": TARGET_SPEEDUP,
+            "target_met": headline["speedup"] >= TARGET_SPEEDUP,
+            "all_match": all(w["match"] for w in matrix),
+        },
+    }
+    return result

@@ -1,0 +1,129 @@
+"""The ``BENCH_<revision>.json`` result schema.
+
+One file per benchmarked revision; the collection of files is the repo's
+perf trajectory.  The schema is deliberately small and validated on both
+save and load so a drifting harness fails loudly instead of silently
+producing unreadable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ReproError
+
+#: Bumped on any incompatible change to the result layout.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class BenchSchemaError(ReproError):
+    """A benchmark result violated the BENCH_*.json schema."""
+
+
+#: Required top-level fields and their types.
+_TOP_FIELDS = {
+    "schema_version": int,
+    "revision": str,
+    "batch_size": int,
+    "quick": bool,
+    "workloads": list,
+    "headline": dict,
+}
+
+#: Required per-workload fields and their types.
+_WORKLOAD_FIELDS = {
+    "name": str,
+    "kind": str,
+    "accesses": int,
+    "scalar_seconds": float,
+    "batched_seconds": float,
+    "scalar_accesses_per_sec": float,
+    "batched_accesses_per_sec": float,
+    "speedup": float,
+    "match": bool,
+}
+
+#: Required headline fields and their types.
+_HEADLINE_FIELDS = {
+    "workload": str,
+    "speedup": float,
+    "target_speedup": float,
+    "target_met": bool,
+    "all_match": bool,
+}
+
+
+def _check_fields(record: dict, fields: dict, where: str) -> None:
+    for name, expected in fields.items():
+        if name not in record:
+            raise BenchSchemaError(f"{where}: missing field {name!r}")
+        value = record[name]
+        # bool is an int subclass; keep the two distinct in the schema.
+        if expected is int and isinstance(value, bool):
+            raise BenchSchemaError(f"{where}: field {name!r} must be int, got bool")
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            continue  # whole-number floats serialize as ints; accept them
+        if not isinstance(value, expected):
+            raise BenchSchemaError(
+                f"{where}: field {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_result(result: dict) -> dict:
+    """Check a result dict against the schema; returns it for chaining."""
+    if not isinstance(result, dict):
+        raise BenchSchemaError(f"result must be a dict, got {type(result).__name__}")
+    _check_fields(result, _TOP_FIELDS, "result")
+    if result["schema_version"] != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"unsupported schema_version {result['schema_version']} "
+            f"(this reader understands {SCHEMA_VERSION})"
+        )
+    if not result["workloads"]:
+        raise BenchSchemaError("result: workloads list is empty")
+    for index, workload in enumerate(result["workloads"]):
+        if not isinstance(workload, dict):
+            raise BenchSchemaError(f"workloads[{index}]: must be a dict")
+        _check_fields(workload, _WORKLOAD_FIELDS, f"workloads[{index}]")
+    _check_fields(result["headline"], _HEADLINE_FIELDS, "headline")
+    names = [workload["name"] for workload in result["workloads"]]
+    if result["headline"]["workload"] not in names:
+        raise BenchSchemaError(
+            f"headline workload {result['headline']['workload']!r} "
+            "not in the workload list"
+        )
+    return result
+
+
+def result_filename(revision: str) -> str:
+    """Canonical artifact name for one revision."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in revision)
+    return f"BENCH_{safe or 'unknown'}.json"
+
+
+def save_result(result: dict, directory: PathLike = ".") -> Path:
+    """Validate and write one result (creating the directory if needed);
+    returns the path written."""
+    validate_result(result)
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / result_filename(result["revision"])
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_result(path: PathLike) -> dict:
+    """Read and validate one result file."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            result = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchSchemaError(f"{path}: unreadable benchmark result: {exc}") from exc
+    return validate_result(result)

@@ -9,13 +9,19 @@ effective address attached (paper §2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.cache.set_assoc import AccessResult
+import numpy as np
+
+from repro.cache.set_assoc import AccessResult, BatchResult
+from repro.trace.batch import TraceBatch
 from repro.trace.record import MemoryAccess
 
 #: Predicate deciding whether one (access, L1 outcome) pair fires the event.
 EventPredicate = Callable[[MemoryAccess, AccessResult], bool]
+
+#: Columnar predicate: (batch, batched outcome) -> boolean event mask.
+BatchEventPredicate = Callable[[TraceBatch, BatchResult], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -27,15 +33,38 @@ class PmuEvent:
         predicate: Fires the counter for a given access/outcome pair.
         precise: Whether PEBS can attach an effective address (all the
             events we model are precise).
+        batch_predicate: Optional vectorized form of ``predicate``; when
+            absent, batched sampling falls back to evaluating the scalar
+            predicate per record.
     """
 
     name: str
     predicate: EventPredicate
     precise: bool = True
+    batch_predicate: Optional[BatchEventPredicate] = None
 
     def matches(self, access: MemoryAccess, result: AccessResult) -> bool:
         """Whether this access/outcome increments the event counter."""
         return self.predicate(access, result)
+
+    def matches_batch(self, batch: TraceBatch, result: BatchResult) -> np.ndarray:
+        """Boolean event mask over a whole batch.
+
+        Uses the vectorized predicate when one is attached; otherwise
+        evaluates the scalar predicate record by record (slow but exact),
+        so user-defined events need no batch form to stay correct.
+        """
+        if self.batch_predicate is not None:
+            return self.batch_predicate(batch, result)
+        results = result.scalar_results()
+        return np.fromiter(
+            (
+                self.predicate(access, outcome)
+                for access, outcome in zip(batch.to_accesses(), results)
+            ),
+            dtype=bool,
+            count=len(results),
+        )
 
 
 def _is_l1_load_miss(access: MemoryAccess, result: AccessResult) -> bool:
@@ -50,11 +79,32 @@ def _is_l1_load_hit(access: MemoryAccess, result: AccessResult) -> bool:
     return access.is_load and result.hit
 
 
+def _batch_l1_load_miss(batch: TraceBatch, result: BatchResult) -> np.ndarray:
+    return batch.is_load & result.miss
+
+
+def _batch_any_load(batch: TraceBatch, result: BatchResult) -> np.ndarray:
+    return batch.is_load
+
+
+def _batch_l1_load_hit(batch: TraceBatch, result: BatchResult) -> np.ndarray:
+    return batch.is_load & result.hit
+
+
 #: The event CCProf samples: retired loads that missed L1 (paper §4).
-L1_MISS_EVENT = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_MISS", _is_l1_load_miss)
+L1_MISS_EVENT = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:L1_MISS", _is_l1_load_miss,
+    batch_predicate=_batch_l1_load_miss,
+)
 
 #: All retired loads — useful for miss-ratio style baselines.
-ALL_LOADS_EVENT = PmuEvent("MEM_UOPS_RETIRED:ALL_LOADS", _is_any_load)
+ALL_LOADS_EVENT = PmuEvent(
+    "MEM_UOPS_RETIRED:ALL_LOADS", _is_any_load,
+    batch_predicate=_batch_any_load,
+)
 
 #: Retired loads that hit L1 — complements the miss event in tests.
-L1_HIT_EVENT = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_HIT", _is_l1_load_hit)
+L1_HIT_EVENT = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:L1_HIT", _is_l1_load_hit,
+    batch_predicate=_batch_l1_load_hit,
+)

@@ -153,6 +153,9 @@ class MonitorSession:
         sleep: Backoff sleep function.  Defaults to a no-op because the
             whole session is simulated time; pass ``time.sleep`` to model
             real waiting.
+        engine: ``"batched"`` (default) drives the trace through the
+            columnar fast path; ``"scalar"`` keeps the per-access
+            reference loop.  Both produce bit-identical profiles.
     """
 
     def __init__(
@@ -165,11 +168,17 @@ class MonitorSession:
         retry_policy: Optional[RetryPolicy] = None,
         budget: Optional[SamplingBudget] = None,
         sleep: Callable[[float], None] = _no_sleep,
+        engine: str = "batched",
     ) -> None:
         if not 0.0 <= attach_failure_rate <= 1.0:
             raise SamplingError(
                 f"attach_failure_rate must be in [0, 1], got {attach_failure_rate}"
             )
+        if engine not in ("batched", "scalar"):
+            raise SamplingError(
+                f"unknown engine {engine!r}; use 'batched' or 'scalar'"
+            )
+        self.engine = engine
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
         self.seed = seed
@@ -224,6 +233,8 @@ class MonitorSession:
             policy=self.policy,
             budget=self.budget,
         )
-        return RawProfile(
-            sampling=sampler.run(stream), allocator=allocator, image=image
-        )
+        if self.engine == "batched":
+            sampling = sampler.run_batched(stream)
+        else:
+            sampling = sampler.run(stream)
+        return RawProfile(sampling=sampling, allocator=allocator, image=image)

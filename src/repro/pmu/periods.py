@@ -14,6 +14,8 @@ import math
 import random
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.errors import SamplingError
 
 
@@ -28,6 +30,22 @@ class PeriodDistribution(ABC):
     @abstractmethod
     def next_period(self, rng: random.Random) -> int:
         """Draw the countdown until the next sample (>= 1)."""
+
+    def next_periods(self, rng: random.Random, count: int) -> np.ndarray:
+        """Draw ``count`` consecutive periods as an int64 column.
+
+        The default draws sequentially through :meth:`next_period`, so the
+        RNG stream (and hence reproducibility against scalar runs) is
+        preserved; distributions that do not consume the RNG may override
+        with a truly vectorized draw.
+        """
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        return np.fromiter(
+            (self.next_period(rng) for _ in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
 
 
 class FixedPeriod(PeriodDistribution):
@@ -48,6 +66,11 @@ class FixedPeriod(PeriodDistribution):
 
     def next_period(self, rng: random.Random) -> int:
         return self.period
+
+    def next_periods(self, rng: random.Random, count: int) -> np.ndarray:
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        return np.full(count, self.period, dtype=np.int64)
 
     def __repr__(self) -> str:
         return f"FixedPeriod({self.period})"

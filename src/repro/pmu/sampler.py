@@ -11,14 +11,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, NamedTuple, Optional
+from typing import Iterable, List, NamedTuple, Optional, Union
+
+import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.pmu.event import L1_MISS_EVENT, PmuEvent
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.robustness.budget import SamplingBudget
+from repro.trace.batch import DEFAULT_BATCH_SIZE, TraceBatch, as_batches
 from repro.trace.record import MemoryAccess
+
+#: Anything the batched engines accept as a trace: a single batch, an
+#: iterable of batches, or a scalar access stream.
+TraceLike = Union[TraceBatch, Iterable]
 
 
 class AddressSample(NamedTuple):
@@ -176,6 +183,120 @@ class AddressSampler:
         result.total_accesses = access_index
         return result
 
+    def run_batched(
+        self,
+        trace: TraceLike,
+        budget: Optional[SamplingBudget] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> SamplingResult:
+        """Vectorized :meth:`run` over columnar trace batches.
+
+        Accepts a :class:`~repro.trace.batch.TraceBatch`, an iterable of
+        batches, or a scalar access stream (converted chunk-wise).  The
+        result is access-for-access identical to :meth:`run` on the same
+        trace and seed: the cache simulation, event mask, countdown walk,
+        and RNG draw sequence all reproduce the scalar reference, and the
+        deterministic budget limits (accesses/events/samples) truncate at
+        the exact same record.  Only the wall-clock ``deadline_seconds``
+        budget differs: it is checked once per batch instead of per
+        access, which can only matter for a limit that is inherently
+        non-deterministic anyway.
+        """
+        rng = self._fresh_rng()
+        cache = SetAssociativeCache(self.geometry, policy=self.policy)
+        result = SamplingResult(
+            mean_period=self.period.mean_period, geometry=self.geometry
+        )
+        budget = budget or self.budget
+        active = budget is not None and not budget.unlimited
+        tracker = budget.tracker() if active else None
+        max_accesses = budget.max_accesses if active else None
+        max_events = budget.max_events if active else None
+        max_samples = budget.max_samples if active else None
+        has_deadline = active and budget.deadline_seconds is not None
+
+        samples = result.samples
+        next_period = self.period.next_period
+        countdown = next_period(rng)
+        access_index = 0
+        event_index = 0
+        for batch in as_batches(trace, batch_size):
+            count = len(batch)
+            if not count:
+                continue
+            outcome = cache.access_batch(batch)
+            mask = np.asarray(self.event.matches_batch(batch, outcome), dtype=bool)
+            event_positions = np.flatnonzero(mask)
+
+            # Deterministic budgets map to a local cut: the 0-based batch
+            # position of the access after which the scalar loop truncates.
+            cut: Optional[int] = None
+            if (
+                max_accesses is not None
+                and access_index + count >= max_accesses
+            ):
+                cut = max_accesses - access_index - 1
+            if max_events is not None:
+                needed = max_events - event_index
+                if needed <= event_positions.size:
+                    event_cut = int(event_positions[needed - 1])
+                    if cut is None or event_cut < cut:
+                        cut = event_cut
+            eligible = (
+                event_positions if cut is None
+                else event_positions[event_positions <= cut]
+            )
+
+            # Countdown walk: the j-th eligible event of this batch fires a
+            # sample when the running countdown lands on it.  One RNG draw
+            # per captured sample — the same draw sequence as the scalar
+            # loop, including the draw that precedes a sample-budget stop.
+            ips = batch.ip
+            addresses = batch.address
+            total_eligible = int(eligible.size)
+            pointer = countdown - 1
+            sample_cut: Optional[int] = None
+            while pointer < total_eligible:
+                position = int(eligible[pointer])
+                samples.append(
+                    AddressSample(
+                        ip=int(ips[position]),
+                        address=int(addresses[position]),
+                        event_index=event_index + pointer,
+                        access_index=access_index + position,
+                    )
+                )
+                period = next_period(rng)
+                if max_samples is not None and len(samples) >= max_samples:
+                    sample_cut = position
+                    break
+                pointer += period
+
+            if sample_cut is not None and (cut is None or sample_cut <= cut):
+                cut = sample_cut
+            if cut is not None:
+                access_index += cut + 1
+                event_index += int(np.count_nonzero(event_positions <= cut))
+                result.truncated = True
+                result.truncation_reason = tracker.exhausted_now(
+                    access_index, event_index, len(samples)
+                )
+                break
+            countdown = pointer - total_eligible + 1
+            access_index += count
+            event_index += int(event_positions.size)
+            if has_deadline:
+                reason = tracker.exhausted_now(
+                    access_index, event_index, len(samples)
+                )
+                if reason is not None:
+                    result.truncated = True
+                    result.truncation_reason = reason
+                    break
+        result.total_events = event_index
+        result.total_accesses = access_index
+        return result
+
     def run_with_trace_of_events(self, stream: Iterable[MemoryAccess]) -> tuple:
         """Profile while also recording the *full* event stream.
 
@@ -211,5 +332,57 @@ class AddressSampler:
                     countdown = self.period.next_period(rng)
             access_index += 1
         result.total_events = event_index
+        result.total_accesses = access_index
+        return result, events
+
+    def run_with_trace_of_events_batched(
+        self, trace: TraceLike, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> tuple:
+        """Vectorized :meth:`run_with_trace_of_events`.
+
+        Same contract and bit-identical output on the same trace/seed:
+        (SamplingResult, list of every qualifying event).
+        """
+        rng = self._fresh_rng()
+        cache = SetAssociativeCache(self.geometry, policy=self.policy)
+        result = SamplingResult(
+            mean_period=self.period.mean_period, geometry=self.geometry
+        )
+        events: List[AddressSample] = []
+        next_period = self.period.next_period
+        countdown = next_period(rng)
+        access_index = 0
+        for batch in as_batches(trace, batch_size):
+            count = len(batch)
+            if not count:
+                continue
+            outcome = cache.access_batch(batch)
+            mask = np.asarray(self.event.matches_batch(batch, outcome), dtype=bool)
+            event_positions = np.flatnonzero(mask)
+            base_ordinal = len(events)
+            batch_events = [
+                AddressSample(
+                    ip=ip,
+                    address=address,
+                    event_index=base_ordinal + ordinal,
+                    access_index=access_index + position,
+                )
+                for ordinal, (ip, address, position) in enumerate(
+                    zip(
+                        batch.ip[event_positions].tolist(),
+                        batch.address[event_positions].tolist(),
+                        event_positions.tolist(),
+                    )
+                )
+            ]
+            events.extend(batch_events)
+            total = len(batch_events)
+            pointer = countdown - 1
+            while pointer < total:
+                result.samples.append(batch_events[pointer])
+                pointer += next_period(rng)
+            countdown = pointer - total + 1
+            access_index += count
+        result.total_events = len(events)
         result.total_accesses = access_index
         return result, events

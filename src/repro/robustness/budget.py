@@ -110,3 +110,28 @@ class BudgetTracker:
                         f"deadline exceeded ({budget.deadline_seconds}s)"
                     )
         return self.reason
+
+    def exhausted_now(
+        self, accesses: int, events: int, samples: int
+    ) -> Optional[str]:
+        """Batch-granularity variant of :meth:`exhausted_after`.
+
+        Identical limits and priority order, but the deadline branch
+        always consults the clock: the batched sampler calls this once per
+        batch rather than once per access, so the per-access stride
+        amortization would starve the deadline check.
+        """
+        if self.reason is not None:
+            return self.reason
+        budget = self.budget
+        if budget.max_accesses is not None and accesses >= budget.max_accesses:
+            self.reason = f"access budget exhausted ({budget.max_accesses})"
+        elif budget.max_events is not None and events >= budget.max_events:
+            self.reason = f"event budget exhausted ({budget.max_events})"
+        elif budget.max_samples is not None and samples >= budget.max_samples:
+            self.reason = f"sample budget exhausted ({budget.max_samples})"
+        elif budget.deadline_seconds is not None:
+            elapsed = budget.clock() - self._started_at
+            if elapsed >= budget.deadline_seconds:
+                self.reason = f"deadline exceeded ({budget.deadline_seconds}s)"
+        return self.reason

@@ -12,10 +12,16 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Iterator, List, Sequence
 
+import numpy as np
+
+from repro.trace.batch import DEFAULT_BATCH_SIZE, TraceBatch, iter_batches
 from repro.trace.record import MemoryAccess
 
 #: A trace stream is any iterable of memory accesses.
 TraceStream = Iterable[MemoryAccess]
+
+#: A batch stream is any iterable of columnar trace batches.
+BatchStream = Iterable[TraceBatch]
 
 
 def concat_traces(*streams: TraceStream) -> Iterator[MemoryAccess]:
@@ -105,6 +111,69 @@ def windowed(stream: TraceStream, window: int) -> Iterator[List[MemoryAccess]]:
         if not block:
             return
         yield block
+
+
+def batched(
+    stream: TraceStream, size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[TraceBatch]:
+    """Chunk a scalar stream into columnar :class:`TraceBatch` runs.
+
+    The bridge between the composable scalar helpers above and the
+    vectorized engines: ``batched(take(trace, n))`` or
+    ``batched(filter_loads(trace))`` convert lazily, ``size`` accesses at
+    a time, without materializing the full trace.
+    """
+    return iter_batches(stream, size)
+
+
+def unbatched(batches: BatchStream) -> Iterator[MemoryAccess]:
+    """Flatten a batch stream back into scalar accesses.
+
+    The inverse bridge: every scalar helper composes with batched data via
+    ``take(unbatched(batches), n)`` and friends.
+    """
+    for batch in batches:
+        yield from batch.to_accesses()
+
+
+def filter_batches_by_ip(
+    batches: BatchStream, ips: Iterable[int]
+) -> Iterator[TraceBatch]:
+    """Vectorized :func:`filter_by_ip` over a batch stream.
+
+    One ``np.isin`` per batch replaces the per-access membership test;
+    batches that lose every record are dropped rather than yielded empty.
+    """
+    wanted = np.fromiter((int(ip) for ip in ips), dtype=np.uint64)
+    for batch in batches:
+        mask = np.isin(batch.ip, wanted)
+        if mask.all():
+            yield batch
+        elif mask.any():
+            yield batch[mask]
+
+
+def take_batches(batches: BatchStream, count: int) -> Iterator[TraceBatch]:
+    """Yield at most ``count`` accesses from a batch stream, splitting the
+    final batch as needed (batch analogue of :func:`take`)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative: {count}")
+    remaining = count
+    for batch in batches:
+        if remaining <= 0:
+            return
+        if len(batch) <= remaining:
+            remaining -= len(batch)
+            yield batch
+        else:
+            yield batch[:remaining]
+            return
+
+
+def concat_batch_streams(*streams: BatchStream) -> Iterator[TraceBatch]:
+    """Chain several batch streams end to end (batch analogue of
+    :func:`concat_traces`)."""
+    return itertools.chain.from_iterable(streams)
 
 
 def materialize(stream: TraceStream) -> List[MemoryAccess]:

@@ -1,0 +1,136 @@
+"""BENCH_*.json schema: round-trips, validation, harness smoke run."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.harness import HEADLINE_WORKLOAD, run_benchmark
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    load_result,
+    result_filename,
+    save_result,
+    validate_result,
+)
+
+
+def minimal_result() -> dict:
+    workload = {
+        "name": HEADLINE_WORKLOAD,
+        "kind": "cache",
+        "accesses": 1000,
+        "scalar_seconds": 0.5,
+        "batched_seconds": 0.05,
+        "scalar_accesses_per_sec": 2000.0,
+        "batched_accesses_per_sec": 20000.0,
+        "speedup": 10.0,
+        "match": True,
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "revision": "abc1234",
+        "batch_size": 65536,
+        "quick": False,
+        "workloads": [workload],
+        "headline": {
+            "workload": HEADLINE_WORKLOAD,
+            "speedup": 10.0,
+            "target_speedup": 10.0,
+            "target_met": True,
+            "all_match": True,
+        },
+    }
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        result = minimal_result()
+        path = save_result(result, tmp_path)
+        assert path.name == "BENCH_abc1234.json"
+        assert load_result(path) == result
+
+    def test_result_filename_sanitizes(self):
+        assert result_filename("ab/..zz") == "BENCH_ab_..zz.json"
+        assert result_filename("") == "BENCH_unknown.json"
+
+    def test_missing_top_field_rejected(self):
+        result = minimal_result()
+        del result["revision"]
+        with pytest.raises(BenchSchemaError, match="revision"):
+            validate_result(result)
+
+    def test_missing_workload_field_rejected(self):
+        result = minimal_result()
+        del result["workloads"][0]["speedup"]
+        with pytest.raises(BenchSchemaError, match="speedup"):
+            validate_result(result)
+
+    def test_wrong_type_rejected(self):
+        result = minimal_result()
+        result["workloads"][0]["match"] = "yes"
+        with pytest.raises(BenchSchemaError, match="match"):
+            validate_result(result)
+
+    def test_bool_is_not_int(self):
+        result = minimal_result()
+        result["batch_size"] = True
+        with pytest.raises(BenchSchemaError, match="batch_size"):
+            validate_result(result)
+
+    def test_unknown_schema_version_rejected(self):
+        result = minimal_result()
+        result["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate_result(result)
+
+    def test_empty_workloads_rejected(self):
+        result = minimal_result()
+        result["workloads"] = []
+        with pytest.raises(BenchSchemaError, match="empty"):
+            validate_result(result)
+
+    def test_headline_must_reference_a_workload(self):
+        result = minimal_result()
+        result["headline"]["workload"] = "nope"
+        with pytest.raises(BenchSchemaError, match="nope"):
+            validate_result(result)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json", encoding="ascii")
+        with pytest.raises(BenchSchemaError):
+            load_result(path)
+
+    def test_validate_returns_input_unmutated(self):
+        result = minimal_result()
+        snapshot = copy.deepcopy(result)
+        assert validate_result(result) is result
+        assert result == snapshot
+
+
+class TestHarness:
+    def test_tiny_run_is_schema_valid_and_matches(self, tmp_path):
+        lines = []
+        result = run_benchmark(accesses=2000, progress=lines.append)
+        validate_result(result)
+        assert len(lines) == len(result["workloads"])
+        assert result["headline"]["all_match"], "batched engine diverged"
+        assert {w["name"] for w in result["workloads"]} >= {
+            HEADLINE_WORKLOAD,
+            "lru_zipf",
+            "lru_uniform",
+            "sampler_zipf",
+            "exact_rcd",
+        }
+        path = save_result(result, tmp_path)
+        on_disk = json.loads(path.read_text(encoding="ascii"))
+        assert on_disk == result
+
+    def test_quick_flag_recorded(self):
+        result = run_benchmark(quick=True, accesses=1000)
+        assert result["quick"] is True
+        assert result["workloads"][0]["accesses"] == 1000
