@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench perf compile
+.PHONY: test chaos bench perf compile lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +22,17 @@ perf:
 
 compile:
 	$(PYTHON) -m compileall -q src
+
+# ruff + mypy when available (CI installs both); skips with a notice
+# otherwise so the target works in minimal environments.
+lint:
+	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('ruff') is None)"; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('mypy') is None)"; then \
+		$(PYTHON) -m mypy src/repro/analysis; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi

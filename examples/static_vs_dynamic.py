@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Static prediction vs dynamic measurement — and where each one wins.
+
+``repro.analysis`` predicts victim sets from declared affine access
+patterns alone (zero trace accesses).  This walkthrough puts the
+prediction next to a real CCProf run on two very different cases:
+
+1. **gemm** — an *intra-array* conflict: the column walk over ``B`` folds
+   onto few sets.  That is visible in a single access descriptor, so the
+   static pass nails the same victim sets the profiler measures.
+2. **Needleman-Wunsch** — the paper's §6.1 *inter-array* conflict: each
+   array is individually harmless; the collision comes from the relative
+   heap addresses of ``reference`` and ``input_itemsets``.  Per-access
+   analysis is blind to that by construction, so the static report comes
+   out clean while the profiler flags the conflict — the honest boundary
+   of what analysis without an allocator model can see.
+
+Run:
+    python examples/static_vs_dynamic.py
+"""
+
+from repro import CacheGeometry, CCProf, UniformJitterPeriod
+from repro.analysis.validation import (
+    VALIDATION_GEOMETRY,
+    VALIDATION_PERIOD_MEAN,
+    measured_victim_sets,
+    predict_conflicts,
+)
+from repro.workloads import NeedlemanWunschWorkload
+from repro.workloads.polybench import GemmWorkload
+
+PAPER_GEOMETRY = CacheGeometry()  # the paper's 64-set x 8-way L1
+
+
+def compare(workload, geometry, period_mean) -> None:
+    """Print predicted vs measured victim sets, loop by loop."""
+    static_report = predict_conflicts(workload, geometry=geometry)
+
+    profiler = CCProf(
+        geometry=geometry, period=UniformJitterPeriod(period_mean), seed=1
+    )
+    profile = profiler.profile(workload)
+    measured = measured_victim_sets(profile, geometry)
+
+    print(f"{'loop':<18} {'predicted':>10} {'measured':>9}  agreement")
+    loops = {loop.loop_name for loop in static_report.loops} | set(measured)
+    for name in sorted(loops):
+        try:
+            predicted = set(static_report.loop(name).victim_sets)
+        except Exception:
+            predicted = set()
+        dynamic, _cf = measured.get(name, ([], 0.0))
+        dynamic = set(dynamic)
+        if predicted or dynamic:
+            overlap = len(predicted & dynamic)
+            union = len(predicted | dynamic)
+            verdict = f"{overlap}/{union} sets overlap"
+        else:
+            verdict = "both clean"
+        print(f"{name:<18} {len(predicted):>10} {len(dynamic):>9}  {verdict}")
+    print("  (static side simulated 0 trace accesses)")
+
+
+def main() -> None:
+    # gemm runs on the small cross-validation geometry (16 sets x 4 ways)
+    # so the column-walk fold is deep and the dynamic run stays quick.
+    print("== gemm: intra-array conflict — analysis sees it ==")
+    compare(GemmWorkload(n=32), VALIDATION_GEOMETRY, VALIDATION_PERIOD_MEAN)
+
+    print("\n== gemm, padded: analysis clears it too ==")
+    compare(
+        GemmWorkload(n=32, pad_bytes=64), VALIDATION_GEOMETRY, VALIDATION_PERIOD_MEAN
+    )
+
+    print("\n== Needleman-Wunsch: inter-array conflict — only profiling sees it ==")
+    compare(NeedlemanWunschWorkload.original(n=256), PAPER_GEOMETRY, 171)
+    print(
+        "\nNW's conflict lives in the *relative addresses* of reference and\n"
+        "input_itemsets, not in any single access pattern; the static pass\n"
+        "correctly finds every per-array walk harmless, and the dynamic\n"
+        "profiler is what catches the collision.  Static prediction is a\n"
+        "pre-run layout check, not a profiler replacement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""The analysis-pass framework: cached passes with dependency resolution.
+
+Modeled on the ``IRAnalysis`` / ``analyses_cache`` architecture of SSA
+compiler middle-ends (see SNIPPETS.md snippet 1): a pass is a class whose
+``analyze`` method computes a result over the immutable inputs, requesting
+other passes through the cache; the cache runs each pass at most once and
+answers later requests from memory.
+
+Two extensions matter here:
+
+- **Dependency tracking** — every ``request`` issued while a pass runs is
+  recorded, so :meth:`AnalysisCache.invalidate` can cascade to transitive
+  dependents (a re-run of ``SetPressureAnalysis`` must also re-run
+  ``ConflictPredictionAnalysis``, which consumed it).
+- **Cycle detection** — a pass requesting itself, directly or through a
+  chain, is a programming error and raises immediately instead of
+  recursing forever.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple, Type, TypeVar
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.analysis.model import StaticModel
+
+PassT = TypeVar("PassT", bound="AnalysisPass")
+
+
+class AnalysisPass(ABC):
+    """One analysis over a :class:`~repro.analysis.model.StaticModel`.
+
+    Subclasses implement :meth:`analyze`, storing their results as
+    attributes; dependencies are obtained with ``self.request(OtherPass)``
+    (or declared up front in :attr:`requires`, which the cache satisfies
+    before ``analyze`` runs).
+    """
+
+    #: Passes the cache runs before this one's ``analyze``.
+    requires: Tuple[Type["AnalysisPass"], ...] = ()
+
+    def __init__(self, cache: "AnalysisCache") -> None:
+        self.cache = cache
+        self.model = cache.model
+
+    @abstractmethod
+    def analyze(self) -> None:
+        """Compute this pass's results (store them on ``self``)."""
+
+    def request(self, pass_type: Type[PassT]) -> PassT:
+        """Obtain another pass's (cached) results, recording the edge."""
+        return self.cache.request(pass_type)
+
+    @classmethod
+    def pass_name(cls) -> str:
+        """Human name used in stats and error messages."""
+        return cls.__name__
+
+
+@dataclass
+class CacheStats:
+    """Run/hit counters for one :class:`AnalysisCache`."""
+
+    runs: int = 0
+    hits: int = 0
+    invalidations: int = 0
+
+    def describe(self) -> str:
+        """One-line rendering for CLI output."""
+        return (
+            f"{self.runs} passes run, {self.hits} cache hits, "
+            f"{self.invalidations} invalidations"
+        )
+
+
+@dataclass
+class AnalysisCache:
+    """Runs passes on demand and memoizes their results.
+
+    Attributes:
+        model: The immutable inputs every pass sees.
+    """
+
+    model: "StaticModel"
+    stats: CacheStats = field(default_factory=CacheStats)
+    _results: Dict[Type[AnalysisPass], AnalysisPass] = field(default_factory=dict)
+    #: pass -> passes that requested it (reverse dependency edges).
+    _dependents: Dict[Type[AnalysisPass], Set[Type[AnalysisPass]]] = field(
+        default_factory=dict
+    )
+    _running: List[Type[AnalysisPass]] = field(default_factory=list)
+
+    def request(self, pass_type: Type[PassT]) -> PassT:
+        """Return ``pass_type``'s results, running it first if needed."""
+        self._record_dependency(pass_type)
+        cached = self._results.get(pass_type)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached  # type: ignore[return-value]
+        if pass_type in self._running:
+            chain = " -> ".join(p.pass_name() for p in self._running)
+            raise AnalysisError(
+                f"circular analysis dependency: {chain} -> {pass_type.pass_name()}"
+            )
+        self._running.append(pass_type)
+        try:
+            instance = pass_type(self)
+            for dependency in pass_type.requires:
+                self.request(dependency)
+            instance.analyze()
+        finally:
+            self._running.pop()
+        self._results[pass_type] = instance
+        self.stats.runs += 1
+        return instance
+
+    def _record_dependency(self, pass_type: Type[AnalysisPass]) -> None:
+        if self._running:
+            self._dependents.setdefault(pass_type, set()).add(self._running[-1])
+
+    def has_result(self, pass_type: Type[AnalysisPass]) -> bool:
+        """Whether ``pass_type`` has a cached result."""
+        return pass_type in self._results
+
+    def invalidate(self, pass_type: Type[AnalysisPass]) -> List[Type[AnalysisPass]]:
+        """Drop a pass's cached result and, transitively, its dependents.
+
+        Returns:
+            The passes actually evicted, in eviction order.
+        """
+        evicted: List[Type[AnalysisPass]] = []
+        worklist: List[Type[AnalysisPass]] = [pass_type]
+        seen: Set[Type[AnalysisPass]] = set()
+        while worklist:
+            current = worklist.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._results:
+                del self._results[current]
+                evicted.append(current)
+                self.stats.invalidations += 1
+            worklist.extend(self._dependents.get(current, ()))
+        return evicted
+
+    def invalidate_all(self) -> None:
+        """Drop every cached result (e.g. after the model changed)."""
+        self.stats.invalidations += len(self._results)
+        self._results.clear()
+        self._dependents.clear()

@@ -1,0 +1,82 @@
+"""The immutable inputs of static analysis: a :class:`StaticModel`.
+
+A model bundles exactly what the passes may look at — the program image
+(for loop recovery), the cache geometry (for set arithmetic), the declared
+affine accesses, and the workload's array objects (for padding advice).
+Nothing here runs a trace; building a model from a workload touches only
+its declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.descriptors import AffineAccess
+from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
+from repro.program.image import ProgramImage
+
+
+def _is_array_like(value: object) -> bool:
+    """Duck-typed test for Array1D/2D/3D (has a labelled allocation)."""
+    allocation = getattr(value, "allocation", None)
+    return allocation is not None and hasattr(allocation, "label")
+
+
+@dataclass(frozen=True)
+class StaticModel:
+    """Everything the analysis passes are allowed to see.
+
+    Attributes:
+        workload_name: Report header, e.g. ``gemm``.
+        image: The program image whose CFGs encode the loop nests.
+        geometry: Cache geometry the prediction targets.
+        accesses: Declared affine accesses, in declaration order.
+        arrays: Array objects by allocation label (used by the padding
+            pass; values are ``Array1D``/``Array2D``/``Array3D``).
+    """
+
+    workload_name: str
+    image: ProgramImage
+    geometry: CacheGeometry
+    accesses: Tuple[AffineAccess, ...]
+    arrays: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.accesses:
+            raise AnalysisError(
+                f"workload {self.workload_name!r} declares no affine access "
+                "patterns; static prediction needs access_patterns()"
+            )
+
+    @classmethod
+    def from_workload(
+        cls, workload: object, geometry: Optional[CacheGeometry] = None
+    ) -> "StaticModel":
+        """Build a model from a workload's declarations — no trace run.
+
+        The workload must implement ``access_patterns()`` (see
+        ``TraceWorkload``); its array attributes are discovered by
+        duck-typing so 1-D, 2-D and 3-D arrays all register.
+        """
+        patterns = getattr(workload, "access_patterns", None)
+        if patterns is None:
+            raise AnalysisError(
+                f"{type(workload).__name__} has no access_patterns(); "
+                "cannot build a static model"
+            )
+        accesses = tuple(patterns())
+        arrays: Dict[str, object] = {}
+        for value in vars(workload).values():
+            if _is_array_like(value):
+                arrays[str(value.allocation.label)] = value  # type: ignore[attr-defined]
+        name = str(getattr(workload, "name", type(workload).__name__))
+        image = workload.image  # type: ignore[attr-defined]
+        return cls(
+            workload_name=name,
+            image=image,
+            geometry=geometry or CacheGeometry(),
+            accesses=accesses,
+            arrays=arrays,
+        )

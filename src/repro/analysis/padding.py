@@ -1,0 +1,83 @@
+"""`StaticPaddingAnalysis`: padding advice from the static prediction.
+
+The dynamic pipeline ends with ``recommend_pads_for_report`` over a
+measured :class:`~repro.core.report.ConflictReport`; this pass closes the
+same loop without a trace: arrays implicated by
+:class:`~repro.analysis.prediction.ConflictPredictionAnalysis` are fed to
+the same :func:`~repro.optimize.padding_advisor.advise_padding`
+arithmetic, so a workload can be laid out correctly before it ever runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.framework import AnalysisPass
+from repro.analysis.prediction import ConflictPredictionAnalysis
+
+if TYPE_CHECKING:
+    from repro.optimize.padding_advisor import PaddingRecommendation
+
+
+@dataclass
+class StaticPaddingAdvice:
+    """Padding plan derived purely from static prediction.
+
+    Attributes:
+        recommendations: One per implicated 2-D array, in the prediction
+            report's ranking order.
+        skipped_labels: Implicated structures that are not 2-D arrays
+            (row padding does not apply to them).
+    """
+
+    recommendations: List["PaddingRecommendation"] = field(default_factory=list)
+    skipped_labels: List[str] = field(default_factory=list)
+
+    @property
+    def needed(self) -> List["PaddingRecommendation"]:
+        """Recommendations that actually add padding."""
+        return [rec for rec in self.recommendations if rec.is_needed]
+
+    def render(self) -> str:
+        """Text rendering for the CLI."""
+        if not self.recommendations and not self.skipped_labels:
+            return "no data structures implicated; no padding needed"
+        lines = []
+        for rec in self.recommendations:
+            verdict = f"+{rec.pad_bytes} B/row" if rec.is_needed else "no pad needed"
+            lines.append(f"{rec.label:<24} {verdict:<16} {rec.reason}")
+        for label in self.skipped_labels:
+            lines.append(f"{label:<24} {'skipped':<16} not a 2-D array")
+        return "\n".join(lines)
+
+
+class StaticPaddingAnalysis(AnalysisPass):
+    """Advise row pads for arrays the static prediction implicates."""
+
+    requires = (ConflictPredictionAnalysis,)
+
+    advice: StaticPaddingAdvice
+
+    def analyze(self) -> None:
+        # Imported lazily: the advisor module imports the workloads package
+        # (whose modules import repro.analysis), so a module-level import
+        # here would close a cycle through partially-initialized modules.
+        from repro.optimize.padding_advisor import advise_padding
+        from repro.workloads.base import Array2D
+
+        prediction = self.request(ConflictPredictionAnalysis)
+        self.advice = StaticPaddingAdvice()
+        seen: List[str] = []
+        for loop in prediction.report.conflicting_loops():
+            for structure in loop.data_structures:
+                if structure.label in seen:
+                    continue
+                seen.append(structure.label)
+                array = self.model.arrays.get(structure.label)
+                if isinstance(array, Array2D):
+                    self.advice.recommendations.append(
+                        advise_padding(array, self.model.geometry)
+                    )
+                else:
+                    self.advice.skipped_labels.append(structure.label)

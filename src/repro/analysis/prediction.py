@@ -1,0 +1,189 @@
+"""`ConflictPredictionAnalysis`: ranked static conflict report.
+
+Turns the per-loop window pressures of
+:class:`~repro.analysis.pressure.SetPressureAnalysis` into a report whose
+shape mirrors the dynamic :class:`~repro.core.report.ConflictReport` —
+same loop names, a contribution-factor analog, sets utilized, victim sets
+and implicated data structures — so the two can be diffed loop by loop.
+The static contribution factor is the fraction of a loop's statically
+declared accesses issued by conflicting access sites, the zero-trace
+analog of Equation 1's sampled cf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.access import AccessPatternAnalysis
+from repro.analysis.framework import AnalysisPass
+from repro.analysis.pressure import SetPressureAnalysis
+
+
+@dataclass
+class StaticDataStructure:
+    """One data structure implicated by the static prediction.
+
+    Attributes:
+        label: Allocation label, e.g. ``B``.
+        trip_count: Static accesses the conflicting sites issue to it.
+        share: Fraction of the loop's static accesses that is.
+    """
+
+    label: str
+    trip_count: int
+    share: float
+
+
+@dataclass
+class StaticLoopPrediction:
+    """Static verdict for one loop — the zero-trace ``LoopReport``.
+
+    Attributes:
+        loop_name: ``file:line`` of the loop header (or ``func@ip``),
+            identical to the dynamic report's naming.
+        depth: Loop nesting depth.
+        weight: Total static accesses the loop's sites declare.
+        weight_share: This loop's fraction of the workload's accesses —
+            the static analog of miss contribution (rank key).
+        predicted_cf: Fraction of the loop's accesses issued by sites
+            with a conflicting reuse window.
+        sets_utilized: Distinct sets the loop's footprint can touch.
+        victim_sets: Predicted victim sets, sorted.
+        has_conflict: Whether any window conflicts.
+        data_structures: Implicated structures, largest share first.
+    """
+
+    loop_name: str
+    depth: int
+    weight: int
+    weight_share: float
+    predicted_cf: float
+    sets_utilized: int
+    victim_sets: List[int]
+    has_conflict: bool
+    data_structures: List[StaticDataStructure] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line rendering for the text report."""
+        verdict = "CONFLICT" if self.has_conflict else "ok"
+        victims = str(len(self.victim_sets)) if self.victim_sets else "-"
+        return (
+            f"{self.loop_name:<28} {self.weight_share:>7.2%} "
+            f"cf={self.predicted_cf:.3f} sets={self.sets_utilized:>3} "
+            f"victims={victims:>4} {verdict}"
+        )
+
+
+@dataclass
+class StaticConflictReport:
+    """Whole-workload static prediction, ranked by access weight."""
+
+    workload_name: str
+    geometry_name: str
+    loops: List[StaticLoopPrediction] = field(default_factory=list)
+
+    def conflicting_loops(self) -> List[StaticLoopPrediction]:
+        """Loops predicted to conflict."""
+        return [loop for loop in self.loops if loop.has_conflict]
+
+    @property
+    def has_conflicts(self) -> bool:
+        """Whether any loop is predicted to conflict."""
+        return any(loop.has_conflict for loop in self.loops)
+
+    def loop(self, loop_name: str) -> StaticLoopPrediction:
+        """Look up one loop's prediction."""
+        for entry in self.loops:
+            if entry.loop_name == loop_name:
+                return entry
+        raise KeyError(f"no prediction for loop {loop_name!r}")
+
+    def render(self) -> str:
+        """Multi-line text report, ConflictReport style."""
+        lines = [
+            f"CCProf static prediction: {self.workload_name}",
+            f"  geometry: {self.geometry_name}",
+            "  trace accesses simulated: 0",
+            "",
+            f"  {'loop':<28} {'weight':>8} {'cf':>8} {'sets':>4} "
+            f"{'victims':>8} verdict",
+        ]
+        for loop in self.loops:
+            lines.append("  " + loop.describe())
+            for structure in loop.data_structures:
+                lines.append(
+                    f"      data: {structure.label:<24} "
+                    f"{structure.trip_count:>8} accesses ({structure.share:.1%})"
+                )
+            if loop.victim_sets:
+                rendered = ", ".join(str(s) for s in loop.victim_sets[:12])
+                if len(loop.victim_sets) > 12:
+                    rendered += ", ..."
+                lines.append(f"      victim sets: [{rendered}]")
+        if not self.loops:
+            lines.append("  (no loops with declared access patterns)")
+        return "\n".join(lines)
+
+
+class ConflictPredictionAnalysis(AnalysisPass):
+    """Assemble the ranked :class:`StaticConflictReport`."""
+
+    requires = (AccessPatternAnalysis, SetPressureAnalysis)
+
+    report: StaticConflictReport
+
+    def analyze(self) -> None:
+        patterns = self.request(AccessPatternAnalysis)
+        pressure = self.request(SetPressureAnalysis)
+        geometry = self.model.geometry
+        total_weight = sum(pattern.weight for pattern in patterns.patterns)
+        loops: List[StaticLoopPrediction] = []
+        for pattern in patterns.patterns:
+            conflicting = pressure.conflicting_accesses.get(pattern.loop_name, [])
+            conflict_weight = sum(access.trip_count for access in conflicting)
+            weight = pattern.weight
+            victims = pressure.loop_victims(pattern.loop_name)
+            loops.append(
+                StaticLoopPrediction(
+                    loop_name=pattern.loop_name,
+                    depth=pattern.depth,
+                    weight=weight,
+                    weight_share=weight / total_weight if total_weight else 0.0,
+                    predicted_cf=conflict_weight / weight if weight else 0.0,
+                    sets_utilized=int(
+                        pressure.footprint_sets_by_loop[pattern.loop_name].size
+                    ),
+                    victim_sets=victims,
+                    has_conflict=bool(victims),
+                    data_structures=self._data_structures(conflicting, weight),
+                )
+            )
+        loops.sort(key=lambda loop: loop.weight_share, reverse=True)
+        geometry_name = (
+            f"{geometry.num_sets} sets x {geometry.ways} ways, "
+            f"{geometry.line_size}B lines"
+        )
+        self.report = StaticConflictReport(
+            workload_name=self.model.workload_name,
+            geometry_name=geometry_name,
+            loops=loops,
+        )
+
+    @staticmethod
+    def _data_structures(
+        conflicting: List, weight: int
+    ) -> List[StaticDataStructure]:
+        by_label: Dict[str, int] = {}
+        for access in conflicting:
+            by_label[access.label] = by_label.get(access.label, 0) + access.trip_count
+        structures = [
+            StaticDataStructure(
+                label=label,
+                trip_count=count,
+                share=count / weight if weight else 0.0,
+            )
+            for label, count in by_label.items()
+        ]
+        structures.sort(key=lambda s: s.trip_count, reverse=True)
+        return structures

@@ -1,0 +1,262 @@
+"""`SetPressureAnalysis`: map affine accesses to cache-set pressure.
+
+The mathematics is residue arithmetic over the cache mapping period
+(Vila et al.'s view of conflict groups as arithmetic objects over index
+bits):
+
+- The **footprint** of an access — which sets it can ever touch — depends
+  only on its dimension strides modulo ``mapping_period``.  Each dimension
+  contributes the cyclic progression ``{i * stride mod period}``, whose
+  distinct values number ``period / gcd(stride, period)``; the footprint is
+  the sumset of the per-dimension progressions.  This is exact and costs
+  O(period), never O(trip count).
+- The **reuse window** of an access localizes conflict in time.  A
+  dimension with ``|stride| < line_size`` (including stride 0) revisits the
+  same cache line on consecutive iterations, so every line touched by the
+  dimensions nested *inside* it must stay resident between revisits.  The
+  window's per-set pressure is the count of distinct lines per set in that
+  inner footprint; pressure above the associativity marks a **predicted
+  victim set** — more live lines compete for the set than it has ways.
+- A window whose pressure is high but *uniform* across nearly all sets is
+  a capacity problem, not a conflict (the paper's distinction): those
+  windows are gated out by a utilization/imbalance test rather than
+  reported as victims.
+
+Victim sets are finally widened by the **shift union**: outer dimensions
+slide the window across memory, so every set the window's start can reach
+contributes a shifted copy of the overflow pattern — matching how the
+dynamic profiler accumulates victims over a whole run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.access import AccessPatternAnalysis
+from repro.analysis.descriptors import AccessDim, AffineAccess
+from repro.analysis.framework import AnalysisPass
+from repro.cache.geometry import CacheGeometry
+
+
+def residue_progression(stride: int, extent: int, period: int) -> np.ndarray:
+    """Distinct values of ``i * stride mod period`` for ``0 <= i < extent``.
+
+    Exact: the progression repeats with cycle ``period / gcd(stride,
+    period)``, so extents beyond the cycle add nothing.
+    """
+    step = stride % period
+    if step == 0 or extent <= 1:
+        return np.zeros(1, dtype=np.int64)
+    cycle = period // math.gcd(step, period)
+    reps = min(extent, cycle)
+    return np.unique((np.arange(reps, dtype=np.int64) * step) % period)
+
+
+def footprint_residues(dims: Sequence[AccessDim], period: int) -> np.ndarray:
+    """Distinct address offsets modulo ``period`` of a full iteration space.
+
+    The sumset of the per-dimension progressions — exact, and bounded by
+    ``period`` values regardless of trip counts.
+    """
+    residues = np.zeros(1, dtype=np.int64)
+    for dim in dims:
+        progression = residue_progression(dim.stride, dim.extent, period)
+        if progression.size == 1 and progression[0] == 0:
+            continue
+        residues = np.unique(
+            (residues[:, None] + progression[None, :]).ravel() % period
+        )
+    return residues
+
+
+def footprint_set_indices(access: AffineAccess, geometry: CacheGeometry) -> np.ndarray:
+    """Exact set-index residue classes of an access's element addresses.
+
+    Equals ``{geometry.set_index(a)}`` over every address the iteration
+    space generates, computed in O(mapping_period) by residue arithmetic
+    (this equivalence is property-tested against brute-force enumeration).
+    """
+    period = geometry.mapping_period
+    residues = footprint_residues(access.dims, period)
+    offsets = (np.int64(access.base % period) + residues) % period
+    return np.unique(offsets >> np.int64(geometry.offset_bits))
+
+
+def _window_lines(
+    base: int, dims: Sequence[AccessDim], elem_size: int, geometry: CacheGeometry,
+    max_points: int,
+) -> np.ndarray:
+    """Distinct absolute cache-line numbers of one window instance.
+
+    Enumerates the window's *distinct byte offsets* (deduplicated per
+    dimension, so repeated/zero strides do not multiply work), clamped at
+    ``max_points`` offsets.
+    """
+    offsets = np.zeros(1, dtype=np.int64)
+    for dim in dims:
+        extent = dim.extent
+        if offsets.size * extent > max_points:
+            extent = max(1, max_points // max(1, offsets.size))
+        steps = np.arange(extent, dtype=np.int64) * np.int64(dim.stride)
+        offsets = np.unique((offsets[:, None] + steps[None, :]).ravel())
+    addresses = np.int64(base) + offsets
+    shift = np.int64(geometry.offset_bits)
+    line_cols = [addresses >> shift]
+    if elem_size > 1:
+        line_cols.append((addresses + np.int64(elem_size - 1)) >> shift)
+    return np.unique(np.concatenate(line_cols))
+
+
+@dataclass
+class WindowPressure:
+    """Pressure of one reuse window of one access.
+
+    Attributes:
+        access: The access the window belongs to.
+        reuse_dim: Index (into ``access.dims``) of the reuse-carrying
+            dimension; the window is everything nested inside it.
+        pressure: Per-set distinct-line counts (length ``num_sets``).
+        overflow_sets: Sets whose pressure exceeds the associativity.
+        utilization: Fraction of sets with nonzero pressure.
+        capacity_like: True when overflow is uniform across nearly all
+            sets — a capacity/streaming signature, not a conflict.
+        conflicting: Overflow present and not capacity-like.
+        victim_sets: Predicted victims after the outer-dimension shift
+            union (empty unless ``conflicting``).
+    """
+
+    access: AffineAccess
+    reuse_dim: int
+    pressure: np.ndarray
+    overflow_sets: np.ndarray
+    utilization: float
+    capacity_like: bool
+    conflicting: bool
+    victim_sets: np.ndarray
+
+
+class SetPressureAnalysis(AnalysisPass):
+    """Per-loop static set pressure, window conflicts, and victim sets."""
+
+    requires = (AccessPatternAnalysis,)
+
+    #: Windows whose nonzero pressure spans at least this fraction of all
+    #: sets *and* is near-uniform are classified capacity-like.
+    capacity_utilization: float = 0.75
+    #: Near-uniform means max/mean pressure at or below this ratio.
+    imbalance_ratio: float = 2.0
+    #: Clamp on enumerated distinct offsets per window.
+    max_window_points: int = 1 << 20
+
+    windows_by_loop: Dict[str, List[WindowPressure]]
+    victim_sets_by_loop: Dict[str, np.ndarray]
+    footprint_sets_by_loop: Dict[str, np.ndarray]
+    #: Accesses (by id) with at least one conflicting window.
+    conflicting_accesses: Dict[str, List[AffineAccess]]
+
+    def analyze(self) -> None:
+        patterns = self.request(AccessPatternAnalysis)
+        geometry = self.model.geometry
+        self.windows_by_loop = {}
+        self.victim_sets_by_loop = {}
+        self.footprint_sets_by_loop = {}
+        self.conflicting_accesses = {}
+        for pattern in patterns.patterns:
+            windows: List[WindowPressure] = []
+            conflicting: List[AffineAccess] = []
+            victims = np.empty(0, dtype=np.int64)
+            footprint: List[np.ndarray] = []
+            for access in pattern.accesses:
+                footprint.append(footprint_set_indices(access, geometry))
+                for window in self._access_windows(access, geometry):
+                    windows.append(window)
+                    if window.conflicting:
+                        victims = np.union1d(victims, window.victim_sets)
+                        if not any(existing is access for existing in conflicting):
+                            conflicting.append(access)
+            self.windows_by_loop[pattern.loop_name] = windows
+            self.victim_sets_by_loop[pattern.loop_name] = victims
+            self.footprint_sets_by_loop[pattern.loop_name] = (
+                np.unique(np.concatenate(footprint))
+                if footprint
+                else np.empty(0, dtype=np.int64)
+            )
+            self.conflicting_accesses[pattern.loop_name] = conflicting
+
+    def _access_windows(
+        self, access: AffineAccess, geometry: CacheGeometry
+    ) -> List[WindowPressure]:
+        windows: List[WindowPressure] = []
+        for index, dim in enumerate(access.dims):
+            if abs(dim.stride) >= geometry.line_size:
+                continue  # not a reuse carrier: successive iterations change line
+            inner = access.dims[index + 1 :]
+            if not inner:
+                continue  # innermost reuse: window is a single access, trivial
+            windows.append(self._window_pressure(access, index, inner, geometry))
+        return windows
+
+    def _window_pressure(
+        self,
+        access: AffineAccess,
+        reuse_dim: int,
+        inner: Sequence[AccessDim],
+        geometry: CacheGeometry,
+    ) -> WindowPressure:
+        lines = _window_lines(
+            access.base, inner, access.elem_size, geometry, self.max_window_points
+        )
+        sets = (lines & np.int64(geometry.num_sets - 1)).astype(np.int64)
+        pressure = np.bincount(sets, minlength=geometry.num_sets)
+        overflow = np.flatnonzero(pressure > geometry.ways).astype(np.int64)
+        nonzero = pressure[pressure > 0]
+        utilization = float(nonzero.size) / geometry.num_sets
+        capacity_like = bool(
+            overflow.size
+            and utilization >= self.capacity_utilization
+            and float(nonzero.max()) <= self.imbalance_ratio * float(nonzero.mean())
+        )
+        conflicting = bool(overflow.size) and not capacity_like
+        victims = (
+            self._shift_union(access, reuse_dim, overflow, geometry)
+            if conflicting
+            else np.empty(0, dtype=np.int64)
+        )
+        return WindowPressure(
+            access=access,
+            reuse_dim=reuse_dim,
+            pressure=pressure,
+            overflow_sets=overflow,
+            utilization=utilization,
+            capacity_like=capacity_like,
+            conflicting=conflicting,
+            victim_sets=victims,
+        )
+
+    def _shift_union(
+        self,
+        access: AffineAccess,
+        reuse_dim: int,
+        overflow: np.ndarray,
+        geometry: CacheGeometry,
+    ) -> np.ndarray:
+        """Widen instance-0 victims by every start-set the window reaches."""
+        period = geometry.mapping_period
+        outer = access.dims[: reuse_dim + 1]
+        residues = footprint_residues(outer, period)
+        base_mod = np.int64(access.base % period)
+        starts = ((base_mod + residues) % period) >> np.int64(geometry.offset_bits)
+        origin = int(base_mod) >> geometry.offset_bits
+        shifts = np.unique((starts - np.int64(origin)) % geometry.num_sets)
+        union = (overflow[:, None] + shifts[None, :]) % geometry.num_sets
+        return np.unique(union)
+
+    def loop_victims(self, loop_name: str) -> List[int]:
+        """Predicted victim sets of one loop, sorted."""
+        return self.victim_sets_by_loop.get(
+            loop_name, np.empty(0, dtype=np.int64)
+        ).tolist()

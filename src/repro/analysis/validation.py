@@ -1,0 +1,282 @@
+"""Cross-validation: static predictions scored against the dynamic profiler.
+
+The tentpole claim of :mod:`repro.analysis` is that victim sets are
+predictable from program structure alone.  This module makes the claim
+falsifiable: run the *same* workload through the static passes (zero trace
+accesses) and through the full CCProf pipeline (trace, PMU sampling, RCD
+analysis), then score the predicted victim sets against the measured ones
+loop by loop, micro-averaged over (loop, set) pairs.
+
+``default_validation_suite`` pins the benchmark: the padding workload
+family (symmetrization, gemm, 2mm, trmm, adi plus the jacobi/fdtd clean
+controls), original and padded, on a deliberately small geometry so the
+dynamic side stays fast enough for the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.framework import AnalysisCache
+from repro.analysis.model import StaticModel
+from repro.analysis.prediction import ConflictPredictionAnalysis, StaticConflictReport
+from repro.cache.geometry import CacheGeometry
+
+#: Small geometry for the suite: 16 sets x 4 ways keeps workloads tiny
+#: (n=32..64) while preserving every conflict signature the full-size
+#: kernels show on the paper's 64x8 L1.
+VALIDATION_GEOMETRY = CacheGeometry(line_size=64, num_sets=16, ways=4)
+
+#: Dense sampling for the dynamic side — small traces need small periods.
+VALIDATION_PERIOD_MEAN = 7
+
+#: A measured set is a victim when more than this share of its sampled
+#: RCDs are short (mirrors the dynamic analyzer's Observation-2 reading).
+MEASURED_VICTIM_MIN_SHARE = 0.25
+
+
+def scaled_rcd_threshold(geometry: CacheGeometry) -> int:
+    """The paper's RCD threshold, rescaled to the geometry's set count.
+
+    The published threshold (8) is calibrated against the 64-set L1:
+    a *uniform* sampled miss stream revisits a set every ``num_sets``
+    samples, so P(RCD < 8) is ~0.12 there — comfortably under the 0.25 cf
+    boundary.  Keeping threshold/num_sets fixed (1/8) preserves that
+    streaming baseline on any geometry; the unscaled threshold on a 16-set
+    validation cache would read healthy streaming as cf ~0.4.
+    """
+    return max(1, geometry.num_sets // 8)
+
+
+def predict_conflicts(
+    workload: object, geometry: Optional[CacheGeometry] = None
+) -> StaticConflictReport:
+    """Run the full static pass stack over one workload — no trace."""
+    model = StaticModel.from_workload(workload, geometry=geometry)
+    cache = AnalysisCache(model)
+    return cache.request(ConflictPredictionAnalysis).report
+
+
+@dataclass
+class LoopValidation:
+    """Predicted vs measured victim sets for one loop.
+
+    Attributes:
+        workload_name: Workload the loop belongs to.
+        loop_name: ``file:line`` loop identity (shared by both sides).
+        predicted: Static victim sets, sorted.
+        measured: Dynamic victim sets, sorted.
+        dynamic_cf: The profiler's contribution factor (context for
+            disagreements).
+    """
+
+    workload_name: str
+    loop_name: str
+    predicted: List[int]
+    measured: List[int]
+    dynamic_cf: float = 0.0
+
+    @property
+    def true_positives(self) -> int:
+        """Sets both sides agree are victims."""
+        return len(set(self.predicted) & set(self.measured))
+
+    @property
+    def false_positives(self) -> int:
+        """Sets predicted but not measured."""
+        return len(set(self.predicted) - set(self.measured))
+
+    @property
+    def false_negatives(self) -> int:
+        """Sets measured but not predicted."""
+        return len(set(self.measured) - set(self.predicted))
+
+    @property
+    def agree(self) -> bool:
+        """Whether both sides reach the same binary verdict."""
+        return bool(self.predicted) == bool(self.measured)
+
+
+@dataclass
+class CrossValidationResult:
+    """Suite-wide score of static prediction against measurement."""
+
+    loops: List[LoopValidation] = field(default_factory=list)
+
+    @property
+    def true_positives(self) -> int:
+        """Micro-summed agreeing victim sets."""
+        return sum(loop.true_positives for loop in self.loops)
+
+    @property
+    def false_positives(self) -> int:
+        """Micro-summed spurious predictions."""
+        return sum(loop.false_positives for loop in self.loops)
+
+    @property
+    def false_negatives(self) -> int:
+        """Micro-summed missed victims."""
+        return sum(loop.false_negatives for loop in self.loops)
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was predicted."""
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was measured."""
+        measured = self.true_positives + self.false_negatives
+        return self.true_positives / measured if measured else 1.0
+
+    @property
+    def verdict_agreement(self) -> float:
+        """Fraction of loops where the binary verdicts match."""
+        if not self.loops:
+            return 1.0
+        return sum(loop.agree for loop in self.loops) / len(self.loops)
+
+    def render(self) -> str:
+        """Per-loop comparison table plus the summary line."""
+        lines = [
+            f"  {'workload':<22} {'loop':<16} {'pred':>5} {'meas':>5} "
+            f"{'tp':>4} {'fp':>4} {'fn':>4}  cf"
+        ]
+        for loop in self.loops:
+            lines.append(
+                f"  {loop.workload_name:<22} {loop.loop_name:<16} "
+                f"{len(loop.predicted):>5} {len(loop.measured):>5} "
+                f"{loop.true_positives:>4} {loop.false_positives:>4} "
+                f"{loop.false_negatives:>4}  {loop.dynamic_cf:.3f}"
+            )
+        lines.append(
+            f"  precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"verdict agreement={self.verdict_agreement:.1%} "
+            f"({len(self.loops)} loops)"
+        )
+        return "\n".join(lines)
+
+
+def measured_victim_sets(
+    profile: object, geometry: CacheGeometry
+) -> Dict[str, Tuple[List[int], float]]:
+    """Per-loop (victim sets, cf) from one raw dynamic profile.
+
+    Mirrors the offline analyzer's reading: hot loops with enough samples
+    and a conflicting contribution factor contribute their short-RCD sets;
+    everything else measures as conflict-free.
+    """
+    from repro.core.attribution import attribute_code
+    from repro.core.contribution import contribution_factor
+    from repro.core.profiler import (
+        DEFAULT_CF_BOUNDARY,
+        DEFAULT_HOT_LOOP_SHARE,
+        MIN_SAMPLES_FOR_RCD,
+    )
+    from repro.core.rcd import RcdArrayAnalysis
+    from repro.program.symbols import Symbolizer
+
+    threshold = scaled_rcd_threshold(geometry)
+    sampling = profile.sampling  # type: ignore[attr-defined]
+    symbolizer = Symbolizer(profile.image) if profile.image is not None else None  # type: ignore[attr-defined]
+    code = attribute_code(sampling.samples, symbolizer)
+    measured: Dict[str, Tuple[List[int], float]] = {}
+    for group in code.loops:
+        too_thin = (
+            group.share < DEFAULT_HOT_LOOP_SHARE
+            or group.count < MIN_SAMPLES_FOR_RCD
+        )
+        if too_thin:
+            measured[group.loop_name] = ([], 0.0)
+            continue
+        addresses = np.fromiter(
+            (sample.address for sample in group.samples), dtype=np.uint64
+        )
+        analysis = RcdArrayAnalysis.from_addresses(addresses, geometry)
+        cf = contribution_factor(analysis, threshold)
+        if cf >= DEFAULT_CF_BOUNDARY:
+            victims = analysis.victim_sets(
+                threshold, min_share=MEASURED_VICTIM_MIN_SHARE
+            )
+        else:
+            victims = []
+        measured[group.loop_name] = (victims, cf)
+    return measured
+
+
+def cross_validate(
+    workloads: Sequence[object],
+    geometry: CacheGeometry = VALIDATION_GEOMETRY,
+    period_mean: int = VALIDATION_PERIOD_MEAN,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Score static victim-set prediction against the dynamic profiler.
+
+    For each workload, every loop with declared access patterns is
+    compared: predicted victims from the static passes, measured victims
+    from a full CCProf run at a dense sampling period.
+    """
+    from repro.core.profiler import CCProf
+    from repro.pmu.periods import UniformJitterPeriod
+
+    result = CrossValidationResult()
+    for workload in workloads:
+        report = predict_conflicts(workload, geometry=geometry)
+        profiler = CCProf(
+            geometry=geometry,
+            period=UniformJitterPeriod(period_mean),
+            seed=seed,
+        )
+        profile = profiler.profile(workload)
+        measured = measured_victim_sets(profile, geometry)
+        name = str(getattr(workload, "name", type(workload).__name__))
+        for loop in report.loops:
+            victims, cf = measured.get(loop.loop_name, ([], 0.0))
+            result.loops.append(
+                LoopValidation(
+                    workload_name=name,
+                    loop_name=loop.loop_name,
+                    predicted=list(loop.victim_sets),
+                    measured=list(victims),
+                    dynamic_cf=cf,
+                )
+            )
+    return result
+
+
+def default_validation_suite() -> List[object]:
+    """The pinned benchmark: padding workloads, original and padded.
+
+    Sizes are scaled to :data:`VALIDATION_GEOMETRY` so each trace stays in
+    the tens of thousands of accesses; every conflict signature (column
+    walks folding onto few sets) and both clean controls (row-order
+    stencils) survive the scaling.
+    """
+    from repro.workloads.adi import AdiWorkload
+    from repro.workloads.polybench import (
+        Fdtd2dWorkload,
+        GemmWorkload,
+        Jacobi2dWorkload,
+        TrmmWorkload,
+        TwoMmWorkload,
+    )
+    from repro.workloads.symmetrization import SymmetrizationWorkload
+
+    return [
+        SymmetrizationWorkload(n=32, pad_bytes=0, sweeps=2),
+        SymmetrizationWorkload(n=32, pad_bytes=64, sweeps=2),
+        GemmWorkload(n=32),
+        GemmWorkload(n=32, pad_bytes=64),
+        TwoMmWorkload(n=32),
+        TwoMmWorkload(n=32, pad_bytes=64),
+        TrmmWorkload(n=32),
+        TrmmWorkload(n=32, pad_bytes=64),
+        AdiWorkload(n=64, steps=1),
+        AdiWorkload(n=64, pad_bytes=32, steps=1),
+        Jacobi2dWorkload(n=64, steps=2),
+        Fdtd2dWorkload(n=64, steps=2),
+    ]

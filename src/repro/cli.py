@@ -31,6 +31,12 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
+from repro.analysis import (
+    AnalysisCache,
+    ConflictPredictionAnalysis,
+    StaticModel,
+    StaticPaddingAnalysis,
+)
 from repro.cache.dinero import format_dinero_report, simulate_dinero_trace
 from repro.core.diffreport import ReportDiff
 from repro.core.phases import PhaseAnalyzer
@@ -198,6 +204,23 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Static conflict prediction: zero trace accesses simulated."""
+    workload = _resolve_workload(args.workload)
+    model = StaticModel.from_workload(workload)
+    cache = AnalysisCache(model)
+    report = cache.request(ConflictPredictionAnalysis).report
+    print(report.render())
+    advice = cache.request(StaticPaddingAnalysis).advice
+    if report.has_conflicts:
+        print("\npadding advice (from prediction alone):")
+        for line in advice.render().splitlines():
+            print(f"  {line}")
+    if args.stats:
+        print(f"\nanalysis cache: {cache.stats.describe()}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     name, _, variant = args.workload.partition(":")
     if variant:
@@ -320,6 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
                 help="samples per analysis window (default: 256)",
             )
         sub.set_defaults(handler=handler)
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="statically predict victim sets from declared access patterns "
+             "(no trace is run)",
+    )
+    predict.add_argument(
+        "workload", help="workload name, e.g. gemm or gemm:optimized"
+    )
+    predict.add_argument(
+        "--stats", action="store_true",
+        help="print analysis-cache statistics (passes run / cache hits)",
+    )
+    predict.set_defaults(handler=_cmd_predict)
 
     sim = subparsers.add_parser("simulate", help="run a .din trace through the simulator")
     sim.add_argument("trace", help="path to a Dinero-format trace")

@@ -104,6 +104,9 @@ class FunctionBuilder:
             block = self._cfg.block(new_block)
             block.start_ip = start
         block.end_ip = start + count * INSTRUCTION_SIZE
+        # The block is already inside the CFG when its range is rewritten
+        # above, so the CFG's sorted IP index (if built) is now stale.
+        self._cfg.invalidate_ip_index()
         if not self.anonymous:
             self._locations.setdefault(block.block_id, SourceLocation(self.file, line))
         return start

@@ -7,6 +7,7 @@ ranges so profiler samples (IPs) resolve back to blocks.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -52,6 +53,10 @@ class ControlFlowGraph:
     _blocks: Dict[int, BasicBlock] = field(default_factory=dict)
     _successors: Dict[int, List[int]] = field(default_factory=dict)
     _predecessors: Dict[int, List[int]] = field(default_factory=dict)
+    #: Sorted (start_ips, blocks) lookup index; None = stale/unbuilt.
+    _ip_index: Optional[Tuple[List[int], List[BasicBlock]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_block(self, block: BasicBlock) -> BasicBlock:
         """Insert a block; ids must be unique."""
@@ -60,6 +65,7 @@ class ControlFlowGraph:
         self._blocks[block.block_id] = block
         self._successors.setdefault(block.block_id, [])
         self._predecessors.setdefault(block.block_id, [])
+        self.invalidate_ip_index()
         return block
 
     def new_block(self, start_ip: int = 0, end_ip: int = 0, label: str = "") -> BasicBlock:
@@ -168,12 +174,43 @@ class ControlFlowGraph:
         order, _ = self.depth_first_order()
         return set(order)
 
+    def invalidate_ip_index(self) -> None:
+        """Drop the sorted IP index.
+
+        Must be called whenever a block's ``start_ip``/``end_ip`` is mutated
+        after insertion (the builder does this when it splits blocks);
+        ``add_block`` calls it automatically.
+        """
+        self._ip_index = None
+
+    def _build_ip_index(self) -> Tuple[List[int], List[BasicBlock]]:
+        """Sorted (start_ips, blocks) over non-empty blocks."""
+        blocks = sorted(
+            (b for b in self._blocks.values() if b.end_ip > b.start_ip),
+            key=lambda b: b.start_ip,
+        )
+        index = ([b.start_ip for b in blocks], blocks)
+        self._ip_index = index
+        return index
+
     def block_at_ip(self, ip: int) -> Optional[BasicBlock]:
         """The block whose address range covers ``ip``, or None.
 
-        Linear scan; the :class:`~repro.program.symbols.Symbolizer` keeps a
-        sorted index for the hot path.
+        Binary search over a lazily built index sorted by ``start_ip``
+        (block ranges never overlap — they are carved from one monotonic
+        text cursor), rebuilt after any block insertion or range mutation.
         """
+        index = self._ip_index
+        if index is None:
+            index = self._build_ip_index()
+        starts, blocks = index
+        position = bisect_right(starts, ip) - 1
+        if position >= 0 and blocks[position].contains_ip(ip):
+            return blocks[position]
+        return None
+
+    def _block_at_ip_linear(self, ip: int) -> Optional[BasicBlock]:
+        """Reference linear scan — kept as the oracle for regression tests."""
         for block in self._blocks.values():
             if block.contains_ip(ip):
                 return block

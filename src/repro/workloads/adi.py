@@ -10,8 +10,9 @@ the alignment (speedups 1.26x / 1.70x in Table 3).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, List
 
+from repro.analysis.descriptors import AffineAccess, affine2d
 from repro.trace.record import MemoryAccess
 from repro.workloads.base import Array2D, TraceWorkload
 
@@ -108,3 +109,42 @@ class AdiWorkload(TraceWorkload):
                     yield self.load(self.ip_row_back, q.addr(i, j))
                     yield self.load(self.ip_row_back, u.addr(i, j + 1))
                     yield self.store(self.ip_row_back, u.addr(i, j))
+
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors for all four inner loops.
+
+        Dimensions are (step, i, j) outermost-first.  Column walks declare
+        ``(0, 1, ...)`` outer / ``(1, 0, ...)`` inner — one row pitch per
+        inner iteration, the Listing 2 signature.  Descending j walks are
+        declared ascending: the footprint and window pressure are
+        direction-independent.
+        """
+        n, steps = self.n, self.steps
+        m = n - 2  # interior extent
+        u, v, p, q = self.u, self.v, self.p, self.q
+        col = [(0, 0, steps), (0, 1, m), (1, 0, m)]  # column walk (j inner)
+        row = [(0, 0, steps), (1, 0, m), (0, 1, m)]  # row walk (j inner)
+        return [
+            # Column sweep, forward substitution (adi.c:45).
+            affine2d(u, self.ip_col, col, origin=(1, 1)),
+            affine2d(u, self.ip_col, col, origin=(1, 0)),
+            affine2d(u, self.ip_col, col, origin=(1, 2)),
+            affine2d(p, self.ip_col, row, kind="store", origin=(1, 1)),
+            affine2d(q, self.ip_col, row, kind="store", origin=(1, 1)),
+            # Column sweep, back substitution (adi.c:52).
+            affine2d(p, self.ip_col_back, row, origin=(1, 1)),
+            affine2d(q, self.ip_col_back, row, origin=(1, 1)),
+            affine2d(v, self.ip_col_back, col, origin=(2, 1)),
+            affine2d(v, self.ip_col_back, col, kind="store", origin=(1, 1)),
+            # Row sweep, forward (adi.c:65) — the cache-friendly direction.
+            affine2d(v, self.ip_row, row, origin=(1, 1)),
+            affine2d(v, self.ip_row, row, origin=(0, 1)),
+            affine2d(v, self.ip_row, row, origin=(2, 1)),
+            affine2d(p, self.ip_row, row, kind="store", origin=(1, 1)),
+            affine2d(q, self.ip_row, row, kind="store", origin=(1, 1)),
+            # Row sweep, back (adi.c:72).
+            affine2d(p, self.ip_row_back, row, origin=(1, 1)),
+            affine2d(q, self.ip_row_back, row, origin=(1, 1)),
+            affine2d(u, self.ip_row_back, row, origin=(1, 2)),
+            affine2d(u, self.ip_row_back, row, kind="store", origin=(1, 1)),
+        ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
@@ -26,6 +26,9 @@ from repro.program.builder import ImageBuilder
 from repro.program.image import ProgramImage
 from repro.trace.allocator import Allocation, VirtualAllocator
 from repro.trace.record import AccessKind, MemoryAccess
+
+if TYPE_CHECKING:
+    from repro.analysis.descriptors import AffineAccess
 
 
 @dataclass(frozen=True)
@@ -182,6 +185,18 @@ class TraceWorkload(ABC):
     @abstractmethod
     def trace(self) -> Iterator[MemoryAccess]:
         """Yield the kernel's memory-access stream."""
+
+    def access_patterns(self) -> "List[AffineAccess]":
+        """Declared affine access descriptors for static analysis.
+
+        Workloads whose kernels are affine loop nests override this to
+        describe each access site as an
+        :class:`~repro.analysis.descriptors.AffineAccess`; the static
+        passes (``repro.analysis``) predict victim sets from these without
+        running :meth:`trace`.  The default — no declarations — opts the
+        workload out of static prediction.
+        """
+        return []
 
     def load(self, ip: int, address: int, size: int = 8) -> MemoryAccess:
         """Convenience constructor for a load access."""

@@ -20,8 +20,9 @@ reproduction's reports read like the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
+from repro.analysis.descriptors import AffineAccess, affine2d
 from repro.trace.record import MemoryAccess
 from repro.workloads.base import Array2D, TraceWorkload
 
@@ -136,6 +137,80 @@ class NeedlemanWunschWorkload(TraceWorkload):
         if line not in self._ips:
             raise KeyError(f"no loop at needle.cpp:{line}")
         return f"needle.cpp:{line}"
+
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors for the copy/compute/writeback tile loops.
+
+        Tile iteration is declared as a full ``blocks x blocks`` rectangle
+        (the anti-diagonal schedule covers a triangle per phase; footprints
+        are unchanged).  Note the known modelling limit this workload
+        exercises: NW's measured conflicts are *inter-array* — tile copies
+        of ``input_itemsets``, ``reference`` and the locals fighting for
+        the same sets — which per-access window analysis cannot see, so the
+        static report is expected to under-predict here (see
+        ``examples/static_vs_dynamic.py``).
+        """
+        blocks = self.n // TILE
+        order = self.n + 1
+        inp, ref = self.input_itemsets, self.reference
+        temp, local = self.temp_local, self.ref_local
+        patterns: List[AffineAccess] = [
+            # needle.cpp:273 - first row, then first column.
+            affine2d(inp, self._ips[273], [(0, 1, order)], kind="store"),
+            affine2d(inp, self._ips[273], [(1, 0, order)], kind="store"),
+            # needle.cpp:289 - row-major reference fill.
+            affine2d(
+                inp, self._ips[289], [(1, 0, order - 1), (0, 0, order - 1)],
+                origin=(1, 0),
+            ),
+            affine2d(
+                ref, self._ips[289], [(1, 0, order - 1), (0, 1, order - 1)],
+                kind="store", origin=(1, 1),
+            ),
+        ]
+        for copy_in, copy_ref, compute, writeback in (
+            (128, 138, 147, 159),
+            (189, 199, 208, 220),
+        ):
+            tiles_in = [(TILE, 0, blocks), (0, TILE, blocks)]
+            patterns.extend(
+                [
+                    affine2d(
+                        inp, self._ips[copy_in],
+                        tiles_in + [(1, 0, TILE + 1), (0, 1, TILE + 1)],
+                    ),
+                    affine2d(
+                        temp, self._ips[copy_in],
+                        [(0, 0, blocks), (0, 0, blocks),
+                         (1, 0, TILE + 1), (0, 1, TILE + 1)],
+                        kind="store",
+                    ),
+                    affine2d(
+                        ref, self._ips[copy_ref],
+                        tiles_in + [(1, 0, TILE), (0, 1, TILE)],
+                        origin=(1, 1),
+                    ),
+                    affine2d(
+                        local, self._ips[copy_ref],
+                        [(0, 0, blocks), (0, 0, blocks), (1, 0, TILE), (0, 1, TILE)],
+                        kind="store",
+                    ),
+                    affine2d(
+                        temp, self._ips[compute],
+                        [(0, 0, blocks), (0, 0, blocks), (1, 0, TILE), (0, 1, TILE)],
+                    ),
+                    affine2d(
+                        inp, self._ips[writeback],
+                        tiles_in + [(1, 0, TILE), (0, 1, TILE)],
+                        kind="store", origin=(1, 1),
+                    ),
+                ]
+            )
+        # needle.cpp:320 - diagonal traceback (descending both indices).
+        patterns.append(
+            affine2d(inp, self._ips[320], [(-1, -1, self.n)], origin=(self.n, self.n))
+        )
+        return patterns
 
     def trace(self) -> Iterator[MemoryAccess]:
         yield from self._init_loops()

@@ -18,8 +18,9 @@ Each workload exposes ``original()`` / ``padded()`` like the case studies.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, List
 
+from repro.analysis.descriptors import AffineAccess, affine2d
 from repro.trace.record import MemoryAccess
 from repro.workloads.base import Array2D, TraceWorkload
 
@@ -77,6 +78,16 @@ class GemmWorkload(TraceWorkload):
                     yield self.load(self.ip_inner, b.addr(k, j))  # column walk
                 yield self.store(self.ip_inner, c.addr(i, j))
 
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors: B's ``[k][j]`` read carries the conflict."""
+        n = self.n
+        return [
+            affine2d(self.c, self.ip_inner, [(1, 0, n), (0, 1, n)]),
+            affine2d(self.a, self.ip_inner, [(1, 0, n), (0, 0, n), (0, 1, n)]),
+            affine2d(self.b, self.ip_inner, [(0, 0, n), (0, 1, n), (1, 0, n)]),
+            affine2d(self.c, self.ip_inner, [(1, 0, n), (0, 1, n)], kind="store"),
+        ]
+
 
 class TwoMmWorkload(TraceWorkload):
     """PolyBench ``2mm``: D = A*B, E = D*C — two chained column walks."""
@@ -126,6 +137,21 @@ class TwoMmWorkload(TraceWorkload):
         yield from self._matmul(self.ip_mm1, m["A"], m["B"], m["D"])
         yield from self._matmul(self.ip_mm2, m["D"], m["C"], m["E"])
 
+    def _matmul_patterns(self, ip, left, right, out) -> List[AffineAccess]:
+        n = self.n
+        return [
+            affine2d(left, ip, [(1, 0, n), (0, 0, n), (0, 1, n)]),
+            affine2d(right, ip, [(0, 0, n), (0, 1, n), (1, 0, n)]),
+            affine2d(out, ip, [(1, 0, n), (0, 1, n)], kind="store"),
+        ]
+
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors: both chained products walk a column."""
+        m = self.matrices
+        return self._matmul_patterns(
+            self.ip_mm1, m["A"], m["B"], m["D"]
+        ) + self._matmul_patterns(self.ip_mm2, m["D"], m["C"], m["E"])
+
 
 class Jacobi2dWorkload(TraceWorkload):
     """PolyBench ``jacobi-2d``: the clean control — row-order 5-point
@@ -174,6 +200,20 @@ class Jacobi2dWorkload(TraceWorkload):
                     yield self.store(ip, b.addr(i, j))
             a, b = b, a
 
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors: row-order stencil (capacity, not conflict)."""
+        n, steps = self.n, self.steps
+        dims = [(0, 0, steps), (1, 0, n - 2), (0, 1, n - 2)]
+        ip = self.ip_stencil
+        return [
+            affine2d(self.a, ip, dims, origin=(1, 1)),
+            affine2d(self.a, ip, dims, origin=(1, 0)),
+            affine2d(self.a, ip, dims, origin=(1, 2)),
+            affine2d(self.a, ip, dims, origin=(0, 1)),
+            affine2d(self.a, ip, dims, origin=(2, 1)),
+            affine2d(self.b, ip, dims, kind="store", origin=(1, 1)),
+        ]
+
 
 class Fdtd2dWorkload(TraceWorkload):
     """PolyBench ``fdtd-2d``: row-order sweeps over ex/ey/hz (clean)."""
@@ -220,6 +260,21 @@ class Fdtd2dWorkload(TraceWorkload):
                     yield self.store(ip, ey.addr(i, j))
                     yield self.store(ip, hz.addr(i - 1, j - 1))
 
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors: row-order field sweeps (clean control)."""
+        n, steps = self.n, self.steps
+        dims = [(0, 0, steps), (1, 0, n - 1), (0, 1, n - 1)]
+        ip = self.ip_update
+        return [
+            affine2d(self.hz, ip, dims, origin=(1, 0)),
+            affine2d(self.hz, ip, dims, origin=(0, 1)),
+            affine2d(self.ex, ip, dims, origin=(1, 1)),
+            affine2d(self.ey, ip, dims, origin=(1, 1)),
+            affine2d(self.ex, ip, dims, kind="store", origin=(1, 1)),
+            affine2d(self.ey, ip, dims, kind="store", origin=(1, 1)),
+            affine2d(self.hz, ip, dims, kind="store", origin=(0, 0)),
+        ]
+
 
 class TrmmWorkload(TraceWorkload):
     """PolyBench ``trmm``: B := A^T-ish triangular product; the reduction
@@ -262,6 +317,21 @@ class TrmmWorkload(TraceWorkload):
                     yield self.load(ip, a.addr(k, i))  # column walk of A
                     yield self.load(ip, b.addr(k, j))  # column walk of B
                 yield self.store(ip, b.addr(i, j))
+
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors for the triangular product.
+
+        The triangular bound (k from i+1) is approximated by the full
+        rectangular extent: the footprint and per-window pressure of the
+        column walks are unchanged, only trip counts are overstated by 2x.
+        """
+        n = self.n
+        ip = self.ip_inner
+        return [
+            affine2d(self.a, ip, [(0, 1, n), (0, 0, n), (1, 0, n)]),
+            affine2d(self.b, ip, [(0, 0, n), (0, 1, n), (1, 0, n)]),
+            affine2d(self.b, ip, [(1, 0, n), (0, 1, n)], kind="store"),
+        ]
 
 
 #: PolyBench workload factories keyed by kernel name.

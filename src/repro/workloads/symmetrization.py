@@ -13,8 +13,9 @@ measures up to 91.4% fewer L2 misses from this pad.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, List
 
+from repro.analysis.descriptors import AffineAccess, affine2d
 from repro.trace.record import MemoryAccess
 from repro.workloads.base import Array2D, TraceWorkload
 
@@ -75,3 +76,18 @@ class SymmetrizationWorkload(TraceWorkload):
                     yield self.load(self.ip_row, a.addr(i, j))
                     yield self.load(self.ip_col, a.addr(j, i))
                     yield self.store(self.ip_store, a.addr(i, j))
+
+    def access_patterns(self) -> List[AffineAccess]:
+        """Static descriptors for the three access sites of line 5.
+
+        Dimensions are (sweep, i, j) outermost-first; the column walk
+        ``A[j][i]`` advances one row pitch per j — the conflict carrier.
+        """
+        n, sweeps, a = self.n, self.sweeps, self.a
+        return [
+            affine2d(a, self.ip_row, [(0, 0, sweeps), (1, 0, n), (0, 1, n)]),
+            affine2d(a, self.ip_col, [(0, 0, sweeps), (0, 1, n), (1, 0, n)]),
+            affine2d(
+                a, self.ip_store, [(0, 0, sweeps), (1, 0, n), (0, 1, n)], kind="store"
+            ),
+        ]

@@ -1,0 +1,129 @@
+"""Tests for repro.analysis.framework: the cached analysis-pass machinery."""
+
+import pytest
+
+from repro.analysis.framework import AnalysisCache, AnalysisPass, CacheStats
+from repro.errors import AnalysisError
+
+
+class PassA(AnalysisPass):
+    def analyze(self):
+        self.value = "a"
+        type(self).run_count = getattr(type(self), "run_count", 0) + 1
+
+
+class PassB(AnalysisPass):
+    requires = (PassA,)
+
+    def analyze(self):
+        self.value = self.request(PassA).value + "b"
+
+
+class PassC(AnalysisPass):
+    requires = (PassB,)
+
+    def analyze(self):
+        self.value = self.request(PassB).value + "c"
+
+
+class CycleX(AnalysisPass):
+    def analyze(self):
+        self.request(CycleY)
+
+
+class CycleY(AnalysisPass):
+    def analyze(self):
+        self.request(CycleX)
+
+
+class SelfCycle(AnalysisPass):
+    def analyze(self):
+        self.request(SelfCycle)
+
+
+@pytest.fixture
+def cache():
+    # Framework behaviour is model-agnostic; a sentinel model suffices.
+    PassA.run_count = 0
+    return AnalysisCache(model=object())
+
+
+class TestCaching:
+    def test_pass_runs_once_then_hits(self, cache):
+        first = cache.request(PassA)
+        second = cache.request(PassA)
+        assert first is second
+        assert PassA.run_count == 1
+        assert cache.stats.runs == 1
+        assert cache.stats.hits == 1
+
+    def test_requires_satisfied_before_analyze(self, cache):
+        assert cache.request(PassB).value == "ab"
+        assert cache.has_result(PassA)
+
+    def test_transitive_chain(self, cache):
+        assert cache.request(PassC).value == "abc"
+        # Three passes ran; B's request(A) and C's request(B) hit the cache
+        # because `requires` pre-ran them.
+        assert cache.stats.runs == 3
+
+    def test_has_result(self, cache):
+        assert not cache.has_result(PassA)
+        cache.request(PassA)
+        assert cache.has_result(PassA)
+
+
+class TestInvalidation:
+    def test_cascades_to_transitive_dependents(self, cache):
+        cache.request(PassC)
+        evicted = cache.invalidate(PassA)
+        assert set(evicted) == {PassA, PassB, PassC}
+        assert not cache.has_result(PassC)
+        assert cache.stats.invalidations == 3
+
+    def test_leaf_invalidation_spares_dependencies(self, cache):
+        cache.request(PassC)
+        evicted = cache.invalidate(PassC)
+        assert evicted == [PassC]
+        assert cache.has_result(PassA) and cache.has_result(PassB)
+
+    def test_rerun_after_invalidation(self, cache):
+        cache.request(PassC)
+        cache.invalidate(PassA)
+        assert cache.request(PassC).value == "abc"
+        assert PassA.run_count == 2
+
+    def test_invalidate_uncached_pass_is_noop(self, cache):
+        assert cache.invalidate(PassA) == []
+        assert cache.stats.invalidations == 0
+
+    def test_invalidate_all(self, cache):
+        cache.request(PassC)
+        cache.invalidate_all()
+        assert not cache.has_result(PassA)
+        assert not cache.has_result(PassB)
+        assert not cache.has_result(PassC)
+        assert cache.stats.invalidations == 3
+
+
+class TestCycleDetection:
+    def test_mutual_cycle_raises(self, cache):
+        with pytest.raises(AnalysisError, match="circular"):
+            cache.request(CycleX)
+
+    def test_self_cycle_raises(self, cache):
+        with pytest.raises(AnalysisError, match="circular"):
+            cache.request(SelfCycle)
+
+    def test_cache_usable_after_cycle_error(self, cache):
+        with pytest.raises(AnalysisError):
+            cache.request(CycleX)
+        assert cache.request(PassA).value == "a"
+
+
+class TestStats:
+    def test_describe(self):
+        stats = CacheStats(runs=3, hits=2, invalidations=1)
+        assert "3 passes run" in stats.describe()
+        assert "2 cache hits" in stats.describe()
+        assert "1 invalidations" in stats.describe()

@@ -1,0 +1,174 @@
+"""Tests for the concrete static analysis passes.
+
+Each pass is exercised through the cache on real workloads at the small
+validation geometry: access binding (AccessPatternAnalysis), residue-based
+pressure and victim prediction (SetPressureAnalysis), the ranked report
+(ConflictPredictionAnalysis), and prediction-driven padding advice
+(StaticPaddingAnalysis).
+"""
+
+import pytest
+
+from repro.analysis import (
+    AccessPatternAnalysis,
+    AnalysisCache,
+    ConflictPredictionAnalysis,
+    SetPressureAnalysis,
+    StaticModel,
+    StaticPaddingAnalysis,
+)
+from repro.analysis.validation import VALIDATION_GEOMETRY
+from repro.errors import AnalysisError
+from repro.workloads.polybench import GemmWorkload, Jacobi2dWorkload
+from repro.workloads.symmetrization import SymmetrizationWorkload
+
+ALL_SETS = list(range(VALIDATION_GEOMETRY.num_sets))
+
+
+def make_cache(workload):
+    model = StaticModel.from_workload(workload, geometry=VALIDATION_GEOMETRY)
+    return AnalysisCache(model)
+
+
+@pytest.fixture(scope="module")
+def gemm_cache():
+    return make_cache(GemmWorkload(n=32))
+
+
+@pytest.fixture(scope="module")
+def symm_cache():
+    return make_cache(SymmetrizationWorkload(n=32, sweeps=2))
+
+
+class TestStaticModel:
+    def test_from_workload_collects_arrays(self, gemm_cache):
+        assert set(gemm_cache.model.arrays) >= {"A", "B", "C"}
+
+    def test_no_patterns_rejected(self):
+        # Rodinia pattern workloads keep the base class's empty default.
+        from repro.workloads.rodinia import StreamingWorkload
+
+        workload = StreamingWorkload("stream", "stream.c", 10, kib=1)
+        with pytest.raises(AnalysisError, match="access patterns"):
+            StaticModel.from_workload(workload)
+
+
+class TestAccessPatternAnalysis:
+    def test_gemm_binds_all_accesses_to_its_loop(self, gemm_cache):
+        patterns = gemm_cache.request(AccessPatternAnalysis)
+        assert not patterns.unresolved
+        assert len(patterns.patterns) == 1
+        loop = patterns.patterns[0]
+        assert loop.loop_name == "gemm.c:33"
+        assert loop.depth == 3
+        assert set(loop.labels) == {"A", "B", "C"}
+        # Static weight: each access counts its full trip count.
+        assert loop.weight == sum(
+            access.trip_count for access in gemm_cache.model.accesses
+        )
+
+    def test_loop_weights_sorted_heaviest_first(self, symm_cache):
+        weights = symm_cache.request(AccessPatternAnalysis).loop_weights()
+        assert weights == sorted(weights, key=lambda pair: pair[1], reverse=True)
+        assert all(weight > 0 for _name, weight in weights)
+
+
+class TestSetPressureAnalysis:
+    def test_gemm_column_walk_overflows_every_set(self, gemm_cache):
+        pressure = gemm_cache.request(SetPressureAnalysis)
+        # 32 rows x 256 B pitch folds onto 4 of 16 sets, 8 deep in a 4-way
+        # cache; the shift union across column starts spreads the damage to
+        # every set.
+        assert sorted(pressure.loop_victims("gemm.c:33")) == ALL_SETS
+        assert any(pressure.conflicting_accesses.values())
+
+    def test_conflicting_window_identified(self, gemm_cache):
+        pressure = gemm_cache.request(SetPressureAnalysis)
+        conflicting = [
+            window
+            for window in pressure.windows_by_loop["gemm.c:33"]
+            if window.conflicting
+        ]
+        assert len(conflicting) == 1
+        window = conflicting[0]
+        assert window.access.label == "B"
+        assert int(window.pressure.max()) > VALIDATION_GEOMETRY.ways
+        assert not window.capacity_like
+
+    def test_padding_clears_the_prediction(self):
+        pressure = make_cache(GemmWorkload(n=32, pad_bytes=64)).request(
+            SetPressureAnalysis
+        )
+        assert pressure.loop_victims("gemm.c:33") == []
+        assert not any(pressure.conflicting_accesses.values())
+
+    def test_jacobi_high_pressure_reads_as_capacity(self):
+        # The row-order stencil overfills the cache *uniformly*: pressure
+        # exceeds ways on every set, which the imbalance gate classifies as
+        # a capacity problem, not a conflict.
+        pressure = make_cache(Jacobi2dWorkload(n=64, steps=2)).request(
+            SetPressureAnalysis
+        )
+        windows = pressure.windows_by_loop["jacobi-2d.c:27"]
+        assert windows
+        assert all(window.capacity_like for window in windows)
+        assert all(not window.conflicting for window in windows)
+        assert pressure.loop_victims("jacobi-2d.c:27") == []
+
+    def test_symmetrization_column_walk_victims(self, symm_cache):
+        pressure = symm_cache.request(SetPressureAnalysis)
+        assert sorted(pressure.loop_victims("symm.c:4")) == ALL_SETS
+
+
+class TestConflictPredictionAnalysis:
+    def test_gemm_report(self, gemm_cache):
+        report = gemm_cache.request(ConflictPredictionAnalysis).report
+        assert report.has_conflicts
+        loop = report.loop("gemm.c:33")
+        assert loop.has_conflict
+        assert sorted(loop.victim_sets) == ALL_SETS
+        assert 0.0 < loop.predicted_cf <= 1.0
+        # Only implicated structures are listed — the column-walked operand.
+        assert {ds.label for ds in loop.data_structures} == {"B"}
+
+    def test_padded_gemm_clean(self):
+        report = make_cache(GemmWorkload(n=32, pad_bytes=64)).request(
+            ConflictPredictionAnalysis
+        ).report
+        assert not report.has_conflicts
+        assert report.loop("gemm.c:33").predicted_cf == 0.0
+
+    def test_render_declares_zero_trace_accesses(self, gemm_cache):
+        rendered = gemm_cache.request(ConflictPredictionAnalysis).report.render()
+        assert "trace accesses simulated: 0" in rendered
+        assert "gemm.c:33" in rendered
+
+    def test_loops_ranked_by_weight_share(self, symm_cache):
+        report = symm_cache.request(ConflictPredictionAnalysis).report
+        shares = [loop.weight_share for loop in report.loops]
+        assert shares == sorted(shares, reverse=True)
+        assert abs(sum(shares) - 1.0) < 1e-9
+
+
+class TestStaticPaddingAnalysis:
+    def test_gemm_advice_targets_the_column_walked_array(self, gemm_cache):
+        advice = gemm_cache.request(StaticPaddingAnalysis).advice
+        assert advice.needed
+        labels = {rec.label for rec in advice.needed}
+        assert "B" in labels  # the column-walked operand
+        assert all(rec.pad_bytes > 0 for rec in advice.needed)
+
+    def test_clean_workload_gets_no_advice(self):
+        advice = make_cache(GemmWorkload(n=32, pad_bytes=64)).request(
+            StaticPaddingAnalysis
+        ).advice
+        assert not advice.recommendations
+        assert not advice.needed
+        assert "no padding needed" in advice.render()
+
+    def test_pipeline_runs_through_cache_once(self, symm_cache):
+        # Requesting the padding pass twice must not re-run the stack.
+        runs_before = symm_cache.stats.runs
+        symm_cache.request(StaticPaddingAnalysis)
+        symm_cache.request(StaticPaddingAnalysis)
+        assert symm_cache.stats.runs <= max(runs_before, 4)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the static residue arithmetic.
+
+The load-bearing claim of :mod:`repro.analysis.pressure` is that modular
+residue arithmetic (GCD cycles + sumsets) computes exactly the set of cache
+sets an affine access touches — without enumerating the iteration space.
+These properties pin that claim against brute-force enumeration through the
+same ``Array2D.addr`` / ``CacheGeometry.set_index`` path the dynamic
+simulator uses.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.descriptors import AccessDim, affine2d
+from repro.analysis.pressure import (
+    footprint_residues,
+    footprint_set_indices,
+    residue_progression,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.trace.allocator import VirtualAllocator
+from repro.workloads.base import Array2D
+
+geometries = st.builds(
+    CacheGeometry,
+    line_size=st.sampled_from([16, 32, 64, 128]),
+    num_sets=st.sampled_from([4, 8, 16, 32, 64]),
+    ways=st.sampled_from([1, 2, 4, 8]),
+)
+
+strides = st.integers(min_value=-4096, max_value=4096)
+extents = st.integers(min_value=1, max_value=96)
+periods = st.sampled_from([64, 256, 1024, 4096])
+
+
+class TestResidueProgression:
+    @given(strides, extents, periods)
+    def test_matches_enumeration(self, stride, extent, period):
+        expected = sorted({(i * stride) % period for i in range(extent)})
+        assert list(residue_progression(stride, extent, period)) == expected
+
+    @given(strides, extents, periods)
+    def test_cycle_length_is_gcd_period(self, stride, extent, period):
+        residues = residue_progression(stride, extent, period)
+        step = stride % period
+        if step == 0:
+            assert len(residues) == 1
+        else:
+            cycle = period // math.gcd(step, period)
+            assert len(residues) == min(extent, cycle)
+
+
+class TestFootprintResidues:
+    @given(
+        st.lists(st.tuples(strides, st.integers(1, 24)), min_size=1, max_size=3),
+        periods,
+    )
+    def test_sumset_matches_enumeration(self, stride_extents, period):
+        dims = tuple(AccessDim(s, e) for s, e in stride_extents)
+        expected = {0}
+        for dim in dims:
+            expected = {
+                (r + i * dim.stride) % period
+                for r in expected
+                for i in range(dim.extent)
+            }
+        assert set(footprint_residues(dims, period).tolist()) == expected
+
+
+class TestFootprintSetIndices:
+    """The satellite property: residue classes == brute-force enumeration.
+
+    For a random geometry and a random 2-D array walked by a random affine
+    nest, the statically computed set indices must equal the set of
+    ``geometry.set_index(array.addr(row, col))`` over every iteration point
+    — the exact addresses the trace would have produced.
+    """
+
+    @given(
+        geometries,
+        st.integers(min_value=1, max_value=48),   # rows
+        st.integers(min_value=1, max_value=48),   # cols
+        st.sampled_from([0, 8, 32, 64]),          # pad_bytes
+        st.sampled_from([4, 8]),                  # elem_size
+        st.booleans(),                            # column-major walk?
+        st.integers(min_value=0, max_value=4),    # row origin
+        st.integers(min_value=0, max_value=4),    # col origin
+        st.integers(min_value=1, max_value=40),   # row trip
+        st.integers(min_value=1, max_value=40),   # col trip
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_addr_enumeration(
+        self, geometry, rows, cols, pad, elem, column_walk, row0, col0, rtrip, ctrip
+    ):
+        allocator = VirtualAllocator()
+        array = Array2D.allocate(
+            allocator, "m", rows=rows + 8, cols=cols + 8, elem_size=elem, pad_bytes=pad
+        )
+        if column_walk:
+            subscripts = [(0, 1, ctrip), (1, 0, rtrip)]  # col outer, row inner
+        else:
+            subscripts = [(1, 0, rtrip), (0, 1, ctrip)]
+        access = affine2d(array, ip=0x1000, subscripts=subscripts, origin=(row0, col0))
+        predicted = set(footprint_set_indices(access, geometry).tolist())
+        enumerated = {
+            geometry.set_index(array.addr(row0 + r, col0 + c))
+            for r in range(rtrip)
+            for c in range(ctrip)
+        }
+        assert predicted == enumerated

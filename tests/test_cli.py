@@ -84,6 +84,33 @@ class TestAdviseCommand:
         assert "no conflicts flagged" in out
 
 
+class TestPredictCommand:
+    def test_predict_conflicting_workload(self, capsys):
+        assert main(["predict", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "trace accesses simulated: 0" in out
+        assert "CONFLICT" in out
+        assert "padding advice" in out
+
+    def test_predict_clean_workload(self, capsys):
+        assert main(["predict", "jacobi-2d"]) == 0
+        out = capsys.readouterr().out
+        assert "trace accesses simulated: 0" in out
+        assert "padding advice" not in out
+
+    def test_predict_optimized_variant(self, capsys):
+        assert main(["predict", "gemm:optimized"]) == 0
+        assert "CONFLICT" not in capsys.readouterr().out
+
+    def test_predict_stats_flag(self, capsys):
+        assert main(["predict", "symmetrization", "--stats"]) == 0
+        assert "passes run" in capsys.readouterr().out
+
+    def test_predict_undeclared_workload_is_analysis_family(self, capsys):
+        assert main(["predict", "fft"]) == 7
+        assert "[analysis]" in capsys.readouterr().err
+
+
 class TestPhasesCommand:
     def test_phases_output(self, capsys):
         code = main(["phases", "tinydnn", "--period", "101", "--window", "128"])

@@ -1,8 +1,11 @@
 """Tests for repro.program.cfg."""
 
+import random
+
 import pytest
 
 from repro.errors import ProgramImageError
+from repro.program.builder import ImageBuilder
 from repro.program.cfg import BasicBlock, ControlFlowGraph
 
 
@@ -109,3 +112,85 @@ class TestIpLookup:
         cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x110))
         assert cfg.block_at_ip(0x108).block_id == 0
         assert cfg.block_at_ip(0x110) is None
+
+    def test_empty_cfg(self):
+        assert ControlFlowGraph().block_at_ip(0x100) is None
+
+    def test_empty_blocks_never_match(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x100))
+        assert cfg.block_at_ip(0x100) is None
+
+    def test_boundaries(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x110))
+        cfg.add_block(BasicBlock(1, start_ip=0x120, end_ip=0x130))
+        assert cfg.block_at_ip(0x0FF) is None
+        assert cfg.block_at_ip(0x100).block_id == 0
+        assert cfg.block_at_ip(0x10F).block_id == 0
+        assert cfg.block_at_ip(0x110) is None  # gap between blocks
+        assert cfg.block_at_ip(0x11F) is None
+        assert cfg.block_at_ip(0x120).block_id == 1
+        assert cfg.block_at_ip(0x12F).block_id == 1
+        assert cfg.block_at_ip(0x130) is None
+
+    def test_index_invalidated_by_insertion(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x110))
+        assert cfg.block_at_ip(0x200) is None  # index built here
+        cfg.add_block(BasicBlock(1, start_ip=0x200, end_ip=0x210))
+        assert cfg.block_at_ip(0x200).block_id == 1
+
+    def test_index_invalidated_by_range_mutation(self):
+        # The builder mutates start_ip/end_ip of already-inserted blocks;
+        # callers must invalidate, and lookups must then see the new range.
+        cfg = ControlFlowGraph()
+        block = cfg.add_block(BasicBlock(0, start_ip=0x100, end_ip=0x110))
+        assert cfg.block_at_ip(0x108).block_id == 0
+        block.start_ip = 0x300
+        block.end_ip = 0x310
+        cfg.invalidate_ip_index()
+        assert cfg.block_at_ip(0x108) is None
+        assert cfg.block_at_ip(0x308).block_id == 0
+
+    def test_randomized_against_linear_scan(self):
+        # Bisect lookup must agree with the reference linear scan on
+        # randomized non-overlapping layouts with gaps and empty blocks.
+        rng = random.Random(1234)
+        for _trial in range(25):
+            cfg = ControlFlowGraph()
+            cursor = rng.randrange(0, 0x1000)
+            probe_ips = []
+            for block_id in range(rng.randrange(1, 40)):
+                cursor += rng.randrange(0, 64)  # random gap (possibly none)
+                size = rng.choice([0, 4, 4, 8, 16, 64])  # some empty blocks
+                cfg.add_block(
+                    BasicBlock(block_id, start_ip=cursor, end_ip=cursor + size)
+                )
+                probe_ips += [cursor - 1, cursor, cursor + size - 1,
+                              cursor + size, cursor + size // 2]
+                cursor += size
+            for ip in probe_ips:
+                assert cfg.block_at_ip(ip) is cfg._block_at_ip_linear(ip), hex(ip)
+
+    def test_builder_image_resolves_statement_ips(self):
+        # End to end through the builder, whose add_statement mutates block
+        # ranges after insertion: every statement IP must resolve to a block
+        # containing it, identically to the linear scan.
+        builder = ImageBuilder()
+        fn = builder.function("kernel", file="kernel.c")
+        fn.begin_loop(line=10)
+        ips = [fn.add_statement(line=11, count=3)]
+        fn.begin_loop(line=20)
+        ips.append(fn.add_statement(line=21))
+        ips.append(fn.add_statement(line=22))
+        fn.end_loop()
+        ips.append(fn.add_statement(line=30))
+        fn.end_loop()
+        fn.finish()
+        image = builder.build()
+        cfg = image.functions[0].cfg
+        for ip in ips:
+            block = cfg.block_at_ip(ip)
+            assert block is not None and block.contains_ip(ip)
+            assert block is cfg._block_at_ip_linear(ip)

@@ -136,6 +136,38 @@ class TestHavlak:
             havlak_headers = {loop.header for loop in havlak}
             assert natural_headers == havlak_headers
 
+    def test_irreducible_region_nested_in_reducible_loop(self):
+        # An outer *reducible* loop headed at 1 whose body contains a
+        # multi-entry region: 1 branches into both 2 and 3, which form a
+        # cycle with each other.  Havlak must (a) keep the outer loop
+        # reducible, (b) flag the inner region irreducible, and (c) nest the
+        # inner region strictly inside the outer loop.
+        #
+        #   0 -> 1 (outer header)
+        #   1 -> 2, 1 -> 3       (two entries into the {2, 3} cycle)
+        #   2 -> 3, 3 -> 2       (the irreducible cycle)
+        #   3 -> 1               (outer back edge)
+        #   1 -> 4               (exit)
+        cfg = build(
+            [(0, 1), (1, 2), (1, 3), (2, 3), (3, 2), (3, 1), (1, 4)], 5
+        )
+        forest = havlak_loops(cfg)
+        outer = forest.loop_with_header(1)
+        assert outer is not None
+        assert not outer.is_irreducible
+        assert outer.body >= {1, 2, 3}
+        irreducible = [loop for loop in forest if loop.is_irreducible]
+        assert len(irreducible) == 1
+        inner = irreducible[0]
+        assert inner.header in {2, 3}
+        assert inner.body >= {2, 3}
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.depth == 1 and inner.depth == 2
+        # Membership queries see the nesting too.
+        assert forest.innermost_loop(2) is inner
+        assert forest.innermost_loop(4) is None
+
 
 class TestForestQueries:
     def test_roots(self):
