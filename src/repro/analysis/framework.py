@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple, Type, TypeVar
 
 from repro.errors import AnalysisError
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:
     from repro.analysis.model import StaticModel
@@ -100,6 +101,7 @@ class AnalysisCache:
         cached = self._results.get(pass_type)
         if cached is not None:
             self.stats.hits += 1
+            get_registry().counter("analysis.pass_cache.hits").inc()
             return cached  # type: ignore[return-value]
         if pass_type in self._running:
             chain = " -> ".join(p.pass_name() for p in self._running)
@@ -116,6 +118,7 @@ class AnalysisCache:
             self._running.pop()
         self._results[pass_type] = instance
         self.stats.runs += 1
+        get_registry().counter("analysis.pass_cache.runs").inc()
         return instance
 
     def _record_dependency(self, pass_type: Type[AnalysisPass]) -> None:
@@ -145,10 +148,18 @@ class AnalysisCache:
                 evicted.append(current)
                 self.stats.invalidations += 1
             worklist.extend(self._dependents.get(current, ()))
+        if evicted:
+            get_registry().counter("analysis.pass_cache.invalidations").inc(
+                len(evicted)
+            )
         return evicted
 
     def invalidate_all(self) -> None:
         """Drop every cached result (e.g. after the model changed)."""
+        if self._results:
+            get_registry().counter("analysis.pass_cache.invalidations").inc(
+                len(self._results)
+            )
         self.stats.invalidations += len(self._results)
         self._results.clear()
         self._dependents.clear()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.trace.batch import DEFAULT_BATCH_SIZE, TraceBatch, as_batches
 from repro.trace.record import MemoryAccess
 
@@ -120,6 +121,10 @@ class SetAssociativeCache:
         self.geometry = geometry
         self.policy_name = policy.lower()
         self.stats = CacheStats(geometry=geometry)
+        # High-water marks of stats already flushed into obs counters, so
+        # flush_metrics() charges deltas — scalar and batched runs over
+        # the same trace then produce identical counter totals.
+        self._flushed = (0, 0, 0, 0, 0)
         self._seen_lines: Set[int] = set()
         # LRU fast path: each set is a list of tags, most recent first.
         self._lru_sets: Optional[List[List[int]]] = None
@@ -229,7 +234,37 @@ class SetAssociativeCache:
         """Drive a full trace through the cache; return the stats object."""
         for access in stream:
             self.access_record(access)
+        self.flush_metrics()
         return self.stats
+
+    def flush_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Charge stats accrued since the last flush into obs counters.
+
+        The batched path flushes per batch; scalar drivers flush once per
+        run — per-batch/per-run aggregates only, never per-access
+        callbacks.  Deltas (not totals) are charged, so interleaved scalar
+        and batched calls never double-count, and a scalar run and a
+        batched run over the same trace land identical counter totals.
+        """
+        registry = registry if registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        stats = self.stats
+        accesses, hits, misses, evictions, cold = self._flushed
+        if stats.accesses != accesses:
+            registry.counter("cache.accesses").inc(stats.accesses - accesses)
+        if stats.hits != hits:
+            registry.counter("cache.hits").inc(stats.hits - hits)
+        if stats.misses != misses:
+            registry.counter("cache.misses").inc(stats.misses - misses)
+        if stats.evictions != evictions:
+            registry.counter("cache.evictions").inc(stats.evictions - evictions)
+        if stats.cold_misses != cold:
+            registry.counter("cache.cold_misses").inc(stats.cold_misses - cold)
+        self._flushed = (
+            stats.accesses, stats.hits, stats.misses, stats.evictions,
+            stats.cold_misses,
+        )
 
     # -- batched (columnar) access path --------------------------------
     #
@@ -259,7 +294,9 @@ class SetAssociativeCache:
         ips = batch.ip
         if split_lines:
             addresses, ips = self._split_lines(addresses, ips, batch.size)
-        return self._access_arrays(addresses, ips)
+        result = self._access_arrays(addresses, ips)
+        self.flush_metrics()
+        return result
 
     def run_trace_batched(
         self,

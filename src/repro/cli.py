@@ -8,6 +8,7 @@ Mirrors the shape of the paper's artifact scripts:
   conflict report (and optionally writing a ``*result`` file).
 - ``ccprof simulate <trace.din>`` — run a Dinero-format trace through the
   cache simulator and print Dinero-style statistics.
+- ``ccprof inspect <manifest.json>`` — render a run manifest back as text.
 - ``ccprof list`` — enumerate built-in workloads.
 
 Built-in workload names accept an ``:optimized`` suffix, e.g.
@@ -23,12 +24,26 @@ Robustness controls (see the "Robustness model" section of README.md):
 - Every :class:`~repro.errors.ReproError` family maps to a distinct
   nonzero exit code (``error.exit_code``) with a one-line stderr
   diagnostic — no tracebacks for expected failure modes.
+
+Observability controls (see the "Observability" section of DESIGN.md):
+
+- Output lines are named events on a :class:`~repro.obs.logging.CliLogger`;
+  default stdout is unchanged, ``--verbose`` adds span trees and metric
+  snapshots, ``--quiet`` keeps results and warnings only, and
+  ``--log-json`` renders every event as one JSON object per line.
+- ``--manifest PATH`` (or any ``-o`` output, which gains a sibling
+  ``<output>.manifest.json``) records a :class:`~repro.obs.RunManifest`.
+- ``--no-obs`` installs the null registry/tracer: bit-for-bit pre-obs
+  behaviour, no manifest.
+- ``ccprof profile lru_stream --self-overhead`` measures what the enabled
+  obs layer costs on the perf headline (exit 1 over the 5% target).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import asdict
 from typing import Callable, Dict, Optional
 
 from repro.analysis import (
@@ -42,6 +57,20 @@ from repro.core.diffreport import ReportDiff
 from repro.core.phases import PhaseAnalyzer
 from repro.core.profiler import CCProf
 from repro.errors import ReproError
+from repro.obs.logging import CliLogger
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+from repro.obs.overhead import (
+    FULL_ACCESSES,
+    QUICK_ACCESSES,
+    measure_self_overhead,
+)
+from repro.obs.tracing import NULL_TRACER, Tracer, get_tracer, use_tracer
 from repro.optimize.padding_advisor import advise_padding
 from repro.pmu.periods import UniformJitterPeriod
 from repro.reporting.files import write_result_file
@@ -101,13 +130,83 @@ def _resolve_workload(spec: str) -> TraceWorkload:
     raise ReproError(f"unknown workload {name!r}; known: {known}")
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    print("case studies (accept :optimized):")
+def _logger(args: argparse.Namespace) -> CliLogger:
+    """The invocation's logger (``main`` attaches it; fall back for
+    handlers called directly in tests)."""
+    log = getattr(args, "_log", None)
+    return log if log is not None else CliLogger.from_args(args)
+
+
+def _write_manifest(
+    args: argparse.Namespace,
+    command: str,
+    profiler: CCProf,
+    profile,
+    report=None,
+    outputs: Optional[Dict[str, str]] = None,
+) -> None:
+    """Record a :class:`RunManifest` for one profile/analyze run.
+
+    Written to ``--manifest PATH`` when given, else next to ``-o`` output
+    as ``<output>.manifest.json``; skipped entirely under ``--no-obs``
+    (which promises bit-for-bit pre-obs behaviour).
+    """
+    path = getattr(args, "manifest", None)
+    if path is None and getattr(args, "output", None):
+        path = f"{args.output}.manifest.json"
+    if path is None or getattr(args, "no_obs", False):
+        return
+    sampling: Dict[str, object] = {}
+    if profile is not None:
+        run = profile.sampling
+        sampling = {
+            "samples": run.sample_count,
+            "events": run.total_events,
+            "accesses": run.total_accesses,
+            "mean_period": run.mean_period,
+            "truncated": run.truncated,
+            "truncation_reason": run.truncation_reason,
+        }
+    quality = None
+    if report is not None and report.data_quality is not None:
+        quality = asdict(report.data_quality)
+    geometry = profiler.geometry
+    manifest = RunManifest(
+        command=command,
+        workload=args.workload,
+        engine=profiler.engine,
+        seed=args.seed,
+        period=float(args.period),
+        geometry={
+            "num_sets": geometry.num_sets,
+            "ways": geometry.ways,
+            "line_size": geometry.line_size,
+        },
+        config={
+            "strict": bool(getattr(args, "strict", False)),
+            "inject": getattr(args, "inject", None),
+            "max_events": getattr(args, "max_events", None),
+        },
+        stage_timings=get_tracer().stage_timings(),
+        metrics=get_registry().snapshot(),
+        data_quality=quality,
+        sampling=sampling,
+        outputs=outputs or {},
+    )
+    saved = manifest.save(path)
+    _logger(args).info(
+        "manifest.written", f"wrote manifest {saved}", path=str(saved)
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    log = _logger(args)
+    log.result("workloads.case_studies", "case studies (accept :optimized):")
     for name in _WORKLOADS:
-        print(f"  {name}")
-    print("rodinia suite:")
+        log.result("workloads.entry", f"  {name}", workload=name)
+    log.result("workloads.rodinia", "rodinia suite:")
     for name in RODINIA_APPS:
-        print(f"  {name}")
+        log.result("workloads.entry", f"  {name}", workload=name)
     return 0
 
 
@@ -130,98 +229,178 @@ def _make_profiler(args: argparse.Namespace) -> CCProf:
     )
 
 
+def _cmd_self_overhead(args: argparse.Namespace, log: CliLogger) -> int:
+    """``ccprof profile lru_stream --self-overhead``."""
+    if args.workload != "lru_stream":
+        raise ReproError(
+            "--self-overhead measures the 'lru_stream' perf headline; "
+            "invoke as: ccprof profile lru_stream --self-overhead"
+        )
+    accesses = QUICK_ACCESSES if getattr(args, "quick", False) else FULL_ACCESSES
+    report = measure_self_overhead(accesses=accesses)
+    log.result("self_overhead", report.render(), **report.as_dict())
+    return 0 if report.within_target else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    log = _logger(args)
+    if getattr(args, "self_overhead", False):
+        return _cmd_self_overhead(args, log)
     workload = _resolve_workload(args.workload)
     profiler = _make_profiler(args)
     profile = profiler.profile(workload)
     sampling = profile.sampling
-    print(
+    log.result(
+        "profile.summary",
         f"{workload.name}: {sampling.sample_count} samples of "
         f"{sampling.total_events} L1 miss events "
-        f"({sampling.total_accesses} accesses)"
+        f"({sampling.total_accesses} accesses)",
+        workload=workload.name,
+        samples=sampling.sample_count,
+        events=sampling.total_events,
+        accesses=sampling.total_accesses,
     )
     if sampling.truncated:
-        print(f"run truncated: {sampling.truncation_reason}")
+        log.warning(
+            "profile.truncated",
+            f"run truncated: {sampling.truncation_reason}",
+            reason=sampling.truncation_reason,
+        )
     if profile.fault_report is not None:
-        print(f"injected faults: {profile.fault_report.describe()}")
+        log.warning(
+            "profile.faults",
+            f"injected faults: {profile.fault_report.describe()}",
+        )
+    outputs: Dict[str, str] = {}
     if args.output:
         written = profile.dump_samples(args.output)
-        print(f"wrote {written} samples to {args.output}")
+        outputs["samples"] = str(args.output)
+        log.info(
+            "output.written",
+            f"wrote {written} samples to {args.output}",
+            path=str(args.output),
+            records=written,
+        )
+    _write_manifest(args, "profile", profiler, profile, outputs=outputs)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    log = _logger(args)
     workload = _resolve_workload(args.workload)
     profiler = _make_profiler(args)
     report = profiler.run(workload)
-    print(report.render())
+    log.result("report", report.render(), workload=workload.name)
+    outputs: Dict[str, str] = {}
     if args.output:
         write_result_file(args.output, report)
-        print(f"\nwrote {args.output}")
+        outputs["result"] = str(args.output)
+        log.info(
+            "output.written", f"\nwrote {args.output}", path=str(args.output)
+        )
+    _write_manifest(
+        args, "analyze", profiler, report.raw_profile, report=report,
+        outputs=outputs,
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    log = _logger(args)
+    manifest = RunManifest.load(args.manifest)
+    log.result("manifest", manifest.render(), manifest=manifest.to_dict())
+    tripped = manifest.tripped_budgets()
+    if tripped:
+        log.warning(
+            "budget.tripped",
+            "tripped budgets: " + ", ".join(tripped),
+            budgets=tripped,
+        )
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    log = _logger(args)
     read_stats = TraceReadStats()
     stats = simulate_dinero_trace(
         args.trace, spec=args.cache, strict=args.strict, stats=read_stats
     )
-    print(format_dinero_report(stats, title=args.trace))
+    log.result("simulate.report", format_dinero_report(stats, title=args.trace))
     if read_stats.salvaged:
-        print(f"trace salvage: {read_stats.describe()}")
+        log.warning(
+            "simulate.salvage", f"trace salvage: {read_stats.describe()}"
+        )
     return 0
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
+    log = _logger(args)
     workload = _resolve_workload(args.workload)
     profiler = _make_profiler(args)
     report = profiler.run(workload)
-    print(report.render())
+    log.result("report", report.render(), workload=workload.name)
     arrays = [
         value
         for value in vars(workload).values()
         if isinstance(value, Array2D)
     ]
     if not report.has_conflicts:
-        print("\nno conflicts flagged; no padding advice needed")
+        log.result(
+            "advise.clean", "\nno conflicts flagged; no padding advice needed"
+        )
         return 0
     implicated = {
         structure.label
         for loop in report.conflicting_loops()
         for structure in loop.data_structures
     }
-    print("\npadding advice:")
+    log.result("advise.header", "\npadding advice:")
     advised = False
     for array in arrays:
         if array.allocation.label not in implicated:
             continue
         advice = advise_padding(array, profiler.geometry)
         advised = True
-        print(f"  {advice.label}: +{advice.pad_bytes} B/row  ({advice.reason})")
+        log.result(
+            "advise.padding",
+            f"  {advice.label}: +{advice.pad_bytes} B/row  ({advice.reason})",
+            label=advice.label,
+            pad_bytes=advice.pad_bytes,
+        )
     if not advised:
-        print("  (conflicting structures are not 2-D arrays; consider a "
-              "loop-order change instead)")
+        log.result(
+            "advise.no_arrays",
+            "  (conflicting structures are not 2-D arrays; consider a "
+            "loop-order change instead)",
+        )
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     """Static conflict prediction: zero trace accesses simulated."""
+    log = _logger(args)
     workload = _resolve_workload(args.workload)
     model = StaticModel.from_workload(workload)
     cache = AnalysisCache(model)
     report = cache.request(ConflictPredictionAnalysis).report
-    print(report.render())
+    log.result("predict.report", report.render(), workload=workload.name)
     advice = cache.request(StaticPaddingAnalysis).advice
     if report.has_conflicts:
-        print("\npadding advice (from prediction alone):")
-        for line in advice.render().splitlines():
-            print(f"  {line}")
+        lines = ["\npadding advice (from prediction alone):"]
+        lines.extend(f"  {line}" for line in advice.render().splitlines())
+        log.result("predict.advice", "\n".join(lines))
     if args.stats:
-        print(f"\nanalysis cache: {cache.stats.describe()}")
+        log.info(
+            "predict.cache_stats",
+            f"\nanalysis cache: {cache.stats.describe()}",
+            runs=cache.stats.runs,
+            hits=cache.stats.hits,
+        )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    log = _logger(args)
     name, _, variant = args.workload.partition(":")
     if variant:
         raise ReproError("compare takes a bare name; it runs both variants itself")
@@ -230,54 +409,101 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     original_factory, optimized_factory = _WORKLOADS[name]
     profiler = _make_profiler(args)
 
-    original = original_factory()
-    optimized = optimized_factory()
-    report_before = profiler.run(original)
-    report_after = profiler.run(optimized)
-    print(report_before.render())
-    print()
-    print(report_after.render())
-    print()
-    print(ReportDiff.compare(report_before, report_after).render())
+    report_before = profiler.run(original_factory())
+    report_after = profiler.run(optimized_factory())
+    log.result("compare.before", report_before.render())
+    log.result("compare.after", "\n" + report_after.render())
+    log.result(
+        "compare.diff",
+        "\n" + ReportDiff.compare(report_before, report_after).render(),
+    )
 
-    before_stats = original_factory().l1_stats(profiler.geometry)
-    after_stats = optimized_factory().l1_stats(profiler.geometry)
+    # The profiled runs already simulated both variants; reuse the cache
+    # statistics riding on each report's raw profile instead of paying a
+    # third and fourth full simulation (fall back for reports that lack
+    # them, e.g. loaded from disk).
+    def _l1_stats(report, factory):
+        profile = report.raw_profile
+        if profile is not None and profile.sampling.cache_stats is not None:
+            return profile.sampling.cache_stats
+        return factory().l1_stats(profiler.geometry)
+
+    before_stats = _l1_stats(report_before, original_factory)
+    after_stats = _l1_stats(report_after, optimized_factory)
     reduction = (
         (before_stats.misses - after_stats.misses) / before_stats.misses
         if before_stats.misses
         else 0.0
     )
-    print(
+    log.result(
+        "compare.misses",
         f"\nL1 misses: {before_stats.misses} -> {after_stats.misses} "
-        f"({reduction:+.1%} reduction)"
+        f"({reduction:+.1%} reduction)",
+        before=before_stats.misses,
+        after=after_stats.misses,
+        reduction=reduction,
     )
-    print(
+    log.result(
+        "compare.verdict",
         f"conflicts flagged: {report_before.has_conflicts} -> "
-        f"{report_after.has_conflicts}"
+        f"{report_after.has_conflicts}",
+        before=report_before.has_conflicts,
+        after=report_after.has_conflicts,
     )
     return 0
 
 
 def _cmd_phases(args: argparse.Namespace) -> int:
+    log = _logger(args)
     workload = _resolve_workload(args.workload)
     profiler = _make_profiler(args)
     profile = profiler.profile(workload)
     analyzer = PhaseAnalyzer(profiler.geometry, window=args.window)
     analysis = analyzer.analyze(profile.sampling.samples)
-    print(
+    log.result(
+        "phases.summary",
         f"{workload.name}: {len(analysis.phases)} phases of ~{args.window} "
-        f"samples; {analysis.conflict_fraction:.0%} conflicting"
+        f"samples; {analysis.conflict_fraction:.0%} conflicting",
+        workload=workload.name,
+        phases=len(analysis.phases),
     )
     for phase in analysis.phases:
         verdict = "CONFLICT" if phase.has_conflict else "ok"
-        print(
+        log.result(
+            "phases.phase",
             f"  phase {phase.index:>3}: cf={phase.contribution_factor:.3f} "
-            f"victims={len(phase.victim_sets):>3} {verdict}"
+            f"victims={len(phase.victim_sets):>3} {verdict}",
         )
     transitions = analysis.transitions()
     if transitions:
-        print(f"phase transitions at windows: {transitions}")
+        log.result(
+            "phases.transitions",
+            f"phase transitions at windows: {transitions}",
+            windows=transitions,
+        )
     return 0
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    """The observability flags every subcommand shares."""
+    verbosity = sub.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print detail events (span tree, metric snapshot)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print results and warnings only",
+    )
+    sub.add_argument(
+        "--log-json", action="store_true",
+        help="emit each output line as one JSON event object",
+    )
+    sub.add_argument(
+        "--no-obs", action="store_true",
+        help="disable the metrics registry and span tracer entirely "
+             "(bit-for-bit pre-observability behaviour; no manifest)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -289,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list built-in workloads")
+    _add_obs_flags(list_parser)
     list_parser.set_defaults(handler=_cmd_list)
 
     def add_strictness(sub: argparse.ArgumentParser) -> None:
@@ -324,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "batched columnar engine (same results, slower)",
         )
         add_strictness(sub)
+        _add_obs_flags(sub)
         if needs_output:
             sub.add_argument("-o", "--output", default=None, help="output file")
         if verb in ("profile", "analyze"):
@@ -336,6 +564,22 @@ def build_parser() -> argparse.ArgumentParser:
                 "--max-events", type=int, default=None, metavar="N",
                 help="watchdog budget: stop profiling after N qualifying "
                      "events and analyze the partial profile",
+            )
+            sub.add_argument(
+                "--manifest", default=None, metavar="PATH",
+                help="write a run manifest (config, timings, metrics, data "
+                     "quality) to PATH; with -o, defaults to "
+                     "<output>.manifest.json",
+            )
+        if verb == "profile":
+            sub.add_argument(
+                "--self-overhead", action="store_true",
+                help="measure the enabled obs layer's cost on the "
+                     "lru_stream perf headline (exit 1 over the 5% target)",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="with --self-overhead: a 10x smaller measurement",
             )
         if verb == "phases":
             sub.add_argument(
@@ -356,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print analysis-cache statistics (passes run / cache hits)",
     )
+    _add_obs_flags(predict)
     predict.set_defaults(handler=_cmd_predict)
 
     sim = subparsers.add_parser("simulate", help="run a .din trace through the simulator")
@@ -365,12 +610,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache spec size:line:assoc[:policy] (default: the paper's L1)",
     )
     add_strictness(sim)
+    _add_obs_flags(sim)
     sim.set_defaults(handler=_cmd_simulate)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="render a run manifest written by profile/analyze"
+    )
+    inspect.add_argument("manifest", help="path to a *.manifest.json file")
+    _add_obs_flags(inspect)
+    inspect.set_defaults(handler=_cmd_inspect)
     return parser
+
+
+def _emit_run_details(
+    log: CliLogger, registry: MetricsRegistry, tracer: Tracer
+) -> None:
+    """The ``--verbose`` detail events: span tree + metric snapshot."""
+    if not log.visible("detail"):
+        return
+    if tracer.enabled and tracer.roots:
+        spans = [
+            span.as_dict(depth)
+            for root in tracer.roots
+            for span, depth in root.walk()
+        ]
+        log.detail("trace.spans", "\nspans:\n" + tracer.render(), spans=spans)
+    if registry.enabled:
+        snapshot = registry.snapshot()
+        if any(snapshot.values()):
+            lines = ["metrics:"]
+            for name, value in sorted(snapshot["counters"].items()):
+                lines.append(f"  {name:<36} {value}")
+            for name, value in sorted(snapshot["gauges"].items()):
+                lines.append(f"  {name:<36} {value} (gauge)")
+            for name, hist in sorted(snapshot["histograms"].items()):
+                lines.append(
+                    f"  {name:<36} count={hist['count']} sum={hist['sum']}"
+                )
+            log.detail("metrics.snapshot", "\n".join(lines), **snapshot)
 
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point.
+
+    Every invocation gets a fresh metrics registry and tracer (installed
+    as the process defaults for its duration), so repeated in-process
+    calls — the test suite — never leak obs state into each other.
 
     Every expected failure exits with its error family's distinct nonzero
     code (``ReproError.exit_code``) and a one-line stderr diagnostic
@@ -378,8 +663,16 @@ def main(argv: Optional[list] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    log = CliLogger.from_args(args)
+    args._log = log
+    no_obs = getattr(args, "no_obs", False)
+    registry = NULL_REGISTRY if no_obs else MetricsRegistry()
+    tracer = NULL_TRACER if no_obs else Tracer()
     try:
-        return args.handler(args)
+        with use_registry(registry), use_tracer(tracer):
+            code = args.handler(args)
+            _emit_run_details(log, registry, tracer)
+        return code
     except ReproError as error:
         print(f"ccprof: error [{error.code}]: {error}", file=sys.stderr)
         return error.exit_code

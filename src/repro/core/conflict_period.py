@@ -15,6 +15,7 @@ from typing import Dict, List, NamedTuple, Sequence, Union
 import numpy as np
 
 from repro.core.rcd import RcdArrayAnalysis, RcdObservation
+from repro.obs.metrics import get_registry
 from repro.stats.distributions import Histogram, summarize
 
 
@@ -128,14 +129,21 @@ class ConflictPeriodAnalysis:
         reference path.  Both produce identical runs.
         """
         if isinstance(observations, RcdArrayAnalysis):
-            return cls(
+            analysis = cls(
                 runs=conflict_period_arrays(
                     observations.set_index,
                     observations.rcd,
                     observations.position,
                 )
             )
-        return cls(runs=conflict_periods(observations))
+        else:
+            analysis = cls(runs=conflict_periods(observations))
+        registry = get_registry()
+        registry.counter("core.conflict_period.analyses").inc()
+        registry.counter("core.conflict_period.runs_extracted").inc(
+            len(analysis.runs)
+        )
+        return analysis
 
     def length_histogram(self) -> Histogram:
         """Distribution of run lengths."""

@@ -30,6 +30,8 @@ from repro.core.report import (
     LoopReport,
 )
 from repro.errors import AnalysisError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.pmu.monitor import MonitorSession, RawProfile
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.pmu.sampler import AddressSample
@@ -105,21 +107,34 @@ class OfflineAnalyzer:
         thin to classify).
         """
         sampling = profile.sampling
-        symbolizer = Symbolizer(profile.image) if profile.image is not None else None
-        code = attribute_code(sampling.samples, symbolizer)
-        report = ConflictReport(
-            workload_name=workload_name,
-            mean_sampling_period=sampling.mean_period,
-            total_samples=sampling.sample_count,
-            total_events=sampling.total_events,
-            rcd_threshold=self.settings.rcd_threshold,
-            data_quality=self._data_quality(profile),
-        )
-        for group in code.loops:
-            report.loops.append(
-                self._analyze_loop(group, profile, sampling.geometry)
+        tracer = get_tracer()
+        with tracer.span("analyze", workload=workload_name):
+            with tracer.span("attribute_code"):
+                symbolizer = (
+                    Symbolizer(profile.image) if profile.image is not None else None
+                )
+                code = attribute_code(sampling.samples, symbolizer)
+            report = ConflictReport(
+                workload_name=workload_name,
+                mean_sampling_period=sampling.mean_period,
+                total_samples=sampling.sample_count,
+                total_events=sampling.total_events,
+                rcd_threshold=self.settings.rcd_threshold,
+                data_quality=self._data_quality(profile),
             )
-        self._assess_loops(report)
+            with tracer.span("classify_loops", contexts=len(code.loops)):
+                for group in code.loops:
+                    report.loops.append(
+                        self._analyze_loop(group, profile, sampling.geometry)
+                    )
+            self._assess_loops(report)
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("core.analyses").inc()
+                registry.counter("core.contexts_analyzed").inc(len(code.loops))
+                registry.counter("core.conflicts_flagged").inc(
+                    len(report.conflicting_loops())
+                )
         return report
 
     def _data_quality(self, profile: RawProfile) -> DataQuality:
@@ -172,8 +187,12 @@ class OfflineAnalyzer:
         addresses = np.fromiter(
             (sample.address for sample in group.samples), dtype=np.uint64
         )
-        analysis = RcdArrayAnalysis.from_addresses(addresses, geometry)
-        cf = contribution_factor(analysis, settings.rcd_threshold)
+        with get_tracer().span("rcd", loop=group.loop_name, samples=group.count):
+            analysis = RcdArrayAnalysis.from_addresses(addresses, geometry)
+            cf = contribution_factor(analysis, settings.rcd_threshold)
+        get_registry().counter("core.rcd_observations").inc(
+            analysis.observation_count
+        )
         loop_report = LoopReport(
             loop_name=group.loop_name,
             sample_count=group.count,
@@ -296,14 +315,24 @@ class CCProf:
             budget=self.budget,
             engine=self.engine,
         )
-        profile = session.profile(
-            workload.trace(),
-            allocator=getattr(workload, "allocator", None),
-            image=getattr(workload, "image", None),
-        )
-        if self.inject is not None and self.inject:
-            profile.sampling.samples = self.inject.apply(profile.sampling.samples)
-            profile.fault_report = self.inject.last_report
+        name = getattr(workload, "name", workload.__class__.__name__)
+        with get_tracer().span("profile", workload=name, engine=self.engine):
+            profile = session.profile(
+                workload.trace(),
+                allocator=getattr(workload, "allocator", None),
+                image=getattr(workload, "image", None),
+            )
+            if self.inject is not None and self.inject:
+                profile.sampling.samples = self.inject.apply(
+                    profile.sampling.samples
+                )
+                profile.fault_report = self.inject.last_report
+                lost = (
+                    profile.fault_report.records_in
+                    - profile.fault_report.records_out
+                )
+                if lost > 0:
+                    get_registry().counter("pmu.samples_dropped").inc(lost)
         return profile
 
     def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
@@ -316,6 +345,11 @@ class CCProf:
         In strict mode an event-less run raises; in lenient mode every
         degradation — including a completely empty profile — comes back as
         a best-effort report with ``data_quality`` warnings.
+
+        The :class:`~repro.pmu.monitor.RawProfile` of the online phase is
+        attached as ``report.raw_profile``, so callers needing both (the
+        CLI's compare path, manifest writers, sample dumps) never
+        re-profile.
         """
         name = getattr(workload, "name", workload.__class__.__name__)
         profile = self.profile(workload)
@@ -324,4 +358,6 @@ class CCProf:
                 raise AnalysisError(
                     f"workload {name!r} produced no L1 miss events; nothing to analyze"
                 )
-        return self.analyze(profile, workload_name=name)
+        report = self.analyze(profile, workload_name=name)
+        report.raw_profile = profile
+        return report

@@ -170,6 +170,12 @@ class ConflictReport:
     rcd_threshold: int
     loops: List[LoopReport] = field(default_factory=list)
     data_quality: Optional[DataQuality] = None
+    #: The online phase's RawProfile when the report came from
+    #: :meth:`CCProf.run` (typed loosely to avoid a pmu dependency);
+    #: excluded from rendering and comparison.
+    raw_profile: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def conflicting_loops(self) -> List[LoopReport]:
         """Loops the classifier flagged."""

@@ -1,0 +1,68 @@
+"""``repro.obs`` — the pipeline's own observability layer.
+
+Metrics (:mod:`repro.obs.metrics`), span tracing
+(:mod:`repro.obs.tracing`), run manifests (:mod:`repro.obs.manifest`),
+CLI event logging (:mod:`repro.obs.logging`), and self-overhead
+accounting (:mod:`repro.obs.overhead`).
+
+Design contract, enforced by tests and the perf harness:
+
+- **off-by-default-cheap** — a disabled registry hands out no-op
+  instruments, a disabled tracer's spans are one shared null context
+  manager, and hot engines only ever record per-batch or per-run
+  aggregates;
+- the *enabled* default layer must cost < 5% on the ``lru_stream``
+  perf headline (``ccprof profile lru_stream --self-overhead``);
+- with the null registry/tracer installed the pipeline's outputs are
+  bit-for-bit identical to an uninstrumented build.
+"""
+
+from repro.obs.logging import CliLogger
+from repro.obs.manifest import ManifestError, RunManifest, git_revision
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.overhead import (
+    OVERHEAD_TARGET,
+    OverheadReport,
+    measure_self_overhead,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CliLogger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "OVERHEAD_TARGET",
+    "OverheadReport",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "git_revision",
+    "measure_self_overhead",
+    "set_registry",
+    "set_tracer",
+    "use_registry",
+    "use_tracer",
+]

@@ -1,0 +1,107 @@
+"""CLI event logging on top of the obs layer.
+
+``ccprof`` historically printed bare status lines.  :class:`CliLogger`
+keeps that exact stdout contract by default while making every line a
+*named event* that can be:
+
+- suppressed (``--quiet`` keeps results and warnings only),
+- augmented (``--verbose`` adds detail events: stage timings, metric
+  snapshots), or
+- machine-read (``--log-json`` renders each event as one JSON object per
+  line instead of prose).
+
+Levels, lowest to highest: ``detail`` < ``info`` < ``result`` <
+``warning``.  Default verbosity shows ``info`` and above; ``--quiet``
+shows ``result`` and above; ``--verbose`` shows everything.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Dict, Optional
+
+#: Event levels in ascending severity order.
+_LEVELS: Dict[str, int] = {"detail": 0, "info": 1, "result": 2, "warning": 3}
+
+
+class CliLogger:
+    """Verbosity-aware, optionally machine-readable event stream.
+
+    Args:
+        verbosity: -1 (``--quiet``), 0 (default), or 1 (``--verbose``).
+        json_mode: Emit one JSON object per event instead of plain text.
+        stream: Output stream (stdout by default; injectable for tests).
+    """
+
+    def __init__(
+        self,
+        verbosity: int = 0,
+        json_mode: bool = False,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.verbosity = verbosity
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stdout
+        # --quiet raises the floor to "result"; --verbose lowers it to
+        # "detail"; default shows "info" and above.
+        self._floor = 1 - max(-1, min(1, verbosity))
+
+    @classmethod
+    def from_args(cls, args: object) -> "CliLogger":
+        """Build from parsed CLI args (``--verbose/--quiet/--log-json``)."""
+        verbosity = 0
+        if getattr(args, "verbose", False):
+            verbosity = 1
+        elif getattr(args, "quiet", False):
+            verbosity = -1
+        return cls(
+            verbosity=verbosity,
+            json_mode=bool(getattr(args, "log_json", False)),
+        )
+
+    def visible(self, level: str) -> bool:
+        """Whether events of ``level`` pass the verbosity floor."""
+        return _LEVELS.get(level, 1) >= self._floor
+
+    def emit(
+        self,
+        event: str,
+        message: str = "",
+        level: str = "info",
+        **fields: object,
+    ) -> None:
+        """Emit one named event.
+
+        In text mode, visible events print ``message`` exactly (keeping
+        the historical stdout stable); in JSON mode every visible event
+        becomes ``{"event": ..., "level": ..., "message": ..., **fields}``.
+        """
+        if not self.visible(level):
+            return
+        if self.json_mode:
+            record = {"event": event, "level": level}
+            if message:
+                record["message"] = message
+            record.update(fields)
+            print(json.dumps(record, sort_keys=True), file=self.stream)
+        elif message:
+            print(message, file=self.stream)
+
+    # -- level shorthands ----------------------------------------------
+
+    def detail(self, event: str, message: str = "", **fields: object) -> None:
+        """Verbose-only diagnostics (timings, metric snapshots)."""
+        self.emit(event, message, level="detail", **fields)
+
+    def info(self, event: str, message: str = "", **fields: object) -> None:
+        """Default status lines (hidden by ``--quiet``)."""
+        self.emit(event, message, level="info", **fields)
+
+    def result(self, event: str, message: str = "", **fields: object) -> None:
+        """Primary outputs (reports); survive ``--quiet``."""
+        self.emit(event, message, level="result", **fields)
+
+    def warning(self, event: str, message: str = "", **fields: object) -> None:
+        """Degradations worth surfacing even in quiet mode."""
+        self.emit(event, message, level="warning", **fields)

@@ -1,0 +1,270 @@
+"""Zero-dependency metrics: counters, gauges, log2-bucket histograms.
+
+The paper's headline claim is that CCProf is *lightweight*; this module is
+how the reproduction watches itself to keep that claim honest.  Three
+instrument kinds cover the pipeline's needs:
+
+- :class:`Counter` — monotonically increasing totals (samples emitted,
+  cache misses, pass-cache hits).
+- :class:`Gauge` — last-written values (configured budget limits, batch
+  size in flight).
+- :class:`Histogram` — fixed log2 buckets over non-negative integers
+  (batch sizes, retry delays in microseconds).  Log2 bucketing makes the
+  bucket index a single ``int.bit_length()`` call and keeps the layout
+  identical across processes, so snapshots merge trivially.
+
+Everything routes through a :class:`MetricsRegistry`.  A process-global
+default (:func:`get_registry`) serves production code; tests inject their
+own with :func:`use_registry`.  A **disabled** registry hands out shared
+no-op instruments, so instrumented code pays one attribute check and a
+method call that does nothing — the hot paths only ever record per-batch
+or per-run aggregates, never per-access callbacks.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Histogram bucket count: bucket 0 holds values <= 0, bucket k (1-based)
+#: holds values with bit_length k, i.e. [2^(k-1), 2^k).  64 value buckets
+#: cover the full non-negative int64 range; 2^63 (and anything larger)
+#: lands in the final overflow bucket.
+HISTOGRAM_BUCKETS = 65
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta``."""
+        self.value += delta
+
+
+class Histogram:
+    """Fixed log2-bucket histogram over non-negative integers.
+
+    ``observe(v)`` charges bucket ``max(0, int(v).bit_length())`` (clamped
+    to the final bucket), so bucket k counts values in ``[2^(k-1), 2^k)``;
+    bucket 0 counts values <= 0.  Alongside the buckets the histogram keeps
+    exact count/sum/min/max so means survive the bucketing.
+    """
+
+    __slots__ = ("name", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: List[int] = [0] * HISTOGRAM_BUCKETS
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    @staticmethod
+    def bucket_index(value: int) -> int:
+        """Bucket charged for ``value`` (clamped into the fixed layout)."""
+        if value <= 0:
+            return 0
+        return min(int(value).bit_length(), HISTOGRAM_BUCKETS - 1)
+
+    def observe(self, value: int) -> None:
+        """Record one observation (floats are floored to ints)."""
+        value = int(value)
+        self.buckets[self.bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> Dict[int, int]:
+        """Sparse ``{bucket_index: count}`` view (snapshot-friendly)."""
+        return {
+            index: count
+            for index, count in enumerate(self.buckets)
+            if count
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot form: exact moments plus the sparse buckets."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                str(index): count
+                for index, count in self.nonzero_buckets().items()
+            },
+        }
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def add(self, delta: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def observe(self, value: int) -> None:  # noqa: ARG002
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and cached by name.
+
+    Args:
+        enabled: When False the registry is inert — every accessor returns
+            a shared no-op instrument and :meth:`snapshot` is empty.  The
+            instrumented pipeline is then bit-for-bit identical to an
+            uninstrumented one.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; between paired overhead runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time export of every instrument, sorted by name.
+
+        The layout is what :class:`~repro.obs.manifest.RunManifest`
+        embeds: ``{"counters": {...}, "gauges": {...}, "histograms":
+        {...}}`` with plain-JSON values throughout.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+#: The always-disabled registry: install it (or pass it) to turn the
+#: whole obs layer into no-ops.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_default_registry = MetricsRegistry(enabled=True)
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry instrumented code records into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-global default; returns the
+    previous one so callers can restore it."""
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` (the test-injection hook)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,169 @@
+"""Self-overhead accounting: what does watching the profiler cost?
+
+The paper's pitch is a ~1.3% median profiling overhead; an observability
+layer that costs more than that to *measure* would be self-defeating.
+:func:`measure_self_overhead` runs the perf harness's ``lru_stream``
+headline shape twice — once with the obs layer disabled (bare) and once
+with a live registry and tracer (instrumented) — and reports the ratio.
+The acceptance bar is instrumented/bare < 1 + :data:`OVERHEAD_TARGET`.
+
+``ccprof profile lru_stream --self-overhead`` runs this from the CLI, and
+``repro.perf.harness`` embeds the result in every ``BENCH_*.json`` as the
+``obs_overhead`` field so CI can enforce the bound per revision.
+
+Timing is best-of-``repeats`` with bare/instrumented runs interleaved, so
+one scheduler hiccup cannot masquerade as obs overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+
+# NOTE: this module deliberately imports nothing from repro.cache/repro.trace
+# at module level.  Those hot-path modules import repro.obs.metrics, which
+# executes repro.obs.__init__, which imports this module — a module-level
+# import back into them would cycle while they are still initializing.
+
+#: Maximum tolerated fractional overhead of the enabled obs layer on the
+#: headline workload (instrumented/bare - 1).
+OVERHEAD_TARGET = 0.05
+
+#: Default accesses per timed run (full / --quick sized).
+FULL_ACCESSES = 400_000
+QUICK_ACCESSES = 40_000
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Result of one paired instrumented-vs-bare measurement.
+
+    Attributes:
+        workload: Name of the measured shape (``lru_stream``).
+        accesses: Accesses per timed run.
+        repeats: Timed repetitions per mode (best-of is reported).
+        bare_seconds: Best bare (obs disabled) wall time.
+        instrumented_seconds: Best instrumented wall time.
+        target: The fractional-overhead acceptance bar.
+    """
+
+    workload: str
+    accesses: int
+    repeats: int
+    bare_seconds: float
+    instrumented_seconds: float
+    target: float = OVERHEAD_TARGET
+
+    @property
+    def ratio(self) -> float:
+        """instrumented/bare wall-time ratio (1.0 = free)."""
+        return self.instrumented_seconds / max(self.bare_seconds, 1e-12)
+
+    @property
+    def overhead(self) -> float:
+        """Fractional overhead (ratio - 1; may be slightly negative)."""
+        return self.ratio - 1.0
+
+    @property
+    def within_target(self) -> bool:
+        """Whether the measured overhead meets the acceptance bar."""
+        return self.overhead <= self.target
+
+    def as_dict(self) -> dict:
+        """The ``obs_overhead`` record embedded in ``BENCH_*.json``."""
+        return {
+            "workload": self.workload,
+            "accesses": self.accesses,
+            "repeats": self.repeats,
+            "bare_seconds": self.bare_seconds,
+            "instrumented_seconds": self.instrumented_seconds,
+            "ratio": self.ratio,
+            "overhead": self.overhead,
+            "target": self.target,
+            "within_target": self.within_target,
+        }
+
+    def render(self) -> str:
+        """One-paragraph text rendering for the CLI."""
+        verdict = "within" if self.within_target else "EXCEEDS"
+        return "\n".join(
+            [
+                f"self-overhead ({self.workload}, {self.accesses} accesses, "
+                f"best of {self.repeats}):",
+                f"  bare         {self.bare_seconds * 1e3:9.3f} ms",
+                f"  instrumented {self.instrumented_seconds * 1e3:9.3f} ms",
+                f"  ratio        {self.ratio:9.4f}  "
+                f"(overhead {self.overhead:+.2%}, {verdict} the "
+                f"{self.target:.0%} target)",
+            ]
+        )
+
+
+def _stream_batches(accesses: int, batch_size: Optional[int]) -> List["object"]:
+    """The ``lru_stream`` headline trace, pre-batched (not timed)."""
+    from repro.perf.harness import stream_trace
+    from repro.trace.batch import DEFAULT_BATCH_SIZE, iter_batches
+
+    return list(
+        iter_batches(stream_trace(accesses), batch_size or DEFAULT_BATCH_SIZE)
+    )
+
+
+def _best_of(action: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_self_overhead(
+    accesses: int = FULL_ACCESSES,
+    repeats: int = 3,
+    batch_size: Optional[int] = None,
+) -> OverheadReport:
+    """Pair-time the headline workload with the obs layer off and on.
+
+    Both modes run the identical work — a fresh L1 driven over the same
+    pre-built ``lru_stream`` batches — differing only in the installed
+    registry/tracer.  Per ``repeats`` round the bare and instrumented runs
+    alternate; the best time of each side is compared.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.cache.set_assoc import SetAssociativeCache
+
+    batches = _stream_batches(accesses, batch_size)
+    geometry = CacheGeometry()
+
+    def drive() -> None:
+        cache = SetAssociativeCache(geometry)
+        access_batch = cache.access_batch
+        for batch in batches:
+            access_batch(batch)
+
+    def bare() -> None:
+        with use_registry(NULL_REGISTRY), use_tracer(Tracer(enabled=False)):
+            drive()
+
+    def instrumented() -> None:
+        with use_registry(MetricsRegistry()), use_tracer(Tracer()):
+            drive()
+
+    # Warm both paths once so allocator/caches reach steady state before
+    # any timed run.
+    bare()
+    instrumented()
+    bare_seconds = _best_of(bare, repeats)
+    instrumented_seconds = _best_of(instrumented, repeats)
+    return OverheadReport(
+        workload="lru_stream",
+        accesses=accesses,
+        repeats=repeats,
+        bare_seconds=bare_seconds,
+        instrumented_seconds=instrumented_seconds,
+    )

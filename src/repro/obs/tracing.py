@@ -1,0 +1,269 @@
+"""Span tracing: nested, timed stages with attributes.
+
+The pipeline wraps each stage in ``with tracer.span("simulate",
+workload=...)``; finished spans form a forest that can be rendered as a
+tree (``ccprof`` verbose output, ``ccprof inspect``) or exported as JSONL
+for machine consumption.  "Observing the Invisible" argues profilers
+should be inspectable in flight, not only post-mortem — the tracer is that
+hook for this reproduction.
+
+A **disabled** tracer's :meth:`Tracer.span` returns one shared null
+context manager, so tracing a stage in disabled mode costs a single
+method call and no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+#: Cap on retained *root* spans: the global tracer lives for the whole
+#: process, so an unbounded span log would be a slow leak.  Oldest roots
+#: are dropped first; the drop count is reported in render()/export.
+MAX_ROOT_SPANS = 512
+
+
+class Span:
+    """One finished (or in-flight) timed stage.
+
+    Attributes:
+        name: Stage name, e.g. ``"simulate"``.
+        attributes: Key/value annotations given at creation or via
+            :meth:`annotate`.
+        start: Clock reading at entry.
+        end: Clock reading at exit (None while in flight).
+        children: Nested spans, in entry order.
+        status: ``"ok"``, or ``"error"`` when the body raised.
+        error: ``repr`` of the exception that escaped the body (if any).
+    """
+
+    __slots__ = (
+        "name", "attributes", "start", "end", "children", "status", "error"
+    )
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds from entry to exit (0.0 while in flight)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach further attributes to an open span."""
+        self.attributes.update(attributes)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple]:
+        """Yield ``(span, depth)`` depth-first over this subtree."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def as_dict(self, depth: int = 0) -> Dict[str, object]:
+        """One JSONL record for this span (children counted, not inlined)."""
+        return {
+            "name": self.name,
+            "depth": depth,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": self.attributes,
+            "children": len(self.children),
+        }
+
+
+class _ActiveSpan:
+    """Context manager that opens a :class:`Span` on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None:
+            self._span.status = "error"
+            self._span.error = repr(exc)
+        self._tracer._pop(self._span)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span context returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:  # noqa: ARG002
+        return False
+
+    def annotate(self, **attributes: object) -> None:  # noqa: ARG002
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces nested, timed spans; keeps the finished forest.
+
+    Args:
+        enabled: When False, :meth:`span` returns a shared null context
+            manager and nothing is recorded.
+        clock: Monotonic time source (injectable for deterministic tests).
+        max_roots: Retained root-span cap (oldest dropped first).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        max_roots: int = MAX_ROOT_SPANS,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.max_roots = max_roots
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+        self._stack: List[Span] = []
+
+    def span(
+        self, name: str, **attributes: object
+    ) -> Union[_ActiveSpan, _NullSpan]:
+        """A context manager timing one stage (nested under any open span)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, Span(name, attributes))
+
+    # -- stack maintenance (called by _ActiveSpan) ---------------------
+
+    def _push(self, span: Span) -> None:
+        span.start = self.clock()
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self.clock()
+        # Exceptions unwind spans strictly LIFO through __exit__, so the
+        # top of stack is always the span being closed.
+        self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+            overflow = len(self.roots) - self.max_roots
+            if overflow > 0:
+                del self.roots[:overflow]
+                self.dropped_roots += overflow
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span (None outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Forget every finished root span (open spans are untouched)."""
+        self.roots.clear()
+        self.dropped_roots = 0
+
+    def stage_timings(self) -> Dict[str, float]:
+        """Total wall seconds per span name, over the whole forest.
+
+        This is the ``stage_timings`` section of a
+        :class:`~repro.obs.manifest.RunManifest`: nested spans are counted
+        under their own name, so ``simulate`` time is *included* in its
+        parent ``profile`` time, mirroring the tree rendering.
+        """
+        totals: Dict[str, float] = {}
+        for root in self.roots:
+            for span, _depth in root.walk():
+                totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def render(self) -> str:
+        """The span forest as an indented tree with durations."""
+        lines: List[str] = []
+        if self.dropped_roots:
+            lines.append(f"({self.dropped_roots} older spans dropped)")
+        for root in self.roots:
+            for span, depth in root.walk():
+                attributes = " ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(span.attributes.items())
+                )
+                flag = "" if span.status == "ok" else f"  ERROR {span.error}"
+                lines.append(
+                    f"{'  ' * depth}{span.name:<{max(28 - 2 * depth, 1)}} "
+                    f"{span.duration * 1e3:9.3f} ms"
+                    + (f"  {attributes}" if attributes else "")
+                    + flag
+                )
+        if not lines:
+            return "(no spans recorded)"
+        return "\n".join(lines)
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write one JSON record per span, depth-first; returns the count."""
+        count = 0
+        with open(path, "w", encoding="ascii") as handle:
+            for root in self.roots:
+                for span, depth in root.walk():
+                    handle.write(
+                        json.dumps(span.as_dict(depth), sort_keys=True) + "\n"
+                    )
+                    count += 1
+        return count
+
+
+#: The always-disabled tracer: install it to compile spans down to a
+#: shared null context manager.
+NULL_TRACER = Tracer(enabled=False)
+
+_default_tracer = Tracer(enabled=True)
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer instrumented code opens spans on."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global default; returns the
+    previous one so callers can restore it."""
+    global _default_tracer
+    with _tracer_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` (the test-injection hook)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -1,7 +1,8 @@
 """``python -m repro.perf`` — run the benchmark matrix and record it.
 
-Writes ``BENCH_<revision>.json`` into ``--out`` (default: the current
-directory) and prints the matrix.  Exit status:
+Writes ``BENCH_<revision>.json`` plus a ``MANIFEST_<revision>.json`` run
+manifest into ``--out`` (default: the current directory) and prints the
+matrix.  Exit status:
 
 - 0 — ran, engines agreed on every workload.
 - 1 — batch/scalar divergence (the results differ: a correctness bug).
@@ -12,8 +13,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.errors import ReproError
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.perf.harness import TARGET_SPEEDUP, run_benchmark
 from repro.perf.schema import save_result
 from repro.trace.batch import DEFAULT_BATCH_SIZE
@@ -63,13 +68,37 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    manifest = RunManifest(
+        command="perf",
+        workload="matrix",
+        revision=result["revision"],
+        config={
+            "quick": args.quick,
+            "batch_size": args.batch_size,
+            "accesses": args.accesses,
+        },
+        stage_timings=get_tracer().stage_timings(),
+        metrics=get_registry().snapshot(),
+        outputs={"bench": str(path)},
+    )
+    manifest_path = manifest.save(
+        Path(args.out) / f"MANIFEST_{result['revision']}.json"
+    )
+
     headline = result["headline"]
+    overhead = result["obs_overhead"]
     print(
         f"headline {headline['workload']}: {headline['speedup']:.1f}x "
         f"(target {TARGET_SPEEDUP:.0f}x, "
         f"{'met' if headline['target_met'] else 'NOT met'})"
     )
+    print(
+        f"obs overhead: {overhead['overhead']:+.2%} "
+        f"(target <{overhead['target']:.0%}, "
+        f"{'ok' if overhead['within_target'] else 'EXCEEDED'})"
+    )
     print(f"wrote {path}")
+    print(f"wrote {manifest_path}")
     if not headline["all_match"]:
         print(
             "error: batched engine diverged from the scalar reference",

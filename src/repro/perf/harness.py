@@ -20,13 +20,14 @@ The workload matrix spans the locality spectrum:
 
 from __future__ import annotations
 
-import subprocess
 import time
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.core.exact import ExactRcdMeasurer
+from repro.obs.manifest import git_revision
+from repro.obs.overhead import measure_self_overhead
 from repro.perf.schema import SCHEMA_VERSION
 from repro.pmu.sampler import AddressSampler
 from repro.trace.batch import DEFAULT_BATCH_SIZE, iter_batches
@@ -48,22 +49,6 @@ def stream_trace(
     span = lines * 64
     for index in range(count):
         yield MemoryAccess(ip=0x400100, address=base + (index * stride) % span)
-
-
-def _git_revision() -> str:
-    """Short revision of the benchmarked tree; 'unknown' outside git."""
-    try:
-        completed = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=False,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    revision = completed.stdout.strip()
-    return revision if completed.returncode == 0 and revision else "unknown"
 
 
 def _timed(action: Callable[[], object]) -> Tuple[float, object]:
@@ -236,13 +221,27 @@ def run_benchmark(
         )
     )
 
+    # The overhead bound is a hard CI gate, so unlike the throughput
+    # matrix it is always measured at full size: quick-run timed regions
+    # (~5 ms) jitter past the 5% target on a loaded machine.
+    overhead = measure_self_overhead(
+        accesses=max(count, FULL_ACCESSES), repeats=5, batch_size=batch_size
+    )
+    say(
+        f"{'obs_overhead':12s} bare {overhead.bare_seconds * 1e3:>9.3f} ms"
+        f"  instrumented {overhead.instrumented_seconds * 1e3:>9.3f} ms"
+        f"  ratio {overhead.ratio:5.3f}"
+        f"  {'ok' if overhead.within_target else 'EXCEEDS TARGET'}"
+    )
+
     headline = next(w for w in matrix if w["name"] == HEADLINE_WORKLOAD)
     result = {
         "schema_version": SCHEMA_VERSION,
-        "revision": _git_revision(),
+        "revision": git_revision(),
         "batch_size": batch_size,
         "quick": quick,
         "workloads": matrix,
+        "obs_overhead": overhead.as_dict(),
         "headline": {
             "workload": HEADLINE_WORKLOAD,
             "speedup": headline["speedup"],

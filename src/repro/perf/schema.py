@@ -56,6 +56,20 @@ _HEADLINE_FIELDS = {
     "all_match": bool,
 }
 
+#: Fields of the optional ``obs_overhead`` record (self-overhead of the
+#: observability layer; absent from pre-obs artifacts, which stay valid).
+_OBS_OVERHEAD_FIELDS = {
+    "workload": str,
+    "accesses": int,
+    "repeats": int,
+    "bare_seconds": float,
+    "instrumented_seconds": float,
+    "ratio": float,
+    "overhead": float,
+    "target": float,
+    "within_target": bool,
+}
+
 
 def _check_fields(record: dict, fields: dict, where: str) -> None:
     for name, expected in fields.items():
@@ -91,6 +105,10 @@ def validate_result(result: dict) -> dict:
             raise BenchSchemaError(f"workloads[{index}]: must be a dict")
         _check_fields(workload, _WORKLOAD_FIELDS, f"workloads[{index}]")
     _check_fields(result["headline"], _HEADLINE_FIELDS, "headline")
+    if "obs_overhead" in result:
+        if not isinstance(result["obs_overhead"], dict):
+            raise BenchSchemaError("obs_overhead: must be a dict")
+        _check_fields(result["obs_overhead"], _OBS_OVERHEAD_FIELDS, "obs_overhead")
     names = [workload["name"] for workload in result["workloads"]]
     if result["headline"]["workload"] not in names:
         raise BenchSchemaError(

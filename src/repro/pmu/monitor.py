@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.errors import SamplingError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.pmu.sampler import AddressSample, AddressSampler, SamplingResult
 from repro.program.image import ProgramImage
@@ -218,13 +220,21 @@ class MonitorSession:
             RetryExhaustedError: When simulated attach failed on every
                 allowed attempt.
         """
+        registry = get_registry()
         if self.attach_failure_rate > 0.0:
+            before = self.attach_attempts
             retry_with_backoff(
                 self.attach,
                 policy=self.retry_policy,
                 retry_on=(SamplingError,),
                 rng=self._attach_rng,
                 sleep=self._sleep,
+                on_retry=lambda _attempt, _error, _delay: registry.counter(
+                    "pmu.attach_retries"
+                ).inc(),
+            )
+            registry.counter("pmu.attach_attempts").inc(
+                self.attach_attempts - before
             )
         sampler = AddressSampler(
             geometry=self.geometry,
@@ -233,8 +243,9 @@ class MonitorSession:
             policy=self.policy,
             budget=self.budget,
         )
-        if self.engine == "batched":
-            sampling = sampler.run_batched(stream)
-        else:
-            sampling = sampler.run(stream)
+        with get_tracer().span("sample", engine=self.engine):
+            if self.engine == "batched":
+                sampling = sampler.run_batched(stream)
+            else:
+                sampling = sampler.run(stream)
         return RawProfile(sampling=sampling, allocator=allocator, image=image)

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.obs.metrics import get_registry
 from repro.pmu.event import L1_MISS_EVENT, PmuEvent
 from repro.pmu.periods import PeriodDistribution, UniformJitterPeriod
 from repro.robustness.budget import SamplingBudget
@@ -59,6 +61,10 @@ class SamplingResult:
         truncated: True when a watchdog budget stopped the run before the
             trace was exhausted (the profile is a valid prefix).
         truncation_reason: Which budget fired (None when not truncated).
+        cache_stats: Statistics of the simulated L1 the run drove — the
+            same numbers a standalone simulation of the consumed trace
+            prefix would produce, attached so downstream consumers (the
+            CLI compare path, manifests) need not re-simulate.
     """
 
     samples: List[AddressSample] = field(default_factory=list)
@@ -68,6 +74,7 @@ class SamplingResult:
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
     truncated: bool = False
     truncation_reason: Optional[str] = None
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def sample_count(self) -> int:
@@ -128,6 +135,26 @@ class AddressSampler:
         """Per-run RNG: the explicit instance, or a fresh seeded one."""
         return self._rng if self._rng is not None else random.Random(self._seed)
 
+    def _finish_run(
+        self, result: SamplingResult, cache: SetAssociativeCache
+    ) -> SamplingResult:
+        """Attach the run's cache stats and charge per-run obs aggregates.
+
+        Called once per run by every engine, so scalar and batched runs of
+        the same trace record identical counter totals.
+        """
+        result.cache_stats = cache.stats
+        cache.flush_metrics()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("pmu.runs").inc()
+            registry.counter("pmu.samples_emitted").inc(result.sample_count)
+            registry.counter("pmu.events").inc(result.total_events)
+            registry.counter("pmu.accesses").inc(result.total_accesses)
+            if result.truncated:
+                registry.counter("pmu.truncated_runs").inc()
+        return result
+
     def run(
         self,
         stream: Iterable[MemoryAccess],
@@ -181,7 +208,7 @@ class AddressSampler:
                     break
         result.total_events = event_index
         result.total_accesses = access_index
-        return result
+        return self._finish_run(result, cache)
 
     def run_batched(
         self,
@@ -295,7 +322,7 @@ class AddressSampler:
                     break
         result.total_events = event_index
         result.total_accesses = access_index
-        return result
+        return self._finish_run(result, cache)
 
     def run_with_trace_of_events(self, stream: Iterable[MemoryAccess]) -> tuple:
         """Profile while also recording the *full* event stream.
@@ -333,7 +360,7 @@ class AddressSampler:
             access_index += 1
         result.total_events = event_index
         result.total_accesses = access_index
-        return result, events
+        return self._finish_run(result, cache), events
 
     def run_with_trace_of_events_batched(
         self, trace: TraceLike, batch_size: int = DEFAULT_BATCH_SIZE
@@ -385,4 +412,4 @@ class AddressSampler:
             access_index += count
         result.total_events = len(events)
         result.total_accesses = access_index
-        return result, events
+        return self._finish_run(result, cache), events

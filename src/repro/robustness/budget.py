@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SamplingError
+from repro.obs.metrics import get_registry
 
 #: How many accesses pass between deadline (clock) checks — reading the
 #: clock per access would dominate the sampler's hot loop.
@@ -71,15 +72,39 @@ class BudgetTracker:
     """Mutable per-run state for one :class:`SamplingBudget`.
 
     The sampler calls :meth:`exhausted_after` once per trace record; the
-    first limit hit is latched in :attr:`reason` and reported in the
-    profile's data-quality section.
+    first limit hit is latched in :attr:`reason` (human-readable) and
+    :attr:`limit` (the machine-readable field name, e.g. ``max_events``)
+    and reported in the profile's data-quality section.
+
+    The tracker also threads the budget through the obs layer: configured
+    limits land in ``pmu.budget.<limit>`` gauges at construction, and the
+    limit that stops a run increments ``pmu.budget.tripped.<limit>`` — so
+    a truncated run's manifest names the budget that fired, not just a
+    free-text ``truncation_reason``.
     """
+
+    #: Configurable limits, in latch-priority order.
+    LIMIT_NAMES = ("max_accesses", "max_events", "max_samples", "deadline_seconds")
 
     def __init__(self, budget: SamplingBudget) -> None:
         self.budget = budget
         self.reason: Optional[str] = None
+        self.limit: Optional[str] = None
         self._started_at = budget.clock() if budget.deadline_seconds else 0.0
         self._accesses_until_clock_check = _DEADLINE_CHECK_STRIDE
+        registry = get_registry()
+        if registry.enabled:
+            for name in self.LIMIT_NAMES:
+                value = getattr(budget, name)
+                if value is not None:
+                    registry.gauge(f"pmu.budget.{name}").set(value)
+
+    def _latch(self, limit: str, reason: str) -> str:
+        """Record the first limit hit (and charge its trip counter)."""
+        self.limit = limit
+        self.reason = reason
+        get_registry().counter(f"pmu.budget.tripped.{limit}").inc()
+        return reason
 
     def exhausted_after(
         self, accesses: int, events: int, samples: int
@@ -95,19 +120,26 @@ class BudgetTracker:
             return self.reason
         budget = self.budget
         if budget.max_accesses is not None and accesses >= budget.max_accesses:
-            self.reason = f"access budget exhausted ({budget.max_accesses})"
-        elif budget.max_events is not None and events >= budget.max_events:
-            self.reason = f"event budget exhausted ({budget.max_events})"
-        elif budget.max_samples is not None and samples >= budget.max_samples:
-            self.reason = f"sample budget exhausted ({budget.max_samples})"
-        elif budget.deadline_seconds is not None:
+            return self._latch(
+                "max_accesses", f"access budget exhausted ({budget.max_accesses})"
+            )
+        if budget.max_events is not None and events >= budget.max_events:
+            return self._latch(
+                "max_events", f"event budget exhausted ({budget.max_events})"
+            )
+        if budget.max_samples is not None and samples >= budget.max_samples:
+            return self._latch(
+                "max_samples", f"sample budget exhausted ({budget.max_samples})"
+            )
+        if budget.deadline_seconds is not None:
             self._accesses_until_clock_check -= 1
             if self._accesses_until_clock_check <= 0:
                 self._accesses_until_clock_check = _DEADLINE_CHECK_STRIDE
                 elapsed = budget.clock() - self._started_at
                 if elapsed >= budget.deadline_seconds:
-                    self.reason = (
-                        f"deadline exceeded ({budget.deadline_seconds}s)"
+                    return self._latch(
+                        "deadline_seconds",
+                        f"deadline exceeded ({budget.deadline_seconds}s)",
                     )
         return self.reason
 
@@ -125,13 +157,22 @@ class BudgetTracker:
             return self.reason
         budget = self.budget
         if budget.max_accesses is not None and accesses >= budget.max_accesses:
-            self.reason = f"access budget exhausted ({budget.max_accesses})"
-        elif budget.max_events is not None and events >= budget.max_events:
-            self.reason = f"event budget exhausted ({budget.max_events})"
-        elif budget.max_samples is not None and samples >= budget.max_samples:
-            self.reason = f"sample budget exhausted ({budget.max_samples})"
-        elif budget.deadline_seconds is not None:
+            return self._latch(
+                "max_accesses", f"access budget exhausted ({budget.max_accesses})"
+            )
+        if budget.max_events is not None and events >= budget.max_events:
+            return self._latch(
+                "max_events", f"event budget exhausted ({budget.max_events})"
+            )
+        if budget.max_samples is not None and samples >= budget.max_samples:
+            return self._latch(
+                "max_samples", f"sample budget exhausted ({budget.max_samples})"
+            )
+        if budget.deadline_seconds is not None:
             elapsed = budget.clock() - self._started_at
             if elapsed >= budget.deadline_seconds:
-                self.reason = f"deadline exceeded ({budget.deadline_seconds}s)"
+                return self._latch(
+                    "deadline_seconds",
+                    f"deadline exceeded ({budget.deadline_seconds}s)",
+                )
         return self.reason

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, List, Sequence, Union
 import numpy as np
 
 from repro.errors import TraceError
+from repro.obs.metrics import get_registry
 from repro.trace.record import AccessKind, MemoryAccess
 
 #: Columnar record layout.  ``size`` is u2 (not u1 like the binary trace
@@ -242,6 +243,17 @@ class TraceBatch:
         return np.isin(kinds, list(_VALID_KINDS)) & (self._records["size"] > 0)
 
 
+def _observe_batch(batch: TraceBatch) -> TraceBatch:
+    """Charge one yielded batch into the obs registry (per batch, never
+    per access; no-ops entirely under a disabled registry)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("trace.batch.batches").inc()
+        registry.counter("trace.batch.records").inc(len(batch))
+        registry.histogram("trace.batch.size").observe(len(batch))
+    return batch
+
+
 def iter_batches(
     stream: Iterable[MemoryAccess], batch_size: int = DEFAULT_BATCH_SIZE
 ) -> Iterator[TraceBatch]:
@@ -258,10 +270,10 @@ def iter_batches(
     for access in iterator:
         buffer.append(access)
         if len(buffer) >= batch_size:
-            yield TraceBatch.from_accesses(buffer)
+            yield _observe_batch(TraceBatch.from_accesses(buffer))
             buffer = []
     if buffer:
-        yield TraceBatch.from_accesses(buffer)
+        yield _observe_batch(TraceBatch.from_accesses(buffer))
 
 
 def as_batches(
@@ -274,7 +286,7 @@ def as_batches(
     callers never care which shape they hold.
     """
     if isinstance(trace, TraceBatch):
-        yield trace
+        yield _observe_batch(trace)
         return
     iterator = iter(trace)
     try:
@@ -282,9 +294,9 @@ def as_batches(
     except StopIteration:
         return
     if isinstance(first, TraceBatch):
-        yield first
+        yield _observe_batch(first)
         for batch in iterator:
-            yield batch
+            yield _observe_batch(batch)
         return
     if not isinstance(first, MemoryAccess):
         raise TraceError(

@@ -1,5 +1,7 @@
 """Tests for repro.cli."""
 
+import json
+
 import pytest
 
 from repro.cli import _resolve_workload, build_parser, main
@@ -222,6 +224,131 @@ class TestCompareCommand:
         out = capsys.readouterr().out
         assert "L1 misses" in out and "reduction" in out
         assert "conflicts flagged: True -> False" in out
+
+    def test_compare_matches_no_obs_run(self, capsys):
+        # The compare path reuses cache stats riding on the profiled runs
+        # instead of re-simulating; the printed numbers must not change,
+        # including under --no-obs where the fallback path re-simulates.
+        argv = ["compare", "symmetrization", "--period", "101"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main([*argv, "--no-obs"]) == 0
+        assert capsys.readouterr().out == default_out
+
+
+class TestObsFlags:
+    def test_quiet_hides_info_lines(self, tmp_path, capsys):
+        out_file = tmp_path / "samples.jsonl"
+        argv = ["profile", "symmetrization", "--period", "50",
+                "-o", str(out_file)]
+        assert main(argv) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main([*argv, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" not in out
+        assert "samples" in out  # the result line survives
+
+    def test_verbose_adds_spans_and_metrics(self, capsys):
+        assert main(["analyze", "symmetrization", "--period", "50", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "metrics:" in out
+        assert "pmu.samples_emitted" in out
+
+    def test_log_json_events(self, capsys):
+        assert main(
+            ["profile", "symmetrization", "--period", "50", "--log-json"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert any(r["event"] == "profile.summary" for r in records)
+        summary = next(r for r in records if r["event"] == "profile.summary")
+        assert summary["samples"] > 0
+        assert summary["level"] == "result"
+
+    def test_no_obs_output_identical_to_default(self, capsys):
+        argv = ["analyze", "symmetrization", "--period", "50"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main([*argv, "--no-obs"]) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_verbose_and_quiet_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["list", "-v", "-q"])
+
+
+class TestManifests:
+    def test_explicit_manifest_path(self, tmp_path, capsys):
+        manifest = tmp_path / "run.manifest.json"
+        code = main(["analyze", "symmetrization", "--period", "50",
+                     "--manifest", str(manifest)])
+        assert code == 0
+        assert manifest.exists()
+        record = json.loads(manifest.read_text())
+        assert record["command"] == "analyze"
+        assert record["workload"] == "symmetrization"
+        assert record["metrics"]["counters"]["pmu.runs"] == 1
+        assert "profile" in record["stage_timings"]
+
+    def test_output_gains_sibling_manifest(self, tmp_path, capsys):
+        out_file = tmp_path / "samples.jsonl"
+        code = main(["profile", "symmetrization", "--period", "50",
+                     "-o", str(out_file)])
+        assert code == 0
+        sibling = tmp_path / "samples.jsonl.manifest.json"
+        assert sibling.exists()
+        record = json.loads(sibling.read_text())
+        assert record["outputs"]["samples"] == str(out_file)
+
+    def test_no_obs_suppresses_manifest(self, tmp_path, capsys):
+        out_file = tmp_path / "samples.jsonl"
+        code = main(["profile", "symmetrization", "--period", "50",
+                     "-o", str(out_file), "--no-obs"])
+        assert code == 0
+        assert not (tmp_path / "samples.jsonl.manifest.json").exists()
+
+    def test_inspect_renders_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(["analyze", "symmetrization", "--period", "50",
+                     "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: analyze symmetrization" in out
+        assert "stages:" in out
+
+    def test_inspect_names_tripped_budget(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(["profile", "symmetrization", "--period", "50",
+                     "--max-events", "200", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "tripped budgets: max_events" in out
+
+    def test_inspect_unreadable_manifest_is_manifest_family(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "nope.json"
+        assert main(["inspect", str(missing)]) == 11
+        assert "[manifest]" in capsys.readouterr().err
+
+
+class TestSelfOverheadCommand:
+    def test_requires_the_headline_workload(self, capsys):
+        assert main(["profile", "adi", "--self-overhead"]) == 1
+        assert "lru_stream" in capsys.readouterr().err
+
+    def test_quick_measurement_runs(self, capsys):
+        code = main(["profile", "lru_stream", "--self-overhead", "--quick"])
+        out = capsys.readouterr().out
+        assert "self-overhead (lru_stream" in out
+        assert code in (0, 1)  # verdict depends on machine noise
+
+    def test_lru_stream_invalid_without_flag(self, capsys):
+        assert main(["profile", "lru_stream"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
 
     def test_compare_rejects_variant_suffix(self, capsys):
         assert main(["compare", "adi:optimized"]) == 1

@@ -1,0 +1,134 @@
+"""Tests for repro.obs.manifest."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    RunManifest,
+    git_revision,
+)
+
+
+def make_manifest(**overrides) -> RunManifest:
+    fields = dict(
+        command="analyze",
+        workload="adi",
+        engine="batched",
+        seed=3,
+        period=1212.0,
+        geometry={"num_sets": 64, "ways": 8, "line_size": 64},
+        revision="abc1234",
+        created=1_700_000_000.0,
+        config={"strict": False},
+        stage_timings={"profile": 0.25, "analyze": 0.05},
+        metrics={"counters": {"pmu.runs": 1}, "gauges": {}, "histograms": {}},
+        sampling={"samples": 10, "events": 500, "accesses": 9000},
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        manifest = make_manifest()
+        path = manifest.save(tmp_path / "run.manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+
+    def test_post_init_fills_revision_and_created(self):
+        manifest = RunManifest(command="profile")
+        assert manifest.revision  # git short hash or "unknown"
+        assert manifest.created > 0
+
+    def test_git_revision_shape(self):
+        revision = git_revision()
+        assert isinstance(revision, str) and revision
+
+
+class TestSchemaStrictness:
+    def test_missing_command_rejected(self):
+        with pytest.raises(ManifestError, match="command"):
+            RunManifest.from_dict({"workload": "adi"})
+
+    def test_unknown_field_rejected(self):
+        record = make_manifest().to_dict()
+        record["surprise"] = 1
+        with pytest.raises(ManifestError, match="unknown fields: surprise"):
+            RunManifest.from_dict(record)
+
+    def test_version_mismatch_rejected(self):
+        record = make_manifest().to_dict()
+        record["version"] = MANIFEST_VERSION + 1
+        with pytest.raises(ManifestError, match="unsupported manifest version"):
+            RunManifest.from_dict(record)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ManifestError, match="JSON object"):
+            RunManifest.from_dict([1, 2, 3])
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError, match="unreadable"):
+            RunManifest.load(path)
+
+    def test_manifest_error_family(self):
+        error = ManifestError("x")
+        assert error.code == "manifest"
+        assert error.exit_code == 11
+
+
+class TestRendering:
+    def test_render_mentions_the_essentials(self):
+        rendered = make_manifest().render()
+        assert "analyze adi" in rendered
+        assert "abc1234" in rendered
+        assert "64 sets x 8 ways x 64 B lines" in rendered
+        assert "10 samples of 500 events" in rendered
+        assert "profile" in rendered  # stage timings
+        assert "pmu.runs" in rendered  # metrics
+
+    def test_render_flags_truncation(self):
+        manifest = make_manifest(
+            sampling={
+                "samples": 1, "events": 2, "accesses": 3,
+                "truncated": True, "truncation_reason": "event budget",
+            }
+        )
+        assert "truncated: event budget" in manifest.render()
+
+    def test_render_degraded_quality(self):
+        manifest = make_manifest(
+            data_quality={"samples_dropped": 4, "warnings": ["lossy channel"]}
+        )
+        rendered = manifest.render()
+        assert "DEGRADED" in rendered
+        assert "lossy channel" in rendered
+
+
+class TestTrippedBudgets:
+    def test_names_the_tripped_limit(self):
+        manifest = make_manifest(
+            metrics={
+                "counters": {
+                    "pmu.budget.tripped.max_events": 1,
+                    "pmu.budget.tripped.deadline_seconds": 0,
+                    "pmu.runs": 1,
+                },
+                "gauges": {},
+                "histograms": {},
+            }
+        )
+        assert manifest.tripped_budgets() == ["max_events"]
+
+    def test_empty_without_metrics(self):
+        assert make_manifest(metrics={}).tripped_budgets() == []
+
+    def test_on_disk_form_is_plain_json(self, tmp_path):
+        path = make_manifest().save(tmp_path / "m.json")
+        record = json.loads(path.read_text())
+        assert record["version"] == MANIFEST_VERSION
+        assert record["command"] == "analyze"

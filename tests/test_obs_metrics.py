@@ -1,0 +1,147 @@
+"""Tests for repro.obs.metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc()
+        assert registry.counter("c").value == 2
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogramBuckets:
+    """The fixed log2 layout: bucket k holds [2^(k-1), 2^k)."""
+
+    def test_zero_lands_in_bucket_zero(self):
+        assert Histogram.bucket_index(0) == 0
+
+    def test_negative_lands_in_bucket_zero(self):
+        assert Histogram.bucket_index(-7) == 0
+
+    def test_one_lands_in_bucket_one(self):
+        assert Histogram.bucket_index(1) == 1
+
+    def test_powers_of_two_open_their_bucket(self):
+        for k in range(1, 62):
+            assert Histogram.bucket_index(2**k) == k + 1
+            assert Histogram.bucket_index(2**k - 1) == k
+
+    def test_int64_extremes(self):
+        # 2^63 - 1 (INT64_MAX) still fits a value bucket; 2^63 and
+        # anything larger clamp into the final overflow bucket.
+        assert Histogram.bucket_index(2**63 - 1) == 63
+        assert Histogram.bucket_index(2**63) == HISTOGRAM_BUCKETS - 1
+        assert Histogram.bucket_index(2**200) == HISTOGRAM_BUCKETS - 1
+
+    def test_observe_keeps_exact_moments(self):
+        histogram = Histogram("h")
+        for value in (0, 1, 5, 2**63):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 6 + 2**63
+        assert histogram.min == 0
+        assert histogram.max == 2**63
+        assert histogram.mean == (6 + 2**63) / 4
+
+    def test_as_dict_sparse_buckets(self):
+        histogram = Histogram("h")
+        histogram.observe(0)
+        histogram.observe(3)
+        histogram.observe(3)
+        record = histogram.as_dict()
+        assert record["buckets"] == {"0": 1, "2": 2}
+        assert record["count"] == 3
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.as_dict() == {
+            "count": 0, "sum": 0, "min": None, "max": None, "buckets": {},
+        }
+
+
+class TestDisabledRegistry:
+    def test_hands_out_noop_instruments(self):
+        NULL_REGISTRY.counter("c").inc(100)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(7)
+        snapshot = NULL_REGISTRY.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_noop_instruments_are_shared(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+
+
+class TestRegistry:
+    def test_snapshot_layout(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("g").set(3.5)
+        registry.histogram("h").observe(9)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"]["b"] == 2
+        assert snapshot["gauges"] == {"g": 3.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_use_registry_installs_and_restores(self):
+        before = get_registry()
+        injected = MetricsRegistry()
+        with use_registry(injected):
+            assert get_registry() is injected
+            get_registry().counter("inside").inc()
+        assert get_registry() is before
+        assert injected.counter("inside").value == 1
+
+    def test_use_registry_restores_on_exception(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        injected = MetricsRegistry()
+        previous = set_registry(injected)
+        try:
+            assert previous is original
+            assert get_registry() is injected
+        finally:
+            set_registry(original)

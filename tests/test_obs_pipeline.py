@@ -1,0 +1,208 @@
+"""Observability of the profiling pipeline: counters, spans, budgets.
+
+The contracts under test:
+
+- the scalar and batched engines charge *identical* pipeline counters
+  (aggregate flushing makes instrumentation engine-agnostic);
+- watchdog budgets surface machine-readably (gauges for limits, a
+  ``pmu.budget.tripped.<limit>`` counter for the one that fired);
+- ``CCProf.run`` attaches the online phase's RawProfile so downstream
+  consumers (compare, manifests) never re-profile;
+- the disabled obs layer is output-invisible: reports render bit-for-bit
+  identically with the registry/tracer on or off.
+"""
+
+import pytest
+
+from repro.core.profiler import CCProf
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
+from repro.obs.overhead import measure_self_overhead
+from repro.obs.tracing import NULL_TRACER, Tracer, use_tracer
+from repro.robustness.budget import SamplingBudget
+from repro.robustness.faults import FaultPipeline
+from repro.workloads import SymmetrizationWorkload
+
+
+def run_with_obs(engine: str = "batched", **profiler_kwargs):
+    """One pipeline run under a fresh registry/tracer; returns all three."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with use_registry(registry), use_tracer(tracer):
+        profiler = CCProf(seed=1, engine=engine, **profiler_kwargs)
+        report = profiler.run(SymmetrizationWorkload(n=96))
+    return report, registry, tracer
+
+
+class TestEngineDifferentialCounters:
+    def test_scalar_and_batched_charge_identical_counters(self):
+        _, batched_registry, _ = run_with_obs(engine="batched")
+        _, scalar_registry, _ = run_with_obs(engine="scalar")
+        batched = batched_registry.snapshot()["counters"]
+        scalar = scalar_registry.snapshot()["counters"]
+        compared = {
+            name
+            for name in set(batched) | set(scalar)
+            if name.startswith(("cache.", "pmu.", "core."))
+        }
+        assert compared  # the run actually charged pipeline counters
+        for name in sorted(compared):
+            assert batched.get(name) == scalar.get(name), name
+
+    def test_cache_counters_match_simulation_totals(self):
+        report, registry, _ = run_with_obs()
+        counters = registry.snapshot()["counters"]
+        stats = report.raw_profile.sampling.cache_stats
+        assert counters["cache.accesses"] == stats.accesses
+        assert counters["cache.misses"] == stats.misses
+        assert counters["cache.hits"] == stats.hits
+        assert counters["pmu.events"] == report.total_events
+        assert counters["pmu.samples_emitted"] == report.total_samples
+
+
+class TestSpans:
+    def test_pipeline_stages_are_traced(self):
+        _, _, tracer = run_with_obs()
+        timings = tracer.stage_timings()
+        for stage in ("profile", "sample", "analyze"):
+            assert stage in timings
+            assert timings[stage] > 0.0
+
+    def test_sample_nested_under_profile(self):
+        _, _, tracer = run_with_obs()
+        profile_span = next(r for r in tracer.roots if r.name == "profile")
+        assert any(c.name == "sample" for c in profile_span.children)
+
+
+class TestBudgetObservability:
+    def test_tripped_budget_named_in_counters(self):
+        report, registry, _ = run_with_obs(
+            budget=SamplingBudget(max_events=50)
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["pmu.budget.max_events"] == 50
+        assert snapshot["counters"]["pmu.budget.tripped.max_events"] == 1
+        assert snapshot["counters"]["pmu.truncated_runs"] == 1
+        assert report.raw_profile.sampling.truncated
+
+    def test_untripped_budget_sets_gauge_only(self):
+        _, registry, _ = run_with_obs(
+            budget=SamplingBudget(max_events=10_000_000)
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["pmu.budget.max_events"] == 10_000_000
+        assert not any(
+            name.startswith("pmu.budget.tripped.")
+            for name in snapshot["counters"]
+        )
+
+
+class TestRawProfileAttachment:
+    def test_run_attaches_raw_profile(self):
+        report, _, _ = run_with_obs()
+        assert report.raw_profile is not None
+        assert report.raw_profile.sampling.total_events == report.total_events
+
+    def test_cache_stats_ride_on_the_sampling_result(self):
+        report, _, _ = run_with_obs()
+        stats = report.raw_profile.sampling.cache_stats
+        assert stats is not None
+        assert stats.accesses == report.raw_profile.sampling.total_accesses
+
+    def test_sampler_cache_stats_match_standalone_simulation(self, paper_l1):
+        # The compare path substitutes these stats for a fresh l1_stats
+        # simulation; they must be the same numbers.
+        report, _, _ = run_with_obs()
+        standalone = SymmetrizationWorkload(n=96).l1_stats(paper_l1)
+        riding = report.raw_profile.sampling.cache_stats
+        assert riding.misses == standalone.misses
+        assert riding.accesses == standalone.accesses
+
+
+class TestFaultAccounting:
+    def test_dropped_samples_counted(self):
+        report, registry, _ = run_with_obs(
+            inject=FaultPipeline.parse("drop:0.5", seed=3)
+        )
+        counters = registry.snapshot()["counters"]
+        fault_report = report.raw_profile.fault_report
+        lost = fault_report.records_in - fault_report.records_out
+        assert lost > 0
+        assert counters["pmu.samples_dropped"] == lost
+
+
+class TestDisabledObsInvisible:
+    def test_report_bit_identical_with_obs_off(self):
+        enabled_report, _, _ = run_with_obs()
+        with use_registry(NULL_REGISTRY), use_tracer(NULL_TRACER):
+            disabled_report = CCProf(seed=1).run(SymmetrizationWorkload(n=96))
+        assert disabled_report.render() == enabled_report.render()
+
+    def test_no_state_recorded_when_disabled(self):
+        with use_registry(NULL_REGISTRY), use_tracer(NULL_TRACER):
+            CCProf(seed=1).run(SymmetrizationWorkload(n=96))
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert NULL_TRACER.roots == []
+
+
+class TestTraceBatchMetrics:
+    def test_batch_aggregates_recorded(self):
+        from repro.trace.batch import iter_batches
+        from tests.conftest import make_load
+
+        registry = MetricsRegistry()
+        stream = (make_load(i * 64) for i in range(1000))
+        with use_registry(registry):
+            batches = list(iter_batches(stream, batch_size=256))
+        assert len(batches) == 4
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["trace.batch.batches"] == 4
+        assert snapshot["counters"]["trace.batch.records"] == 1000
+        histogram = snapshot["histograms"]["trace.batch.size"]
+        assert histogram["count"] == 4
+        assert histogram["sum"] == 1000
+
+
+class TestAnalysisPassCacheMetrics:
+    def test_hits_and_runs_counted(self):
+        from repro.analysis import (
+            AnalysisCache,
+            ConflictPredictionAnalysis,
+            StaticModel,
+        )
+        from repro.workloads import GemmWorkload
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = AnalysisCache(StaticModel.from_workload(GemmWorkload()))
+            cache.request(ConflictPredictionAnalysis)
+            cache.request(ConflictPredictionAnalysis)  # served from cache
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.pass_cache.runs"] == cache.stats.runs
+        assert counters["analysis.pass_cache.hits"] == cache.stats.hits
+        assert counters["analysis.pass_cache.hits"] >= 1
+
+
+class TestSelfOverhead:
+    def test_tiny_measurement_produces_sane_report(self):
+        report = measure_self_overhead(accesses=2000, repeats=1)
+        assert report.workload == "lru_stream"
+        assert report.accesses == 2000
+        assert report.bare_seconds > 0
+        assert report.instrumented_seconds > 0
+        record = report.as_dict()
+        assert set(record) == {
+            "workload", "accesses", "repeats", "bare_seconds",
+            "instrumented_seconds", "ratio", "overhead", "target",
+            "within_target",
+        }
+        assert record["ratio"] == pytest.approx(
+            report.instrumented_seconds / report.bare_seconds
+        )
+
+    def test_render_names_the_verdict(self):
+        report = measure_self_overhead(accesses=2000, repeats=1)
+        rendered = report.render()
+        assert "lru_stream" in rendered
+        assert "within" in rendered or "EXCEEDS" in rendered

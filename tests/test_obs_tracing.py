@@ -1,0 +1,149 @@
+"""Tests for repro.obs.tracing."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["inner_a", "inner_b"]
+
+    def test_attributes_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("stage", workload="adi") as span:
+            span.annotate(records=7)
+        assert tracer.roots[0].attributes == {"workload": "adi", "records": 7}
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        # Clock readings: outer start=0, inner start=1, inner end=2,
+        # outer end=3.
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+
+    def test_exception_marks_error_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.current is None  # fully unwound
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.status == "error"
+        assert "boom" in inner.error
+        assert outer.status == "error"
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+        assert tracer.current is None
+
+
+class TestTracerQueries:
+    def test_stage_timings_total_per_name(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("work"):
+            pass
+        with tracer.span("work"):
+            pass
+        assert tracer.stage_timings() == {"work": 2.0}
+
+    def test_render_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", workload="adi"):
+            with tracer.span("inner"):
+                pass
+        rendered = tracer.render()
+        assert "outer" in rendered
+        assert "  inner" in rendered
+        assert "workload=adi" in rendered
+
+    def test_render_empty(self):
+        assert Tracer().render() == "(no spans recorded)"
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [(r["name"], r["depth"]) for r in records] == [
+            ("outer", 0), ("inner", 1),
+        ]
+
+    def test_root_cap_drops_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for index in range(5):
+            with tracer.span(f"span{index}"):
+                pass
+        assert [root.name for root in tracer.roots] == [
+            "span2", "span3", "span4",
+        ]
+        assert tracer.dropped_roots == 2
+        assert "2 older spans dropped" in tracer.render()
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.stage_timings() == {}
+
+
+class TestDisabledTracer:
+    def test_span_is_shared_null_context(self):
+        first = NULL_TRACER.span("a", workload="x")
+        second = NULL_TRACER.span("b")
+        assert first is second
+        with first as span:
+            span.annotate(anything=1)  # no-op, no error
+        assert NULL_TRACER.roots == []
+
+    def test_use_tracer_installs_and_restores(self):
+        before = get_tracer()
+        injected = Tracer()
+        with use_tracer(injected):
+            assert get_tracer() is injected
+        assert get_tracer() is before

@@ -117,7 +117,11 @@ class TestHarness:
         lines = []
         result = run_benchmark(accesses=2000, progress=lines.append)
         validate_result(result)
-        assert len(lines) == len(result["workloads"])
+        # One progress line per workload plus the obs_overhead summary.
+        assert len(lines) == len(result["workloads"]) + 1
+        assert lines[-1].startswith("obs_overhead ")
+        assert "obs_overhead" in result
+        assert result["obs_overhead"]["workload"] == HEADLINE_WORKLOAD
         assert result["headline"]["all_match"], "batched engine diverged"
         assert {w["name"] for w in result["workloads"]} >= {
             HEADLINE_WORKLOAD,
