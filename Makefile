@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench perf compile lint
+.PHONY: test chaos service-smoke bench perf compile lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 chaos:
 	$(PYTHON) -m pytest -q -m chaos
+
+# Quick service liveness gate: 50 concurrent jobs against an in-process
+# daemon with one injected worker kill; exits nonzero on any invariant
+# violation (lost job, duplicate resolution, tenant leak, p99 bound).
+service-smoke:
+	$(PYTHON) -m repro.service.chaos --jobs 50 --kill-rate 0.2 --kill-max 1 --slow-clients 2
 
 # Pass --benchmark-only only when pytest-benchmark is installed; without
 # it the suite still runs (timing comes from the no-op fallback fixture

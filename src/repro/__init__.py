@@ -26,6 +26,10 @@ Layering (see DESIGN.md for the full inventory):
 - ``repro.robustness`` — fault injection, retry with backoff, and
   watchdog budgets: the machinery that keeps the pipeline producing
   best-effort reports under a degraded observation channel.
+- ``repro.service`` — the long-running multi-tenant profiling daemon
+  (``ccprof serve``): admission control with backpressure, per-request
+  deadlines, graceful degradation to the static predictor, and a
+  crash-safe job journal.
 """
 
 from repro.cache.geometry import CacheGeometry
@@ -34,7 +38,7 @@ from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
 from repro.core.profiler import AnalysisSettings, CCProf, OfflineAnalyzer
 from repro.core.rcd import RcdAnalysis, compute_rcds
 from repro.core.report import ConflictReport, DataQuality, LoopReport
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.pmu.periods import (
     FixedPeriod,
     GeometricPeriod,
@@ -70,6 +74,7 @@ __all__ = [
     "UniformJitterPeriod",
     "GeometricPeriod",
     "ReproError",
+    "ServiceError",
     "DataQuality",
     "FaultPipeline",
     "RetryPolicy",

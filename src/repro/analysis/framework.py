@@ -15,10 +15,17 @@ Two extensions matter here:
 - **Cycle detection** — a pass requesting itself, directly or through a
   chain, is a programming error and raises immediately instead of
   recursing forever.
+
+The cache is thread-safe: the profiling service shares one cache per
+workload across worker threads, so ``request`` serializes on a reentrant
+lock (reentrant because a running pass requests its dependencies on the
+same thread).  Without it, thread B would see thread A's in-progress
+chain in ``_running`` and misreport a circular dependency.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple, Type, TypeVar
@@ -94,32 +101,35 @@ class AnalysisCache:
         default_factory=dict
     )
     _running: List[Type[AnalysisPass]] = field(default_factory=list)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def request(self, pass_type: Type[PassT]) -> PassT:
         """Return ``pass_type``'s results, running it first if needed."""
-        self._record_dependency(pass_type)
-        cached = self._results.get(pass_type)
-        if cached is not None:
-            self.stats.hits += 1
-            get_registry().counter("analysis.pass_cache.hits").inc()
-            return cached  # type: ignore[return-value]
-        if pass_type in self._running:
-            chain = " -> ".join(p.pass_name() for p in self._running)
-            raise AnalysisError(
-                f"circular analysis dependency: {chain} -> {pass_type.pass_name()}"
-            )
-        self._running.append(pass_type)
-        try:
-            instance = pass_type(self)
-            for dependency in pass_type.requires:
-                self.request(dependency)
-            instance.analyze()
-        finally:
-            self._running.pop()
-        self._results[pass_type] = instance
-        self.stats.runs += 1
-        get_registry().counter("analysis.pass_cache.runs").inc()
-        return instance
+        with self._lock:
+            self._record_dependency(pass_type)
+            cached = self._results.get(pass_type)
+            if cached is not None:
+                self.stats.hits += 1
+                get_registry().counter("analysis.pass_cache.hits").inc()
+                return cached  # type: ignore[return-value]
+            if pass_type in self._running:
+                chain = " -> ".join(p.pass_name() for p in self._running)
+                raise AnalysisError(
+                    f"circular analysis dependency: {chain} -> "
+                    f"{pass_type.pass_name()}"
+                )
+            self._running.append(pass_type)
+            try:
+                instance = pass_type(self)
+                for dependency in pass_type.requires:
+                    self.request(dependency)
+                instance.analyze()
+            finally:
+                self._running.pop()
+            self._results[pass_type] = instance
+            self.stats.runs += 1
+            get_registry().counter("analysis.pass_cache.runs").inc()
+            return instance
 
     def _record_dependency(self, pass_type: Type[AnalysisPass]) -> None:
         if self._running:
@@ -138,16 +148,17 @@ class AnalysisCache:
         evicted: List[Type[AnalysisPass]] = []
         worklist: List[Type[AnalysisPass]] = [pass_type]
         seen: Set[Type[AnalysisPass]] = set()
-        while worklist:
-            current = worklist.pop()
-            if current in seen:
-                continue
-            seen.add(current)
-            if current in self._results:
-                del self._results[current]
-                evicted.append(current)
-                self.stats.invalidations += 1
-            worklist.extend(self._dependents.get(current, ()))
+        with self._lock:
+            while worklist:
+                current = worklist.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                if current in self._results:
+                    del self._results[current]
+                    evicted.append(current)
+                    self.stats.invalidations += 1
+                worklist.extend(self._dependents.get(current, ()))
         if evicted:
             get_registry().counter("analysis.pass_cache.invalidations").inc(
                 len(evicted)
@@ -156,10 +167,11 @@ class AnalysisCache:
 
     def invalidate_all(self) -> None:
         """Drop every cached result (e.g. after the model changed)."""
-        if self._results:
-            get_registry().counter("analysis.pass_cache.invalidations").inc(
-                len(self._results)
-            )
-        self.stats.invalidations += len(self._results)
-        self._results.clear()
-        self._dependents.clear()
+        with self._lock:
+            if self._results:
+                get_registry().counter("analysis.pass_cache.invalidations").inc(
+                    len(self._results)
+                )
+            self.stats.invalidations += len(self._results)
+            self._results.clear()
+            self._dependents.clear()

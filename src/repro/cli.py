@@ -42,9 +42,11 @@ Observability controls (see the "Observability" section of DESIGN.md):
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from dataclasses import asdict
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.analysis import (
     AnalysisCache,
@@ -56,7 +58,7 @@ from repro.cache.dinero import format_dinero_report, simulate_dinero_trace
 from repro.core.diffreport import ReportDiff
 from repro.core.phases import PhaseAnalyzer
 from repro.core.profiler import CCProf
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.obs.logging import CliLogger
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import (
@@ -76,58 +78,26 @@ from repro.pmu.periods import UniformJitterPeriod
 from repro.reporting.files import write_result_file
 from repro.robustness.budget import SamplingBudget
 from repro.robustness.faults import FAULT_NAMES, FaultPipeline
+from repro.service.admission import AdmissionConfig
+from repro.service.client import submit_jobs
+from repro.service.daemon import CCProfService, ServiceConfig
+from repro.service.protocol import JOB_KINDS, JobRequest, JobStatus
 from repro.trace.tracefile import TraceReadStats
-from repro.workloads import (
-    AdiWorkload,
-    Fdtd2dWorkload,
-    Fft2dWorkload,
-    GemmWorkload,
-    HimenoWorkload,
-    Jacobi2dWorkload,
-    KripkeWorkload,
-    NeedlemanWunschWorkload,
-    SymmetrizationWorkload,
-    TinyDnnFcWorkload,
-    TrmmWorkload,
-    TwoMmWorkload,
-)
 from repro.workloads.base import Array2D, TraceWorkload
-from repro.workloads.rodinia import RODINIA_APPS, make_rodinia_workload
-
-#: (original factory, optimized factory) per CLI workload name.
-_WORKLOADS: Dict[str, tuple] = {
-    "symmetrization": (SymmetrizationWorkload.original, SymmetrizationWorkload.padded),
-    "nw": (NeedlemanWunschWorkload.original, NeedlemanWunschWorkload.padded),
-    "adi": (AdiWorkload.original, AdiWorkload.padded),
-    "fft": (Fft2dWorkload.original, Fft2dWorkload.padded),
-    "tinydnn": (TinyDnnFcWorkload.original, TinyDnnFcWorkload.padded),
-    "kripke": (KripkeWorkload.original, KripkeWorkload.optimized),
-    "himeno": (HimenoWorkload.original, HimenoWorkload.padded),
-    "gemm": (GemmWorkload.original, GemmWorkload.padded),
-    "2mm": (TwoMmWorkload.original, TwoMmWorkload.padded),
-    "trmm": (TrmmWorkload.original, TrmmWorkload.padded),
-    "jacobi-2d": (Jacobi2dWorkload.original, Jacobi2dWorkload.padded),
-    "fdtd-2d": (Fdtd2dWorkload.original, Fdtd2dWorkload.padded),
-}
+from repro.workloads.registry import (
+    WORKLOADS as _WORKLOADS,  # legacy alias; the registry owns the table
+    resolve_workload,
+    workload_names,
+)
 
 
 def _resolve_workload(spec: str) -> TraceWorkload:
-    """Build a workload from ``name`` or ``name:optimized``."""
-    name, _, variant = spec.partition(":")
-    if variant not in ("", "original", "optimized"):
-        raise ReproError(f"unknown variant {variant!r}; use 'original' or 'optimized'")
-    if name in _WORKLOADS:
-        original, optimized = _WORKLOADS[name]
-        factory: Callable[[], TraceWorkload] = (
-            optimized if variant == "optimized" else original
-        )
-        return factory()
-    if name in RODINIA_APPS:
-        if variant == "optimized":
-            raise ReproError(f"no optimized variant for Rodinia app {name!r}")
-        return make_rodinia_workload(name)
-    known = ", ".join(sorted([*_WORKLOADS, *RODINIA_APPS]))
-    raise ReproError(f"unknown workload {name!r}; known: {known}")
+    """Build a workload from ``name`` or ``name:optimized``.
+
+    Thin wrapper over :func:`repro.workloads.registry.resolve_workload`,
+    kept so existing callers (and tests) of the CLI helper keep working.
+    """
+    return resolve_workload(spec)
 
 
 def _logger(args: argparse.Namespace) -> CliLogger:
@@ -201,11 +171,12 @@ def _write_manifest(
 
 def _cmd_list(args: argparse.Namespace) -> int:
     log = _logger(args)
+    case_studies, rodinia = workload_names()
     log.result("workloads.case_studies", "case studies (accept :optimized):")
-    for name in _WORKLOADS:
+    for name in case_studies:
         log.result("workloads.entry", f"  {name}", workload=name)
     log.result("workloads.rodinia", "rodinia suite:")
-    for name in RODINIA_APPS:
+    for name in rodinia:
         log.result("workloads.entry", f"  {name}", workload=name)
     return 0
 
@@ -326,10 +297,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         args.trace, spec=args.cache, strict=args.strict, stats=read_stats
     )
     log.result("simulate.report", format_dinero_report(stats, title=args.trace))
-    if read_stats.salvaged:
-        log.warning(
-            "simulate.salvage", f"trace salvage: {read_stats.describe()}"
-        )
+    note = read_stats.quality_note()
+    if note is not None:
+        log.warning("simulate.salvage", note)
     return 0
 
 
@@ -484,6 +454,102 @@ def _cmd_phases(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``ccprof serve``: run the profiling-service daemon."""
+    log = _logger(args)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        admission=AdmissionConfig(
+            max_queue_depth=args.max_queue,
+            tenant_quota=args.tenant_quota,
+        ),
+        default_deadline_ms=args.deadline_ms,
+        default_max_accesses=args.max_accesses,
+        max_attempts=args.max_attempts,
+        read_timeout=args.read_timeout,
+        journal_path=args.journal,
+        journal_fsync=args.fsync,
+        manifest_dir=args.manifest_dir,
+        kill_rate=args.kill_rate,
+        kill_seed=args.seed,
+        kill_max=args.kill_max,
+    )
+
+    async def _serve() -> None:
+        service = CCProfService(config)
+        await service.start()
+        log.result(
+            "serve.listening",
+            f"ccprof service listening on {args.socket} "
+            f"({args.workers} workers)",
+            socket=args.socket,
+            workers=args.workers,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        log.result("serve.stopped", "service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``ccprof submit``: send one job to a running service."""
+    log = _logger(args)
+    params: Dict[str, int] = {}
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"bad --param {item!r}; expected name=integer (e.g. n=64)"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError as exc:
+            raise ReproError(
+                f"bad --param {item!r}; value must be an integer"
+            ) from exc
+    request = JobRequest(
+        id=args.id,
+        tenant=args.tenant,
+        kind=args.kind,
+        workload=args.workload,
+        params=params,
+        seed=args.seed,
+        period=args.period,
+        deadline_ms=args.deadline_ms,
+        max_accesses=args.max_accesses,
+    )
+    try:
+        response = submit_jobs(args.socket, [request], seed=args.seed)[
+            request.id
+        ]
+    except (ConnectionError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach a ccprof service at {args.socket!r}: {exc}"
+        ) from exc
+    log.result(
+        "submit.response",
+        json.dumps(response.to_dict(), indent=2, sort_keys=True),
+        **response.to_dict(),
+    )
+    if response.status == JobStatus.FAILED:
+        error = response.error or {}
+        raise ReproError(
+            f"job {request.id!r} failed "
+            f"[{error.get('reason', 'unknown')}]: "
+            f"{error.get('message', 'no detail')}"
+        )
+    return 0
+
+
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
     """The observability flags every subcommand shares."""
     verbosity = sub.add_mutually_exclusive_group()
@@ -619,6 +685,106 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("manifest", help="path to a *.manifest.json file")
     _add_obs_flags(inspect)
     inspect.set_defaults(handler=_cmd_inspect)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the profiling service daemon on a local socket",
+    )
+    serve.add_argument(
+        "--socket", default="ccprof.sock",
+        help="unix socket path to listen on (default: ccprof.sock)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker pool size: concurrent jobs in execution (default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission queue bound; beyond it jobs are rejected with a "
+             "retry-after hint (default: 64)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=8,
+        help="per-tenant cap on jobs queued+running (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=int, default=30_000,
+        help="default per-job deadline; becomes the run's watchdog budget "
+             "(default: 30000)",
+    )
+    serve.add_argument(
+        "--max-accesses", type=int, default=None, metavar="N",
+        help="default simulation budget per job (blown budget degrades to "
+             "the static predictor)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="execution attempts per job before a worker crash becomes a "
+             "terminal failure (default: 3)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=5.0,
+        help="seconds an idle connection may sit mid-request before being "
+             "dropped as a slow client (default: 5)",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe job journal; on restart, received jobs resume and "
+             "in-flight jobs fail cleanly",
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal append (durable but slower)",
+    )
+    serve.add_argument(
+        "--manifest-dir", default=None, metavar="DIR",
+        help="write one run manifest per terminal job under DIR",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+    serve.add_argument(
+        "--kill-rate", type=float, default=0.0, metavar="P",
+        help="chaos: injected worker-kill probability per attempt",
+    )
+    serve.add_argument(
+        "--kill-max", type=int, default=None, metavar="N",
+        help="chaos: cap total injected kills at N",
+    )
+    _add_obs_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one job to a running ccprof service"
+    )
+    submit.add_argument("workload", help="workload spec, e.g. gemm or adi:optimized")
+    submit.add_argument(
+        "--socket", default="ccprof.sock",
+        help="service socket path (default: ccprof.sock)",
+    )
+    submit.add_argument(
+        "--kind", choices=JOB_KINDS, default="profile",
+        help="job kind (default: profile)",
+    )
+    submit.add_argument("--id", default="cli-job", help="client-chosen job id")
+    submit.add_argument("--tenant", default="cli", help="tenant identity")
+    submit.add_argument(
+        "--param", action="append", default=[], metavar="NAME=INT",
+        help="workload sizing knob, repeatable (e.g. --param n=64)",
+    )
+    submit.add_argument("--seed", type=int, default=0, help="sampler RNG seed")
+    submit.add_argument(
+        "--period", type=int, default=1212,
+        help="mean sampling period in L1 miss events (default: 1212)",
+    )
+    submit.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="per-job deadline override (default: service default)",
+    )
+    submit.add_argument(
+        "--max-accesses", type=int, default=None, metavar="N",
+        help="simulation budget override for this job",
+    )
+    _add_obs_flags(submit)
+    submit.set_defaults(handler=_cmd_submit)
     return parser
 
 

@@ -86,6 +86,65 @@ class DataQualityError(ReproError):
     exit_code = 9
 
 
+class ServiceError(ReproError):
+    """Raised for profiling-service failures (``ccprof serve``).
+
+    The family covers the daemon's own failure modes — admission
+    rejections, blown deadlines, open tenant circuits, journal damage,
+    crashed workers.  Each subclass keeps the family ``code`` (and exit
+    code) and adds a machine-readable ``reason`` so service responses can
+    be dispatched on without string matching.
+    """
+
+    code = "service"
+    exit_code = 12  # 11 belongs to the manifest family (repro.obs.manifest)
+    reason: str = "service"
+
+
+class AdmissionRejectedError(ServiceError):
+    """Raised when admission control rejects a job (backpressure).
+
+    Attributes:
+        retry_after: Suggested client wait in seconds before resubmitting.
+    """
+
+    reason = "admission-rejected"
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(AdmissionRejectedError):
+    """Raised when a tenant's circuit breaker is open (failing fast)."""
+
+    reason = "circuit-open"
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a job exhausts its per-request deadline."""
+
+    reason = "deadline-exceeded"
+
+
+class WorkerCrashError(ServiceError):
+    """Raised when a worker dies mid-job (injected or real)."""
+
+    reason = "worker-crash"
+
+
+class JournalError(ServiceError):
+    """Raised for unusable job-journal files (bad magic, no directory)."""
+
+    reason = "journal"
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed or oversized service requests."""
+
+    reason = "protocol"
+
+
 class RetryExhaustedError(ReproError):
     """Raised when a retried operation failed on every allowed attempt.
 

@@ -1,0 +1,58 @@
+"""The CCProf profiling service (``ccprof serve``).
+
+The paper's pitch is that conflict detection is cheap enough to run
+routinely; this package turns that into a production posture — a
+long-running multi-tenant daemon that accepts profile/predict/compare jobs
+over a local socket (newline-delimited JSON) and stays alive under
+overload and partial failure:
+
+- :mod:`repro.service.protocol` — the wire format: versioned request and
+  response records with strict validation and size limits.
+- :mod:`repro.service.journal` — crash-safe write-ahead job journal,
+  checksummed like trace format v2; a daemon restart resolves every
+  in-flight job instead of losing it.
+- :mod:`repro.service.admission` — bounded queues, per-tenant quotas,
+  explicit backpressure (reject-with-retry-after), and per-tenant circuit
+  breakers.
+- :mod:`repro.service.executor` — runs jobs against the pipeline with
+  per-request deadlines derived from the watchdog budgets and a shared
+  cross-job analysis-pass cache; degrades to the zero-trace static
+  predictor rather than failing outright.
+- :mod:`repro.service.daemon` — the asyncio server tying it together:
+  bounded worker pool, slow-client read deadlines, journaling, graceful
+  shutdown, restart recovery.
+- :mod:`repro.service.client` — an asyncio/sync client that honours
+  retry-after backpressure with a seeded retry RNG.
+- :mod:`repro.service.chaos` — the load/chaos harness: hundreds of
+  concurrent jobs with injected worker kills and slow clients, asserting
+  p99 latency, exactly-once resolution, and zero cross-tenant leakage.
+
+Everything is stdlib-only (asyncio + threads), consistent with the
+repository's zero-new-dependencies rule.
+"""
+
+from repro.service.admission import AdmissionController, TenantCircuitBreaker
+from repro.service.chaos import ChaosReport, LoadHarness
+from repro.service.client import ServiceClient, submit_jobs
+from repro.service.daemon import CCProfService, ServiceConfig
+from repro.service.executor import JobExecutor, KillInjector
+from repro.service.journal import JobJournal, JobState
+from repro.service.protocol import JobRequest, JobResponse, JobStatus
+
+__all__ = [
+    "AdmissionController",
+    "TenantCircuitBreaker",
+    "CCProfService",
+    "ServiceConfig",
+    "ChaosReport",
+    "LoadHarness",
+    "ServiceClient",
+    "submit_jobs",
+    "JobExecutor",
+    "KillInjector",
+    "JobJournal",
+    "JobState",
+    "JobRequest",
+    "JobResponse",
+    "JobStatus",
+]

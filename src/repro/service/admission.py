@@ -1,0 +1,230 @@
+"""Admission control: bounded queues, tenant quotas, circuit breakers.
+
+A daemon that buffers without bound dies of memory pressure the first time
+a tenant misbehaves.  Admission control makes overload explicit instead:
+
+- a **global queue bound** — beyond it, jobs are rejected with a
+  ``retry_after`` hint (backpressure the client can act on);
+- **per-tenant quotas** — one tenant saturating the service cannot starve
+  its neighbours; the quota covers queued + running jobs per tenant;
+- a **soft degradation threshold** — between "comfortable" and "full" the
+  controller asks the executor to serve cheap static predictions instead
+  of full simulations (the degradation ladder's middle rung);
+- **per-tenant circuit breakers** — a tenant whose jobs keep failing is
+  failed fast for a cooldown instead of burning worker time.
+
+All time is injectable (``clock``) so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import AdmissionRejectedError, CircuitOpenError
+from repro.obs.metrics import get_registry
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control knobs.
+
+    Attributes:
+        max_queue_depth: Hard global bound on queued (not yet running)
+            jobs; admissions beyond it are rejected with ``retry_after``.
+        tenant_quota: Max queued + running jobs per tenant.
+        degrade_threshold: Queue-depth fraction above which newly admitted
+            simulation jobs are marked for degradation to the static
+            predictor (``0.75`` = degrade once the queue is 75% full).
+        retry_after: Base client backoff hint (seconds) on rejection.
+        breaker_threshold: Consecutive failures that open a tenant's
+            circuit (0 disables the breaker).
+        breaker_cooldown: Seconds an open circuit rejects before allowing
+            a half-open probe.
+    """
+
+    max_queue_depth: int = 64
+    tenant_quota: int = 8
+    degrade_threshold: float = 0.75
+    retry_after: float = 0.05
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        if not 0.0 < self.degrade_threshold <= 1.0:
+            raise ValueError("degrade_threshold must be in (0, 1]")
+
+
+class TenantCircuitBreaker:
+    """Classic closed → open → half-open breaker for one tenant.
+
+    Closed: submissions pass, consecutive failures are counted.  Open:
+    submissions fail fast until ``cooldown`` elapses.  Half-open: one
+    probe is admitted; success closes the breaker, failure reopens it.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float = 0.0
+        self._state = "closed"
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (clock-aware)."""
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = "half-open"
+        return self._state
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` while the circuit is open."""
+        if self.threshold <= 0:
+            return
+        if self.state == "open":
+            remaining = max(
+                0.0, self.cooldown - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"tenant circuit open for another {remaining:.3f}s "
+                f"({self._failures} consecutive failures)",
+                retry_after=remaining,
+            )
+
+    def record_success(self) -> None:
+        """A job finished (completed or degraded): close the circuit."""
+        self._failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        """A job failed; trip the breaker at the threshold."""
+        if self.threshold <= 0:
+            return
+        self._failures += 1
+        if self._state == "half-open" or self._failures >= self.threshold:
+            self._state = "open"
+            self._opened_at = self._clock()
+
+
+class AdmissionController:
+    """Decides, per submission, admit / admit-degraded / reject.
+
+    The controller owns no queue itself — it tracks depth counters the
+    daemon updates via :meth:`job_started` / :meth:`job_finished` — so it
+    can be unit-tested without an event loop.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig = AdmissionConfig(),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self.queued = 0
+        self.running = 0
+        self._per_tenant: Dict[str, int] = {}
+        self._breakers: Dict[str, TenantCircuitBreaker] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def breaker(self, tenant: str) -> TenantCircuitBreaker:
+        """The (lazily created) breaker for ``tenant``."""
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = self._breakers[tenant] = TenantCircuitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown,
+                self._clock,
+            )
+        return breaker
+
+    def tenant_load(self, tenant: str) -> int:
+        """Queued + running jobs currently charged to ``tenant``."""
+        return self._per_tenant.get(tenant, 0)
+
+    def _gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge("service.queue.depth").set(self.queued)
+        registry.gauge("service.jobs.running").set(self.running)
+
+    # -- the admission decision ----------------------------------------
+
+    def admit(self, tenant: str) -> bool:
+        """Admit one job for ``tenant`` or raise.
+
+        Returns:
+            True when the job should be *degraded on admission* (the
+            queue is past the soft threshold), False for a full run.
+
+        Raises:
+            CircuitOpenError: The tenant's breaker is open.
+            AdmissionRejectedError: Queue full or tenant over quota.
+        """
+        config = self.config
+        registry = get_registry()
+        self.breaker(tenant).check()
+        if self.queued >= config.max_queue_depth:
+            registry.counter("service.jobs.rejected").inc()
+            registry.counter(f"service.tenant.{tenant}.rejected").inc()
+            raise AdmissionRejectedError(
+                f"queue full ({self.queued}/{config.max_queue_depth} jobs); "
+                "retry later",
+                retry_after=config.retry_after * (1 + self.queued / config.max_queue_depth),
+            )
+        if self.tenant_load(tenant) >= config.tenant_quota:
+            registry.counter("service.jobs.rejected").inc()
+            registry.counter(f"service.tenant.{tenant}.rejected").inc()
+            raise AdmissionRejectedError(
+                f"tenant {tenant!r} over quota "
+                f"({self.tenant_load(tenant)}/{config.tenant_quota} in flight)",
+                retry_after=config.retry_after,
+            )
+        self.queued += 1
+        self._per_tenant[tenant] = self.tenant_load(tenant) + 1
+        registry.counter("service.jobs.accepted").inc()
+        registry.counter(f"service.tenant.{tenant}.accepted").inc()
+        self._gauges()
+        saturation = self.queued / config.max_queue_depth
+        return saturation >= config.degrade_threshold
+
+    def job_started(self) -> None:
+        """A worker dequeued one job."""
+        self.queued = max(0, self.queued - 1)
+        self.running += 1
+        self._gauges()
+
+    def job_requeued(self) -> None:
+        """A crashed job went back on the queue (retry)."""
+        self.running = max(0, self.running - 1)
+        self.queued += 1
+        self._gauges()
+
+    def job_finished(self, tenant: str, *, failed: bool) -> None:
+        """A job reached a terminal state; release its slot and feed the
+        tenant's breaker."""
+        self.running = max(0, self.running - 1)
+        load = self.tenant_load(tenant)
+        if load <= 1:
+            self._per_tenant.pop(tenant, None)
+        else:
+            self._per_tenant[tenant] = load - 1
+        breaker = self.breaker(tenant)
+        if failed:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        self._gauges()

@@ -1,0 +1,346 @@
+"""Load/chaos harness for the service daemon.
+
+Drives hundreds of concurrent small jobs from many tenants against one
+in-process daemon while injecting worker kills (seeded) and slow-client
+faults, then checks the robustness invariants the service promises:
+
+- **liveness** — the daemon answers every well-formed submission;
+- **exactly-once** — every accepted job reaches exactly one terminal
+  state, in the responses *and* in the journal;
+- **isolation** — no response ever carries another tenant's identity,
+  and per-tenant counters sum to the per-tenant submissions;
+- **latency** — p99 client-observed latency for small jobs stays under
+  an asserted bound even with kills and backpressure in play.
+
+Runable standalone for CI (``python -m repro.service.chaos --jobs 50
+--kill-max 1``) and from the chaos test suite at full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.service.admission import AdmissionConfig
+from repro.service.client import ServiceClient
+from repro.service.daemon import CCProfService, ServiceConfig
+from repro.service.journal import JobJournal, JobState
+from repro.service.protocol import JobRequest
+
+#: The job mix: cheap static predictions plus small dynamic profiles.
+#: Sizing keeps one job in the tens of milliseconds so hundreds run in
+#: seconds — production posture at toy scale.
+SMALL_JOBS = (
+    ("predict", "symmetrization", {"n": 48, "sweeps": 1}),
+    ("profile", "symmetrization", {"n": 48, "sweeps": 1}),
+    ("predict", "gemm", {"n": 24}),
+    ("profile", "nw", {"n": 48}),  # nw requires n % 16 == 0
+)
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one harness run observed."""
+
+    jobs: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    kills: int = 0
+    slow_clients_dropped: int = 0
+    retried_rejections: int = 0
+    duplicate_resolutions: int = 0
+    cross_tenant_violations: int = 0
+    missing_responses: List[str] = field(default_factory=list)
+    journal_terminal_counts: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return _percentile(self.latencies_ms, 0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return _percentile(self.latencies_ms, 0.99)
+
+    def resolved_jobs(self) -> int:
+        """Jobs that reached a terminal (or final-rejected) state."""
+        return sum(self.outcomes.values())
+
+    def describe(self) -> str:
+        """One-paragraph summary for CI logs."""
+        outcome = ", ".join(
+            f"{status}={count}" for status, count in sorted(self.outcomes.items())
+        )
+        return (
+            f"{self.jobs} jobs -> {outcome}; kills={self.kills}, "
+            f"slow clients dropped={self.slow_clients_dropped}, "
+            f"rejections retried={self.retried_rejections}; latency "
+            f"p50={self.p50_ms:.1f}ms p95={self.p95_ms:.1f}ms "
+            f"p99={self.p99_ms:.1f}ms"
+        )
+
+    def check(self, *, max_p99_ms: float) -> List[str]:
+        """Return the list of violated invariants (empty = pass)."""
+        problems: List[str] = []
+        if self.missing_responses:
+            problems.append(
+                f"{len(self.missing_responses)} jobs never answered: "
+                f"{sorted(self.missing_responses)[:5]}..."
+            )
+        if self.resolved_jobs() != self.jobs:
+            problems.append(
+                f"resolved {self.resolved_jobs()} of {self.jobs} jobs"
+            )
+        if self.duplicate_resolutions:
+            problems.append(
+                f"{self.duplicate_resolutions} duplicate job resolutions"
+            )
+        if self.cross_tenant_violations:
+            problems.append(
+                f"{self.cross_tenant_violations} cross-tenant responses"
+            )
+        over_once = {
+            job: count
+            for job, count in self.journal_terminal_counts.items()
+            if count != 1
+        }
+        if over_once:
+            problems.append(
+                f"journal terminal-state counts != 1 for {len(over_once)} jobs"
+            )
+        if self.p99_ms > max_p99_ms:
+            problems.append(
+                f"p99 latency {self.p99_ms:.1f}ms over the "
+                f"{max_p99_ms:.0f}ms bound"
+            )
+        return problems
+
+
+class LoadHarness:
+    """Configurable chaos run against a fresh in-process daemon.
+
+    Args:
+        jobs: Total jobs across all tenants.
+        tenants: Distinct tenant identities.
+        kill_rate: Injected worker-kill probability per attempt.
+        kill_max: Optional cap on total injected kills.
+        slow_clients: Connections that stall mid-request (dropped by the
+            daemon's read deadline, never blocking a worker).
+        workers: Daemon worker-pool size.
+        seed: Master seed; every RNG in the run derives from it, so the
+            same harness arguments replay the same chaos.
+        deadline_ms: Per-job deadline handed to every request.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 200,
+        tenants: int = 8,
+        kill_rate: float = 0.2,
+        kill_max: Optional[int] = None,
+        slow_clients: int = 4,
+        workers: int = 8,
+        seed: int = 0,
+        deadline_ms: int = 10_000,
+    ) -> None:
+        self.jobs = jobs
+        self.tenants = tenants
+        self.kill_rate = kill_rate
+        self.kill_max = kill_max
+        self.slow_clients = slow_clients
+        self.workers = workers
+        self.seed = seed
+        self.deadline_ms = deadline_ms
+
+    def _requests(self) -> List[JobRequest]:
+        rng = random.Random(self.seed)
+        requests = []
+        for index in range(self.jobs):
+            kind, workload, params = SMALL_JOBS[
+                rng.randrange(len(SMALL_JOBS))
+            ]
+            requests.append(
+                JobRequest(
+                    id=f"job-{index:04d}",
+                    tenant=f"tenant-{index % self.tenants}",
+                    kind=kind,
+                    workload=workload,
+                    params=dict(params),
+                    seed=rng.randrange(1 << 16),
+                    period=64,
+                    deadline_ms=self.deadline_ms,
+                )
+            )
+        return requests
+
+    async def _slow_client(self, socket_path: str) -> None:
+        """Connect, write half a request, stall until the daemon drops us."""
+        try:
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+        except (ConnectionError, OSError):
+            return
+        try:
+            writer.write(b'{"id":"stall","tenant":"sl')  # no newline, ever
+            await writer.drain()
+            await reader.read()  # daemon closes us after read_timeout
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _drive_job(
+        self,
+        socket_path: str,
+        request: JobRequest,
+        report: ChaosReport,
+        clock,
+    ) -> None:
+        # str hash() is salted per process; crc32 keeps the per-job
+        # jitter seed stable across runs.
+        client = ServiceClient(
+            socket_path,
+            rng=random.Random(
+                (self.seed << 8) ^ zlib.crc32(request.id.encode())
+            ),
+        )
+        started = clock()
+        try:
+            async with client:
+                response = await client.submit(request)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            report.missing_responses.append(request.id)
+            return
+        report.latencies_ms.append((clock() - started) * 1000.0)
+        report.retried_rejections += client.stats.rejections_retried
+        if response.tenant != request.tenant or response.id != request.id:
+            report.cross_tenant_violations += 1
+        report.outcomes[response.status] = (
+            report.outcomes.get(response.status, 0) + 1
+        )
+
+    async def _run(self, workdir: Path) -> ChaosReport:
+        import time
+
+        socket_path = str(workdir / "ccprof.sock")
+        journal_path = str(workdir / "jobs.journal")
+        config = ServiceConfig(
+            socket_path=socket_path,
+            workers=self.workers,
+            admission=AdmissionConfig(
+                max_queue_depth=max(64, self.jobs),
+                tenant_quota=max(8, (2 * self.jobs) // max(1, self.tenants)),
+                degrade_threshold=0.9,
+                breaker_threshold=0,  # chaos kills are not tenant faults
+            ),
+            default_deadline_ms=self.deadline_ms,
+            max_attempts=4,
+            # Generous: daemon + hundreds of clients share one event loop
+            # here, and GIL-heavy worker threads add scheduling lag; a
+            # tight read deadline would drop healthy clients whose write
+            # simply hadn't been scheduled yet.
+            read_timeout=3.0,
+            journal_path=journal_path,
+            kill_rate=self.kill_rate,
+            kill_seed=self.seed,
+            kill_max=self.kill_max,
+        )
+        report = ChaosReport(jobs=self.jobs)
+        requests = self._requests()
+        async with CCProfService(config) as service:
+            tasks = [
+                asyncio.create_task(
+                    self._drive_job(
+                        socket_path, request, report, time.monotonic
+                    )
+                )
+                for request in requests
+            ]
+            tasks.extend(
+                asyncio.create_task(self._slow_client(socket_path))
+                for _ in range(self.slow_clients)
+            )
+            await asyncio.gather(*tasks)
+            if service.kill_injector is not None:
+                report.kills = service.kill_injector.kills
+        registry = get_registry()
+        report.slow_clients_dropped = registry.counter(
+            "service.clients.slow_dropped"
+        ).value
+        report.duplicate_resolutions = registry.counter(
+            "service.jobs.duplicate_resolutions"
+        ).value
+        records, _ = JobJournal.replay(journal_path)
+        for record in records:
+            if record.state in JobState.TERMINAL:
+                report.journal_terminal_counts[record.job] = (
+                    report.journal_terminal_counts.get(record.job, 0) + 1
+                )
+        # Jobs the admission controller finally rejected resolved without
+        # a journal entry; exactly-once only binds *accepted* jobs.
+        return report
+
+    def run(self) -> ChaosReport:
+        """Execute the harness in a temporary directory."""
+        with tempfile.TemporaryDirectory(prefix="ccprof-chaos-") as workdir:
+            return asyncio.run(self._run(Path(workdir)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CI entry point: run the harness, print the report, gate on it."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service.chaos",
+        description="CCProf service load/chaos harness",
+    )
+    parser.add_argument("--jobs", type=int, default=200)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--kill-rate", type=float, default=0.2)
+    parser.add_argument("--kill-max", type=int, default=None)
+    parser.add_argument("--slow-clients", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-p99-ms", type=float, default=5000.0)
+    args = parser.parse_args(argv)
+    harness = LoadHarness(
+        jobs=args.jobs,
+        tenants=args.tenants,
+        workers=args.workers,
+        kill_rate=args.kill_rate,
+        kill_max=args.kill_max,
+        slow_clients=args.slow_clients,
+        seed=args.seed,
+    )
+    with use_registry(MetricsRegistry()):
+        report = harness.run()
+    print(report.describe())
+    problems = report.check(max_p99_ms=args.max_p99_ms)
+    for problem in problems:
+        print(f"INVARIANT VIOLATED: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Service client: submit jobs, honour backpressure.
+
+:class:`ServiceClient` is the asyncio client the daemon's tests and the
+load harness use; :func:`submit_jobs` is the one-shot synchronous wrapper
+behind ``ccprof submit``.
+
+Backpressure handling is where the robustness layer plugs in: a
+``rejected`` response with ``retry_after_ms`` is retried with the
+daemon's hint plus the jittered-backoff schedule from
+:mod:`repro.robustness.retry`, under an **injectable seeded RNG** so a
+chaos run's client behaviour replays exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AdmissionRejectedError, ProtocolError, ServiceError
+from repro.robustness.retry import RetryPolicy
+from repro.service.protocol import MAX_LINE_BYTES, JobRequest, JobResponse
+
+
+@dataclass
+class ClientStats:
+    """What one client observed (load-harness accounting)."""
+
+    submitted: int = 0
+    rejections_retried: int = 0
+    responses: List[JobResponse] = field(default_factory=list)
+
+
+class ServiceClient:
+    """One NDJSON connection to the daemon.
+
+    Args:
+        socket_path: The daemon's unix socket.
+        retry_policy: Backoff schedule layered on top of the daemon's
+            ``retry_after`` hints when resubmitting rejected jobs.
+        rng: Seeded jitter RNG (injectable so chaos runs reproduce);
+            built from ``seed`` when omitted.
+        sleep: Async sleep (injectable for simulated time in tests).
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+        sleep=asyncio.sleep,
+    ) -> None:
+        self.socket_path = socket_path
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=6, base_delay=0.02, max_delay=0.5
+        )
+        self.rng = rng or random.Random(seed)
+        self._sleep = sleep
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self.stats = ClientStats()
+
+    async def connect(self) -> None:
+        """Open the connection (idempotent)."""
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_unix_connection(
+            self.socket_path, limit=MAX_LINE_BYTES
+        )
+
+    async def close(self) -> None:
+        """Close the connection."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- raw protocol ---------------------------------------------------
+
+    async def send(self, request: JobRequest) -> None:
+        """Write one request line."""
+        await self.connect()
+        assert self._writer is not None
+        self._writer.write(request.encode())
+        await self._writer.drain()
+        self.stats.submitted += 1
+
+    async def read_response(self) -> JobResponse:
+        """Read the next response line (whatever job it answers)."""
+        assert self._reader is not None, "connect() first"
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        response = JobResponse.decode(line.rstrip(b"\n"))
+        self.stats.responses.append(response)
+        return response
+
+    # -- the polite request loop ----------------------------------------
+
+    async def submit(self, request: JobRequest) -> JobResponse:
+        """Submit one job, resubmitting on backpressure.
+
+        Rejections are retried up to ``retry_policy.max_attempts`` times,
+        sleeping the daemon's ``retry_after_ms`` hint plus the policy's
+        jittered backoff each round.  The final answer (terminal or the
+        last rejection) is returned — this method never raises on a
+        protocol-level rejection, so load harness accounting sees every
+        outcome.
+        """
+        policy = self.retry_policy
+        last: Optional[JobResponse] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            await self.send(request)
+            response = await self.read_response()
+            if response.id and response.id != request.id:
+                raise ProtocolError(
+                    f"response id {response.id!r} does not match "
+                    f"request {request.id!r} (pipelining misuse: use "
+                    "send()/read_response() for concurrent submissions)"
+                )
+            last = response
+            if response.status != "rejected":
+                return response
+            self.stats.rejections_retried += 1
+            hint = (response.retry_after_ms or 0) / 1000.0
+            delay = hint + policy.delay_before(attempt + 1, self.rng)
+            if attempt < policy.max_attempts and delay > 0:
+                await self._sleep(delay)
+        assert last is not None
+        return last
+
+
+def submit_jobs(
+    socket_path: str,
+    requests: Sequence[JobRequest],
+    *,
+    seed: int = 0,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Dict[str, JobResponse]:
+    """Synchronously submit ``requests`` and collect responses by id.
+
+    The ``ccprof submit`` CLI path and simple tests use this; each request
+    is driven through :meth:`ServiceClient.submit` on one connection.
+
+    Raises:
+        AdmissionRejectedError: When a job is still rejected after every
+            polite retry (carries the daemon's last ``retry_after`` hint).
+    """
+
+    async def _run() -> Dict[str, JobResponse]:
+        results: Dict[str, JobResponse] = {}
+        async with ServiceClient(
+            socket_path, seed=seed, retry_policy=retry_policy
+        ) as client:
+            for request in requests:
+                response = await client.submit(request)
+                if response.status == "rejected":
+                    error = (response.error or {}).get("message", "rejected")
+                    raise AdmissionRejectedError(
+                        f"job {request.id!r} rejected after retries: {error}",
+                        retry_after=(response.retry_after_ms or 0) / 1000.0,
+                    )
+                results[request.id] = response
+        return results
+
+    return asyncio.run(_run())

@@ -1,0 +1,596 @@
+"""The CCProf service daemon: asyncio server + bounded worker pool.
+
+Life of a job::
+
+    client ──line──▶ connection task ──admit──▶ queue ──▶ worker thread
+                          │   ▲                              │
+                      journal RECEIVED                 journal RUNNING
+                          │   │                              │
+                          ◀───┴── response line ◀── journal COMPLETED/
+                                                     DEGRADED/FAILED
+
+Every transition is journaled write-ahead, so the invariant the chaos
+suite asserts — *every accepted job resolves exactly once* — survives
+injected worker kills (retried up to ``max_attempts``, then failed
+cleanly) and daemon restarts (non-terminal journal entries are resumed or
+failed on startup, never dropped).
+
+Concurrency model: the event loop owns all bookkeeping (admission
+counters, journal, futures); only ``JobExecutor.execute`` runs on worker
+threads via ``asyncio.to_thread``.  Slow clients are bounded by a read
+deadline per connection; oversized lines are rejected by the stream limit
+before they buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import get_registry
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.executor import JobExecutor, KillInjector, response_for
+from repro.service.journal import JobJournal, JobState
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    JobRequest,
+    JobResponse,
+    JobStatus,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon configuration.
+
+    Attributes:
+        socket_path: Unix-domain socket the daemon listens on.
+        workers: Worker-pool size (concurrent jobs in execution).
+        admission: Queue bounds, quotas, breaker settings.
+        default_deadline_ms: Per-request deadline when the request names
+            none; becomes the run's watchdog budget *and* bounds queue
+            wait (a job that waited out its whole deadline fails with
+            ``deadline-exceeded`` instead of running late).
+        default_max_accesses: Default simulation budget (None=unlimited).
+        max_attempts: Execution attempts per job before a worker-crash
+            failure becomes terminal.
+        read_timeout: Seconds a connection may sit mid-request before it
+            is dropped as a slow client.
+        journal_path: Job journal location (None disables journaling).
+        journal_fsync: fsync every journal append (daemon default off;
+            the CLI turns it on).
+        manifest_dir: When set, one RunManifest is written per terminal
+            job under this directory.
+        kill_rate / kill_seed / kill_max: Chaos hook — injected
+            worker-kill probability per attempt, seeded for
+            reproducibility, with an optional total-kill cap.
+    """
+
+    socket_path: str = "ccprof.sock"
+    workers: int = 4
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    default_deadline_ms: int = 30_000
+    default_max_accesses: Optional[int] = None
+    max_attempts: int = 3
+    read_timeout: float = 5.0
+    journal_path: Optional[str] = None
+    journal_fsync: bool = False
+    manifest_dir: Optional[str] = None
+    kill_rate: float = 0.0
+    kill_seed: int = 0
+    kill_max: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.read_timeout <= 0:
+            raise ServiceError("read_timeout must be positive")
+
+
+@dataclass
+class _PendingJob:
+    """One accepted job in flight inside the daemon."""
+
+    request: JobRequest
+    degrade: bool
+    admitted_at: float
+    future: "asyncio.Future[JobResponse]"
+    attempts: int = 0
+
+    @property
+    def key(self) -> str:
+        """Journal key: tenant-scoped so ids never collide across tenants."""
+        return f"{self.request.tenant}/{self.request.id}"
+
+
+class CCProfService:
+    """The daemon.  ``async with CCProfService(config) as svc: ...``.
+
+    All state mutation happens on the event loop; worker threads only run
+    the executor.  The service object is single-use: start once, stop once.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        executor: Optional[JobExecutor] = None,
+    ) -> None:
+        self.config = config
+        self.admission = AdmissionController(config.admission)
+        self.journal = (
+            JobJournal(config.journal_path, fsync=config.journal_fsync)
+            if config.journal_path
+            else None
+        )
+        injector = (
+            KillInjector(
+                config.kill_rate,
+                seed=config.kill_seed,
+                max_kills=config.kill_max,
+            )
+            if config.kill_rate > 0.0
+            else None
+        )
+        self.executor = executor or JobExecutor(
+            default_deadline_ms=config.default_deadline_ms,
+            default_max_accesses=config.default_max_accesses,
+            kill_injector=injector,
+        )
+        self.kill_injector = self.executor.kill_injector
+        self._queue: "asyncio.Queue[_PendingJob]" = asyncio.Queue()
+        self._workers: List[asyncio.Task] = []
+        self._connections: "set[asyncio.Task]" = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = False
+        self._revision: Optional[str] = None
+        self._inflight: Dict[str, _PendingJob] = {}
+        self.resolved: Dict[str, str] = {}  # journal key -> terminal status
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover the journal, bind the socket, start the worker pool."""
+        self._recover_previous_run()
+        self._workers = [
+            asyncio.create_task(self._worker(index), name=f"ccprof-worker-{index}")
+            for index in range(self.config.workers)
+        ]
+        path = Path(self.config.socket_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection,
+            path=str(path),
+            limit=MAX_LINE_BYTES,
+            # The default accept backlog (100) refuses bursts the admission
+            # controller should be the one to shed; admission owns overload.
+            backlog=1024,
+        )
+        get_registry().gauge("service.workers.pool").set(self.config.workers)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, resolve what remains.
+
+        Queued jobs that never ran are failed cleanly (``shutdown``);
+        running jobs are given a grace period to finish.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Fail everything still queued, cleanly.
+        while not self._queue.empty():
+            job = self._queue.get_nowait()
+            self.admission.job_started()  # dequeue accounting
+            self._resolve_failed(
+                job, ServiceError("daemon shutting down"), state=JobState.FAILED
+            )
+        # Let running jobs finish, then retire the pool.
+        for _ in range(200):
+            if self.admission.running == 0:
+                break
+            await asyncio.sleep(0.05)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        # Retire lingering connections (handlers swallow the cancel and
+        # run their own cleanup, so nothing ends in a cancelled state).
+        for connection in list(self._connections):
+            connection.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        if self.journal is not None:
+            self.journal.close()
+        socket_path = Path(self.config.socket_path)
+        if socket_path.exists():
+            socket_path.unlink()
+
+    async def __aenter__(self) -> "CCProfService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's main loop)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- restart recovery ----------------------------------------------
+
+    def _recover_previous_run(self) -> None:
+        """Resolve jobs a previous daemon left in flight.
+
+        ``received`` jobs (journaled but never started) are *resumed*: the
+        journaled request is resubmitted to the queue.  ``running`` /
+        ``crashed`` jobs cannot be trusted to re-run exactly-once semantics
+        blind, so they are failed cleanly with ``daemon-restart``.
+        """
+        if self.journal is None or not Path(self.config.journal_path).exists():
+            return
+        registry = get_registry()
+        unresolved = JobJournal.unresolved(self.config.journal_path)
+        for key, record in sorted(unresolved.items()):
+            if record.state == JobState.RECEIVED and "request" in record.extra:
+                try:
+                    request = JobRequest.from_dict(dict(record.extra["request"]))
+                except ProtocolError:
+                    request = None
+                if request is not None:
+                    job = _PendingJob(
+                        request=request,
+                        degrade=bool(record.extra.get("degrade", False)),
+                        admitted_at=time.monotonic(),
+                        future=asyncio.get_running_loop().create_future(),
+                    )
+                    self.admission.queued += 1
+                    self._inflight[key] = job
+                    self._queue.put_nowait(job)
+                    registry.counter("service.jobs.resumed").inc()
+                    continue
+            self.journal.record(
+                record.job,
+                record.tenant,
+                JobState.FAILED,
+                error="daemon-restart",
+                message="job was in flight when the previous daemon died",
+            )
+            self.resolved[key] = JobStatus.FAILED
+            registry.counter("service.jobs.recovered_failed").inc()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        registry = get_registry()
+        registry.counter("service.connections").inc()
+        write_lock = asyncio.Lock()
+        response_tasks: List[asyncio.Task] = []
+        try:
+            await self._read_requests(reader, writer, write_lock, response_tasks)
+        except asyncio.CancelledError:
+            pass  # daemon shutdown: stop reading, still flush what resolved
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                if response_tasks:
+                    await asyncio.gather(*response_tasks, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_requests(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response_tasks: List[asyncio.Task],
+    ) -> None:
+        registry = get_registry()
+        while not self._stopping:
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.config.read_timeout
+                )
+            except asyncio.TimeoutError:
+                if any(not done.done() for done in response_tasks):
+                    # Not a slow client — the connection is idle because
+                    # it is waiting on its own in-flight jobs.
+                    continue
+                registry.counter("service.clients.slow_dropped").inc()
+                break
+            except ValueError:
+                # Stream limit exceeded: oversized request line.
+                registry.counter("service.requests.oversized").inc()
+                await self._write(
+                    writer, write_lock, self._protocol_reject(
+                        "", "", f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                )
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            response, job = self._admit_line(line)
+            if response is not None:
+                await self._write(writer, write_lock, response)
+                continue
+            # Accepted: answer whenever the job resolves, without
+            # blocking this connection's next request (pipelining).
+            response_tasks.append(
+                asyncio.create_task(
+                    self._respond_when_done(job, writer, write_lock)
+                )
+            )
+
+    def _admit_line(
+        self, line: bytes
+    ) -> "tuple[Optional[JobResponse], Optional[_PendingJob]]":
+        """Parse + admit one request line.
+
+        Returns ``(rejection, None)`` to answer immediately, or
+        ``(None, job)`` when the job was accepted and queued.
+        """
+        registry = get_registry()
+        try:
+            request = JobRequest.decode(line.rstrip(b"\n"))
+        except ProtocolError as exc:
+            registry.counter("service.requests.malformed").inc()
+            return self._protocol_reject("", "", str(exc)), None
+        try:
+            degrade = self.admission.admit(request.tenant)
+        except AdmissionRejectedError as exc:
+            return (
+                JobResponse(
+                    id=request.id,
+                    tenant=request.tenant,
+                    status=JobStatus.REJECTED,
+                    error={
+                        "family": exc.code,
+                        "reason": exc.reason,
+                        "message": str(exc),
+                    },
+                    retry_after_ms=max(1, int(exc.retry_after * 1000)),
+                ),
+                None,
+            )
+        job = _PendingJob(
+            request=request,
+            degrade=degrade,
+            admitted_at=time.monotonic(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if self.journal is not None:
+            self.journal.record(
+                job.key,
+                request.tenant,
+                JobState.RECEIVED,
+                request=request.to_dict(),
+                degrade=degrade,
+            )
+        self._inflight[job.key] = job
+        self._queue.put_nowait(job)
+        return None, job
+
+    @staticmethod
+    def _protocol_reject(job_id: str, tenant: str, message: str) -> JobResponse:
+        return JobResponse(
+            id=job_id,
+            tenant=tenant,
+            status=JobStatus.REJECTED,
+            error={"family": "service", "reason": "protocol", "message": message},
+        )
+
+    async def _respond_when_done(
+        self,
+        job: _PendingJob,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await job.future
+        await self._write(writer, write_lock, response)
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, response: JobResponse
+    ) -> None:
+        try:
+            async with lock:
+                writer.write(response.encode())
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # Client went away; the job still resolved in the journal.
+            get_registry().counter("service.responses.undeliverable").inc()
+
+    # -- the worker pool ------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        registry = get_registry()
+        while True:
+            job = await self._queue.get()
+            self.admission.job_started()
+            registry.gauge("service.workers.busy").add(1)
+            try:
+                await self._run_job(job)
+            finally:
+                registry.gauge("service.workers.busy").add(-1)
+                self._queue.task_done()
+
+    async def _run_job(self, job: _PendingJob) -> None:
+        request = job.request
+        registry = get_registry()
+        deadline_s = (
+            request.deadline_ms or self.config.default_deadline_ms
+        ) / 1000.0
+        waited = time.monotonic() - job.admitted_at
+        if waited >= deadline_s:
+            self._resolve_failed(
+                job,
+                DeadlineExceededError(
+                    f"job spent {waited:.3f}s queued, past its "
+                    f"{deadline_s:.3f}s deadline"
+                ),
+            )
+            return
+        job.attempts += 1
+        if self.journal is not None:
+            self.journal.record(
+                job.key, request.tenant, JobState.RUNNING, attempt=job.attempts
+            )
+        started = time.monotonic()
+        try:
+            outcome = await asyncio.to_thread(
+                self.executor.execute, request, degrade=job.degrade
+            )
+        except WorkerCrashError as crash:
+            registry.counter("service.jobs.crashed").inc()
+            if self.journal is not None:
+                self.journal.record(
+                    job.key,
+                    request.tenant,
+                    JobState.CRASHED,
+                    attempt=job.attempts,
+                    error=str(crash),
+                )
+            if job.attempts < self.config.max_attempts:
+                # Requeue: the job is retried by the next free worker.
+                self.admission.job_requeued()
+                registry.counter("service.jobs.retried").inc()
+                self._queue.put_nowait(job)
+                return
+            self._resolve_failed(job, crash)
+            return
+        except ReproError as error:
+            self._resolve_failed(job, error)
+            return
+        except Exception as error:  # noqa: BLE001 — worker must not die
+            registry.counter("service.jobs.internal_errors").inc()
+            self._resolve_failed(job, ServiceError(f"internal error: {error}"))
+            return
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        response = response_for(
+            request, outcome, elapsed_ms=elapsed_ms, attempts=job.attempts
+        )
+        self._finish(job, response, failed=False)
+        registry.histogram("service.request.latency_us").observe(
+            int(elapsed_ms * 1000)
+        )
+
+    # -- resolution -----------------------------------------------------
+
+    def _resolve_failed(
+        self,
+        job: _PendingJob,
+        error: ReproError,
+        *,
+        state: str = JobState.FAILED,
+    ) -> None:
+        reason = getattr(error, "reason", error.code)
+        response = JobResponse(
+            id=job.request.id,
+            tenant=job.request.tenant,
+            status=JobStatus.FAILED,
+            error={
+                "family": error.code,
+                "reason": reason,
+                "message": str(error),
+            },
+            attempts=job.attempts,
+        )
+        self._finish(job, response, failed=True, state=state)
+
+    def _finish(
+        self,
+        job: _PendingJob,
+        response: JobResponse,
+        *,
+        failed: bool,
+        state: Optional[str] = None,
+    ) -> None:
+        """Journal the terminal state and resolve the client future once."""
+        registry = get_registry()
+        terminal = state or {
+            JobStatus.COMPLETED: JobState.COMPLETED,
+            JobStatus.DEGRADED: JobState.DEGRADED,
+            JobStatus.FAILED: JobState.FAILED,
+        }[response.status]
+        if job.key in self.resolved:
+            # Exactly-once guard: resolving twice is a bug worth counting.
+            registry.counter("service.jobs.duplicate_resolutions").inc()
+            return
+        if self.journal is not None:
+            extra: Dict[str, object] = {"status": response.status}
+            if response.error is not None:
+                extra["error"] = response.error.get("reason", "")
+            self.journal.record(
+                job.key, job.request.tenant, terminal, **extra
+            )
+        self.resolved[job.key] = response.status
+        self._inflight.pop(job.key, None)
+        self.admission.job_finished(job.request.tenant, failed=failed)
+        registry.counter(f"service.jobs.{response.status}").inc()
+        registry.counter(
+            f"service.tenant.{job.request.tenant}.{response.status}"
+        ).inc()
+        if not job.future.done():
+            job.future.set_result(response)
+        self._write_job_manifest(job, response)
+
+    def _write_job_manifest(
+        self, job: _PendingJob, response: JobResponse
+    ) -> None:
+        if self.config.manifest_dir is None:
+            return
+        directory = Path(self.config.manifest_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in job.key
+        )
+        if self._revision is None:
+            # One subprocess per daemon, not one per job manifest.
+            self._revision = git_revision()
+        manifest = RunManifest(
+            revision=self._revision,
+            command=f"service.{job.request.kind}",
+            workload=job.request.workload,
+            seed=job.request.seed,
+            period=float(job.request.period),
+            config={
+                "tenant": job.request.tenant,
+                "status": response.status,
+                "attempts": response.attempts,
+                "degraded_reason": response.degraded_reason,
+            },
+            sampling={"elapsed_ms": response.elapsed_ms},
+            outputs={},
+        )
+        manifest.save(directory / f"{safe}.manifest.json")

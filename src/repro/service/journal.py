@@ -1,0 +1,269 @@
+"""Crash-safe write-ahead job journal.
+
+Every job-state transition is appended to an on-disk log *before* the
+transition takes effect (write-ahead), so a killed worker or a daemon
+restart can resolve every in-flight job instead of silently losing it.
+
+The format borrows trace v2's integrity discipline, adapted to a line
+protocol: a magic header line, then one record per line prefixed with the
+CRC-32 of its canonical JSON payload::
+
+    CCPROF-JOURNAL 1
+    3f2a9c01 {"job":"j1","seq":1,"state":"received","tenant":"acme",...}
+
+Crash-anywhere safety falls out of the framing: a torn final write leaves
+either a line without a newline or a line whose CRC does not match, and
+replay quarantines exactly that tail — every fully flushed record before
+it is recovered intact (mirroring the salvage reader's
+truncated-mid-chunk behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import JournalError
+from repro.obs.metrics import get_registry
+
+_MAGIC = "CCPROF-JOURNAL 1"
+
+PathLike = Union[str, Path]
+
+
+class JobState:
+    """Journal states of one job's lifecycle.
+
+    ``received -> running -> (completed | degraded | failed)`` is the
+    normal path; ``crashed`` marks a worker death (the job is requeued or
+    failed by the recovery/retry policy, never silently dropped).
+    """
+
+    RECEIVED = "received"
+    RUNNING = "running"
+    CRASHED = "crashed"
+    COMPLETED = "completed"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+    ALL = (RECEIVED, RUNNING, CRASHED, COMPLETED, DEGRADED, FAILED)
+    TERMINAL = (COMPLETED, DEGRADED, FAILED)
+
+
+@dataclass
+class JournalRecord:
+    """One decoded journal line."""
+
+    seq: int
+    job: str
+    tenant: str
+    state: str
+    at: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class JournalStats:
+    """Diagnostics from one journal replay (salvage accounting)."""
+
+    records_read: int = 0
+    records_quarantined: int = 0
+    truncated_tail: bool = False
+
+    @property
+    def salvaged(self) -> bool:
+        """True when replay encountered (and survived) damage."""
+        return bool(self.records_quarantined or self.truncated_tail)
+
+
+class JobJournal:
+    """Append-only, checksummed job-state log.
+
+    Args:
+        path: Journal file; created (with parents) on first append.  An
+            existing file is replayed lazily via :meth:`replay` and then
+            appended to — sequence numbers continue from the replayed tail.
+        fsync: Force records to stable storage on every append.  Off by
+            default (tests, load harness); the CLI daemon turns it on.
+        clock: Wall-clock source for record timestamps (injectable).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        fsync: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._handle = None
+        self._seq = 0
+        if self.path.exists():
+            records, _ = self.replay(self.path)
+            if records:
+                self._seq = records[-1].seq
+
+    # -- writing -------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = not self.path.exists() or self.path.stat().st_size == 0
+                self._handle = open(self.path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+            if fresh:
+                self._handle.write(_MAGIC + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def record(
+        self, job: str, tenant: str, state: str, **extra: object
+    ) -> JournalRecord:
+        """Append one state transition (flushed before returning).
+
+        Returns the decoded form of what was written, so callers can log
+        or assert on it.
+        """
+        if state not in JobState.ALL:
+            raise JournalError(f"unknown journal state {state!r}")
+        with self._lock:
+            self._seq += 1
+            entry = JournalRecord(
+                seq=self._seq,
+                job=job,
+                tenant=tenant,
+                state=state,
+                at=self._clock(),
+                extra=dict(extra),
+            )
+            payload: Dict[str, object] = {
+                "seq": entry.seq,
+                "job": entry.job,
+                "tenant": entry.tenant,
+                "state": entry.state,
+                "at": round(entry.at, 6),
+            }
+            if entry.extra:
+                payload["extra"] = entry.extra
+            blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            crc = zlib.crc32(blob.encode("utf-8"))
+            handle = self._open()
+            handle.write(f"{crc:08x} {blob}\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        get_registry().counter("service.journal.records").inc()
+        return entry
+
+    def close(self) -> None:
+        """Close the underlying file (further appends reopen it)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- replay --------------------------------------------------------
+
+    @staticmethod
+    def replay(
+        path: PathLike, stats: Optional[JournalStats] = None
+    ) -> "tuple[List[JournalRecord], JournalStats]":
+        """Read every intact record of a (possibly torn) journal.
+
+        A missing trailing newline, a CRC mismatch, or malformed JSON on
+        the final line is quarantined as a torn write (``truncated_tail``);
+        damage *before* the final line is quarantined per record and
+        replay continues — matching the trace salvage reader's posture.
+        A bad magic line always raises: there is nothing to salvage
+        without a recognizable format.
+        """
+        stats = stats if stats is not None else JournalStats()
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {path}: {exc}") from exc
+        if not lines:
+            return [], stats
+        if lines[0].rstrip("\n") != _MAGIC:
+            raise JournalError(f"{path}: bad journal magic {lines[0]!r:.40}")
+        records: List[JournalRecord] = []
+        for index, line in enumerate(lines[1:], start=2):
+            is_last = index == len(lines)
+            if not line.endswith("\n"):
+                # Torn final write: the record never finished flushing.
+                stats.truncated_tail = True
+                break
+            record = JobJournal._decode_line(line.rstrip("\n"))
+            if record is None:
+                stats.records_quarantined += 1
+                if is_last:
+                    stats.truncated_tail = True
+                continue
+            stats.records_read += 1
+            records.append(record)
+        return records, stats
+
+    @staticmethod
+    def _decode_line(text: str) -> Optional[JournalRecord]:
+        crc_hex, _, blob = text.partition(" ")
+        if len(crc_hex) != 8 or not blob:
+            return None
+        try:
+            expected = int(crc_hex, 16)
+        except ValueError:
+            return None
+        if zlib.crc32(blob.encode("utf-8")) != expected:
+            return None
+        try:
+            payload = json.loads(blob)
+            return JournalRecord(
+                seq=int(payload["seq"]),
+                job=str(payload["job"]),
+                tenant=str(payload["tenant"]),
+                state=str(payload["state"]),
+                at=float(payload.get("at", 0.0)),
+                extra=dict(payload.get("extra", {})),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    # -- recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls, path: PathLike
+    ) -> "tuple[Dict[str, JournalRecord], JournalStats]":
+        """Last known state per job, for restart recovery.
+
+        Returns ``({job_id: last_record}, stats)``.  Jobs whose last state
+        is non-terminal are the daemon's restart obligation: it must
+        either resume them or fail them cleanly (it never drops them).
+        """
+        records, stats = cls.replay(path)
+        last: Dict[str, JournalRecord] = {}
+        for record in records:
+            last[record.job] = record
+        return last, stats
+
+    @classmethod
+    def unresolved(cls, path: PathLike) -> Dict[str, JournalRecord]:
+        """Jobs left in a non-terminal state by a previous process."""
+        last, _ = cls.recover(path)
+        return {
+            job: record
+            for job, record in last.items()
+            if record.state not in JobState.TERMINAL
+        }

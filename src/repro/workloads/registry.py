@@ -1,0 +1,103 @@
+"""Workload registry: one place that resolves a spec string to a workload.
+
+Historically the ``name`` / ``name:optimized`` resolution lived inside the
+CLI, which meant anything else wanting to build workloads by name — the
+profiling service, the load harness, tests — had to import ``repro.cli``.
+The registry inverts that layering: the CLI and the service both delegate
+here.
+
+Specs take the form ``name[:variant]`` where ``variant`` is ``original``
+(default) or ``optimized``.  Factories may also accept sizing keyword
+arguments (``n``, ``sweeps``...), which the service forwards from a job's
+``params`` so multi-tenant load tests can run many tiny jobs instead of a
+few paper-sized ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ReproError
+from repro.workloads.adi import AdiWorkload
+from repro.workloads.base import TraceWorkload
+from repro.workloads.fft import Fft2dWorkload
+from repro.workloads.himeno import HimenoWorkload
+from repro.workloads.kripke import KripkeWorkload
+from repro.workloads.nw import NeedlemanWunschWorkload
+from repro.workloads.polybench import (
+    Fdtd2dWorkload,
+    GemmWorkload,
+    Jacobi2dWorkload,
+    TrmmWorkload,
+    TwoMmWorkload,
+)
+from repro.workloads.rodinia import RODINIA_APPS, make_rodinia_workload
+from repro.workloads.symmetrization import SymmetrizationWorkload
+from repro.workloads.tinydnn import TinyDnnFcWorkload
+
+WorkloadFactory = Callable[..., TraceWorkload]
+
+#: (original factory, optimized factory) per registered workload name.
+WORKLOADS: Dict[str, Tuple[WorkloadFactory, WorkloadFactory]] = {
+    "symmetrization": (SymmetrizationWorkload.original, SymmetrizationWorkload.padded),
+    "nw": (NeedlemanWunschWorkload.original, NeedlemanWunschWorkload.padded),
+    "adi": (AdiWorkload.original, AdiWorkload.padded),
+    "fft": (Fft2dWorkload.original, Fft2dWorkload.padded),
+    "tinydnn": (TinyDnnFcWorkload.original, TinyDnnFcWorkload.padded),
+    "kripke": (KripkeWorkload.original, KripkeWorkload.optimized),
+    "himeno": (HimenoWorkload.original, HimenoWorkload.padded),
+    "gemm": (GemmWorkload.original, GemmWorkload.padded),
+    "2mm": (TwoMmWorkload.original, TwoMmWorkload.padded),
+    "trmm": (TrmmWorkload.original, TrmmWorkload.padded),
+    "jacobi-2d": (Jacobi2dWorkload.original, Jacobi2dWorkload.padded),
+    "fdtd-2d": (Fdtd2dWorkload.original, Fdtd2dWorkload.padded),
+}
+
+
+def workload_names() -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """``(case_study_names, rodinia_names)`` in registration order."""
+    return tuple(WORKLOADS), tuple(RODINIA_APPS)
+
+
+def resolve_workload(spec: str, **params: object) -> TraceWorkload:
+    """Build a workload from ``name`` or ``name:variant``.
+
+    Args:
+        spec: Registry spec, e.g. ``adi`` or ``adi:optimized``.
+        params: Extra keyword arguments forwarded to the factory (sizing
+            knobs such as ``n=64``).  A factory that rejects a parameter
+            raises :class:`ReproError` rather than ``TypeError`` so callers
+            get the family exit code.
+
+    Raises:
+        ReproError: Unknown name, unknown variant, or unsupported params.
+    """
+    name, _, variant = spec.partition(":")
+    if variant not in ("", "original", "optimized"):
+        raise ReproError(
+            f"unknown variant {variant!r}; use 'original' or 'optimized'"
+        )
+    if name in WORKLOADS:
+        original, optimized = WORKLOADS[name]
+        factory: WorkloadFactory = (
+            optimized if variant == "optimized" else original
+        )
+        try:
+            return factory(**params)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            # TypeError: unknown keyword; ValueError: factory-level sizing
+            # validation (e.g. nw requires n % 16 == 0).  Both are caller
+            # errors, not internal ones.
+            raise ReproError(
+                f"workload {name!r} rejected params {sorted(params)}: {exc}"
+            ) from exc
+    if name in RODINIA_APPS:
+        if variant == "optimized":
+            raise ReproError(f"no optimized variant for Rodinia app {name!r}")
+        if params:
+            raise ReproError(
+                f"Rodinia app {name!r} takes no params, got {sorted(params)}"
+            )
+        return make_rodinia_workload(name)
+    known = ", ".join(sorted({*WORKLOADS, *RODINIA_APPS}))
+    raise ReproError(f"unknown workload {name!r}; known: {known}")

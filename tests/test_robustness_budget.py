@@ -109,3 +109,80 @@ class TestSamplerWatchdog:
         assert loaded.sampling.truncation_reason == (
             profile.sampling.truncation_reason
         )
+
+
+class TestConcurrentSessionBudgets:
+    """Two live MonitorSessions sharing the default registry must not
+    bleed budget telemetry into each other: each session's truncation
+    reflects its own budget, and the per-limit trip counters attribute
+    one trip to each session's limit — not two to either."""
+
+    def _session(self, budget, seed):
+        from repro.pmu.monitor import MonitorSession
+
+        return MonitorSession(
+            period=FixedPeriod(3), seed=seed, budget=budget
+        )
+
+    def test_no_cross_session_counter_bleed(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            # Both sessions exist before either runs — the service daemon's
+            # worker pool does exactly this.
+            by_events = self._session(SamplingBudget(max_events=32), seed=1)
+            by_samples = self._session(SamplingBudget(max_samples=4), seed=2)
+
+            profile_a = by_events.profile(
+                itertools.islice(endless_trace(), 100_000)
+            )
+            profile_b = by_samples.profile(
+                itertools.islice(endless_trace(), 100_000)
+            )
+
+            # Each run latched its own limit...
+            assert profile_a.sampling.truncated
+            assert "event budget" in profile_a.sampling.truncation_reason
+            assert profile_b.sampling.truncated
+            assert "sample budget" in profile_b.sampling.truncation_reason
+            # ...and tripped exactly its own counter, once.
+            counters = registry.snapshot()["counters"]
+            assert counters.get("pmu.budget.tripped.max_events") == 1
+            assert counters.get("pmu.budget.tripped.max_samples") == 1
+            assert "pmu.budget.tripped.deadline_seconds" not in counters
+            assert "pmu.budget.tripped.max_accesses" not in counters
+
+    def test_gauges_reflect_each_configured_limit(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            self._session(SamplingBudget(max_events=32), seed=1).profile(
+                itertools.islice(endless_trace(), 50_000)
+            )
+            self._session(SamplingBudget(max_samples=4), seed=2).profile(
+                itertools.islice(endless_trace(), 50_000)
+            )
+            gauges = registry.snapshot()["gauges"]
+            # Both limits were published; neither overwrote the other's
+            # gauge (they are distinct per-limit names).
+            assert gauges.get("pmu.budget.max_events") == 32
+            assert gauges.get("pmu.budget.max_samples") == 4
+
+    def test_interleaved_scalar_and_batched_engines(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        from repro.pmu.monitor import MonitorSession
+
+        with use_registry(MetricsRegistry()) as registry:
+            scalar = MonitorSession(
+                period=FixedPeriod(3), seed=3, engine="scalar",
+                budget=SamplingBudget(max_events=16),
+            )
+            batched = MonitorSession(
+                period=FixedPeriod(3), seed=3, engine="batched",
+                budget=SamplingBudget(max_events=16),
+            )
+            a = scalar.profile(itertools.islice(endless_trace(), 50_000))
+            b = batched.profile(itertools.islice(endless_trace(), 50_000))
+            assert a.sampling.truncated and b.sampling.truncated
+            counters = registry.snapshot()["counters"]
+            assert counters.get("pmu.budget.tripped.max_events") == 2

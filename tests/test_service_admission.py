@@ -1,0 +1,177 @@
+"""Tests for repro.service.admission (quotas, backpressure, breakers)."""
+
+import pytest
+
+from repro.errors import AdmissionRejectedError, CircuitOpenError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TenantCircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestAdmissionConfig:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"max_queue_depth": 0},
+            {"tenant_quota": 0},
+            {"degrade_threshold": 0.0},
+            {"degrade_threshold": 1.5},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**overrides)
+
+
+class TestQueueBound:
+    def _controller(self, **overrides):
+        defaults = dict(max_queue_depth=2, tenant_quota=10, retry_after=0.1)
+        defaults.update(overrides)
+        return AdmissionController(AdmissionConfig(**defaults))
+
+    def test_rejects_past_queue_bound_with_backoff_hint(self):
+        with use_registry(MetricsRegistry()) as registry:
+            controller = self._controller()
+            controller.admit("a")
+            controller.admit("a")
+            with pytest.raises(AdmissionRejectedError, match="queue full") as info:
+                controller.admit("a")
+            # The hint scales with saturation: base 0.1s * (1 + 2/2).
+            assert info.value.retry_after == pytest.approx(0.2)
+            assert registry.counter("service.jobs.rejected").value == 1
+            assert registry.counter("service.tenant.a.rejected").value == 1
+
+    def test_started_jobs_free_queue_slots(self):
+        with use_registry(MetricsRegistry()):
+            controller = self._controller()
+            controller.admit("a")
+            controller.admit("a")
+            controller.job_started()
+            controller.admit("a")  # a slot opened up
+            assert controller.queued == 2 and controller.running == 1
+
+    def test_queue_depth_gauge_tracks_admissions(self):
+        with use_registry(MetricsRegistry()) as registry:
+            controller = self._controller()
+            controller.admit("a")
+            assert registry.gauge("service.queue.depth").value == 1
+            controller.job_started()
+            assert registry.gauge("service.queue.depth").value == 0
+            assert registry.gauge("service.jobs.running").value == 1
+
+
+class TestTenantQuota:
+    def test_quota_covers_queued_plus_running(self):
+        with use_registry(MetricsRegistry()):
+            config = AdmissionConfig(max_queue_depth=64, tenant_quota=2)
+            controller = AdmissionController(config)
+            controller.admit("a")
+            controller.admit("a")
+            controller.job_started()  # still charged to the tenant
+            with pytest.raises(AdmissionRejectedError, match="over quota"):
+                controller.admit("a")
+
+    def test_quota_is_per_tenant(self):
+        with use_registry(MetricsRegistry()):
+            config = AdmissionConfig(max_queue_depth=64, tenant_quota=1)
+            controller = AdmissionController(config)
+            controller.admit("a")
+            controller.admit("b")  # unaffected by a's quota
+            with pytest.raises(AdmissionRejectedError):
+                controller.admit("a")
+
+    def test_finished_jobs_release_quota(self):
+        with use_registry(MetricsRegistry()):
+            config = AdmissionConfig(max_queue_depth=64, tenant_quota=1)
+            controller = AdmissionController(config)
+            controller.admit("a")
+            controller.job_started()
+            controller.job_finished("a", failed=False)
+            controller.admit("a")  # quota released
+
+
+class TestDegradeThreshold:
+    def test_degrade_flag_tracks_saturation(self):
+        with use_registry(MetricsRegistry()):
+            config = AdmissionConfig(
+                max_queue_depth=4, tenant_quota=10, degrade_threshold=0.5
+            )
+            controller = AdmissionController(config)
+            assert controller.admit("a") is False  # 1/4 = 0.25
+            assert controller.admit("a") is True  # 2/4 = 0.50
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_cools_down(self):
+        clock = FakeClock()
+        breaker = TenantCircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.check()  # one failure: still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check()
+        assert 0.0 < info.value.retry_after <= 5.0
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        breaker.check()  # half-open admits the probe
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = TenantCircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_success_closes_and_resets_count(self):
+        clock = FakeClock()
+        breaker = TenantCircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()  # count restarted: still closed
+        breaker.check()
+
+    def test_zero_threshold_disables_breaker(self):
+        breaker = TenantCircuitBreaker(threshold=0, cooldown=5.0)
+        for _ in range(50):
+            breaker.record_failure()
+        breaker.check()  # never opens
+
+    def test_controller_feeds_breaker_from_job_outcomes(self):
+        with use_registry(MetricsRegistry()):
+            clock = FakeClock()
+            config = AdmissionConfig(
+                max_queue_depth=64,
+                tenant_quota=32,
+                breaker_threshold=2,
+                breaker_cooldown=9.0,
+            )
+            controller = AdmissionController(config, clock=clock)
+            for _ in range(2):
+                controller.admit("flaky")
+                controller.job_started()
+                controller.job_finished("flaky", failed=True)
+            with pytest.raises(CircuitOpenError):
+                controller.admit("flaky")
+            controller.admit("healthy")  # other tenants unaffected
+            clock.advance(9.0)
+            controller.admit("flaky")  # half-open probe admitted

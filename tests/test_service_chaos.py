@@ -1,0 +1,104 @@
+"""Load/chaos tests for the service daemon.
+
+The small smoke run executes in tier-1; the full-scale run (200 concurrent
+jobs, 20% injected worker kills, slow clients) carries the ``chaos``
+marker, mirroring the robustness pipeline suite, and is the acceptance
+test for the service's liveness/exactly-once/isolation/latency invariants.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.service.chaos import ChaosReport, LoadHarness, _percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert _percentile(values, 0.50) == 20.0
+        assert _percentile(values, 0.99) == 40.0
+        assert _percentile([], 0.99) == 0.0
+
+
+class TestChaosReportChecks:
+    def _report(self, **overrides):
+        record = dict(
+            jobs=2,
+            outcomes={"completed": 2},
+            kills=0,
+            slow_clients_dropped=0,
+            retried_rejections=0,
+            duplicate_resolutions=0,
+            cross_tenant_violations=0,
+            missing_responses=[],
+            journal_terminal_counts={"t/j1": 1, "t/j2": 1},
+            latencies_ms=[5.0, 7.0],
+        )
+        record.update(overrides)
+        return ChaosReport(**record)
+
+    def test_clean_report_passes(self):
+        assert self._report().check(max_p99_ms=100.0) == []
+
+    def test_each_invariant_violation_is_reported(self):
+        def violations(**overrides):
+            return self._report(**overrides).check(max_p99_ms=100.0)
+
+        assert violations(missing_responses=["job-0001"])
+        assert violations(outcomes={"completed": 1})
+        assert violations(duplicate_resolutions=1)
+        assert violations(cross_tenant_violations=1)
+        assert violations(journal_terminal_counts={"t/j1": 2, "t/j2": 1})
+        assert violations(latencies_ms=[5.0, 500.0])
+
+    def test_describe_is_human_readable(self):
+        text = self._report().describe()
+        assert "jobs" in text and "p99" in text
+
+
+class TestSmokeLoad:
+    def test_small_burst_with_injected_kill(self):
+        with use_registry(MetricsRegistry()):
+            harness = LoadHarness(
+                jobs=24, tenants=4, kill_rate=0.2, kill_max=1,
+                slow_clients=1, workers=4, seed=11,
+            )
+            report = harness.run()
+        assert report.check(max_p99_ms=30_000.0) == []
+        assert sum(report.outcomes.values()) == 24
+        assert report.kills <= 1
+
+
+@pytest.mark.chaos
+class TestFullChaos:
+    def test_200_jobs_20pct_kills_slow_clients(self):
+        with use_registry(MetricsRegistry()):
+            harness = LoadHarness(
+                jobs=200, tenants=8, kill_rate=0.2,
+                slow_clients=4, workers=8, seed=0,
+            )
+            report = harness.run()
+        problems = report.check(max_p99_ms=30_000.0)
+        assert problems == [], f"{problems}\n{report.describe()}"
+        # The run actually exercised chaos, not a quiet pass.
+        assert report.kills > 0
+        assert sum(report.outcomes.values()) == 200
+        # Every job reached a terminal outcome exactly once.
+        assert report.missing_responses == []
+        assert report.duplicate_resolutions == 0
+        assert report.cross_tenant_violations == 0
+        assert all(
+            count == 1 for count in report.journal_terminal_counts.values()
+        )
+
+    def test_same_seed_reproduces_outcome_mix(self):
+        def run_once():
+            with use_registry(MetricsRegistry()):
+                return LoadHarness(
+                    jobs=32, tenants=4, kill_rate=0.3, kill_max=4,
+                    slow_clients=0, workers=4, seed=7,
+                ).run()
+
+        first, second = run_once(), run_once()
+        assert first.outcomes == second.outcomes
+        assert first.kills == second.kills

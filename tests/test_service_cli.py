@@ -1,0 +1,131 @@
+"""Tests for the ``ccprof serve`` / ``ccprof submit`` CLI surface."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service.daemon import CCProfService, ServiceConfig
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket == "ccprof.sock"
+        assert args.workers == 4
+        assert args.max_queue == 64
+        assert args.tenant_quota == 8
+        assert args.deadline_ms == 30_000
+        assert args.max_attempts == 3
+        assert args.journal is None
+        assert args.fsync is False
+        assert args.kill_rate == 0.0
+
+    def test_flags_round_trip(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--socket", "/tmp/s.sock", "--workers", "2",
+                "--journal", "j.log", "--fsync", "--kill-rate", "0.5",
+                "--kill-max", "3", "--manifest-dir", "m",
+            ]
+        )
+        assert args.socket == "/tmp/s.sock"
+        assert args.workers == 2
+        assert args.journal == "j.log" and args.fsync
+        assert args.kill_rate == 0.5 and args.kill_max == 3
+        assert args.manifest_dir == "m"
+
+
+class TestSubmitParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["submit", "gemm"])
+        assert args.workload == "gemm"
+        assert args.kind == "profile"
+        assert args.id == "cli-job" and args.tenant == "cli"
+        assert args.param == []
+
+    def test_repeatable_params(self):
+        args = build_parser().parse_args(
+            ["submit", "gemm", "--param", "n=24", "--param", "sweeps=2"]
+        )
+        assert args.param == ["n=24", "sweeps=2"]
+
+    def test_unknown_kind_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "gemm", "--kind", "vaporize"])
+
+
+class TestSubmitCommand:
+    def test_malformed_param_is_family_error(self, tmp_path, capsys):
+        code = main(
+            ["submit", "gemm", "--socket", str(tmp_path / "none.sock"),
+             "--param", "n"]
+        )
+        assert code == 1  # ReproError family
+        assert "bad --param" in capsys.readouterr().err
+
+    def test_non_integer_param_is_family_error(self, tmp_path, capsys):
+        code = main(
+            ["submit", "gemm", "--socket", str(tmp_path / "none.sock"),
+             "--param", "n=big"]
+        )
+        assert code == 1
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_unreachable_socket_is_service_error(self, tmp_path, capsys):
+        code = main(["submit", "gemm", "--socket", str(tmp_path / "no.sock")])
+        assert code == 12  # service family exit code
+        assert "[service]" in capsys.readouterr().err
+
+
+class TestSubmitAgainstLiveService:
+    """Drive the real CLI against a daemon running on a background thread."""
+
+    @pytest.fixture()
+    def live_socket(self, tmp_path):
+        socket_path = str(tmp_path / "ccprof.sock")
+        ready = threading.Event()
+        stop = None
+        loop_holder = {}
+
+        def serve():
+            async def body():
+                service = CCProfService(ServiceConfig(socket_path=socket_path))
+                await service.start()
+                loop_holder["loop"] = asyncio.get_running_loop()
+                loop_holder["stop"] = asyncio.Event()
+                ready.set()
+                await loop_holder["stop"].wait()
+                await service.stop()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30), "daemon never came up"
+        yield socket_path
+        loop_holder["loop"].call_soon_threadsafe(loop_holder["stop"].set)
+        thread.join(timeout=30)
+
+    def test_submit_predict_succeeds(self, live_socket, capsys):
+        code = main(
+            ["submit", "symmetrization", "--socket", live_socket,
+             "--kind", "predict", "--param", "n=48", "--param", "sweeps=1",
+             "--id", "cli-1", "--period", "64"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "completed"
+        assert payload["id"] == "cli-1" and payload["tenant"] == "cli"
+
+    def test_submit_unknown_workload_maps_to_exit_code(
+        self, live_socket, capsys
+    ):
+        code = main(
+            ["submit", "quake", "--socket", live_socket, "--kind", "predict"]
+        )
+        assert code == 1  # repro family: unknown workload
+        err = capsys.readouterr().err
+        assert "failed" in err and "unknown workload" in err

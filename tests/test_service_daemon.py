@@ -1,0 +1,353 @@
+"""End-to-end daemon tests over a real unix socket.
+
+Each test spins up a :class:`CCProfService` inside ``asyncio.run`` with an
+isolated metrics registry, drives it through raw stream connections (so
+protocol-level failures are visible, not hidden behind the client), and
+asserts on responses, journal contents, and counters.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.service.admission import AdmissionConfig
+from repro.service.daemon import CCProfService, ServiceConfig
+from repro.service.journal import JobJournal, JobState
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    JobRequest,
+    JobResponse,
+    JobStatus,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def make_request(**overrides):
+    record = dict(
+        id="j1", tenant="t", kind="predict", workload="symmetrization",
+        params={"n": 48, "sweeps": 1}, period=64,
+    )
+    record.update(overrides)
+    return JobRequest(**record)
+
+
+def make_blocker(job_id="blocker", **overrides):
+    """A profile job slow enough (~0.2s) to pin a worker while a second
+    request races it."""
+    return make_request(
+        id=job_id, kind="profile", workload="nw", params={"n": 96}, **overrides
+    )
+
+
+def make_config(tmp_path, **overrides):
+    defaults = dict(
+        socket_path=str(tmp_path / "ccprof.sock"),
+        workers=2,
+        journal_path=str(tmp_path / "jobs.journal"),
+        read_timeout=2.0,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def submit_raw(socket_path, request):
+    """One connection, one request line, one response line."""
+    reader, writer = await asyncio.open_unix_connection(socket_path)
+    try:
+        writer.write(request.encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=60)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return JobResponse.decode(line.rstrip(b"\n"))
+
+
+def run_service(config, coroutine_fn):
+    """Start the daemon, run ``coroutine_fn(service)``, stop cleanly."""
+
+    async def scenario():
+        async with CCProfService(config) as service:
+            return await coroutine_fn(service)
+
+    return asyncio.run(scenario())
+
+
+class TestHappyPath:
+    def test_predict_job_completes(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(config.socket_path, make_request())
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.COMPLETED
+        assert response.id == "j1" and response.tenant == "t"
+        assert response.attempts == 1
+        assert response.result  # prediction summary present
+        assert registry.counter("service.jobs.completed").value == 1
+        # Journal shows the full received -> running -> completed arc.
+        records, _ = JobJournal.replay(config.journal_path)
+        assert [r.state for r in records] == [
+            JobState.RECEIVED, JobState.RUNNING, JobState.COMPLETED,
+        ]
+
+    def test_same_id_isolated_across_tenants(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()):
+            async def scenario(service):
+                return await asyncio.gather(
+                    submit_raw(config.socket_path, make_request(tenant="alpha")),
+                    submit_raw(config.socket_path, make_request(tenant="beta")),
+                )
+
+            responses = run_service(config, scenario)
+        by_tenant = {r.tenant: r for r in responses}
+        assert set(by_tenant) == {"alpha", "beta"}
+        assert all(r.status == JobStatus.COMPLETED for r in responses)
+        # Tenant-scoped journal keys: ids never collide across tenants.
+        records, _ = JobJournal.replay(config.journal_path)
+        assert {r.job for r in records} == {"alpha/j1", "beta/j1"}
+
+
+class TestDegradation:
+    def test_saturated_queue_degrades_to_static_prediction(self, tmp_path):
+        config = make_config(
+            tmp_path,
+            admission=AdmissionConfig(
+                max_queue_depth=64, tenant_quota=32, degrade_threshold=0.01
+            ),
+        )
+        with use_registry(MetricsRegistry()):
+            async def scenario(service):
+                return await submit_raw(
+                    config.socket_path, make_request(kind="profile")
+                )
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.DEGRADED
+        assert response.degraded_reason
+        assert "static" in (response.confidence or "")
+        assert response.result  # still a usable prediction
+
+
+class TestDeadlines:
+    def test_queue_wait_past_deadline_fails_cleanly(self, tmp_path):
+        config = make_config(tmp_path, workers=1)
+        with use_registry(MetricsRegistry()):
+            async def scenario(service):
+                # One slow-ish job pins the single worker; the second job's
+                # 1ms deadline expires while it waits in the queue.
+                blocker = asyncio.create_task(
+                    submit_raw(config.socket_path, make_blocker())
+                )
+                await asyncio.sleep(0.05)  # let the blocker start running
+                victim = await submit_raw(
+                    config.socket_path,
+                    make_request(id="victim", deadline_ms=1),
+                )
+                await blocker
+                return victim
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.FAILED
+        assert response.error["reason"] == "deadline-exceeded"
+        assert response.error["family"] == "service"
+
+
+class TestWorkerCrashes:
+    def test_injected_kill_is_retried_to_success(self, tmp_path):
+        config = make_config(
+            tmp_path, kill_rate=1.0, kill_max=1, max_attempts=3
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(config.socket_path, make_request())
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.COMPLETED
+        assert response.attempts == 2  # killed once, then succeeded
+        assert registry.counter("service.jobs.crashed").value == 1
+        assert registry.counter("service.jobs.retried").value == 1
+        assert registry.counter("service.jobs.duplicate_resolutions").value == 0
+        records, _ = JobJournal.replay(config.journal_path)
+        states = [r.state for r in records]
+        assert states.count(JobState.CRASHED) == 1
+        assert states.count(JobState.COMPLETED) == 1
+
+    def test_exhausted_retries_fail_with_worker_crash(self, tmp_path):
+        config = make_config(tmp_path, kill_rate=1.0, max_attempts=2)
+        with use_registry(MetricsRegistry()):
+            async def scenario(service):
+                return await submit_raw(config.socket_path, make_request())
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.FAILED
+        assert response.attempts == 2
+        assert response.error["family"] == "service"
+        assert response.error["reason"] == "worker-crash"
+        # Terminal failure is journaled exactly once.
+        records, _ = JobJournal.replay(config.journal_path)
+        terminal = [r for r in records if r.state in JobState.TERMINAL]
+        assert len(terminal) == 1 and terminal[0].state == JobState.FAILED
+
+
+class TestRestartRecovery:
+    def test_received_jobs_resume_and_running_jobs_fail(self, tmp_path):
+        config = make_config(tmp_path)
+        # A previous daemon journaled one queued job and one mid-run job,
+        # then died.
+        journal = JobJournal(config.journal_path)
+        queued = make_request(id="queued")
+        journal.record(
+            "t/queued", "t", JobState.RECEIVED,
+            request=queued.to_dict(), degrade=False,
+        )
+        journal.record("t/inflight", "t", JobState.RECEIVED)
+        journal.record("t/inflight", "t", JobState.RUNNING, attempt=1)
+        journal.close()
+
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                await asyncio.wait_for(service._queue.join(), timeout=60)
+                return dict(service.resolved)
+
+            resolved = run_service(config, scenario)
+        # The queued job re-ran to completion; the in-flight one could not
+        # be trusted and was failed cleanly.
+        assert resolved["t/queued"] == JobStatus.COMPLETED
+        assert resolved["t/inflight"] == JobStatus.FAILED
+        assert registry.counter("service.jobs.resumed").value == 1
+        assert registry.counter("service.jobs.recovered_failed").value == 1
+        last, _ = JobJournal.recover(config.journal_path)
+        assert last["t/queued"].state == JobState.COMPLETED
+        assert last["t/inflight"].state == JobState.FAILED
+        assert last["t/inflight"].extra["error"] == "daemon-restart"
+
+
+class TestMisbehavingClients:
+    def test_slow_client_is_dropped(self, tmp_path):
+        config = make_config(tmp_path, read_timeout=0.2)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                reader, writer = await asyncio.open_unix_connection(
+                    config.socket_path
+                )
+                writer.write(b'{"id": "stall"')  # never finishes the line
+                await writer.drain()
+                eof = await asyncio.wait_for(reader.read(), timeout=10)
+                writer.close()
+                return eof
+
+            eof = run_service(config, scenario)
+        assert eof == b""  # server hung up on us
+        assert registry.counter("service.clients.slow_dropped").value == 1
+
+    def test_oversized_line_rejected(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                reader, writer = await asyncio.open_unix_connection(
+                    config.socket_path
+                )
+                writer.write(b"x" * (MAX_LINE_BYTES + 1024) + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                writer.close()
+                return JobResponse.decode(line.rstrip(b"\n"))
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.REJECTED
+        assert "exceeds" in response.error["message"]
+        assert registry.counter("service.requests.oversized").value == 1
+
+    def test_malformed_json_rejected_connection_survives(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                reader, writer = await asyncio.open_unix_connection(
+                    config.socket_path
+                )
+                writer.write(b"this is not json\n")
+                writer.write(make_request().encode())
+                await writer.drain()
+                first = JobResponse.decode(
+                    (await reader.readline()).rstrip(b"\n")
+                )
+                second = JobResponse.decode(
+                    (await asyncio.wait_for(reader.readline(), timeout=60)).rstrip(b"\n")
+                )
+                writer.close()
+                return first, second
+
+            first, second = run_service(config, scenario)
+        assert first.status == JobStatus.REJECTED
+        assert first.error["reason"] == "protocol"
+        # The same connection still serves the valid follow-up request.
+        assert second.status == JobStatus.COMPLETED
+        assert registry.counter("service.requests.malformed").value == 1
+
+
+class TestBackpressure:
+    def test_rejection_carries_retry_after(self, tmp_path):
+        config = make_config(
+            tmp_path,
+            workers=1,
+            admission=AdmissionConfig(max_queue_depth=64, tenant_quota=1),
+        )
+        with use_registry(MetricsRegistry()):
+            async def scenario(service):
+                first = asyncio.create_task(
+                    submit_raw(config.socket_path, make_blocker(job_id="a"))
+                )
+                await asyncio.sleep(0.05)
+                over_quota = await submit_raw(
+                    config.socket_path, make_request(id="b")
+                )
+                await first
+                return over_quota
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.REJECTED
+        assert response.retry_after_ms >= 1
+        assert response.error["reason"] == "admission-rejected"
+
+
+class TestShutdown:
+    def test_stop_fails_queued_jobs_cleanly(self, tmp_path):
+        config = make_config(tmp_path, workers=1)
+        with use_registry(MetricsRegistry()):
+            async def scenario():
+                service = CCProfService(config)
+                await service.start()
+                # Pin the worker, then queue a job we will never run.
+                blocker = asyncio.create_task(
+                    submit_raw(config.socket_path, make_blocker())
+                )
+                await asyncio.sleep(0.05)
+                victim = asyncio.create_task(
+                    submit_raw(
+                        config.socket_path, make_blocker(job_id="victim")
+                    )
+                )
+                await asyncio.sleep(0.05)
+                await service.stop()
+                responses = await asyncio.gather(
+                    blocker, victim, return_exceptions=True
+                )
+                return service, responses
+
+            service, responses = asyncio.run(scenario())
+        statuses = sorted(
+            r.status for r in responses if isinstance(r, JobResponse)
+        )
+        # The running job finished in the grace period; the queued one was
+        # failed cleanly rather than dropped.
+        assert service.resolved["t/blocker"] == JobStatus.COMPLETED
+        assert service.resolved["t/victim"] == JobStatus.FAILED
+        assert JobStatus.FAILED in statuses or len(responses) == 2

@@ -1,0 +1,126 @@
+"""Tests for repro.service.journal (crash-safe write-ahead job log)."""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.journal import JobJournal, JobState, JournalStats
+
+
+def fixed_clock():
+    return 1700000000.0
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal = JobJournal(path, clock=fixed_clock)
+        journal.record("t/j1", "t", JobState.RECEIVED, degrade=False)
+        journal.record("t/j1", "t", JobState.RUNNING, attempt=1)
+        journal.record("t/j1", "t", JobState.COMPLETED, status="completed")
+        journal.close()
+        records, stats = JobJournal.replay(path)
+        assert [r.state for r in records] == [
+            "received", "running", "completed",
+        ]
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert records[0].extra == {"degrade": False}
+        assert not stats.salvaged
+
+    def test_sequence_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        JobJournal(path).record("t/j1", "t", JobState.RECEIVED)
+        journal = JobJournal(path)  # new process, same file
+        entry = journal.record("t/j2", "t", JobState.RECEIVED)
+        assert entry.seq == 2
+
+    def test_unknown_state_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "j")
+        with pytest.raises(JournalError, match="unknown journal state"):
+            journal.record("t/j1", "t", "vaporized")
+
+    def test_empty_file_replays_empty(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("")
+        records, stats = JobJournal.replay(path)
+        assert records == [] and not stats.salvaged
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("NOT-A-JOURNAL\n")
+        with pytest.raises(JournalError, match="magic"):
+            JobJournal.replay(path)
+
+
+class TestTornWrites:
+    def _journal(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal = JobJournal(path)
+        journal.record("t/j1", "t", JobState.RECEIVED)
+        journal.record("t/j1", "t", JobState.RUNNING)
+        journal.close()
+        return path
+
+    def test_missing_final_newline_quarantined(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('deadbeef {"torn": tru')  # killed mid-write
+        records, stats = JobJournal.replay(path)
+        assert [r.state for r in records] == ["received", "running"]
+        assert stats.truncated_tail and stats.salvaged
+
+    def test_crc_mismatch_on_final_line_quarantined(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('00000000 {"seq":3,"job":"x"}\n')
+        records, stats = JobJournal.replay(path)
+        assert len(records) == 2
+        assert stats.records_quarantined == 1
+        assert stats.truncated_tail
+
+    def test_mid_file_damage_quarantines_only_that_record(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage " + lines[1][40:]  # corrupt record 1, keep 2
+        path.write_text("\n".join(lines) + "\n")
+        records, stats = JobJournal.replay(path)
+        assert [r.state for r in records] == ["running"]
+        assert stats.records_quarantined == 1
+        assert not stats.truncated_tail  # damage was not at the tail
+
+    def test_append_after_torn_tail_continues_sequence(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("deadbeef torn")
+        journal = JobJournal(path)
+        entry = journal.record("t/j2", "t", JobState.RECEIVED)
+        assert entry.seq == 3  # continues from the intact prefix
+
+
+class TestRecovery:
+    def test_unresolved_reports_non_terminal_jobs(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal = JobJournal(path)
+        journal.record("t/done", "t", JobState.RECEIVED)
+        journal.record("t/done", "t", JobState.COMPLETED)
+        journal.record("t/queued", "t", JobState.RECEIVED)
+        journal.record("t/inflight", "t", JobState.RUNNING)
+        journal.record("t/crashed", "t", JobState.CRASHED)
+        journal.close()
+        unresolved = JobJournal.unresolved(path)
+        assert set(unresolved) == {"t/queued", "t/inflight", "t/crashed"}
+        assert unresolved["t/queued"].state == JobState.RECEIVED
+
+    def test_recover_keeps_last_state_per_job(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal = JobJournal(path)
+        journal.record("t/j1", "t", JobState.RECEIVED)
+        journal.record("t/j1", "t", JobState.RUNNING)
+        journal.record("t/j1", "t", JobState.DEGRADED)
+        journal.close()
+        last, _ = JobJournal.recover(path)
+        assert last["t/j1"].state == JobState.DEGRADED
+
+    def test_stats_salvaged_property(self):
+        assert not JournalStats().salvaged
+        assert JournalStats(records_quarantined=1).salvaged
+        assert JournalStats(truncated_tail=True).salvaged

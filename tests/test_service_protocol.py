@@ -1,0 +1,132 @@
+"""Tests for repro.service.protocol (wire format + validation)."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    JobRequest,
+    JobResponse,
+    JobStatus,
+    decode_line,
+    encode_line,
+)
+
+
+def make_request(**overrides):
+    record = dict(
+        id="j1", tenant="acme", kind="profile", workload="gemm",
+        params={"n": 64}, seed=3, period=97, deadline_ms=5000,
+    )
+    record.update(overrides)
+    return JobRequest(**record)
+
+
+class TestJobRequest:
+    def test_round_trip(self):
+        request = make_request()
+        assert JobRequest.decode(request.encode()) == request
+
+    def test_decode_rejects_binary_garbage(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            JobRequest.decode(b"\xff\xfe not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            JobRequest.decode(b"[1, 2, 3]")
+
+    @pytest.mark.parametrize("field", ["id", "tenant", "kind", "workload"])
+    def test_required_string_fields(self, field):
+        record = make_request().to_dict()
+        del record[field]
+        with pytest.raises(ProtocolError, match=field):
+            JobRequest.from_dict(record)
+
+    def test_empty_id_rejected(self):
+        record = make_request().to_dict()
+        record["id"] = ""
+        with pytest.raises(ProtocolError, match="id"):
+            JobRequest.from_dict(record)
+
+    def test_oversized_field_rejected(self):
+        record = make_request().to_dict()
+        record["tenant"] = "x" * 300
+        with pytest.raises(ProtocolError, match="256"):
+            JobRequest.from_dict(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            make_request(kind="explode")
+
+    def test_non_integer_params_rejected(self):
+        record = make_request().to_dict()
+        record["params"] = {"n": "sixty-four"}
+        with pytest.raises(ProtocolError, match="params"):
+            JobRequest.from_dict(record)
+
+    def test_boolean_param_rejected(self):
+        record = make_request().to_dict()
+        record["params"] = {"n": True}
+        with pytest.raises(ProtocolError, match="params"):
+            JobRequest.from_dict(record)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            make_request(deadline_ms=0)
+
+    def test_future_protocol_version_rejected(self):
+        record = make_request().to_dict()
+        record["v"] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            JobRequest.from_dict(record)
+
+    def test_defaults_omitted_from_wire(self):
+        request = JobRequest(id="j", tenant="t", kind="predict", workload="gemm")
+        record = json.loads(request.encode())
+        assert "deadline_ms" not in record
+        assert "max_accesses" not in record
+        assert "params" not in record
+
+
+class TestJobResponse:
+    def test_round_trip(self):
+        response = JobResponse(
+            id="j1", tenant="acme", status=JobStatus.DEGRADED,
+            result={"has_conflicts": True},
+            degraded_reason="queue saturated",
+            confidence="static prediction", elapsed_ms=12.5, attempts=2,
+        )
+        assert JobResponse.decode(response.encode()) == JobResponse.decode(
+            response.encode()
+        )
+        decoded = JobResponse.decode(response.encode())
+        assert decoded.status == JobStatus.DEGRADED
+        assert decoded.resolved
+        assert decoded.degraded_reason == "queue saturated"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            JobResponse(id="j", tenant="t", status="exploded")
+
+    def test_rejection_is_not_resolved(self):
+        response = JobResponse(
+            id="j", tenant="t", status=JobStatus.REJECTED, retry_after_ms=50
+        )
+        assert not response.resolved
+
+
+class TestLineCodec:
+    def test_oversized_line_rejected_before_parse(self):
+        blob = b'{"id": "' + b"x" * MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError, match="protocol limit"):
+            decode_line(blob)
+
+    def test_oversized_record_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="protocol limit"):
+            encode_line({"blob": "x" * MAX_LINE_BYTES})
+
+    def test_terminal_statuses(self):
+        assert set(JobStatus.TERMINAL) == {"completed", "degraded", "failed"}
+        assert "rejected" in JobStatus.ALL

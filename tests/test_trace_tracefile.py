@@ -268,3 +268,97 @@ class TestBinaryCorruption:
         assert not stats.salvaged
         assert stats.records_quarantined == 0
         assert stats.records_read == 9
+
+
+class TestTornTail:
+    """A v2 file cut mid-write (killed tracer, full disk) must salvage its
+    intact prefix with a clean torn-tail data-quality note — not raise and
+    not be mistaken for mid-file corruption."""
+
+    def _write_two_chunks(self, tmp_path, sample_trace):
+        path = tmp_path / "torn.bin"
+        records = sample_trace * 4  # 12 records -> two chunks of 6
+        write_binary_trace(path, records, chunk_records=6)
+        return path, records
+
+    def _cut(self, path, drop_to):
+        blob = path.read_bytes()
+        path.write_bytes(blob[:drop_to])
+
+    def _second_header_offset(self):
+        # magic(4) + version(4) + header(8) + 6 records of 24 bytes
+        return 4 + 4 + 8 + 6 * 24
+
+    def test_mid_chunk_header_strict_raises(self, tmp_path, sample_trace):
+        path, _ = self._write_two_chunks(tmp_path, sample_trace)
+        self._cut(path, self._second_header_offset() + 3)  # 3 of 8 bytes
+        with pytest.raises(TraceError, match="truncated chunk header"):
+            list(read_binary_trace(path, strict=True))
+
+    def test_mid_chunk_header_lenient_salvages_prefix(
+        self, tmp_path, sample_trace
+    ):
+        path, records = self._write_two_chunks(tmp_path, sample_trace)
+        self._cut(path, self._second_header_offset() + 3)
+        salvaged, stats = salvage_binary_trace(path)
+        assert len(salvaged) == 6  # the intact first chunk, nothing else
+        assert [a.address for a in salvaged] == [
+            a.address for a in records[:6]
+        ]
+        assert stats.truncated_tail
+        assert stats.salvaged
+        assert stats.chunks_skipped == 1
+
+    def test_mid_chunk_header_quality_note_names_torn_tail(
+        self, tmp_path, sample_trace
+    ):
+        path, _ = self._write_two_chunks(tmp_path, sample_trace)
+        self._cut(path, self._second_header_offset() + 3)
+        _, stats = salvage_binary_trace(path)
+        note = stats.quality_note()
+        assert note is not None
+        assert "torn tail" in note
+        assert "6-record prefix" in note
+
+    def test_mid_chunk_payload_also_flags_torn_tail(
+        self, tmp_path, sample_trace
+    ):
+        path, _ = self._write_two_chunks(tmp_path, sample_trace)
+        self._cut(path, self._second_header_offset() + 8 + 30)  # mid-record
+        salvaged, stats = salvage_binary_trace(path)
+        assert len(salvaged) == 6
+        assert stats.truncated_tail
+
+    def test_batch_reader_matches_scalar_reader(self, tmp_path, sample_trace):
+        from repro.trace.tracefile import read_binary_trace_batches
+
+        path, _ = self._write_two_chunks(tmp_path, sample_trace)
+        self._cut(path, self._second_header_offset() + 3)
+        stats = TraceReadStats()
+        batches = list(
+            read_binary_trace_batches(path, strict=False, stats=stats)
+        )
+        assert sum(len(b) for b in batches) == 6
+        assert stats.truncated_tail
+        assert stats.quality_note() is not None
+        with pytest.raises(TraceError, match="truncated chunk header"):
+            list(read_binary_trace_batches(path, strict=True))
+
+    def test_checksum_damage_is_not_reported_as_torn_tail(
+        self, tmp_path, sample_trace
+    ):
+        path, _ = self._write_two_chunks(tmp_path, sample_trace)
+        blob = bytearray(path.read_bytes())
+        blob[self._second_header_offset() + 8 + 4] ^= 0xFF  # flip a payload bit
+        path.write_bytes(bytes(blob))
+        salvaged, stats = salvage_binary_trace(path)
+        assert len(salvaged) == 6
+        assert not stats.truncated_tail
+        note = stats.quality_note()
+        assert note is not None and "torn tail" not in note
+
+    def test_clean_file_has_no_quality_note(self, tmp_path, sample_trace):
+        path, records = self._write_two_chunks(tmp_path, sample_trace)
+        salvaged, stats = salvage_binary_trace(path)
+        assert len(salvaged) == len(records)
+        assert stats.quality_note() is None
