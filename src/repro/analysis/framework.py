@@ -16,11 +16,18 @@ Two extensions matter here:
   chain, is a programming error and raises immediately instead of
   recursing forever.
 
-The cache is thread-safe: the profiling service shares one cache per
-workload across worker threads, so ``request`` serializes on a reentrant
-lock (reentrant because a running pass requests its dependencies on the
-same thread).  Without it, thread B would see thread A's in-progress
-chain in ``_running`` and misreport a circular dependency.
+The cache is thread-safe via deliberate **whole-cache serialization**:
+``request`` holds one reentrant lock across the entire pass execution, so
+concurrent requests — even for unrelated passes — run one at a time per
+cache.  The lock is reentrant because a running pass requests its
+dependencies on the same thread; holding it across ``analyze`` keeps the
+``_running`` chain (cycle detection) and the dependency edges coherent —
+without it, thread B would see thread A's in-progress chain and
+misreport a circular dependency.  The coarseness is an accepted
+trade-off: passes are cheap static analyses (milliseconds, versus the
+simulations the service's degrade path is avoiding) and each runs at
+most once per cache, while the profiling service keys one cache per
+workload spec, so jobs for *different* workloads never contend.
 """
 
 from __future__ import annotations

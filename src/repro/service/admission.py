@@ -201,6 +201,19 @@ class AdmissionController:
         saturation = self.queued / config.max_queue_depth
         return saturation >= config.degrade_threshold
 
+    def resume(self, tenant: str) -> None:
+        """Re-admit a journaled job during restart recovery.
+
+        Charges the queue *and* the tenant exactly like :meth:`admit`, so
+        the resumed job's eventual :meth:`job_finished` releases a slot it
+        actually holds and quota accounting stays balanced against newly
+        admitted jobs.  Quota and breaker checks are skipped: the previous
+        daemon already admitted this job.
+        """
+        self.queued += 1
+        self._per_tenant[tenant] = self.tenant_load(tenant) + 1
+        self._gauges()
+
     def job_started(self) -> None:
         """A worker dequeued one job."""
         self.queued = max(0, self.queued - 1)

@@ -112,6 +112,9 @@ class _PendingJob:
     admitted_at: float
     future: "asyncio.Future[JobResponse]"
     attempts: int = 0
+    #: Set by ``_finish`` — the exactly-once guard is per in-flight job,
+    #: so a tenant may legitimately reuse a job id on a later submission.
+    resolved: bool = False
 
     @property
     def key(self) -> str:
@@ -161,7 +164,11 @@ class CCProfService:
         self._stopping = False
         self._revision: Optional[str] = None
         self._inflight: Dict[str, _PendingJob] = {}
-        self.resolved: Dict[str, str] = {}  # journal key -> terminal status
+        #: Journal key -> most recent terminal status.  Assertion surface
+        #: for tests and the chaos harness only; exactly-once resolution
+        #: is enforced per in-flight job (``_PendingJob.resolved``), never
+        #: against this history, so reused job ids stay first-class.
+        self.resolved: Dict[str, str] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -265,7 +272,7 @@ class CCProfService:
                         admitted_at=time.monotonic(),
                         future=asyncio.get_running_loop().create_future(),
                     )
-                    self.admission.queued += 1
+                    self.admission.resume(request.tenant)
                     self._inflight[key] = job
                     self._queue.put_nowait(job)
                     registry.counter("service.jobs.resumed").inc()
@@ -424,8 +431,27 @@ class CCProfService:
         writer: asyncio.StreamWriter, lock: asyncio.Lock, response: JobResponse
     ) -> None:
         try:
+            payload = response.encode()
+        except ProtocolError as exc:
+            # The result is too large for one wire line (e.g. a huge
+            # conflicting-loops list).  Still answer — with a minimal
+            # failure — instead of dropping the reply and leaving the
+            # client to die of the read timeout.
+            get_registry().counter("service.responses.oversized").inc()
+            payload = JobResponse(
+                id=response.id,
+                tenant=response.tenant,
+                status=JobStatus.FAILED,
+                error={
+                    "family": "service",
+                    "reason": "oversized-response",
+                    "message": f"result omitted: {exc}",
+                },
+                attempts=response.attempts,
+            ).encode()
+        try:
             async with lock:
-                writer.write(response.encode())
+                writer.write(payload)
                 await writer.drain()
         except (ConnectionError, OSError):
             # Client went away; the job still resolved in the journal.
@@ -482,6 +508,18 @@ class CCProfService:
                     error=str(crash),
                 )
             if job.attempts < self.config.max_attempts:
+                if self._stopping:
+                    # stop() already drained the queue and is about to
+                    # cancel the workers; a requeued job would never
+                    # resolve.  Fail it cleanly instead of retrying.
+                    self._resolve_failed(
+                        job,
+                        ServiceError(
+                            "daemon shutting down before the crashed job "
+                            "could be retried"
+                        ),
+                    )
+                    return
                 # Requeue: the job is retried by the next free worker.
                 self.admission.job_requeued()
                 registry.counter("service.jobs.retried").inc()
@@ -543,10 +581,13 @@ class CCProfService:
             JobStatus.DEGRADED: JobState.DEGRADED,
             JobStatus.FAILED: JobState.FAILED,
         }[response.status]
-        if job.key in self.resolved:
-            # Exactly-once guard: resolving twice is a bug worth counting.
+        if job.resolved:
+            # Exactly-once guard: resolving this job twice is a bug worth
+            # counting.  Guarded per in-flight job, not per journal key — a
+            # tenant reusing an id later must not be treated as a duplicate.
             registry.counter("service.jobs.duplicate_resolutions").inc()
             return
+        job.resolved = True
         if self.journal is not None:
             extra: Dict[str, object] = {"status": response.status}
             if response.error is not None:

@@ -103,6 +103,27 @@ class TestTenantQuota:
             controller.job_finished("a", failed=False)
             controller.admit("a")  # quota released
 
+    def test_resume_charges_queue_and_tenant_symmetrically(self):
+        # Restart recovery re-admits journaled jobs via resume(); their
+        # completion must release a slot they actually hold, so a tenant
+        # with both resumed and fresh jobs never goes negative.
+        with use_registry(MetricsRegistry()):
+            config = AdmissionConfig(max_queue_depth=64, tenant_quota=2)
+            controller = AdmissionController(config)
+            controller.resume("a")
+            assert controller.queued == 1
+            assert controller.tenant_load("a") == 1
+            controller.admit("a")  # fresh job alongside the resumed one
+            with pytest.raises(AdmissionRejectedError, match="over quota"):
+                controller.admit("a")
+            controller.job_started()
+            controller.job_finished("a", failed=False)  # resumed job done
+            assert controller.tenant_load("a") == 1  # fresh job still charged
+            controller.job_started()
+            controller.job_finished("a", failed=False)
+            assert controller.tenant_load("a") == 0
+            assert controller.queued == 0 and controller.running == 0
+
 
 class TestDegradeThreshold:
     def test_degrade_flag_tracks_saturation(self):

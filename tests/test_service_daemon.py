@@ -7,12 +7,15 @@ asserts on responses, journal contents, and counters.
 """
 
 import asyncio
+import threading
 
 import pytest
 
+from repro.errors import ServiceError, WorkerCrashError
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.service.admission import AdmissionConfig
 from repro.service.daemon import CCProfService, ServiceConfig
+from repro.service.executor import JobExecutor
 from repro.service.journal import JobJournal, JobState
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -96,6 +99,29 @@ class TestHappyPath:
         assert [r.state for r in records] == [
             JobState.RECEIVED, JobState.RUNNING, JobState.COMPLETED,
         ]
+
+    def test_reused_job_id_resolves_again(self, tmp_path):
+        # A tenant reusing an id on a later connection (e.g. the CLI's
+        # default id submitted twice) is a fresh job, not a duplicate:
+        # the second submission must resolve and release its quota slot.
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                first = await submit_raw(config.socket_path, make_request())
+                second = await submit_raw(config.socket_path, make_request())
+                return (
+                    first,
+                    second,
+                    service.admission.tenant_load("t"),
+                    service.admission.running,
+                )
+
+            first, second, load, running = run_service(config, scenario)
+        assert first.status == JobStatus.COMPLETED
+        assert second.status == JobStatus.COMPLETED
+        assert (load, running) == (0, 0)  # no leaked quota or run slots
+        assert registry.counter("service.jobs.completed").value == 2
+        assert registry.counter("service.jobs.duplicate_resolutions").value == 0
 
     def test_same_id_isolated_across_tenants(self, tmp_path):
         config = make_config(tmp_path)
@@ -229,6 +255,43 @@ class TestRestartRecovery:
         assert last["t/inflight"].state == JobState.FAILED
         assert last["t/inflight"].extra["error"] == "daemon-restart"
 
+    def test_resumed_jobs_charge_tenant_quota(self, tmp_path):
+        # Recovery must charge the tenant like admit() does, so the
+        # resumed job's completion releases a slot it actually holds.
+        config = make_config(tmp_path)
+        journal = JobJournal(config.journal_path)
+        journal.record(
+            "t/queued", "t", JobState.RECEIVED,
+            request=make_request(id="queued").to_dict(), degrade=False,
+        )
+        journal.close()
+
+        with use_registry(MetricsRegistry()):
+            async def scenario():
+                service = CCProfService(config)
+                service._recover_previous_run()
+                charged = (
+                    service.admission.queued,
+                    service.admission.tenant_load("t"),
+                )
+                # Drain the resumed job by hand (no workers started) and
+                # check the counters come back to zero, not negative.
+                job = service._queue.get_nowait()
+                service.admission.job_started()
+                service._resolve_failed(job, ServiceError("test drain"))
+                released = (
+                    service.admission.queued,
+                    service.admission.tenant_load("t"),
+                    service.admission.running,
+                )
+                if service.journal is not None:
+                    service.journal.close()
+                return charged, released
+
+            charged, released = asyncio.run(scenario())
+        assert charged == (1, 1)
+        assert released == (0, 0, 0)
+
 
 class TestMisbehavingClients:
     def test_slow_client_is_dropped(self, tmp_path):
@@ -318,7 +381,94 @@ class TestBackpressure:
         assert response.error["reason"] == "admission-rejected"
 
 
+class _RecordingWriter:
+    """Stands in for a StreamWriter so _write can be tested directly."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+
+class TestOversizedResponses:
+    def test_oversized_result_answered_with_minimal_failure(self):
+        # A result too big for one wire line must still produce *an*
+        # answer — a minimal failure — not a silently dropped reply that
+        # leaves the client waiting out the read timeout.
+        big = JobResponse(
+            id="big", tenant="t", status=JobStatus.COMPLETED,
+            result={"blob": "x" * (MAX_LINE_BYTES + 1)},
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario():
+                writer = _RecordingWriter()
+                await CCProfService._write(writer, asyncio.Lock(), big)
+                return writer.chunks
+
+            chunks = asyncio.run(scenario())
+        assert len(chunks) == 1
+        reply = JobResponse.decode(chunks[0].rstrip(b"\n"))
+        assert reply.status == JobStatus.FAILED
+        assert reply.id == "big" and reply.tenant == "t"
+        assert reply.error["family"] == "service"
+        assert reply.error["reason"] == "oversized-response"
+        assert registry.counter("service.responses.oversized").value == 1
+
+
+class _CrashOnReleaseExecutor(JobExecutor):
+    """Blocks in execute() until released, then crashes — lets a test
+    stage a worker crash inside the shutdown grace window."""
+
+    def __init__(self):
+        super().__init__()
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def execute(self, request, *, degrade=False):
+        self.started.set()
+        if not self.release.wait(timeout=30):
+            raise WorkerCrashError("release never came")
+        raise WorkerCrashError("injected crash during shutdown")
+
+
 class TestShutdown:
+    def test_crash_during_shutdown_resolves_instead_of_requeueing(
+        self, tmp_path
+    ):
+        # A job that crashes while stop() is waiting out the grace period
+        # must not be requeued (workers are about to be cancelled): it is
+        # failed cleanly, so it still resolves exactly once and stop()
+        # returns without burning the full grace loop.
+        config = make_config(tmp_path, workers=1, max_attempts=3)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario():
+                executor = _CrashOnReleaseExecutor()
+                service = CCProfService(config, executor=executor)
+                await service.start()
+                pending = asyncio.create_task(
+                    submit_raw(config.socket_path, make_request())
+                )
+                await asyncio.to_thread(executor.started.wait, 10)
+                stop_task = asyncio.create_task(service.stop())
+                await asyncio.sleep(0.05)  # stop() has drained the queue
+                executor.release.set()  # crash lands in the grace window
+                await asyncio.wait_for(stop_task, timeout=5)
+                response = await asyncio.wait_for(pending, timeout=5)
+                return service, response
+
+            service, response = asyncio.run(scenario())
+        assert response.status == JobStatus.FAILED
+        assert response.error["family"] == "service"
+        assert "shutting down" in response.error["message"]
+        assert service.resolved["t/j1"] == JobStatus.FAILED
+        assert service.admission.running == 0
+        assert registry.counter("service.jobs.retried").value == 0
+        assert registry.counter("service.jobs.duplicate_resolutions").value == 0
+
     def test_stop_fails_queued_jobs_cleanly(self, tmp_path):
         config = make_config(tmp_path, workers=1)
         with use_registry(MetricsRegistry()):
