@@ -99,6 +99,30 @@ class BatchResult(NamedTuple):
         ]
 
 
+def split_line_straddlers(
+    geometry: CacheGeometry,
+    addresses: np.ndarray,
+    ips: np.ndarray,
+    sizes: np.ndarray,
+) -> tuple:
+    """Expand line-straddling accesses into one access per line touched.
+
+    The columnar analogue of the loop in ``access_record``; shared by the
+    single-process cache and the sharded simulator so both split
+    identically.  Returns ``(addresses, ips)`` (the inputs unchanged when
+    nothing straddles).
+    """
+    spanned = geometry.lines_spanned_array(addresses, sizes)
+    if not spanned.size or int(spanned.max()) == 1:
+        return addresses, ips
+    row = np.repeat(np.arange(spanned.size), spanned)
+    starts = np.concatenate(([0], np.cumsum(spanned)[:-1]))
+    within = (np.arange(row.size) - starts[row]).astype(np.uint64)
+    bases = geometry.line_addresses(addresses)
+    expanded = bases[row] + within * np.uint64(geometry.line_size)
+    return expanded, ips[row]
+
+
 class SetAssociativeCache:
     """A set-associative cache with pluggable replacement.
 
@@ -293,8 +317,10 @@ class SetAssociativeCache:
         addresses = batch.address
         ips = batch.ip
         if split_lines:
-            addresses, ips = self._split_lines(addresses, ips, batch.size)
-        result = self._access_arrays(addresses, ips)
+            addresses, ips = split_line_straddlers(
+                self.geometry, addresses, ips, batch.size
+            )
+        result = self.access_arrays(addresses, ips)
         self.flush_metrics()
         return result
 
@@ -302,29 +328,23 @@ class SetAssociativeCache:
         self,
         trace: Union[TraceBatch, Iterable],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        *,
+        split_lines: bool = True,
     ) -> CacheStats:
         """Batched :meth:`run_trace`: accepts a batch, batch iterable, or
-        scalar access stream (converted chunk-wise)."""
+        scalar access stream (converted chunk-wise).  ``split_lines``
+        selects :meth:`access_record` vs :meth:`access` semantics."""
         for batch in as_batches(trace, batch_size):
-            self.access_batch(batch, split_lines=True)
+            self.access_batch(batch, split_lines=split_lines)
         return self.stats
 
-    def _split_lines(
-        self, addresses: np.ndarray, ips: np.ndarray, sizes: np.ndarray
-    ) -> tuple:
-        """Expand line-straddling accesses into one access per line."""
-        geometry = self.geometry
-        spanned = geometry.lines_spanned_array(addresses, sizes)
-        if not spanned.size or int(spanned.max()) == 1:
-            return addresses, ips
-        row = np.repeat(np.arange(spanned.size), spanned)
-        starts = np.concatenate(([0], np.cumsum(spanned)[:-1]))
-        within = (np.arange(row.size) - starts[row]).astype(np.uint64)
-        bases = geometry.line_addresses(addresses)
-        expanded = bases[row] + within * np.uint64(geometry.line_size)
-        return expanded, ips[row]
+    def access_arrays(self, addresses: np.ndarray, ips: np.ndarray) -> BatchResult:
+        """Reference raw address/ip columns; update contents and stats.
 
-    def _access_arrays(self, addresses: np.ndarray, ips: np.ndarray) -> BatchResult:
+        The lowest-level columnar entry point — what sharded engine
+        workers call on their per-shard slices.  No line splitting and no
+        metrics flush here: callers own both (see :meth:`access_batch`).
+        """
         geometry = self.geometry
         set_idx = geometry.set_indices(addresses)
         tags = geometry.tags(addresses)

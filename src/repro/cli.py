@@ -58,6 +58,7 @@ from repro.cache.dinero import format_dinero_report, simulate_dinero_trace
 from repro.core.diffreport import ReportDiff
 from repro.core.phases import PhaseAnalyzer
 from repro.core.profiler import CCProf
+from repro.engine import backend_names, get_backend
 from repro.errors import ReproError, ServiceError
 from repro.obs.logging import CliLogger
 from repro.obs.manifest import RunManifest
@@ -156,6 +157,7 @@ def _write_manifest(
             "strict": bool(getattr(args, "strict", False)),
             "inject": getattr(args, "inject", None),
             "max_events": getattr(args, "max_events", None),
+            "engine_workers": getattr(args, "engine_workers", None),
         },
         stage_timings=get_tracer().stage_timings(),
         metrics=get_registry().snapshot(),
@@ -181,6 +183,45 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--scalar`` deprecation warning fires once per process, not once per
+#: in-process ``main()`` call — repeated CLI invocations in one run (the
+#: test suite, scripted sweeps) should not repeat it.
+_SCALAR_ALIAS_WARNED = False
+
+
+def _resolve_engine(args: argparse.Namespace, log: CliLogger):
+    """Resolve ``--engine`` / ``--engine-workers`` / deprecated ``--scalar``
+    into a configured engine backend.
+
+    Unknown engine names never reach here: ``--engine`` is built with
+    ``choices=backend_names()``, so argparse rejects them with exit code 2
+    listing the registered backends.
+    """
+    global _SCALAR_ALIAS_WARNED
+    name = getattr(args, "engine", None)
+    if getattr(args, "scalar", False):
+        if name is not None and name != "scalar":
+            raise ReproError(
+                f"--scalar conflicts with --engine {name}; "
+                "--scalar is a deprecated alias for --engine scalar"
+            )
+        name = "scalar"
+        if not _SCALAR_ALIAS_WARNED:
+            _SCALAR_ALIAS_WARNED = True
+            log.warning(
+                "engine.deprecated_flag",
+                "--scalar is deprecated; use --engine scalar",
+            )
+    backend = get_backend(name if name is not None else "batched")
+    workers = getattr(args, "engine_workers", None)
+    if workers is not None:
+        # Backends that take no worker pool reject the option themselves
+        # (SamplingError, exit 6) — the registry stays the single source
+        # of truth for what each engine accepts.
+        backend = backend.configure(workers=workers)
+    return backend
+
+
 def _make_profiler(args: argparse.Namespace) -> CCProf:
     inject = None
     spec = getattr(args, "inject", None)
@@ -196,7 +237,7 @@ def _make_profiler(args: argparse.Namespace) -> CCProf:
         strict=getattr(args, "strict", False),
         inject=inject,
         budget=budget,
-        engine="scalar" if getattr(args, "scalar", False) else "batched",
+        engine=_resolve_engine(args, _logger(args)),
     )
 
 
@@ -612,9 +653,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0, help="sampler RNG seed")
         sub.add_argument(
+            "--engine", choices=backend_names(), default=None,
+            help="simulation engine backend (default: batched); 'sharded' "
+                 "fans the cache simulation over worker processes",
+        )
+        sub.add_argument(
+            "--engine-workers", type=int, default=None, metavar="N",
+            help="worker-process count for parallel engines (sharded); "
+                 "other engines reject the option",
+        )
+        sub.add_argument(
             "--scalar", action="store_true",
-            help="use the per-access reference engine instead of the "
-                 "batched columnar engine (same results, slower)",
+            help="deprecated alias for --engine scalar (the per-access "
+                 "reference engine)",
         )
         add_strictness(sub)
         _add_obs_flags(sub)

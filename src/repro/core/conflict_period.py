@@ -101,6 +101,23 @@ def conflict_period_arrays(
     ]
 
 
+def merge_conflict_period_runs(
+    shard_runs: Sequence[List[ConflictPeriodRun]],
+) -> List[ConflictPeriodRun]:
+    """Deterministic merge of per-shard conflict-period runs.
+
+    Both extractors emit runs ordered by (set, then time).  When the
+    shards are contiguous *ascending* set ranges — as the sharded engine
+    produces — plain concatenation preserves that order, so the merge is
+    exactly what a single-process extraction over the merged observations
+    yields.  (Runs never span shards: a run lives within one set.)
+    """
+    merged: List[ConflictPeriodRun] = []
+    for runs in shard_runs:
+        merged.extend(runs)
+    return merged
+
+
 def detectable(run: ConflictPeriodRun, sampling_period: float) -> bool:
     """The paper's detectability condition: CP larger than the period.
 

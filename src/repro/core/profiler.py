@@ -10,7 +10,7 @@ conflicting samples to data structures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -22,13 +22,13 @@ from repro.core.attribution import (
 )
 from repro.core.classifier import ConflictClassifier, implication_for
 from repro.core.contribution import DEFAULT_RCD_THRESHOLD, contribution_factor
-from repro.core.rcd import RcdArrayAnalysis
 from repro.core.report import (
     ConflictReport,
     DataQuality,
     DataStructureReport,
     LoopReport,
 )
+from repro.engine import EngineBackend, get_backend, resolve_backend
 from repro.errors import AnalysisError
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
@@ -88,15 +88,26 @@ class AnalysisSettings:
 
 
 class OfflineAnalyzer:
-    """Post-processes a :class:`RawProfile` into a :class:`ConflictReport`."""
+    """Post-processes a :class:`RawProfile` into a :class:`ConflictReport`.
+
+    The per-loop RCD computation goes through ``backend`` — an engine
+    from the :mod:`repro.engine` registry — so the offline phase scales
+    with the same backend selection as the online phase (all backends
+    produce identical analyses; see the differential suite).
+    """
 
     def __init__(
         self,
         settings: Optional[AnalysisSettings] = None,
         classifier: Optional[ConflictClassifier] = None,
+        backend: Union[str, EngineBackend, None] = None,
     ) -> None:
         self.settings = settings or AnalysisSettings()
         self.classifier = classifier
+        self.backend = (
+            resolve_backend(backend) if backend is not None
+            else get_backend("batched")
+        )
 
     def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
         """Run the full offline pass over one raw profile.
@@ -188,7 +199,7 @@ class OfflineAnalyzer:
             (sample.address for sample in group.samples), dtype=np.uint64
         )
         with get_tracer().span("rcd", loop=group.loop_name, samples=group.count):
-            analysis = RcdArrayAnalysis.from_addresses(addresses, geometry)
+            analysis = self.backend.rcd_from_addresses(addresses, geometry)
             cf = contribution_factor(analysis, settings.rcd_threshold)
         get_registry().counter("core.rcd_observations").inc(
             analysis.observation_count
@@ -266,10 +277,12 @@ class CCProf:
             jittered exponential backoff (see
             :class:`~repro.pmu.monitor.MonitorSession`).
         retry_policy: Backoff schedule for flaky attach.
-        engine: ``"batched"`` (default) profiles through the columnar
-            fast path; ``"scalar"`` keeps the per-access reference loop
-            (the CLI exposes this as ``--scalar``).  Results are
-            bit-identical either way.
+        engine: Engine backend for both phases — a registered name
+            (``"batched"``, the default; ``"scalar"``; ``"sharded"``) or
+            an :class:`~repro.engine.EngineBackend` instance, e.g.
+            ``get_backend("sharded").configure(workers=4)``.  All
+            registered backends produce bit-identical reports (the CLI
+            exposes this as ``--engine``).
     """
 
     def __init__(
@@ -284,7 +297,7 @@ class CCProf:
         budget: Optional[SamplingBudget] = None,
         attach_failure_rate: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
-        engine: str = "batched",
+        engine: Union[str, EngineBackend] = "batched",
     ) -> None:
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
@@ -294,8 +307,11 @@ class CCProf:
         self.budget = budget
         self.attach_failure_rate = attach_failure_rate
         self.retry_policy = retry_policy
-        self.engine = engine
-        self.analyzer = OfflineAnalyzer(settings=settings, classifier=classifier)
+        self.backend = resolve_backend(engine)
+        self.engine = self.backend.name
+        self.analyzer = OfflineAnalyzer(
+            settings=settings, classifier=classifier, backend=self.backend
+        )
 
     def profile(self, workload: Workload) -> RawProfile:
         """Online phase: sample the workload's trace.
@@ -313,7 +329,7 @@ class CCProf:
             attach_failure_rate=self.attach_failure_rate,
             retry_policy=self.retry_policy,
             budget=self.budget,
-            engine=self.engine,
+            engine=self.backend,
         )
         name = getattr(workload, "name", workload.__class__.__name__)
         with get_tracer().span("profile", workload=name, engine=self.engine):

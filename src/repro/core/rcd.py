@@ -69,7 +69,9 @@ def compute_rcds(set_sequence: Sequence[int]) -> List[RcdObservation]:
     return observations
 
 
-def compute_rcd_arrays(set_sequence: np.ndarray) -> tuple:
+def compute_rcd_arrays(
+    set_sequence: np.ndarray, positions: Optional[np.ndarray] = None
+) -> tuple:
     """Vectorized :func:`compute_rcds` over a set-index column.
 
     Returns ``(set_index, rcd, position)`` int64 arrays in miss-sequence
@@ -79,9 +81,23 @@ def compute_rcd_arrays(set_sequence: np.ndarray) -> tuple:
     The trick: a stable argsort groups equal set indices while keeping
     their positions in time order, so each observation's predecessor is
     simply its left neighbour within the group.
+
+    ``positions`` (optional, strictly increasing, same length) maps each
+    entry to its position in a larger enclosing sequence.  The sharded
+    engine uses this to compute RCDs shard by shard: because an RCD pairs
+    consecutive misses *of one set*, a shard holding all misses of its
+    sets — tagged with their global positions — produces exactly the
+    observations the global computation would (see
+    :func:`merge_rcd_pieces`).
     """
     sequence = np.asarray(set_sequence, dtype=np.int64)
     count = sequence.size
+    if positions is not None:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size != count:
+            raise AnalysisError(
+                f"positions length {positions.size} != sequence length {count}"
+            )
     if count < 2:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy()
@@ -90,11 +106,39 @@ def compute_rcd_arrays(set_sequence: np.ndarray) -> tuple:
     has_predecessor = np.empty(count, dtype=bool)
     has_predecessor[0] = False
     has_predecessor[1:] = grouped[1:] == grouped[:-1]
-    positions = order[has_predecessor]
-    previous = order[np.flatnonzero(has_predecessor) - 1]
-    rcds = positions - previous - 1
+    local_positions = order[has_predecessor]
+    local_previous = order[np.flatnonzero(has_predecessor) - 1]
+    if positions is None:
+        obs_positions = local_positions
+        obs_previous = local_previous
+    else:
+        obs_positions = positions[local_positions]
+        obs_previous = positions[local_previous]
+    rcds = obs_positions - obs_previous - 1
     sets = grouped[has_predecessor]
     # Back to emission (position) order to mirror the scalar scan.
+    emit = np.argsort(obs_positions)
+    return sets[emit], rcds[emit], obs_positions[emit]
+
+
+def merge_rcd_pieces(pieces: Sequence[tuple]) -> tuple:
+    """Merge per-shard ``(set_index, rcd, position)`` column triples.
+
+    Concatenates the pieces and sorts on (global) position — the exact
+    emission order :func:`compute_rcd_arrays` produces over the full
+    sequence, because every set's observations live wholly inside one
+    piece and already carry global positions.  The sharded engine's
+    deterministic RCD merge.
+    """
+    pieces = [piece for piece in pieces if piece[0].size]
+    if not pieces:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if len(pieces) == 1:
+        return pieces[0]
+    sets = np.concatenate([piece[0] for piece in pieces])
+    rcds = np.concatenate([piece[1] for piece in pieces])
+    positions = np.concatenate([piece[2] for piece in pieces])
     emit = np.argsort(positions)
     return sets[emit], rcds[emit], positions[emit]
 

@@ -1,0 +1,58 @@
+"""Pluggable simulation engine backends.
+
+Public API::
+
+    from repro.engine import get_backend, backend_names, register_backend
+
+    backend = get_backend("sharded").configure(workers=4)
+    result = backend.sample(sampler, trace)
+
+Three backends ship registered: ``scalar`` (the per-access reference),
+``batched`` (single-process columnar kernels, the default everywhere),
+and ``sharded`` (per-set work fanned over a multiprocessing pool).  All
+are contractually bit-identical; the differential suite parametrizes
+over :func:`backend_names` so any newly registered backend is covered
+automatically.
+"""
+
+from repro.engine.base import (
+    EngineBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.engine.batched import BatchedBackend
+from repro.engine.scalar import ScalarBackend
+from repro.engine.sharded import (
+    DEFAULT_CROSSOVER,
+    DEFAULT_RCD_CROSSOVER,
+    ShardedBackend,
+    ShardedCacheSimulator,
+    available_workers,
+    known_trace_length,
+    shard_boundaries,
+)
+
+register_backend(ScalarBackend())
+register_backend(BatchedBackend())
+register_backend(ShardedBackend())
+
+__all__ = [
+    "BatchedBackend",
+    "DEFAULT_CROSSOVER",
+    "DEFAULT_RCD_CROSSOVER",
+    "EngineBackend",
+    "ScalarBackend",
+    "ShardedBackend",
+    "ShardedCacheSimulator",
+    "available_workers",
+    "backend_names",
+    "get_backend",
+    "known_trace_length",
+    "register_backend",
+    "resolve_backend",
+    "shard_boundaries",
+    "unregister_backend",
+]

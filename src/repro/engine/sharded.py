@@ -1,0 +1,537 @@
+"""The sharded backend: per-set work fanned across worker processes.
+
+Cache sets are independent state machines — a reference to set *s* never
+reads or writes the recency list, replacement policy, or cold-line set of
+any other set (the per-set policy RNGs are seeded ``seed + set_index``,
+so their streams are independent too).  The sharded engine exploits that:
+it partitions the ``num_sets`` sets into K contiguous shards, gives each
+shard to a persistent worker process holding its own
+:class:`~repro.cache.set_assoc.SetAssociativeCache`, and for every trace
+batch ships each worker only the *column slices* of the accesses that map
+to its sets (pickle-cheap: a few u8 arrays, never the whole trace).
+
+Per-batch protocol (parent side, see :class:`ShardedCacheSimulator`):
+
+1. compute ``set_indices`` for the batch, partition record positions by
+   shard boundary;
+2. send each worker its (address, ip) slices; workers run the ordinary
+   per-set kernels and reply with hit/cold/evicted masks plus cumulative
+   scalar stat totals;
+3. scatter the replies back into full-batch result arrays.
+
+Because each worker sees its sets' accesses in trace order and runs the
+*same* per-set state machines as the batched engine, the scattered
+:class:`~repro.cache.set_assoc.BatchResult` is bit-identical to a
+single-process run — the sampler's countdown walk, executed serially in
+the parent over the merged event mask, therefore reproduces the scalar
+reference exactly (samples, truncation, budgets and all).
+
+Merging is deterministic everywhere: cache stats merge by field-wise sum
+(:meth:`~repro.cache.stats.CacheStats.merge`); RCD observations merge by
+sorting per-shard columns on global miss position
+(:func:`~repro.core.rcd.merge_rcd_pieces`), which reproduces the global
+computation exactly because an RCD pairs consecutive misses *of one set*
+and every set lives wholly inside one shard; conflict periods derive from
+the merged RCD columns.  Obs counters are charged by the parent from the
+merged stat totals under the same delta high-water-mark scheme as the
+single-process engines, so per-run counter totals are identical as well
+(workers run under a null registry).
+
+For ``workers <= 1`` or traces of known length below :data:`DEFAULT_CROSSOVER`
+the backend falls back to ``batched``: process spawn plus per-batch IPC
+costs ~10 ms per worker, which the measured crossover (see
+``perf/harness.py`` results in BENCH artifacts) places around 10^5
+accesses on commodity hardware.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import (
+    BatchResult,
+    SetAssociativeCache,
+    split_line_straddlers,
+)
+from repro.cache.stats import CacheStats
+from repro.core.rcd import RcdArrayAnalysis, compute_rcd_arrays, merge_rcd_pieces
+from repro.engine.base import EngineBackend, get_backend
+from repro.errors import SamplingError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.pmu.sampler import AddressSampler, SamplingResult
+from repro.robustness.budget import SamplingBudget
+from repro.trace.batch import DEFAULT_BATCH_SIZE, TraceBatch, as_batches
+
+#: Trace length below which sharding is not worth the process/IPC cost.
+#: Measured on the perf harness workloads (see DESIGN.md §5e): per-batch
+#: fan-out costs ~1-2 ms for 4 workers, so traces under ~2 batches lose.
+#: Override per backend via ``configure(crossover=...)``.
+DEFAULT_CROSSOVER = 200_000
+
+#: Miss-sequence length below which the sharded RCD analysis computes its
+#: per-shard pieces serially in-process (the merge is identical either
+#: way; a process pool only pays off for very long exact-mode sequences).
+DEFAULT_RCD_CROSSOVER = 1_000_000
+
+
+def available_workers() -> int:
+    """Usable CPUs for this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def default_mp_context():
+    """Fork where available (cheap, inherits the interpreter), else spawn.
+
+    The worker entry point and all shipped state (geometry, column
+    slices) are module-level / picklable, so both start methods work.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def shard_boundaries(num_sets: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_sets)`` into up to ``shards`` contiguous ranges.
+
+    Ranges are half-open ``(lo, hi)``, balanced to within one set, and
+    never empty — asking for more shards than sets yields ``num_sets``
+    singleton ranges (the K > num_sets regression case).
+    """
+    if num_sets <= 0:
+        raise SamplingError(f"num_sets must be positive: {num_sets}")
+    shards = max(1, min(int(shards), int(num_sets)))
+    edges = [round(index * num_sets / shards) for index in range(shards + 1)]
+    return [
+        (edges[index], edges[index + 1])
+        for index in range(shards)
+        if edges[index + 1] > edges[index]
+    ]
+
+
+def known_trace_length(trace) -> Optional[int]:
+    """Record count of ``trace`` when knowable without consuming it."""
+    if isinstance(trace, TraceBatch):
+        return len(trace)
+    if isinstance(trace, (list, tuple)):
+        if not trace:
+            return 0
+        if isinstance(trace[0], TraceBatch):
+            return sum(len(batch) for batch in trace)
+        return len(trace)
+    return None
+
+
+def _shard_worker_main(
+    conn, geometry: CacheGeometry, policy: str, seed: int
+) -> None:
+    """Worker loop: one full-geometry cache, fed only its shard's slices.
+
+    The cache is built over the *full* geometry so per-set policy seeds
+    (``seed + set_index``) match the single-process reference exactly;
+    memory cost is a few empty lists per foreign set.  Workers run under
+    a null metrics registry and tracer — the parent charges obs
+    aggregates from the merged totals, keeping per-run counter totals
+    identical to the single-process engines.
+    """
+    from repro.obs.metrics import NULL_REGISTRY, use_registry
+    from repro.obs.tracing import NULL_TRACER, use_tracer
+
+    with use_registry(NULL_REGISTRY), use_tracer(NULL_TRACER):
+        cache = SetAssociativeCache(geometry, policy=policy, seed=seed)
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            command = message[0]
+            if command == "batch":
+                result = cache.access_arrays(message[1], message[2])
+                stats = cache.stats
+                conn.send(
+                    (
+                        result.hit,
+                        result.cold,
+                        result.evicted,
+                        # Compact: tags only where evicted; the parent
+                        # scatters them back under the evicted mask.
+                        result.evicted_tag[result.evicted],
+                        (
+                            stats.accesses,
+                            stats.hits,
+                            stats.misses,
+                            stats.evictions,
+                            stats.cold_misses,
+                        ),
+                    )
+                )
+            elif command == "stats":
+                conn.send(cache.stats)
+            else:  # "close"
+                break
+    conn.close()
+
+
+def _rcd_shard(subsequence: np.ndarray, positions: np.ndarray) -> tuple:
+    """Pool task: RCD columns of one shard's misses at global positions."""
+    return compute_rcd_arrays(subsequence, positions=positions)
+
+
+class ShardedCacheSimulator:
+    """A drop-in cache for ``AddressSampler.run_batched``, sharded over
+    worker processes.
+
+    Duck-types the slice of :class:`SetAssociativeCache` the batched
+    sampler uses — ``access_batch`` / ``stats`` / ``flush_metrics`` /
+    ``geometry`` — while farming the per-set state machines out to one
+    process per shard.  Workers are spawned lazily on first access and
+    must be released with :meth:`close` (or a ``with`` block).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = None,
+        policy: str = "lru",
+        seed: int = 0,
+        workers: int = 2,
+        mp_context=None,
+    ) -> None:
+        self.geometry = geometry or CacheGeometry()
+        self.policy_name = policy.lower()
+        self.seed = seed
+        self.bounds = shard_boundaries(self.geometry.num_sets, workers)
+        self._context = mp_context or default_mp_context()
+        self._shards: Optional[List[tuple]] = None  # [(process, conn), ...]
+        self._totals = [(0, 0, 0, 0, 0)] * len(self.bounds)
+        self._flushed = (0, 0, 0, 0, 0)
+        self._stats_cache: Optional[CacheStats] = None
+
+    @property
+    def workers(self) -> int:
+        """Actual shard/worker count (may be below the requested K)."""
+        return len(self.bounds)
+
+    def _ensure_pool(self) -> None:
+        if self._shards is not None:
+            return
+        shards = []
+        for _ in self.bounds:
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, self.geometry, self.policy_name, self.seed),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            shards.append((process, parent_conn))
+        self._shards = shards
+
+    # -- SetAssociativeCache-compatible surface --------------------------
+
+    def access_batch(
+        self, batch: TraceBatch, *, split_lines: bool = False
+    ) -> BatchResult:
+        """Sharded :meth:`SetAssociativeCache.access_batch`."""
+        addresses = batch.address
+        ips = batch.ip
+        if split_lines:
+            addresses, ips = split_line_straddlers(
+                self.geometry, addresses, ips, batch.size
+            )
+        result = self.access_arrays(addresses, ips)
+        self.flush_metrics()
+        return result
+
+    def access_arrays(
+        self, addresses: np.ndarray, ips: np.ndarray
+    ) -> BatchResult:
+        """Fan one batch's columns out to the shard workers and merge.
+
+        Sends are issued to every worker before any reply is awaited, so
+        shards simulate concurrently; the parent never sends batch N+1
+        before collecting all of batch N, which bounds pipe buffering and
+        rules out send/recv deadlock.
+        """
+        geometry = self.geometry
+        set_idx = geometry.set_indices(addresses)
+        tags = geometry.tags(addresses)
+        count = int(addresses.size)
+        hit = np.zeros(count, dtype=bool)
+        cold = np.zeros(count, dtype=bool)
+        evicted = np.zeros(count, dtype=bool)
+        evicted_tag = np.zeros(count, dtype=np.uint64)
+        result = BatchResult(hit, set_idx, tags, evicted, evicted_tag, cold)
+        if not count:
+            return result
+
+        self._ensure_pool()
+        positions_per_shard = []
+        for (low, high), (_, conn) in zip(self.bounds, self._shards):
+            mask = (set_idx >= low) & (set_idx < high)
+            positions = np.flatnonzero(mask)
+            conn.send(
+                (
+                    "batch",
+                    np.ascontiguousarray(addresses[positions]),
+                    np.ascontiguousarray(ips[positions]),
+                )
+            )
+            positions_per_shard.append(positions)
+        for index, ((process, conn), positions) in enumerate(
+            zip(self._shards, positions_per_shard)
+        ):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise SamplingError(
+                    f"shard worker {index} (sets "
+                    f"{self.bounds[index][0]}..{self.bounds[index][1] - 1}) "
+                    f"died mid-batch (exit code {process.exitcode})"
+                ) from exc
+            shard_hit, shard_cold, shard_evicted, evicted_values, totals = reply
+            hit[positions] = shard_hit
+            cold[positions] = shard_cold
+            evicted[positions] = shard_evicted
+            if evicted_values.size:
+                evicted_tag[positions[shard_evicted]] = evicted_values
+            self._totals[index] = totals
+        self._stats_cache = None
+        return result
+
+    @property
+    def stats(self) -> CacheStats:
+        """Merged stats across shards (field-wise sums; cached per batch)."""
+        if self._stats_cache is not None:
+            return self._stats_cache
+        if self._shards is None:
+            merged = CacheStats(geometry=self.geometry)
+        else:
+            for _, conn in self._shards:
+                conn.send(("stats",))
+            parts = [conn.recv() for _, conn in self._shards]
+            merged = parts[0]
+            for part in parts[1:]:
+                merged = merged.merge(part)
+        self._stats_cache = merged
+        return merged
+
+    def flush_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Delta high-water-mark flush over the merged shard totals.
+
+        Same scheme as :meth:`SetAssociativeCache.flush_metrics`, driven
+        by the cumulative totals each worker reports with every batch —
+        no extra IPC round-trip, and per-run ``cache.*`` counter totals
+        identical to the single-process engines.
+        """
+        registry = registry if registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        totals = tuple(
+            sum(shard_totals[index] for shard_totals in self._totals)
+            for index in range(5)
+        )
+        names = (
+            "cache.accesses",
+            "cache.hits",
+            "cache.misses",
+            "cache.evictions",
+            "cache.cold_misses",
+        )
+        for name, new, old in zip(names, totals, self._flushed):
+            if new != old:
+                registry.counter(name).inc(new - old)
+        self._flushed = totals
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._shards is None:
+            return
+        shards, self._shards = self._shards, None
+        for _, conn in shards:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _ in shards:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardedCacheSimulator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort leak guard
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+class ShardedBackend(EngineBackend):
+    """Multiprocess engine: contiguous set shards, one worker each.
+
+    Args:
+        workers: Shard/worker count; ``None`` (default) uses the host's
+            usable CPU count.  Clamped to ``num_sets`` at run time.
+        crossover: Known trace lengths below this fall back to the
+            batched engine (process startup + per-batch IPC dominates).
+            Traces of unknown length (generators) are assumed large.
+        rcd_crossover: Miss sequences below this compute their RCD shards
+            serially (the merge is identical; only wall-clock differs).
+        mp_context: Explicit multiprocessing context (tests use this).
+    """
+
+    name = "sharded"
+    capabilities = frozenset({"columnar", "parallel"})
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        crossover: int = DEFAULT_CROSSOVER,
+        rcd_crossover: int = DEFAULT_RCD_CROSSOVER,
+        mp_context=None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise SamplingError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.crossover = crossover
+        self.rcd_crossover = rcd_crossover
+        self.mp_context = mp_context
+
+    def configure(self, **options) -> "ShardedBackend":
+        known = {"workers", "crossover", "rcd_crossover"}
+        unknown = sorted(set(options) - known)
+        if unknown:
+            raise SamplingError(
+                f"engine {self.name!r} accepts no option(s): "
+                + ", ".join(unknown)
+            )
+        return ShardedBackend(
+            workers=options.get("workers", self.workers),
+            crossover=int(options.get("crossover", self.crossover)),
+            rcd_crossover=int(
+                options.get("rcd_crossover", self.rcd_crossover)
+            ),
+            mp_context=self.mp_context,
+        )
+
+    def worker_count(self, num_sets: int) -> int:
+        """Effective shard count for a geometry."""
+        workers = (
+            self.workers if self.workers is not None else available_workers()
+        )
+        return max(1, min(int(workers), int(num_sets)))
+
+    def _fall_back(self, num_sets: int, trace) -> bool:
+        if self.worker_count(num_sets) <= 1:
+            return True
+        length = known_trace_length(trace)
+        return length is not None and length < self.crossover
+
+    def sample(
+        self,
+        sampler: AddressSampler,
+        trace,
+        budget: Optional[SamplingBudget] = None,
+    ) -> SamplingResult:
+        if self._fall_back(sampler.geometry.num_sets, trace):
+            return get_backend("batched").sample(sampler, trace, budget=budget)
+        simulator = ShardedCacheSimulator(
+            sampler.geometry,
+            policy=sampler.policy,
+            workers=self.worker_count(sampler.geometry.num_sets),
+            mp_context=self.mp_context,
+        )
+        with simulator:
+            return sampler.run_batched(trace, budget=budget, cache=simulator)
+
+    def simulate(
+        self,
+        trace,
+        geometry: Optional[CacheGeometry] = None,
+        policy: str = "lru",
+        seed: int = 0,
+        split_lines: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> CacheStats:
+        geometry = geometry or CacheGeometry()
+        if self._fall_back(geometry.num_sets, trace):
+            return get_backend("batched").simulate(
+                trace,
+                geometry=geometry,
+                policy=policy,
+                seed=seed,
+                split_lines=split_lines,
+                batch_size=batch_size,
+            )
+        simulator = ShardedCacheSimulator(
+            geometry,
+            policy=policy,
+            seed=seed,
+            workers=self.worker_count(geometry.num_sets),
+            mp_context=self.mp_context,
+        )
+        with simulator:
+            for batch in as_batches(trace, batch_size or DEFAULT_BATCH_SIZE):
+                simulator.access_batch(batch, split_lines=split_lines)
+            return simulator.stats
+
+    def rcd_from_addresses(self, addresses, geometry: CacheGeometry):
+        if not isinstance(addresses, np.ndarray):
+            addresses = np.fromiter(
+                (int(address) for address in addresses), dtype=np.uint64
+            )
+        sequence = geometry.set_indices(addresses).astype(np.int64)
+        return self.rcd_from_set_sequence(sequence, geometry.num_sets)
+
+    def rcd_from_set_sequence(
+        self, set_sequence: Sequence[int], num_sets: int
+    ) -> RcdArrayAnalysis:
+        """Sharded RCD: per-shard columns at global positions, merged.
+
+        Each shard computes observations for *its* sets only, carrying
+        the misses' global sequence positions; concatenating the pieces
+        and sorting on position reproduces the global analysis exactly
+        (RCDs pair consecutive misses of one set, and each set lives
+        wholly inside one shard).
+        """
+        sequence = np.asarray(set_sequence, dtype=np.int64)
+        workers = self.worker_count(num_sets)
+        if workers <= 1:
+            return RcdArrayAnalysis.from_set_sequence(sequence, num_sets)
+        tasks = []
+        for low, high in shard_boundaries(num_sets, workers):
+            mask = (sequence >= low) & (sequence < high)
+            tasks.append(
+                (sequence[mask], np.flatnonzero(mask).astype(np.int64))
+            )
+        if sequence.size >= self.rcd_crossover:
+            context = self.mp_context or default_mp_context()
+            with context.Pool(processes=workers) as pool:
+                pieces = pool.starmap(_rcd_shard, tasks)
+        else:
+            pieces = [_rcd_shard(subseq, pos) for subseq, pos in tasks]
+        sets, rcds, positions = merge_rcd_pieces(pieces)
+        return RcdArrayAnalysis(
+            num_sets=num_sets,
+            set_index=sets,
+            rcd=rcds,
+            position=positions,
+            total_misses=int(sequence.size),
+        )

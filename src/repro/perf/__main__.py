@@ -2,11 +2,15 @@
 
 Writes ``BENCH_<revision>.json`` plus a ``MANIFEST_<revision>.json`` run
 manifest into ``--out`` (default: the current directory) and prints the
-matrix.  Exit status:
+engine-backend matrix.  Exit status:
 
-- 0 — ran, engines agreed on every workload.
-- 1 — batch/scalar divergence (the results differ: a correctness bug).
+- 0 — ran; every backend agreed with the scalar reference on every
+  workload (and, for full runs, every gate held).
+- 1 — backend divergence from the scalar reference: a correctness bug.
 - 2 — harness/schema error.
+- 3 — full (non ``--quick``) run missed a speedup gate: a per-workload
+  minimum-speedup floor, the headline target, or the sharded-vs-batched
+  target where it is enforced (hosts with enough usable CPUs).
 """
 
 from __future__ import annotations
@@ -15,11 +19,12 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine import backend_names
 from repro.errors import ReproError
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
-from repro.perf.harness import TARGET_SPEEDUP, run_benchmark
+from repro.perf.harness import DEFAULT_WORKERS, TARGET_SPEEDUP, run_benchmark
 from repro.perf.schema import save_result
 from repro.trace.batch import DEFAULT_BATCH_SIZE
 
@@ -27,12 +32,13 @@ from repro.trace.batch import DEFAULT_BATCH_SIZE
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
-        description="Benchmark the scalar vs batched engines; record the trajectory.",
+        description="Benchmark the engine backends; record the trajectory.",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized run: 10x fewer accesses, same divergence checks",
+        help="CI-sized run: 10x fewer accesses, same divergence checks, "
+             "speedup gates reported but not enforced",
     )
     parser.add_argument(
         "--out",
@@ -54,6 +60,22 @@ def main(argv=None) -> int:
         metavar="N",
         help="override per-workload trace length",
     )
+    parser.add_argument(
+        "--engines",
+        choices=backend_names(),
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="backends to bench (default: all registered; scalar and "
+             "batched are always included)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        metavar="N",
+        help=f"worker processes for parallel backends (default: {DEFAULT_WORKERS})",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -62,6 +84,8 @@ def main(argv=None) -> int:
             batch_size=args.batch_size,
             accesses=args.accesses,
             progress=lambda line: print(line, flush=True),
+            engines=args.engines,
+            workers=args.workers,
         )
         path = save_result(result, args.out)
     except ReproError as exc:
@@ -76,6 +100,8 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "batch_size": args.batch_size,
             "accesses": args.accesses,
+            "engines": list(args.engines) if args.engines else None,
+            "workers": args.workers,
         },
         stage_timings=get_tracer().stage_timings(),
         metrics=get_registry().snapshot(),
@@ -92,6 +118,22 @@ def main(argv=None) -> int:
         f"(target {TARGET_SPEEDUP:.0f}x, "
         f"{'met' if headline['target_met'] else 'NOT met'})"
     )
+    sharded = headline.get("sharded")
+    if sharded is not None:
+        print(
+            f"sharded vs batched: {sharded['speedup_vs_batched']:.2f}x with "
+            f"{sharded['workers']} workers (target {sharded['target']:.0f}x, "
+            f"{'met' if sharded['target_met'] else 'NOT met'}, "
+            f"{'enforced' if sharded['enforced'] else 'not enforced on this host'})"
+        )
+    missed_gates = [
+        f"{workload['name']} {workload['speedup']:.1f}x < "
+        f"{workload['min_speedup']:.1f}x floor"
+        for workload in result["workloads"]
+        if not workload["gate_met"]
+    ]
+    for line in missed_gates:
+        print(f"gate MISSED: {line}")
     print(
         f"obs overhead: {overhead['overhead']:+.2%} "
         f"(target <{overhead['target']:.0%}, "
@@ -101,10 +143,17 @@ def main(argv=None) -> int:
     print(f"wrote {manifest_path}")
     if not headline["all_match"]:
         print(
-            "error: batched engine diverged from the scalar reference",
+            "error: an engine backend diverged from the scalar reference",
             file=sys.stderr,
         )
         return 1
+    if not args.quick:
+        gates_failed = bool(missed_gates) or not headline["target_met"]
+        if sharded is not None and sharded["enforced"]:
+            gates_failed = gates_failed or not sharded["target_met"]
+        if gates_failed:
+            print("error: speedup gate(s) missed on a full run", file=sys.stderr)
+            return 3
     return 0
 
 

@@ -4,6 +4,17 @@ One file per benchmarked revision; the collection of files is the repo's
 perf trajectory.  The schema is deliberately small and validated on both
 save and load so a drifting harness fails loudly instead of silently
 producing unreadable artifacts.
+
+Version 2 extends version 1 with the engine-backend matrix: every
+workload record gains an ``engines`` map (one timing/match record per
+registered backend, keyed by engine name), a per-workload minimum-speedup
+gate (``min_speedup`` / ``gate_met``), the result gains the configured
+``engine_workers``, and the headline gains a ``sharded`` sub-record
+(speedup over batched, its 2x target, and whether the gate is *enforced*
+— it is only meaningful on machines with enough usable CPUs).  Every v1
+field is retained with its v1 meaning (``speedup`` stays batched vs
+scalar), so trajectory tooling reads both versions; the reader accepts
+v1 files as-is.
 """
 
 from __future__ import annotations
@@ -14,8 +25,12 @@ from typing import Union
 
 from repro.errors import ReproError
 
-#: Bumped on any incompatible change to the result layout.
-SCHEMA_VERSION = 1
+#: Bumped on any incompatible change to the result layout.  Readers
+#: accept all versions in :data:`SUPPORTED_VERSIONS`.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_result` understands.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 PathLike = Union[str, Path]
 
@@ -56,6 +71,39 @@ _HEADLINE_FIELDS = {
     "all_match": bool,
 }
 
+#: v2 additions ----------------------------------------------------------
+
+#: Extra required top-level fields in a v2 result.
+_TOP_FIELDS_V2 = {
+    "engine_workers": int,
+}
+
+#: Extra required per-workload fields in a v2 result.
+_WORKLOAD_FIELDS_V2 = {
+    "engines": dict,
+    "min_speedup": float,
+    "gate_met": bool,
+}
+
+#: Required fields of one per-engine record inside ``engines``.
+#: (Parallel engines additionally carry ``workers``; optional.)
+_ENGINE_FIELDS = {
+    "seconds": float,
+    "accesses_per_sec": float,
+    "speedup": float,
+    "match": bool,
+}
+
+#: Fields of the headline's ``sharded`` sub-record (optional: absent when
+#: the sharded backend was not in the benched engine set).
+_SHARDED_HEADLINE_FIELDS = {
+    "workers": int,
+    "speedup_vs_batched": float,
+    "target": float,
+    "target_met": bool,
+    "enforced": bool,
+}
+
 #: Fields of the optional ``obs_overhead`` record (self-overhead of the
 #: observability layer; absent from pre-obs artifacts, which stay valid).
 _OBS_OVERHEAD_FIELDS = {
@@ -93,18 +141,41 @@ def validate_result(result: dict) -> dict:
     if not isinstance(result, dict):
         raise BenchSchemaError(f"result must be a dict, got {type(result).__name__}")
     _check_fields(result, _TOP_FIELDS, "result")
-    if result["schema_version"] != SCHEMA_VERSION:
+    version = result["schema_version"]
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_VERSIONS))
         raise BenchSchemaError(
-            f"unsupported schema_version {result['schema_version']} "
-            f"(this reader understands {SCHEMA_VERSION})"
+            f"unsupported schema_version {version} "
+            f"(this reader understands {supported})"
         )
+    if version >= 2:
+        _check_fields(result, _TOP_FIELDS_V2, "result")
     if not result["workloads"]:
         raise BenchSchemaError("result: workloads list is empty")
     for index, workload in enumerate(result["workloads"]):
         if not isinstance(workload, dict):
             raise BenchSchemaError(f"workloads[{index}]: must be a dict")
         _check_fields(workload, _WORKLOAD_FIELDS, f"workloads[{index}]")
+        if version >= 2:
+            _check_fields(
+                workload, _WORKLOAD_FIELDS_V2, f"workloads[{index}]"
+            )
+            engines = workload["engines"]
+            if not engines:
+                raise BenchSchemaError(
+                    f"workloads[{index}]: engines map is empty"
+                )
+            for engine_name, record in engines.items():
+                where = f"workloads[{index}].engines[{engine_name!r}]"
+                if not isinstance(record, dict):
+                    raise BenchSchemaError(f"{where}: must be a dict")
+                _check_fields(record, _ENGINE_FIELDS, where)
     _check_fields(result["headline"], _HEADLINE_FIELDS, "headline")
+    if version >= 2 and "sharded" in result["headline"]:
+        sharded = result["headline"]["sharded"]
+        if not isinstance(sharded, dict):
+            raise BenchSchemaError("headline.sharded: must be a dict")
+        _check_fields(sharded, _SHARDED_HEADLINE_FIELDS, "headline.sharded")
     if "obs_overhead" in result:
         if not isinstance(result["obs_overhead"], dict):
             raise BenchSchemaError("obs_overhead: must be a dict")

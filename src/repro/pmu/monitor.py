@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 from repro.cache.geometry import CacheGeometry
+from repro.engine import EngineBackend, resolve_backend
 from repro.errors import SamplingError
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
@@ -155,9 +156,10 @@ class MonitorSession:
         sleep: Backoff sleep function.  Defaults to a no-op because the
             whole session is simulated time; pass ``time.sleep`` to model
             real waiting.
-        engine: ``"batched"`` (default) drives the trace through the
-            columnar fast path; ``"scalar"`` keeps the per-access
-            reference loop.  Both produce bit-identical profiles.
+        engine: Engine backend to drive the trace with — a registered
+            name (``"batched"``, the default; ``"scalar"``; ``"sharded"``)
+            or an :class:`~repro.engine.EngineBackend` instance.  All
+            registered backends produce bit-identical profiles.
     """
 
     def __init__(
@@ -170,17 +172,14 @@ class MonitorSession:
         retry_policy: Optional[RetryPolicy] = None,
         budget: Optional[SamplingBudget] = None,
         sleep: Callable[[float], None] = _no_sleep,
-        engine: str = "batched",
+        engine: Union[str, EngineBackend] = "batched",
     ) -> None:
         if not 0.0 <= attach_failure_rate <= 1.0:
             raise SamplingError(
                 f"attach_failure_rate must be in [0, 1], got {attach_failure_rate}"
             )
-        if engine not in ("batched", "scalar"):
-            raise SamplingError(
-                f"unknown engine {engine!r}; use 'batched' or 'scalar'"
-            )
-        self.engine = engine
+        self.backend = resolve_backend(engine)
+        self.engine = self.backend.name
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
         self.seed = seed
@@ -244,8 +243,5 @@ class MonitorSession:
             budget=self.budget,
         )
         with get_tracer().span("sample", engine=self.engine):
-            if self.engine == "batched":
-                sampling = sampler.run_batched(stream)
-            else:
-                sampling = sampler.run(stream)
+            sampling = self.backend.sample(sampler, stream)
         return RawProfile(sampling=sampling, allocator=allocator, image=image)

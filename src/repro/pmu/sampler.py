@@ -215,6 +215,7 @@ class AddressSampler:
         trace: TraceLike,
         budget: Optional[SamplingBudget] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        cache=None,
     ) -> SamplingResult:
         """Vectorized :meth:`run` over columnar trace batches.
 
@@ -228,9 +229,18 @@ class AddressSampler:
         budget differs: it is checked once per batch instead of per
         access, which can only matter for a limit that is inherently
         non-deterministic anyway.
+
+        ``cache`` injects an alternative simulation substrate — anything
+        with the ``access_batch`` / ``stats`` / ``flush_metrics`` surface
+        of :class:`SetAssociativeCache`.  The sharded engine passes its
+        multiprocess :class:`~repro.engine.sharded.ShardedCacheSimulator`
+        here, reusing this method's event mask, countdown walk, and
+        budget logic unchanged (which is what makes it bit-identical).
+        The caller owns the injected cache's lifecycle.
         """
         rng = self._fresh_rng()
-        cache = SetAssociativeCache(self.geometry, policy=self.policy)
+        if cache is None:
+            cache = SetAssociativeCache(self.geometry, policy=self.policy)
         result = SamplingResult(
             mean_period=self.period.mean_period, geometry=self.geometry
         )

@@ -195,6 +195,21 @@ class JobExecutor:
             deadline_seconds=deadline_ms / 1000.0,
         )
 
+    def _engine(self, request: JobRequest):
+        """Resolve the request's engine against the live registry.
+
+        The registry is the single source of truth: a daemon with extra
+        backends registered accepts their names with no service change,
+        and an unknown name fails the job with a sampling-family error
+        (listing what is registered).  The backend mix is visible in the
+        daemon's telemetry as ``service.engine.<name>`` counters.
+        """
+        from repro.engine import get_backend  # local: keep import cheap
+
+        backend = get_backend(request.engine or "batched")
+        get_registry().counter(f"service.engine.{backend.name}").inc()
+        return backend
+
     def _profiler(self, request: JobRequest):
         from repro.core.profiler import CCProf  # local: avoid cycle at import
 
@@ -203,6 +218,7 @@ class JobExecutor:
             seed=request.seed,
             strict=False,
             budget=self._budget(request),
+            engine=self._engine(request),
         )
 
     # -- job kinds ------------------------------------------------------

@@ -67,6 +67,11 @@ class JobRequest:
             default.  The deadline becomes the run's watchdog budget.
         max_accesses: Optional simulation budget (watchdog
             ``max_accesses``); blowing it triggers degradation.
+        engine: Optional engine-backend name for profile/compare
+            simulation (``None`` uses the service default, ``batched``).
+            Validated against the engine registry by the executor, so a
+            daemon with extra backends registered accepts them without a
+            protocol change.
     """
 
     id: str
@@ -78,6 +83,7 @@ class JobRequest:
     period: int = 1212
     deadline_ms: Optional[int] = None
     max_accesses: Optional[int] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -92,6 +98,10 @@ class JobRequest:
             raise ProtocolError(
                 f"max_accesses must be >= 1, got {self.max_accesses}"
             )
+        if self.engine is not None and (
+            not isinstance(self.engine, str) or not self.engine
+        ):
+            raise ProtocolError("engine must be a non-empty string")
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (the wire layout)."""
@@ -110,6 +120,8 @@ class JobRequest:
             record["deadline_ms"] = self.deadline_ms
         if self.max_accesses is not None:
             record["max_accesses"] = self.max_accesses
+        if self.engine is not None:
+            record["engine"] = self.engine
         return record
 
     @classmethod
@@ -135,6 +147,9 @@ class JobRequest:
                 not isinstance(value, int) or isinstance(value, bool)
             ):
                 raise ProtocolError(f"request field {key!r} must be an integer")
+        engine = record.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            raise ProtocolError("request field 'engine' must be a string")
         return cls(
             id=_require_str(record, "id"),
             tenant=_require_str(record, "tenant"),
@@ -145,6 +160,7 @@ class JobRequest:
             period=record.get("period", 1212) or 1212,
             deadline_ms=record.get("deadline_ms"),
             max_accesses=record.get("max_accesses"),
+            engine=engine,
         )
 
     def encode(self) -> bytes:

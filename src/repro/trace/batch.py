@@ -276,6 +276,39 @@ def iter_batches(
         yield _observe_batch(TraceBatch.from_accesses(buffer))
 
 
+def as_access_stream(
+    trace: Union[TraceBatch, Iterable],
+) -> Iterator[MemoryAccess]:
+    """Normalize any trace shape into a scalar access stream.
+
+    The inverse counterpart of :func:`as_batches`: accepts a single
+    :class:`TraceBatch`, an iterable of batches, or an iterable of
+    scalar accesses, and yields :class:`MemoryAccess` records — what the
+    scalar reference engine consumes regardless of how the trace was
+    handed over.
+    """
+    if isinstance(trace, TraceBatch):
+        yield from trace.to_accesses()
+        return
+    iterator = iter(trace)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return
+    if isinstance(first, TraceBatch):
+        yield from first.to_accesses()
+        for batch in iterator:
+            yield from batch.to_accesses()
+        return
+    if not isinstance(first, MemoryAccess):
+        raise TraceError(
+            f"cannot stream trace of {type(first).__name__}; expected "
+            "MemoryAccess or TraceBatch elements"
+        )
+    yield first
+    yield from iterator
+
+
 def as_batches(
     trace: Union[TraceBatch, Iterable], batch_size: int = DEFAULT_BATCH_SIZE
 ) -> Iterator[TraceBatch]:

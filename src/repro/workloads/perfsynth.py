@@ -1,0 +1,65 @@
+"""Synthetic perf-headline workload: the ``lru_stream`` sweep.
+
+The perf harness times every engine backend on a streaming stride sweep
+(the ``lru_stream`` headline in ``BENCH_*.json``).  Registering the same
+pattern as a real workload lets every front end — ``ccprof
+profile``/``analyze``, the service, the docs' quickstart — drive the
+perf headline through any registered engine (``--engine sharded``), not
+just the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.record import MemoryAccess
+from repro.workloads.base import Array1D, TraceWorkload
+
+
+class LruStreamWorkload(TraceWorkload):
+    """Stride sweep over a ``lines``-line footprint (the perf headline).
+
+    The original variant sweeps a footprint far beyond L1, so at steady
+    state every line misses — a pure eviction-pressure workload.  The
+    optimized variant is the classic blocking transformation: the same
+    access count, tiled so each pass stays L1-resident.
+    """
+
+    name = "lru_stream"
+
+    def __init__(
+        self, *, lines: int = 8192, stride: int = 8, sweeps: int = 1
+    ) -> None:
+        super().__init__()
+        function = self.builder.function("stream_kernel", file="stream.c")
+        function.begin_loop(line=3)
+        self.ip = function.add_statement(line=4)
+        function.end_loop()
+        function.finish()
+        # lines x 64B expressed as 8-byte elements.
+        self.buf = Array1D.allocate(self.allocator, "stream_buf", lines * 8, 8)
+        self.stride = stride
+        self.sweeps = sweeps
+
+    @classmethod
+    def original(
+        cls, *, lines: int = 8192, stride: int = 8, sweeps: int = 1
+    ) -> "LruStreamWorkload":
+        return cls(lines=lines, stride=stride, sweeps=sweeps)
+
+    @classmethod
+    def blocked(
+        cls, *, lines: int = 8192, stride: int = 8, sweeps: int = 1
+    ) -> "LruStreamWorkload":
+        """The tiled variant: same total accesses, L1-resident passes."""
+        tile = min(lines, 256)
+        return cls(
+            lines=tile, stride=stride, sweeps=sweeps * max(1, lines // tile)
+        )
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        start = self.buf.allocation.start
+        steps = (self.buf.length * self.buf.elem_size) // self.stride
+        for _sweep in range(self.sweeps):
+            for index in range(steps):
+                yield self.load(self.ip, start + index * self.stride)

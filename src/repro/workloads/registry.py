@@ -24,6 +24,7 @@ from repro.workloads.fft import Fft2dWorkload
 from repro.workloads.himeno import HimenoWorkload
 from repro.workloads.kripke import KripkeWorkload
 from repro.workloads.nw import NeedlemanWunschWorkload
+from repro.workloads.perfsynth import LruStreamWorkload
 from repro.workloads.polybench import (
     Fdtd2dWorkload,
     GemmWorkload,
@@ -51,6 +52,7 @@ WORKLOADS: Dict[str, Tuple[WorkloadFactory, WorkloadFactory]] = {
     "trmm": (TrmmWorkload.original, TrmmWorkload.padded),
     "jacobi-2d": (Jacobi2dWorkload.original, Jacobi2dWorkload.padded),
     "fdtd-2d": (Fdtd2dWorkload.original, Fdtd2dWorkload.padded),
+    "lru_stream": (LruStreamWorkload.original, LruStreamWorkload.blocked),
 }
 
 

@@ -5,8 +5,39 @@ from __future__ import annotations
 import pytest
 
 from repro.cache.geometry import CacheGeometry
+from repro.engine import backend_names, get_backend
+from repro.errors import SamplingError
 from repro.trace.allocator import VirtualAllocator
 from repro.trace.record import AccessKind, MemoryAccess
+
+
+def differential_backend(name: str):
+    """The registered backend ``name``, configured for differential runs.
+
+    Parallel backends are configured with a small worker pool and no
+    small-trace fallback so the tests exercise the genuinely parallel
+    path (the registered default would route the suite's tiny traces to
+    ``batched`` and prove nothing); backends without those knobs are
+    used as registered.
+    """
+    backend = get_backend(name)
+    if "parallel" in backend.capabilities:
+        try:
+            backend = backend.configure(workers=3, crossover=0, rcd_crossover=0)
+        except SamplingError:
+            backend = backend.configure(workers=3)
+    return backend
+
+
+@pytest.fixture(params=backend_names())
+def engine_backend(request):
+    """Every registered engine backend, one test instance per backend.
+
+    Parametrizing over the live registry means a newly registered
+    backend is picked up by the whole differential suite with no test
+    edits — registering it *is* opting into the bit-identity contract.
+    """
+    return differential_backend(request.param)
 
 
 @pytest.fixture

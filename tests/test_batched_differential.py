@@ -1,10 +1,15 @@
-"""Differential tests: the batched engine must equal the scalar reference.
+"""Differential tests: every engine must equal the scalar reference.
 
-The batched columnar engine is only allowed to be *faster* — every
-observable (per-access hit/miss, evicted tags, cold bits, stats, RCD
-observations, captured samples, truncation state) must match the scalar
-per-access reference bit for bit, across all four replacement policies.
-These tests are the contract that keeps the fast path honest.
+A fast engine is only allowed to be *faster* — every observable
+(per-access hit/miss, evicted tags, cold bits, stats, RCD observations,
+captured samples, truncation state) must match the scalar per-access
+reference bit for bit, across all four replacement policies.  These
+tests are the contract that keeps the fast paths honest.
+
+The registry-driven half (:class:`TestRegistryDifferential`) parametrizes
+over the ``engine_backend`` fixture (every backend in the
+:mod:`repro.engine` registry), so registering a new backend opts it into
+the whole differential suite with no test edits.
 """
 
 from __future__ import annotations
@@ -213,6 +218,105 @@ class TestAnalysisDifferential:
         )
         key = lambda run: (run.set_index, run.rcd, run.length, run.start_position)
         assert [key(r) for r in scalar.runs] == [key(r) for r in vector.runs]
+
+
+class TestRegistryDifferential:
+    """Every registered backend vs the scalar reference, via the fixture."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_simulate_matches_scalar(self, engine_backend, policy):
+        from repro.engine import get_backend
+
+        trace = list(zipf_trace(6000, 900, seed=4)) + list(
+            uniform_trace(3000, 700, seed=5)
+        )
+        geometry = CacheGeometry()
+        reference = get_backend("scalar").simulate(
+            iter(trace), geometry=geometry, policy=policy, seed=7
+        )
+        got = engine_backend.simulate(
+            list(iter_batches(iter(trace), 701)),
+            geometry=geometry,
+            policy=policy,
+            seed=7,
+        )
+        assert got.as_dict() == reference.as_dict()
+
+    def test_simulate_with_line_straddlers(self, engine_backend):
+        from repro.engine import get_backend
+
+        trace = [
+            MemoryAccess(
+                ip=0x400100,
+                address=0x1000 + 23 * index,
+                kind=AccessKind.LOAD if index % 3 else AccessKind.STORE,
+                size=1 + (index * 37) % 128,
+            )
+            for index in range(4000)
+        ]
+        geometry = CacheGeometry()
+        reference = get_backend("scalar").simulate(
+            iter(trace), geometry=geometry, split_lines=True
+        )
+        got = engine_backend.simulate(
+            iter(trace), geometry=geometry, split_lines=True, batch_size=311
+        )
+        assert got.as_dict() == reference.as_dict()
+
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            None,
+            SamplingBudget(max_accesses=1234),
+            SamplingBudget(max_events=200),
+            SamplingBudget(max_samples=3),
+        ],
+    )
+    def test_sample_matches_scalar(self, engine_backend, budget):
+        trace = list(zipf_trace(4000, 900, seed=2)) + list(
+            uniform_trace(2000, 700, seed=3)
+        )
+        scalar = AddressSampler(
+            geometry=CacheGeometry(), seed=13, period=UniformJitterPeriod(37)
+        ).run(iter(trace), budget=budget)
+        sampler = AddressSampler(
+            geometry=CacheGeometry(), seed=13, period=UniformJitterPeriod(37)
+        )
+        got = engine_backend.sample(
+            sampler, list(iter_batches(iter(trace), 193)), budget=budget
+        )
+        assert got.samples == scalar.samples
+        assert got.total_events == scalar.total_events
+        assert got.total_accesses == scalar.total_accesses
+        assert got.truncated == scalar.truncated
+        assert got.truncation_reason == scalar.truncation_reason
+
+    def test_rcd_matches_scalar(self, engine_backend):
+        import numpy as np
+
+        from repro.engine import get_backend
+
+        addresses = np.fromiter(
+            (access.address for access in zipf_trace(5000, 600, seed=11)),
+            dtype=np.uint64,
+        )
+        geometry = CacheGeometry()
+        reference = get_backend("scalar").rcd_from_addresses(addresses, geometry)
+        got = engine_backend.rcd_from_addresses(addresses, geometry)
+        key = lambda o: (o.set_index, o.rcd, o.position)
+        assert [key(o) for o in got.observations] == [
+            key(o) for o in reference.observations
+        ]
+        assert got.observation_count == reference.observation_count
+        assert got.histogram().counts == reference.histogram().counts
+        assert got.mean_rcd() == pytest.approx(reference.mean_rcd())
+
+    def test_profiler_end_to_end_matches_scalar(self, engine_backend):
+        scalar_report = CCProf(seed=5, engine="scalar").run(ZipfWorkload())
+        report = CCProf(seed=5, engine=engine_backend).run(ZipfWorkload())
+        assert report.render() == scalar_report.render()
+        assert report.total_samples == scalar_report.total_samples
+        assert report.total_events == scalar_report.total_events
 
 
 class TestEndToEndEngines:

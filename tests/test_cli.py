@@ -346,9 +346,12 @@ class TestSelfOverheadCommand:
         assert "self-overhead (lru_stream" in out
         assert code in (0, 1)  # verdict depends on machine noise
 
-    def test_lru_stream_invalid_without_flag(self, capsys):
-        assert main(["profile", "lru_stream"]) == 1
-        assert "unknown workload" in capsys.readouterr().err
+    def test_lru_stream_profiles_without_flag(self, capsys):
+        # lru_stream is a registered workload (the perf headline), so a
+        # plain profile run works; --self-overhead remains the overhead
+        # measurement mode on top of it.
+        assert main(["profile", "lru_stream"]) == 0
+        assert "lru_stream" in capsys.readouterr().out
 
     def test_compare_rejects_variant_suffix(self, capsys):
         assert main(["compare", "adi:optimized"]) == 1
@@ -357,3 +360,124 @@ class TestSelfOverheadCommand:
     def test_compare_rejects_rodinia_app(self, capsys):
         assert main(["compare", "hotspot"]) == 1
         assert "no optimized variant" in capsys.readouterr().err
+
+
+class TestEngineFlags:
+    """--engine NAME replaces --scalar; the old flag stays as an alias."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_alias_warning(self, monkeypatch):
+        import repro.cli
+
+        monkeypatch.setattr(repro.cli, "_SCALAR_ALIAS_WARNED", False)
+
+    def test_engine_scalar_profiles(self, capsys):
+        code = main(
+            ["profile", "symmetrization", "--period", "50",
+             "--engine", "scalar"]
+        )
+        assert code == 0
+        assert "samples" in capsys.readouterr().out
+
+    def test_engine_sharded_with_workers(self, capsys):
+        # Small workload: the sharded backend's crossover heuristic
+        # routes it through batched — the flag spelling still works.
+        code = main(
+            ["profile", "symmetrization", "--period", "50",
+             "--engine", "sharded", "--engine-workers", "2"]
+        )
+        assert code == 0
+        assert "samples" in capsys.readouterr().out
+
+    def test_engine_choice_matches_scalar_flag_output(self, capsys):
+        assert main(
+            ["profile", "symmetrization", "--period", "50",
+             "--engine", "scalar"]
+        ) == 0
+        via_engine = capsys.readouterr().out
+        assert main(
+            ["profile", "symmetrization", "--period", "50", "--scalar"]
+        ) == 0
+        via_alias = capsys.readouterr().out
+        assert "deprecated" in via_alias
+        assert via_engine in via_alias.replace(
+            "--scalar is deprecated; use --engine scalar\n", ""
+        ) or via_engine == via_alias.replace(
+            "--scalar is deprecated; use --engine scalar\n", ""
+        )
+
+    def test_scalar_alias_warns_once_per_process(self, capsys):
+        assert main(
+            ["profile", "symmetrization", "--period", "50", "--scalar"]
+        ) == 0
+        first = capsys.readouterr()
+        assert "deprecated" in (first.out + first.err)
+        assert main(
+            ["profile", "symmetrization", "--period", "50", "--scalar"]
+        ) == 0
+        second = capsys.readouterr()
+        assert "deprecated" not in (second.out + second.err)
+
+    def test_unknown_engine_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["profile", "symmetrization", "--engine", "warp"]
+            )
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_scalar_conflicts_with_other_engine(self, capsys):
+        assert main(
+            ["profile", "symmetrization", "--scalar", "--engine", "batched"]
+        ) == 1
+        assert "deprecated alias" in capsys.readouterr().err
+
+    def test_workers_rejected_by_serial_engines(self, capsys):
+        code = main(
+            ["profile", "symmetrization", "--engine", "batched",
+             "--engine-workers", "2"]
+        )
+        assert code == 6  # sampling-family config error
+        assert "[sampling]" in capsys.readouterr().err
+
+    def test_analyze_takes_engine_too(self, capsys):
+        code = main(
+            ["analyze", "symmetrization", "--period", "50",
+             "--engine", "scalar"]
+        )
+        assert code == 0
+        assert "CCProf conflict report" in capsys.readouterr().out
+
+
+class TestLruStreamWorkload:
+    """lru_stream — the perf headline registered as a real workload."""
+
+    def test_readme_quickstart_command(self, capsys):
+        # The exact command the README quickstart documents.
+        code = main(["profile", "lru_stream", "--engine", "sharded"])
+        assert code == 0
+        assert "lru_stream" in capsys.readouterr().out
+
+    def test_variants_have_equal_access_counts(self):
+        from repro.workloads.registry import resolve_workload
+
+        original = resolve_workload("lru_stream")
+        blocked = resolve_workload("lru_stream:optimized")
+        assert sum(1 for _ in original.trace()) == sum(
+            1 for _ in blocked.trace()
+        )
+
+    def test_blocked_variant_is_resident(self):
+        # The tiled sweep fits L1, so steady-state misses collapse to
+        # the cold set while the original misses on (nearly) every line.
+        from repro.workloads.registry import resolve_workload
+
+        original = resolve_workload("lru_stream").l1_stats()
+        blocked = resolve_workload("lru_stream:optimized").l1_stats()
+        assert blocked.misses < original.misses / 10
+
+    def test_sizing_params_forwarded(self):
+        from repro.workloads.registry import resolve_workload
+
+        small = resolve_workload("lru_stream", lines=64, sweeps=2)
+        assert sum(1 for _ in small.trace()) == 2 * 64 * 64 // 8

@@ -1,0 +1,324 @@
+"""Engine registry and sharded-backend unit tests.
+
+The differential suite (test_batched_differential.py) proves every
+registered backend bit-identical to scalar; this file covers the registry
+mechanics themselves (lookup, registration, configure) and the sharded
+backend's moving parts: shard boundary arithmetic at awkward K, the
+multiprocess simulator's scatter/gather, the deterministic RCD merge, and
+the crossover fallback.  It also pins the PR's acceptance criterion that
+a brand-new backend needs *zero* edits to the profiler or the CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.conflict_period import merge_conflict_period_runs
+from repro.core.profiler import CCProf
+from repro.core.rcd import RcdArrayAnalysis, compute_rcd_arrays, merge_rcd_pieces
+from repro.engine import (
+    BatchedBackend,
+    EngineBackend,
+    ShardedBackend,
+    ShardedCacheSimulator,
+    available_workers,
+    backend_names,
+    get_backend,
+    known_trace_length,
+    register_backend,
+    resolve_backend,
+    shard_boundaries,
+    unregister_backend,
+)
+from repro.errors import AnalysisError, SamplingError
+from repro.trace.batch import TraceBatch, iter_batches
+from repro.trace.synthetic import uniform_trace, zipf_trace
+from repro.workloads.base import TraceWorkload
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"scalar", "batched", "sharded"} <= set(backend_names())
+
+    def test_get_unknown_lists_registered(self):
+        with pytest.raises(SamplingError, match="scalar"):
+            get_backend("warp")
+
+    def test_resolve_accepts_instances_and_names(self):
+        batched = get_backend("batched")
+        assert resolve_backend("batched") is batched
+        configured = ShardedBackend(workers=2)
+        assert resolve_backend(configured) is configured
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(BatchedBackend):
+            name = "batched"
+
+        with pytest.raises(SamplingError, match="already registered"):
+            register_backend(Impostor())
+        # Same instance is a no-op; replace=True swaps (and we restore).
+        original = get_backend("batched")
+        assert register_backend(original) is original
+        impostor = Impostor()
+        try:
+            register_backend(impostor, replace=True)
+            assert get_backend("batched") is impostor
+        finally:
+            register_backend(original, replace=True)
+
+    def test_unnamed_backend_rejected(self):
+        class Nameless(BatchedBackend):
+            name = ""
+
+        with pytest.raises(SamplingError, match="declares no name"):
+            register_backend(Nameless())
+
+    def test_unregister_missing_is_noop(self):
+        unregister_backend("never-registered")
+
+    def test_configure_rejects_unknown_options(self):
+        with pytest.raises(SamplingError, match="workers"):
+            get_backend("scalar").configure(workers=4)
+        with pytest.raises(SamplingError, match="frobnicate"):
+            get_backend("batched").configure(frobnicate=1)
+        with pytest.raises(SamplingError, match="frobnicate"):
+            get_backend("sharded").configure(frobnicate=1)
+
+    def test_configure_returns_fresh_instance(self):
+        sharded = get_backend("sharded")
+        configured = sharded.configure(workers=2, crossover=17)
+        assert configured is not sharded
+        assert configured.workers == 2
+        assert configured.crossover == 17
+        # The registered singleton is untouched.
+        assert get_backend("sharded").workers is None
+
+    def test_sharded_rejects_bad_worker_count(self):
+        with pytest.raises(SamplingError, match="workers"):
+            ShardedBackend(workers=0)
+
+
+class ToyWorkload(TraceWorkload):
+    name = "toy-registry"
+
+    def trace(self):
+        return zipf_trace(3000, 512, seed=21, ip=0x400100)
+
+
+class TestToyBackendNeedsNoCoreEdits:
+    """The PR's registry acceptance criterion, as an executable test."""
+
+    def test_toy_backend_flows_through_profiler_and_cli(self):
+        class ToyBackend(BatchedBackend):
+            """Delegates to batched kernels under a new name."""
+
+            name = "toy"
+            capabilities = frozenset({"columnar", "toy"})
+
+        toy = ToyBackend()
+        try:
+            register_backend(toy)
+            # Profiler: selected purely by name, zero profiler edits.
+            report = CCProf(seed=5, engine="toy").run(ToyWorkload())
+            reference = CCProf(seed=5, engine="batched").run(ToyWorkload())
+            assert report.render() == reference.render()
+            # CLI: --engine choices come from the live registry.
+            from repro.cli import build_parser
+
+            args = build_parser().parse_args(
+                ["profile", "toy-workload", "--engine", "toy"]
+            )
+            assert args.engine == "toy"
+        finally:
+            unregister_backend("toy")
+
+    def test_abstract_protocol_enforced(self):
+        class Partial(EngineBackend):
+            name = "partial"
+
+        with pytest.raises(TypeError):
+            Partial()
+
+
+class TestShardBoundaries:
+    def test_even_split(self):
+        assert shard_boundaries(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_k_not_dividing_num_sets(self):
+        bounds = shard_boundaries(16, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 16
+        # Contiguous, non-empty, balanced to within one set.
+        sizes = []
+        for (low, high), (next_low, _) in zip(bounds, bounds[1:] + [(16, 16)]):
+            assert high == next_low
+            assert high > low
+            sizes.append(high - low)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_k_exceeding_num_sets_yields_singletons(self):
+        assert shard_boundaries(4, 9) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_single_shard(self):
+        assert shard_boundaries(64, 1) == [(0, 64)]
+
+    def test_invalid_num_sets_rejected(self):
+        with pytest.raises(SamplingError, match="num_sets"):
+            shard_boundaries(0, 2)
+
+
+class TestShardedSimulator:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random", "plru"])
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_bit_identical_across_shard_counts(self, policy, workers):
+        """Sets straddling shard edges (16 sets / 3 or 5 shards) behave
+        exactly like the single-process engine, per access."""
+        geometry = CacheGeometry(line_size=32, num_sets=16, ways=2)
+        trace = list(zipf_trace(4000, 300, seed=7)) + list(
+            uniform_trace(2000, 500, seed=8)
+        )
+        reference_cache = SetAssociativeCache(geometry, policy=policy, seed=9)
+        reference = []
+        for batch in iter_batches(iter(trace), 311):
+            reference.append(reference_cache.access_batch(batch))
+        with ShardedCacheSimulator(
+            geometry, policy=policy, seed=9, workers=workers
+        ) as simulator:
+            assert simulator.workers == min(workers, geometry.num_sets)
+            for batch, expected in zip(iter_batches(iter(trace), 311), reference):
+                got = simulator.access_batch(batch)
+                assert np.array_equal(got.hit, expected.hit)
+                assert np.array_equal(got.cold, expected.cold)
+                assert np.array_equal(got.evicted, expected.evicted)
+                assert np.array_equal(got.evicted_tag, expected.evicted_tag)
+                assert np.array_equal(got.set_index, expected.set_index)
+            assert simulator.stats.as_dict() == reference_cache.stats.as_dict()
+
+    def test_empty_batch_is_fine(self):
+        simulator = ShardedCacheSimulator(CacheGeometry(), workers=2)
+        result = simulator.access_batch(TraceBatch.from_accesses([]))
+        assert len(result.hit) == 0
+        # No pool was spawned for it, and stats are a fresh zero record.
+        assert simulator.stats.accesses == 0
+        simulator.close()
+
+    def test_close_is_idempotent(self):
+        simulator = ShardedCacheSimulator(CacheGeometry(), workers=2)
+        simulator.access_batch(
+            next(iter_batches(zipf_trace(100, 64, seed=1), 100))
+        )
+        simulator.close()
+        simulator.close()
+
+
+class TestShardedRcdMerge:
+    def test_merge_pieces_equals_full_computation(self):
+        rng = np.random.default_rng(3)
+        sequence = rng.integers(0, 16, size=5000, dtype=np.int64)
+        full = compute_rcd_arrays(sequence)
+        pieces = []
+        for low, high in shard_boundaries(16, 3):
+            mask = (sequence >= low) & (sequence < high)
+            pieces.append(
+                compute_rcd_arrays(
+                    sequence[mask], positions=np.flatnonzero(mask)
+                )
+            )
+        merged = merge_rcd_pieces(pieces)
+        for got, expected in zip(merged, full):
+            assert np.array_equal(got, expected)
+
+    def test_merge_handles_empty_and_single_pieces(self):
+        empty = compute_rcd_arrays(np.empty(0, dtype=np.int64))
+        sets, rcds, positions = merge_rcd_pieces([empty, empty])
+        assert sets.size == rcds.size == positions.size == 0
+        piece = compute_rcd_arrays(np.array([1, 2, 1, 2], dtype=np.int64))
+        merged = merge_rcd_pieces([piece, empty])
+        for got, expected in zip(merged, piece):
+            assert np.array_equal(got, expected)
+
+    def test_positions_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError, match="positions"):
+            compute_rcd_arrays(
+                np.array([1, 2, 1], dtype=np.int64),
+                positions=np.array([0, 1], dtype=np.int64),
+            )
+
+    def test_sharded_rcd_analysis_matches_single_process(self):
+        backend = ShardedBackend(workers=3, rcd_crossover=0)
+        sequence = np.random.default_rng(5).integers(
+            0, 64, size=3000, dtype=np.int64
+        )
+        got = backend.rcd_from_set_sequence(sequence, 64)
+        expected = RcdArrayAnalysis.from_set_sequence(sequence, 64)
+        assert got.histogram().counts == expected.histogram().counts
+        assert got.observation_count == expected.observation_count
+        key = lambda o: (o.set_index, o.rcd, o.position)
+        assert [key(o) for o in got.observations] == [
+            key(o) for o in expected.observations
+        ]
+
+    def test_conflict_period_merge_is_ordered_concatenation(self):
+        from repro.core.conflict_period import ConflictPeriodAnalysis
+
+        sequence = np.random.default_rng(9).integers(
+            0, 16, size=4000, dtype=np.int64
+        )
+        full_runs = ConflictPeriodAnalysis.from_observations(
+            RcdArrayAnalysis.from_set_sequence(sequence, 16)
+        ).runs
+        shard_runs = []
+        for low, high in shard_boundaries(16, 3):
+            mask = (sequence >= low) & (sequence < high)
+            piece = compute_rcd_arrays(
+                sequence[mask], positions=np.flatnonzero(mask)
+            )
+            analysis = RcdArrayAnalysis(
+                num_sets=16,
+                set_index=piece[0],
+                rcd=piece[1],
+                position=piece[2],
+                total_misses=int(np.count_nonzero(mask)),
+            )
+            shard_runs.append(ConflictPeriodAnalysis.from_observations(analysis).runs)
+        merged = merge_conflict_period_runs(shard_runs)
+        key = lambda run: (run.set_index, run.rcd, run.length, run.start_position)
+        assert sorted(key(r) for r in merged) == sorted(key(r) for r in full_runs)
+
+
+class TestCrossoverFallback:
+    def test_known_trace_length(self):
+        batch = next(iter_batches(zipf_trace(500, 64, seed=1), 500))
+        assert known_trace_length(batch) == 500
+        assert known_trace_length([batch, batch]) == 1000
+        assert known_trace_length([]) == 0
+        accesses = list(zipf_trace(70, 64, seed=1))
+        assert known_trace_length(accesses) == 70
+        assert known_trace_length(iter(accesses)) is None
+
+    def test_small_traces_fall_back_to_batched(self):
+        backend = ShardedBackend(workers=4, crossover=10**9)
+        trace = list(zipf_trace(2000, 512, seed=3))
+        stats = backend.simulate(trace, geometry=CacheGeometry())
+        reference = get_backend("batched").simulate(
+            trace, geometry=CacheGeometry()
+        )
+        assert stats.as_dict() == reference.as_dict()
+
+    def test_single_worker_always_falls_back(self):
+        backend = ShardedBackend(workers=1, crossover=0)
+        trace = list(zipf_trace(2000, 512, seed=3))
+        stats = backend.simulate(trace, geometry=CacheGeometry())
+        reference = get_backend("batched").simulate(
+            trace, geometry=CacheGeometry()
+        )
+        assert stats.as_dict() == reference.as_dict()
+
+    def test_worker_count_clamped_to_sets(self):
+        backend = ShardedBackend(workers=100)
+        assert backend.worker_count(num_sets=4) == 4
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1

@@ -1,4 +1,4 @@
-"""BENCH_*.json schema: round-trips, validation, harness smoke run."""
+"""BENCH_*.json schema: round-trips, v1/v2 validation, harness smoke run."""
 
 from __future__ import annotations
 
@@ -18,6 +18,17 @@ from repro.perf.schema import (
 )
 
 
+def engine_record(speedup: float = 1.0, **extra) -> dict:
+    record = {
+        "seconds": 0.5 / speedup,
+        "accesses_per_sec": 2000.0 * speedup,
+        "speedup": speedup,
+        "match": True,
+    }
+    record.update(extra)
+    return record
+
+
 def minimal_result() -> dict:
     workload = {
         "name": HEADLINE_WORKLOAD,
@@ -29,13 +40,58 @@ def minimal_result() -> dict:
         "batched_accesses_per_sec": 20000.0,
         "speedup": 10.0,
         "match": True,
+        "engines": {
+            "scalar": engine_record(1.0),
+            "batched": engine_record(10.0),
+            "sharded": engine_record(25.0, workers=4),
+        },
+        "min_speedup": 10.0,
+        "gate_met": True,
     }
     return {
         "schema_version": SCHEMA_VERSION,
         "revision": "abc1234",
         "batch_size": 65536,
         "quick": False,
+        "engine_workers": 4,
         "workloads": [workload],
+        "headline": {
+            "workload": HEADLINE_WORKLOAD,
+            "speedup": 10.0,
+            "target_speedup": 10.0,
+            "target_met": True,
+            "all_match": True,
+            "sharded": {
+                "workers": 4,
+                "speedup_vs_batched": 2.5,
+                "target": 2.0,
+                "target_met": True,
+                "enforced": True,
+            },
+        },
+    }
+
+
+def minimal_v1_result() -> dict:
+    """A pre-engine-matrix artifact, exactly as PR 2 wrote them."""
+    return {
+        "schema_version": 1,
+        "revision": "old1234",
+        "batch_size": 65536,
+        "quick": False,
+        "workloads": [
+            {
+                "name": HEADLINE_WORKLOAD,
+                "kind": "cache",
+                "accesses": 1000,
+                "scalar_seconds": 0.5,
+                "batched_seconds": 0.05,
+                "scalar_accesses_per_sec": 2000.0,
+                "batched_accesses_per_sec": 20000.0,
+                "speedup": 10.0,
+                "match": True,
+            }
+        ],
         "headline": {
             "workload": HEADLINE_WORKLOAD,
             "speedup": 10.0,
@@ -112,17 +168,73 @@ class TestSchema:
         assert result == snapshot
 
 
+class TestSchemaV2:
+    def test_v1_artifact_still_accepted(self, tmp_path):
+        """Old BENCH files load as-is: the trajectory stays readable."""
+        result = minimal_v1_result()
+        path = save_result(result, tmp_path)
+        assert load_result(path) == result
+
+    def test_v2_requires_engine_workers(self):
+        result = minimal_result()
+        del result["engine_workers"]
+        with pytest.raises(BenchSchemaError, match="engine_workers"):
+            validate_result(result)
+
+    def test_v2_requires_engines_map(self):
+        result = minimal_result()
+        del result["workloads"][0]["engines"]
+        with pytest.raises(BenchSchemaError, match="engines"):
+            validate_result(result)
+
+    def test_v2_rejects_empty_engines_map(self):
+        result = minimal_result()
+        result["workloads"][0]["engines"] = {}
+        with pytest.raises(BenchSchemaError, match="engines map is empty"):
+            validate_result(result)
+
+    def test_v2_engine_record_fields_checked(self):
+        result = minimal_result()
+        del result["workloads"][0]["engines"]["sharded"]["speedup"]
+        with pytest.raises(BenchSchemaError, match=r"engines\['sharded'\]"):
+            validate_result(result)
+
+    def test_v2_gate_fields_required(self):
+        result = minimal_result()
+        del result["workloads"][0]["min_speedup"]
+        with pytest.raises(BenchSchemaError, match="min_speedup"):
+            validate_result(result)
+
+    def test_sharded_headline_optional_but_checked(self):
+        result = minimal_result()
+        del result["headline"]["sharded"]
+        validate_result(result)  # optional: absent is fine
+        result = minimal_result()
+        del result["headline"]["sharded"]["enforced"]
+        with pytest.raises(BenchSchemaError, match="enforced"):
+            validate_result(result)
+
+    def test_v1_fields_not_required_to_carry_v2_extras(self):
+        """A v1-version record with v2 extras is fine; a v2-version
+        record missing v1 fields is not (v2 is a superset)."""
+        result = minimal_result()
+        del result["workloads"][0]["scalar_seconds"]
+        with pytest.raises(BenchSchemaError, match="scalar_seconds"):
+            validate_result(result)
+
+
 class TestHarness:
     def test_tiny_run_is_schema_valid_and_matches(self, tmp_path):
         lines = []
-        result = run_benchmark(accesses=2000, progress=lines.append)
+        result = run_benchmark(accesses=2000, workers=2, progress=lines.append)
         validate_result(result)
         # One progress line per workload plus the obs_overhead summary.
         assert len(lines) == len(result["workloads"]) + 1
         assert lines[-1].startswith("obs_overhead ")
         assert "obs_overhead" in result
         assert result["obs_overhead"]["workload"] == HEADLINE_WORKLOAD
-        assert result["headline"]["all_match"], "batched engine diverged"
+        assert result["headline"]["all_match"], "an engine diverged"
+        assert result["engine_workers"] == 2
         assert {w["name"] for w in result["workloads"]} >= {
             HEADLINE_WORKLOAD,
             "lru_zipf",
@@ -130,11 +242,32 @@ class TestHarness:
             "sampler_zipf",
             "exact_rcd",
         }
+        for workload in result["workloads"]:
+            # Every registered backend is in every workload's matrix, and
+            # each one matched the scalar reference bit for bit.
+            assert set(workload["engines"]) >= {"scalar", "batched", "sharded"}
+            assert all(e["match"] for e in workload["engines"].values())
+            assert workload["engines"]["scalar"]["speedup"] == pytest.approx(1.0)
+            assert workload["engines"]["sharded"]["workers"] == 2
+        sharded = result["headline"]["sharded"]
+        assert sharded["workers"] == 2
+        assert sharded["target"] == 2.0
         path = save_result(result, tmp_path)
         on_disk = json.loads(path.read_text(encoding="ascii"))
         assert on_disk == result
 
     def test_quick_flag_recorded(self):
-        result = run_benchmark(quick=True, accesses=1000)
+        result = run_benchmark(
+            quick=True, accesses=1000, engines=["batched"], workers=1
+        )
         assert result["quick"] is True
         assert result["workloads"][0]["accesses"] == 1000
+        # Engine selection always folds in the scalar baseline + batched.
+        assert set(result["workloads"][0]["engines"]) == {"scalar", "batched"}
+        assert "sharded" not in result["headline"]
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import SamplingError
+
+        with pytest.raises(SamplingError, match="warp"):
+            run_benchmark(accesses=500, engines=["warp"])

@@ -501,3 +501,54 @@ class TestShutdown:
         assert service.resolved["t/blocker"] == JobStatus.COMPLETED
         assert service.resolved["t/victim"] == JobStatus.FAILED
         assert JobStatus.FAILED in statuses or len(responses) == 2
+
+
+class TestEngineSelection:
+    """Profile jobs carry an engine field, validated against the registry."""
+
+    def test_profile_job_with_explicit_engine(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(
+                    config.socket_path,
+                    make_request(
+                        kind="profile", engine="scalar", deadline_ms=60_000
+                    ),
+                )
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.COMPLETED
+        # The backend mix is visible in the daemon's telemetry.
+        assert registry.counter("service.engine.scalar").value == 1
+        assert registry.counter("service.engine.batched").value == 0
+
+    def test_profile_job_defaults_to_batched(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(
+                    config.socket_path,
+                    make_request(kind="profile", deadline_ms=60_000),
+                )
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.COMPLETED
+        assert registry.counter("service.engine.batched").value == 1
+
+    def test_unknown_engine_fails_cleanly(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(
+                    config.socket_path,
+                    make_request(kind="profile", engine="warp"),
+                )
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.FAILED
+        assert response.error is not None
+        assert response.error["family"] == "sampling"
+        assert "warp" in response.error["message"]
+        # The job resolved exactly once and released its slots.
+        assert registry.counter("service.jobs.failed").value == 1

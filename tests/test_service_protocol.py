@@ -130,3 +130,25 @@ class TestLineCodec:
     def test_terminal_statuses(self):
         assert set(JobStatus.TERMINAL) == {"completed", "degraded", "failed"}
         assert "rejected" in JobStatus.ALL
+
+
+class TestEngineField:
+    def test_engine_round_trips(self):
+        request = make_request(engine="sharded")
+        assert request.to_dict()["engine"] == "sharded"
+        assert JobRequest.decode(request.encode()) == request
+
+    def test_engine_absent_by_default(self):
+        request = make_request()
+        assert request.engine is None
+        assert "engine" not in request.to_dict()
+
+    def test_engine_must_be_string(self):
+        record = make_request().to_dict()
+        record["engine"] = 7
+        with pytest.raises(ProtocolError, match="engine"):
+            JobRequest.from_dict(record)
+
+    def test_engine_must_be_non_empty(self):
+        with pytest.raises(ProtocolError, match="engine"):
+            make_request(engine="")
