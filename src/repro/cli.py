@@ -567,6 +567,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         period=args.period,
         deadline_ms=args.deadline_ms,
         max_accesses=args.max_accesses,
+        engine=args.engine,
     )
     try:
         response = submit_jobs(args.socket, [request], seed=args.seed)[
@@ -833,6 +834,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--max-accesses", type=int, default=None, metavar="N",
         help="simulation budget override for this job",
+    )
+    submit.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="engine backend the service should run this job on "
+        "(default: the service default, batched)",
     )
     _add_obs_flags(submit)
     submit.set_defaults(handler=_cmd_submit)

@@ -9,12 +9,18 @@ Public API::
 
 Three backends ship registered: ``scalar`` (the per-access reference),
 ``batched`` (single-process columnar kernels, the default everywhere),
-and ``sharded`` (per-set work fanned over a multiprocessing pool).  All
-are contractually bit-identical; the differential suite parametrizes
-over :func:`backend_names` so any newly registered backend is covered
-automatically.
+and ``sharded`` (per-set work fanned over a multiprocessing pool through
+a zero-copy shared-memory arena).  All are contractually bit-identical;
+the differential suite parametrizes over :func:`backend_names` so any
+newly registered backend is covered automatically.
 """
 
+from repro.engine.arena import (
+    ARENA_PREFIX,
+    SharedTraceArena,
+    arena_name_prefix,
+    list_arena_segments,
+)
 from repro.engine.base import (
     EngineBackend,
     backend_names,
@@ -26,11 +32,14 @@ from repro.engine.base import (
 from repro.engine.batched import BatchedBackend
 from repro.engine.scalar import ScalarBackend
 from repro.engine.sharded import (
+    CROSSOVER_CEIL,
+    CROSSOVER_FLOOR,
     DEFAULT_CROSSOVER,
     DEFAULT_RCD_CROSSOVER,
     ShardedBackend,
     ShardedCacheSimulator,
     available_workers,
+    calibrated_crossover,
     known_trace_length,
     shard_boundaries,
 )
@@ -40,17 +49,24 @@ register_backend(BatchedBackend())
 register_backend(ShardedBackend())
 
 __all__ = [
+    "ARENA_PREFIX",
     "BatchedBackend",
+    "CROSSOVER_CEIL",
+    "CROSSOVER_FLOOR",
     "DEFAULT_CROSSOVER",
     "DEFAULT_RCD_CROSSOVER",
     "EngineBackend",
     "ScalarBackend",
+    "SharedTraceArena",
     "ShardedBackend",
     "ShardedCacheSimulator",
+    "arena_name_prefix",
     "available_workers",
     "backend_names",
+    "calibrated_crossover",
     "get_backend",
     "known_trace_length",
+    "list_arena_segments",
     "register_backend",
     "resolve_backend",
     "shard_boundaries",

@@ -44,6 +44,7 @@ from repro.engine import (
 )
 from repro.errors import SamplingError
 from repro.obs.manifest import git_revision
+from repro.obs.metrics import get_registry
 from repro.obs.overhead import measure_self_overhead
 from repro.perf.schema import SCHEMA_VERSION
 from repro.pmu.sampler import AddressSampler
@@ -110,6 +111,28 @@ def _configured(backend: EngineBackend, workers: int) -> EngineBackend:
         return backend.configure(workers=workers)
 
 
+#: Data-plane counters sampled around each parallel-backend run; their
+#: deltas become the per-entry ``ipc`` sub-record.
+_IPC_COUNTERS = (
+    "engine.sharded.ipc.bytes_shipped",
+    "engine.sharded.arena.bytes_mapped",
+)
+
+#: Transport cost of the pre-arena (PR 7) pipe data plane: two pickled
+#: u8 columns (address + ip) shipped down per access, before counting
+#: the reply masks.  The CI perf-smoke gate asserts the arena stays
+#: under this floor.
+PIPE_BASELINE_BYTES_PER_ACCESS = 16.0
+
+
+def _ipc_totals() -> Optional[Tuple[int, ...]]:
+    """Current data-plane counter totals (``None`` when obs is off)."""
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    return tuple(registry.counter(name).value for name in _IPC_COUNTERS)
+
+
 def _cache_run(backend: EngineBackend, batches: List, geometry: CacheGeometry):
     stats = backend.simulate(batches, geometry=geometry, split_lines=False)
     return stats.as_dict()
@@ -158,8 +181,20 @@ def _engine_matrix(
     """
     timings: Dict[str, float] = {}
     outputs: Dict[str, object] = {}
+    ipc: Dict[str, dict] = {}
     for backend in backends:
+        parallel = "parallel" in backend.capabilities
+        before = _ipc_totals() if parallel else None
         seconds, output = _timed(lambda backend=backend: run(backend))
+        if before is not None:
+            after = _ipc_totals()
+            shipped = after[0] - before[0]
+            mapped = after[1] - before[1]
+            ipc[backend.name] = {
+                "bytes_shipped": shipped,
+                "bytes_mapped": mapped,
+                "bytes_shipped_per_access": shipped / max(accesses, 1),
+            }
         timings[backend.name] = max(seconds, 1e-9)
         outputs[backend.name] = canon(output) if canon is not None else output
     reference = outputs["scalar"]
@@ -175,6 +210,8 @@ def _engine_matrix(
         }
         if "parallel" in backend.capabilities:
             record["workers"] = workers
+            if backend_name in ipc:
+                record["ipc"] = ipc[backend_name]
         engines[backend_name] = record
     batched_seconds = timings.get("batched", scalar_seconds)
     min_speedup = MIN_SPEEDUPS.get(name, 1.0)
@@ -333,6 +370,10 @@ def run_benchmark(
             ),
             "enforced": available_workers() >= workers,
         }
+        if "ipc" in sharded_engine:
+            # Surface the headline transport cost next to the speedup it
+            # explains (CI gates it against the pre-arena pipe baseline).
+            headline_record["sharded"]["ipc"] = sharded_engine["ipc"]
     return {
         "schema_version": SCHEMA_VERSION,
         "revision": git_revision(),

@@ -15,6 +15,11 @@ gate (``min_speedup`` / ``gate_met``), the result gains the configured
 field is retained with its v1 meaning (``speedup`` stays batched vs
 scalar), so trajectory tooling reads both versions; the reader accepts
 v1 files as-is.
+
+Since the shared-memory data plane (PR 8), parallel engine entries and
+the headline ``sharded`` record may additionally carry an *optional*
+``ipc`` sub-record (:data:`_ENGINE_IPC_FIELDS`) measuring transport
+cost; the version stays 2 and pre-arena v2 artifacts load unchanged.
 """
 
 from __future__ import annotations
@@ -94,6 +99,18 @@ _ENGINE_FIELDS = {
     "match": bool,
 }
 
+#: Fields of the optional ``ipc`` sub-record a parallel engine entry (and
+#: the headline's ``sharded`` record) may carry since the shared-memory
+#: data plane landed: exact control-pipe bytes moved during the run,
+#: arena bytes mapped, and the shipped-bytes-per-access ratio the CI
+#: perf-smoke gate compares against the pre-arena pipe baseline.
+#: Pre-arena v2 artifacts without it remain valid.
+_ENGINE_IPC_FIELDS = {
+    "bytes_shipped": int,
+    "bytes_mapped": int,
+    "bytes_shipped_per_access": float,
+}
+
 #: Fields of the headline's ``sharded`` sub-record (optional: absent when
 #: the sharded backend was not in the benched engine set).
 _SHARDED_HEADLINE_FIELDS = {
@@ -170,12 +187,22 @@ def validate_result(result: dict) -> dict:
                 if not isinstance(record, dict):
                     raise BenchSchemaError(f"{where}: must be a dict")
                 _check_fields(record, _ENGINE_FIELDS, where)
+                if "ipc" in record:
+                    if not isinstance(record["ipc"], dict):
+                        raise BenchSchemaError(f"{where}.ipc: must be a dict")
+                    _check_fields(record["ipc"], _ENGINE_IPC_FIELDS, f"{where}.ipc")
     _check_fields(result["headline"], _HEADLINE_FIELDS, "headline")
     if version >= 2 and "sharded" in result["headline"]:
         sharded = result["headline"]["sharded"]
         if not isinstance(sharded, dict):
             raise BenchSchemaError("headline.sharded: must be a dict")
         _check_fields(sharded, _SHARDED_HEADLINE_FIELDS, "headline.sharded")
+        if "ipc" in sharded:
+            if not isinstance(sharded["ipc"], dict):
+                raise BenchSchemaError("headline.sharded.ipc: must be a dict")
+            _check_fields(
+                sharded["ipc"], _ENGINE_IPC_FIELDS, "headline.sharded.ipc"
+            )
     if "obs_overhead" in result:
         if not isinstance(result["obs_overhead"], dict):
             raise BenchSchemaError("obs_overhead: must be a dict")

@@ -149,6 +149,11 @@ class LoadHarness:
         seed: Master seed; every RNG in the run derives from it, so the
             same harness arguments replay the same chaos.
         deadline_ms: Per-job deadline handed to every request.
+        engine: Optional engine-backend name attached to every request
+            (``None`` keeps the service default, ``batched``).  ROADMAP
+            item 2's saturation question — what happens when worker
+            *threads* multiply into worker *processes* — is answered by
+            running the same harness with ``engine="sharded"``.
     """
 
     def __init__(
@@ -162,6 +167,7 @@ class LoadHarness:
         workers: int = 8,
         seed: int = 0,
         deadline_ms: int = 10_000,
+        engine: Optional[str] = None,
     ) -> None:
         self.jobs = jobs
         self.tenants = tenants
@@ -171,6 +177,7 @@ class LoadHarness:
         self.workers = workers
         self.seed = seed
         self.deadline_ms = deadline_ms
+        self.engine = engine
 
     def _requests(self) -> List[JobRequest]:
         rng = random.Random(self.seed)
@@ -189,6 +196,7 @@ class LoadHarness:
                     seed=rng.randrange(1 << 16),
                     period=64,
                     deadline_ms=self.deadline_ms,
+                    engine=self.engine,
                 )
             )
         return requests
@@ -323,6 +331,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--slow-clients", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-p99-ms", type=float, default=5000.0)
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="engine backend name attached to every job "
+        "(default: service default, i.e. batched)",
+    )
     args = parser.parse_args(argv)
     harness = LoadHarness(
         jobs=args.jobs,
@@ -332,6 +346,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         kill_max=args.kill_max,
         slow_clients=args.slow_clients,
         seed=args.seed,
+        engine=args.engine,
     )
     with use_registry(MetricsRegistry()):
         report = harness.run()

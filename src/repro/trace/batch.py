@@ -147,6 +147,29 @@ class TraceBatch:
         return self._records["thread_id"]
 
     @property
+    def columns(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The engine data plane's payload: ``(address, ip)`` views.
+
+        Zero-copy views into the structured array — what batched kernels
+        consume and what the sharded engine's shared-memory arena maps.
+        """
+        return self._records["address"], self._records["ip"]
+
+    def copy_columns_into(self, address: np.ndarray, ip: np.ndarray) -> int:
+        """Write the data-plane columns into caller-owned buffers.
+
+        The batch→shared-view adapter: ``address``/``ip`` are typically
+        views over a :class:`~repro.engine.arena.SharedTraceArena`
+        segment, so this is the single copy that replaces the old
+        pickle → pipe → unpickle round trip.  Buffers must hold at least
+        ``len(self)`` u8 entries; returns the record count written.
+        """
+        count = self._records.size
+        np.copyto(address[:count], self._records["address"])
+        np.copyto(ip[:count], self._records["ip"])
+        return count
+
+    @property
     def is_load(self) -> np.ndarray:
         """Boolean mask of data loads (the PEBS-sampled kind)."""
         return self._records["kind"] == int(AccessKind.LOAD)

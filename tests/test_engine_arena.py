@@ -1,0 +1,411 @@
+"""Shared-memory data plane: arena lifecycle, transport accounting, chaos.
+
+The differential suite already proves the arena-backed sharded backend
+bit-identical to scalar (conftest forces ``crossover=0`` so the tiny
+test traces go through genuine multi-way sharding).  This file covers
+the data plane itself:
+
+- arena segment layout, attach/detach, owner-only unlink;
+- exact pipe-byte accounting (``engine.sharded.ipc.bytes_shipped``)
+  landing far below the pre-arena pipe baseline;
+- the crossover fallback allocating *no* shared memory, and the
+  measured (auto-calibrated) crossover replacing the hard-coded guess;
+- the fused simulate+RCD pass reusing worker miss masks instead of
+  re-entering simulation;
+- lifecycle under chaos: a worker killed mid-shard and a daemon
+  shutdown both leave zero ``/dev/shm`` segments behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.rcd import RcdArrayAnalysis
+from repro.engine import (
+    CROSSOVER_CEIL,
+    CROSSOVER_FLOOR,
+    SharedTraceArena,
+    ShardedBackend,
+    ShardedCacheSimulator,
+    arena_name_prefix,
+    calibrated_crossover,
+    get_backend,
+    list_arena_segments,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors import SamplingError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.perf.harness import PIPE_BASELINE_BYTES_PER_ACCESS
+from repro.trace.batch import TraceBatch, iter_batches
+from repro.trace.synthetic import uniform_trace, zipf_trace
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+GEOMETRY = CacheGeometry(line_size=32, num_sets=16, ways=2)
+
+
+def small_trace(count: int = 3000, seed: int = 3):
+    return list(zipf_trace(count, 512, seed=seed))
+
+
+class TestArenaUnit:
+    def test_layout_size(self):
+        # 24 shared bytes per record + 9 per record per worker region.
+        assert SharedTraceArena.required_bytes(100, 1) == 100 * 33
+        assert SharedTraceArena.required_bytes(100, 4) == 100 * 60
+
+    def test_create_attach_roundtrip(self):
+        with SharedTraceArena.create(64, 2) as owner:
+            owner.address[:4] = np.arange(4, dtype=np.uint64)
+            owner.positions[:4] = np.arange(4, dtype=np.int64)[::-1].copy()
+            owner.flags(1)[:4] = np.array([1, 2, 4, 0], dtype=np.uint8)
+            attached = SharedTraceArena.attach(owner.name, 64, 2)
+            assert np.array_equal(
+                attached.address[:4], np.arange(4, dtype=np.uint64)
+            )
+            assert np.array_equal(
+                attached.positions[:4], np.array([3, 2, 1, 0])
+            )
+            assert np.array_equal(
+                attached.flags(1)[:4], np.array([1, 2, 4, 0], dtype=np.uint8)
+            )
+            # Writes flow the other way too (workers write result regions).
+            attached.tags(0)[0] = 77
+            assert int(owner.tags(0)[0]) == 77
+            attached.close()
+            # A non-owner close never unlinks.
+            assert owner.name in list_arena_segments()
+        assert list_arena_segments() == []
+
+    def test_attach_after_unlink_raises(self):
+        arena = SharedTraceArena.create(64, 1)
+        name = arena.name
+        arena.close()
+        with pytest.raises(SamplingError, match="gone"):
+            SharedTraceArena.attach(name, 64, 1)
+
+    def test_close_is_idempotent_and_views_error_after(self):
+        arena = SharedTraceArena.create(64, 1)
+        arena.close()
+        arena.close()
+        assert arena.closed
+        with pytest.raises(SamplingError, match="closed"):
+            arena.address
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(SamplingError, match="positive"):
+            SharedTraceArena.create(0, 2)
+        with pytest.raises(SamplingError, match="positive"):
+            SharedTraceArena.create(64, 0)
+
+    def test_names_scannable_by_pid_prefix(self):
+        with SharedTraceArena.create(64, 1) as arena:
+            assert arena.name.startswith(arena_name_prefix())
+            assert arena.name in list_arena_segments()
+            # A foreign prefix never matches our segments.
+            assert list_arena_segments(arena_name_prefix(pid=1)) == []
+
+    def test_creation_charges_metrics_probe_does_not(self):
+        with use_registry(MetricsRegistry()) as registry:
+            SharedTraceArena.create(64, 2).close()
+            SharedTraceArena.create(64, 2, charge_metrics=False).close()
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.sharded.arena.created"] == 1
+        assert counters["engine.sharded.arena.bytes_mapped"] == (
+            SharedTraceArena.required_bytes(64, 2)
+        )
+
+
+class TestTraceBatchAdapter:
+    def test_copy_columns_into_shared_views(self):
+        batch = TraceBatch.from_arrays(
+            ip=[1, 2, 3], address=[10, 20, 30], size=8
+        )
+        with SharedTraceArena.create(8, 1) as arena:
+            count = batch.copy_columns_into(arena.address, arena.ip)
+            assert count == 3
+            assert np.array_equal(arena.address[:3], [10, 20, 30])
+            assert np.array_equal(arena.ip[:3], [1, 2, 3])
+
+    def test_columns_are_views(self):
+        batch = TraceBatch.from_arrays(ip=[1], address=[2])
+        address, ip = batch.columns
+        assert address.base is batch.records
+        assert ip.base is batch.records
+
+
+class TestDataPlaneAccounting:
+    def test_bytes_shipped_far_below_pipe_baseline(self):
+        trace = small_trace()
+        with use_registry(MetricsRegistry()) as registry:
+            backend = ShardedBackend(workers=2, crossover=0, rcd_crossover=0)
+            sharded_stats = backend.simulate(trace, geometry=CacheGeometry())
+        reference = get_backend("batched").simulate(
+            trace, geometry=CacheGeometry()
+        )
+        assert sharded_stats.as_dict() == reference.as_dict()
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.sharded.arena.created"] == 1
+        assert counters["engine.sharded.arena.bytes_mapped"] > 0
+        shipped = counters["engine.sharded.ipc.bytes_shipped"]
+        assert 0 < shipped
+        # The whole point of the arena: control traffic only, orders of
+        # magnitude under the pre-arena pickled-column baseline.
+        assert shipped / len(trace) < PIPE_BASELINE_BYTES_PER_ACCESS / 10
+
+    def test_simulator_exposes_exact_byte_count(self):
+        with use_registry(MetricsRegistry()) as registry:
+            with ShardedCacheSimulator(GEOMETRY, workers=2) as simulator:
+                for batch in iter_batches(iter(small_trace()), 1000):
+                    simulator.access_batch(batch)
+                shipped = simulator.bytes_shipped
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.sharded.ipc.bytes_shipped"] == shipped
+        assert counters["engine.sharded.batches"] == 3
+
+    def test_arena_growth_remap_stays_bit_identical(self):
+        """A batch larger than the arena (line splitting, odd batch
+        sizes) grows the segment and remaps every worker mid-run."""
+        trace = small_trace(2000, seed=11)
+        big = TraceBatch.from_accesses(zipf_trace(70_000, 300, seed=1))
+        reference = SetAssociativeCache(GEOMETRY, seed=9)
+        expected = [
+            reference.access_batch(b) for b in iter_batches(iter(trace), 500)
+        ]
+        expected_big = reference.access_batch(big)
+        with use_registry(MetricsRegistry()) as registry:
+            with ShardedCacheSimulator(GEOMETRY, seed=9, workers=3) as sim:
+                for batch, want in zip(iter_batches(iter(trace), 500), expected):
+                    got = sim.access_batch(batch)
+                    assert np.array_equal(got.hit, want.hit)
+                got_big = sim.access_batch(big)
+                assert np.array_equal(got_big.hit, expected_big.hit)
+                assert np.array_equal(
+                    got_big.evicted_tag, expected_big.evicted_tag
+                )
+                # Exactly one live segment: the grown replacement.
+                assert len(list_arena_segments()) == 1
+                assert sim.stats.as_dict() == reference.stats.as_dict()
+        assert list_arena_segments() == []
+        assert (
+            registry.snapshot()["counters"]["engine.sharded.arena.created"]
+            == 2
+        )
+
+
+class TestCrossoverFallback:
+    def test_fallback_allocates_no_shared_memory(self):
+        """Satellite: workers<=1 or sub-threshold traces must not touch
+        the arena at all (asserted via the creation metric)."""
+        trace = small_trace()
+        with use_registry(MetricsRegistry()) as registry:
+            ShardedBackend(workers=4, crossover=10**9).simulate(
+                trace, geometry=CacheGeometry()
+            )
+            ShardedBackend(workers=1, crossover=0).simulate(
+                trace, geometry=CacheGeometry()
+            )
+            ShardedBackend(workers=1, crossover=0).sample(
+                _sampler(), list(iter_batches(iter(trace), 1000))
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.sharded.arena.created", 0) == 0
+        assert counters.get("engine.sharded.ipc.bytes_shipped", 0) == 0
+
+    def test_calibrated_crossover_measured_clamped_cached(self):
+        with use_registry(MetricsRegistry()) as registry:
+            first = calibrated_crossover(4, refresh=True)
+        assert CROSSOVER_FLOOR <= first <= CROSSOVER_CEIL
+        # The probe arena is uncharged: calibration is not a data-plane
+        # allocation, so the fallback assertions above stay meaningful.
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.sharded.arena.created", 0) == 0
+        assert calibrated_crossover(4) == first  # cached per process
+
+    def test_default_crossover_is_auto(self):
+        backend = get_backend("sharded")
+        assert backend.crossover is None
+        effective = backend.effective_crossover(2)
+        assert CROSSOVER_FLOOR <= effective <= CROSSOVER_CEIL
+        # configure() pins and preserves explicitly-set values.
+        pinned = backend.configure(crossover=123)
+        assert pinned.crossover == 123
+        assert pinned.configure(workers=2).crossover == 123
+        assert backend.configure(workers=2).crossover is None
+
+
+def _sampler():
+    from repro.pmu.sampler import AddressSampler
+
+    return AddressSampler(geometry=CacheGeometry(), seed=29)
+
+
+class TestFusedRcd:
+    def test_simulate_with_rcd_matches_exact_without_resimulating(self):
+        """Satellite: the RCD analysis reuses the simulate pass's miss
+        masks — the engine never re-enters simulation (the batch counter
+        would double if it did)."""
+        trace = list(zipf_trace(4000, 300, seed=7)) + list(
+            uniform_trace(2000, 500, seed=8)
+        )
+        backend = ShardedBackend(workers=3, crossover=0, rcd_crossover=10**9)
+        with use_registry(MetricsRegistry()) as registry:
+            stats, analysis = backend.simulate_with_rcd(
+                trace, geometry=GEOMETRY, seed=9, batch_size=500
+            )
+        batches = -(-len(trace) // 500)
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.sharded.batches"] == batches
+
+        reference = SetAssociativeCache(GEOMETRY, seed=9)
+        miss_sets = []
+        for batch in iter_batches(iter(trace), 500):
+            result = reference.access_batch(batch)
+            miss_sets.append(result.set_index[~result.hit].astype(np.int64))
+        expected = RcdArrayAnalysis.from_set_sequence(
+            np.concatenate(miss_sets), GEOMETRY.num_sets
+        )
+        assert stats.as_dict() == reference.stats.as_dict()
+        assert analysis.total_misses == expected.total_misses
+        key = lambda o: (o.set_index, o.rcd, o.position)
+        assert [key(o) for o in analysis.observations] == [
+            key(o) for o in expected.observations
+        ]
+
+    def test_simulate_with_rcd_fallback_matches(self):
+        trace = small_trace(1500, seed=13)
+        sharded = ShardedBackend(workers=3, crossover=0)
+        fallback = ShardedBackend(workers=1)
+        got_stats, got = sharded.simulate_with_rcd(trace, geometry=GEOMETRY)
+        want_stats, want = fallback.simulate_with_rcd(trace, geometry=GEOMETRY)
+        assert got_stats.as_dict() == want_stats.as_dict()
+        key = lambda o: (o.set_index, o.rcd, o.position)
+        assert [key(o) for o in got.observations] == [
+            key(o) for o in want.observations
+        ]
+
+    def test_rcd_analysis_requires_recording(self):
+        with ShardedCacheSimulator(GEOMETRY, workers=2) as simulator:
+            with pytest.raises(SamplingError, match="record_misses"):
+                simulator.rcd_analysis()
+
+
+@pytest.mark.chaos
+class TestLifecycleChaos:
+    def test_worker_kill_mid_shard_unlinks_segment(self):
+        """A shard worker dying mid-run surfaces as SamplingError and the
+        context-managed close still unlinks the segment."""
+        batch = next(iter_batches(iter(small_trace()), 3000))
+        with ShardedCacheSimulator(GEOMETRY, workers=2) as simulator:
+            simulator.access_batch(batch)
+            assert len(list_arena_segments()) == 1
+            process = simulator._shards[0][0]
+            process.kill()
+            process.join()
+            with pytest.raises(SamplingError, match="died|closed"):
+                simulator.access_batch(batch)
+        assert list_arena_segments() == []
+
+    def test_close_after_kill_is_clean(self):
+        simulator = ShardedCacheSimulator(GEOMETRY, workers=2)
+        simulator.access_batch(next(iter_batches(iter(small_trace()), 3000)))
+        for process, _ in simulator._shards:
+            process.kill()
+            process.join()
+        simulator.close()
+        simulator.close()
+        assert list_arena_segments() == []
+
+    def test_concurrent_threaded_simulations_never_deadlock(self):
+        """Forking shard workers from many threads at once must not hand
+        a child the resource tracker's lock in a held state (the daemon
+        deadlock fixed by arena.fork_lock: before it, 8 threads x
+        2-process jobs hung the load harness permanently)."""
+        import threading
+
+        trace = small_trace(2000, seed=17)
+        reference = get_backend("batched").simulate(
+            trace, geometry=CacheGeometry()
+        )
+        results: dict = {}
+
+        def job(index: int) -> None:
+            backend = ShardedBackend(workers=2, crossover=0)
+            results[index] = backend.simulate(trace, geometry=CacheGeometry())
+
+        threads = [
+            threading.Thread(target=job, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(results) == 4, "a threaded sharded simulation hung"
+        for stats in results.values():
+            assert stats.as_dict() == reference.as_dict()
+        assert list_arena_segments() == []
+
+    def test_daemon_shutdown_unlinks_every_segment(self, tmp_path):
+        """Profile jobs running the sharded engine inside the service
+        daemon leave no /dev/shm segments after shutdown — including
+        runs where the KillInjector crashes attempts mid-flight."""
+        from repro.obs.metrics import get_registry
+        from repro.service.daemon import CCProfService, ServiceConfig
+        from repro.service.protocol import JobRequest, JobStatus
+
+        class ForcedShardedBackend(ShardedBackend):
+            """Sharded with the fallback disabled, so the daemon's small
+            test workloads genuinely cross the arena."""
+
+            name = "sharded-chaos"
+
+        register_backend(
+            ForcedShardedBackend(workers=2, crossover=0, rcd_crossover=0)
+        )
+        try:
+            config = ServiceConfig(
+                socket_path=str(tmp_path / "ccprof.sock"),
+                workers=2,
+                journal_path=str(tmp_path / "jobs.journal"),
+                read_timeout=2.0,
+                kill_rate=1.0,
+                kill_max=1,
+                kill_seed=3,
+                max_attempts=3,
+            )
+
+            async def scenario():
+                from tests.test_service_daemon import submit_raw
+
+                async with CCProfService(config):
+                    request = JobRequest(
+                        id="shm-1",
+                        tenant="t",
+                        kind="profile",
+                        workload="symmetrization",
+                        params={"n": 48, "sweeps": 1},
+                        period=64,
+                        engine="sharded-chaos",
+                        deadline_ms=60_000,
+                    )
+                    return await submit_raw(config.socket_path, request)
+
+            with use_registry(MetricsRegistry()) as registry:
+                response = asyncio.run(scenario())
+            assert response.status == JobStatus.COMPLETED
+            assert response.attempts == 2  # the injector killed attempt 1
+            counters = registry.snapshot()["counters"]
+            assert counters["service.engine.sharded-chaos"] == 1
+            # The job really used the arena...
+            assert counters["engine.sharded.arena.created"] >= 1
+            # ...and shutdown left nothing mapped.
+            assert list_arena_segments() == []
+        finally:
+            unregister_backend("sharded-chaos")

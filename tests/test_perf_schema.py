@@ -214,6 +214,43 @@ class TestSchemaV2:
         with pytest.raises(BenchSchemaError, match="enforced"):
             validate_result(result)
 
+    def test_ipc_subrecord_accepted(self):
+        """v2-with-ipc (post-arena) artifacts validate; the version does
+        not bump, so pre-arena v2 files (no ipc anywhere) stay valid —
+        which is what every other test in this class exercises."""
+        ipc = {
+            "bytes_shipped": 131,
+            "bytes_mapped": 2752512,
+            "bytes_shipped_per_access": 0.04,
+        }
+        result = minimal_result()
+        result["workloads"][0]["engines"]["sharded"]["ipc"] = dict(ipc)
+        result["headline"]["sharded"]["ipc"] = dict(ipc)
+        validate_result(result)
+
+    def test_ipc_subrecord_fields_checked(self):
+        result = minimal_result()
+        result["workloads"][0]["engines"]["sharded"]["ipc"] = {
+            "bytes_shipped": 131,
+            "bytes_mapped": 2752512,
+        }
+        with pytest.raises(BenchSchemaError, match="bytes_shipped_per_access"):
+            validate_result(result)
+        result = minimal_result()
+        result["headline"]["sharded"]["ipc"] = {
+            "bytes_shipped": True,  # bool is not an int here
+            "bytes_mapped": 0,
+            "bytes_shipped_per_access": 0.0,
+        }
+        with pytest.raises(BenchSchemaError, match="bytes_shipped"):
+            validate_result(result)
+
+    def test_ipc_subrecord_must_be_a_dict(self):
+        result = minimal_result()
+        result["workloads"][0]["engines"]["sharded"]["ipc"] = 131
+        with pytest.raises(BenchSchemaError, match="ipc.*dict"):
+            validate_result(result)
+
     def test_v1_fields_not_required_to_carry_v2_extras(self):
         """A v1-version record with v2 extras is fine; a v2-version
         record missing v1 fields is not (v2 is a superset)."""
@@ -252,6 +289,17 @@ class TestHarness:
         sharded = result["headline"]["sharded"]
         assert sharded["workers"] == 2
         assert sharded["target"] == 2.0
+        # The data plane's transport record rides along on every parallel
+        # engine entry and the headline, far under the pipe baseline.
+        from repro.perf.harness import PIPE_BASELINE_BYTES_PER_ACCESS
+
+        assert "ipc" in sharded
+        assert (
+            sharded["ipc"]["bytes_shipped_per_access"]
+            < PIPE_BASELINE_BYTES_PER_ACCESS
+        )
+        for workload in result["workloads"]:
+            assert "ipc" in workload["engines"]["sharded"]
         path = save_result(result, tmp_path)
         on_disk = json.loads(path.read_text(encoding="ascii"))
         assert on_disk == result
