@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos service-smoke bench perf compile lint
+.PHONY: test chaos service-smoke screen-validate bench perf compile lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,12 @@ chaos:
 # violation (lost job, duplicate resolution, tenant leak, p99 bound).
 service-smoke:
 	$(PYTHON) -m repro.service.chaos --jobs 50 --kill-rate 0.2 --kill-max 1 --slow-clients 2
+
+# Analytical-screen cross-validation against the dynamic profiler on the
+# padding suite; exits nonzero when precision/recall fall below the
+# gates.  Writes the per-loop report to screen_validation.json.
+screen-validate:
+	$(PYTHON) -m repro.analysis.screenval --json screen_validation.json
 
 # Pass --benchmark-only only when pytest-benchmark is installed; without
 # it the suite still runs (timing comes from the no-op fallback fixture
@@ -30,7 +36,9 @@ compile:
 	$(PYTHON) -m compileall -q src
 
 # ruff + mypy when available (CI installs both); skips with a notice
-# otherwise so the target works in minimal environments.
+# otherwise so the target works in minimal environments.  mypy runs over
+# the whole tree: pyproject.toml holds repro.analysis, repro.engine and
+# repro.service.protocol to the strict bar and exempts the rest.
 lint:
 	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('ruff') is None)"; then \
 		$(PYTHON) -m ruff check src tests benchmarks examples; \
@@ -38,7 +46,7 @@ lint:
 		echo "lint: ruff not installed, skipping"; \
 	fi
 	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('mypy') is None)"; then \
-		$(PYTHON) -m mypy src/repro/analysis; \
+		$(PYTHON) -m mypy src/repro; \
 	else \
 		echo "lint: mypy not installed, skipping"; \
 	fi

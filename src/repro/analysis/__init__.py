@@ -35,6 +35,22 @@ from repro.analysis.pressure import (
     footprint_residues,
     footprint_set_indices,
 )
+from repro.analysis.screening import (
+    SCREEN_CLEAR,
+    SCREEN_SUSPECT,
+    SCREEN_UNKNOWN,
+    LoopScreen,
+    ScreeningAnalysis,
+    ScreeningReport,
+    StreamPlacementAnalysis,
+    asymptotic_collision_probability,
+    exact_collision_probability,
+    screen_workload,
+)
+from repro.analysis.screenval import (
+    ScreenValidationResult,
+    screen_cross_validate,
+)
 from repro.analysis.validation import (
     CrossValidationResult,
     LoopValidation,
@@ -51,8 +67,16 @@ __all__ = [
     "ConflictPredictionAnalysis",
     "CrossValidationResult",
     "LoopAccessPattern",
+    "LoopScreen",
     "LoopValidation",
+    "SCREEN_CLEAR",
+    "SCREEN_SUSPECT",
+    "SCREEN_UNKNOWN",
+    "ScreenValidationResult",
+    "ScreeningAnalysis",
+    "ScreeningReport",
     "SetPressureAnalysis",
+    "StreamPlacementAnalysis",
     "StaticConflictReport",
     "StaticLoopPrediction",
     "StaticModel",
@@ -61,8 +85,12 @@ __all__ = [
     "affine1d",
     "affine2d",
     "affine3d",
+    "asymptotic_collision_probability",
     "cross_validate",
     "default_validation_suite",
+    "exact_collision_probability",
     "footprint_residues",
     "footprint_set_indices",
+    "screen_cross_validate",
+    "screen_workload",
 ]

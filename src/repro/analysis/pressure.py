@@ -40,6 +40,7 @@ from repro.analysis.access import AccessPatternAnalysis
 from repro.analysis.descriptors import AccessDim, AffineAccess
 from repro.analysis.framework import AnalysisPass
 from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
 
 
 def residue_progression(stride: int, extent: int, period: int) -> np.ndarray:
@@ -161,6 +162,19 @@ class SetPressureAnalysis(AnalysisPass):
     def analyze(self) -> None:
         patterns = self.request(AccessPatternAnalysis)
         geometry = self.model.geometry
+        if not getattr(geometry, "modular_indexing", True):
+            # ROADMAP item 3's documented limitation, made loud: every
+            # formula here reasons in residue classes modulo
+            # ``mapping_period``, which only equal set indices when the
+            # index bits are taken plainly.  A hashed geometry (e.g.
+            # XorFoldedGeometry) would yield confidently wrong victim
+            # sets, so refuse with a typed error instead.
+            raise AnalysisError(
+                f"{type(geometry).__name__} hashes its set index; "
+                "SetPressureAnalysis assumes modular index bits "
+                "(ROADMAP item 3) — use the dynamic profiler or the "
+                "screening pass's 'unknown' path for hashed geometries"
+            )
         self.windows_by_loop = {}
         self.victim_sets_by_loop = {}
         self.footprint_sets_by_loop = {}

@@ -1,0 +1,599 @@
+"""Analytical conflict screening: birthday-paradox passes that gate the simulator.
+
+The cheapest rung of the analysis ladder (screen → predict → simulate).
+"Appearances of the Birthday Paradox in High Performance Computing" gives
+closed-form collision probabilities for k base addresses landing in the
+same cache set; this module turns that arithmetic — plus an O(k·d)
+stride-folding estimate that never enumerates a footprint — into cached
+:class:`~repro.analysis.framework.AnalysisPass`es whose verdict
+(``clear`` / ``suspect`` / ``unknown``) decides whether a request needs
+the simulator at all.
+
+Two independent signals feed one calibrated suspicion score:
+
+- **Stride folding** — for every reuse window (same carrier rule as
+  :class:`~repro.analysis.pressure.SetPressureAnalysis`), estimate the
+  distinct lines and distinct sets the window touches from pure gcd
+  arithmetic over the mapping period.  Estimated lines-per-set above the
+  associativity, concentrated on a minority of sets, is the padding-bug
+  signature; the same overload spread uniformly is capacity, not
+  conflict, and is gated out exactly as the exact pressure pass does.
+- **Birthday clustering** — the k distinct arrays a loop touches are k
+  "random" base placements into ``num_sets`` buckets.  The exact and
+  asymptotic collision probabilities say how surprising sharing is; a
+  union-bound p-value on the *observed* maximum start-set occupancy says
+  whether this particular placement is suspiciously aligned (the classic
+  power-of-two-allocation pathology).
+
+Unlike :class:`SetPressureAnalysis` (exact, O(mapping_period) per
+window), everything here is O(accesses · dims): cheap enough to run on
+every request at fleet scale.  The price is calibration rather than
+exactness — scores in the mid-band return ``unknown`` and fall through
+to the simulator instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.access import AccessPatternAnalysis, LoopAccessPattern
+from repro.analysis.descriptors import AccessDim, AffineAccess
+from repro.analysis.framework import AnalysisCache, AnalysisPass
+from repro.analysis.model import StaticModel
+from repro.cache.geometry import CacheGeometry
+from repro.errors import AnalysisError
+from repro.obs.metrics import get_registry
+
+#: Verdicts of the screen's decision rule.
+SCREEN_CLEAR = "clear"
+SCREEN_SUSPECT = "suspect"
+SCREEN_UNKNOWN = "unknown"
+
+#: Scores at or above this are ``suspect`` (a fold ratio of 2x the
+#: associativity, or an observed placement with p-value <= 0.5).
+SUSPECT_SCORE = 0.5
+#: Scores at or below this are ``clear``; the mid-band is ``unknown``
+#: and falls through to the simulator.
+CLEAR_SCORE = 0.1
+#: Windows spreading their load over at least this fraction of all sets
+#: are capacity-like, not conflicts (mirrors SetPressureAnalysis).
+CAPACITY_UTILIZATION = 0.75
+
+
+# ---------------------------------------------------------------------------
+# Part (a): birthday-collision probabilities.
+# ---------------------------------------------------------------------------
+
+
+def exact_collision_probability(streams: int, num_sets: int) -> float:
+    """Exact P(any two of k uniform placements share a set).
+
+    The birthday bound: ``1 - prod_{i<k} (1 - i/s)``.  Pigeonhole makes
+    it exactly 1.0 once ``streams > num_sets``.
+    """
+    if streams < 0 or num_sets <= 0:
+        raise AnalysisError(
+            f"need streams >= 0 and num_sets > 0: {streams}, {num_sets}"
+        )
+    if streams <= 1:
+        return 0.0
+    if streams > num_sets:
+        return 1.0
+    no_collision = 1.0
+    for i in range(1, streams):
+        no_collision *= 1.0 - i / num_sets
+    return 1.0 - no_collision
+
+
+def asymptotic_collision_probability(streams: int, num_sets: int) -> float:
+    """Asymptotic birthday bound ``1 - exp(-k(k-1) / 2s)``.
+
+    The standard large-s approximation; reported alongside the exact
+    value so readers can see how tight it is at cache-sized s.
+    """
+    if streams < 0 or num_sets <= 0:
+        raise AnalysisError(
+            f"need streams >= 0 and num_sets > 0: {streams}, {num_sets}"
+        )
+    if streams <= 1:
+        return 0.0
+    return 1.0 - math.exp(-streams * (streams - 1) / (2.0 * num_sets))
+
+
+# ---------------------------------------------------------------------------
+# Part (b): occupancy distribution under random placement.
+# ---------------------------------------------------------------------------
+
+
+def expected_occupancy(streams: int, num_sets: int) -> float:
+    """Expected streams per set under uniform placement: ``k / s``."""
+    if num_sets <= 0:
+        raise AnalysisError(f"num_sets must be positive: {num_sets}")
+    return streams / num_sets
+
+
+def occupancy_pmf(streams: int, num_sets: int, occupancy: int) -> float:
+    """P(one fixed set holds exactly ``occupancy`` of k placements).
+
+    Binomial(k, 1/s) — placements are independent and uniform.
+    """
+    if occupancy < 0 or occupancy > streams:
+        return 0.0
+    p = 1.0 / num_sets
+    return (
+        math.comb(streams, occupancy)
+        * p**occupancy
+        * (1.0 - p) ** (streams - occupancy)
+    )
+
+
+def occupancy_tail(streams: int, num_sets: int, occupancy: int) -> float:
+    """P(one fixed set holds at least ``occupancy`` placements)."""
+    if occupancy <= 0:
+        return 1.0
+    return sum(
+        occupancy_pmf(streams, num_sets, m)
+        for m in range(occupancy, streams + 1)
+    )
+
+
+def expected_sets_at_or_above(streams: int, num_sets: int, occupancy: int) -> float:
+    """Expected number of sets holding >= ``occupancy`` placements."""
+    return num_sets * occupancy_tail(streams, num_sets, occupancy)
+
+
+def overflow_pvalue(streams: int, num_sets: int, observed_max: int) -> float:
+    """Union-bound P(max set occupancy >= observed) under random placement.
+
+    Small values mean the observed base-address clustering is *more*
+    aligned than chance — the calibrated "suspiciously placed" signal.
+    """
+    return min(1.0, num_sets * occupancy_tail(streams, num_sets, observed_max))
+
+
+# ---------------------------------------------------------------------------
+# Stride-folding estimates (no footprint enumeration).
+# ---------------------------------------------------------------------------
+
+
+def _dim_line_span(stride: int, extent: int, line_size: int) -> int:
+    """Distinct cache lines one dimension's progression can span."""
+    if extent <= 1 or stride == 0:
+        return 1
+    step = abs(stride)
+    if step >= line_size:
+        return extent
+    return min(extent, step * (extent - 1) // line_size + 1)
+
+
+def _dim_set_span(stride: int, extent: int, geometry: CacheGeometry) -> int:
+    """Estimated distinct set indices one dimension's progression visits.
+
+    The progression ``i * stride mod period`` lives in the subgroup of
+    multiples of ``g = gcd(stride, period)``, which reaches
+    ``period / max(g, line_size)`` distinct sets in a full cycle; a
+    partial walk covers the visited fraction of that.  Exact when the
+    walk is contiguous, a uniform-coverage estimate otherwise — both
+    power-of-two arithmetic, O(1) per dimension.
+    """
+    period = geometry.mapping_period
+    if extent <= 1:
+        return 1
+    step = abs(stride) % period
+    if step == 0:
+        return 1
+    g = math.gcd(step, period)
+    cycle = period // g
+    reps = min(extent, cycle)
+    coarse = max(g, geometry.line_size)
+    return max(1, min(period // coarse, (reps * g) // coarse))
+
+
+@dataclass
+class WindowEstimate:
+    """Folding estimate for one reuse window of one access.
+
+    Attributes:
+        label: Array label of the owning access.
+        reuse_dim: Index of the reuse-carrying dimension.
+        est_lines: Estimated distinct lines live in the window.
+        est_sets: Estimated distinct sets those lines fold onto.
+        load: ``est_lines / est_sets`` — estimated lines per set.
+        utilization: ``est_sets / num_sets``.
+        capacity_like: Overloaded but spread over nearly all sets.
+        conflicting: Overloaded on a minority of sets — the conflict
+            signature.
+        pressure_ratio: ``load / ways`` (> 1 means overflow).
+    """
+
+    label: str
+    reuse_dim: int
+    est_lines: int
+    est_sets: int
+    load: float
+    utilization: float
+    capacity_like: bool
+    conflicting: bool
+    pressure_ratio: float
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        kind = (
+            "CONFLICT"
+            if self.conflicting
+            else ("capacity" if self.capacity_like else "ok")
+        )
+        return (
+            f"{self.label}@dim{self.reuse_dim}: ~{self.est_lines} lines / "
+            f"{self.est_sets} sets = {self.load:.1f}/set "
+            f"(ratio {self.pressure_ratio:.2f}) {kind}"
+        )
+
+
+def estimate_windows(
+    access: AffineAccess, geometry: CacheGeometry
+) -> List[WindowEstimate]:
+    """Folding estimates for every reuse window of one access.
+
+    Carrier rule matches :class:`SetPressureAnalysis`: a dimension with
+    ``|stride| < line_size`` (including 0) revisits its line, so the
+    dimensions nested inside it must stay resident between revisits.
+    """
+    windows: List[WindowEstimate] = []
+    for index, dim in enumerate(access.dims):
+        if abs(dim.stride) >= geometry.line_size:
+            continue
+        inner = access.dims[index + 1 :]
+        if not inner:
+            continue
+        windows.append(_estimate_window(access.label, index, inner, geometry))
+    return windows
+
+
+def _estimate_window(
+    label: str,
+    reuse_dim: int,
+    inner: Sequence[AccessDim],
+    geometry: CacheGeometry,
+) -> WindowEstimate:
+    lines = 1
+    sets = 1
+    for dim in inner:
+        lines *= _dim_line_span(dim.stride, dim.extent, geometry.line_size)
+        sets *= _dim_set_span(dim.stride, dim.extent, geometry)
+    sets = min(sets, geometry.num_sets)
+    lines = max(lines, sets)
+    load = lines / sets
+    utilization = sets / geometry.num_sets
+    ratio = load / geometry.ways
+    overflow = load > geometry.ways
+    capacity_like = overflow and utilization >= CAPACITY_UTILIZATION
+    return WindowEstimate(
+        label=label,
+        reuse_dim=reuse_dim,
+        est_lines=lines,
+        est_sets=sets,
+        load=load,
+        utilization=utilization,
+        capacity_like=capacity_like,
+        conflicting=overflow and not capacity_like,
+        pressure_ratio=ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The passes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamPlacement:
+    """One array's base placement within a loop.
+
+    Attributes:
+        label: Allocation label.
+        base: First accessed address.
+        set_index: Cache set the base lands in.
+        lines_live: Whether any of the label's accesses carries reuse
+            (only live lines can collide with each other).
+    """
+
+    label: str
+    base: int
+    set_index: int
+    lines_live: bool
+
+
+class StreamPlacementAnalysis(AnalysisPass):
+    """Per-loop base placements and folding window estimates."""
+
+    requires = (AccessPatternAnalysis,)
+
+    placements_by_loop: Dict[str, List[StreamPlacement]]
+    windows_by_loop: Dict[str, List[WindowEstimate]]
+
+    def analyze(self) -> None:
+        patterns = self.request(AccessPatternAnalysis)
+        geometry = self.model.geometry
+        self.placements_by_loop = {}
+        self.windows_by_loop = {}
+        for pattern in patterns.patterns:
+            placements: Dict[str, StreamPlacement] = {}
+            windows: List[WindowEstimate] = []
+            for access in pattern.accesses:
+                access_windows = estimate_windows(access, geometry)
+                windows.extend(access_windows)
+                has_reuse = bool(access_windows) or any(
+                    dim.stride == 0 for dim in access.dims
+                )
+                existing = placements.get(access.label)
+                if existing is None:
+                    placements[access.label] = StreamPlacement(
+                        label=access.label,
+                        base=access.base,
+                        set_index=geometry.set_index(access.base),
+                        lines_live=has_reuse,
+                    )
+                elif has_reuse and not existing.lines_live:
+                    existing.lines_live = True
+            self.placements_by_loop[pattern.loop_name] = list(
+                placements.values()
+            )
+            self.windows_by_loop[pattern.loop_name] = windows
+
+
+@dataclass
+class LoopScreen:
+    """Screen verdict and supporting statistics for one loop.
+
+    Attributes:
+        loop_name: ``file:line`` loop identity.
+        stream_count: Distinct arrays (k of the birthday model).
+        collision_probability: Exact P(any two bases share a set).
+        collision_probability_asymptotic: ``1 - exp(-k(k-1)/2s)``.
+        expected_occupancy: ``k / num_sets``.
+        random_overflow_probability: Union-bound P(any set holds more
+            than ``ways`` bases) under random placement.
+        observed_max_occupancy: Largest observed start-set occupancy
+            among live streams.
+        occupancy_pvalue: Union-bound P(max occupancy >= observed) —
+            small means suspiciously aligned.
+        windows: Folding estimates for every reuse window.
+        fold_score: Suspicion from the folding signal.
+        birthday_score: Suspicion from the observed base clustering.
+        score: ``max(fold_score, birthday_score)``.
+        verdict: ``clear`` / ``suspect`` / ``unknown``.
+        reasons: Human-readable justification lines.
+    """
+
+    loop_name: str
+    stream_count: int
+    collision_probability: float
+    collision_probability_asymptotic: float
+    expected_occupancy: float
+    random_overflow_probability: float
+    observed_max_occupancy: int
+    occupancy_pvalue: float
+    windows: List[WindowEstimate] = field(default_factory=list)
+    fold_score: float = 0.0
+    birthday_score: float = 0.0
+    score: float = 0.0
+    verdict: str = SCREEN_UNKNOWN
+    reasons: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line rendering for the text report."""
+        return (
+            f"{self.loop_name:<28} k={self.stream_count:>2} "
+            f"P(collide)={self.collision_probability:.3f} "
+            f"maxocc={self.observed_max_occupancy} "
+            f"p={self.occupancy_pvalue:.3f} "
+            f"score={self.score:.2f} {self.verdict.upper()}"
+        )
+
+
+@dataclass
+class ScreeningReport:
+    """Workload-level screen decision.
+
+    Attributes:
+        workload_name: Report header.
+        geometry: Geometry screened against.
+        loops: Per-loop screens, declaration order.
+        verdict: ``suspect`` if any loop is suspect, else ``unknown``
+            if anything is unresolved or mid-band, else ``clear``.
+        score: Maximum loop score.
+        reasons: Workload-level caveats (hashed geometry, unresolved
+            accesses).
+    """
+
+    workload_name: str
+    geometry: CacheGeometry
+    loops: List[LoopScreen] = field(default_factory=list)
+    verdict: str = SCREEN_UNKNOWN
+    score: float = 0.0
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def suspect_loops(self) -> List[LoopScreen]:
+        """Loops the screen wants simulated."""
+        return [loop for loop in self.loops if loop.verdict == SCREEN_SUSPECT]
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-able summary for manifests and service responses."""
+        return {
+            "verdict": self.verdict,
+            "score": round(self.score, 4),
+            "loops": {
+                loop.loop_name: {
+                    "verdict": loop.verdict,
+                    "score": round(loop.score, 4),
+                    "streams": loop.stream_count,
+                    "collision_probability": round(
+                        loop.collision_probability, 4
+                    ),
+                    "occupancy_pvalue": round(loop.occupancy_pvalue, 4),
+                }
+                for loop in self.loops
+            },
+            "reasons": list(self.reasons),
+        }
+
+    def render(self) -> str:
+        """Text report for ``ccprof screen``."""
+        lines = [
+            f"screen: {self.workload_name} on {self.geometry.describe()}",
+            f"  verdict: {self.verdict.upper()}  score={self.score:.2f}",
+        ]
+        for reason in self.reasons:
+            lines.append(f"  note: {reason}")
+        for loop in self.loops:
+            lines.append(f"  {loop.describe()}")
+            for reason in loop.reasons:
+                lines.append(f"      {reason}")
+        return "\n".join(lines)
+
+
+class ScreeningAnalysis(AnalysisPass):
+    """Combine folding and birthday signals into the screen decision."""
+
+    requires = (AccessPatternAnalysis, StreamPlacementAnalysis)
+
+    report: ScreeningReport
+
+    def analyze(self) -> None:
+        patterns = self.request(AccessPatternAnalysis)
+        placements = self.request(StreamPlacementAnalysis)
+        geometry = self.model.geometry
+        modular = getattr(geometry, "modular_indexing", True)
+        report = ScreeningReport(
+            workload_name=self.model.workload_name, geometry=geometry
+        )
+        for pattern in patterns.patterns:
+            loop = self._screen_loop(
+                pattern,
+                placements.placements_by_loop.get(pattern.loop_name, []),
+                placements.windows_by_loop.get(pattern.loop_name, []),
+                geometry,
+                modular,
+            )
+            report.loops.append(loop)
+        if not modular:
+            report.reasons.append(
+                "hashed index geometry: folding estimates do not apply "
+                "(ROADMAP item 3); deferring to the simulator"
+            )
+        if patterns.unresolved:
+            report.reasons.append(
+                f"{len(patterns.unresolved)} access(es) resolved to no "
+                "loop; the screen cannot vouch for them"
+            )
+        report.verdict, report.score = self._workload_verdict(
+            report, bool(patterns.unresolved), modular
+        )
+        registry = get_registry()
+        registry.counter("analysis.screen.loops_screened").inc(
+            len(report.loops)
+        )
+        registry.counter(f"analysis.screen.verdict.{report.verdict}").inc()
+        self.report = report
+
+    def _screen_loop(
+        self,
+        pattern: LoopAccessPattern,
+        placements: List[StreamPlacement],
+        windows: List[WindowEstimate],
+        geometry: CacheGeometry,
+        modular: bool,
+    ) -> LoopScreen:
+        streams = len(placements)
+        live = [p for p in placements if p.lines_live]
+        occupancy: Dict[int, int] = {}
+        for placement in live:
+            occupancy[placement.set_index] = (
+                occupancy.get(placement.set_index, 0) + 1
+            )
+        observed_max = max(occupancy.values()) if occupancy else 0
+        pvalue = (
+            overflow_pvalue(len(live), geometry.num_sets, observed_max)
+            if observed_max
+            else 1.0
+        )
+        loop = LoopScreen(
+            loop_name=pattern.loop_name,
+            stream_count=streams,
+            collision_probability=exact_collision_probability(
+                streams, geometry.num_sets
+            ),
+            collision_probability_asymptotic=asymptotic_collision_probability(
+                streams, geometry.num_sets
+            ),
+            expected_occupancy=expected_occupancy(streams, geometry.num_sets),
+            random_overflow_probability=overflow_pvalue(
+                streams, geometry.num_sets, geometry.ways + 1
+            ),
+            observed_max_occupancy=observed_max,
+            occupancy_pvalue=pvalue,
+            windows=windows,
+        )
+        if not modular:
+            loop.verdict = SCREEN_UNKNOWN
+            loop.reasons.append("hashed index geometry: cannot screen")
+            return loop
+        worst: Optional[WindowEstimate] = None
+        for window in windows:
+            if window.conflicting and (
+                worst is None or window.pressure_ratio > worst.pressure_ratio
+            ):
+                worst = window
+        if worst is not None:
+            loop.fold_score = 1.0 - math.exp(1.0 - worst.pressure_ratio)
+            loop.reasons.append(f"folding: {worst.describe()}")
+        if observed_max > geometry.ways:
+            loop.birthday_score = 1.0 - pvalue
+            loop.reasons.append(
+                f"birthday: {observed_max} live bases share one set "
+                f"(> {geometry.ways} ways, p={pvalue:.3f})"
+            )
+        loop.score = max(loop.fold_score, loop.birthday_score)
+        if loop.score >= SUSPECT_SCORE:
+            loop.verdict = SCREEN_SUSPECT
+        elif loop.score <= CLEAR_SCORE:
+            loop.verdict = SCREEN_CLEAR
+        else:
+            loop.verdict = SCREEN_UNKNOWN
+            loop.reasons.append(
+                f"mid-band score {loop.score:.2f}: deferring to simulator"
+            )
+        return loop
+
+    @staticmethod
+    def _workload_verdict(
+        report: ScreeningReport, has_unresolved: bool, modular: bool
+    ) -> Tuple[str, float]:
+        score = max((loop.score for loop in report.loops), default=0.0)
+        verdicts = {loop.verdict for loop in report.loops}
+        if SCREEN_SUSPECT in verdicts:
+            return SCREEN_SUSPECT, score
+        if SCREEN_UNKNOWN in verdicts or has_unresolved or not modular:
+            return SCREEN_UNKNOWN, score
+        return SCREEN_CLEAR, score
+
+
+def screen_workload(
+    workload: object,
+    geometry: Optional[CacheGeometry] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> ScreeningReport:
+    """Screen one workload — zero trace accesses.
+
+    Raises:
+        AnalysisError: When the workload declares no access patterns
+            (the screen, like prediction, needs declarations).
+    """
+    if cache is None:
+        model = StaticModel.from_workload(workload, geometry=geometry)
+        cache = AnalysisCache(model)
+    return cache.request(ScreeningAnalysis).report

@@ -1,0 +1,270 @@
+"""Cross-validate the analytical screen against the dynamic profiler.
+
+Mirrors :mod:`repro.analysis.validation` (PR 3's methodology) one rung
+down the ladder: for every workload in the suite, run the birthday /
+folding screen (zero trace accesses) and a full CCProf run, then score
+the screen's per-loop *verdict* against the measured binary conflict
+verdict.  Because the screen's job is gating — ``clear`` skips the
+simulator, anything else reaches it — the scoring is deliberately
+strict:
+
+- a **true positive** is a ``suspect`` loop the profiler confirms;
+- a **false positive** is a ``suspect`` loop the profiler clears;
+- a **miss** (false negative) is any measured conflict the screen did
+  *not* mark suspect — ``unknown`` counts as a miss here, so a screen
+  cannot buy recall by deferring everything;
+- ``sim_skip_rate`` is the fraction of loops screened ``clear`` — the
+  fleet-scale payoff ("most requests never reach the simulator").
+
+``python -m repro.analysis.screenval`` runs the pinned suite, writes a
+JSON + text report, and exits nonzero when the gates miss — the CI
+``screen-validate`` step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.screening import (
+    SCREEN_CLEAR,
+    SCREEN_SUSPECT,
+    ScreeningReport,
+    screen_workload,
+)
+from repro.analysis.validation import (
+    VALIDATION_GEOMETRY,
+    VALIDATION_PERIOD_MEAN,
+    default_validation_suite,
+    measured_victim_sets,
+)
+from repro.cache.geometry import CacheGeometry
+
+#: The acceptance gates (ISSUE 9 / ROADMAP item 4).
+SCREEN_PRECISION_GATE = 0.8
+SCREEN_RECALL_GATE = 0.7
+
+
+@dataclass
+class LoopScreenValidation:
+    """Screen verdict vs measured verdict for one loop."""
+
+    workload_name: str
+    loop_name: str
+    verdict: str
+    score: float
+    measured_victims: int
+    dynamic_cf: float = 0.0
+
+    @property
+    def measured_conflict(self) -> bool:
+        """Whether the dynamic profiler found victim sets."""
+        return self.measured_victims > 0
+
+
+@dataclass
+class ScreenValidationResult:
+    """Suite-wide score of the screen against measurement."""
+
+    loops: List[LoopScreenValidation] = field(default_factory=list)
+
+    @property
+    def true_positives(self) -> int:
+        """Suspect verdicts the profiler confirms."""
+        return sum(
+            1
+            for loop in self.loops
+            if loop.verdict == SCREEN_SUSPECT and loop.measured_conflict
+        )
+
+    @property
+    def false_positives(self) -> int:
+        """Suspect verdicts the profiler clears."""
+        return sum(
+            1
+            for loop in self.loops
+            if loop.verdict == SCREEN_SUSPECT and not loop.measured_conflict
+        )
+
+    @property
+    def false_negatives(self) -> int:
+        """Measured conflicts not marked suspect (unknown counts)."""
+        return sum(
+            1
+            for loop in self.loops
+            if loop.verdict != SCREEN_SUSPECT and loop.measured_conflict
+        )
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was suspected."""
+        suspected = self.true_positives + self.false_positives
+        return self.true_positives / suspected if suspected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was measured."""
+        measured = self.true_positives + self.false_negatives
+        return self.true_positives / measured if measured else 1.0
+
+    @property
+    def deferred(self) -> int:
+        """Loops the screen sent to the simulator (not clear/suspect)."""
+        return sum(
+            1
+            for loop in self.loops
+            if loop.verdict not in (SCREEN_CLEAR, SCREEN_SUSPECT)
+        )
+
+    @property
+    def sim_skip_rate(self) -> float:
+        """Fraction of loops screened ``clear`` — the fleet-scale win."""
+        if not self.loops:
+            return 0.0
+        cleared = sum(1 for loop in self.loops if loop.verdict == SCREEN_CLEAR)
+        return cleared / len(self.loops)
+
+    @property
+    def unsafe_skips(self) -> int:
+        """Measured conflicts screened ``clear`` — the dangerous miss."""
+        return sum(
+            1
+            for loop in self.loops
+            if loop.verdict == SCREEN_CLEAR and loop.measured_conflict
+        )
+
+    def passes_gates(self) -> bool:
+        """Whether precision/recall meet the CI gates."""
+        return (
+            self.precision >= SCREEN_PRECISION_GATE
+            and self.recall >= SCREEN_RECALL_GATE
+        )
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-able report for the CI artifact."""
+        return {
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "gates": {
+                "precision": SCREEN_PRECISION_GATE,
+                "recall": SCREEN_RECALL_GATE,
+                "passed": self.passes_gates(),
+            },
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "deferred": self.deferred,
+            "unsafe_skips": self.unsafe_skips,
+            "sim_skip_rate": round(self.sim_skip_rate, 4),
+            "loops": [
+                {
+                    "workload": loop.workload_name,
+                    "loop": loop.loop_name,
+                    "verdict": loop.verdict,
+                    "score": round(loop.score, 4),
+                    "measured_victims": loop.measured_victims,
+                    "dynamic_cf": round(loop.dynamic_cf, 4),
+                }
+                for loop in self.loops
+            ],
+        }
+
+    def render(self) -> str:
+        """Per-loop comparison table plus the summary line."""
+        lines = [
+            f"  {'workload':<22} {'loop':<16} {'screen':<8} {'score':>5} "
+            f"{'measured':>8}  cf"
+        ]
+        for loop in self.loops:
+            measured = "CONFLICT" if loop.measured_conflict else "ok"
+            lines.append(
+                f"  {loop.workload_name:<22} {loop.loop_name:<16} "
+                f"{loop.verdict:<8} {loop.score:>5.2f} {measured:>8}  "
+                f"{loop.dynamic_cf:.3f}"
+            )
+        lines.append(
+            f"  precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"skip rate={self.sim_skip_rate:.1%} "
+            f"deferred={self.deferred} unsafe skips={self.unsafe_skips} "
+            f"({len(self.loops)} loops)"
+        )
+        return "\n".join(lines)
+
+
+def screen_cross_validate(
+    workloads: Sequence[object],
+    geometry: CacheGeometry = VALIDATION_GEOMETRY,
+    period_mean: int = VALIDATION_PERIOD_MEAN,
+    seed: int = 0,
+) -> ScreenValidationResult:
+    """Score the analytical screen against the dynamic profiler.
+
+    For each workload, the screen runs from declarations alone; the
+    dynamic side is a full CCProf run at a dense sampling period, read
+    exactly as PR 3's cross-validation reads it.
+    """
+    from repro.core.profiler import CCProf
+    from repro.pmu.periods import UniformJitterPeriod
+
+    result = ScreenValidationResult()
+    for workload in workloads:
+        report: ScreeningReport = screen_workload(workload, geometry=geometry)
+        profiler = CCProf(
+            geometry=geometry,
+            period=UniformJitterPeriod(period_mean),
+            seed=seed,
+        )
+        profile = profiler.profile(workload)
+        measured = measured_victim_sets(profile, geometry)
+        name = str(getattr(workload, "name", type(workload).__name__))
+        for loop in report.loops:
+            victims, cf = measured.get(loop.loop_name, ([], 0.0))
+            result.loops.append(
+                LoopScreenValidation(
+                    workload_name=name,
+                    loop_name=loop.loop_name,
+                    verdict=loop.verdict,
+                    score=loop.score,
+                    measured_victims=len(victims),
+                    dynamic_cf=cf,
+                )
+            )
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI for the CI ``screen-validate`` step."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.screenval",
+        description="cross-validate the analytical screen vs the profiler",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="dynamic-side sampling seed"
+    )
+    options = parser.parse_args(argv)
+    result = screen_cross_validate(default_validation_suite(), seed=options.seed)
+    print(result.render())
+    if options.json:
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_record(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {options.json}")
+    if not result.passes_gates():
+        print(
+            f"GATE MISS: precision {result.precision:.3f} "
+            f"(need >= {SCREEN_PRECISION_GATE}) / recall "
+            f"{result.recall:.3f} (need >= {SCREEN_RECALL_GATE})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,18 @@ class CacheGeometry:
         return self.num_sets.bit_length() - 1
 
     @property
+    def modular_indexing(self) -> bool:
+        """Whether the set index is the plain modular index bits.
+
+        True here; hashed geometries (e.g.
+        :class:`~repro.cache.hashing.XorFoldedGeometry`) override it so
+        static analyses that reason in residue arithmetic over
+        :attr:`mapping_period` can refuse rather than silently compute
+        wrong set indices.
+        """
+        return True
+
+    @property
     def mapping_period(self) -> int:
         """Bytes after which addresses map to the same set again.
 

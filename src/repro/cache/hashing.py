@@ -49,6 +49,11 @@ class XorFoldedGeometry(CacheGeometry):
         if self.fold_levels < 0:
             raise GeometryError(f"fold levels must be >= 0: {self.fold_levels}")
 
+    @property
+    def modular_indexing(self) -> bool:
+        """Folding breaks residue arithmetic unless degenerate (0 levels)."""
+        return self.fold_levels == 0
+
     def set_index(self, address: int) -> int:
         index = super().set_index(address)
         tag = super().tag(address)

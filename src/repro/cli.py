@@ -6,6 +6,10 @@ Mirrors the shape of the paper's artifact scripts:
   workload and dump the sample log.
 - ``ccprof analyze <workload>`` — profile + offline analysis, printing the
   conflict report (and optionally writing a ``*result`` file).
+- ``ccprof screen <workload>`` — analytically screen for conflicts
+  (birthday-paradox + stride-folding passes; zero trace accesses);
+  ``ccprof analyze --screen-first`` uses the same screen to skip
+  simulation on ``clear`` workloads.
 - ``ccprof simulate <trace.din>`` — run a Dinero-format trace through the
   cache simulator and print Dinero-style statistics.
 - ``ccprof inspect <manifest.json>`` — render a run manifest back as text.
@@ -51,8 +55,10 @@ from typing import Dict, Optional
 from repro.analysis import (
     AnalysisCache,
     ConflictPredictionAnalysis,
+    SCREEN_SUSPECT,
     StaticModel,
     StaticPaddingAnalysis,
+    screen_workload,
 )
 from repro.cache.dinero import format_dinero_report, simulate_dinero_trace
 from repro.core.diffreport import ReportDiff
@@ -108,6 +114,29 @@ def _logger(args: argparse.Namespace) -> CliLogger:
     return log if log is not None else CliLogger.from_args(args)
 
 
+def _manifest_config(args: argparse.Namespace, report) -> Dict[str, object]:
+    """The manifest's free-form config record for one run.
+
+    A ``screen_first`` run records the screen's decision here (verdict,
+    score, per-loop summary) so ``ccprof inspect`` shows *why* a
+    simulation was or wasn't skipped.
+    """
+    config: Dict[str, object] = {
+        "strict": bool(getattr(args, "strict", False)),
+        "inject": getattr(args, "inject", None),
+        "max_events": getattr(args, "max_events", None),
+        "engine_workers": getattr(args, "engine_workers", None),
+    }
+    if getattr(args, "screen_first", False):
+        config["screen_first"] = True
+        screen = getattr(report, "screen", None) if report is not None else None
+        if screen is not None:
+            record = screen.to_record()
+            record["simulation_skipped"] = report.raw_profile is None
+            config["screen"] = record
+    return config
+
+
 def _write_manifest(
     args: argparse.Namespace,
     command: str,
@@ -153,12 +182,7 @@ def _write_manifest(
             "ways": geometry.ways,
             "line_size": geometry.line_size,
         },
-        config={
-            "strict": bool(getattr(args, "strict", False)),
-            "inject": getattr(args, "inject", None),
-            "max_events": getattr(args, "max_events", None),
-            "engine_workers": getattr(args, "engine_workers", None),
-        },
+        config=_manifest_config(args, report),
         stage_timings=get_tracer().stage_timings(),
         metrics=get_registry().snapshot(),
         data_quality=quality,
@@ -238,6 +262,7 @@ def _make_profiler(args: argparse.Namespace) -> CCProf:
         inject=inject,
         budget=budget,
         engine=_resolve_engine(args, _logger(args)),
+        screen_first=getattr(args, "screen_first", False),
     )
 
 
@@ -384,6 +409,23 @@ def _cmd_advise(args: argparse.Namespace) -> int:
             "  (conflicting structures are not 2-D arrays; consider a "
             "loop-order change instead)",
         )
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    """Analytical conflict screen: zero trace accesses simulated."""
+    log = _logger(args)
+    workload = _resolve_workload(args.workload)
+    report = screen_workload(workload)
+    log.result(
+        "screen.report",
+        report.render(),
+        workload=workload.name,
+        verdict=report.verdict,
+        score=report.score,
+    )
+    if args.suspect_exit and report.verdict == SCREEN_SUSPECT:
+        return 1
     return 0
 
 
@@ -689,6 +731,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "quality) to PATH; with -o, defaults to "
                      "<output>.manifest.json",
             )
+        if verb == "analyze":
+            sub.add_argument(
+                "--screen-first", action="store_true",
+                help="run the analytical screen first and skip profiling + "
+                     "simulation entirely when it returns 'clear' (the "
+                     "decision is recorded in the run manifest)",
+            )
         if verb == "profile":
             sub.add_argument(
                 "--self-overhead", action="store_true",
@@ -705,6 +754,22 @@ def build_parser() -> argparse.ArgumentParser:
                 help="samples per analysis window (default: 256)",
             )
         sub.set_defaults(handler=handler)
+
+    screen = subparsers.add_parser(
+        "screen",
+        help="analytically screen a workload for conflicts (birthday-"
+             "paradox + stride folding; no trace is run)",
+    )
+    screen.add_argument(
+        "workload", help="workload name, e.g. gemm or gemm:optimized"
+    )
+    screen.add_argument(
+        "--suspect-exit", action="store_true",
+        help="exit 1 when the verdict is 'suspect' (for shell pipelines "
+             "that gate a simulation on the screen)",
+    )
+    _add_obs_flags(screen)
+    screen.set_defaults(handler=_cmd_screen)
 
     predict = subparsers.add_parser(
         "predict",

@@ -109,6 +109,46 @@ class OfflineAnalyzer:
             else get_backend("batched")
         )
 
+    def screen(self, workload: Workload, geometry: CacheGeometry):
+        """Run the analytical screen over a workload's declarations.
+
+        The cheapest rung of the analysis ladder (screen → predict →
+        simulate): birthday-collision probabilities plus stride-folding
+        estimates, zero trace accesses.  Returns a
+        :class:`~repro.analysis.screening.ScreeningReport`, or ``None``
+        when the workload declares no access patterns (the screen then
+        has nothing to say and the caller falls through to simulation).
+        """
+        from repro.analysis.screening import screen_workload
+
+        try:
+            return screen_workload(workload, geometry=geometry)
+        except AnalysisError:
+            return None
+
+    def screened_report(self, workload_name: str, screen) -> ConflictReport:
+        """Synthesize the report for a run the screen cleared.
+
+        No sampling happened, so the report is empty of loops and says
+        so loudly in its data-quality section; the screen decision rides
+        along as ``report.screen``.
+        """
+        quality = DataQuality()
+        quality.warn(
+            "simulation skipped: analytical screen verdict 'clear' "
+            f"(score {screen.score:.2f}, {len(screen.loops)} loops screened)"
+        )
+        report = ConflictReport(
+            workload_name=workload_name,
+            mean_sampling_period=0.0,
+            total_samples=0,
+            total_events=0,
+            rcd_threshold=self.settings.rcd_threshold,
+            data_quality=quality,
+            screen=screen,
+        )
+        return report
+
     def analyze(self, profile: RawProfile, workload_name: str = "") -> ConflictReport:
         """Run the full offline pass over one raw profile.
 
@@ -283,6 +323,14 @@ class CCProf:
             ``get_backend("sharded").configure(workers=4)``.  All
             registered backends produce bit-identical reports (the CLI
             exposes this as ``--engine``).
+        screen_first: When True, :meth:`run` first runs the analytical
+            screen (birthday/folding passes, zero trace accesses) and
+            skips profiling + simulation entirely when the verdict is
+            ``clear`` — the "predict-cheap, simulate-only-suspects"
+            fleet path.  Suspect/unknown verdicts fall through to the
+            normal pipeline and produce bit-identical reports; every
+            decision increments an ``analysis.screen.*`` counter and
+            rides on ``report.screen``.
     """
 
     def __init__(
@@ -298,6 +346,7 @@ class CCProf:
         attach_failure_rate: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
         engine: Union[str, EngineBackend] = "batched",
+        screen_first: bool = False,
     ) -> None:
         self.geometry = geometry
         self.period = period or UniformJitterPeriod(1212)
@@ -309,9 +358,18 @@ class CCProf:
         self.retry_policy = retry_policy
         self.backend = resolve_backend(engine)
         self.engine = self.backend.name
+        self.screen_first = screen_first
         self.analyzer = OfflineAnalyzer(
             settings=settings, classifier=classifier, backend=self.backend
         )
+
+    def screen(self, workload: Workload):
+        """Screen the workload against this profiler's geometry.
+
+        Returns ``None`` when the workload has no declared access
+        patterns (nothing for the screen to reason about).
+        """
+        return self.analyzer.screen(workload, self.geometry)
 
     def profile(self, workload: Workload) -> RawProfile:
         """Online phase: sample the workload's trace.
@@ -368,6 +426,19 @@ class CCProf:
         re-profile.
         """
         name = getattr(workload, "name", workload.__class__.__name__)
+        screen = None
+        if self.screen_first:
+            from repro.analysis.screening import SCREEN_CLEAR
+
+            registry = get_registry()
+            screen = self.screen(workload)
+            if screen is None:
+                registry.counter("analysis.screen.unavailable").inc()
+            elif screen.verdict == SCREEN_CLEAR:
+                registry.counter("analysis.screen.simulations_skipped").inc()
+                return self.analyzer.screened_report(name, screen)
+            else:
+                registry.counter("analysis.screen.simulations_run").inc()
         profile = self.profile(workload)
         if profile.sampling.sample_count == 0 and profile.sampling.total_events == 0:
             if self.strict:
@@ -376,4 +447,5 @@ class CCProf:
                 )
         report = self.analyze(profile, workload_name=name)
         report.raw_profile = profile
+        report.screen = screen
         return report

@@ -176,6 +176,12 @@ class ConflictReport:
     raw_profile: Optional[object] = field(
         default=None, repr=False, compare=False
     )
+    #: The analytical screen decision when the report came from a
+    #: ``screen_first`` run (a
+    #: :class:`~repro.analysis.screening.ScreeningReport`, typed loosely
+    #: to avoid an analysis dependency); excluded from rendering and
+    #: comparison so screened runs stay bit-identical to unscreened ones.
+    screen: Optional[object] = field(default=None, repr=False, compare=False)
 
     def conflicting_loops(self) -> List[LoopReport]:
         """Loops the classifier flagged."""

@@ -55,7 +55,10 @@ import os
 import secrets
 import threading
 from multiprocessing import shared_memory
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # the runtime factory has no usable annotation type
+    from _thread import RLock as _RLockType
 
 import numpy as np
 
@@ -88,7 +91,7 @@ METRIC_BYTES_MAPPED = "engine.sharded.arena.bytes_mapped"
 _FORK_LOCK = threading.RLock()
 
 
-def fork_lock() -> "threading.RLock":
+def fork_lock() -> "_RLockType":
     """The data plane's fork-serialization lock (current instance).
 
     Returned through a function because the child-side at-fork hook
@@ -150,7 +153,7 @@ class SharedTraceArena:
         self.capacity = int(capacity)
         self.workers = int(workers)
         self._owner_pid = os.getpid() if owner else None
-        self._views: dict = {}
+        self._views: Dict[str, np.ndarray] = {}
 
     # -- sizing ----------------------------------------------------------
 
@@ -225,7 +228,7 @@ class SharedTraceArena:
 
     # -- views -----------------------------------------------------------
 
-    def _view(self, key: str, offset: int, count: int, dtype) -> np.ndarray:
+    def _view(self, key: str, offset: int, count: int, dtype: Any) -> np.ndarray:
         view = self._views.get(key)
         if view is None:
             if self._segment is None:
@@ -295,7 +298,7 @@ class SharedTraceArena:
     def __enter__(self) -> "SharedTraceArena":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # best-effort leak guard

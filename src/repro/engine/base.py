@@ -17,7 +17,7 @@ suite, which parametrizes over this registry).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, List, Union
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Union
 
 from repro.errors import SamplingError
 
@@ -51,9 +51,9 @@ class EngineBackend(ABC):
     #: :class:`~repro.trace.batch.TraceBatch` input over scalar access
     #: streams (the perf harness feeds each backend its preferred shape);
     #: ``"parallel"`` marks multi-process backends.
-    capabilities: frozenset = frozenset()
+    capabilities: FrozenSet[str] = frozenset()
 
-    def configure(self, **options) -> "EngineBackend":
+    def configure(self, **options: Any) -> "EngineBackend":
         """Return a copy of this backend with ``options`` applied.
 
         The base implementation accepts no options; parallel backends
@@ -73,8 +73,8 @@ class EngineBackend(ABC):
     def sample(
         self,
         sampler: "AddressSampler",
-        trace,
-        budget: "SamplingBudget" = None,
+        trace: Any,
+        budget: Optional["SamplingBudget"] = None,
     ) -> "SamplingResult":
         """Run one PEBS sampling pass of ``sampler`` over ``trace``.
 
@@ -87,12 +87,12 @@ class EngineBackend(ABC):
     @abstractmethod
     def simulate(
         self,
-        trace,
-        geometry: "CacheGeometry" = None,
+        trace: Any,
+        geometry: Optional["CacheGeometry"] = None,
         policy: str = "lru",
         seed: int = 0,
         split_lines: bool = True,
-        batch_size: int = None,
+        batch_size: Optional[int] = None,
     ) -> "CacheStats":
         """Drive ``trace`` through a fresh cache; return its stats.
 
@@ -103,7 +103,7 @@ class EngineBackend(ABC):
         """
 
     @abstractmethod
-    def rcd_from_addresses(self, addresses, geometry: "CacheGeometry"):
+    def rcd_from_addresses(self, addresses: Any, geometry: "CacheGeometry") -> Any:
         """Build an RCD analysis from a miss/sample address column.
 
         Returns an object with the shared RCD query API

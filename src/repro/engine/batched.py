@@ -8,7 +8,7 @@ analysis; the differential suite pins it bit-identical to scalar.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -32,7 +32,7 @@ class BatchedBackend(EngineBackend):
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.batch_size = batch_size
 
-    def configure(self, **options) -> "BatchedBackend":
+    def configure(self, **options: Any) -> "BatchedBackend":
         unknown = sorted(set(options) - {"batch_size"})
         if unknown:
             raise SamplingError(
@@ -46,7 +46,7 @@ class BatchedBackend(EngineBackend):
     def sample(
         self,
         sampler: AddressSampler,
-        trace,
+        trace: Any,
         budget: Optional[SamplingBudget] = None,
     ) -> SamplingResult:
         return sampler.run_batched(
@@ -55,7 +55,7 @@ class BatchedBackend(EngineBackend):
 
     def simulate(
         self,
-        trace,
+        trace: Any,
         geometry: Optional[CacheGeometry] = None,
         policy: str = "lru",
         seed: int = 0,
@@ -69,7 +69,9 @@ class BatchedBackend(EngineBackend):
             cache.access_batch(batch, split_lines=split_lines)
         return cache.stats
 
-    def rcd_from_addresses(self, addresses, geometry: CacheGeometry):
+    def rcd_from_addresses(
+        self, addresses: Any, geometry: CacheGeometry
+    ) -> RcdArrayAnalysis:
         if not isinstance(addresses, np.ndarray):
             addresses = np.fromiter(
                 (int(address) for address in addresses), dtype=np.uint64

@@ -8,7 +8,7 @@ the reference behaviour.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
@@ -29,14 +29,14 @@ class ScalarBackend(EngineBackend):
     def sample(
         self,
         sampler: AddressSampler,
-        trace,
+        trace: Any,
         budget: Optional[SamplingBudget] = None,
     ) -> SamplingResult:
         return sampler.run(as_access_stream(trace), budget=budget)
 
     def simulate(
         self,
-        trace,
+        trace: Any,
         geometry: Optional[CacheGeometry] = None,
         policy: str = "lru",
         seed: int = 0,
@@ -53,7 +53,9 @@ class ScalarBackend(EngineBackend):
         cache.flush_metrics()
         return cache.stats
 
-    def rcd_from_addresses(self, addresses, geometry: CacheGeometry):
+    def rcd_from_addresses(
+        self, addresses: Iterable[Any], geometry: CacheGeometry
+    ) -> RcdAnalysis:
         return RcdAnalysis.from_addresses(
             (int(address) for address in addresses), geometry
         )

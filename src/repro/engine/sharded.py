@@ -74,7 +74,7 @@ import multiprocessing
 import os
 import pickle
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,7 +119,7 @@ def available_workers() -> int:
         return os.cpu_count() or 1
 
 
-def default_mp_context():
+def default_mp_context() -> multiprocessing.context.BaseContext:
     """Fork where available (cheap, inherits the interpreter), else spawn.
 
     The worker entry point and all shipped state (geometry, arena name,
@@ -155,7 +155,7 @@ def shard_boundaries(num_sets: int, shards: int) -> List[Tuple[int, int]]:
     ]
 
 
-def known_trace_length(trace) -> Optional[int]:
+def known_trace_length(trace: Any) -> Optional[int]:
     """Record count of ``trace`` when knowable without consuming it."""
     if isinstance(trace, TraceBatch):
         return len(trace)
@@ -169,7 +169,7 @@ def known_trace_length(trace) -> Optional[int]:
 
 
 def _shard_worker_main(
-    conn,
+    conn: Any,
     geometry: CacheGeometry,
     policy: str,
     seed: int,
@@ -223,7 +223,7 @@ def _shard_worker_main(
                     ips = arena.ip.take(positions)
                     # Drop the view before the next remap/close: a live
                     # export would block the segment's mmap release.
-                    positions = None
+                    del positions
                     result = cache.access_arrays(addresses, ips)
                     flags = (
                         result.hit.astype(np.uint8)
@@ -297,10 +297,15 @@ def _noop() -> None:
     """Calibration target: measures bare process spawn/join cost."""
 
 
-_CALIBRATED: Dict[int, int] = {}
+_CALIBRATED: Dict[Tuple[int, CacheGeometry], int] = {}
 
 
-def calibrated_crossover(workers: int, *, refresh: bool = False) -> int:
+def calibrated_crossover(
+    workers: int,
+    geometry: Optional[CacheGeometry] = None,
+    *,
+    refresh: bool = False,
+) -> int:
     """Break-even trace length for sharding, measured on this host.
 
     Sharding pays a fixed setup cost — spawning ``workers`` processes
@@ -313,22 +318,27 @@ def calibrated_crossover(workers: int, *, refresh: bool = False) -> int:
         crossover ~= fixed_cost / (per_access_batched * (1 - 1/workers))
 
     Probes are tiny (one ~16k-record batched run, one arena create, one
-    no-op process round trip) and the result is cached per worker count
-    for the process lifetime.  The arena probe is explicitly *uncharged*
+    no-op process round trip) and the result is cached per
+    ``(workers, geometry)`` pair for the process lifetime — per-access
+    cost scales with the geometry's ways, so a run that switches
+    geometries mid-process re-probes rather than reusing a stale
+    threshold.  The arena probe is explicitly *uncharged*
     on the metrics registry — calibration must not count as a data-plane
     allocation.  Results clamp to [:data:`CROSSOVER_FLOOR`,
     :data:`CROSSOVER_CEIL`]; any measurement failure falls back to
     :data:`DEFAULT_CROSSOVER`.
     """
     workers = max(2, int(workers))
-    if not refresh and workers in _CALIBRATED:
-        return _CALIBRATED[workers]
+    geometry = geometry if geometry is not None else CacheGeometry()
+    key = (workers, geometry)
+    if not refresh and key in _CALIBRATED:
+        return _CALIBRATED[key]
     try:
         probe = 16_384
         rng = np.random.default_rng(0)
         addresses = rng.integers(0, 1 << 24, size=probe, dtype=np.uint64)
         ips = np.zeros(probe, dtype=np.uint64)
-        cache = SetAssociativeCache(CacheGeometry(), policy="lru", seed=0)
+        cache = SetAssociativeCache(geometry, policy="lru", seed=0)
         per_access = min(
             _timed_seconds(lambda: cache.access_arrays(addresses, ips))
             for _ in range(3)
@@ -353,11 +363,11 @@ def calibrated_crossover(workers: int, *, refresh: bool = False) -> int:
     except Exception:  # pragma: no cover - calibration must never fail hard
         crossover = DEFAULT_CROSSOVER
     crossover = max(CROSSOVER_FLOOR, min(CROSSOVER_CEIL, crossover))
-    _CALIBRATED[workers] = crossover
+    _CALIBRATED[key] = crossover
     return crossover
 
 
-def _timed_seconds(action) -> float:
+def _timed_seconds(action: Callable[[], object]) -> float:
     start = time.perf_counter()
     action()
     return time.perf_counter() - start
@@ -384,11 +394,11 @@ class ShardedCacheSimulator:
 
     def __init__(
         self,
-        geometry: CacheGeometry = None,
+        geometry: Optional[CacheGeometry] = None,
         policy: str = "lru",
         seed: int = 0,
         workers: int = 2,
-        mp_context=None,
+        mp_context: Any = None,
         record_misses: bool = False,
     ) -> None:
         self.geometry = geometry or CacheGeometry()
@@ -477,7 +487,7 @@ class ShardedCacheSimulator:
 
     # -- control-plane pipe traffic (exact byte accounting) --------------
 
-    def _send(self, conn, message: tuple) -> None:
+    def _send(self, conn: Any, message: tuple) -> None:
         payload = pickle.dumps(message)
         try:
             conn.send_bytes(payload)
@@ -488,7 +498,7 @@ class ShardedCacheSimulator:
             ) from exc
         self._bytes_shipped += len(payload)
 
-    def _recv(self, index: int, process, conn) -> tuple:
+    def _recv(self, index: int, process: Any, conn: Any) -> tuple:
         try:
             payload = conn.recv_bytes()
         except (EOFError, OSError) as exc:
@@ -728,7 +738,7 @@ class ShardedCacheSimulator:
     def __enter__(self) -> "ShardedCacheSimulator":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # best-effort leak guard
@@ -763,7 +773,7 @@ class ShardedBackend(EngineBackend):
         workers: Optional[int] = None,
         crossover: Optional[int] = None,
         rcd_crossover: int = DEFAULT_RCD_CROSSOVER,
-        mp_context=None,
+        mp_context: Any = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise SamplingError(f"workers must be >= 1, got {workers}")
@@ -772,7 +782,7 @@ class ShardedBackend(EngineBackend):
         self.rcd_crossover = rcd_crossover
         self.mp_context = mp_context
 
-    def configure(self, **options) -> "ShardedBackend":
+    def configure(self, **options: Any) -> "ShardedBackend":
         known = {"workers", "crossover", "rcd_crossover"}
         unknown = sorted(set(options) - known)
         if unknown:
@@ -796,26 +806,30 @@ class ShardedBackend(EngineBackend):
         )
         return max(1, min(int(workers), int(num_sets)))
 
-    def effective_crossover(self, workers: int) -> int:
+    def effective_crossover(
+        self, workers: int, geometry: Optional[CacheGeometry] = None
+    ) -> int:
         """The crossover in force: pinned value or per-host calibration."""
         if self.crossover is not None:
             return self.crossover
-        return calibrated_crossover(workers)
+        return calibrated_crossover(workers, geometry)
 
-    def _fall_back(self, num_sets: int, trace) -> bool:
-        workers = self.worker_count(num_sets)
+    def _fall_back(self, geometry: CacheGeometry, trace: Any) -> bool:
+        workers = self.worker_count(geometry.num_sets)
         if workers <= 1:
             return True
         length = known_trace_length(trace)
-        return length is not None and length < self.effective_crossover(workers)
+        return length is not None and length < self.effective_crossover(
+            workers, geometry
+        )
 
     def sample(
         self,
         sampler: AddressSampler,
-        trace,
+        trace: Any,
         budget: Optional[SamplingBudget] = None,
     ) -> SamplingResult:
-        if self._fall_back(sampler.geometry.num_sets, trace):
+        if self._fall_back(sampler.geometry, trace):
             return get_backend("batched").sample(sampler, trace, budget=budget)
         simulator = ShardedCacheSimulator(
             sampler.geometry,
@@ -828,7 +842,7 @@ class ShardedBackend(EngineBackend):
 
     def simulate(
         self,
-        trace,
+        trace: Any,
         geometry: Optional[CacheGeometry] = None,
         policy: str = "lru",
         seed: int = 0,
@@ -836,7 +850,7 @@ class ShardedBackend(EngineBackend):
         batch_size: Optional[int] = None,
     ) -> CacheStats:
         geometry = geometry or CacheGeometry()
-        if self._fall_back(geometry.num_sets, trace):
+        if self._fall_back(geometry, trace):
             return get_backend("batched").simulate(
                 trace,
                 geometry=geometry,
@@ -859,7 +873,7 @@ class ShardedBackend(EngineBackend):
 
     def simulate_with_rcd(
         self,
-        trace,
+        trace: Any,
         geometry: Optional[CacheGeometry] = None,
         policy: str = "lru",
         seed: int = 0,
@@ -877,7 +891,7 @@ class ShardedBackend(EngineBackend):
         of :class:`~repro.core.exact.ExactRcdMeasurer`.
         """
         geometry = geometry or CacheGeometry()
-        if self._fall_back(geometry.num_sets, trace):
+        if self._fall_back(geometry, trace):
             cache = SetAssociativeCache(geometry, policy=policy, seed=seed)
             miss_sets: List[np.ndarray] = []
             for batch in as_batches(trace, batch_size or DEFAULT_BATCH_SIZE):
@@ -904,7 +918,9 @@ class ShardedBackend(EngineBackend):
                 simulator.access_batch(batch, split_lines=split_lines)
             return simulator.stats, simulator.rcd_analysis()
 
-    def rcd_from_addresses(self, addresses, geometry: CacheGeometry):
+    def rcd_from_addresses(
+        self, addresses: Any, geometry: CacheGeometry
+    ) -> RcdArrayAnalysis:
         if not isinstance(addresses, np.ndarray):
             addresses = np.fromiter(
                 (int(address) for address in addresses), dtype=np.uint64

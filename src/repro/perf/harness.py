@@ -238,6 +238,40 @@ def _engine_matrix(
 HEADLINE_WORKLOAD = "lru_stream"
 
 
+def _measure_screening(quick: bool) -> dict:
+    """Screen time vs the simulation a ``clear`` verdict skips.
+
+    Benched on the padded (conflict-free) gemm — the shape of the fleet
+    request the "predict-cheap, simulate-only-suspects" path is for:
+    the screen clears it and the full dynamic run never happens.  Both
+    sides are measured cold (model build included) on the same sizing.
+    """
+    from repro.analysis.screening import screen_workload
+    from repro.core.profiler import CCProf
+    from repro.pmu.periods import UniformJitterPeriod
+    from repro.workloads.polybench import GemmWorkload
+
+    n = 24 if quick else 48
+
+    start = time.perf_counter()
+    screen = screen_workload(GemmWorkload(n=n, pad_bytes=64))
+    screen_seconds = max(time.perf_counter() - start, 1e-9)
+
+    start = time.perf_counter()
+    CCProf(
+        period=UniformJitterPeriod(97), seed=0, strict=False
+    ).run(GemmWorkload(n=n, pad_bytes=64))
+    simulate_seconds = time.perf_counter() - start
+
+    return {
+        "workload": f"gemm-padded(n={n})",
+        "verdict": screen.verdict,
+        "screen_seconds": screen_seconds,
+        "simulate_seconds": simulate_seconds,
+        "speedup": simulate_seconds / screen_seconds,
+    }
+
+
 def _resolve_backends(
     engines: Optional[Sequence[str]], workers: int
 ) -> List[EngineBackend]:
@@ -345,6 +379,14 @@ def run_benchmark(
         f"  {'ok' if overhead.within_target else 'EXCEEDS TARGET'}"
     )
 
+    screening = _measure_screening(quick)
+    say(
+        f"{'screening':12s} screen {screening['screen_seconds'] * 1e3:>9.3f} ms"
+        f"  simulate {screening['simulate_seconds'] * 1e3:>9.3f} ms"
+        f"  ({screening['speedup']:.0f}x saved on "
+        f"'{screening['verdict']}')"
+    )
+
     headline = next(w for w in matrix if w["name"] == HEADLINE_WORKLOAD)
     headline_record = {
         "workload": HEADLINE_WORKLOAD,
@@ -382,5 +424,6 @@ def run_benchmark(
         "engine_workers": workers,
         "workloads": matrix,
         "obs_overhead": overhead.as_dict(),
+        "screening": screening,
         "headline": headline_record,
     }

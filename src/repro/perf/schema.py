@@ -20,6 +20,9 @@ Since the shared-memory data plane (PR 8), parallel engine entries and
 the headline ``sharded`` record may additionally carry an *optional*
 ``ipc`` sub-record (:data:`_ENGINE_IPC_FIELDS`) measuring transport
 cost; the version stays 2 and pre-arena v2 artifacts load unchanged.
+Likewise, since the analytical screen landed a result may carry an
+optional top-level ``screening`` record (:data:`_SCREENING_FIELDS`) —
+screen time vs the simulation time a ``clear`` verdict saves.
 """
 
 from __future__ import annotations
@@ -121,6 +124,21 @@ _SHARDED_HEADLINE_FIELDS = {
     "enforced": bool,
 }
 
+#: Fields of the optional ``screening`` record (the analytical screen's
+#: cost vs the simulation it can skip; absent from pre-screen artifacts,
+#: which stay valid).  ``screen_seconds`` is one cold screen of the
+#: workload (model build + passes); ``simulate_seconds`` is the full
+#: dynamic profile+analyze run it replaces on a ``clear`` verdict;
+#: ``speedup`` is their ratio — the per-request saving of the
+#: "predict-cheap, simulate-only-suspects" fleet path.
+_SCREENING_FIELDS = {
+    "workload": str,
+    "verdict": str,
+    "screen_seconds": float,
+    "simulate_seconds": float,
+    "speedup": float,
+}
+
 #: Fields of the optional ``obs_overhead`` record (self-overhead of the
 #: observability layer; absent from pre-obs artifacts, which stay valid).
 _OBS_OVERHEAD_FIELDS = {
@@ -207,6 +225,10 @@ def validate_result(result: dict) -> dict:
         if not isinstance(result["obs_overhead"], dict):
             raise BenchSchemaError("obs_overhead: must be a dict")
         _check_fields(result["obs_overhead"], _OBS_OVERHEAD_FIELDS, "obs_overhead")
+    if "screening" in result:
+        if not isinstance(result["screening"], dict):
+            raise BenchSchemaError("screening: must be a dict")
+        _check_fields(result["screening"], _SCREENING_FIELDS, "screening")
     names = [workload["name"] for workload in result["workloads"]]
     if result["headline"]["workload"] not in names:
         raise BenchSchemaError(

@@ -10,12 +10,14 @@ worker threads.  Three job kinds map onto the existing pipeline:
 **Degradation ladder.**  A ``profile``/``compare`` job degrades — rather
 than fails — in two cases: admission marked it (queue saturated past the
 soft threshold), or its simulation blew the watchdog budget derived from
-the request deadline.  Degraded jobs fall back to the static predictor
-when the workload declares access patterns, and the response carries a
-``degraded_reason`` plus a confidence note; workloads without declarations
-return the truncated dynamic result, also marked degraded.  Only genuine
-errors (unknown workload, malformed request, crashed worker out of
-retries) fail.
+the request deadline.  Under saturation the cheapest rung runs first:
+the analytical screen (birthday/folding passes, O(accesses)) answers
+outright when its verdict is a decisive ``clear``; otherwise the job
+falls back to the static predictor when the workload declares access
+patterns, and the response carries a ``degraded_reason`` plus a
+confidence note; workloads without declarations return the truncated
+dynamic result, also marked degraded.  Only genuine errors (unknown
+workload, malformed request, crashed worker out of retries) fail.
 
 **Shared pass cache.**  Static models and their
 :class:`~repro.analysis.framework.AnalysisCache` are cached per
@@ -36,6 +38,8 @@ from typing import Dict, Optional, Tuple
 from repro.analysis import (
     AnalysisCache,
     ConflictPredictionAnalysis,
+    SCREEN_CLEAR,
+    ScreeningAnalysis,
     StaticModel,
 )
 from repro.errors import AnalysisError, ReproError, WorkerCrashError
@@ -54,6 +58,14 @@ STATIC_FALLBACK_CONFIDENCE = (
 
 #: Truncated dynamic results carry this note instead.
 PARTIAL_PROFILE_CONFIDENCE = "partial dynamic profile; verdicts are best-effort"
+
+#: Screen-cleared answers under saturation carry this note (the screen's
+#: decision rule only answers when its calibrated score is decisively
+#: low; everything else falls through to the static predictor).
+SCREEN_CLEAR_CONFIDENCE = (
+    "analytical screen verdict 'clear' (birthday/folding passes; "
+    "mid-band scores fall through to the static predictor)"
+)
 
 
 class KillInjector:
@@ -178,6 +190,11 @@ class JobExecutor:
         if request.kind == "predict":
             return self._predict(request)
         if degrade:
+            screened = self._screen_fallback(
+                request, reason="queue saturated; analytical screen cleared"
+            )
+            if screened is not None:
+                return screened
             return self._static_fallback(
                 request, reason="queue saturated; served static prediction"
             )
@@ -289,6 +306,41 @@ class JobExecutor:
         )
 
     # -- degradation ladder ---------------------------------------------
+
+    def _screen_fallback(
+        self, request: JobRequest, *, reason: str
+    ) -> Optional[ExecutionResult]:
+        """The ladder's cheapest rung: answer from the analytical screen.
+
+        A saturated queue tries the birthday/folding screen before the
+        (costlier, footprint-enumerating) static predictor.  Only a
+        decisive ``clear`` answers here — suspect and unknown verdicts
+        return ``None`` so the job falls through to the next rung.
+        """
+        try:
+            cache = self._analysis_cache(request)
+        except ReproError:
+            return None
+        try:
+            screen = cache.request(ScreeningAnalysis).report
+        except ReproError:
+            return None
+        if screen.verdict != SCREEN_CLEAR:
+            return None
+        get_registry().counter("service.jobs.degraded_screen").inc()
+        result: Dict[str, object] = {
+            "workload": screen.workload_name,
+            "trace_accesses_simulated": 0,
+            "has_conflicts": False,
+            "conflicting_loops": [],
+            "screen": screen.to_record(),
+        }
+        return ExecutionResult(
+            status=JobStatus.DEGRADED,
+            result=result,
+            degraded_reason=reason,
+            confidence=SCREEN_CLEAR_CONFIDENCE,
+        )
 
     def _static_fallback(
         self,

@@ -51,6 +51,22 @@ def _require_str(record: Dict[str, object], key: str) -> str:
     return value
 
 
+def _optional_int(record: Dict[str, object], key: str) -> Optional[int]:
+    """``record[key]`` as an int, ``None`` when absent/null."""
+    value = record.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be an integer")
+    return value
+
+
+def _int_or(record: Dict[str, object], key: str, default: int) -> int:
+    """``record[key]`` as an int, ``default`` when absent/null/zero-y."""
+    value = _optional_int(record, key)
+    return value if value else default
+
+
 @dataclass(frozen=True)
 class JobRequest:
     """One job submission.
@@ -141,14 +157,11 @@ class JobRequest:
             for k, v in params.items()
         ):
             raise ProtocolError("request field 'params' must map strings to ints")
-        for key in ("seed", "period", "deadline_ms", "max_accesses"):
-            value = record.get(key)
-            if value is not None and (
-                not isinstance(value, int) or isinstance(value, bool)
-            ):
-                raise ProtocolError(f"request field {key!r} must be an integer")
-        engine = record.get("engine")
-        if engine is not None and not isinstance(engine, str):
+        engine_value = record.get("engine")
+        engine: Optional[str]
+        if engine_value is None or isinstance(engine_value, str):
+            engine = engine_value
+        else:
             raise ProtocolError("request field 'engine' must be a string")
         return cls(
             id=_require_str(record, "id"),
@@ -156,10 +169,10 @@ class JobRequest:
             kind=_require_str(record, "kind"),
             workload=_require_str(record, "workload"),
             params=dict(params),
-            seed=record.get("seed", 0) or 0,
-            period=record.get("period", 1212) or 1212,
-            deadline_ms=record.get("deadline_ms"),
-            max_accesses=record.get("max_accesses"),
+            seed=_int_or(record, "seed", 0),
+            period=_int_or(record, "period", 1212),
+            deadline_ms=_optional_int(record, "deadline_ms"),
+            max_accesses=_optional_int(record, "max_accesses"),
             engine=engine,
         )
 
@@ -237,17 +250,36 @@ class JobResponse:
         """Build a response from a decoded JSON object."""
         if not isinstance(record, dict):
             raise ProtocolError("response must be a JSON object")
+        result = record.get("result") or {}
+        if not isinstance(result, dict):
+            raise ProtocolError("response field 'result' must be an object")
+        error_value = record.get("error")
+        error: Optional[Dict[str, str]]
+        if error_value is None or isinstance(error_value, dict):
+            error = error_value
+        else:
+            raise ProtocolError("response field 'error' must be an object")
+        elapsed = record.get("elapsed_ms", 0.0)
+        if not isinstance(elapsed, (int, float)) or isinstance(elapsed, bool):
+            raise ProtocolError("response field 'elapsed_ms' must be a number")
+        attempts = record.get("attempts", 1)
+        if not isinstance(attempts, int) or isinstance(attempts, bool):
+            raise ProtocolError("response field 'attempts' must be an integer")
+        degraded_reason = record.get("degraded_reason")
+        confidence = record.get("confidence")
         return cls(
             id=str(record.get("id", "")),
             tenant=str(record.get("tenant", "")),
             status=str(record.get("status", "")),
-            result=record.get("result", {}) or {},
-            error=record.get("error"),
-            retry_after_ms=record.get("retry_after_ms"),
-            degraded_reason=record.get("degraded_reason"),
-            confidence=record.get("confidence"),
-            elapsed_ms=float(record.get("elapsed_ms", 0.0)),
-            attempts=int(record.get("attempts", 1)),
+            result=result,
+            error=error,
+            retry_after_ms=_optional_int(record, "retry_after_ms"),
+            degraded_reason=(
+                None if degraded_reason is None else str(degraded_reason)
+            ),
+            confidence=None if confidence is None else str(confidence),
+            elapsed_ms=float(elapsed),
+            attempts=attempts,
         )
 
     def encode(self) -> bytes:

@@ -1,0 +1,538 @@
+"""Analytical conflict screening: math, passes, gating, and acceptance.
+
+Holds this PR's acceptance bar one rung below `test_analysis_validation`:
+on the padding suite the birthday/folding screen must reach >= 0.8
+precision and >= 0.7 recall against the dynamic profiler — with zero
+trace accesses — and a `clear` verdict must demonstrably skip simulation
+(`analysis.screen.simulations_skipped` > 0) while `suspect` workloads
+stay bit-identical to an unscreened run.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SCREEN_CLEAR,
+    SCREEN_SUSPECT,
+    SCREEN_UNKNOWN,
+    AnalysisCache,
+    ScreeningAnalysis,
+    StaticModel,
+    StreamPlacementAnalysis,
+    asymptotic_collision_probability,
+    exact_collision_probability,
+    screen_cross_validate,
+    screen_workload,
+)
+from repro.analysis.pressure import SetPressureAnalysis
+from repro.analysis.screening import (
+    SUSPECT_SCORE,
+    WindowEstimate,
+    estimate_windows,
+    expected_occupancy,
+    expected_sets_at_or_above,
+    occupancy_pmf,
+    occupancy_tail,
+    overflow_pvalue,
+)
+from repro.analysis.screenval import (
+    SCREEN_PRECISION_GATE,
+    SCREEN_RECALL_GATE,
+    LoopScreenValidation,
+    ScreenValidationResult,
+)
+from repro.analysis.validation import (
+    VALIDATION_GEOMETRY,
+    default_validation_suite,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hashing import XorFoldedGeometry
+from repro.core.profiler import CCProf
+from repro.errors import AnalysisError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.pmu.periods import UniformJitterPeriod
+from repro.workloads.symmetrization import SymmetrizationWorkload
+
+
+class TracelessSymmetrization(SymmetrizationWorkload):
+    """Booby-trapped trace: the screen must never execute it."""
+
+    def trace(self):
+        raise AssertionError("screening must not execute the trace")
+
+
+class TestBirthdayMath:
+    def test_exact_matches_hand_computation(self):
+        # k=3, s=4: 1 - (3/4)(2/4) = 0.625
+        assert exact_collision_probability(3, 4) == pytest.approx(0.625)
+
+    def test_degenerate_stream_counts(self):
+        assert exact_collision_probability(0, 16) == 0.0
+        assert exact_collision_probability(1, 16) == 0.0
+        assert asymptotic_collision_probability(1, 16) == 0.0
+
+    def test_pigeonhole_certainty(self):
+        assert exact_collision_probability(17, 16) == 1.0
+        assert exact_collision_probability(100, 16) == 1.0
+
+    def test_asymptotic_tracks_exact(self):
+        # The e^{-k(k-1)/2s} approximation is close at cache-sized s.
+        for k in (2, 4, 8, 23):
+            exact = exact_collision_probability(k, 365)
+            approx = asymptotic_collision_probability(k, 365)
+            assert approx == pytest.approx(exact, abs=0.05)
+        # The classic: 23 birthdays over 365 days pass even odds.
+        assert exact_collision_probability(23, 365) > 0.5
+
+    def test_invalid_inputs_raise_typed_error(self):
+        with pytest.raises(AnalysisError):
+            exact_collision_probability(-1, 16)
+        with pytest.raises(AnalysisError):
+            exact_collision_probability(3, 0)
+        with pytest.raises(AnalysisError):
+            asymptotic_collision_probability(3, -4)
+
+
+class TestOccupancyMath:
+    def test_pmf_sums_to_one(self):
+        total = sum(occupancy_pmf(8, 16, m) for m in range(0, 9))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_out_of_range_is_zero(self):
+        assert occupancy_pmf(8, 16, -1) == 0.0
+        assert occupancy_pmf(8, 16, 9) == 0.0
+
+    def test_expected_occupancy(self):
+        assert expected_occupancy(8, 16) == 0.5
+        with pytest.raises(AnalysisError):
+            expected_occupancy(8, 0)
+
+    def test_tail_edges(self):
+        assert occupancy_tail(8, 16, 0) == 1.0
+        assert occupancy_tail(8, 16, 9) == 0.0
+        # P(X >= 1) = 1 - P(X = 0)
+        assert occupancy_tail(8, 16, 1) == pytest.approx(
+            1.0 - (15 / 16) ** 8
+        )
+
+    def test_expected_sets_scales_tail(self):
+        assert expected_sets_at_or_above(8, 16, 2) == pytest.approx(
+            16 * occupancy_tail(8, 16, 2)
+        )
+
+    def test_pvalue_is_clamped_union_bound(self):
+        assert overflow_pvalue(8, 16, 0) == 1.0  # trivially exceeded
+        assert overflow_pvalue(8, 16, 8) < 1e-6  # all bases in one set
+        assert 0.0 <= overflow_pvalue(4, 16, 2) <= 1.0
+
+
+class TestWindowEstimates:
+    def geometry(self):
+        return CacheGeometry(line_size=64, num_sets=64, ways=4)
+
+    def windows(self, workload):
+        geometry = self.geometry()
+        return [
+            window
+            for access in workload.access_patterns()
+            for window in estimate_windows(access, geometry)
+        ]
+
+    def test_column_walk_folds_onto_few_sets(self):
+        geometry = self.geometry()
+        windows = self.windows(SymmetrizationWorkload(n=64, sweeps=1))
+        conflicting = [w for w in windows if w.conflicting]
+        # 512-byte pitch mod 4096 cycles through 8 sets; the 64 column
+        # lines reused across the inner walk land there, 8 deep against
+        # 4 ways while the rest of the cache sits idle.
+        assert conflicting, "column walk must flag a conflict window"
+        worst = max(conflicting, key=lambda w: w.pressure_ratio)
+        assert not worst.capacity_like
+        assert worst.pressure_ratio > 1.0
+        assert worst.est_sets < geometry.num_sets * 0.5
+        assert worst.load > geometry.ways
+
+    def test_padded_column_walk_clears(self):
+        # One extra line of pitch makes the rows rotate through every
+        # set: the same windows, conflict-free.
+        windows = self.windows(
+            SymmetrizationWorkload(n=64, pad_bytes=64, sweeps=1)
+        )
+        assert windows
+        assert all(not w.conflicting for w in windows)
+
+    def test_describe_marks_kind(self):
+        window = WindowEstimate(
+            label="A", reuse_dim=0, est_lines=64, est_sets=8, load=8.0,
+            utilization=0.125, capacity_like=False, conflicting=True,
+            pressure_ratio=2.0,
+        )
+        assert "CONFLICT" in window.describe()
+        window.conflicting, window.capacity_like = False, True
+        assert "capacity" in window.describe()
+
+
+class TestScreeningPass:
+    def test_zero_trace_guarantee(self):
+        workload = TracelessSymmetrization(n=32, sweeps=2)
+        report = screen_workload(workload, geometry=VALIDATION_GEOMETRY)
+        assert report.verdict == SCREEN_SUSPECT
+        assert report.suspect_loops
+
+    def test_conflicting_vs_padded_verdicts(self):
+        conflicted = screen_workload(
+            SymmetrizationWorkload(n=32, sweeps=2),
+            geometry=VALIDATION_GEOMETRY,
+        )
+        padded = screen_workload(
+            SymmetrizationWorkload(n=32, pad_bytes=64, sweeps=2),
+            geometry=VALIDATION_GEOMETRY,
+        )
+        assert conflicted.verdict == SCREEN_SUSPECT
+        assert conflicted.score >= SUSPECT_SCORE
+        assert padded.verdict == SCREEN_CLEAR
+        assert padded.score < conflicted.score
+
+    def test_undeclared_workload_raises(self):
+        class Undeclared:
+            name = "undeclared"
+
+        with pytest.raises(AnalysisError):
+            screen_workload(Undeclared())
+
+    def test_hashed_geometry_answers_unknown_not_error(self):
+        hashed = XorFoldedGeometry(
+            line_size=64, num_sets=16, ways=4, fold_levels=1
+        )
+        report = screen_workload(
+            SymmetrizationWorkload(n=32, sweeps=2), geometry=hashed
+        )
+        assert report.verdict == SCREEN_UNKNOWN
+        assert any("hashed" in reason for reason in report.reasons)
+        assert all(loop.verdict == SCREEN_UNKNOWN for loop in report.loops)
+
+    def test_degenerate_fold_is_screenable(self):
+        unhashed = XorFoldedGeometry(
+            line_size=64, num_sets=16, ways=4, fold_levels=0
+        )
+        report = screen_workload(
+            SymmetrizationWorkload(n=32, sweeps=2), geometry=unhashed
+        )
+        assert report.verdict == SCREEN_SUSPECT
+
+    def test_pass_caching_and_invalidation(self):
+        model = StaticModel.from_workload(
+            SymmetrizationWorkload(n=32, sweeps=2),
+            geometry=VALIDATION_GEOMETRY,
+        )
+        cache = AnalysisCache(model)
+        first = cache.request(ScreeningAnalysis)
+        assert cache.request(ScreeningAnalysis) is first
+        # Invalidating the placement pass cascades to its dependent.
+        evicted = cache.invalidate(StreamPlacementAnalysis)
+        assert ScreeningAnalysis in evicted
+        again = cache.request(ScreeningAnalysis)
+        assert again is not first
+        assert again.report.verdict == first.report.verdict
+
+    def test_counters_and_record(self):
+        with use_registry(MetricsRegistry()) as registry:
+            report = screen_workload(
+                SymmetrizationWorkload(n=32, sweeps=2),
+                geometry=VALIDATION_GEOMETRY,
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.screen.loops_screened"] == len(report.loops)
+        assert counters["analysis.screen.verdict.suspect"] == 1
+        record = report.to_record()
+        assert record["verdict"] == SCREEN_SUSPECT
+        for loop_record in record["loops"].values():
+            assert set(loop_record) >= {"verdict", "score", "streams"}
+
+    def test_render_mentions_verdict_and_geometry(self):
+        report = screen_workload(
+            SymmetrizationWorkload(n=32, sweeps=2),
+            geometry=VALIDATION_GEOMETRY,
+        )
+        text = report.render()
+        assert "SUSPECT" in text
+        assert "16 sets" in text
+
+
+class TestPressureHashedRefusal:
+    """Satellite: SetPressureAnalysis raises typed on hashed geometry."""
+
+    def test_hashed_geometry_raises_analysis_error(self):
+        hashed = XorFoldedGeometry(
+            line_size=64, num_sets=16, ways=4, fold_levels=1
+        )
+        model = StaticModel.from_workload(
+            SymmetrizationWorkload(n=32, sweeps=2), geometry=hashed
+        )
+        with pytest.raises(AnalysisError, match="hashes its set index"):
+            AnalysisCache(model).request(SetPressureAnalysis)
+
+    def test_modular_indexing_properties(self):
+        assert CacheGeometry().modular_indexing is True
+        assert XorFoldedGeometry(fold_levels=1).modular_indexing is False
+        assert XorFoldedGeometry(fold_levels=0).modular_indexing is True
+
+
+class TestScreenValScoring:
+    def loop(self, verdict, victims):
+        return LoopScreenValidation(
+            workload_name="w", loop_name="f:1", verdict=verdict,
+            score=0.5, measured_victims=victims,
+        )
+
+    def test_strict_counting(self):
+        result = ScreenValidationResult(loops=[
+            self.loop(SCREEN_SUSPECT, 2),   # TP
+            self.loop(SCREEN_SUSPECT, 0),   # FP
+            self.loop(SCREEN_UNKNOWN, 1),   # FN: unknown buys no recall
+            self.loop(SCREEN_CLEAR, 0),     # true clear
+            self.loop(SCREEN_CLEAR, 3),     # FN + unsafe skip
+        ])
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+        assert result.false_negatives == 2
+        assert result.deferred == 1
+        assert result.unsafe_skips == 1
+        assert result.sim_skip_rate == pytest.approx(2 / 5)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(1 / 3)
+        assert not result.passes_gates()
+
+    def test_empty_result_is_perfect(self):
+        result = ScreenValidationResult()
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.sim_skip_rate == 0.0
+
+    def test_render_and_record(self):
+        result = ScreenValidationResult(loops=[self.loop(SCREEN_SUSPECT, 2)])
+        assert "precision=1.000" in result.render()
+        record = result.to_record()
+        assert record["gates"]["passed"]
+        assert record["loops"][0]["verdict"] == SCREEN_SUSPECT
+
+
+class TestScreenFirstProfiler:
+    def test_clear_workload_skips_simulation(self):
+        with use_registry(MetricsRegistry()) as registry:
+            profiler = CCProf(
+                geometry=VALIDATION_GEOMETRY,
+                period=UniformJitterPeriod(7),
+                seed=0,
+                screen_first=True,
+            )
+            report = profiler.run(
+                SymmetrizationWorkload(n=32, pad_bytes=64, sweeps=2)
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.screen.simulations_skipped"] == 1
+        assert counters.get("analysis.screen.simulations_run", 0) == 0
+        assert report.raw_profile is None
+        assert report.screen is not None
+        assert report.screen.verdict == SCREEN_CLEAR
+        assert any(
+            "simulation skipped" in warning
+            for warning in report.data_quality.warnings
+        )
+
+    def test_suspect_workload_is_bit_identical(self):
+        def workload():
+            return SymmetrizationWorkload(n=32, sweeps=2)
+
+        kwargs = dict(
+            geometry=VALIDATION_GEOMETRY,
+            period=UniformJitterPeriod(7),
+            seed=0,
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            screened = CCProf(screen_first=True, **kwargs).run(workload())
+        baseline = CCProf(**kwargs).run(workload())
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.screen.simulations_run"] == 1
+        assert counters.get("analysis.screen.simulations_skipped", 0) == 0
+        assert screened.screen is not None
+        assert screened.screen.verdict == SCREEN_SUSPECT
+        # The screen rides along without perturbing the simulation.
+        assert screened.render() == baseline.render()
+        assert len(screened.raw_profile.sampling.samples) == (
+            len(baseline.raw_profile.sampling.samples)
+        )
+
+    def test_undeclared_workload_falls_through(self):
+        from repro.workloads.rodinia import make_rodinia_workload
+
+        with use_registry(MetricsRegistry()) as registry:
+            profiler = CCProf(
+                period=UniformJitterPeriod(97), seed=0, screen_first=True
+            )
+            report = profiler.run(make_rodinia_workload("nn"))
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.screen.unavailable"] == 1
+        assert report.raw_profile is not None  # simulated normally
+
+
+class TestExecutorScreenRung:
+    def request(self, **overrides):
+        from repro.service.protocol import JobRequest
+
+        record = dict(
+            id="j1", tenant="t", kind="profile", workload="symmetrization",
+            params={"n": 32, "sweeps": 1}, period=64,
+        )
+        record.update(overrides)
+        return JobRequest(**record)
+
+    def test_clear_screen_answers_degraded_job(self):
+        from repro.service.executor import (
+            SCREEN_CLEAR_CONFIDENCE,
+            JobExecutor,
+        )
+        from repro.service.protocol import JobStatus
+
+        executor = JobExecutor()
+        with use_registry(MetricsRegistry()) as registry:
+            result = executor.execute(
+                self.request(workload="symmetrization:optimized"),
+                degrade=True,
+            )
+        assert result.status == JobStatus.DEGRADED
+        assert result.confidence == SCREEN_CLEAR_CONFIDENCE
+        assert result.result["has_conflicts"] is False
+        assert result.result["trace_accesses_simulated"] == 0
+        assert result.result["screen"]["verdict"] == SCREEN_CLEAR
+        counters = registry.snapshot()["counters"]
+        assert counters["service.jobs.degraded_screen"] == 1
+        assert counters.get("service.jobs.degraded_static", 0) == 0
+
+    def test_suspect_screen_falls_through_to_static(self):
+        from repro.service.executor import JobExecutor
+        from repro.service.protocol import JobStatus
+
+        executor = JobExecutor()
+        with use_registry(MetricsRegistry()) as registry:
+            # n=128 rows (1024-byte pitch) fold onto few sets at the
+            # service's default geometry, so the screen says suspect
+            # and refuses to answer the degraded job itself.
+            result = executor.execute(
+                self.request(params={"n": 128, "sweeps": 1}), degrade=True
+            )
+        assert result.status == JobStatus.DEGRADED
+        counters = registry.snapshot()["counters"]
+        assert counters.get("service.jobs.degraded_screen", 0) == 0
+        assert counters["service.jobs.degraded_static"] == 1
+
+
+class TestCli:
+    def test_screen_suspect_renders(self, capsys):
+        from repro.cli import main
+
+        assert main(["screen", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "SUSPECT" in out
+
+    def test_suspect_exit_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["screen", "gemm", "--suspect-exit"]) == 1
+        assert main(["screen", "gemm:optimized", "--suspect-exit"]) == 0
+
+    def test_undeclared_workload_exits_analysis_family(self, capsys):
+        from repro.cli import main
+
+        assert main(["screen", "hotspot"]) == AnalysisError.exit_code
+
+    def test_analyze_screen_first_records_skip_in_manifest(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.cli import main
+
+        manifest = tmp_path / "run.json"
+        code = main([
+            "analyze", "gemm:optimized", "--screen-first",
+            "--manifest", str(manifest),
+        ])
+        assert code == 0
+        config = json.loads(manifest.read_text())["config"]
+        assert config["screen_first"] is True
+        assert config["screen"]["verdict"] == SCREEN_CLEAR
+        assert config["screen"]["simulation_skipped"] is True
+
+
+class TestPerfSchemaScreening:
+    def base_result(self):
+        return {
+            "schema_version": 1,
+            "revision": "test",
+            "batch_size": 1,
+            "quick": True,
+            "workloads": [{
+                "name": "w", "kind": "k", "accesses": 1,
+                "scalar_seconds": 1.0, "batched_seconds": 1.0,
+                "scalar_accesses_per_sec": 1.0,
+                "batched_accesses_per_sec": 1.0,
+                "speedup": 1.0, "match": True,
+            }],
+            "headline": {
+                "workload": "w", "speedup": 1.0, "target_speedup": 1.0,
+                "target_met": True, "all_match": True,
+            },
+        }
+
+    def test_optional_screening_record_validates(self):
+        from repro.perf.schema import validate_result
+
+        result = self.base_result()
+        validate_result(result)  # absent: fine
+        result["screening"] = {
+            "workload": "gemm-padded", "verdict": "clear",
+            "screen_seconds": 0.01, "simulate_seconds": 1.0,
+            "speedup": 100.0,
+        }
+        validate_result(result)
+
+    def test_malformed_screening_record_rejected(self):
+        from repro.perf.schema import BenchSchemaError, validate_result
+
+        result = self.base_result()
+        result["screening"] = {"workload": "gemm-padded"}
+        with pytest.raises(BenchSchemaError, match="screening"):
+            validate_result(result)
+        result["screening"] = "clear"
+        with pytest.raises(BenchSchemaError, match="screening"):
+            validate_result(result)
+
+
+class TestAcceptance:
+    """ISSUE 9's headline gates, asserted end to end."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return screen_cross_validate(default_validation_suite())
+
+    def test_precision_gate(self, result):
+        assert result.precision >= SCREEN_PRECISION_GATE, result.render()
+
+    def test_recall_gate(self, result):
+        assert result.recall >= SCREEN_RECALL_GATE, result.render()
+
+    def test_no_unsafe_skips(self, result):
+        # A `clear` on a measured conflict would make --screen-first
+        # silently wrong; the suite must show zero.
+        assert result.unsafe_skips == 0, result.render()
+
+    def test_suite_covers_both_verdicts(self, result):
+        verdicts = {loop.verdict for loop in result.loops}
+        assert SCREEN_SUSPECT in verdicts
+        assert SCREEN_CLEAR in verdicts
+        assert len(result.loops) >= 10
+
+    def test_skip_rate_is_material(self, result):
+        # The fleet-scale payoff: a decent share of the suite never
+        # needs the simulator at all.
+        assert result.sim_skip_rate >= 0.3, result.render()

@@ -240,6 +240,78 @@ class TestCrossoverFallback:
         assert backend.configure(workers=2).crossover is None
 
 
+class TestCrossoverCacheInvalidation:
+    """Satellite: the calibration cache is keyed by (workers, geometry)
+    and must re-probe when either changes between runs — a stale
+    threshold measured against a different geometry's per-access cost
+    would misplace the batched/sharded break-even point."""
+
+    @pytest.fixture(autouse=True)
+    def _counted_probes(self, monkeypatch):
+        """Replace the timing primitive with a call counter so each
+        probe is instant and observable; isolate the module cache."""
+        from repro.engine import sharded
+
+        self.timer_calls = 0
+
+        def counted(action) -> float:
+            self.timer_calls += 1
+            return 1e-4
+
+        monkeypatch.setattr(sharded, "_CALIBRATED", {})
+        monkeypatch.setattr(sharded, "_timed_seconds", counted)
+        self.sharded = sharded
+
+    def probes_run(self) -> int:
+        # One calibration = 3 per-access reps + 1 arena + 1 spawn probe.
+        assert self.timer_calls % 5 == 0
+        return self.timer_calls // 5
+
+    def test_same_key_hits_cache(self):
+        first = calibrated_crossover(4)
+        assert calibrated_crossover(4) == first
+        assert self.probes_run() == 1
+
+    def test_worker_count_change_reprobes(self):
+        calibrated_crossover(2)
+        calibrated_crossover(4)
+        assert self.probes_run() == 2
+        # ...and each worker count keeps its own cached entry.
+        calibrated_crossover(2)
+        calibrated_crossover(4)
+        assert self.probes_run() == 2
+
+    def test_geometry_change_reprobes(self):
+        default = calibrated_crossover(4)
+        calibrated_crossover(4, CacheGeometry(line_size=32, num_sets=8, ways=16))
+        assert self.probes_run() == 2
+        # The default-geometry entry survives the second probe.
+        assert calibrated_crossover(4) == default
+        assert self.probes_run() == 2
+
+    def test_explicit_default_geometry_shares_cache_entry(self):
+        calibrated_crossover(4)
+        calibrated_crossover(4, CacheGeometry())
+        assert self.probes_run() == 1
+
+    def test_refresh_forces_reprobe(self):
+        calibrated_crossover(4)
+        calibrated_crossover(4, refresh=True)
+        assert self.probes_run() == 2
+
+    def test_backend_threads_geometry_through_fallback(self):
+        backend = ShardedBackend(workers=4)
+        geom_a = CacheGeometry()
+        geom_b = CacheGeometry(line_size=32, num_sets=8, ways=16)
+        backend.effective_crossover(4, geom_a)
+        backend.effective_crossover(4, geom_b)
+        assert self.probes_run() == 2
+        assert set(self.sharded._CALIBRATED) == {(4, geom_a), (4, geom_b)}
+        # A pinned crossover bypasses calibration entirely.
+        assert ShardedBackend(crossover=123).effective_crossover(4, geom_a) == 123
+        assert self.probes_run() == 2
+
+
 def _sampler():
     from repro.pmu.sampler import AddressSampler
 

@@ -265,9 +265,13 @@ class TestHarness:
         lines = []
         result = run_benchmark(accesses=2000, workers=2, progress=lines.append)
         validate_result(result)
-        # One progress line per workload plus the obs_overhead summary.
-        assert len(lines) == len(result["workloads"]) + 1
-        assert lines[-1].startswith("obs_overhead ")
+        # One progress line per workload plus the obs_overhead and
+        # screening summaries.
+        assert len(lines) == len(result["workloads"]) + 2
+        assert lines[-2].startswith("obs_overhead ")
+        assert lines[-1].startswith("screening ")
+        assert "screening" in result
+        assert result["screening"]["verdict"] in {"clear", "suspect"}
         assert "obs_overhead" in result
         assert result["obs_overhead"]["workload"] == HEADLINE_WORKLOAD
         assert result["headline"]["all_match"], "an engine diverged"
