@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos service-smoke screen-validate bench perf compile lint
+.PHONY: test chaos service-smoke screen-validate bench perf watch compile lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,12 @@ bench:
 # the repository root (the perf trajectory artifact).
 perf:
 	$(PYTHON) -m repro.perf
+
+# Regression gate over the committed perf trajectory: diffs every
+# BENCH_*/MANIFEST_* pair in git order and exits 13 if any revision
+# regressed past the watch thresholds.  Writes watch_report.json.
+watch:
+	$(PYTHON) -m repro.cli watch . --report watch_report.json
 
 compile:
 	$(PYTHON) -m compileall -q src

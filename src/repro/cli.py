@@ -65,9 +65,9 @@ from repro.core.diffreport import ReportDiff
 from repro.core.phases import PhaseAnalyzer
 from repro.core.profiler import CCProf
 from repro.engine import backend_names, get_backend
-from repro.errors import ReproError, ServiceError
+from repro.errors import AnalysisError, ReproError, ServiceError
 from repro.obs.logging import CliLogger
-from repro.obs.manifest import RunManifest
+from repro.obs.manifest import ManifestError, RunManifest
 from repro.obs.metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -81,6 +81,13 @@ from repro.obs.overhead import (
 )
 from repro.obs.tracing import NULL_TRACER, Tracer, get_tracer, use_tracer
 from repro.optimize.padding_advisor import advise_padding
+from repro.perf.schema import BenchSchemaError, validate_result
+from repro.perf.watch import (
+    WatchThresholds,
+    regression_error,
+    render_bench,
+    watch,
+)
 from repro.pmu.periods import UniformJitterPeriod
 from repro.reporting.files import write_result_file
 from repro.robustness.budget import SamplingBudget
@@ -144,6 +151,7 @@ def _write_manifest(
     profile,
     report=None,
     outputs: Optional[Dict[str, str]] = None,
+    timeline: Optional[Dict[str, object]] = None,
 ) -> None:
     """Record a :class:`RunManifest` for one profile/analyze run.
 
@@ -188,6 +196,7 @@ def _write_manifest(
         data_quality=quality,
         sampling=sampling,
         outputs=outputs or {},
+        timeline=timeline,
     )
     saved = manifest.save(path)
     _logger(args).info(
@@ -318,8 +327,74 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             path=str(args.output),
             records=written,
         )
-    _write_manifest(args, "profile", profiler, profile, outputs=outputs)
+    timeline = None
+    if getattr(args, "stream", False):
+        analysis = _stream_analysis(args, profiler, profile.sampling.samples)
+        timeline = analysis.timeline_record()
+        _log_stream_summary(log, args, analysis)
+        jsonl = getattr(args, "timeline_jsonl", None)
+        if jsonl:
+            written = analysis.export_jsonl(jsonl)
+            outputs["timeline"] = str(jsonl)
+            log.info(
+                "output.written",
+                f"wrote {written} window spans to {jsonl}",
+                path=str(jsonl),
+                records=written,
+            )
+    _write_manifest(
+        args, "profile", profiler, profile, outputs=outputs,
+        timeline=timeline,
+    )
     return 0
+
+
+def _stream_analysis(args: argparse.Namespace, profiler: CCProf, samples):
+    """Run the engine's windowed streaming hook over profiled samples."""
+    tracer = get_tracer()
+    with tracer.span("stream", window=args.window):
+        return profiler.backend.windowed_phases(
+            samples, profiler.geometry, window=args.window
+        )
+
+
+def _log_stream_summary(log: CliLogger, args: argparse.Namespace, analysis) -> None:
+    """The streaming timeline's result lines (profile/phases --stream)."""
+    engine = analysis.engine
+    if analysis.fallback_from is not None:
+        log.warning(
+            "stream.fallback",
+            f"engine {analysis.fallback_from!r} has no windowed path; "
+            f"ran on {engine!r} (decision recorded in the manifest)",
+            requested=analysis.fallback_from,
+            ran=engine,
+        )
+    log.result(
+        "stream.summary",
+        f"streaming: {len(analysis.summaries)} windows of ~{args.window} "
+        f"samples; {analysis.conflict_fraction:.0%} conflicting; "
+        f"peak tracked state {analysis.peak_tracked} entries",
+        windows=len(analysis.summaries),
+        conflict_fraction=analysis.conflict_fraction,
+        peak_tracked=analysis.peak_tracked,
+    )
+    transitions = analysis.transitions()
+    if transitions:
+        log.result(
+            "stream.transitions",
+            f"phase transitions at windows: {transitions}",
+            windows=transitions,
+        )
+    victims = analysis.victim_sets()
+    if victims:
+        shown = ", ".join(str(v) for v in victims[:12])
+        if len(victims) > 12:
+            shown += f", ... ({len(victims)} total)"
+        log.result(
+            "stream.victims",
+            f"victim sets across conflict windows: [{shown}]",
+            victim_sets=victims,
+        )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -344,15 +419,67 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     log = _logger(args)
-    manifest = RunManifest.load(args.manifest)
-    log.result("manifest", manifest.render(), manifest=manifest.to_dict())
-    tripped = manifest.tripped_budgets()
-    if tripped:
-        log.warning(
-            "budget.tripped",
-            "tripped budgets: " + ", ".join(tripped),
-            budgets=tripped,
+    try:
+        with open(args.manifest, "r", encoding="ascii") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        # Unreadable files stay in the manifest family (the pre-watch
+        # contract); exit 7 is reserved for *recognizable* JSON that is
+        # neither a BENCH result nor a run manifest.
+        raise ManifestError(
+            f"{args.manifest}: unreadable artifact: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise AnalysisError(
+            f"{args.manifest}: unknown artifact type (not a JSON object)"
         )
+    # Dispatch on content: a BENCH result carries schema_version +
+    # workloads, a run manifest carries command.  Anything else is an
+    # unknown artifact (analysis family, exit 7).
+    if "schema_version" in record and "workloads" in record:
+        try:
+            result = validate_result(record)
+        except BenchSchemaError as exc:
+            raise AnalysisError(f"{args.manifest}: {exc}") from exc
+        log.result("bench", render_bench(result), bench=result)
+        return 0
+    if "command" in record:
+        manifest = RunManifest.from_dict(record)
+        log.result("manifest", manifest.render(), manifest=manifest.to_dict())
+        tripped = manifest.tripped_budgets()
+        if tripped:
+            log.warning(
+                "budget.tripped",
+                "tripped budgets: " + ", ".join(tripped),
+                budgets=tripped,
+            )
+        return 0
+    raise AnalysisError(
+        f"{args.manifest}: unknown artifact type (neither a BENCH result "
+        "nor a run manifest)"
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``ccprof watch``: gate on the perf/manifest trajectory."""
+    log = _logger(args)
+    thresholds = WatchThresholds(
+        max_headline_drop=args.max_headline_drop,
+        max_workload_drop=args.max_workload_drop,
+        max_obs_overhead=args.max_obs_overhead,
+        max_ipc_bytes_per_access=args.max_ipc,
+        max_conflict_growth=args.max_conflict_growth,
+    )
+    report = watch(args.paths, thresholds, report_path=args.report)
+    log.result("watch.report", report.render(), **report.to_dict())
+    if args.report:
+        log.info(
+            "output.written",
+            f"wrote trajectory report {args.report}",
+            path=str(args.report),
+        )
+    if not report.ok:
+        raise regression_error(report)
     return 0
 
 
@@ -511,8 +638,15 @@ def _cmd_phases(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     profiler = _make_profiler(args)
     profile = profiler.profile(workload)
-    analyzer = PhaseAnalyzer(profiler.geometry, window=args.window)
-    analysis = analyzer.analyze(profile.sampling.samples)
+    if getattr(args, "stream", False):
+        # The incremental engine: same verdicts (bit-identical, pinned by
+        # tests), O(window) memory instead of the whole sample list.
+        streaming = _stream_analysis(args, profiler, profile.sampling.samples)
+        _log_stream_summary(log, args, streaming)
+        analysis = streaming.to_phased()
+    else:
+        analyzer = PhaseAnalyzer(profiler.geometry, window=args.window)
+        analysis = analyzer.analyze(profile.sampling.samples)
     log.result(
         "phases.summary",
         f"{workload.name}: {len(analysis.phases)} phases of ~{args.window} "
@@ -748,10 +882,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "--quick", action="store_true",
                 help="with --self-overhead: a 10x smaller measurement",
             )
-        if verb == "phases":
+        if verb in ("profile", "phases"):
             sub.add_argument(
                 "--window", type=int, default=256,
                 help="samples per analysis window (default: 256)",
+            )
+            sub.add_argument(
+                "--stream", action="store_true",
+                help="windowed streaming analysis: consume the sample "
+                     "stream incrementally with O(window) state, emitting "
+                     "a phase timeline (bit-identical verdicts to the "
+                     "batch analyzer)",
+            )
+        if verb == "profile":
+            sub.add_argument(
+                "--timeline-jsonl", default=None, metavar="PATH",
+                help="with --stream: export one JSON record per window "
+                     "to PATH",
             )
         sub.set_defaults(handler=handler)
 
@@ -797,11 +944,58 @@ def build_parser() -> argparse.ArgumentParser:
     sim.set_defaults(handler=_cmd_simulate)
 
     inspect = subparsers.add_parser(
-        "inspect", help="render a run manifest written by profile/analyze"
+        "inspect",
+        help="render a run manifest or BENCH_*.json benchmark artifact",
     )
-    inspect.add_argument("manifest", help="path to a *.manifest.json file")
+    inspect.add_argument(
+        "manifest",
+        help="path to a *.manifest.json / MANIFEST_*.json / BENCH_*.json "
+             "artifact (type detected from content; unknown types exit 7)",
+    )
     _add_obs_flags(inspect)
     inspect.set_defaults(handler=_cmd_inspect)
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="diff a BENCH/MANIFEST trajectory and exit 13 on regression",
+    )
+    watch_parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="one directory of BENCH_*.json/MANIFEST_*.json artifacts "
+             "(ordered by git history), or 2+ artifact files in "
+             "chronological order",
+    )
+    watch_parser.add_argument(
+        "--max-headline-drop", type=float, default=0.15, metavar="FRAC",
+        help="relative headline-speedup drop tolerated between points "
+             "(default: 0.15)",
+    )
+    watch_parser.add_argument(
+        "--max-workload-drop", type=float, default=0.30, metavar="FRAC",
+        help="relative per-workload speedup drop tolerated "
+             "(default: 0.30)",
+    )
+    watch_parser.add_argument(
+        "--max-obs-overhead", type=float, default=0.05, metavar="FRAC",
+        help="absolute obs self-overhead budget per point (default: 0.05)",
+    )
+    watch_parser.add_argument(
+        "--max-ipc", type=float, default=16.0, metavar="BYTES",
+        help="absolute shipped-bytes-per-access budget per point "
+             "(default: 16, the pre-arena pipe baseline)",
+    )
+    watch_parser.add_argument(
+        "--max-conflict-growth", type=float, default=0.25, metavar="FRAC",
+        help="absolute timeline conflict-fraction increase tolerated "
+             "between points (default: 0.25)",
+    )
+    watch_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the trajectory report as JSON to PATH (written even "
+             "when the gate fails, so CI can upload the evidence)",
+    )
+    _add_obs_flags(watch_parser)
+    watch_parser.set_defaults(handler=_cmd_watch)
 
     serve = subparsers.add_parser(
         "serve",

@@ -1,0 +1,509 @@
+"""Streaming windowed conflict analysis: incremental RCD over a sample stream.
+
+:class:`~repro.core.phases.PhaseAnalyzer` answers "when does the conflict
+exist?" but only after materializing the whole sample list — fine for a
+short run, useless for continuous profiling of a long-running service
+where the stream never ends.  This module is the incremental twin:
+:class:`StreamingPhaseAnalyzer` consumes the stream chunk-by-chunk (the
+v2 chunked trace format is already stream-friendly), maintains **bounded
+per-window state** — a ring of at most one in-progress window's set
+sequence plus per-set reuse trackers — and emits one mergeable
+:class:`WindowSummary` per completed window.
+
+Contract, pinned by the differential suite in
+``tests/test_core_streaming.py``:
+
+- **bit-consistency** — on the same sample stream and window settings,
+  ``finish().to_phased()`` equals ``PhaseAnalyzer.analyze(samples)``
+  report-for-report, including the trailing ``min_window`` fold and
+  every contribution-factor float;
+- **O(window) memory** — tracked state (raw set buffer + per-set reuse
+  dictionaries) never exceeds a small multiple of ``window`` regardless
+  of stream length; :attr:`StreamingPhaseAnalyzer.peak_tracked` records
+  the high-water mark so tests (and the obs layer) can verify it.
+
+The emitted timeline feeds three consumers: ``analysis.window.*``
+counters/histograms on the metrics registry, the ``timeline`` section of
+a :class:`~repro.obs.manifest.RunManifest` (strict-schema, versioned —
+see :func:`StreamingAnalysis.timeline_record`), and JSONL window-span
+export for machine consumption (``export_jsonl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.contribution import DEFAULT_RCD_THRESHOLD
+from repro.core.phases import PhasedAnalysis, PhaseReport
+from repro.errors import AnalysisError
+from repro.obs.manifest import TIMELINE_VERSION
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+
+#: Default cap on windows recorded into a manifest timeline.  Longer
+#: runs are coalesced pairwise (see :meth:`WindowSummary.merge`) so the
+#: manifest stays small; the ``coalesced`` flag records that it happened.
+DEFAULT_TIMELINE_WINDOWS = 512
+
+#: Chunk size used when converting a scalar sample stream to address
+#: columns for the windowed engine hooks.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """One window's verdict plus the counts needed to merge it.
+
+    The first six fields mirror :class:`~repro.core.phases.PhaseReport`
+    exactly (see :meth:`to_phase_report`); the rest are the mergeable
+    raw counts a rollup needs.
+
+    Attributes:
+        index: Ordinal of the window in emission order.
+        first_sample: Global index of the window's first sample.
+        sample_count: Samples in the window.
+        contribution_factor: Equation 1 over the window's samples.
+        has_conflict: Whether the window exceeds the cf boundary.
+        victim_sets: Sets with short-RCD observations inside the window.
+        rcd_observations: RCD observations in the window (misses with a
+            same-set predecessor inside the window).
+        short_rcds: Observations below the RCD threshold.
+        sets_touched: Distinct sets the window's samples landed on.
+        merged_from: How many original windows this summary covers (> 1
+            after a :meth:`merge` rollup).
+    """
+
+    index: int
+    first_sample: int
+    sample_count: int
+    contribution_factor: float
+    has_conflict: bool
+    victim_sets: List[int]
+    rcd_observations: int = 0
+    short_rcds: int = 0
+    sets_touched: int = 0
+    merged_from: int = 1
+
+    def to_phase_report(self) -> PhaseReport:
+        """The batch-analysis view of this window (bit-compatible)."""
+        return PhaseReport(
+            index=self.index,
+            first_sample=self.first_sample,
+            sample_count=self.sample_count,
+            contribution_factor=self.contribution_factor,
+            has_conflict=self.has_conflict,
+            victim_sets=list(self.victim_sets),
+        )
+
+    def merge(self, other: "WindowSummary", cf_boundary: float) -> "WindowSummary":
+        """Roll ``other`` (the adjacent later window) into this one.
+
+        A rollup, not a re-analysis: RCD pairs crossing the boundary
+        between the two windows are *not* re-linked, so the merged
+        observation counts are a lower bound and the merged cf is
+        recomputed from the summed counts.  ``has_conflict`` is sticky
+        (either half conflicting marks the merged window) so coalescing
+        a timeline never hides a conflict phase.
+        """
+        if other.first_sample < self.first_sample:
+            raise AnalysisError("merge expects the later window on the right")
+        samples = self.sample_count + other.sample_count
+        short = self.short_rcds + other.short_rcds
+        return WindowSummary(
+            index=self.index,
+            first_sample=self.first_sample,
+            sample_count=samples,
+            contribution_factor=short / samples if samples else 0.0,
+            has_conflict=self.has_conflict or other.has_conflict,
+            victim_sets=sorted(set(self.victim_sets) | set(other.victim_sets)),
+            rcd_observations=self.rcd_observations + other.rcd_observations,
+            short_rcds=short,
+            sets_touched=max(self.sets_touched, other.sets_touched),
+            merged_from=self.merged_from + other.merged_from,
+        )
+
+    def to_record(self) -> Dict[str, object]:
+        """One JSON record (the timeline/JSONL layout)."""
+        return {
+            "index": self.index,
+            "first_sample": self.first_sample,
+            "samples": self.sample_count,
+            "cf": self.contribution_factor,
+            "conflict": self.has_conflict,
+            "victim_sets": list(self.victim_sets),
+            "rcd_observations": self.rcd_observations,
+            "short_rcds": self.short_rcds,
+            "sets_touched": self.sets_touched,
+            "merged_from": self.merged_from,
+        }
+
+
+class _WindowTracker:
+    """Incremental per-window RCD state: one dict entry per touched set.
+
+    Positions are window-local sample ordinals, so an RCD observed here
+    equals the one :func:`repro.core.rcd.compute_rcds` would produce over
+    the window's set-index slice — which is how the streaming analyzer
+    stays bit-identical to the batch phase analysis.
+    """
+
+    __slots__ = (
+        "first_sample", "threshold", "count",
+        "last_seen", "short_by_set", "obs_total", "short_total",
+    )
+
+    def __init__(self, first_sample: int, threshold: int) -> None:
+        self.first_sample = first_sample
+        self.threshold = threshold
+        self.count = 0
+        self.last_seen: Dict[int, int] = {}
+        self.short_by_set: Dict[int, int] = {}
+        self.obs_total = 0
+        self.short_total = 0
+
+    def observe(self, set_index: int) -> None:
+        position = self.count
+        previous = self.last_seen.get(set_index)
+        if previous is not None:
+            self.obs_total += 1
+            if position - previous - 1 < self.threshold:
+                self.short_total += 1
+                self.short_by_set[set_index] = (
+                    self.short_by_set.get(set_index, 0) + 1
+                )
+        self.last_seen[set_index] = position
+        self.count += 1
+
+    @property
+    def tracked_entries(self) -> int:
+        """Dictionary entries held (the tracker's state size)."""
+        return len(self.last_seen) + len(self.short_by_set)
+
+    def summary(self, index: int, cf_boundary: float) -> WindowSummary:
+        cf = self.short_total / self.count if self.count else 0.0
+        return WindowSummary(
+            index=index,
+            first_sample=self.first_sample,
+            sample_count=self.count,
+            contribution_factor=cf,
+            has_conflict=cf >= cf_boundary,
+            victim_sets=sorted(self.short_by_set),
+            rcd_observations=self.obs_total,
+            short_rcds=self.short_total,
+            sets_touched=len(self.last_seen),
+            merged_from=1,
+        )
+
+
+@dataclass
+class StreamingAnalysis:
+    """What one finished streaming run produced.
+
+    ``summaries`` is the full per-window timeline; :meth:`to_phased`
+    materializes the batch-compatible view for existing consumers.
+    """
+
+    window: int
+    min_window: int
+    rcd_threshold: int
+    cf_boundary: float
+    summaries: List[WindowSummary] = field(default_factory=list)
+    total_samples: int = 0
+    peak_tracked: int = 0
+    folded: bool = False
+    engine: str = ""
+    #: Name of the engine whose windowed hook was *requested* when the
+    #: run actually executed on a fallback engine (e.g. ``"sharded"``
+    #: when the sharded backend routed windowed analysis to batched).
+    fallback_from: Optional[str] = None
+
+    def to_phased(self) -> PhasedAnalysis:
+        """The batch-analysis view (bit-compatible with PhaseAnalyzer)."""
+        return PhasedAnalysis(
+            phases=[summary.to_phase_report() for summary in self.summaries]
+        )
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Share of windows that conflict."""
+        if not self.summaries:
+            return 0.0
+        conflicting = sum(1 for s in self.summaries if s.has_conflict)
+        return conflicting / len(self.summaries)
+
+    def transitions(self) -> List[int]:
+        """Window indices where the verdict flips (phase boundaries)."""
+        flips: List[int] = []
+        for previous, current in zip(self.summaries, self.summaries[1:]):
+            if previous.has_conflict != current.has_conflict:
+                flips.append(current.index)
+        return flips
+
+    def conflict_windows(self) -> List[WindowSummary]:
+        """Windows flagged as conflicting."""
+        return [s for s in self.summaries if s.has_conflict]
+
+    def victim_sets(self) -> List[int]:
+        """Union of victim sets across all conflicting windows."""
+        victims: set = set()
+        for summary in self.conflict_windows():
+            victims.update(summary.victim_sets)
+        return sorted(victims)
+
+    def timeline_record(
+        self, max_windows: int = DEFAULT_TIMELINE_WINDOWS
+    ) -> Dict[str, object]:
+        """The manifest ``timeline`` section (strict-schema, versioned).
+
+        Timelines longer than ``max_windows`` are coalesced by pairwise
+        :meth:`WindowSummary.merge` so the manifest stays bounded; the
+        ``coalesced`` flag records the loss of resolution.
+        """
+        if max_windows < 1:
+            raise AnalysisError(f"max_windows must be positive: {max_windows}")
+        windows = list(self.summaries)
+        coalesced = False
+        while len(windows) > max_windows:
+            coalesced = True
+            merged: List[WindowSummary] = []
+            for i in range(0, len(windows) - 1, 2):
+                merged.append(windows[i].merge(windows[i + 1], self.cf_boundary))
+            if len(windows) % 2:
+                merged.append(windows[-1])
+            windows = merged
+        record: Dict[str, object] = {
+            "version": TIMELINE_VERSION,
+            "window": self.window,
+            "min_window": self.min_window,
+            "rcd_threshold": self.rcd_threshold,
+            "cf_boundary": self.cf_boundary,
+            "engine": self.engine,
+            "total_samples": self.total_samples,
+            "conflict_fraction": self.conflict_fraction,
+            "transitions": self.transitions(),
+            "coalesced": coalesced,
+            "windows": [summary.to_record() for summary in windows],
+        }
+        if self.fallback_from is not None:
+            record["fallback_from"] = self.fallback_from
+        return record
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON record per window; returns the count written."""
+        import json
+
+        count = 0
+        with open(path, "w", encoding="ascii") as handle:
+            for summary in self.summaries:
+                handle.write(
+                    json.dumps(summary.to_record(), sort_keys=True) + "\n"
+                )
+                count += 1
+        return count
+
+
+class StreamingPhaseAnalyzer:
+    """Incremental windowed conflict analysis with O(window) state.
+
+    Feed samples with :meth:`feed` (scalar :class:`AddressSample`
+    stream), :meth:`feed_addresses` (an address column — the columnar
+    engines' path), or :meth:`feed_sets` (pre-computed set indices);
+    then :meth:`finish` closes the stream and returns the
+    :class:`StreamingAnalysis`.
+
+    Bit-consistency with the batch analyzer hinges on two details this
+    class reproduces exactly:
+
+    - per-window RCD is computed over window-local positions, so window
+      boundaries reset reuse tracking just like the batch slice does;
+    - a trailing window smaller than ``min_window`` folds into its
+      predecessor, which *re-links* reuse pairs across the former
+      boundary — the analyzer keeps the last full window's tracker
+      alive (not just its summary) and replays the partial tail into it
+      (the tail's raw set sequence is the only per-sample state held,
+      bounded by ``window``).
+
+    Args mirror :class:`~repro.core.phases.PhaseAnalyzer`; ``on_window``
+    is called with each :class:`WindowSummary` as it becomes final (the
+    service's per-window progress hook).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = CacheGeometry(),
+        window: int = 256,
+        rcd_threshold: int = DEFAULT_RCD_THRESHOLD,
+        cf_boundary: float = 0.25,
+        min_window: int = 32,
+        on_window: Optional[Callable[[WindowSummary], None]] = None,
+    ) -> None:
+        if window <= 0:
+            raise AnalysisError(f"window must be positive: {window}")
+        if not 0 < min_window <= window:
+            raise AnalysisError(
+                f"min_window must be in (0, window]: {min_window} vs {window}"
+            )
+        if rcd_threshold <= 0:
+            raise AnalysisError(
+                f"RCD threshold must be positive: {rcd_threshold}"
+            )
+        self.geometry = geometry
+        self.window = window
+        self.rcd_threshold = rcd_threshold
+        self.cf_boundary = cf_boundary
+        self.min_window = min_window
+        self.on_window = on_window
+        self.samples_seen = 0
+        self.peak_tracked = 0
+        self._current = _WindowTracker(0, rcd_threshold)
+        self._current_sets: List[int] = []
+        self._pending: Optional[_WindowTracker] = None
+        self._summaries: List[WindowSummary] = []
+        self._folded = False
+        self._analysis: Optional[StreamingAnalysis] = None
+
+    # -- feeding --------------------------------------------------------
+
+    def feed(self, samples: Iterable) -> None:
+        """Consume a chunk of :class:`AddressSample` records (or anything
+        with an ``address`` attribute)."""
+        set_index = self.geometry.set_index
+        for sample in samples:
+            self._observe(set_index(sample.address))
+
+    def feed_addresses(self, addresses: np.ndarray) -> None:
+        """Consume a chunk of raw addresses (vectorized set extraction)."""
+        column = np.asarray(addresses, dtype=np.uint64)
+        if column.size:
+            sets = self.geometry.set_indices(column).astype(np.int64)
+            self.feed_sets(sets.tolist())
+
+    def feed_sets(self, set_sequence: Sequence[int]) -> None:
+        """Consume a chunk of pre-computed cache-set indices."""
+        for set_index in set_sequence:
+            self._observe(int(set_index))
+
+    def _observe(self, set_index: int) -> None:
+        if self._analysis is not None:
+            raise AnalysisError("streaming analyzer already finished")
+        self._current.observe(set_index)
+        self._current_sets.append(set_index)
+        self.samples_seen += 1
+        tracked = len(self._current_sets) + self._current.tracked_entries
+        if self._pending is not None:
+            tracked += self._pending.tracked_entries
+        if tracked > self.peak_tracked:
+            self.peak_tracked = tracked
+        if self._current.count == self.window:
+            if self._pending is not None:
+                self._emit(self._pending)
+            self._pending = self._current
+            self._current = _WindowTracker(self.samples_seen, self.rcd_threshold)
+            self._current_sets = []
+
+    # -- emission -------------------------------------------------------
+
+    def _emit(self, tracker: _WindowTracker) -> None:
+        summary = tracker.summary(len(self._summaries), self.cf_boundary)
+        self._summaries.append(summary)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("analysis.window.emitted").inc()
+            if summary.has_conflict:
+                registry.counter("analysis.window.conflicts").inc()
+            registry.histogram("analysis.window.samples").observe(
+                summary.sample_count
+            )
+            registry.histogram("analysis.window.short_rcds").observe(
+                summary.short_rcds
+            )
+        tracer = get_tracer()
+        # Window spans nest under the enclosing stage span only: emitted
+        # as roots they would flood the tracer's bounded root cap on a
+        # long stream (one window per `window` samples, forever).
+        if tracer.enabled and tracer.current is not None:
+            with tracer.span(
+                "analysis.window",
+                index=summary.index,
+                samples=summary.sample_count,
+                cf=round(summary.contribution_factor, 4),
+                conflict=summary.has_conflict,
+            ):
+                pass
+        if self.on_window is not None:
+            self.on_window(summary)
+
+    def finish(self, engine: str = "") -> StreamingAnalysis:
+        """Close the stream and return the analysis (idempotent)."""
+        if self._analysis is not None:
+            return self._analysis
+        current, pending = self._current, self._pending
+        if current.count == 0:
+            if pending is not None:
+                self._emit(pending)
+        elif pending is not None and current.count < self.min_window:
+            # Trailing fold: replay the partial tail into the kept full
+            # window's tracker — positions continue past `window`, so
+            # reuse pairs crossing the former boundary are linked exactly
+            # as the batch analysis of the combined slice links them.
+            for set_index in self._current_sets:
+                pending.observe(set_index)
+            self._folded = True
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("analysis.window.folds").inc()
+            self._emit(pending)
+        else:
+            if pending is not None:
+                self._emit(pending)
+            self._emit(current)
+        self._current_sets = []
+        self._pending = None
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("analysis.window.peak_tracked").set(
+                self.peak_tracked
+            )
+        self._analysis = StreamingAnalysis(
+            window=self.window,
+            min_window=self.min_window,
+            rcd_threshold=self.rcd_threshold,
+            cf_boundary=self.cf_boundary,
+            summaries=self._summaries,
+            total_samples=self.samples_seen,
+            peak_tracked=self.peak_tracked,
+            folded=self._folded,
+            engine=engine,
+        )
+        return self._analysis
+
+
+def iter_address_chunks(
+    samples: Iterable, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterable[np.ndarray]:
+    """Chunk a sample stream into uint64 address columns.
+
+    Accepts an address ``ndarray`` (sliced), or any iterable of records
+    with an ``address`` attribute (buffered ``chunk_size`` at a time) —
+    the adapter the columnar windowed engine hooks use, so a live
+    sample stream never has to be materialized whole.
+    """
+    if chunk_size <= 0:
+        raise AnalysisError(f"chunk_size must be positive: {chunk_size}")
+    if isinstance(samples, np.ndarray):
+        column = samples.astype(np.uint64, copy=False)
+        for start in range(0, column.size, chunk_size):
+            yield column[start:start + chunk_size]
+        return
+    buffer: List[int] = []
+    for sample in samples:
+        buffer.append(int(sample.address))
+        if len(buffer) >= chunk_size:
+            yield np.array(buffer, dtype=np.uint64)
+            buffer = []
+    if buffer:
+        yield np.array(buffer, dtype=np.uint64)

@@ -145,6 +145,31 @@ class ProtocolError(ServiceError):
     reason = "protocol"
 
 
+class WatchError(ReproError):
+    """Raised for trajectory-watch failures (``ccprof watch``).
+
+    Covers unreadable or unordered trajectory inputs and — via
+    :class:`WatchRegressionError` — the gate itself, so CI can
+    distinguish "the watch could not run" from "the watch ran and the
+    trajectory regressed" without parsing stderr.
+    """
+
+    code = "watch"
+    exit_code = 13
+
+
+class WatchRegressionError(WatchError):
+    """Raised when a watched trajectory crosses a regression threshold.
+
+    Attributes:
+        regressions: The failing findings' messages, in report order.
+    """
+
+    def __init__(self, message: str, *, regressions: list = None) -> None:
+        super().__init__(message)
+        self.regressions = regressions or []
+
+
 class RetryExhaustedError(ReproError):
     """Raised when a retried operation failed on every allowed attempt.
 

@@ -27,6 +27,44 @@ from repro.errors import ReproError
 #: Bumped on any incompatible change to the manifest layout.
 MANIFEST_VERSION = 1
 
+#: Bumped on any incompatible change to the ``timeline`` section layout
+#: (the streaming windowed analysis writes it; see
+#: :meth:`repro.core.streaming.StreamingAnalysis.timeline_record`).
+TIMELINE_VERSION = 1
+
+#: Required / optional keys of the ``timeline`` section (strict: anything
+#: else is rejected, like the manifest's own top level).
+_TIMELINE_REQUIRED = {
+    "version": int,
+    "window": int,
+    "min_window": int,
+    "rcd_threshold": int,
+    "cf_boundary": (int, float),
+    "engine": str,
+    "total_samples": int,
+    "conflict_fraction": (int, float),
+    "transitions": list,
+    "coalesced": bool,
+    "windows": list,
+}
+_TIMELINE_OPTIONAL = {
+    "fallback_from": str,
+}
+
+#: Per-window record keys inside ``timeline["windows"]``.
+_TIMELINE_WINDOW_FIELDS = {
+    "index": int,
+    "first_sample": int,
+    "samples": int,
+    "cf": (int, float),
+    "conflict": bool,
+    "victim_sets": list,
+    "rcd_observations": int,
+    "short_rcds": int,
+    "sets_touched": int,
+    "merged_from": int,
+}
+
 PathLike = Union[str, Path]
 
 
@@ -53,6 +91,66 @@ def git_revision() -> str:
     return revision if completed.returncode == 0 and revision else "unknown"
 
 
+def _check_fields(
+    record: Dict[str, object],
+    required: Dict[str, object],
+    optional: Dict[str, object],
+    label: str,
+) -> None:
+    """Strict field check shared by the timeline validators."""
+    unknown = set(record) - set(required) - set(optional)
+    if unknown:
+        raise ManifestError(
+            f"{label} has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    for name, kind in required.items():
+        if name not in record:
+            raise ManifestError(f"{label} missing required field '{name}'")
+        if not isinstance(record[name], kind) or (
+            isinstance(record[name], bool) and kind is int
+        ):
+            raise ManifestError(
+                f"{label} field '{name}' has wrong type "
+                f"{type(record[name]).__name__}"
+            )
+    for name, kind in optional.items():
+        if name in record and not isinstance(record[name], kind):
+            raise ManifestError(
+                f"{label} field '{name}' has wrong type "
+                f"{type(record[name]).__name__}"
+            )
+
+
+def validate_timeline(timeline: object) -> Dict[str, object]:
+    """Check a manifest ``timeline`` section against the strict schema.
+
+    Returns the validated section; raises :class:`ManifestError` on any
+    layout violation (wrong version, missing/unknown/mistyped fields —
+    at the top level or inside any window record).
+    """
+    if not isinstance(timeline, dict):
+        raise ManifestError(
+            f"timeline must be a JSON object, got {type(timeline).__name__}"
+        )
+    version = timeline.get("version")
+    if version != TIMELINE_VERSION:
+        raise ManifestError(
+            f"unsupported timeline version {version!r} "
+            f"(this reader understands {TIMELINE_VERSION})"
+        )
+    _check_fields(timeline, _TIMELINE_REQUIRED, _TIMELINE_OPTIONAL, "timeline")
+    for position, window in enumerate(timeline["windows"]):
+        if not isinstance(window, dict):
+            raise ManifestError(
+                f"timeline window {position} must be an object, "
+                f"got {type(window).__name__}"
+            )
+        _check_fields(
+            window, _TIMELINE_WINDOW_FIELDS, {}, f"timeline window {position}"
+        )
+    return timeline
+
+
 @dataclass
 class RunManifest:
     """Everything needed to understand (and re-run) one pipeline run.
@@ -73,6 +171,9 @@ class RunManifest:
         data_quality: The report's DataQuality section as a dict.
         sampling: Run totals (samples/events/accesses, truncation).
         outputs: Artifact paths written alongside this manifest.
+        timeline: Streaming windowed-analysis timeline (versioned,
+            strict-schema — see :data:`TIMELINE_VERSION`); None for runs
+            without ``--stream``.
     """
 
     command: str
@@ -89,6 +190,7 @@ class RunManifest:
     data_quality: Optional[Dict[str, object]] = None
     sampling: Dict[str, object] = field(default_factory=dict)
     outputs: Dict[str, str] = field(default_factory=dict)
+    timeline: Optional[Dict[str, object]] = None
     version: int = MANIFEST_VERSION
 
     def __post_init__(self) -> None:
@@ -124,6 +226,8 @@ class RunManifest:
             raise ManifestError(
                 f"manifest has unknown fields: {', '.join(sorted(unknown))}"
             )
+        if record.get("timeline") is not None:
+            validate_timeline(record["timeline"])
         return cls(**record)  # type: ignore[arg-type]
 
     def save(self, path: PathLike) -> Path:
@@ -190,6 +294,7 @@ class RunManifest:
                 self.stage_timings.items(), key=lambda item: -item[1]
             ):
                 lines.append(f"    {name:<24} {seconds * 1e3:9.3f} ms")
+        lines.extend(self._render_timeline())
         lines.extend(self._render_quality())
         lines.extend(self._render_metrics())
         if self.outputs:
@@ -197,6 +302,45 @@ class RunManifest:
             for label, path in sorted(self.outputs.items()):
                 lines.append(f"    {label}: {path}")
         return "\n".join(lines)
+
+    def _render_timeline(self) -> List[str]:
+        timeline = self.timeline
+        if not timeline:
+            return []
+        windows = timeline.get("windows", [])
+        fraction = timeline.get("conflict_fraction", 0.0)
+        engine = timeline.get("engine") or "?"
+        fallback = timeline.get("fallback_from")
+        lines = [
+            "  timeline: "
+            f"{len(windows)} windows of {timeline.get('window', '?')} samples"
+            f" ({timeline.get('total_samples', '?')} total), "
+            f"engine {engine}"
+            + (f" (requested {fallback})" if fallback else ""),
+            f"    conflict fraction: {fraction:.2f}"
+            f"  transitions: {timeline.get('transitions', [])}"
+            + ("  (coalesced)" if timeline.get("coalesced") else ""),
+        ]
+        if windows:
+            # One mark per window: '#' conflicting, '.' clean — the phase
+            # picture at a glance.
+            marks = "".join(
+                "#" if window.get("conflict") else "." for window in windows
+            )
+            lines.append(f"    phases: [{marks}]")
+        for window in windows:
+            if not window.get("conflict"):
+                continue
+            victims = window.get("victim_sets", [])
+            shown = ", ".join(str(v) for v in victims[:8])
+            if len(victims) > 8:
+                shown += f", ... ({len(victims)} total)"
+            lines.append(
+                f"    window {window.get('index'):>4}  "
+                f"cf {window.get('cf', 0.0):.3f}  "
+                f"victims [{shown}]"
+            )
+        return lines
 
     def _render_quality(self) -> List[str]:
         quality = self.data_quality

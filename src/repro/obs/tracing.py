@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
@@ -146,6 +147,7 @@ class Tracer:
         self.roots: List[Span] = []
         self.dropped_roots = 0
         self._stack: List[Span] = []
+        self._drop_warned = False
 
     def span(
         self, name: str, **attributes: object
@@ -174,6 +176,22 @@ class Tracer:
             if overflow > 0:
                 del self.roots[:overflow]
                 self.dropped_roots += overflow
+                # Dropping history must never be silent: long-running
+                # processes (the service daemon, streaming analysis) hit
+                # the cap routinely, and a truncated span forest would
+                # otherwise masquerade as the whole story.
+                from repro.obs.metrics import get_registry
+
+                get_registry().counter("obs.trace.roots_dropped").inc(overflow)
+                if not self._drop_warned:
+                    self._drop_warned = True
+                    warnings.warn(
+                        f"tracer root-span cap ({self.max_roots}) reached; "
+                        "oldest spans are being dropped "
+                        "(obs.trace.roots_dropped counts them)",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
 
     # -- queries -------------------------------------------------------
 
@@ -186,6 +204,7 @@ class Tracer:
         """Forget every finished root span (open spans are untouched)."""
         self.roots.clear()
         self.dropped_roots = 0
+        self._drop_warned = False
 
     def stage_timings(self) -> Dict[str, float]:
         """Total wall seconds per span name, over the whole forest.

@@ -1,0 +1,720 @@
+"""Trajectory watch: turn BENCH/MANIFEST artifacts into a regression gate.
+
+The repo's perf trajectory — one ``BENCH_<rev>.json`` (and optionally a
+``MANIFEST_<rev>.json``) per benchmarked revision — has always been a
+*record*.  This module makes it a *detector*: :func:`load_trajectory`
+reads a directory (or an explicit file list) into ordered
+:class:`TrajectoryPoint` s, :func:`watch_trajectory` walks consecutive
+pairs applying :class:`WatchThresholds`, and the resulting
+:class:`TrajectoryReport` renders the trend and says whether anything
+regressed.  ``ccprof watch`` exits through the ``watch`` error family
+(exit 13) on regression so CI and the service can gate on it.
+
+Threshold semantics (see DESIGN.md §9 for the rationale):
+
+- **headline drop** is relative: ``(before - after) / before`` on the
+  headline speedup, gated at 15% by default.
+- **per-workload drop** is relative per common workload name, gated at
+  30% — looser than the headline because individual workloads trade
+  wins between revisions (the committed trajectory itself moves
+  ``exact_rcd`` −24% while the headline rises 25%).
+- **obs overhead** and **ipc bytes/access** are absolute per-point
+  budgets (5% and the 16 B/access pipe baseline), matching the existing
+  CI perf-smoke gates — the watch re-checks them over history, not just
+  on the current run.
+- **screen verdicts** regress only on a ``clear → suspect`` flip;
+  ``unknown`` transitions are informational.
+- **timeline conflict fraction** (from manifests carrying a streaming
+  ``timeline`` section) regresses on an absolute increase beyond 0.25;
+  per-phase victim-set drift is informational.
+
+Gate flags embedded in the artifacts themselves (``headline.target_met``,
+per-workload ``gate_met``) fail the watch whenever they are false —
+*except* ``headline.sharded.target_met`` when the artifact says the gate
+was not ``enforced`` (single-CPU benches record the miss without
+claiming it matters).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import WatchError, WatchRegressionError
+from repro.obs.manifest import ManifestError, RunManifest
+from repro.perf.schema import BenchSchemaError, load_result
+
+PathLike = Union[str, Path]
+
+#: Severity levels a finding can carry, in increasing order of alarm.
+SEVERITIES = ("ok", "info", "regression")
+
+
+@dataclass(frozen=True)
+class WatchThresholds:
+    """Configurable regression boundaries (defaults documented above).
+
+    Attributes:
+        max_headline_drop: Relative headline-speedup drop tolerated
+            between consecutive points.
+        max_workload_drop: Relative per-workload speedup drop tolerated.
+        max_obs_overhead: Absolute obs self-overhead budget per point.
+        max_ipc_bytes_per_access: Absolute shipped-bytes budget per point
+            (the pre-arena pipe baseline).
+        max_conflict_growth: Absolute timeline conflict-fraction increase
+            tolerated between consecutive points.
+    """
+
+    max_headline_drop: float = 0.15
+    max_workload_drop: float = 0.30
+    max_obs_overhead: float = 0.05
+    max_ipc_bytes_per_access: float = 16.0
+    max_conflict_growth: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_headline_drop",
+            "max_workload_drop",
+            "max_obs_overhead",
+            "max_ipc_bytes_per_access",
+            "max_conflict_growth",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise WatchError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass
+class TrajectoryPoint:
+    """One revision's artifacts: its BENCH result and/or run manifest."""
+
+    revision: str
+    bench: Optional[Dict[str, object]] = None
+    manifest: Optional[RunManifest] = None
+    sources: List[str] = field(default_factory=list)
+
+    @property
+    def headline_speedup(self) -> Optional[float]:
+        if self.bench is None:
+            return None
+        return float(self.bench["headline"]["speedup"])
+
+    def workload_speedups(self) -> Dict[str, float]:
+        if self.bench is None:
+            return {}
+        return {
+            str(workload["name"]): float(workload["speedup"])
+            for workload in self.bench["workloads"]
+        }
+
+    @property
+    def obs_overhead(self) -> Optional[float]:
+        if self.bench is None or "obs_overhead" not in self.bench:
+            return None
+        return float(self.bench["obs_overhead"]["overhead"])
+
+    @property
+    def ipc_bytes_per_access(self) -> Optional[float]:
+        if self.bench is None:
+            return None
+        sharded = self.bench["headline"].get("sharded") or {}
+        ipc = sharded.get("ipc")
+        if ipc is None:
+            return None
+        return float(ipc["bytes_shipped_per_access"])
+
+    @property
+    def screen_verdict(self) -> Optional[str]:
+        if self.bench is None or "screening" not in self.bench:
+            return None
+        return str(self.bench["screening"]["verdict"])
+
+    @property
+    def timeline(self) -> Optional[Dict[str, object]]:
+        if self.manifest is None:
+            return None
+        return self.manifest.timeline
+
+
+@dataclass(frozen=True)
+class WatchFinding:
+    """One observation about the trajectory.
+
+    Attributes:
+        transition: ``"rev_a -> rev_b"`` for pairwise checks, the bare
+            revision for point-level checks.
+        dimension: What was compared (``headline``, ``workload:name``,
+            ``obs_overhead``, ``ipc``, ``screen``, ``timeline``,
+            ``gate``).
+        severity: ``ok`` / ``info`` / ``regression``.
+        message: Human-readable summary with the numbers.
+        before: Prior value (pairwise checks; None otherwise).
+        after: Current value.
+    """
+
+    transition: str
+    dimension: str
+    severity: str
+    message: str
+    before: Optional[float] = None
+    after: Optional[float] = None
+
+
+@dataclass
+class TrajectoryReport:
+    """Everything one watch run concluded."""
+
+    points: List[TrajectoryPoint]
+    thresholds: WatchThresholds
+    findings: List[WatchFinding] = field(default_factory=list)
+
+    def regressions(self) -> List[WatchFinding]:
+        """Findings that should fail the gate, in report order."""
+        return [f for f in self.findings if f.severity == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (the ``--report`` artifact CI uploads)."""
+        return {
+            "revisions": [point.revision for point in self.points],
+            "thresholds": asdict(self.thresholds),
+            "ok": self.ok,
+            "findings": [asdict(finding) for finding in self.findings],
+            "headline": {
+                point.revision: point.headline_speedup
+                for point in self.points
+                if point.headline_speedup is not None
+            },
+        }
+
+    def save(self, path: PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="ascii") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    def render(self) -> str:
+        """Multi-line text report: the trend, then every finding."""
+        lines = [
+            "perf trajectory: "
+            + " -> ".join(point.revision for point in self.points)
+        ]
+        for point in self.points:
+            headline = point.headline_speedup
+            parts = [f"  {point.revision:<9}"]
+            parts.append(
+                f"headline {headline:6.2f}x" if headline is not None
+                else "headline      -"
+            )
+            overhead = point.obs_overhead
+            if overhead is not None:
+                parts.append(f"obs {overhead:+.2%}")
+            ipc = point.ipc_bytes_per_access
+            if ipc is not None:
+                parts.append(f"ipc {ipc:.4f} B/access")
+            if point.timeline is not None:
+                fraction = point.timeline.get("conflict_fraction", 0.0)
+                parts.append(f"conflict {fraction:.2f}")
+            lines.append("  ".join(parts))
+        shown = [f for f in self.findings if f.severity != "ok"]
+        if shown:
+            lines.append("findings:")
+            for finding in shown:
+                lines.append(
+                    f"  [{finding.severity.upper():<10}] "
+                    f"{finding.transition}  {finding.dimension}: "
+                    f"{finding.message}"
+                )
+        lines.append(
+            "verdict: "
+            + ("ok" if self.ok else f"{len(self.regressions())} regression(s)")
+        )
+        return "\n".join(lines)
+
+
+# -- loading ------------------------------------------------------------
+
+
+def _revision_of(path: Path) -> str:
+    """Revision encoded in a ``BENCH_<rev>.json``/``MANIFEST_<rev>.json``
+    name (falls back to the stem for free-form names)."""
+    stem = path.stem
+    for prefix in ("BENCH_", "MANIFEST_"):
+        if stem.startswith(prefix):
+            return stem[len(prefix):]
+    return stem
+
+
+def _git_order(directory: Path) -> List[str]:
+    """Commit hashes of ``directory``'s repo, oldest first ([] outside
+    git) — the authoritative ordering for a trajectory directory."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-list", "--topo-order", "--reverse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+            cwd=str(directory),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if completed.returncode != 0:
+        return []
+    return completed.stdout.split()
+
+
+def _attach(point: TrajectoryPoint, path: Path) -> None:
+    """Load ``path`` into ``point`` as a bench result or a manifest."""
+    name = path.name
+    if name.startswith("BENCH_"):
+        try:
+            point.bench = load_result(path)
+        except BenchSchemaError as exc:
+            raise WatchError(f"{path}: {exc}") from exc
+    elif name.startswith("MANIFEST_"):
+        try:
+            point.manifest = RunManifest.load(path)
+        except ManifestError as exc:
+            raise WatchError(f"{path}: {exc}") from exc
+    else:
+        raise WatchError(
+            f"{path}: not a trajectory artifact "
+            "(expected BENCH_*.json or MANIFEST_*.json)"
+        )
+    point.sources.append(str(path))
+
+
+def load_trajectory(paths: Sequence[PathLike]) -> List[TrajectoryPoint]:
+    """Build the ordered trajectory from ``paths``.
+
+    One directory argument globs its ``BENCH_*.json``/``MANIFEST_*.json``
+    files, groups them by the revision in the filename, and orders the
+    points by git history (topological, oldest first; file mtime when the
+    directory is not inside a git checkout).  Multiple file arguments are
+    taken in the given order — the caller is asserting the chronology —
+    with same-revision BENCH/MANIFEST pairs merged into one point.
+    """
+    if not paths:
+        raise WatchError("no trajectory inputs given")
+    expanded: List[Path] = []
+    if len(paths) == 1 and Path(paths[0]).is_dir():
+        directory = Path(paths[0])
+        expanded = sorted(directory.glob("BENCH_*.json")) + sorted(
+            directory.glob("MANIFEST_*.json")
+        )
+        if not expanded:
+            raise WatchError(
+                f"{directory}: no BENCH_*.json or MANIFEST_*.json artifacts"
+            )
+        order = _git_order(directory)
+    else:
+        expanded = [Path(path) for path in paths]
+        order = []
+
+    points: Dict[str, TrajectoryPoint] = {}
+    arrival: List[str] = []
+    for path in expanded:
+        if not path.is_file():
+            raise WatchError(f"{path}: no such artifact")
+        revision = _revision_of(path)
+        if revision not in points:
+            points[revision] = TrajectoryPoint(revision=revision)
+            arrival.append(revision)
+        _attach(points[revision], path)
+
+    if order:
+        # Git order: match each artifact revision as a prefix of a commit
+        # hash; artifacts from unknown revisions keep arrival order at
+        # the end (an orphaned artifact should not crash the gate).
+        position = {}
+        for revision in arrival:
+            position[revision] = next(
+                (
+                    index
+                    for index, commit in enumerate(order)
+                    if commit.startswith(revision)
+                ),
+                len(order) + arrival.index(revision),
+            )
+        arrival.sort(key=lambda revision: position[revision])
+    elif len(paths) == 1:
+        # Directory outside git: mtime is the best available chronology.
+        mtimes = {
+            revision: min(Path(s).stat().st_mtime for s in point.sources)
+            for revision, point in points.items()
+        }
+        arrival.sort(key=lambda revision: mtimes[revision])
+
+    trajectory = [points[revision] for revision in arrival]
+    if len(trajectory) < 2:
+        raise WatchError(
+            f"trajectory needs at least 2 points to diff, got {len(trajectory)}"
+        )
+    return trajectory
+
+
+# -- checks -------------------------------------------------------------
+
+
+def _relative_drop(before: float, after: float) -> float:
+    """Fractional drop from ``before`` to ``after`` (<= 0 on improvement)."""
+    if before <= 0:
+        return 0.0
+    return (before - after) / before
+
+
+def _check_pair(
+    before: TrajectoryPoint,
+    after: TrajectoryPoint,
+    thresholds: WatchThresholds,
+) -> List[WatchFinding]:
+    transition = f"{before.revision} -> {after.revision}"
+    findings: List[WatchFinding] = []
+
+    headline_before = before.headline_speedup
+    headline_after = after.headline_speedup
+    if headline_before is not None and headline_after is not None:
+        drop = _relative_drop(headline_before, headline_after)
+        if drop > thresholds.max_headline_drop:
+            severity, note = "regression", "exceeds"
+        elif drop > 0:
+            severity, note = "info", "within"
+        else:
+            severity, note = "ok", "improved past"
+        findings.append(
+            WatchFinding(
+                transition=transition,
+                dimension="headline",
+                severity=severity,
+                message=(
+                    f"speedup {headline_before:.2f}x -> {headline_after:.2f}x "
+                    f"({-drop:+.1%}), {note} the "
+                    f"{thresholds.max_headline_drop:.0%} drop threshold"
+                ),
+                before=headline_before,
+                after=headline_after,
+            )
+        )
+
+    speedups_before = before.workload_speedups()
+    speedups_after = after.workload_speedups()
+    for name in sorted(set(speedups_before) & set(speedups_after)):
+        drop = _relative_drop(speedups_before[name], speedups_after[name])
+        if drop > thresholds.max_workload_drop:
+            severity = "regression"
+        elif drop > thresholds.max_workload_drop / 2:
+            severity = "info"
+        else:
+            continue
+        findings.append(
+            WatchFinding(
+                transition=transition,
+                dimension=f"workload:{name}",
+                severity=severity,
+                message=(
+                    f"speedup {speedups_before[name]:.2f}x -> "
+                    f"{speedups_after[name]:.2f}x ({-drop:+.1%}; "
+                    f"threshold {thresholds.max_workload_drop:.0%})"
+                ),
+                before=speedups_before[name],
+                after=speedups_after[name],
+            )
+        )
+    for name in sorted(set(speedups_before) - set(speedups_after)):
+        findings.append(
+            WatchFinding(
+                transition=transition,
+                dimension=f"workload:{name}",
+                severity="info",
+                message="workload dropped from the bench suite",
+                before=speedups_before[name],
+            )
+        )
+    for name in sorted(set(speedups_after) - set(speedups_before)):
+        findings.append(
+            WatchFinding(
+                transition=transition,
+                dimension=f"workload:{name}",
+                severity="info",
+                message=f"new workload at {speedups_after[name]:.2f}x",
+                after=speedups_after[name],
+            )
+        )
+
+    verdict_before = before.screen_verdict
+    verdict_after = after.screen_verdict
+    if (
+        verdict_before is not None
+        and verdict_after is not None
+        and verdict_before != verdict_after
+    ):
+        worsened = verdict_before == "clear" and verdict_after == "suspect"
+        findings.append(
+            WatchFinding(
+                transition=transition,
+                dimension="screen",
+                severity="regression" if worsened else "info",
+                message=f"screen verdict {verdict_before} -> {verdict_after}",
+            )
+        )
+
+    timeline_before = before.timeline
+    timeline_after = after.timeline
+    if timeline_before is not None and timeline_after is not None:
+        fraction_before = float(timeline_before.get("conflict_fraction", 0.0))
+        fraction_after = float(timeline_after.get("conflict_fraction", 0.0))
+        growth = fraction_after - fraction_before
+        if growth > thresholds.max_conflict_growth:
+            findings.append(
+                WatchFinding(
+                    transition=transition,
+                    dimension="timeline",
+                    severity="regression",
+                    message=(
+                        f"conflict fraction {fraction_before:.2f} -> "
+                        f"{fraction_after:.2f} (+{growth:.2f}; threshold "
+                        f"+{thresholds.max_conflict_growth:.2f})"
+                    ),
+                    before=fraction_before,
+                    after=fraction_after,
+                )
+            )
+        victims_before = _timeline_victims(timeline_before)
+        victims_after = _timeline_victims(timeline_after)
+        appeared = sorted(victims_after - victims_before)
+        if appeared:
+            findings.append(
+                WatchFinding(
+                    transition=transition,
+                    dimension="timeline",
+                    severity="info",
+                    message=(
+                        f"{len(appeared)} new victim set(s) in conflict "
+                        f"phases: {appeared[:8]}"
+                    ),
+                )
+            )
+    return findings
+
+
+def _timeline_victims(timeline: Dict[str, object]) -> set:
+    victims: set = set()
+    for window in timeline.get("windows", []):  # type: ignore[union-attr]
+        if window.get("conflict"):
+            victims.update(window.get("victim_sets", []))
+    return victims
+
+
+def _check_point(
+    point: TrajectoryPoint, thresholds: WatchThresholds
+) -> List[WatchFinding]:
+    findings: List[WatchFinding] = []
+    bench = point.bench
+    if bench is None:
+        return findings
+    headline = bench["headline"]
+    if not headline["target_met"]:
+        findings.append(
+            WatchFinding(
+                transition=point.revision,
+                dimension="gate",
+                severity="regression",
+                message=(
+                    f"headline speedup {headline['speedup']:.2f}x misses its "
+                    f"{headline['target_speedup']:.0f}x target"
+                ),
+                after=float(headline["speedup"]),
+            )
+        )
+    if not headline["all_match"]:
+        findings.append(
+            WatchFinding(
+                transition=point.revision,
+                dimension="gate",
+                severity="regression",
+                message="bench recorded an engine/scalar mismatch",
+            )
+        )
+    for workload in bench["workloads"]:
+        if workload.get("gate_met") is False:
+            findings.append(
+                WatchFinding(
+                    transition=point.revision,
+                    dimension=f"gate:{workload['name']}",
+                    severity="regression",
+                    message=(
+                        f"speedup {workload['speedup']:.2f}x under its "
+                        f"{workload['min_speedup']:.1f}x floor"
+                    ),
+                    after=float(workload["speedup"]),
+                )
+            )
+    sharded = headline.get("sharded")
+    if sharded and not sharded["target_met"] and sharded.get("enforced"):
+        findings.append(
+            WatchFinding(
+                transition=point.revision,
+                dimension="gate:sharded",
+                severity="regression",
+                message=(
+                    f"sharded {sharded['speedup_vs_batched']:.2f}x vs batched "
+                    f"misses its enforced {sharded['target']:.1f}x target"
+                ),
+                after=float(sharded["speedup_vs_batched"]),
+            )
+        )
+    overhead = point.obs_overhead
+    if overhead is not None and overhead > thresholds.max_obs_overhead:
+        findings.append(
+            WatchFinding(
+                transition=point.revision,
+                dimension="obs_overhead",
+                severity="regression",
+                message=(
+                    f"obs self-overhead {overhead:+.2%} over the "
+                    f"{thresholds.max_obs_overhead:.0%} budget"
+                ),
+                after=overhead,
+            )
+        )
+    ipc = point.ipc_bytes_per_access
+    if ipc is not None and ipc >= thresholds.max_ipc_bytes_per_access:
+        findings.append(
+            WatchFinding(
+                transition=point.revision,
+                dimension="ipc",
+                severity="regression",
+                message=(
+                    f"{ipc:.2f} B/access shipped at or above the "
+                    f"{thresholds.max_ipc_bytes_per_access:.0f} B/access "
+                    "pipe baseline"
+                ),
+                after=ipc,
+            )
+        )
+    return findings
+
+
+def watch_trajectory(
+    points: Sequence[TrajectoryPoint],
+    thresholds: Optional[WatchThresholds] = None,
+) -> TrajectoryReport:
+    """Apply every check over ``points``; returns the full report."""
+    if len(points) < 2:
+        raise WatchError(
+            f"trajectory needs at least 2 points to diff, got {len(points)}"
+        )
+    thresholds = thresholds or WatchThresholds()
+    report = TrajectoryReport(points=list(points), thresholds=thresholds)
+    for point in points:
+        report.findings.extend(_check_point(point, thresholds))
+    for before, after in zip(points, points[1:]):
+        report.findings.extend(_check_pair(before, after, thresholds))
+    return report
+
+
+def watch(
+    paths: Sequence[PathLike],
+    thresholds: Optional[WatchThresholds] = None,
+    report_path: Optional[PathLike] = None,
+) -> TrajectoryReport:
+    """Load, check, optionally save the report — then return it.
+
+    The report is written (when ``report_path`` is given) regardless of
+    the verdict so CI uploads the evidence either way; raising on
+    regression is the caller's move (:func:`regression_error` builds the
+    exception the CLI maps onto exit 13).
+    """
+    report = watch_trajectory(load_trajectory(paths), thresholds)
+    if report_path is not None:
+        report.save(report_path)
+    return report
+
+
+def render_bench(result: Dict[str, object]) -> str:
+    """Text rendering of one validated BENCH result (``ccprof inspect``).
+
+    Shows the headline, the per-workload table, the per-backend engine
+    matrix (v2) with any ipc sub-records, and the optional obs-overhead
+    and screening records.
+    """
+    headline = result["headline"]
+    lines = [
+        f"bench result: revision {result['revision']} "
+        f"(schema v{result['schema_version']}"
+        + (", quick)" if result["quick"] else ")"),
+        f"  headline: {headline['workload']} {headline['speedup']:.2f}x "
+        f"(target {headline['target_speedup']:.0f}x "
+        f"{'met' if headline['target_met'] else 'MISSED'}; "
+        f"all engines match: {headline['all_match']})",
+    ]
+    for workload in result["workloads"]:
+        gate = ""
+        if "gate_met" in workload:
+            gate = (
+                f"  floor {workload['min_speedup']:.1f}x "
+                f"{'met' if workload['gate_met'] else 'MISSED'}"
+            )
+        lines.append(
+            f"  {workload['name']:<14} {workload['accesses']:>9} accesses  "
+            f"{workload['speedup']:6.2f}x"
+            f"{gate}"
+        )
+        for engine_name, record in sorted(
+            workload.get("engines", {}).items()
+        ):
+            ipc = record.get("ipc")
+            ipc_note = (
+                f"  ipc {ipc['bytes_shipped_per_access']:.4f} B/access"
+                if ipc
+                else ""
+            )
+            lines.append(
+                f"    {engine_name:<10} {record['seconds']:8.3f} s  "
+                f"{record['accesses_per_sec']:>12.0f} acc/s  "
+                f"{record['speedup']:6.2f}x  "
+                f"{'match' if record['match'] else 'MISMATCH'}{ipc_note}"
+            )
+    sharded = headline.get("sharded")
+    if sharded:
+        enforced = "enforced" if sharded["enforced"] else "not enforced"
+        lines.append(
+            f"  sharded: {sharded['speedup_vs_batched']:.2f}x vs batched "
+            f"with {sharded['workers']} workers (target "
+            f"{sharded['target']:.1f}x "
+            f"{'met' if sharded['target_met'] else 'missed'}, {enforced})"
+        )
+    overhead = result.get("obs_overhead")
+    if overhead:
+        lines.append(
+            f"  obs overhead: {overhead['overhead']:+.2%} on "
+            f"{overhead['workload']} (target <{overhead['target']:.0%}, "
+            f"{'within' if overhead['within_target'] else 'OVER'})"
+        )
+    screening = result.get("screening")
+    if screening:
+        lines.append(
+            f"  screening: {screening['workload']} -> "
+            f"{screening['verdict']} in {screening['screen_seconds']:.4f} s "
+            f"({screening['speedup']:.0f}x cheaper than simulation)"
+        )
+    return "\n".join(lines)
+
+
+def regression_error(report: TrajectoryReport) -> WatchRegressionError:
+    """The exit-13 error describing ``report``'s failing findings."""
+    regressions = report.regressions()
+    return WatchRegressionError(
+        f"{len(regressions)} regression(s) across "
+        f"{len(report.points)} trajectory points",
+        regressions=[finding.message for finding in regressions],
+    )

@@ -67,6 +67,12 @@ SCREEN_CLEAR_CONFIDENCE = (
     "mid-band scores fall through to the static predictor)"
 )
 
+#: Timeline cap for job responses: the NDJSON protocol's 64 KiB line
+#: budget has to hold the whole result, so wire timelines coalesce much
+#: harder than manifest timelines (full resolution lives in the run
+#: manifest when the daemon writes one).
+WIRE_TIMELINE_WINDOWS = 64
+
 
 class KillInjector:
     """Seeded worker-kill fault injector (chaos harness hook).
@@ -242,7 +248,8 @@ class JobExecutor:
 
     def _profile(self, request: JobRequest) -> ExecutionResult:
         workload = resolve_workload(request.workload, **request.params)
-        report = self._profiler(request).run(workload)
+        profiler = self._profiler(request)
+        report = profiler.run(workload)
         sampling = report.raw_profile.sampling
         if sampling.truncated:
             # Simulation budget blown: degrade rather than fail.
@@ -254,19 +261,46 @@ class JobExecutor:
                     "events": sampling.total_events,
                 },
             )
-        return ExecutionResult(
-            status=JobStatus.COMPLETED,
-            result={
-                "workload": workload.name,
-                "samples": sampling.sample_count,
-                "events": sampling.total_events,
-                "accesses": sampling.total_accesses,
-                "has_conflicts": report.has_conflicts,
-                "conflicting_loops": [
-                    loop.loop_name for loop in report.conflicting_loops()
-                ],
-            },
+        result: Dict[str, object] = {
+            "workload": workload.name,
+            "samples": sampling.sample_count,
+            "events": sampling.total_events,
+            "accesses": sampling.total_accesses,
+            "has_conflicts": report.has_conflicts,
+            "conflicting_loops": [
+                loop.loop_name for loop in report.conflicting_loops()
+            ],
+        }
+        if request.window is not None:
+            result["timeline"] = self._windowed_timeline(
+                request, profiler, sampling.samples
+            )
+        return ExecutionResult(status=JobStatus.COMPLETED, result=result)
+
+    def _windowed_timeline(
+        self, request: JobRequest, profiler, samples
+    ) -> Dict[str, object]:
+        """Streaming windowed analysis for a long-running profile job.
+
+        Per-window progress rides the obs layer — the daemon's telemetry
+        snapshot shows ``service.jobs.window.completed`` advancing while
+        the job runs, which is how operators see a long job is alive and
+        where its conflict phases fall.
+        """
+        registry = get_registry()
+
+        def on_window(summary) -> None:
+            registry.counter("service.jobs.window.completed").inc()
+            if summary.has_conflict:
+                registry.counter("service.jobs.window.conflicts").inc()
+
+        analysis = profiler.backend.windowed_phases(
+            samples,
+            profiler.geometry,
+            window=request.window,
+            on_window=on_window,
         )
+        return analysis.timeline_record(max_windows=WIRE_TIMELINE_WINDOWS)
 
     def _compare(self, request: JobRequest) -> ExecutionResult:
         name, _, variant = request.workload.partition(":")

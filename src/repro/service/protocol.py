@@ -88,6 +88,13 @@ class JobRequest:
             Validated against the engine registry by the executor, so a
             daemon with extra backends registered accepts them without a
             protocol change.
+        window: Optional streaming-analysis window (samples) for profile
+            jobs.  When set, the executor runs the windowed streaming
+            analysis over the profiled samples, reports per-window
+            progress via ``service.jobs.window.*`` telemetry, and the
+            result carries a timeline summary.  Older daemons ignore the
+            field (``from_dict`` drops unknown keys), so setting it is
+            wire-compatible.
     """
 
     id: str
@@ -100,6 +107,7 @@ class JobRequest:
     deadline_ms: Optional[int] = None
     max_accesses: Optional[int] = None
     engine: Optional[str] = None
+    window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -118,6 +126,10 @@ class JobRequest:
             not isinstance(self.engine, str) or not self.engine
         ):
             raise ProtocolError("engine must be a non-empty string")
+        if self.window is not None and self.window < 1:
+            raise ProtocolError(
+                f"window must be >= 1, got {self.window}"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (the wire layout)."""
@@ -138,6 +150,8 @@ class JobRequest:
             record["max_accesses"] = self.max_accesses
         if self.engine is not None:
             record["engine"] = self.engine
+        if self.window is not None:
+            record["window"] = self.window
         return record
 
     @classmethod
@@ -174,6 +188,7 @@ class JobRequest:
             deadline_ms=_optional_int(record, "deadline_ms"),
             max_accesses=_optional_int(record, "max_accesses"),
             engine=engine,
+            window=_optional_int(record, "window"),
         )
 
     def encode(self) -> bytes:

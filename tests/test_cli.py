@@ -481,3 +481,134 @@ class TestLruStreamWorkload:
 
         small = resolve_workload("lru_stream", lines=64, sweeps=2)
         assert sum(1 for _ in small.trace()) == 2 * 64 * 64 // 8
+
+
+class TestStreamingCli:
+    """profile/phases --stream: the continuous-profiling surface."""
+
+    def test_profile_stream_writes_timeline_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        code = main(
+            ["profile", "symmetrization", "--period", "50", "--stream",
+             "--window", "64", "--manifest", str(manifest)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming:" in out
+        record = json.loads(manifest.read_text())
+        timeline = record["timeline"]
+        assert timeline["version"] == 1
+        assert timeline["window"] == 64
+        assert timeline["windows"]
+        # And inspect renders the phase picture from that manifest.
+        assert main(["inspect", str(manifest)]) == 0
+        assert "timeline:" in capsys.readouterr().out
+
+    def test_profile_stream_exports_jsonl(self, tmp_path, capsys):
+        jsonl = tmp_path / "windows.jsonl"
+        code = main(
+            ["profile", "symmetrization", "--period", "50", "--stream",
+             "--window", "64", "--timeline-jsonl", str(jsonl)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert records
+        assert all("cf" in r and "victim_sets" in r for r in records)
+
+    def test_phases_stream_matches_batch_output(self, capsys):
+        assert main(["phases", "symmetrization", "--period", "50",
+                     "--window", "64"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(["phases", "symmetrization", "--period", "50",
+                     "--window", "64", "--stream"]) == 0
+        stream_out = capsys.readouterr().out
+        # Bit-identical verdicts render byte-identical phase tables.
+        batch_table = [l for l in batch_out.splitlines() if "phase" in l]
+        stream_table = [l for l in stream_out.splitlines() if "phase" in l]
+        assert batch_table == stream_table
+
+    def test_no_stream_no_timeline(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(["profile", "symmetrization", "--period", "50",
+                     "--manifest", str(manifest)]) == 0
+        assert json.loads(manifest.read_text()).get("timeline") is None
+
+
+class TestInspectBench:
+    """inspect understands BENCH artifacts and rejects unknown ones."""
+
+    def test_inspect_renders_committed_bench(self, capsys):
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parent.parent / "BENCH_e5d8e80.json"
+        assert main(["inspect", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "bench result: revision e5d8e80" in out
+        assert "headline" in out
+
+    def test_inspect_unknown_artifact_exits_analysis_family(
+        self, tmp_path, capsys
+    ):
+        stray = tmp_path / "mystery.json"
+        stray.write_text(json.dumps({"what": "is this"}))
+        assert main(["inspect", str(stray)]) == 7
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_inspect_invalid_bench_exits_analysis_family(
+        self, tmp_path, capsys
+    ):
+        broken = tmp_path / "b.json"
+        broken.write_text(json.dumps({"schema_version": 2, "workloads": []}))
+        assert main(["inspect", str(broken)]) == 7
+
+
+class TestWatchCli:
+    """ccprof watch: exit 0 on a healthy trajectory, 13 on regression."""
+
+    def repo_root(self):
+        from pathlib import Path
+
+        return Path(__file__).resolve().parent.parent
+
+    def test_committed_trajectory_passes(self, capsys):
+        assert main(["watch", str(self.repo_root())]) == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory: 468f2a7 -> 2a5ed55 -> e5d8e80" in out
+        assert "verdict: ok" in out
+
+    def test_synthetic_regression_exits_13(self, tmp_path, capsys):
+        import shutil
+
+        root = self.repo_root()
+        shutil.copy(root / "BENCH_2a5ed55.json", tmp_path / "BENCH_aaa.json")
+        regressed = json.loads(
+            (root / "BENCH_2a5ed55.json").read_text()
+        )
+        regressed["headline"]["speedup"] /= 2  # -50% headline
+        (tmp_path / "BENCH_bbb.json").write_text(json.dumps(regressed))
+        report = tmp_path / "report.json"
+        code = main(
+            ["watch", str(tmp_path / "BENCH_aaa.json"),
+             str(tmp_path / "BENCH_bbb.json"), "--report", str(report)]
+        )
+        assert code == 13
+        assert "regression" in capsys.readouterr().out
+        assert json.loads(report.read_text())["ok"] is False
+
+    def test_thresholds_are_configurable(self, capsys):
+        # Tightening the workload gate below the committed -25.5% drop
+        # flips the healthy trajectory into a regression.
+        assert main(["watch", str(self.repo_root()),
+                     "--max-workload-drop", "0.2"]) == 13
+
+    def test_single_point_is_watch_family(self, tmp_path, capsys):
+        import shutil
+
+        shutil.copy(
+            self.repo_root() / "BENCH_2a5ed55.json",
+            tmp_path / "BENCH_aaa.json",
+        )
+        assert main(["watch", str(tmp_path)]) == 13
+        assert "at least 2" in capsys.readouterr().err

@@ -1,0 +1,388 @@
+"""Tests for repro.core.streaming — incremental windowed RCD analysis.
+
+The load-bearing suite here is the differential one: every verdict the
+streaming analyzer emits must be bit-identical to the batch
+:class:`~repro.core.phases.PhaseAnalyzer` on the same samples, including
+the trailing ``min_window`` fold and every contribution-factor float.
+"""
+
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.phases import PhaseAnalyzer
+from repro.core.streaming import (
+    StreamingPhaseAnalyzer,
+    WindowSummary,
+    iter_address_chunks,
+)
+from repro.engine import get_backend
+from repro.errors import AnalysisError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+from repro.pmu.periods import FixedPeriod
+from repro.pmu.sampler import AddressSampler
+from tests.conftest import make_load
+
+
+def sampled(trace, geometry, period=5, policy="lru"):
+    sampler = AddressSampler(
+        geometry, period=FixedPeriod(period), policy=policy
+    )
+    return sampler.run(trace).samples
+
+
+def conflict_phase(geometry, laps=300):
+    for _ in range(laps):
+        for i in range(12):
+            yield make_load(0x1000_0000 + i * geometry.mapping_period)
+
+
+def clean_phase(geometry, laps=8):
+    lines = 4 * geometry.num_sets * geometry.ways
+    for _ in range(laps):
+        for i in range(lines):
+            yield make_load(0x4000_0000 + i * geometry.line_size)
+
+
+def mixed_trace(geometry):
+    return itertools.chain(
+        clean_phase(geometry, laps=6),
+        conflict_phase(geometry, laps=120),
+        clean_phase(geometry, laps=6),
+    )
+
+
+def stream_verdicts(samples, geometry, **kwargs):
+    analyzer = StreamingPhaseAnalyzer(geometry, **kwargs)
+    analyzer.feed(samples)
+    return analyzer.finish()
+
+
+class TestBitIdentity:
+    """Streaming == batch, field for field, float for float."""
+
+    @pytest.mark.parametrize("policy", ["lru", "plru"])
+    @pytest.mark.parametrize(
+        "make_trace", [conflict_phase, clean_phase, mixed_trace]
+    )
+    def test_matches_batch_oracle(self, paper_l1, policy, make_trace):
+        samples = sampled(make_trace(paper_l1), paper_l1, policy=policy)
+        assert samples  # the workload must actually produce misses
+        batch = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        streamed = stream_verdicts(samples, paper_l1, window=128)
+        assert streamed.to_phased() == batch
+
+    @pytest.mark.parametrize(
+        "window,min_window",
+        [(1, 1), (4, 2), (16, 16), (64, 10), (600, 600), (600, 32)],
+    )
+    def test_matches_across_window_settings(self, paper_l1, window, min_window):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        batch = PhaseAnalyzer(
+            paper_l1, window=window, min_window=min_window
+        ).analyze(samples)
+        streamed = stream_verdicts(
+            samples, paper_l1, window=window, min_window=min_window
+        )
+        assert streamed.to_phased() == batch
+
+    @pytest.mark.parametrize("length", [0, 1, 31, 32, 33, 255, 256, 257, 513])
+    def test_matches_at_fold_edges(self, paper_l1, length):
+        # Lengths straddling the window and min_window boundaries hit
+        # every branch of the trailing-fold logic, including window >
+        # trace (length < 256 -> a single undersized window) and a
+        # mid-window cut (length % window != 0).
+        samples = sampled(conflict_phase(paper_l1), paper_l1)[:length]
+        batch = PhaseAnalyzer(paper_l1, window=256).analyze(samples)
+        streamed = stream_verdicts(samples, paper_l1, window=256)
+        assert streamed.to_phased() == batch
+
+    def test_mid_window_budget_cut_matches(self, paper_l1):
+        # A sampling budget that fires mid-run truncates the stream at an
+        # arbitrary window offset; the truncated stream must still agree.
+        from repro.robustness.budget import SamplingBudget
+
+        sampler = AddressSampler(
+            paper_l1,
+            period=FixedPeriod(5),
+            budget=SamplingBudget(max_samples=333),
+        )
+        result = sampler.run(conflict_phase(paper_l1))
+        assert result.truncated
+        samples = result.samples
+        batch = PhaseAnalyzer(paper_l1, window=128).analyze(samples)
+        assert stream_verdicts(samples, paper_l1, window=128).to_phased() == batch
+
+    def test_chunk_size_invariance(self, paper_l1):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        whole = stream_verdicts(samples, paper_l1, window=64)
+        ragged = StreamingPhaseAnalyzer(paper_l1, window=64)
+        cursor, step = 0, 1
+        while cursor < len(samples):
+            ragged.feed(samples[cursor:cursor + step])
+            cursor += step
+            step = step % 97 + 7  # ragged, never window-aligned
+        assert ragged.finish().to_phased() == whole.to_phased()
+
+    def test_feed_addresses_matches_feed(self, paper_l1):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        by_record = stream_verdicts(samples, paper_l1, window=64)
+        by_column = StreamingPhaseAnalyzer(paper_l1, window=64)
+        column = np.array([s.address for s in samples], dtype=np.uint64)
+        for chunk in iter_address_chunks(column, chunk_size=100):
+            by_column.feed_addresses(chunk)
+        assert by_column.finish().to_phased() == by_record.to_phased()
+
+
+class TestBoundedState:
+    def test_peak_tracked_is_o_window(self, paper_l1):
+        window = 64
+        samples = sampled(conflict_phase(paper_l1, laps=2000), paper_l1)
+        assert len(samples) >= 10 * window  # long stream, small window
+        analysis = stream_verdicts(samples, paper_l1, window=window)
+        # Tracked state: the in-progress window's raw set buffer (<=
+        # window) plus two trackers of <= 2*window dict entries each.
+        assert analysis.peak_tracked <= 5 * window
+        assert analysis.total_samples == len(samples)
+
+    def test_peak_does_not_grow_with_stream_length(self, paper_l1):
+        short = sampled(conflict_phase(paper_l1, laps=200), paper_l1)
+        long = sampled(conflict_phase(paper_l1, laps=2000), paper_l1)
+        assert len(long) > 5 * len(short)
+        peak_short = stream_verdicts(short, paper_l1, window=64).peak_tracked
+        peak_long = stream_verdicts(long, paper_l1, window=64).peak_tracked
+        assert peak_long <= peak_short + 64  # bounded, not proportional
+
+
+class TestWindowSummary:
+    def summary(self, **kwargs):
+        base = dict(
+            index=0,
+            first_sample=0,
+            sample_count=100,
+            contribution_factor=0.1,
+            has_conflict=False,
+            victim_sets=[1],
+            rcd_observations=40,
+            short_rcds=10,
+            sets_touched=8,
+        )
+        base.update(kwargs)
+        return WindowSummary(**base)
+
+    def test_merge_adds_counts_and_recomputes_cf(self):
+        left = self.summary()
+        right = self.summary(
+            index=1, first_sample=100, short_rcds=30,
+            contribution_factor=0.3, victim_sets=[2, 3],
+        )
+        merged = left.merge(right, cf_boundary=0.25)
+        assert merged.sample_count == 200
+        assert merged.short_rcds == 40
+        assert merged.contribution_factor == 40 / 200
+        assert merged.victim_sets == [1, 2, 3]
+        assert merged.rcd_observations == 80
+        assert merged.merged_from == 2
+        assert merged.first_sample == 0 and merged.index == 0
+
+    def test_merge_conflict_is_sticky(self):
+        left = self.summary(has_conflict=True, contribution_factor=0.9)
+        right = self.summary(index=1, first_sample=100, short_rcds=0)
+        assert left.merge(right, cf_boundary=0.25).has_conflict
+
+    def test_merge_rejects_out_of_order(self):
+        later = self.summary(index=1, first_sample=100)
+        with pytest.raises(AnalysisError, match="later window"):
+            later.merge(self.summary(), cf_boundary=0.25)
+
+    def test_to_phase_report_round_trip(self):
+        report = self.summary().to_phase_report()
+        assert report.sample_count == 100
+        assert report.victim_sets == [1]
+
+
+class TestTimeline:
+    def test_timeline_record_coalesces_to_cap(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1, laps=2000), paper_l1)
+        analysis = stream_verdicts(samples, paper_l1, window=64)
+        assert len(analysis.summaries) > 16
+        record = analysis.timeline_record(max_windows=16)
+        assert record["coalesced"] is True
+        assert 1 <= len(record["windows"]) <= 16
+        # Coalescing never loses samples or conflicts.
+        assert sum(w["samples"] for w in record["windows"]) == len(samples)
+        assert any(w["conflict"] for w in record["windows"])
+        assert sum(w["merged_from"] for w in record["windows"]) == len(
+            analysis.summaries
+        )
+
+    def test_timeline_record_validates_against_manifest_schema(self, paper_l1):
+        from repro.obs.manifest import validate_timeline
+
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        record = stream_verdicts(samples, paper_l1, window=64).timeline_record()
+        validate_timeline(record)  # must not raise
+        assert record["version"] == 1
+        assert record["total_samples"] == len(samples)
+
+    def test_timeline_record_rejects_bad_cap(self, paper_l1):
+        analysis = stream_verdicts([], paper_l1)
+        with pytest.raises(AnalysisError, match="max_windows"):
+            analysis.timeline_record(max_windows=0)
+
+    def test_transitions_and_victims(self, paper_l1):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        analysis = stream_verdicts(samples, paper_l1, window=64)
+        flips = analysis.transitions()
+        assert flips  # clean -> conflict -> clean flips at least once
+        assert 0 < analysis.conflict_fraction < 1
+        assert 0 in analysis.victim_sets()  # conflict lines map to set 0
+
+    def test_export_jsonl(self, tmp_path, paper_l1):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        analysis = stream_verdicts(samples, paper_l1, window=64)
+        path = tmp_path / "timeline.jsonl"
+        count = analysis.export_jsonl(path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert count == len(records) == len(analysis.summaries)
+        assert [r["index"] for r in records] == list(range(count))
+
+
+class TestObservability:
+    def test_metrics_emitted(self, paper_l1):
+        registry = MetricsRegistry(enabled=True)
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        with use_registry(registry):
+            analysis = stream_verdicts(samples, paper_l1, window=64)
+        emitted = registry.counter("analysis.window.emitted").value
+        assert emitted == len(analysis.summaries)
+        assert registry.counter("analysis.window.conflicts").value == len(
+            analysis.conflict_windows()
+        )
+        assert (
+            registry.gauge("analysis.window.peak_tracked").value
+            == analysis.peak_tracked
+        )
+
+    def test_trailing_fold_counted(self, paper_l1):
+        registry = MetricsRegistry(enabled=True)
+        samples = sampled(conflict_phase(paper_l1), paper_l1)[:300]
+        with use_registry(registry):
+            analysis = stream_verdicts(
+                samples, paper_l1, window=256, min_window=64
+            )
+        assert analysis.folded
+        assert registry.counter("analysis.window.folds").value == 1
+        assert analysis.summaries[-1].sample_count == 300
+
+    def test_window_spans_never_land_as_roots(self, paper_l1):
+        tracer = Tracer(enabled=True)
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        with use_tracer(tracer):
+            stream_verdicts(samples, paper_l1, window=64)
+        assert tracer.roots == []  # would flood the root cap otherwise
+
+    def test_window_spans_nest_under_enclosing_span(self, paper_l1):
+        tracer = Tracer(enabled=True)
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        with use_tracer(tracer):
+            with tracer.span("stage"):
+                analysis = stream_verdicts(samples, paper_l1, window=64)
+        (root,) = tracer.roots
+        window_spans = [
+            child for child in root.children if child.name == "analysis.window"
+        ]
+        assert len(window_spans) == len(analysis.summaries)
+
+    def test_on_window_callback_sees_every_window_in_order(self, paper_l1):
+        seen = []
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        analyzer = StreamingPhaseAnalyzer(
+            paper_l1, window=64, on_window=seen.append
+        )
+        analyzer.feed(samples)
+        analysis = analyzer.finish()
+        assert seen == analysis.summaries
+
+
+class TestValidation:
+    def test_rejects_bad_window(self, paper_l1):
+        with pytest.raises(AnalysisError, match="window"):
+            StreamingPhaseAnalyzer(paper_l1, window=0)
+
+    def test_rejects_bad_min_window(self, paper_l1):
+        with pytest.raises(AnalysisError, match="min_window"):
+            StreamingPhaseAnalyzer(paper_l1, window=16, min_window=17)
+
+    def test_rejects_bad_threshold(self, paper_l1):
+        with pytest.raises(AnalysisError, match="threshold"):
+            StreamingPhaseAnalyzer(paper_l1, rcd_threshold=0)
+
+    def test_feed_after_finish_rejected(self, paper_l1):
+        analyzer = StreamingPhaseAnalyzer(paper_l1)
+        analyzer.finish()
+        with pytest.raises(AnalysisError, match="finished"):
+            analyzer.feed_sets([0])
+
+    def test_finish_is_idempotent(self, paper_l1):
+        analyzer = StreamingPhaseAnalyzer(paper_l1)
+        analyzer.feed_sets([0, 1, 2])
+        assert analyzer.finish() is analyzer.finish()
+
+    def test_iter_address_chunks_rejects_bad_chunk(self):
+        with pytest.raises(AnalysisError, match="chunk_size"):
+            list(iter_address_chunks(np.array([1], dtype=np.uint64), 0))
+
+    def test_iter_address_chunks_buffers_records(self, paper_l1):
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        chunks = list(iter_address_chunks(iter(samples), chunk_size=100))
+        assert sum(chunk.size for chunk in chunks) == len(samples)
+        assert all(chunk.size <= 100 for chunk in chunks[:-1])
+
+
+class TestEngineHook:
+    """windowed_phases on every registered backend matches the oracle."""
+
+    def test_backend_matches_batch(self, engine_backend, paper_l1):
+        samples = sampled(mixed_trace(paper_l1), paper_l1)
+        column = np.array([s.address for s in samples], dtype=np.uint64)
+        batch = PhaseAnalyzer(paper_l1, window=64).analyze(samples)
+        analysis = engine_backend.windowed_phases(
+            column, paper_l1, window=64
+        )
+        assert analysis.to_phased() == batch
+
+    def test_backend_accepts_record_stream(self, engine_backend, paper_l1):
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        batch = PhaseAnalyzer(paper_l1, window=64).analyze(samples)
+        analysis = engine_backend.windowed_phases(samples, paper_l1, window=64)
+        assert analysis.to_phased() == batch
+
+    def test_scalar_and_batched_are_native(self, paper_l1):
+        for name in ("scalar", "batched"):
+            backend = get_backend(name)
+            assert "windowed" in backend.capabilities
+            samples = sampled(conflict_phase(paper_l1), paper_l1)
+            analysis = backend.windowed_phases(samples, paper_l1, window=64)
+            assert analysis.engine == name
+            assert analysis.fallback_from is None
+
+    def test_sharded_falls_back_and_records_it(self, paper_l1):
+        backend = get_backend("sharded")
+        assert "windowed" not in backend.capabilities
+        registry = MetricsRegistry(enabled=True)
+        samples = sampled(conflict_phase(paper_l1), paper_l1)
+        with use_registry(registry):
+            analysis = backend.windowed_phases(samples, paper_l1, window=64)
+        assert analysis.engine == "batched"
+        assert analysis.fallback_from == "sharded"
+        assert registry.counter("engine.sharded.windowed_fallback").value == 1
+        assert analysis.timeline_record()["fallback_from"] == "sharded"
+        batch = PhaseAnalyzer(paper_l1, window=64).analyze(samples)
+        assert analysis.to_phased() == batch

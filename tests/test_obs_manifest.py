@@ -132,3 +132,120 @@ class TestTrippedBudgets:
         record = json.loads(path.read_text())
         assert record["version"] == MANIFEST_VERSION
         assert record["command"] == "analyze"
+
+
+def make_timeline(**overrides) -> dict:
+    record = {
+        "version": 1,
+        "window": 64,
+        "min_window": 32,
+        "rcd_threshold": 3,
+        "cf_boundary": 0.25,
+        "engine": "batched",
+        "total_samples": 128,
+        "conflict_fraction": 0.5,
+        "transitions": [1],
+        "coalesced": False,
+        "windows": [
+            {
+                "index": 0,
+                "first_sample": 0,
+                "samples": 64,
+                "cf": 0.0,
+                "conflict": False,
+                "victim_sets": [],
+                "rcd_observations": 10,
+                "short_rcds": 0,
+                "sets_touched": 4,
+                "merged_from": 1,
+            },
+            {
+                "index": 1,
+                "first_sample": 64,
+                "samples": 64,
+                "cf": 0.8,
+                "conflict": True,
+                "victim_sets": [0, 7],
+                "rcd_observations": 50,
+                "short_rcds": 40,
+                "sets_touched": 2,
+                "merged_from": 1,
+            },
+        ],
+    }
+    record.update(overrides)
+    return record
+
+
+class TestTimelineSchema:
+    def test_valid_timeline_accepted(self):
+        from repro.obs.manifest import validate_timeline
+
+        assert validate_timeline(make_timeline()) == make_timeline()
+
+    def test_optional_fallback_from_accepted(self):
+        from repro.obs.manifest import validate_timeline
+
+        validate_timeline(make_timeline(fallback_from="sharded"))
+
+    def test_wrong_version_rejected(self):
+        from repro.obs.manifest import validate_timeline
+
+        with pytest.raises(ManifestError, match="unsupported timeline version"):
+            validate_timeline(make_timeline(version=99))
+
+    def test_unknown_field_rejected(self):
+        from repro.obs.manifest import validate_timeline
+
+        with pytest.raises(ManifestError, match="unknown fields: surprise"):
+            validate_timeline(make_timeline(surprise=1))
+
+    def test_missing_field_rejected(self):
+        from repro.obs.manifest import validate_timeline
+
+        record = make_timeline()
+        del record["conflict_fraction"]
+        with pytest.raises(ManifestError, match="conflict_fraction"):
+            validate_timeline(record)
+
+    def test_bool_is_not_int_in_windows(self):
+        from repro.obs.manifest import validate_timeline
+
+        record = make_timeline()
+        record["windows"][0]["samples"] = True
+        with pytest.raises(ManifestError, match="wrong type"):
+            validate_timeline(record)
+
+    def test_non_dict_window_rejected(self):
+        from repro.obs.manifest import validate_timeline
+
+        with pytest.raises(ManifestError, match="must be an object"):
+            validate_timeline(make_timeline(windows=[[1, 2]]))
+
+    def test_manifest_round_trips_timeline(self, tmp_path):
+        manifest = make_manifest(timeline=make_timeline())
+        loaded = RunManifest.load(manifest.save(tmp_path / "m.json"))
+        assert loaded.timeline == make_timeline()
+
+    def test_manifest_rejects_broken_timeline(self):
+        record = make_manifest(timeline=make_timeline(version=2)).to_dict()
+        with pytest.raises(ManifestError, match="timeline version"):
+            RunManifest.from_dict(record)
+
+    def test_manifest_without_timeline_still_valid(self, tmp_path):
+        record = make_manifest().to_dict()
+        record.pop("timeline", None)  # pre-timeline artifacts stay loadable
+        assert RunManifest.from_dict(record).timeline is None
+
+    def test_render_shows_phase_picture(self):
+        rendered = make_manifest(timeline=make_timeline()).render()
+        assert "timeline: 2 windows" in rendered
+        assert "phases: [.#]" in rendered
+        assert "conflict fraction: 0.50" in rendered
+        assert "victims" in rendered or "0, 7" in rendered
+
+    def test_render_notes_fallback_engine(self):
+        rendered = make_manifest(
+            timeline=make_timeline(fallback_from="sharded")
+        ).render()
+        assert "requested sharded" in rendered

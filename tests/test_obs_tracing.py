@@ -114,9 +114,10 @@ class TestTracerQueries:
 
     def test_root_cap_drops_oldest(self):
         tracer = Tracer(max_roots=3)
-        for index in range(5):
-            with tracer.span(f"span{index}"):
-                pass
+        with pytest.warns(RuntimeWarning, match="root-span cap"):
+            for index in range(5):
+                with tracer.span(f"span{index}"):
+                    pass
         assert [root.name for root in tracer.roots] == [
             "span2", "span3", "span4",
         ]
@@ -147,3 +148,52 @@ class TestDisabledTracer:
         with use_tracer(injected):
             assert get_tracer() is injected
         assert get_tracer() is before
+
+
+class TestRootCapObservability:
+    """The cap is no longer silent: counter + one-time warning."""
+
+    def run_over_cap(self, tracer, spans=5):
+        for index in range(spans):
+            with tracer.span(f"span{index}"):
+                pass
+
+    def test_overflow_counts_dropped_roots(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry(enabled=True)
+        tracer = Tracer(max_roots=3)
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="root-span cap"):
+                self.run_over_cap(tracer, spans=5)
+        assert registry.counter("obs.trace.roots_dropped").value == 2
+
+    def test_warning_fires_once_per_tracer(self):
+        import warnings
+
+        tracer = Tracer(max_roots=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self.run_over_cap(tracer, spans=6)
+        cap_warnings = [
+            w for w in caught if "root-span cap" in str(w.message)
+        ]
+        assert len(cap_warnings) == 1
+
+    def test_reset_rearms_the_warning(self):
+        tracer = Tracer(max_roots=2)
+        with pytest.warns(RuntimeWarning, match="root-span cap"):
+            self.run_over_cap(tracer, spans=3)
+        tracer.reset()
+        with pytest.warns(RuntimeWarning, match="root-span cap"):
+            self.run_over_cap(tracer, spans=3)
+
+    def test_under_cap_stays_silent(self):
+        import warnings
+
+        tracer = Tracer(max_roots=8)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self.run_over_cap(tracer, spans=8)
+        assert not caught
+        assert tracer.dropped_roots == 0

@@ -1,0 +1,410 @@
+"""Tests for repro.perf.watch — the trajectory regression gate."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WatchError, WatchRegressionError
+from repro.perf.watch import (
+    TrajectoryPoint,
+    WatchThresholds,
+    load_trajectory,
+    regression_error,
+    render_bench,
+    watch,
+    watch_trajectory,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def engine_record(speedup: float = 1.0, **extra) -> dict:
+    record = {
+        "seconds": 0.5 / speedup,
+        "accesses_per_sec": 2000.0 * speedup,
+        "speedup": speedup,
+        "match": True,
+    }
+    record.update(extra)
+    return record
+
+
+def bench(revision: str, speedup: float = 20.0, **extra) -> dict:
+    """A minimal valid v2 BENCH record with a configurable headline."""
+    result = {
+        "schema_version": 2,
+        "revision": revision,
+        "batch_size": 65536,
+        "quick": False,
+        "engine_workers": 4,
+        "workloads": [
+            {
+                "name": "matrix",
+                "kind": "cache",
+                "accesses": 1000,
+                "scalar_seconds": 0.5,
+                "batched_seconds": 0.5 / speedup,
+                "scalar_accesses_per_sec": 2000.0,
+                "batched_accesses_per_sec": 2000.0 * speedup,
+                "speedup": speedup,
+                "match": True,
+                "engines": {
+                    "scalar": engine_record(1.0),
+                    "batched": engine_record(speedup),
+                },
+                "min_speedup": 10.0,
+                "gate_met": speedup >= 10.0,
+            }
+        ],
+        "headline": {
+            "workload": "matrix",
+            "speedup": speedup,
+            "target_speedup": 10.0,
+            "target_met": speedup >= 10.0,
+            "all_match": True,
+        },
+    }
+    result.update(extra)
+    return result
+
+
+def timeline(conflict_fraction: float = 0.0, victim_sets=()) -> dict:
+    """A minimal valid manifest timeline section."""
+    conflict = conflict_fraction > 0
+    return {
+        "version": 1,
+        "window": 64,
+        "min_window": 32,
+        "rcd_threshold": 3,
+        "cf_boundary": 0.25,
+        "engine": "batched",
+        "total_samples": 64,
+        "conflict_fraction": conflict_fraction,
+        "transitions": [],
+        "coalesced": False,
+        "windows": [
+            {
+                "index": 0,
+                "first_sample": 0,
+                "samples": 64,
+                "cf": 0.5 if conflict else 0.0,
+                "conflict": conflict,
+                "victim_sets": sorted(victim_sets),
+                "rcd_observations": 10,
+                "short_rcds": 5 if conflict else 0,
+                "sets_touched": 4,
+                "merged_from": 1,
+            }
+        ],
+    }
+
+
+def manifest(revision: str, timeline_record=None) -> dict:
+    record = {
+        "command": "perf",
+        "config": {},
+        "created": 1786000000,
+        "data_quality": None,
+        "engine": "",
+        "geometry": {},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "outputs": {},
+        "period": 0.0,
+        "revision": revision,
+        "sampling": {},
+        "seed": 0,
+        "stage_timings": {},
+        "version": 1,
+        "workload": "matrix",
+    }
+    if timeline_record is not None:
+        record["timeline"] = timeline_record
+    return record
+
+
+def point(revision: str, speedup: float = 20.0, **extra) -> TrajectoryPoint:
+    return TrajectoryPoint(revision=revision, bench=bench(revision, speedup, **extra))
+
+
+def regressions(report):
+    return {(f.transition, f.dimension) for f in report.regressions()}
+
+
+class TestThresholds:
+    def test_defaults_are_the_documented_gates(self):
+        thresholds = WatchThresholds()
+        assert thresholds.max_headline_drop == 0.15
+        assert thresholds.max_workload_drop == 0.30
+        assert thresholds.max_obs_overhead == 0.05
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(WatchError, match="max_headline_drop"):
+            WatchThresholds(max_headline_drop=-0.1)
+
+
+class TestPairChecks:
+    def test_improvement_passes(self):
+        report = watch_trajectory([point("aaa", 10.0), point("bbb", 20.0)])
+        assert report.ok
+        assert any(f.dimension == "headline" for f in report.findings)
+
+    def test_small_headline_drop_is_info(self):
+        report = watch_trajectory([point("aaa", 20.0), point("bbb", 18.0)])
+        assert report.ok
+        headline = next(f for f in report.findings if f.dimension == "headline")
+        assert headline.severity == "info"
+
+    def test_big_headline_drop_regresses(self):
+        report = watch_trajectory([point("aaa", 20.0), point("bbb", 10.0)])
+        assert ("aaa -> bbb", "headline") in regressions(report)
+        error = regression_error(report)
+        assert isinstance(error, WatchRegressionError)
+        assert error.exit_code == 13
+        assert error.regressions
+
+    def test_workload_drop_regresses_beyond_threshold(self):
+        before, after = point("aaa", 20.0), point("bbb", 20.0)
+        after.bench["workloads"][0]["speedup"] = 10.0  # -50% on 'matrix'
+        report = watch_trajectory([before, after])
+        assert ("aaa -> bbb", "workload:matrix") in regressions(report)
+
+    def test_workload_set_changes_are_info(self):
+        before, after = point("aaa"), point("bbb")
+        after.bench["workloads"][0]["name"] = "renamed"
+        report = watch_trajectory([before, after])
+        assert report.ok
+        noted = {f.dimension for f in report.findings if f.severity == "info"}
+        assert {"workload:matrix", "workload:renamed"} <= noted
+
+    def test_screen_clear_to_suspect_regresses(self):
+        screening = {
+            "workload": "matrix",
+            "verdict": "clear",
+            "screen_seconds": 0.01,
+            "simulate_seconds": 1.0,
+            "speedup": 100.0,
+        }
+        before = point("aaa", screening=screening)
+        after = point("bbb", screening=dict(screening, verdict="suspect"))
+        report = watch_trajectory([before, after])
+        assert ("aaa -> bbb", "screen") in regressions(report)
+        # The reverse flip is informational, not a regression.
+        assert watch_trajectory([after, before]).ok
+
+    def test_timeline_conflict_growth_regresses(self):
+        from repro.obs.manifest import RunManifest
+
+        before = TrajectoryPoint(
+            revision="aaa",
+            manifest=RunManifest.from_dict(manifest("aaa", timeline(0.0))),
+        )
+        after = TrajectoryPoint(
+            revision="bbb",
+            manifest=RunManifest.from_dict(
+                manifest("bbb", timeline(0.6, victim_sets=[0, 7]))
+            ),
+        )
+        report = watch_trajectory([before, after])
+        assert ("aaa -> bbb", "timeline") in regressions(report)
+        infos = [f for f in report.findings if f.severity == "info"]
+        assert any("victim" in f.message for f in infos)
+
+
+class TestPointChecks:
+    def test_missed_headline_target_regresses(self):
+        bad = point("ccc", 8.0)  # under the 10x target
+        report = watch_trajectory([point("aaa", 20.0), bad])
+        assert ("ccc", "gate") in regressions(report)
+
+    def test_engine_mismatch_regresses(self):
+        bad = point("ccc")
+        bad.bench["headline"]["all_match"] = False
+        report = watch_trajectory([point("aaa"), bad])
+        assert ("ccc", "gate") in regressions(report)
+
+    def test_workload_floor_miss_regresses(self):
+        bad = point("ccc")
+        bad.bench["workloads"][0]["gate_met"] = False
+        report = watch_trajectory([point("aaa"), bad])
+        assert ("ccc", "gate:matrix") in regressions(report)
+
+    def test_sharded_miss_only_regresses_when_enforced(self):
+        sharded = {
+            "workers": 4,
+            "speedup_vs_batched": 1.2,
+            "target": 2.0,
+            "target_met": False,
+            "enforced": False,
+        }
+        soft = point("ccc")
+        soft.bench["headline"]["sharded"] = dict(sharded)
+        assert watch_trajectory([point("aaa"), soft]).ok
+        hard = point("ddd")
+        hard.bench["headline"]["sharded"] = dict(sharded, enforced=True)
+        report = watch_trajectory([point("aaa"), hard])
+        assert ("ddd", "gate:sharded") in regressions(report)
+
+    def test_obs_overhead_budget(self):
+        overhead = {
+            "workload": "matrix",
+            "accesses": 1000,
+            "repeats": 3,
+            "bare_seconds": 1.0,
+            "instrumented_seconds": 1.08,
+            "ratio": 1.08,
+            "overhead": 0.08,
+            "target": 0.05,
+            "within_target": False,
+        }
+        bad = point("ccc", obs_overhead=overhead)
+        report = watch_trajectory([point("aaa"), bad])
+        assert ("ccc", "obs_overhead") in regressions(report)
+
+    def test_ipc_pipe_baseline(self):
+        bad = point("ccc")
+        bad.bench["headline"]["sharded"] = {
+            "workers": 4,
+            "speedup_vs_batched": 2.5,
+            "target": 2.0,
+            "target_met": True,
+            "enforced": True,
+            "ipc": {
+                "bytes_shipped": 1 << 20,
+                "bytes_mapped": 1 << 20,
+                "bytes_shipped_per_access": 24.0,
+            },
+        }
+        report = watch_trajectory([point("aaa"), bad])
+        assert ("ccc", "ipc") in regressions(report)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(WatchError, match="at least 2"):
+            watch_trajectory([point("aaa")])
+
+
+class TestLoading:
+    def write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_explicit_files_keep_given_order(self, tmp_path):
+        newer = self.write(tmp_path, "BENCH_bbb.json", bench("bbb", 25.0))
+        older = self.write(tmp_path, "BENCH_aaa.json", bench("aaa", 20.0))
+        points = load_trajectory([older, newer])
+        assert [p.revision for p in points] == ["aaa", "bbb"]
+
+    def test_same_revision_pair_merges_into_one_point(self, tmp_path):
+        self.write(tmp_path, "BENCH_aaa.json", bench("aaa"))
+        self.write(tmp_path, "MANIFEST_aaa.json", manifest("aaa", timeline()))
+        self.write(tmp_path, "BENCH_bbb.json", bench("bbb"))
+        points = load_trajectory(
+            [
+                tmp_path / "BENCH_aaa.json",
+                tmp_path / "MANIFEST_aaa.json",
+                tmp_path / "BENCH_bbb.json",
+            ]
+        )
+        assert len(points) == 2
+        assert points[0].bench is not None
+        assert points[0].timeline is not None
+        assert len(points[0].sources) == 2
+
+    def test_directory_outside_git_orders_by_mtime(self, tmp_path):
+        import os
+
+        newer = self.write(tmp_path, "BENCH_aaa.json", bench("aaa"))
+        older = self.write(tmp_path, "BENCH_bbb.json", bench("bbb"))
+        now = time.time()
+        os.utime(older, (now - 100, now - 100))
+        os.utime(newer, (now, now))
+        points = load_trajectory([tmp_path])
+        # 'bbb' is the older file despite sorting after 'aaa' by name.
+        assert [p.revision for p in points] == ["bbb", "aaa"]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WatchError, match="no such artifact"):
+            load_trajectory([tmp_path / "BENCH_zzz.json"])
+
+    def test_free_form_name_rejected(self, tmp_path):
+        stray = self.write(tmp_path, "notes.json", bench("aaa"))
+        with pytest.raises(WatchError, match="not a trajectory artifact"):
+            load_trajectory([stray, stray])
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(WatchError, match="no BENCH"):
+            load_trajectory([tmp_path])
+
+    def test_invalid_bench_rejected(self, tmp_path):
+        broken = bench("aaa")
+        del broken["headline"]
+        stray = self.write(tmp_path, "BENCH_aaa.json", broken)
+        with pytest.raises(WatchError, match="headline"):
+            load_trajectory([stray, stray])
+
+
+class TestReport:
+    def test_report_json_round_trip(self, tmp_path):
+        report = watch_trajectory([point("aaa", 20.0), point("bbb", 5.0)])
+        target = tmp_path / "out" / "watch.json"
+        report.save(target)
+        record = json.loads(target.read_text())
+        assert record["ok"] is False
+        assert record["revisions"] == ["aaa", "bbb"]
+        assert record["headline"] == {"aaa": 20.0, "bbb": 5.0}
+        assert any(
+            f["severity"] == "regression" for f in record["findings"]
+        )
+
+    def test_render_shows_trend_and_verdict(self):
+        report = watch_trajectory([point("aaa", 20.0), point("bbb", 5.0)])
+        text = report.render()
+        assert "aaa -> bbb" in text
+        assert "headline  20.00x" in text
+        assert "regression(s)" in text
+        clean = watch_trajectory([point("aaa", 10.0), point("bbb", 20.0)])
+        assert clean.render().endswith("verdict: ok")
+
+    def test_watch_saves_report_even_on_regression(self, tmp_path):
+        for revision, speedup in (("aaa", 20.0), ("bbb", 5.0)):
+            (tmp_path / f"BENCH_{revision}.json").write_text(
+                json.dumps(bench(revision, speedup))
+            )
+        target = tmp_path / "report.json"
+        report = watch(
+            [tmp_path / "BENCH_aaa.json", tmp_path / "BENCH_bbb.json"],
+            report_path=target,
+        )
+        assert not report.ok
+        assert json.loads(target.read_text())["ok"] is False
+
+
+class TestCommittedTrajectory:
+    """The repo's own artifacts are the canonical no-regression case."""
+
+    def test_repo_trajectory_passes(self):
+        report = watch([REPO_ROOT])
+        assert report.ok, report.render()
+        assert [p.revision for p in report.points] == [
+            "468f2a7",
+            "2a5ed55",
+            "e5d8e80",
+        ]
+
+    def test_repo_trajectory_mixes_v1_and_v2(self):
+        report = watch([REPO_ROOT])
+        versions = {p.bench["schema_version"] for p in report.points if p.bench}
+        assert versions == {1, 2}
+
+    def test_render_bench_on_committed_artifact(self):
+        from repro.perf.schema import load_result
+
+        text = render_bench(load_result(REPO_ROOT / "BENCH_e5d8e80.json"))
+        assert "headline" in text
+        assert "sharded" in text
+        assert "B/access" in text
+        assert "obs overhead" in text

@@ -552,3 +552,71 @@ class TestEngineSelection:
         assert "warp" in response.error["message"]
         # The job resolved exactly once and released its slots.
         assert registry.counter("service.jobs.failed").value == 1
+
+
+class TestWindowedJobs:
+    """profile jobs with a streaming window attach a wire timeline."""
+
+    def windowed_request(self, **overrides):
+        record = dict(
+            kind="profile", workload="gemm", params={"n": 64},
+            period=97, window=64,
+        )
+        record.update(overrides)
+        return make_request(**record)
+
+    def test_profile_with_window_returns_timeline(self):
+        with use_registry(MetricsRegistry()) as registry:
+            result = JobExecutor().execute(self.windowed_request())
+        assert result.status == JobStatus.COMPLETED
+        timeline = result.result["timeline"]
+        assert timeline["version"] == 1
+        assert timeline["window"] == 64
+        assert timeline["total_samples"] == result.result["samples"]
+        completed = registry.counter("service.jobs.window.completed").value
+        assert completed >= len(timeline["windows"]) > 0
+
+    def test_window_conflict_telemetry(self):
+        with use_registry(MetricsRegistry()) as registry:
+            result = JobExecutor().execute(self.windowed_request())
+        conflicts = sum(
+            1 for w in result.result["timeline"]["windows"] if w["conflict"]
+        )
+        counted = registry.counter("service.jobs.window.conflicts").value
+        assert counted >= conflicts
+
+    def test_timeline_fits_the_wire(self):
+        # A long-running profile must still encode under MAX_LINE_BYTES:
+        # the executor coalesces wire timelines far below the line cap.
+        from repro.service.protocol import JobResponse
+
+        with use_registry(MetricsRegistry()):
+            result = JobExecutor().execute(
+                self.windowed_request(window=1)  # worst case: 1 window/sample
+            )
+        response = JobResponse(
+            id="j1", tenant="t", status=result.status, result=result.result
+        )
+        assert len(response.encode()) < 64 * 1024
+        assert len(result.result["timeline"]["windows"]) <= 64
+
+    def test_profile_without_window_has_no_timeline(self):
+        with use_registry(MetricsRegistry()):
+            result = JobExecutor().execute(
+                make_request(kind="profile", workload="gemm",
+                             params={"n": 64}, period=97)
+            )
+        assert "timeline" not in result.result
+
+    def test_daemon_round_trips_windowed_profile(self, tmp_path):
+        config = make_config(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            async def scenario(service):
+                return await submit_raw(
+                    config.socket_path, self.windowed_request()
+                )
+
+            response = run_service(config, scenario)
+        assert response.status == JobStatus.COMPLETED
+        assert response.result["timeline"]["windows"]
+        assert registry.counter("service.jobs.window.completed").value > 0

@@ -152,3 +152,32 @@ class TestEngineField:
     def test_engine_must_be_non_empty(self):
         with pytest.raises(ProtocolError, match="engine"):
             make_request(engine="")
+
+
+class TestWindowField:
+    def test_window_round_trips(self):
+        request = make_request(window=128)
+        assert request.to_dict()["window"] == 128
+        assert JobRequest.decode(request.encode()) == request
+
+    def test_window_absent_by_default(self):
+        request = make_request()
+        assert request.window is None
+        assert "window" not in request.to_dict()
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ProtocolError, match="window"):
+            make_request(window=0)
+
+    def test_window_must_be_int(self):
+        record = make_request(window=64).to_dict()
+        record["window"] = "64"
+        with pytest.raises(ProtocolError, match="window"):
+            JobRequest.from_dict(record)
+
+    def test_older_daemon_wire_compat(self):
+        # A v1 record without the field decodes to window=None — sending
+        # window to an older daemon (which drops unknown keys) is safe.
+        record = make_request(window=64).to_dict()
+        del record["window"]
+        assert JobRequest.from_dict(record).window is None
